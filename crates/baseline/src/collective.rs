@@ -1,0 +1,108 @@
+//! Emulated MPI collectives over the simulated runtime.
+
+use ls_runtime::{Cluster, DistVec, RmaWriteWindow};
+
+/// `MPI_Alltoallv`: every locale contributes `send[me][dest]` (a bucket
+/// per destination); the result gives each locale the concatenation of
+/// what everyone sent to it, ordered by source locale.
+///
+/// The count exchange (`MPI_Alltoall` of sizes) and the data exchange are
+/// both recorded in the communication statistics; two barriers model the
+/// collective's synchronizing nature.
+pub fn alltoallv<T: Copy + Send + Sync + Default>(
+    cluster: &Cluster,
+    send: &[Vec<Vec<T>>],
+) -> DistVec<T> {
+    let locales = cluster.n_locales();
+    assert_eq!(send.len(), locales);
+    for (l, buckets) in send.iter().enumerate() {
+        assert_eq!(buckets.len(), locales, "locale {l} bucket count");
+    }
+    // Count exchange: locale src tells locale dst how much is coming.
+    let counts: Vec<Vec<usize>> = (0..locales)
+        .map(|src| send[src].iter().map(|b| b.len()).collect())
+        .collect();
+    for l in 0..locales {
+        cluster.stats()[l].record_put(locales * 8, locales > 1);
+    }
+    // Receive layout: on locale dst, data from src starts at
+    // Σ_{s<src} counts[s][dst].
+    let mut recv_offsets = vec![vec![0usize; locales]; locales]; // [src][dst]
+    let mut recv_sizes = vec![0usize; locales];
+    for dst in 0..locales {
+        let mut acc = 0usize;
+        for src in 0..locales {
+            recv_offsets[src][dst] = acc;
+            acc += counts[src][dst];
+        }
+        recv_sizes[dst] = acc;
+    }
+    let mut recv = DistVec::<T>::zeros(&recv_sizes);
+    {
+        let win = RmaWriteWindow::new(&mut recv);
+        cluster.run(|ctx| {
+            let me = ctx.locale();
+            // Synchronize entry (collectives are synchronizing).
+            ctx.barrier_wait();
+            for dst in 0..locales {
+                let bucket = &send[me][dst];
+                if !bucket.is_empty() {
+                    win.put(ctx, dst, recv_offsets[me][dst], bucket);
+                }
+            }
+            ctx.barrier_wait();
+        });
+    }
+    recv
+}
+
+/// `MPI_Allreduce(sum)` for a single f64 (used by dot products in the
+/// baseline's Lanczos).
+pub fn allreduce_sum(cluster: &Cluster, locals: &[f64]) -> f64 {
+    assert_eq!(locals.len(), cluster.n_locales());
+    for l in 0..cluster.n_locales() {
+        cluster.stats()[l].record_put(8, cluster.n_locales() > 1);
+        cluster.stats()[l].record_barrier();
+    }
+    locals.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_runtime::ClusterSpec;
+
+    #[test]
+    fn alltoallv_orders_by_source() {
+        let locales = 3;
+        let cluster = Cluster::new(ClusterSpec::new(locales, 1));
+        // send[src][dst] = values src*10+dst repeated (src+1) times.
+        let send: Vec<Vec<Vec<u32>>> = (0..locales)
+            .map(|src| {
+                (0..locales)
+                    .map(|dst| vec![(src * 10 + dst) as u32; src + 1])
+                    .collect()
+            })
+            .collect();
+        let recv = alltoallv(&cluster, &send);
+        // On dst=1: from src0: [1], src1: [11, 11], src2: [21, 21, 21].
+        assert_eq!(recv.part(1), &[1, 11, 11, 21, 21, 21]);
+        assert_eq!(recv.part(0), &[0, 10, 10, 20, 20, 20]);
+        assert_eq!(recv.part(2), &[2, 12, 12, 22, 22, 22]);
+    }
+
+    #[test]
+    fn empty_buckets() {
+        let cluster = Cluster::new(ClusterSpec::new(2, 1));
+        let send = vec![vec![vec![], vec![5u8]], vec![vec![], vec![]]];
+        let recv = alltoallv(&cluster, &send);
+        assert!(recv.part(0).is_empty());
+        assert_eq!(recv.part(1), &[5]);
+    }
+
+    #[test]
+    fn allreduce() {
+        let cluster = Cluster::new(ClusterSpec::new(4, 1));
+        assert_eq!(allreduce_sum(&cluster, &[1.0, 2.0, 3.0, 4.0]), 10.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The shared-memory symmetry-adapted basis.
+
+use crate::enumerate;
+use crate::sector::SectorSpec;
+use ls_kernels::combinadics::BinomialTable;
+use ls_kernels::search::{PrefixIndex, TrieIndex};
+
+/// How `state -> index` ranking is performed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RankingKind {
+    /// Binary search over the sorted representative list.
+    BinarySearch,
+    /// Prefix-bucket index + short binary search (default).
+    PrefixBuckets,
+    /// Closed-form combinadic ranking — only valid for U(1)-only sectors.
+    Combinadic,
+    /// Radix trie (Wallerberger & Held, the paper's Ref.\ 25): fixed
+    /// number of dependent loads, no comparisons; built lazily on first
+    /// selection.
+    Trie,
+}
+
+/// A fully built symmetry sector basis: the sorted list of representatives
+/// with orbit sizes and a ranking structure.
+#[derive(Clone, Debug)]
+pub struct SpinBasis {
+    sector: SectorSpec,
+    states: Vec<u64>,
+    orbit_sizes: Vec<u32>,
+    prefix: PrefixIndex,
+    combinadic: Option<BinomialTable>,
+    trie: Option<TrieIndex>,
+    ranking: RankingKind,
+}
+
+impl SpinBasis {
+    /// Builds the basis by parallel enumeration.
+    pub fn build(sector: SectorSpec) -> Self {
+        let chunks = (rayon::current_num_threads() * 8).max(1);
+        Self::build_with_chunks(sector, chunks)
+    }
+
+    /// Builds with an explicit chunk count (useful for tests and benches).
+    pub fn build_with_chunks(sector: SectorSpec, chunks: usize) -> Self {
+        let chunk = enumerate::enumerate_par(&sector, chunks);
+        Self::from_parts(sector, chunk.states, chunk.orbit_sizes)
+    }
+
+    /// Assembles a basis from already-enumerated parts (used by the
+    /// distributed layer after gathering).
+    pub fn from_parts(sector: SectorSpec, states: Vec<u64>, orbit_sizes: Vec<u32>) -> Self {
+        debug_assert_eq!(states.len(), orbit_sizes.len());
+        debug_assert!(states.windows(2).all(|w| w[0] < w[1]), "states must be sorted");
+        let prefix = PrefixIndex::auto(&states, sector.n_sites());
+        // Combinadic ranking is exact only when every state is its own
+        // orbit (trivial group) and the weight is fixed.
+        let combinadic = if sector.group().order() == 1 && sector.hamming_weight().is_some()
+        {
+            Some(BinomialTable::new())
+        } else {
+            None
+        };
+        let ranking = if combinadic.is_some() {
+            RankingKind::Combinadic
+        } else {
+            RankingKind::PrefixBuckets
+        };
+        Self { sector, states, orbit_sizes, prefix, combinadic, trie: None, ranking }
+    }
+
+    pub fn sector(&self) -> &SectorSpec {
+        &self.sector
+    }
+
+    pub fn dim(&self) -> usize {
+        self.states.len()
+    }
+
+    pub fn states(&self) -> &[u64] {
+        &self.states
+    }
+
+    pub fn orbit_sizes(&self) -> &[u32] {
+        &self.orbit_sizes
+    }
+
+    /// The state stored at `index`.
+    #[inline]
+    pub fn state(&self, index: usize) -> u64 {
+        self.states[index]
+    }
+
+    /// Ranking: the index of a representative, or `None` if it is not in
+    /// the basis. This is the paper's `stateToIndex`.
+    #[inline]
+    pub fn index_of(&self, rep: u64) -> Option<usize> {
+        match self.ranking {
+            RankingKind::Combinadic => {
+                let t = self.combinadic.as_ref().unwrap();
+                let idx = t.rank(rep) as usize;
+                // Combinadic rank is only meaningful for the right weight.
+                if rep.count_ones() == self.sector.hamming_weight().unwrap()
+                    && idx < self.states.len()
+                {
+                    debug_assert_eq!(self.states[idx], rep);
+                    Some(idx)
+                } else {
+                    None
+                }
+            }
+            RankingKind::PrefixBuckets => self.prefix.lookup(&self.states, rep),
+            RankingKind::BinarySearch => self.states.binary_search(&rep).ok(),
+            RankingKind::Trie => self
+                .trie
+                .as_ref()
+                .expect("trie built on selection")
+                .lookup(rep),
+        }
+    }
+
+    /// Forces a particular ranking implementation (ablation benches).
+    pub fn set_ranking(&mut self, kind: RankingKind) {
+        if kind == RankingKind::Combinadic && self.combinadic.is_none() {
+            panic!("combinadic ranking requires a U(1)-only sector");
+        }
+        if kind == RankingKind::Trie && self.trie.is_none() {
+            self.trie = Some(TrieIndex::build(
+                &self.states,
+                self.sector.n_sites(),
+                8,
+            ));
+        }
+        self.ranking = kind;
+    }
+
+    pub fn ranking(&self) -> RankingKind {
+        self.ranking
+    }
+
+    /// Memory estimate in bytes (states + orbit sizes + index).
+    pub fn memory_bytes(&self) -> usize {
+        self.states.len() * 8 + self.orbit_sizes.len() * 4 + self.prefix.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_symmetry::lattice;
+
+    fn chain_basis(n: usize) -> SpinBasis {
+        let g = lattice::chain_group(n, 0, Some(0), Some(0)).unwrap();
+        SpinBasis::build(SectorSpec::new(n as u32, Some(n as u32 / 2), g).unwrap())
+    }
+
+    #[test]
+    fn build_and_rank() {
+        let basis = chain_basis(12);
+        assert_eq!(basis.dim() as u64, basis.sector().dimension());
+        for (i, &s) in basis.states().iter().enumerate() {
+            assert_eq!(basis.index_of(s), Some(i));
+        }
+        // A non-representative must not be found.
+        assert_eq!(basis.index_of(0b1000_0000_0001), None);
+    }
+
+    #[test]
+    fn ranking_kinds_agree() {
+        let mut basis = chain_basis(10);
+        let probes: Vec<u64> = (0..1024).collect();
+        let with_prefix: Vec<Option<usize>> =
+            probes.iter().map(|&p| basis.index_of(p)).collect();
+        basis.set_ranking(RankingKind::BinarySearch);
+        let with_bs: Vec<Option<usize>> =
+            probes.iter().map(|&p| basis.index_of(p)).collect();
+        assert_eq!(with_prefix, with_bs);
+        basis.set_ranking(RankingKind::Trie);
+        let with_trie: Vec<Option<usize>> =
+            probes.iter().map(|&p| basis.index_of(p)).collect();
+        assert_eq!(with_prefix, with_trie);
+    }
+
+    #[test]
+    fn combinadic_fast_path() {
+        let basis =
+            SpinBasis::build(SectorSpec::with_weight(14, 7).unwrap());
+        assert_eq!(basis.ranking(), RankingKind::Combinadic);
+        assert_eq!(basis.dim(), 3432);
+        for (i, &s) in basis.states().iter().enumerate() {
+            assert_eq!(basis.index_of(s), Some(i));
+        }
+        // Wrong-weight probes return None.
+        assert_eq!(basis.index_of(0b111), None);
+        assert_eq!(basis.index_of(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "combinadic ranking requires")]
+    fn combinadic_rejected_with_symmetries() {
+        let mut basis = chain_basis(8);
+        basis.set_ranking(RankingKind::Combinadic);
+    }
+}

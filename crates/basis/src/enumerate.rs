@@ -1,0 +1,158 @@
+//! Basis enumeration: filtering the 2^N bitstring range down to valid
+//! representatives (the shared-memory analogue of the paper's Fig. 4).
+//!
+//! The iteration space is split into chunks; each chunk is filtered
+//! independently (rayon), and the chunk results are concatenated in range
+//! order, which keeps the final list sorted — binary-search ranking
+//! depends on that.
+
+use crate::rep::is_representative;
+use crate::sector::SectorSpec;
+use ls_kernels::bits::FixedWeightRange;
+use rayon::prelude::*;
+
+/// A filtered chunk: representatives and their orbit sizes.
+#[derive(Default)]
+pub struct Chunk {
+    pub states: Vec<u64>,
+    pub orbit_sizes: Vec<u32>,
+}
+
+/// Filters one sub-range `[lo, hi)` of the raw iteration space.
+pub fn filter_range(sector: &SectorSpec, lo: u64, hi: u64) -> Chunk {
+    let n = sector.n_sites();
+    let group = sector.group();
+    let mut out = Chunk::default();
+    let trivial = group.order() == 1;
+    let space_end = if n == 64 { u64::MAX } else { 1u64 << n };
+    let hi = hi.min(space_end);
+    match sector.hamming_weight() {
+        Some(w) => {
+            for s in FixedWeightRange::new(n, w, lo, hi) {
+                push_if_rep(group, trivial, s, &mut out);
+            }
+        }
+        None => {
+            for s in lo..hi {
+                push_if_rep(group, trivial, s, &mut out);
+            }
+        }
+    }
+    out
+}
+
+#[inline]
+fn push_if_rep(
+    group: &ls_symmetry::SymmetryGroup,
+    trivial: bool,
+    s: u64,
+    out: &mut Chunk,
+) {
+    if trivial {
+        out.states.push(s);
+        out.orbit_sizes.push(1);
+    } else if let Some(orbit) = is_representative(group, s) {
+        out.states.push(s);
+        out.orbit_sizes.push(orbit);
+    }
+}
+
+/// Splits `[0, 2^n)` into `chunks` half-open ranges of equal width.
+pub fn split_ranges(n: u32, chunks: usize) -> Vec<(u64, u64)> {
+    assert!(chunks >= 1);
+    let total: u128 = 1u128 << n;
+    (0..chunks as u128)
+        .map(|c| {
+            let lo = (c * total / chunks as u128) as u64;
+            let hi = ((c + 1) * total / chunks as u128) as u64;
+            (lo, hi)
+        })
+        .collect()
+}
+
+/// Serial enumeration of all valid representatives, in increasing order.
+pub fn enumerate(sector: &SectorSpec) -> Chunk {
+    filter_range(sector, 0, u64::MAX)
+}
+
+/// Parallel enumeration with rayon. `chunks` controls the work split; the
+/// result is identical to [`enumerate`].
+pub fn enumerate_par(sector: &SectorSpec, chunks: usize) -> Chunk {
+    let ranges = split_ranges(sector.n_sites(), chunks.max(1));
+    let parts: Vec<Chunk> = ranges
+        .into_par_iter()
+        .map(|(lo, hi)| filter_range(sector, lo, hi))
+        .collect();
+    let total: usize = parts.iter().map(|c| c.states.len()).sum();
+    let mut out = Chunk {
+        states: Vec::with_capacity(total),
+        orbit_sizes: Vec::with_capacity(total),
+    };
+    for p in parts {
+        out.states.extend_from_slice(&p.states);
+        out.orbit_sizes.extend_from_slice(&p.orbit_sizes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_symmetry::lattice;
+
+    #[test]
+    fn u1_only_matches_gosper() {
+        let sector = SectorSpec::with_weight(12, 5).unwrap();
+        let chunk = enumerate(&sector);
+        let expect: Vec<u64> = FixedWeightRange::all(12, 5).collect();
+        assert_eq!(chunk.states, expect);
+        assert!(chunk.orbit_sizes.iter().all(|&o| o == 1));
+    }
+
+    #[test]
+    fn counts_match_burnside_dimension() {
+        for n in [8usize, 10, 12] {
+            let g = lattice::chain_group(n, 0, Some(0), Some(0)).unwrap();
+            let sector =
+                SectorSpec::new(n as u32, Some(n as u32 / 2), g).unwrap();
+            let chunk = enumerate(&sector);
+            assert_eq!(chunk.states.len() as u64, sector.dimension(), "n={n}");
+            // Sorted and unique:
+            for w in chunk.states.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let g = lattice::chain_group(10, 0, Some(0), Some(0)).unwrap();
+        let sector = SectorSpec::new(10, Some(5), g).unwrap();
+        let serial = enumerate(&sector);
+        for chunks in [1usize, 2, 3, 7, 64, 1000] {
+            let par = enumerate_par(&sector, chunks);
+            assert_eq!(par.states, serial.states, "chunks={chunks}");
+            assert_eq!(par.orbit_sizes, serial.orbit_sizes);
+        }
+    }
+
+    #[test]
+    fn complex_sector_enumeration() {
+        // k=1 momentum sector on a 10-ring: dimension from Burnside.
+        let g = lattice::chain_group(10, 1, None, None).unwrap();
+        let sector = SectorSpec::new(10, Some(5), g).unwrap();
+        let chunk = enumerate(&sector);
+        assert_eq!(chunk.states.len() as u64, sector.dimension());
+    }
+
+    #[test]
+    fn split_ranges_partition() {
+        let ranges = split_ranges(10, 7);
+        assert_eq!(ranges.len(), 7);
+        assert_eq!(ranges[0].0, 0);
+        assert_eq!(ranges[6].1, 1024);
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0);
+        }
+    }
+}

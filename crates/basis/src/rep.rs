@@ -1,0 +1,186 @@
+//! Orbit representatives, characters and norms.
+//!
+//! The symmetry-adapted basis vector built on representative `r` is
+//! `|r̃⟩ = P|r⟩ / √n_r` with `P = (1/|G|) Σ_g χ(g)* U_g` and
+//! `n_r = ⟨r|P|r⟩ = |Stab(r)| / |G|` — non-zero exactly when the character
+//! is trivial on the stabilizer. Everything a matrix-vector product needs
+//! about an arbitrary bitstring `s` is collected in one `O(|G|)` pass by
+//! [`state_info`].
+
+use ls_kernels::Complex64;
+use ls_symmetry::SymmetryGroup;
+
+/// The result of resolving a raw bitstring against a symmetry group.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct StateInfo {
+    /// The orbit minimum (the canonical representative).
+    pub representative: u64,
+    /// `χ(g)*` for (any) `g` mapping `s` to the representative. When the
+    /// orbit carries zero norm this value is meaningless.
+    pub phase: Complex64,
+    /// Orbit size `|G| / |Stab(s)|`.
+    pub orbit_size: u32,
+    /// `false` when the character is non-trivial on the stabilizer, i.e.
+    /// the orbit does not support a state in this sector (`P|s⟩ = 0`).
+    pub valid: bool,
+}
+
+/// Resolves `s`: finds its representative, the phase connecting `s` to it,
+/// the orbit size and the norm-validity flag, in one pass over the group.
+pub fn state_info(group: &SymmetryGroup, s: u64) -> StateInfo {
+    let mut rep = s;
+    let mut phase_exact = ls_symmetry::RationalPhase::ZERO;
+    let mut stab = 0u32;
+    let mut valid = true;
+    for el in group.elements() {
+        let t = el.apply(s);
+        if t < rep {
+            rep = t;
+            phase_exact = el.phase();
+        } else if t == s {
+            stab += 1;
+            if !el.phase().is_one() {
+                valid = false;
+            }
+        }
+    }
+    // A state is always stabilized at least by the identity.
+    debug_assert!(stab >= 1);
+    StateInfo {
+        representative: rep,
+        // χ(g)^* of the minimizing element.
+        phase: phase_exact.conj().to_c64(),
+        orbit_size: group.order() as u32 / stab,
+        valid,
+    }
+}
+
+/// Is `s` a valid representative? Returns its orbit size if so.
+///
+/// `s` must be the minimum of its orbit *and* carry non-zero norm. This is
+/// the filter applied during basis enumeration (paper Sec. 5.2).
+pub fn is_representative(group: &SymmetryGroup, s: u64) -> Option<u32> {
+    let mut stab = 0u32;
+    for el in group.elements() {
+        let t = el.apply(s);
+        if t < s {
+            return None;
+        }
+        if t == s {
+            if !el.phase().is_one() {
+                return None;
+            }
+            stab += 1;
+        }
+    }
+    Some(group.order() as u32 / stab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_symmetry::lattice;
+    use ls_symmetry::{Generator, SymmetryGroup};
+
+    fn translation_group(n: usize, k: i64) -> SymmetryGroup {
+        SymmetryGroup::generate(&[Generator::new(lattice::chain_translation(n), k)])
+            .unwrap()
+    }
+
+    #[test]
+    fn trivial_group_everything_is_rep() {
+        let g = SymmetryGroup::trivial(6);
+        for s in 0..64u64 {
+            let info = state_info(&g, s);
+            assert_eq!(info.representative, s);
+            assert_eq!(info.orbit_size, 1);
+            assert!(info.valid);
+            assert_eq!(is_representative(&g, s), Some(1));
+        }
+    }
+
+    #[test]
+    fn translation_orbits() {
+        let g = translation_group(4, 0);
+        // Orbit of 0b0001: {0001, 0010, 0100, 1000}; rep = 0b0001.
+        let info = state_info(&g, 0b0100);
+        assert_eq!(info.representative, 0b0001);
+        assert_eq!(info.orbit_size, 4);
+        assert!(info.valid);
+        assert_eq!(is_representative(&g, 0b0001), Some(4));
+        assert_eq!(is_representative(&g, 0b0010), None);
+        // 0b0101 has a 2-element orbit (stabilized by T²).
+        let info = state_info(&g, 0b0101);
+        assert_eq!(info.representative, 0b0101);
+        assert_eq!(info.orbit_size, 2);
+        assert!(info.valid);
+    }
+
+    #[test]
+    fn zero_norm_orbit_detected() {
+        // k = 1 on a 4-ring: 0b0101 is stabilized by T² with character
+        // χ(T²) = exp(-2πi·2/4) = -1 ≠ 1 → zero norm.
+        let g = translation_group(4, 1);
+        let info = state_info(&g, 0b0101);
+        assert!(!info.valid);
+        assert_eq!(is_representative(&g, 0b0101), None);
+        // While 0b0011 (orbit size 4) is fine in any sector.
+        assert_eq!(is_representative(&g, 0b0011), Some(4));
+    }
+
+    #[test]
+    fn phase_of_mapping_element() {
+        // k = 1 on a 4-ring. T|s⟩: site i -> i+1, i.e. rotate left.
+        // s = 0b0010 is T applied to 0b0001, so the element mapping s back
+        // to the rep 0b0001 is T³ (rotating left 3 more times), with
+        // χ(T³) = exp(-2πi·3/4); the stored phase is its conjugate.
+        let g = translation_group(4, 1);
+        let info = state_info(&g, 0b0010);
+        assert_eq!(info.representative, 0b0001);
+        let expect = Complex64::cis(-std::f64::consts::TAU * 3.0 / 4.0).conj();
+        assert!(info.phase.approx_eq(expect, 1e-12), "{:?}", info.phase);
+    }
+
+    #[test]
+    fn representative_counts_match_burnside() {
+        // # of valid representatives must equal the Burnside dimension.
+        for n in [6usize, 8, 10] {
+            for k in [0i64, 1, n as i64 / 2] {
+                let g = translation_group(n, k);
+                let dim = ls_symmetry::count::sector_dimension(&g, None);
+                let count = (0..(1u64 << n))
+                    .filter(|&s| is_representative(&g, s).is_some())
+                    .count() as u64;
+                assert_eq!(count, dim, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn representative_counts_with_inversion_and_reflection() {
+        for n in [6usize, 8] {
+            let g = lattice::chain_group(n, 0, Some(0), Some(0)).unwrap();
+            let w = n as u32 / 2;
+            let dim = ls_symmetry::count::sector_dimension(&g, Some(w));
+            let count = (0..(1u64 << n))
+                .filter(|&s| s.count_ones() == w)
+                .filter(|&s| is_representative(&g, s).is_some())
+                .count() as u64;
+            assert_eq!(count, dim, "n={n}");
+        }
+    }
+
+    #[test]
+    fn info_consistent_with_is_representative() {
+        let g = lattice::chain_group(8, 4, None, None).unwrap();
+        for s in 0..(1u64 << 8) {
+            let info = state_info(&g, s);
+            let rep_check = is_representative(&g, s);
+            if s == info.representative && info.valid {
+                assert_eq!(rep_check, Some(info.orbit_size));
+            } else {
+                assert_eq!(rep_check, None);
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The decisive correctness test of the symmetry-adapted machinery:
+//! compare our symmetrized matrix elements against brute-force projector
+//! algebra on the full 2^N space.
+//!
+//! For every representative r we build the dense vector
+//! `|r̃⟩ = P|r⟩ / ||P|r⟩||` with `P = (1/|G|) Σ_g χ(g)* U_g`, then check
+//! `⟨r̃_i| H |r̃_j⟩` entry-by-entry against `SymmetrizedOperator`.
+
+use ls_basis::{SectorSpec, SpinBasis, SymmetrizedOperator};
+use ls_expr::builders::{heisenberg, xxz};
+use ls_expr::OperatorKernel;
+use ls_kernels::Complex64;
+use ls_symmetry::{lattice, Generator, SymmetryGroup};
+
+fn dense_projector(group: &SymmetryGroup, n: u32) -> Vec<Vec<Complex64>> {
+    let dim = 1usize << n;
+    let mut p = vec![vec![Complex64::ZERO; dim]; dim];
+    let w = 1.0 / group.order() as f64;
+    for el in group.elements() {
+        let chi_conj = el.phase().conj().to_c64();
+        for s in 0..dim as u64 {
+            let t = el.apply(s);
+            // U_g[t][s] = 1; P += χ* U_g / |G|.
+            p[t as usize][s as usize] += chi_conj.scale(w);
+        }
+    }
+    p
+}
+
+fn matvec(m: &[Vec<Complex64>], x: &[Complex64]) -> Vec<Complex64> {
+    m.iter()
+        .map(|row| row.iter().zip(x).map(|(a, b)| *a * *b).sum())
+        .collect()
+}
+
+fn dot(a: &[Complex64], b: &[Complex64]) -> Complex64 {
+    a.iter().zip(b).map(|(x, y)| x.conj() * *y).sum()
+}
+
+/// Checks our sector matrix against the dense projector construction.
+fn check_sector(kernel: &OperatorKernel, sector: &SectorSpec) {
+    let n = sector.n_sites();
+    let basis = SpinBasis::build(sector.clone());
+    assert_eq!(basis.dim() as u64, sector.dimension());
+    if basis.dim() == 0 {
+        return;
+    }
+    let op = SymmetrizedOperator::<Complex64>::new(kernel, sector).unwrap();
+    let ours = op.to_dense(&basis);
+
+    let h_full = kernel.to_dense();
+    let p = dense_projector(sector.group(), n);
+    let dim_full = 1usize << n;
+
+    // Build normalized symmetric states.
+    let mut psi: Vec<Vec<Complex64>> = Vec::with_capacity(basis.dim());
+    for &r in basis.states() {
+        let mut e = vec![Complex64::ZERO; dim_full];
+        e[r as usize] = Complex64::ONE;
+        let pr = matvec(&p, &e);
+        let norm = dot(&pr, &pr).re.sqrt();
+        assert!(
+            norm > 1e-10,
+            "representative {r:#b} has zero norm but is in the basis"
+        );
+        psi.push(pr.iter().map(|z| z.scale(1.0 / norm)).collect());
+    }
+
+    // Entry-by-entry comparison.
+    for (j, pj) in psi.iter().enumerate() {
+        let hpj = matvec(&h_full, pj);
+        for (i, pi) in psi.iter().enumerate() {
+            let expect = dot(pi, &hpj);
+            assert!(
+                ours[i][j].approx_eq(expect, 1e-9),
+                "H[{i}][{j}]: ours = {:?}, projector = {:?} (n={n})",
+                ours[i][j],
+                expect
+            );
+        }
+    }
+}
+
+#[test]
+fn heisenberg_chain_real_sectors() {
+    for n in [4usize, 6, 8] {
+        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0)
+            .to_kernel(n as u32)
+            .unwrap();
+        for (k, r, z) in [
+            (0i64, Some(0i64), Some(0i64)),
+            (0, Some(1), Some(0)),
+            (0, Some(0), Some(1)),
+            (n as i64 / 2, Some(0), Some(0)),
+            (n as i64 / 2, Some(1), None),
+        ] {
+            let group = lattice::chain_group(n, k, r, z).unwrap();
+            let sector =
+                SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
+            check_sector(&kernel, &sector);
+        }
+    }
+}
+
+#[test]
+fn heisenberg_chain_complex_momentum_sectors() {
+    for n in [4usize, 6, 8] {
+        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0)
+            .to_kernel(n as u32)
+            .unwrap();
+        for k in 1..n as i64 {
+            let group = lattice::chain_group(n, k, None, None).unwrap();
+            let sector =
+                SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
+            check_sector(&kernel, &sector);
+        }
+    }
+}
+
+#[test]
+fn momentum_sectors_without_u1() {
+    // Drop the weight restriction entirely (e.g. for transverse-field
+    // models): the machinery must hold on the full 2^n space too.
+    let n = 6usize;
+    let kernel = heisenberg(&lattice::chain_bonds(n), 1.0)
+        .to_kernel(n as u32)
+        .unwrap();
+    for k in 0..n as i64 {
+        let group = lattice::chain_group(n, k, None, None).unwrap();
+        let sector = SectorSpec::new(n as u32, None, group).unwrap();
+        check_sector(&kernel, &sector);
+    }
+}
+
+#[test]
+fn xxz_anisotropy() {
+    let n = 6usize;
+    let kernel = xxz(&lattice::chain_bonds(n), 1.0, 0.4)
+        .to_kernel(n as u32)
+        .unwrap();
+    let group = lattice::chain_group(n, 3, None, None).unwrap();
+    let sector = SectorSpec::new(n as u32, Some(3), group).unwrap();
+    check_sector(&kernel, &sector);
+}
+
+#[test]
+fn square_lattice_two_dimensional_translations() {
+    let (lx, ly) = (2usize, 3usize);
+    let n = lx * ly;
+    let kernel = heisenberg(&lattice::square_bonds(lx, ly), 1.0)
+        .to_kernel(n as u32)
+        .unwrap();
+    for (kx, ky) in [(0i64, 0i64), (1, 0), (0, 1), (1, 2)] {
+        let group = SymmetryGroup::generate(&[
+            Generator::new(lattice::square_translation_x(lx, ly), kx),
+            Generator::new(lattice::square_translation_y(lx, ly), ky),
+        ])
+        .unwrap();
+        let sector = SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
+        check_sector(&kernel, &sector);
+    }
+}
+
+#[test]
+fn spectra_of_all_momentum_sectors_union_to_full_spectrum_dimension() {
+    // Dimensions of all momentum sectors partition the U(1) sector.
+    let n = 10usize;
+    let mut total = 0u64;
+    for k in 0..n as i64 {
+        let group = lattice::chain_group(n, k, None, None).unwrap();
+        let sector = SectorSpec::new(n as u32, Some(5), group).unwrap();
+        let basis = SpinBasis::build(sector.clone());
+        assert_eq!(basis.dim() as u64, sector.dimension());
+        total += basis.dim() as u64;
+    }
+    assert_eq!(total, 252);
+}

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the kernel layer (the Halide-generated
+//! layer of the paper).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ls_kernels::bits::FixedWeightRange;
+use ls_kernels::combinadics::BinomialTable;
+use ls_kernels::net::{apply_perm_naive, BenesNetwork};
+use ls_kernels::{hash64_01, locale_idx_of};
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    g.sample_size(20);
+    let states: Vec<u64> = FixedWeightRange::all(24, 12).take(10_000).collect();
+    g.bench_function("hash64_01_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &s in &states {
+                acc ^= hash64_01(black_box(s));
+            }
+            acc
+        })
+    });
+    g.bench_function("locale_idx_of_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &s in &states {
+                acc += locale_idx_of(black_box(s), 64);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_gosper(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gosper");
+    g.sample_size(20);
+    g.bench_function("enumerate_C(24,12)", |b| {
+        b.iter(|| {
+            let mut count = 0u64;
+            for s in FixedWeightRange::all(24, 12) {
+                count += black_box(s) & 1;
+            }
+            count
+        })
+    });
+    g.finish();
+}
+
+fn bench_combinadics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("combinadics");
+    g.sample_size(20);
+    let t = BinomialTable::new();
+    let states: Vec<u64> = FixedWeightRange::all(24, 12).take(10_000).collect();
+    g.bench_function("rank_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &s in &states {
+                acc = acc.wrapping_add(t.rank(black_box(s)));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_benes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("permutation");
+    g.sample_size(20);
+    // Chain translation on 48 sites (a realistic symmetry element).
+    let n = 48usize;
+    let source: Vec<usize> = (0..n).map(|j| (j + n - 1) % n).collect();
+    let net = BenesNetwork::new(&source);
+    let states: Vec<u64> = FixedWeightRange::all(24, 12).take(10_000).collect();
+    g.bench_function("benes_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &s in &states {
+                acc ^= net.apply(black_box(s));
+            }
+            acc
+        })
+    });
+    g.bench_function("naive_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &s in &states {
+                acc ^= apply_perm_naive(&source, black_box(s));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_gosper, bench_combinadics, bench_benes);
+criterion_main!(benches);

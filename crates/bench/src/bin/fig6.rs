@@ -1,0 +1,100 @@
+//! Fig. 6: conversion times between the block and hashed distributions.
+//!
+//! Part 1 projects the paper-scale systems (40/42 spins) with the
+//! performance model; the paper's stated property is that beyond 4
+//! locales both directions complete "well under a second".
+//!
+//! Part 2 runs the *real* conversion algorithms (Figs. 2 and 3) on the
+//! simulated cluster at laptop scale and verifies the exact roundtrip,
+//! reporting measured times and the instrumented traffic.
+//!
+//! ```sh
+//! cargo run --release -p ls-bench --bin fig6
+//! ```
+
+use ls_dist::convert::{hashed_masks, to_block};
+use ls_dist::{block_to_hashed, hashed_to_block};
+use ls_perfmodel::figures::{conversion_time, fig6_times};
+use ls_perfmodel::{ChainWorkload, MachineModel};
+use ls_runtime::{Cluster, ClusterSpec};
+
+fn main() {
+    let model = MachineModel::snellius_paper_calibrated();
+    let nodes = [1usize, 2, 4, 8, 16, 32];
+
+    for n_spins in [40usize, 42] {
+        let series = fig6_times(&model, n_spins, &nodes);
+        let rows: Vec<Vec<String>> = series
+            .iter()
+            .map(|p| {
+                vec![
+                    p.nodes.to_string(),
+                    ls_bench::fmt_secs(p.value),
+                    if p.nodes > 4 && p.value < 1.0 {
+                        "< 1 s ✓ (paper)".into()
+                    } else {
+                        String::new()
+                    },
+                ]
+            })
+            .collect();
+        ls_bench::print_table(
+            &format!(
+                "Fig. 6 (model): conversion time, {n_spins} spins (dim {})",
+                ChainWorkload::new(n_spins).dim as u64
+            ),
+            &["nodes", "time (either direction)", "paper check"],
+            &rows,
+        );
+    }
+    println!(
+        "\nmodel sanity: 42 spins at 1 node: {} (dominated by local streaming passes)",
+        ls_bench::fmt_secs(conversion_time(&model, &ChainWorkload::new(42), 1))
+    );
+
+    // ---- real small-scale execution ----
+    let n = 24usize;
+    let basis = ls_basis::SpinBasis::build(
+        ls_basis::SectorSpec::new(
+            n as u32,
+            Some(n as u32 / 2),
+            ls_symmetry::lattice::chain_group(n, 0, Some(0), Some(0)).unwrap(),
+        )
+        .unwrap(),
+    );
+    let data: Vec<f64> = (0..basis.dim()).map(|i| (i as f64).cos()).collect();
+    println!("\nreal runs: {n}-spin sector, dim {} (8-byte amplitudes)", basis.dim());
+    let mut rows = Vec::new();
+    for locales in [1usize, 2, 4, 8] {
+        let cluster = Cluster::new(ClusterSpec::new(locales, 1));
+        let states_block = to_block(basis.states(), locales);
+        let masks = hashed_masks(&cluster, &states_block);
+        let block = to_block(&data, locales);
+        let mut hashed = None;
+        let t_fwd = ls_bench::time_median(3, || {
+            hashed = Some(block_to_hashed(&cluster, &block, &masks, 8));
+        });
+        let hashed = hashed.unwrap();
+        let mut back = None;
+        let t_bwd = ls_bench::time_median(3, || {
+            back = Some(hashed_to_block(&cluster, &hashed, &masks, 8));
+        });
+        assert_eq!(back.unwrap().parts(), block.parts(), "roundtrip must be exact");
+        cluster.reset_stats();
+        let _ = block_to_hashed(&cluster, &block, &masks, 8);
+        let s = cluster.stats_total();
+        rows.push(vec![
+            locales.to_string(),
+            ls_bench::fmt_secs(t_fwd),
+            ls_bench::fmt_secs(t_bwd),
+            format!("{}", s.puts),
+            format!("{:.0} B", s.mean_message_bytes()),
+            "exact ✓".to_string(),
+        ]);
+    }
+    ls_bench::print_table(
+        "real simulated-cluster conversions (roundtrip verified bit-exact)",
+        &["locales", "block→hashed", "hashed→block", "remote puts", "mean msg", "roundtrip"],
+        &rows,
+    );
+}

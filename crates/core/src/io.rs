@@ -1,0 +1,262 @@
+//! Binary I/O for bases and wavefunctions.
+//!
+//! The paper keeps vectors in the hashed distribution internally and
+//! converts to the block distribution for I/O (Sec. 5.1); the same flow
+//! is available here: [`save_hashed_vector`] converts via
+//! [`ls_dist::hashed_to_block`] and writes the block parts in locale
+//! order, which yields a canonical on-disk representation independent of
+//! the locale count.
+//!
+//! Format (little-endian): magic `LSRS`, version u32, payload-specific
+//! header, raw data.
+
+use bytes::{Buf, BufMut};
+use ls_dist::DistSpinBasis;
+use ls_kernels::Scalar;
+use ls_runtime::{Cluster, DistVec};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"LSRS";
+const VERSION: u32 = 1;
+const KIND_VECTOR: u32 = 1;
+const KIND_BASIS: u32 = 2;
+
+/// Saves a plain (shared-memory) vector.
+pub fn save_vector<S: Scalar>(path: &Path, data: &[S]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(24 + data.len() * 8 * S::N_REALS);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(KIND_VECTOR);
+    buf.put_u32_le(S::N_REALS as u32);
+    buf.put_u64_le(data.len() as u64);
+    for v in data {
+        let reals = v.to_reals();
+        for lane in reals.iter().take(S::N_REALS) {
+            buf.put_f64_le(*lane);
+        }
+    }
+    fs::write(path, buf)
+}
+
+/// Loads a vector saved by [`save_vector`].
+pub fn load_vector<S: Scalar>(path: &Path) -> io::Result<Vec<S>> {
+    let raw = fs::read(path)?;
+    let mut buf = &raw[..];
+    check_header(&mut buf, KIND_VECTOR)?;
+    let lanes = buf.get_u32_le() as usize;
+    if lanes != S::N_REALS {
+        return Err(bad_data(format!(
+            "scalar width mismatch: file {lanes}, requested {}",
+            S::N_REALS
+        )));
+    }
+    let len = buf.get_u64_le() as usize;
+    if buf.remaining() < len * 8 * lanes {
+        return Err(bad_data("truncated vector data"));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let mut reals = [0.0f64; 2];
+        for lane in reals.iter_mut().take(lanes) {
+            *lane = buf.get_f64_le();
+        }
+        out.push(S::from_reals(reals));
+    }
+    Ok(out)
+}
+
+/// Saves a basis (states + orbit sizes + sector metadata).
+pub fn save_basis(
+    path: &Path,
+    n_sites: u32,
+    hamming_weight: Option<u32>,
+    states: &[u64],
+    orbit_sizes: &[u32],
+) -> io::Result<()> {
+    assert_eq!(states.len(), orbit_sizes.len());
+    let mut buf = Vec::with_capacity(32 + states.len() * 12);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(KIND_BASIS);
+    buf.put_u32_le(n_sites);
+    buf.put_i64_le(hamming_weight.map(|w| w as i64).unwrap_or(-1));
+    buf.put_u64_le(states.len() as u64);
+    for &s in states {
+        buf.put_u64_le(s);
+    }
+    for &o in orbit_sizes {
+        buf.put_u32_le(o);
+    }
+    fs::write(path, buf)
+}
+
+/// A basis loaded from disk.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadedBasis {
+    pub n_sites: u32,
+    pub hamming_weight: Option<u32>,
+    pub states: Vec<u64>,
+    pub orbit_sizes: Vec<u32>,
+}
+
+/// Loads a basis saved by [`save_basis`].
+pub fn load_basis(path: &Path) -> io::Result<LoadedBasis> {
+    let raw = fs::read(path)?;
+    let mut buf = &raw[..];
+    check_header(&mut buf, KIND_BASIS)?;
+    let n_sites = buf.get_u32_le();
+    let w = buf.get_i64_le();
+    let hamming_weight = if w < 0 { None } else { Some(w as u32) };
+    let len = buf.get_u64_le() as usize;
+    if buf.remaining() < len * 12 {
+        return Err(bad_data("truncated basis data"));
+    }
+    let states = (0..len).map(|_| buf.get_u64_le()).collect();
+    let orbit_sizes = (0..len).map(|_| buf.get_u32_le()).collect();
+    Ok(LoadedBasis { n_sites, hamming_weight, states, orbit_sizes })
+}
+
+/// Converts a hashed-distributed vector to the block distribution (the
+/// paper's Fig. 3 algorithm) and writes it as one canonical file.
+pub fn save_hashed_vector<S: Scalar>(
+    path: &Path,
+    cluster: &Cluster,
+    basis: &DistSpinBasis,
+    hashed: &DistVec<S>,
+) -> io::Result<()> {
+    let block = hashed_vector_to_block(cluster, basis, hashed);
+    save_vector(path, &block)
+}
+
+/// Gathers a hashed vector into the canonical (global basis order) dense
+/// form via the block distribution.
+pub fn hashed_vector_to_block<S: Scalar>(
+    cluster: &Cluster,
+    basis: &DistSpinBasis,
+    hashed: &DistVec<S>,
+) -> Vec<S> {
+    // Build the block-distributed list of states in global order, and the
+    // masks that say which locale holds each.
+    let all_states: Vec<u64> = {
+        // Per-locale lists are sorted; a k-way merge gives global order.
+        let mut cursors: Vec<usize> = vec![0; basis.n_locales()];
+        let mut out = Vec::with_capacity(basis.dim() as usize);
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for l in 0..basis.n_locales() {
+                let part = basis.states().part(l);
+                if cursors[l] < part.len() {
+                    let s = part[cursors[l]];
+                    if best.map(|(b, _)| s < b).unwrap_or(true) {
+                        best = Some((s, l));
+                    }
+                }
+            }
+            match best {
+                Some((s, l)) => {
+                    cursors[l] += 1;
+                    out.push(s);
+                }
+                None => break,
+            }
+        }
+        out
+    };
+    let masks: Vec<u16> = all_states
+        .iter()
+        .map(|&s| basis.owner(s) as u16)
+        .collect();
+    let masks_block = ls_dist::convert::to_block(&masks, cluster.n_locales());
+    let block = ls_dist::hashed_to_block(cluster, hashed, &masks_block, 4);
+    block.concat()
+}
+
+fn check_header(buf: &mut &[u8], expected_kind: u32) -> io::Result<()> {
+    if buf.remaining() < 12 {
+        return Err(bad_data("file too short"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad_data("bad magic"));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(bad_data(format!("unsupported version {version}")));
+    }
+    let kind = buf.get_u32_le();
+    if kind != expected_kind {
+        return Err(bad_data(format!("wrong payload kind {kind}")));
+    }
+    Ok(())
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_kernels::Complex64;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ls_core_io_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn vector_roundtrip_f64() {
+        let path = tmp("vec_f64");
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        save_vector(&path, &data).unwrap();
+        let back: Vec<f64> = load_vector(&path).unwrap();
+        assert_eq!(data, back); // bit-exact
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn vector_roundtrip_complex() {
+        let path = tmp("vec_c64");
+        let data: Vec<Complex64> =
+            (0..257).map(|i| Complex64::new(i as f64, -(i as f64) / 3.0)).collect();
+        save_vector(&path, &data).unwrap();
+        let back: Vec<Complex64> = load_vector(&path).unwrap();
+        assert_eq!(data, back);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scalar_width_mismatch_rejected() {
+        let path = tmp("vec_width");
+        save_vector::<f64>(&path, &[1.0, 2.0]).unwrap();
+        assert!(load_vector::<Complex64>(&path).is_err());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn basis_roundtrip() {
+        let path = tmp("basis");
+        let states = vec![0b0011u64, 0b0101, 0b1001];
+        let orbits = vec![4u32, 2, 4];
+        save_basis(&path, 4, Some(2), &states, &orbits).unwrap();
+        let back = load_basis(&path).unwrap();
+        assert_eq!(back.n_sites, 4);
+        assert_eq!(back.hamming_weight, Some(2));
+        assert_eq!(back.states, states);
+        assert_eq!(back.orbit_sizes, orbits);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_files_rejected() {
+        let path = tmp("corrupt");
+        fs::write(&path, b"not a valid file").unwrap();
+        assert!(load_vector::<f64>(&path).is_err());
+        assert!(load_basis(&path).is_err());
+        fs::remove_file(&path).ok();
+    }
+}

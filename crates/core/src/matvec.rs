@@ -1,0 +1,210 @@
+//! Shared-memory parallel matrix-vector products.
+//!
+//! Three strategies (the first two are the single-node analogues of the
+//! distributed pull/push formulations; `benches/ablation.rs` compares
+//! them):
+//!
+//! * **pull** — each output element gathers its row: `y[i] = Σ_j H_ij x_j`
+//!   via the Hermitian conjugate of the generated column. Race-free,
+//!   rayon over output chunks; random *reads* of `x`.
+//! * **push** — each input element scatters its column with atomic f64
+//!   adds; random *writes* to `y` (the formulation the distributed
+//!   producer/consumer pipeline uses).
+//! * **serial** — reference implementation.
+
+use ls_basis::{SpinBasis, SymmetrizedOperator};
+use ls_kernels::Scalar;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which shared-memory implementation [`crate::Operator`] uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum MatvecStrategy {
+    /// Gather formulation, rayon-parallel (default).
+    #[default]
+    PullParallel,
+    /// Scatter formulation with atomic accumulation.
+    PushAtomic,
+    /// Single-threaded reference.
+    Serial,
+}
+
+/// Pull: `y[β] = diag(β)·x[β] + Σ conj(amp)·x[rank(rep)]`.
+/// Requires a Hermitian operator.
+pub fn apply_pull<S: Scalar>(
+    op: &SymmetrizedOperator<S>,
+    basis: &SpinBasis,
+    x: &[S],
+    y: &mut [S],
+) {
+    assert!(op.is_hermitian(), "pull formulation requires Hermitian H");
+    let dim = basis.dim();
+    assert_eq!(x.len(), dim);
+    assert_eq!(y.len(), dim);
+    let chunk = (dim / (rayon::current_num_threads() * 8)).max(64);
+    y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+        let base = ci * chunk;
+        let mut row = Vec::with_capacity(op.max_row_entries());
+        for (k, out) in yc.iter_mut().enumerate() {
+            let j = base + k;
+            let beta = basis.state(j);
+            let mut acc = op.diagonal(beta) * x[j];
+            row.clear();
+            op.apply_off_diag(beta, basis.orbit_sizes()[j], &mut row);
+            for &(rep, amp) in &row {
+                let i = basis.index_of(rep).expect("state not in basis");
+                acc += amp.conj() * x[i];
+            }
+            *out = acc;
+        }
+    });
+}
+
+/// Push: `y[rank(rep)] += amp·x[α]` with atomic adds.
+pub fn apply_push<S: Scalar>(
+    op: &SymmetrizedOperator<S>,
+    basis: &SpinBasis,
+    x: &[S],
+    y: &mut [S],
+) {
+    let dim = basis.dim();
+    assert_eq!(x.len(), dim);
+    assert_eq!(y.len(), dim);
+    y.fill(S::ZERO);
+    // View y as atomic f64 lanes (same layout trick as the runtime's
+    // accumulation window).
+    let lanes = y.len() * S::N_REALS;
+    let y_atomic: &[AtomicU64] =
+        unsafe { std::slice::from_raw_parts(y.as_mut_ptr() as *const AtomicU64, lanes) };
+    let add = |index: usize, val: S| {
+        let reals = val.to_reals();
+        for lane in 0..S::N_REALS {
+            if reals[lane] == 0.0 {
+                continue;
+            }
+            let cell = &y_atomic[index * S::N_REALS + lane];
+            let mut cur = cell.load(Ordering::Relaxed);
+            loop {
+                let new = (f64::from_bits(cur) + reals[lane]).to_bits();
+                match cell.compare_exchange_weak(
+                    cur,
+                    new,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    };
+    let chunk = (dim / (rayon::current_num_threads() * 8)).max(64);
+    (0..dim)
+        .into_par_iter()
+        .with_min_len(chunk)
+        .for_each(|j| {
+            let alpha = basis.state(j);
+            let d = op.diagonal(alpha);
+            if d != S::ZERO {
+                add(j, d * x[j]);
+            }
+            let mut row = Vec::with_capacity(op.max_row_entries());
+            op.apply_off_diag(alpha, basis.orbit_sizes()[j], &mut row);
+            for &(rep, amp) in &row {
+                let i = basis.index_of(rep).expect("state not in basis");
+                add(i, amp * x[j]);
+            }
+        });
+}
+
+/// Serial reference (push formulation, no atomics).
+pub fn apply_serial<S: Scalar>(
+    op: &SymmetrizedOperator<S>,
+    basis: &SpinBasis,
+    x: &[S],
+    y: &mut [S],
+) {
+    let dim = basis.dim();
+    assert_eq!(x.len(), dim);
+    assert_eq!(y.len(), dim);
+    y.fill(S::ZERO);
+    let mut row = Vec::with_capacity(op.max_row_entries());
+    for j in 0..dim {
+        let alpha = basis.state(j);
+        y[j] += op.diagonal(alpha) * x[j];
+        row.clear();
+        op.apply_off_diag(alpha, basis.orbit_sizes()[j], &mut row);
+        for &(rep, amp) in &row {
+            let i = basis.index_of(rep).expect("state not in basis");
+            y[i] += amp * x[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_basis::SectorSpec;
+    use ls_expr::builders::{heisenberg, xxz};
+    use ls_kernels::Complex64;
+    use ls_symmetry::lattice;
+
+    fn random_vec(dim: usize, seed: u64) -> Vec<f64> {
+        (0..dim)
+            .map(|i| {
+                let h = ls_kernels::hash64_01(seed.wrapping_add(i as u64));
+                (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strategies_agree_real() {
+        let n = 12usize;
+        let group = lattice::chain_group(n, 0, Some(0), Some(0)).unwrap();
+        let sector = SectorSpec::new(n as u32, Some(6), group).unwrap();
+        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0)
+            .to_kernel(n as u32)
+            .unwrap();
+        let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
+        let basis = ls_basis::SpinBasis::build(sector);
+        let x = random_vec(basis.dim(), 3);
+        let mut y1 = vec![0.0; basis.dim()];
+        let mut y2 = vec![0.0; basis.dim()];
+        let mut y3 = vec![0.0; basis.dim()];
+        apply_pull(&op, &basis, &x, &mut y1);
+        apply_push(&op, &basis, &x, &mut y2);
+        apply_serial(&op, &basis, &x, &mut y3);
+        for i in 0..basis.dim() {
+            assert!((y1[i] - y3[i]).abs() < 1e-11);
+            assert!((y2[i] - y3[i]).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn strategies_agree_complex() {
+        let n = 10usize;
+        let group = lattice::chain_group(n, 3, None, None).unwrap();
+        let sector = SectorSpec::new(n as u32, Some(5), group).unwrap();
+        let kernel = xxz(&lattice::chain_bonds(n), 1.0, 0.7)
+            .to_kernel(n as u32)
+            .unwrap();
+        let op = SymmetrizedOperator::<Complex64>::new(&kernel, &sector).unwrap();
+        let basis = ls_basis::SpinBasis::build(sector);
+        let x: Vec<Complex64> = random_vec(basis.dim(), 7)
+            .into_iter()
+            .zip(random_vec(basis.dim(), 8))
+            .map(|(a, b)| Complex64::new(a, b))
+            .collect();
+        let mut y1 = vec![Complex64::ZERO; basis.dim()];
+        let mut y2 = vec![Complex64::ZERO; basis.dim()];
+        let mut y3 = vec![Complex64::ZERO; basis.dim()];
+        apply_pull(&op, &basis, &x, &mut y1);
+        apply_push(&op, &basis, &x, &mut y2);
+        apply_serial(&op, &basis, &x, &mut y3);
+        for i in 0..basis.dim() {
+            assert!(y1[i].approx_eq(y3[i], 1e-11), "{:?} vs {:?}", y1[i], y3[i]);
+            assert!(y2[i].approx_eq(y3[i], 1e-11));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Dense reference eigensolvers: cyclic Jacobi for real symmetric
+//! matrices, and complex Hermitian matrices via the standard real
+//! embedding. These are the oracles the fast solvers are tested against;
+//! they are `O(n^3)` per sweep and intended for `n ≲ 500`.
+
+use ls_kernels::Complex64;
+
+/// Eigen-decomposition of a real symmetric matrix (row-major `n×n`).
+/// Returns `(eigenvalues ascending, eigenvectors)`; `eigenvectors[k]` is
+/// the k-th (normalized) eigenvector.
+pub fn eigh_real(a: &[f64], n: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    assert_eq!(a.len(), n * n);
+    let mut a = a.to_vec();
+    // Symmetry check (cheap insurance against transposition bugs).
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let diff = (a[i * n + j] - a[j * n + i]).abs();
+            let scale = 1.0 + a[i * n + j].abs();
+            assert!(diff <= 1e-9 * scale, "matrix not symmetric at ({i},{j})");
+        }
+    }
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    let max_sweeps = 64;
+    for _sweep in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i * n + j] * a[i * n + j];
+            }
+        }
+        if off.sqrt() < 1e-14 * (1.0 + frobenius(&a, n)) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of A.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors (columns of V).
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&x, &y| a[x * n + x].total_cmp(&a[y * n + y]));
+    let vals: Vec<f64> = order.iter().map(|&i| a[i * n + i]).collect();
+    let vecs: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&col| (0..n).map(|row| v[row * n + col]).collect())
+        .collect();
+    (vals, vecs)
+}
+
+fn frobenius(a: &[f64], n: usize) -> f64 {
+    a.iter().take(n * n).map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Eigenvalues (ascending) of a complex Hermitian matrix via the real
+/// embedding `[[A, -B], [B, A]]` of `H = A + iB`; each eigenvalue of `H`
+/// appears twice in the embedding, so we return every other one.
+pub fn eigvals_hermitian(h: &[Complex64], n: usize) -> Vec<f64> {
+    assert_eq!(h.len(), n * n);
+    // Hermiticity check.
+    for i in 0..n {
+        for j in 0..n {
+            let d = h[i * n + j] - h[j * n + i].conj();
+            assert!(d.abs() <= 1e-9 * (1.0 + h[i * n + j].abs()), "not Hermitian");
+        }
+    }
+    let m = 2 * n;
+    let mut e = vec![0.0f64; m * m];
+    for i in 0..n {
+        for j in 0..n {
+            let z = h[i * n + j];
+            e[i * m + j] = z.re; // A
+            e[(i + n) * m + (j + n)] = z.re; // A
+            e[i * m + (j + n)] = -z.im; // -B
+            e[(i + n) * m + j] = z.im; // B
+        }
+    }
+    let (vals, _) = eigh_real(&e, m);
+    // Doubled spectrum: take pairs.
+    let mut out = Vec::with_capacity(n);
+    let mut k = 0;
+    while k + 1 < m {
+        // Consecutive entries must match (degenerate pair from embedding).
+        debug_assert!(
+            (vals[k] - vals[k + 1]).abs() < 1e-6 * (1.0 + vals[k].abs()),
+            "embedding pair mismatch: {} vs {}",
+            vals[k],
+            vals[k + 1]
+        );
+        out.push(0.5 * (vals[k] + vals[k + 1]));
+        k += 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two() {
+        // [[2, 1], [1, 2]]: eigenvalues 1 and 3.
+        let (vals, vecs) = eigh_real(&[2.0, 1.0, 1.0, 2.0], 2);
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] - 3.0).abs() < 1e-12);
+        // Eigenvector for λ=1 is (1,-1)/√2 up to sign.
+        let v = &vecs[0];
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v[0] + v[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residuals_on_random_symmetric() {
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = ls_kernels::hash64_01(seed.wrapping_add(1));
+            (seed >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        for n in [3usize, 8, 25] {
+            let mut a = vec![0.0f64; n * n];
+            for i in 0..n {
+                for j in i..n {
+                    let x = next();
+                    a[i * n + j] = x;
+                    a[j * n + i] = x;
+                }
+            }
+            let (vals, vecs) = eigh_real(&a, n);
+            for (lam, v) in vals.iter().zip(&vecs) {
+                // ||A v - λ v||
+                let mut res = 0.0;
+                for i in 0..n {
+                    let mut av = 0.0;
+                    for j in 0..n {
+                        av += a[i * n + j] * v[j];
+                    }
+                    res += (av - lam * v[i]) * (av - lam * v[i]);
+                }
+                assert!(res.sqrt() < 1e-9, "residual {}", res.sqrt());
+            }
+            // Orthonormality.
+            for i in 0..n {
+                for j in 0..n {
+                    let d: f64 = vecs[i].iter().zip(&vecs[j]).map(|(a, b)| a * b).sum();
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    assert!((d - expect).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_embedding() {
+        // H = [[1, i], [-i, 1]]: eigenvalues 0 and 2.
+        let h = vec![
+            Complex64::new(1.0, 0.0),
+            Complex64::new(0.0, 1.0),
+            Complex64::new(0.0, -1.0),
+            Complex64::new(1.0, 0.0),
+        ];
+        let vals = eigvals_hermitian(&h, 2);
+        assert!((vals[0] - 0.0).abs() < 1e-10);
+        assert!((vals[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = vec![3.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 5.0];
+        let (vals, _) = eigh_real(&a, 3);
+        assert_eq!(vals, vec![-1.0, 3.0, 5.0]);
+    }
+}

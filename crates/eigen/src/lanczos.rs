@@ -1,0 +1,367 @@
+//! Lanczos with full reorthogonalization.
+//!
+//! Plain three-term Lanczos loses orthogonality in floating point (ghost
+//! eigenvalues); since our Krylov dimensions are modest (≲ a few hundred)
+//! we keep all basis vectors and reorthogonalize every new vector twice
+//! ("twice is enough", Kahan–Parlett). Memory is `m · dim` scalars, which
+//! is the same trade the real `lattice-symmetries` makes for robustness.
+
+use crate::op::{axpy, dot, norm, scale, LinearOp};
+use crate::tridiag::tridiag_eigh;
+use ls_kernels::Scalar;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for [`lanczos_smallest`].
+#[derive(Clone, Debug)]
+pub struct LanczosOptions {
+    /// Maximum Krylov dimension.
+    pub max_iter: usize,
+    /// Convergence threshold on the Ritz residual estimate
+    /// `|β_m · y_m[k]|` relative to the spectral scale.
+    pub tol: f64,
+    /// Seed for the random start vector (deterministic by default).
+    pub seed: u64,
+    /// Compute Ritz vectors?
+    pub want_vectors: bool,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        Self { max_iter: 300, tol: 1e-10, seed: 0x5eed, want_vectors: false }
+    }
+}
+
+/// Result of a Lanczos run.
+#[derive(Clone, Debug)]
+pub struct LanczosResult<S> {
+    /// The `k` smallest Ritz values, ascending.
+    pub eigenvalues: Vec<f64>,
+    /// Ritz vectors (if requested), aligned with `eigenvalues`.
+    pub eigenvectors: Option<Vec<Vec<S>>>,
+    /// Krylov dimension actually used.
+    pub iterations: usize,
+    /// Final residual estimates per returned eigenvalue.
+    pub residuals: Vec<f64>,
+    /// Did all `k` pairs meet the tolerance?
+    pub converged: bool,
+}
+
+/// Computes the `k` smallest eigenpairs of a Hermitian operator.
+///
+/// # Panics
+/// Panics if `k == 0`, `k > op.dim()` or the operator reports itself
+/// non-Hermitian.
+pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
+    op: &Op,
+    k: usize,
+    opts: &LanczosOptions,
+) -> LanczosResult<S> {
+    let n = op.dim();
+    assert!(k >= 1, "need at least one eigenpair");
+    assert!(k <= n, "k = {k} exceeds dimension {n}");
+    assert!(op.is_hermitian(), "Lanczos requires a Hermitian operator");
+    let m_max = opts.max_iter.min(n).max(k + 1).min(n);
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut v0 = vec![S::ZERO; n];
+    random_fill(&mut v0, &mut rng);
+    let nrm = norm(&v0);
+    scale(&mut v0, 1.0 / nrm);
+
+    let mut basis: Vec<Vec<S>> = vec![v0];
+    let mut alphas: Vec<f64> = Vec::new();
+    let mut betas: Vec<f64> = Vec::new();
+    let mut w = vec![S::ZERO; n];
+
+    let mut converged = false;
+    let mut last_check: (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+
+    for j in 0..m_max {
+        let vj = basis[j].clone();
+        op.apply(&vj, &mut w);
+        let alpha = dot(&vj, &w).re();
+        alphas.push(alpha);
+        axpy(S::from_re(-alpha), &vj, &mut w);
+        if j > 0 {
+            let beta_prev = betas[j - 1];
+            let vjm = basis[j - 1].clone();
+            axpy(S::from_re(-beta_prev), &vjm, &mut w);
+        }
+        // Full reorthogonalization, two passes.
+        for _pass in 0..2 {
+            for vb in &basis {
+                let c = dot(vb, &w);
+                axpy(-c, vb, &mut w);
+            }
+        }
+        let beta = norm(&w);
+
+        // Convergence test on the projected problem.
+        if alphas.len() >= k {
+            let (vals, vecs) = tridiag_eigh(&alphas, &betas, true);
+            let vecs = vecs.unwrap();
+            let m = alphas.len();
+            let spectral_scale = vals
+                .iter()
+                .fold(0.0f64, |acc, v| acc.max(v.abs()))
+                .max(1e-300);
+            let residuals: Vec<f64> = (0..k)
+                .map(|i| (beta * vecs[i][m - 1]).abs())
+                .collect();
+            let ok = residuals.iter().all(|r| *r <= opts.tol * spectral_scale);
+            last_check = (vals[..k].to_vec(), residuals);
+            if ok {
+                converged = true;
+                break;
+            }
+        }
+
+        if beta <= 1e-13 {
+            // Invariant subspace found. If we already have k values we are
+            // exactly converged; otherwise restart with a fresh random
+            // direction orthogonal to the current basis.
+            if alphas.len() >= k {
+                converged = true;
+                break;
+            }
+            let mut fresh = vec![S::ZERO; n];
+            random_fill(&mut fresh, &mut rng);
+            for _pass in 0..2 {
+                for vb in &basis {
+                    let c = dot(vb, &fresh);
+                    axpy(-c, vb, &mut fresh);
+                }
+            }
+            let nf = norm(&fresh);
+            assert!(nf > 1e-12, "could not extend Krylov basis");
+            scale(&mut fresh, 1.0 / nf);
+            betas.push(0.0);
+            basis.push(fresh);
+            continue;
+        }
+
+        if basis.len() == m_max {
+            break;
+        }
+        betas.push(beta);
+        scale(&mut w, 1.0 / beta);
+        basis.push(w.clone());
+    }
+
+    // Final projected solve (covers the path where the loop ended without
+    // a convergence check).
+    let (vals, tvecs) = tridiag_eigh(&alphas, &betas, true);
+    let tvecs = tvecs.unwrap();
+    let m = alphas.len();
+    let k_eff = k.min(m);
+    let eigenvalues: Vec<f64> = vals[..k_eff].to_vec();
+    let residuals = if last_check.0.len() == k_eff {
+        last_check.1
+    } else {
+        vec![f64::NAN; k_eff]
+    };
+
+    let eigenvectors = if opts.want_vectors {
+        let mut out = Vec::with_capacity(k_eff);
+        for i in 0..k_eff {
+            let mut x = vec![S::ZERO; n];
+            for (j, vb) in basis.iter().take(m).enumerate() {
+                axpy(S::from_re(tvecs[i][j]), vb, &mut x);
+            }
+            let nx = norm(&x);
+            scale(&mut x, 1.0 / nx);
+            out.push(x);
+        }
+        Some(out)
+    } else {
+        None
+    };
+
+    LanczosResult {
+        eigenvalues,
+        eigenvectors,
+        iterations: m,
+        residuals,
+        converged,
+    }
+}
+
+fn random_fill<S: Scalar>(v: &mut [S], rng: &mut StdRng) {
+    for x in v.iter_mut() {
+        let re: f64 = rng.gen_range(-1.0..1.0);
+        let im: f64 = if S::N_REALS == 2 { rng.gen_range(-1.0..1.0) } else { 0.0 };
+        *x = S::from_reals([re, im]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::eigh_real;
+    use crate::op::DenseOp;
+    use ls_kernels::Complex64;
+
+    fn random_symmetric(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed;
+        let mut next = move || {
+            s = ls_kernels::hash64_01(s.wrapping_add(1));
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let x = next();
+                a[i * n + j] = x;
+                a[j * n + i] = x;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn matches_jacobi_on_dense_symmetric() {
+        let n = 60;
+        let a = random_symmetric(n, 7);
+        let (expect, _) = eigh_real(&a, n);
+        let op = DenseOp::new(n, a);
+        let res = lanczos_smallest(
+            &op,
+            4,
+            &LanczosOptions { max_iter: n, tol: 1e-11, ..Default::default() },
+        );
+        assert!(res.converged, "residuals: {:?}", res.residuals);
+        for i in 0..4 {
+            assert!(
+                (res.eigenvalues[i] - expect[i]).abs() < 1e-8,
+                "λ{i}: {} vs {}",
+                res.eigenvalues[i],
+                expect[i]
+            );
+        }
+    }
+
+    #[test]
+    fn ritz_vectors_have_small_residuals() {
+        let n = 40;
+        let a = random_symmetric(n, 99);
+        let op = DenseOp::new(n, a.clone());
+        let res = lanczos_smallest(
+            &op,
+            3,
+            &LanczosOptions {
+                max_iter: n,
+                tol: 1e-11,
+                want_vectors: true,
+                ..Default::default()
+            },
+        );
+        let vecs = res.eigenvectors.unwrap();
+        for (lam, v) in res.eigenvalues.iter().zip(&vecs) {
+            let mut av = vec![0.0f64; n];
+            op.apply(v, &mut av);
+            let res_norm: f64 = av
+                .iter()
+                .zip(v)
+                .map(|(x, y)| (x - lam * y) * (x - lam * y))
+                .sum::<f64>()
+                .sqrt();
+            assert!(res_norm < 1e-7, "residual {res_norm}");
+        }
+    }
+
+    #[test]
+    fn complex_hermitian_operator() {
+        // H = [[1, i], [-i, 1]] ⊗ I_10 + diagonal perturbation.
+        let n = 20;
+        let mut h = vec![Complex64::ZERO; n * n];
+        for b in 0..10 {
+            let (i, j) = (2 * b, 2 * b + 1);
+            h[i * n + i] = Complex64::new(1.0 + 0.01 * b as f64, 0.0);
+            h[j * n + j] = Complex64::new(1.0 + 0.01 * b as f64, 0.0);
+            h[i * n + j] = Complex64::I;
+            h[j * n + i] = -Complex64::I;
+        }
+        let expect = crate::jacobi::eigvals_hermitian(&h, n);
+        let op = DenseOp::new(n, h);
+        let res = lanczos_smallest(
+            &op,
+            3,
+            &LanczosOptions { max_iter: n, tol: 1e-11, ..Default::default() },
+        );
+        for i in 0..3 {
+            assert!(
+                (res.eigenvalues[i] - expect[i]).abs() < 1e-8,
+                "{} vs {}",
+                res.eigenvalues[i],
+                expect[i]
+            );
+        }
+    }
+
+    #[test]
+    fn small_dimension_edge_cases() {
+        // dim == 1.
+        let op = DenseOp::new(1, vec![4.2]);
+        let res = lanczos_smallest(&op, 1, &LanczosOptions::default());
+        assert!((res.eigenvalues[0] - 4.2).abs() < 1e-12);
+        // k == dim.
+        let op = DenseOp::new(3, vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0]);
+        let res = lanczos_smallest(&op, 3, &LanczosOptions::default());
+        assert!((res.eigenvalues[0] - 1.0).abs() < 1e-10);
+        assert!((res.eigenvalues[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_spectrum_with_restart() {
+        // Two distinct eigenvalues force an invariant subspace after two
+        // steps, exercising the random-restart path. Lanczos guarantees
+        // the returned values are *true* eigenvalues and includes the
+        // smallest one; it does not guarantee full multiplicity counts
+        // (that would need a block method).
+        let n = 30;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            a[i * n + i] = if i < 3 { -1.0 } else { 2.0 };
+        }
+        let op = DenseOp::new(n, a);
+        let res = lanczos_smallest(
+            &op,
+            4,
+            &LanczosOptions { max_iter: n, ..Default::default() },
+        );
+        assert!((res.eigenvalues[0] + 1.0).abs() < 1e-9);
+        // Every returned value is in the true spectrum {-1, 2}.
+        for v in &res.eigenvalues {
+            assert!(
+                (v + 1.0).abs() < 1e-9 || (v - 2.0).abs() < 1e-9,
+                "spurious eigenvalue {v}"
+            );
+        }
+        // The restart path produced at least two copies of -1.
+        let copies = res.eigenvalues.iter().filter(|v| (*v + 1.0).abs() < 1e-9).count();
+        assert!(copies >= 2, "eigenvalues: {:?}", res.eigenvalues);
+    }
+
+    #[test]
+    fn identity_operator_restarts_to_k_values() {
+        let n = 10;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let op = DenseOp::new(n, a);
+        let res = lanczos_smallest(&op, 3, &LanczosOptions::default());
+        assert_eq!(res.eigenvalues.len(), 3);
+        for v in &res.eigenvalues {
+            assert!((v - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds dimension")]
+    fn k_too_large_panics() {
+        let op = DenseOp::new(2, vec![1.0, 0.0, 0.0, 1.0]);
+        let _ = lanczos_smallest(&op, 3, &LanczosOptions::default());
+    }
+}

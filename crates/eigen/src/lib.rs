@@ -1,0 +1,31 @@
+//! # ls-eigen
+//!
+//! Krylov eigensolvers for the exact-diagonalization stack.
+//!
+//! Exact diagonalization ultimately asks for a few extreme eigenpairs of a
+//! huge Hermitian matrix; the paper (Sec. 2.1) points to Krylov subspace
+//! methods as the standard tool, with the matrix-vector product (this
+//! workspace's centrepiece) as the only operation touching the operator.
+//!
+//! This crate provides:
+//! * [`LinearOp`] — the minimal matrix-free operator interface;
+//! * [`lanczos::lanczos_smallest`] — Lanczos with full reorthogonalization
+//!   and Ritz-residual convergence control;
+//! * [`tridiag::tridiag_eigh`] — implicit-shift QL for the projected
+//!   tridiagonal problem (no LAPACK available offline, so this is a
+//!   from-scratch implementation);
+//! * [`jacobi`] — dense cyclic-Jacobi reference solvers (real symmetric
+//!   and complex Hermitian via real embedding) used to validate everything
+//!   else.
+
+pub mod expm;
+pub mod jacobi;
+pub mod lanczos;
+pub mod op;
+pub mod spectral;
+pub mod tridiag;
+
+pub use expm::{evolve_imaginary_time, evolve_real_time};
+pub use lanczos::{lanczos_smallest, LanczosOptions, LanczosResult};
+pub use op::{DenseOp, LinearOp};
+pub use spectral::{spectral_coefficients, SpectralCoefficients};

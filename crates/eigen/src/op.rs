@@ -1,0 +1,143 @@
+//! The matrix-free operator interface.
+
+use ls_kernels::Scalar;
+
+/// A linear operator `A` acting on vectors of scalars `S`.
+///
+/// Implementations must be thread-safe (`Sync`): eigensolvers may call
+/// `apply` from parallel contexts.
+pub trait LinearOp<S: Scalar>: Sync {
+    /// Dimension of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// Computes `y = A x`. `x.len() == y.len() == self.dim()`; `y` arrives
+    /// zero-filled or with arbitrary content and must be overwritten.
+    fn apply(&self, x: &[S], y: &mut [S]);
+
+    /// True when the operator is Hermitian. Lanczos requires it.
+    fn is_hermitian(&self) -> bool {
+        true
+    }
+}
+
+/// A dense (row-major) matrix operator — the reference implementation and
+/// test scaffold.
+#[derive(Clone, Debug)]
+pub struct DenseOp<S> {
+    n: usize,
+    a: Vec<S>, // row-major n×n
+}
+
+impl<S: Scalar> DenseOp<S> {
+    pub fn new(n: usize, a: Vec<S>) -> Self {
+        assert_eq!(a.len(), n * n);
+        Self { n, a }
+    }
+
+    pub fn from_rows(rows: &[Vec<S>]) -> Self {
+        let n = rows.len();
+        let mut a = Vec::with_capacity(n * n);
+        for r in rows {
+            assert_eq!(r.len(), n);
+            a.extend_from_slice(r);
+        }
+        Self { n, a }
+    }
+
+    pub fn entry(&self, i: usize, j: usize) -> S {
+        self.a[i * self.n + j]
+    }
+}
+
+impl<S: Scalar> LinearOp<S> for DenseOp<S> {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[S], y: &mut [S]) {
+        debug_assert_eq!(x.len(), self.n);
+        debug_assert_eq!(y.len(), self.n);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.a[i * self.n..(i + 1) * self.n];
+            let mut acc = S::ZERO;
+            for (aij, xj) in row.iter().zip(x) {
+                acc += *aij * *xj;
+            }
+            *yi = acc;
+        }
+    }
+}
+
+/// Hermitian inner product `⟨a, b⟩ = Σ conj(a_i) b_i`.
+#[inline]
+pub fn dot<S: Scalar>(a: &[S], b: &[S]) -> S {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = S::ZERO;
+    for (x, y) in a.iter().zip(b) {
+        acc += x.conj() * *y;
+    }
+    acc
+}
+
+/// Squared 2-norm (always real).
+#[inline]
+pub fn norm_sqr<S: Scalar>(a: &[S]) -> f64 {
+    a.iter().map(|x| x.abs_sqr()).sum()
+}
+
+/// 2-norm.
+#[inline]
+pub fn norm<S: Scalar>(a: &[S]) -> f64 {
+    norm_sqr(a).sqrt()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// `x *= alpha` (real scale).
+#[inline]
+pub fn scale<S: Scalar>(x: &mut [S], alpha: f64) {
+    for xi in x.iter_mut() {
+        *xi = xi.scale_re(alpha);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_kernels::Complex64;
+
+    #[test]
+    fn dense_apply() {
+        let a = DenseOp::new(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut y = vec![0.0; 2];
+        a.apply(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn blas1_helpers() {
+        let a = vec![1.0, -2.0, 2.0];
+        assert_eq!(norm_sqr(&a), 9.0);
+        assert_eq!(norm(&a), 3.0);
+        assert_eq!(dot(&a, &a), 9.0);
+        let mut y = vec![0.0, 1.0, 0.0];
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, vec![2.0, -3.0, 4.0]);
+        scale(&mut y, 0.5);
+        assert_eq!(y, vec![1.0, -1.5, 2.0]);
+    }
+
+    #[test]
+    fn complex_dot_conjugates_left() {
+        let a = vec![Complex64::new(0.0, 1.0)];
+        let b = vec![Complex64::new(0.0, 1.0)];
+        // ⟨i, i⟩ = conj(i)·i = 1.
+        assert!(dot(&a, &b).approx_eq(Complex64::ONE, 1e-15));
+    }
+}

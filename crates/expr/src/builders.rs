@@ -1,0 +1,152 @@
+//! Convenience constructors for common Hamiltonians.
+
+use crate::ast::{sminus, splus, sx, sz, Expr};
+
+/// The Heisenberg exchange on one bond:
+/// `S_i · S_j = (S+_i S-_j + S-_i S+_j)/2 + Sz_i Sz_j`.
+pub fn heisenberg_bond(i: u16, j: u16) -> Expr {
+    Expr::scalar(0.5) * (splus(i) * sminus(j) + sminus(i) * splus(j))
+        + sz(i) * sz(j)
+}
+
+/// Antiferromagnetic Heisenberg model `H = J Σ_bonds S_i · S_j`.
+///
+/// With `j = 1` and the closed-chain bond list this is exactly the paper's
+/// benchmark Hamiltonian.
+pub fn heisenberg(bonds: &[(usize, usize)], j: f64) -> Expr {
+    let mut terms = Vec::with_capacity(bonds.len());
+    for &(a, b) in bonds {
+        terms.push(j * heisenberg_bond(a as u16, b as u16));
+    }
+    Expr::Sum(terms)
+}
+
+/// One XXZ bond: `(S+_i S-_j + S-_i S+_j)·jxy/2 + Δ·Sz_i Sz_j`.
+pub fn xxz_bond(i: u16, j: u16, jxy: f64, delta: f64) -> Expr {
+    Expr::scalar(0.5 * jxy) * (splus(i) * sminus(j) + sminus(i) * splus(j))
+        + delta * (sz(i) * sz(j))
+}
+
+/// XXZ model over a bond list.
+pub fn xxz(bonds: &[(usize, usize)], jxy: f64, delta: f64) -> Expr {
+    let mut terms = Vec::with_capacity(bonds.len());
+    for &(a, b) in bonds {
+        terms.push(xxz_bond(a as u16, b as u16, jxy, delta));
+    }
+    Expr::Sum(terms)
+}
+
+/// Ising `ZZ` coupling `J Σ Sz_i Sz_j` over bonds.
+pub fn ising_zz(bonds: &[(usize, usize)], j: f64) -> Expr {
+    let mut terms = Vec::with_capacity(bonds.len());
+    for &(a, b) in bonds {
+        terms.push(j * (sz(a as u16) * sz(b as u16)));
+    }
+    Expr::Sum(terms)
+}
+
+/// Transverse field `h Σ_i Sx_i` over `n` sites (breaks U(1); used by the
+/// transverse-field Ising example).
+pub fn transverse_field(n_sites: usize, h: f64) -> Expr {
+    let mut terms = Vec::with_capacity(n_sites);
+    for i in 0..n_sites {
+        terms.push(h * sx(i as u16));
+    }
+    Expr::Sum(terms)
+}
+
+/// The total-spin operator `S² = (Σ_i S_i)·(Σ_j S_j)`.
+///
+/// Commutes with any SU(2)-symmetric Hamiltonian; its eigenvalues are
+/// `s(s+1)`. Useful as a diagnostic observable: the ground state of the
+/// antiferromagnetic Heisenberg chain is a singlet (`⟨S²⟩ = 0`).
+pub fn total_spin_squared(n_sites: usize) -> Expr {
+    let mut terms = Vec::with_capacity(n_sites * n_sites);
+    for i in 0..n_sites as u16 {
+        for j in 0..n_sites as u16 {
+            if i == j {
+                // S_i · S_i = 3/4 for spin-1/2.
+                terms.push(Expr::scalar(0.75));
+            } else {
+                terms.push(heisenberg_bond(i, j));
+            }
+        }
+    }
+    Expr::Sum(terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heisenberg_is_hermitian_and_u1() {
+        let bonds = [(0usize, 1usize), (1, 2), (2, 0)];
+        let k = heisenberg(&bonds, 1.0).to_kernel(3).unwrap();
+        assert!(k.is_hermitian(1e-12));
+        assert!(k.conserves_hamming_weight());
+        // One Walsh monomial per bond, two channels per bond.
+        assert_eq!(k.diagonal_monomials().len(), 3);
+        assert_eq!(k.channels().len(), 6);
+    }
+
+    #[test]
+    fn xxz_reduces_to_heisenberg() {
+        let bonds = [(0usize, 1usize)];
+        let a = xxz(&bonds, 1.0, 1.0).to_kernel(2).unwrap();
+        let b = heisenberg(&bonds, 1.0).to_kernel(2).unwrap();
+        assert!(a.approx_eq(&b, 1e-14));
+    }
+
+    #[test]
+    fn transverse_field_breaks_u1() {
+        let k = transverse_field(3, 0.7).to_kernel(3).unwrap();
+        assert!(!k.conserves_hamming_weight());
+        assert!(k.is_hermitian(1e-12));
+        assert_eq!(k.channels().len(), 6); // one raise + one lower per site
+    }
+
+    #[test]
+    fn ising_is_diagonal() {
+        let k = ising_zz(&[(0, 1), (1, 2)], 2.0).to_kernel(3).unwrap();
+        assert!(k.channels().is_empty());
+        assert_eq!(k.diagonal_monomials().len(), 2);
+    }
+
+    #[test]
+    fn total_spin_squared_on_two_sites() {
+        // Two spins: S² has eigenvalues 0 (singlet) and 2 (triplet).
+        let k = total_spin_squared(2).to_kernel(2).unwrap();
+        let d = k.to_dense();
+        // Triplet |↑↑⟩: S² = 2.
+        assert!(d[3][3].approx_eq(ls_kernels::Complex64::from(2.0), 1e-12));
+        // On the |↑↓⟩/|↓↑⟩ block: [[1, 1], [1, 1]] — eigenvalues 0 and 2.
+        assert!(d[1][1].approx_eq(ls_kernels::Complex64::from(1.0), 1e-12));
+        assert!(d[1][2].approx_eq(ls_kernels::Complex64::from(1.0), 1e-12));
+        assert!(k.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn total_spin_commutes_with_heisenberg() {
+        let n = 4;
+        let h = heisenberg(&[(0, 1), (1, 2), (2, 3), (3, 0)], 1.0)
+            .to_kernel(n)
+            .unwrap();
+        let s2 = total_spin_squared(n as usize).to_kernel(n).unwrap();
+        // [H, S²] = 0: compare dense products.
+        let hd = h.to_dense();
+        let sd = s2.to_dense();
+        let dim = 1usize << n;
+        for i in 0..dim {
+            for j in 0..dim {
+                let mut hs = ls_kernels::Complex64::ZERO;
+                let mut sh = ls_kernels::Complex64::ZERO;
+                for k in 0..dim {
+                    hs += hd[i][k] * sd[k][j];
+                    sh += sd[i][k] * hd[k][j];
+                }
+                assert!(hs.approx_eq(sh, 1e-10), "[H,S²] != 0 at ({i},{j})");
+            }
+        }
+    }
+}

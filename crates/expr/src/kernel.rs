@@ -1,0 +1,446 @@
+//! The executable matrix-free operator representation.
+//!
+//! An [`OperatorKernel`] answers one question fast: *given a basis state
+//! `|α⟩`, what are the non-zero entries `⟨β|H|α⟩`?* That is the paper's
+//! `getRow` (by Hermiticity, rows and columns coincide up to conjugation).
+//!
+//! The kernel has two parts:
+//!
+//! * **diagonal** — a Walsh polynomial `Σ_m c_m Π_{i ∈ zmask_m} z_i` where
+//!   `z_i = ±1` is the `σz` eigenvalue of site `i`. Evaluating it is a few
+//!   popcounts per monomial, branch-free.
+//! * **off-diagonal** — scattering [`Channel`]s: `(c, sites, in, out)`
+//!   fires on `|α⟩` iff the bits of `α` on `sites` equal `in`, producing
+//!   `|β⟩ = α ^ (in ^ out)` with amplitude `c`.
+
+use ls_kernels::Complex64;
+
+/// One Walsh monomial of the diagonal part: `coeff · Π_{i∈zmask} z_i`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ZMonomial {
+    pub coeff: Complex64,
+    pub zmask: u64,
+}
+
+/// One off-diagonal scattering channel.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Channel {
+    /// Amplitude `⟨β|H|α⟩` contributed when the channel fires.
+    pub coeff: Complex64,
+    /// Mask of the sites the channel inspects/modifies.
+    pub sites: u64,
+    /// Required input bit pattern on `sites`.
+    pub in_pat: u64,
+    /// Output bit pattern on `sites` (`!= in_pat`).
+    pub out_pat: u64,
+}
+
+impl Channel {
+    /// XOR mask turning a matching input state into the output state.
+    #[inline]
+    pub fn flip_mask(&self) -> u64 {
+        self.in_pat ^ self.out_pat
+    }
+}
+
+/// Compiled matrix-free operator. Build one with
+/// [`crate::Expr::to_kernel`].
+#[derive(Clone, Debug)]
+pub struct OperatorKernel {
+    n_sites: u32,
+    diag: Vec<ZMonomial>,
+    offdiag: Vec<Channel>,
+}
+
+impl OperatorKernel {
+    pub(crate) fn from_parts(
+        n_sites: u32,
+        mut diag: Vec<ZMonomial>,
+        mut offdiag: Vec<Channel>,
+    ) -> Self {
+        // Canonical order: cheap determinism for tests and reproducibility.
+        diag.sort_by_key(|m| m.zmask);
+        offdiag.sort_by_key(|c| (c.sites, c.in_pat, c.out_pat));
+        Self { n_sites, diag, offdiag }
+    }
+
+    /// The identity-free zero operator on `n_sites` sites.
+    pub fn zero(n_sites: u32) -> Self {
+        Self { n_sites, diag: Vec::new(), offdiag: Vec::new() }
+    }
+
+    pub fn n_sites(&self) -> u32 {
+        self.n_sites
+    }
+
+    pub fn diagonal_monomials(&self) -> &[ZMonomial] {
+        &self.diag
+    }
+
+    pub fn channels(&self) -> &[Channel] {
+        &self.offdiag
+    }
+
+    /// Maximum number of off-diagonal entries a single row can have.
+    pub fn max_row_entries(&self) -> usize {
+        self.offdiag.len()
+    }
+
+    /// Evaluates the diagonal entry `⟨α|H|α⟩`.
+    #[inline]
+    pub fn diagonal(&self, alpha: u64) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for m in &self.diag {
+            // Π_{i∈zmask} z_i = (-1)^{# of down spins within zmask}.
+            let downs = (!alpha & m.zmask).count_ones();
+            if downs & 1 == 0 {
+                acc += m.coeff;
+            } else {
+                acc -= m.coeff;
+            }
+        }
+        acc
+    }
+
+    /// Appends all off-diagonal entries of the row of `|α⟩` to `out` as
+    /// `(β, ⟨β|H|α⟩)` pairs. Does not clear `out`.
+    #[inline]
+    pub fn off_diagonal(&self, alpha: u64, out: &mut Vec<(u64, Complex64)>) {
+        for ch in &self.offdiag {
+            if alpha & ch.sites == ch.in_pat {
+                out.push((alpha ^ ch.flip_mask(), ch.coeff));
+            }
+        }
+    }
+
+    /// Full row: diagonal plus off-diagonal entries. Mostly a convenience
+    /// for tests; hot paths use the split accessors.
+    pub fn row(&self, alpha: u64) -> Vec<(u64, Complex64)> {
+        let mut out = Vec::with_capacity(1 + self.offdiag.len());
+        let d = self.diagonal(alpha);
+        if d != Complex64::ZERO {
+            out.push((alpha, d));
+        }
+        self.off_diagonal(alpha, &mut out);
+        out
+    }
+
+    /// Does every off-diagonal channel preserve the Hamming weight? (i.e.
+    /// does the operator commute with total `Sz` — the U(1) symmetry).
+    pub fn conserves_hamming_weight(&self) -> bool {
+        self.offdiag
+            .iter()
+            .all(|c| c.in_pat.count_ones() == c.out_pat.count_ones())
+    }
+
+    /// Is the kernel Hermitian (as a matrix)?
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        // Diagonal must be real: Walsh coefficients real.
+        if self.diag.iter().any(|m| m.coeff.im.abs() > tol) {
+            return false;
+        }
+        // Every channel must have a conjugate partner.
+        for c in &self.offdiag {
+            let partner = self.offdiag.iter().find(|p| {
+                p.sites == c.sites && p.in_pat == c.out_pat && p.out_pat == c.in_pat
+            });
+            match partner {
+                Some(p) => {
+                    if !p.coeff.approx_eq(c.coeff.conj(), tol) {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// The adjoint kernel (conjugate transpose).
+    pub fn adjoint(&self) -> Self {
+        let diag = self
+            .diag
+            .iter()
+            .map(|m| ZMonomial { coeff: m.coeff.conj(), zmask: m.zmask })
+            .collect();
+        let offdiag = self
+            .offdiag
+            .iter()
+            .map(|c| Channel {
+                coeff: c.coeff.conj(),
+                sites: c.sites,
+                in_pat: c.out_pat,
+                out_pat: c.in_pat,
+            })
+            .collect();
+        Self::from_parts(self.n_sites, diag, offdiag)
+    }
+
+    /// Structural comparison up to tolerance (kernels are canonically
+    /// sorted, so same-structure kernels align element-wise).
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        if self.n_sites != other.n_sites
+            || self.diag.len() != other.diag.len()
+            || self.offdiag.len() != other.offdiag.len()
+        {
+            return false;
+        }
+        self.diag
+            .iter()
+            .zip(&other.diag)
+            .all(|(a, b)| a.zmask == b.zmask && a.coeff.approx_eq(b.coeff, tol))
+            && self.offdiag.iter().zip(&other.offdiag).all(|(a, b)| {
+                a.sites == b.sites
+                    && a.in_pat == b.in_pat
+                    && a.out_pat == b.out_pat
+                    && a.coeff.approx_eq(b.coeff, tol)
+            })
+    }
+
+    /// Dense matrix representation (for testing; `n_sites <= 12`).
+    pub fn to_dense(&self) -> Vec<Vec<Complex64>> {
+        assert!(self.n_sites <= 12, "dense form limited to small systems");
+        let dim = 1usize << self.n_sites;
+        let mut h = vec![vec![Complex64::ZERO; dim]; dim];
+        let mut row = Vec::new();
+        for alpha in 0..dim as u64 {
+            row.clear();
+            row.extend(self.row(alpha));
+            for &(beta, v) in &row {
+                // row() yields ⟨β|H|α⟩, i.e. column α of H.
+                h[beta as usize][alpha as usize] += v;
+            }
+        }
+        h
+    }
+
+    /// Total number of stored terms (for the perf model and Table 1-style
+    /// bookkeeping).
+    pub fn n_terms(&self) -> usize {
+        self.diag.len() + self.offdiag.len()
+    }
+
+    /// Scales every term by a real factor.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let diag = self
+            .diag
+            .iter()
+            .map(|m| ZMonomial { coeff: m.coeff.scale(factor), zmask: m.zmask })
+            .collect();
+        let offdiag = self
+            .offdiag
+            .iter()
+            .map(|c| Channel { coeff: c.coeff.scale(factor), ..*c })
+            .collect();
+        Self::from_parts(self.n_sites, diag, offdiag)
+    }
+
+    /// Sums kernels (all must share `n_sites`), merging duplicate terms
+    /// and dropping cancellations.
+    pub fn merged<'a>(kernels: impl IntoIterator<Item = &'a Self>) -> Self {
+        use std::collections::HashMap;
+        let mut n_sites = 0;
+        let mut walsh: HashMap<u64, Complex64> = HashMap::new();
+        let mut channels: HashMap<(u64, u64, u64), Complex64> = HashMap::new();
+        for k in kernels {
+            n_sites = n_sites.max(k.n_sites);
+            for m in &k.diag {
+                *walsh.entry(m.zmask).or_insert(Complex64::ZERO) += m.coeff;
+            }
+            for c in &k.offdiag {
+                *channels
+                    .entry((c.sites, c.in_pat, c.out_pat))
+                    .or_insert(Complex64::ZERO) += c.coeff;
+            }
+        }
+        const TOL: f64 = 1e-14;
+        let diag = walsh
+            .into_iter()
+            .filter(|(_, c)| c.abs() > TOL)
+            .map(|(zmask, coeff)| ZMonomial { coeff, zmask })
+            .collect();
+        let offdiag = channels
+            .into_iter()
+            .filter(|(_, c)| c.abs() > TOL)
+            .map(|((sites, in_pat, out_pat), coeff)| Channel {
+                coeff,
+                sites,
+                in_pat,
+                out_pat,
+            })
+            .collect();
+        Self::from_parts(n_sites, diag, offdiag)
+    }
+
+    /// Drops every channel that does not conserve the Hamming weight.
+    ///
+    /// Within a fixed-weight sector, non-conserving channels connect to
+    /// orthogonal sectors and contribute nothing to expectation values;
+    /// projecting them out lets arbitrary observables be evaluated in
+    /// U(1) sectors.
+    pub fn u1_projected(&self) -> Self {
+        let offdiag = self
+            .offdiag
+            .iter()
+            .filter(|c| c.in_pat.count_ones() == c.out_pat.count_ones())
+            .copied()
+            .collect();
+        Self::from_parts(self.n_sites, self.diag.clone(), offdiag)
+    }
+
+    /// The kernel of `U H U†` where `U|s⟩ = |u(s)⟩`, `u` being the bit
+    /// permutation `apply` optionally composed with global spin inversion.
+    ///
+    /// Channels transform by relabelling the masks; under spin inversion
+    /// the in/out patterns invert within their site mask and each Walsh
+    /// monomial picks up `(-1)^|zmask|`.
+    pub fn conjugated_by(&self, apply: impl Fn(u64) -> u64, flip: bool) -> Self {
+        let diag = self
+            .diag
+            .iter()
+            .map(|m| {
+                let zmask = apply(m.zmask);
+                let sign = if flip && zmask.count_ones() & 1 == 1 {
+                    -1.0
+                } else {
+                    1.0
+                };
+                ZMonomial { coeff: m.coeff.scale(sign), zmask }
+            })
+            .collect();
+        let offdiag = self
+            .offdiag
+            .iter()
+            .map(|c| {
+                let sites = apply(c.sites);
+                let mut in_pat = apply(c.in_pat);
+                let mut out_pat = apply(c.out_pat);
+                if flip {
+                    in_pat = !in_pat & sites;
+                    out_pat = !out_pat & sites;
+                }
+                Channel { coeff: c.coeff, sites, in_pat, out_pat }
+            })
+            .collect();
+        Self::from_parts(self.n_sites, diag, offdiag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{splus, sminus, sz};
+
+    #[test]
+    fn heisenberg_bond_row() {
+        // H = S+_0 S-_1 /2 + S-_0 S+_1 /2 + Sz_0 Sz_1 on 2 sites.
+        let h = crate::builders::heisenberg_bond(0, 1).to_kernel(2).unwrap();
+        // |↓↓⟩ = 0b00: diagonal 1/4, no off-diagonal.
+        assert!(h.diagonal(0b00).approx_eq(Complex64::from(0.25), 1e-15));
+        let mut out = Vec::new();
+        h.off_diagonal(0b00, &mut out);
+        assert!(out.is_empty());
+        // |↑↓⟩ = 0b01 (site 0 up): diagonal -1/4, hops to 0b10 with 1/2.
+        assert!(h.diagonal(0b01).approx_eq(Complex64::from(-0.25), 1e-15));
+        out.clear();
+        h.off_diagonal(0b01, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 0b10);
+        assert!(out[0].1.approx_eq(Complex64::from(0.5), 1e-15));
+        // |↑↑⟩: diagonal 1/4, nothing else.
+        assert!(h.diagonal(0b11).approx_eq(Complex64::from(0.25), 1e-15));
+    }
+
+    #[test]
+    fn hermiticity_detection() {
+        let h = crate::builders::heisenberg_bond(0, 1).to_kernel(2).unwrap();
+        assert!(h.is_hermitian(1e-12));
+        let nh = (splus(0) * sminus(1)).to_kernel(2).unwrap();
+        assert!(!nh.is_hermitian(1e-12));
+        assert!(nh.adjoint().approx_eq(
+            &(splus(1) * sminus(0)).to_kernel(2).unwrap(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn u1_conservation() {
+        assert!(crate::builders::heisenberg_bond(0, 1)
+            .to_kernel(2)
+            .unwrap()
+            .conserves_hamming_weight());
+        assert!(!(splus(0) * splus(1)).to_kernel(2).unwrap().conserves_hamming_weight());
+        assert!((sz(0) * sz(1)).to_kernel(2).unwrap().conserves_hamming_weight());
+    }
+
+    #[test]
+    fn scaled_and_merged() {
+        let a = crate::builders::heisenberg_bond(0, 1).to_kernel(3).unwrap();
+        let b = crate::builders::heisenberg_bond(1, 2).to_kernel(3).unwrap();
+        // a + b == kernel of the summed expression.
+        let merged = OperatorKernel::merged([&a, &b]);
+        let expect = crate::builders::heisenberg(&[(0, 1), (1, 2)], 1.0)
+            .to_kernel(3)
+            .unwrap();
+        assert!(merged.approx_eq(&expect, 1e-13));
+        // a + (-1)·a == 0.
+        let cancelled = OperatorKernel::merged([&a, &a.scaled(-1.0)]);
+        assert_eq!(cancelled.n_terms(), 0);
+        // 2·a == a + a.
+        assert!(a.scaled(2.0).approx_eq(&OperatorKernel::merged([&a, &a]), 1e-13));
+    }
+
+    #[test]
+    fn u1_projection_strips_raising_channels() {
+        let k = (crate::ast::sx(0) + sz(0) * sz(1)).to_kernel(2).unwrap();
+        assert!(!k.conserves_hamming_weight());
+        let p = k.u1_projected();
+        assert!(p.conserves_hamming_weight());
+        assert_eq!(p.channels().len(), 0); // Sx channels all removed
+        assert_eq!(p.diagonal_monomials().len(), k.diagonal_monomials().len());
+    }
+
+    #[test]
+    fn conjugation_by_translation() {
+        // The 4-ring Heisenberg chain commutes with translation; a single
+        // bond does not.
+        let n = 4u32;
+        let bonds: Vec<(usize, usize)> = (0..4).map(|i| (i, (i + 1) % 4)).collect();
+        let h = crate::builders::heisenberg(&bonds, 1.0).to_kernel(n).unwrap();
+        let rot = |s: u64| ls_kernels::bits::rotate_low_bits(s, n, 1);
+        assert!(h.conjugated_by(rot, false).approx_eq(&h, 1e-12));
+        let bond = crate::builders::heisenberg_bond(0, 1).to_kernel(n).unwrap();
+        assert!(!bond.conjugated_by(rot, false).approx_eq(&bond, 1e-12));
+        // Spin inversion: Heisenberg commutes with the global flip.
+        let flip = |s: u64| s; // permutation part is identity
+        assert!(h.conjugated_by(flip, true).approx_eq(&h, 1e-12));
+        // A Zeeman field does not.
+        let zeeman = (crate::ast::sz(0) + crate::ast::sz(1)).to_kernel(n).unwrap();
+        assert!(!zeeman.conjugated_by(flip, true).approx_eq(&zeeman, 1e-12));
+    }
+
+    #[test]
+    fn dense_of_single_bond() {
+        let h = crate::builders::heisenberg_bond(0, 1).to_kernel(2).unwrap();
+        let d = h.to_dense();
+        // Known 4x4 Heisenberg bond in basis |00⟩,|01⟩,|10⟩,|11⟩
+        // (bit 0 = site 0):
+        let q = 0.25;
+        let half = 0.5;
+        let expect = [
+            [q, 0.0, 0.0, 0.0],
+            [0.0, -q, half, 0.0],
+            [0.0, half, -q, 0.0],
+            [0.0, 0.0, 0.0, q],
+        ];
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!(
+                    d[r][c].approx_eq(Complex64::from(expect[r][c]), 1e-14),
+                    "entry ({r},{c}) = {:?}",
+                    d[r][c]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Complex 2×2 matrices: the single-site building blocks of spin-1/2
+//! operators.
+
+use ls_kernels::Complex64;
+
+/// A 2×2 complex matrix in row-major order: `m[row][col]`.
+///
+/// Rows/columns are indexed by the *bit value* of the site: index 0 is
+/// `|↓⟩` (bit 0), index 1 is `|↑⟩` (bit 1). `m[a][b]` is `⟨a|M|b⟩`.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Matrix2 {
+    pub m: [[Complex64; 2]; 2],
+}
+
+const C0: Complex64 = Complex64::ZERO;
+const C1: Complex64 = Complex64::ONE;
+
+impl Matrix2 {
+    pub const ZERO: Self = Self { m: [[C0, C0], [C0, C0]] };
+    pub const IDENTITY: Self = Self { m: [[C1, C0], [C0, C1]] };
+
+    /// `S+ = |↑⟩⟨↓|`: raises a down spin.
+    pub const SPLUS: Self = Self { m: [[C0, C0], [C1, C0]] };
+    /// `S- = |↓⟩⟨↑|`: lowers an up spin.
+    pub const SMINUS: Self = Self { m: [[C0, C1], [C0, C0]] };
+    /// `Sz = diag(-1/2, +1/2)` (bit 1 = up = +1/2).
+    pub const SZ: Self = Self {
+        m: [
+            [Complex64::new(-0.5, 0.0), C0],
+            [C0, Complex64::new(0.5, 0.0)],
+        ],
+    };
+    /// `Sx = (S+ + S-) / 2`.
+    pub const SX: Self = Self {
+        m: [
+            [C0, Complex64::new(0.5, 0.0)],
+            [Complex64::new(0.5, 0.0), C0],
+        ],
+    };
+    /// `Sy = (S+ - S-) / (2i)`.
+    pub const SY: Self = Self {
+        m: [
+            [C0, Complex64::new(0.0, 0.5)],
+            [Complex64::new(0.0, -0.5), C0],
+        ],
+    };
+    /// Pauli `σx = 2 Sx`.
+    pub const SIGMA_X: Self = Self { m: [[C0, C1], [C1, C0]] };
+    /// Pauli `σy = 2 Sy`.
+    pub const SIGMA_Y: Self = Self {
+        m: [
+            [C0, Complex64::new(0.0, 1.0)],
+            [Complex64::new(0.0, -1.0), C0],
+        ],
+    };
+    /// Pauli `σz = 2 Sz`.
+    pub const SIGMA_Z: Self = Self {
+        m: [
+            [Complex64::new(-1.0, 0.0), C0],
+            [C0, C1],
+        ],
+    };
+    /// Projector onto `|↑⟩` (number operator `n = 1/2 + Sz`).
+    pub const P_UP: Self = Self { m: [[C0, C0], [C0, C1]] };
+    /// Projector onto `|↓⟩` (hole operator `1 - n`).
+    pub const P_DOWN: Self = Self { m: [[C1, C0], [C0, C0]] };
+
+    /// Matrix product `self · other`.
+    pub fn mul(&self, other: &Self) -> Self {
+        let mut out = Self::ZERO;
+        for r in 0..2 {
+            for c in 0..2 {
+                out.m[r][c] =
+                    self.m[r][0] * other.m[0][c] + self.m[r][1] * other.m[1][c];
+            }
+        }
+        out
+    }
+
+    pub fn add(&self, other: &Self) -> Self {
+        let mut out = Self::ZERO;
+        for r in 0..2 {
+            for c in 0..2 {
+                out.m[r][c] = self.m[r][c] + other.m[r][c];
+            }
+        }
+        out
+    }
+
+    pub fn scale(&self, z: Complex64) -> Self {
+        let mut out = *self;
+        for r in 0..2 {
+            for c in 0..2 {
+                out.m[r][c] = out.m[r][c] * z;
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Self {
+        Self {
+            m: [
+                [self.m[0][0].conj(), self.m[1][0].conj()],
+                [self.m[0][1].conj(), self.m[1][1].conj()],
+            ],
+        }
+    }
+
+    pub fn is_zero(&self, tol: f64) -> bool {
+        self.m.iter().flatten().all(|z| z.abs() <= tol)
+    }
+
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        for r in 0..2 {
+            for c in 0..2 {
+                if !self.m[r][c].approx_eq(other.m[r][c], tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_algebra() {
+        // S+ S- = P_up, S- S+ = P_down.
+        assert!(Matrix2::SPLUS.mul(&Matrix2::SMINUS).approx_eq(&Matrix2::P_UP, 1e-15));
+        assert!(Matrix2::SMINUS.mul(&Matrix2::SPLUS).approx_eq(&Matrix2::P_DOWN, 1e-15));
+        // (S+)^2 = 0.
+        assert!(Matrix2::SPLUS.mul(&Matrix2::SPLUS).is_zero(1e-15));
+        // [Sz, S+] = S+.
+        let comm = Matrix2::SZ
+            .mul(&Matrix2::SPLUS)
+            .add(&Matrix2::SPLUS.mul(&Matrix2::SZ).scale(-Complex64::ONE));
+        assert!(comm.approx_eq(&Matrix2::SPLUS, 1e-15));
+        // Sx² + Sy² + Sz² = 3/4 I.
+        let casimir = Matrix2::SX
+            .mul(&Matrix2::SX)
+            .add(&Matrix2::SY.mul(&Matrix2::SY))
+            .add(&Matrix2::SZ.mul(&Matrix2::SZ));
+        assert!(casimir.approx_eq(&Matrix2::IDENTITY.scale(0.75.into()), 1e-15));
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        // σx σy = i σz.
+        let xy = Matrix2::SIGMA_X.mul(&Matrix2::SIGMA_Y);
+        assert!(xy.approx_eq(&Matrix2::SIGMA_Z.scale(Complex64::I), 1e-15));
+        // σ² = I for all Paulis.
+        for p in [Matrix2::SIGMA_X, Matrix2::SIGMA_Y, Matrix2::SIGMA_Z] {
+            assert!(p.mul(&p).approx_eq(&Matrix2::IDENTITY, 1e-15));
+        }
+    }
+
+    #[test]
+    fn hermiticity() {
+        for h in [Matrix2::SX, Matrix2::SY, Matrix2::SZ, Matrix2::P_UP] {
+            assert!(h.adjoint().approx_eq(&h, 1e-15));
+        }
+        assert!(Matrix2::SPLUS.adjoint().approx_eq(&Matrix2::SMINUS, 1e-15));
+    }
+
+    #[test]
+    fn sx_sy_from_ladder() {
+        let sx = Matrix2::SPLUS.add(&Matrix2::SMINUS).scale(0.5.into());
+        assert!(sx.approx_eq(&Matrix2::SX, 1e-15));
+        let sy = Matrix2::SPLUS
+            .add(&Matrix2::SMINUS.scale(-Complex64::ONE))
+            .scale(Complex64::new(0.0, -0.5));
+        assert!(sy.approx_eq(&Matrix2::SY, 1e-15));
+    }
+}

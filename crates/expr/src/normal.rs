@@ -1,0 +1,346 @@
+//! Normal-form expansion: AST → monomials → kernel.
+//!
+//! Every expression is first distributed into a sum of *monomials* (a
+//! complex coefficient times at most one 2×2 matrix per site — same-site
+//! products are multiplied out immediately using the spin-1/2 algebra).
+//! Each monomial is then decomposed over the matrix units
+//! `E_ab = |a⟩⟨b|`, yielding scattering channels, and diagonal channels
+//! are converted to Walsh monomials so that e.g. `Sz_i Sz_j` costs a
+//! single popcount instead of four masked compares.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::ast::Expr;
+use crate::kernel::{Channel, OperatorKernel, ZMonomial};
+use crate::matrix2::Matrix2;
+use ls_kernels::Complex64;
+
+/// Error compiling an expression to a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A primitive references a site ≥ `n_sites`.
+    SiteOutOfRange { site: u16, n_sites: u32 },
+    /// More than 64 sites requested.
+    TooManySites(u32),
+    /// A monomial touches more sites than the expansion limit (16); such
+    /// operators are outside the scope of two- and few-body physics.
+    MonomialTooWide(usize),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::SiteOutOfRange { site, n_sites } => {
+                write!(f, "site {site} out of range for {n_sites} sites")
+            }
+            Self::TooManySites(n) => write!(f, "{n} sites exceeds the 64-bit limit"),
+            Self::MonomialTooWide(k) => {
+                write!(f, "monomial touches {k} sites (limit 16)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A coefficient times one matrix per (sorted) site.
+#[derive(Clone, Debug)]
+struct Monomial {
+    coeff: Complex64,
+    factors: BTreeMap<u16, Matrix2>,
+}
+
+impl Monomial {
+    fn scalar(c: Complex64) -> Self {
+        Self { coeff: c, factors: BTreeMap::new() }
+    }
+
+    /// Operator product `self · other` (self acts *after* other ... the
+    /// convention only matters within a site, where we multiply
+    /// `self_matrix · other_matrix` — matching `(AB)|ψ⟩ = A(B|ψ⟩)` with
+    /// `A = self`).
+    fn mul(&self, other: &Self) -> Self {
+        let mut factors = self.factors.clone();
+        for (&site, m) in &other.factors {
+            factors
+                .entry(site)
+                .and_modify(|existing| *existing = existing.mul(m))
+                .or_insert(*m);
+        }
+        Self { coeff: self.coeff * other.coeff, factors }
+    }
+
+    fn is_zero(&self, tol: f64) -> bool {
+        self.coeff.abs() <= tol || self.factors.values().any(|m| m.is_zero(tol))
+    }
+}
+
+/// Distributes the expression into monomials.
+fn expand(expr: &Expr) -> Vec<Monomial> {
+    match expr {
+        Expr::Scalar(z) => vec![Monomial::scalar(*z)],
+        Expr::Primitive(p) => {
+            let mut factors = BTreeMap::new();
+            factors.insert(p.site, p.kind.matrix());
+            vec![Monomial { coeff: Complex64::ONE, factors }]
+        }
+        Expr::Sum(es) => es.iter().flat_map(expand).collect(),
+        Expr::Product(es) => {
+            let mut acc = vec![Monomial::scalar(Complex64::ONE)];
+            for e in es {
+                // A·B: for our left-to-right fold the accumulated product
+                // is applied first conceptually as written; within a site
+                // the matrix product must follow operator order:
+                // Product([A, B]) means A*B, i.e. apply B to the ket first,
+                // so the combined matrix is A_site · B_site. The fold
+                // computes acc.mul(next) with acc on the left. Since acc
+                // holds the *earlier* factors of the product (A), this is
+                // A_site · B_site as required.
+                let rhs = expand(e);
+                let mut next = Vec::with_capacity(acc.len() * rhs.len());
+                for a in &acc {
+                    for b in &rhs {
+                        next.push(a.mul(b));
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+    }
+}
+
+const TOL: f64 = 1e-14;
+
+impl Expr {
+    /// Compiles the expression into an [`OperatorKernel`] for an
+    /// `n_sites`-site system.
+    ///
+    /// The scalar (identity) part of the expression becomes the Walsh
+    /// monomial with empty `zmask`, i.e. a constant energy shift.
+    pub fn to_kernel(&self, n_sites: u32) -> Result<OperatorKernel, CompileError> {
+        if n_sites > 64 {
+            return Err(CompileError::TooManySites(n_sites));
+        }
+        let monomials = expand(self);
+        // Merge channels across monomials.
+        let mut channels: HashMap<(u64, u64, u64), Complex64> = HashMap::new();
+        let mut walsh: HashMap<u64, Complex64> = HashMap::new();
+        for mono in &monomials {
+            if mono.is_zero(TOL) {
+                continue;
+            }
+            let sites: Vec<u16> = mono.factors.keys().copied().collect();
+            if sites.len() > 16 {
+                return Err(CompileError::MonomialTooWide(sites.len()));
+            }
+            for &s in &sites {
+                if s as u32 >= n_sites {
+                    return Err(CompileError::SiteOutOfRange { site: s, n_sites });
+                }
+            }
+            let mats: Vec<&Matrix2> = mono.factors.values().collect();
+            // DFS over matrix-unit assignments (a_i, b_i) per site.
+            expand_channels(
+                mono.coeff,
+                &sites,
+                &mats,
+                0,
+                0,
+                0,
+                &mut |sites_mask, in_pat, out_pat, c| {
+                    if in_pat == out_pat {
+                        // Diagonal channel: convert to Walsh monomials.
+                        // Π_i P_{b_i} = Σ_{T ⊆ sites} (1/2^k) Π_{i∈T} s_i z_i
+                        // with s_i = +1 if b_i = 1 else -1.
+                        let k = sites_mask.count_ones();
+                        let norm = 1.0 / (1u64 << k) as f64;
+                        // Iterate subsets of sites_mask.
+                        let mut t = sites_mask;
+                        loop {
+                            // sign = Π_{i∈T} s_i = (-1)^{# of zero-bits of
+                            // in_pat within T}.
+                            let negs = (t & !in_pat).count_ones();
+                            let sign = if negs & 1 == 0 { 1.0 } else { -1.0 };
+                            *walsh.entry(t).or_insert(Complex64::ZERO) +=
+                                c.scale(norm * sign);
+                            if t == 0 {
+                                break;
+                            }
+                            t = (t - 1) & sites_mask;
+                        }
+                    } else {
+                        *channels
+                            .entry((sites_mask, in_pat, out_pat))
+                            .or_insert(Complex64::ZERO) += c;
+                    }
+                },
+            );
+        }
+        let diag: Vec<ZMonomial> = walsh
+            .into_iter()
+            .filter(|(_, c)| c.abs() > TOL)
+            .map(|(zmask, coeff)| ZMonomial { coeff, zmask })
+            .collect();
+        let offdiag: Vec<Channel> = channels
+            .into_iter()
+            .filter(|(_, c)| c.abs() > TOL)
+            .map(|((sites, in_pat, out_pat), coeff)| Channel {
+                coeff,
+                sites,
+                in_pat,
+                out_pat,
+            })
+            .collect();
+        Ok(OperatorKernel::from_parts(n_sites, diag, offdiag))
+    }
+}
+
+/// Recursively expands `coeff · Π_i M_i` over matrix units, calling `emit`
+/// with `(sites_mask, in_pattern, out_pattern, coefficient)` for every
+/// non-zero assignment.
+fn expand_channels(
+    coeff: Complex64,
+    sites: &[u16],
+    mats: &[&Matrix2],
+    sites_mask: u64,
+    in_pat: u64,
+    out_pat: u64,
+    emit: &mut impl FnMut(u64, u64, u64, Complex64),
+) {
+    if coeff.abs() <= TOL {
+        return;
+    }
+    match sites.split_first() {
+        None => emit(sites_mask, in_pat, out_pat, coeff),
+        Some((&site, rest_sites)) => {
+            let (m, rest_mats) = mats.split_first().unwrap();
+            let bit = 1u64 << site;
+            for a in 0..2u64 {
+                for b in 0..2u64 {
+                    let entry = m.m[a as usize][b as usize];
+                    if entry.abs() <= TOL {
+                        continue;
+                    }
+                    expand_channels(
+                        coeff * entry,
+                        rest_sites,
+                        rest_mats,
+                        sites_mask | bit,
+                        in_pat | (b * bit),
+                        out_pat | (a * bit),
+                        emit,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{sigma_x, sminus, splus, sx, sy, sz};
+
+    fn dense(e: &Expr, n: u32) -> Vec<Vec<Complex64>> {
+        e.to_kernel(n).unwrap().to_dense()
+    }
+
+    fn dense_approx_eq(a: &[Vec<Complex64>], b: &[Vec<Complex64>], tol: f64) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(ra, rb)| {
+                ra.iter().zip(rb).all(|(x, y)| x.approx_eq(*y, tol))
+            })
+    }
+
+    #[test]
+    fn same_site_products_reduce() {
+        // S+ S- = P_up = 1/2 + Sz on one site.
+        let lhs = dense(&(splus(0) * sminus(0)), 1);
+        let rhs = dense(&(Expr::scalar(0.5) + sz(0)), 1);
+        assert!(dense_approx_eq(&lhs, &rhs, 1e-14));
+        // (S+)^2 = 0.
+        let zero = dense(&(splus(0) * splus(0)), 1);
+        assert!(zero.iter().flatten().all(|z| z.abs() < 1e-14));
+    }
+
+    #[test]
+    fn linearity_of_compilation() {
+        let a = splus(0) * sminus(1);
+        let b = sz(0) * sz(2);
+        let c = sx(1) * sx(2);
+        let lhs = dense(&((a.clone() + b.clone()) * c.clone()), 3);
+        // (a+b)c = ac + bc
+        let ac = dense(&(a * c.clone()), 3);
+        let bc = dense(&(b * c), 3);
+        let sum: Vec<Vec<Complex64>> = ac
+            .iter()
+            .zip(&bc)
+            .map(|(ra, rb)| ra.iter().zip(rb).map(|(x, y)| *x + *y).collect())
+            .collect();
+        assert!(dense_approx_eq(&lhs, &sum, 1e-13));
+    }
+
+    #[test]
+    fn sx_equals_ladder_combination() {
+        let lhs = dense(&sx(0), 1);
+        let rhs = dense(&(Expr::scalar(0.5) * (splus(0) + sminus(0))), 1);
+        assert!(dense_approx_eq(&lhs, &rhs, 1e-14));
+    }
+
+    #[test]
+    fn sy_squared_is_quarter_identity() {
+        let lhs = dense(&(sy(0) * sy(0)), 1);
+        let rhs = dense(&Expr::scalar(0.25), 1);
+        assert!(dense_approx_eq(&lhs, &rhs, 1e-14));
+    }
+
+    #[test]
+    fn scalar_becomes_energy_shift() {
+        let k = (Expr::scalar(3.5) + sz(0)).to_kernel(2).unwrap();
+        assert!(k.diagonal(0b00).approx_eq(Complex64::from(3.5 - 0.5), 1e-14));
+        assert!(k.diagonal(0b01).approx_eq(Complex64::from(3.5 + 0.5), 1e-14));
+    }
+
+    #[test]
+    fn walsh_merging_cancels() {
+        // Sz_0 Sz_1 has a single Walsh monomial with zmask {0,1} and
+        // coefficient 1/4.
+        let k = (sz(0) * sz(1)).to_kernel(2).unwrap();
+        assert_eq!(k.diagonal_monomials().len(), 1);
+        let m = k.diagonal_monomials()[0];
+        assert_eq!(m.zmask, 0b11);
+        assert!(m.coeff.approx_eq(Complex64::from(0.25), 1e-14));
+        assert_eq!(k.channels().len(), 0);
+    }
+
+    #[test]
+    fn site_out_of_range_rejected() {
+        let err = sz(5).to_kernel(3).unwrap_err();
+        assert_eq!(err, CompileError::SiteOutOfRange { site: 5, n_sites: 3 });
+    }
+
+    #[test]
+    fn pauli_string_channels() {
+        // σx_0 σx_1 = (S+_0 + S-_0)(S+_1 + S-_1): four channels, each ±1
+        // flipping both bits.
+        let k = (sigma_x(0) * sigma_x(1)).to_kernel(2).unwrap();
+        assert_eq!(k.channels().len(), 4);
+        for c in k.channels() {
+            assert_eq!(c.sites, 0b11);
+            assert_eq!(c.flip_mask(), 0b11);
+            assert!(c.coeff.approx_eq(Complex64::ONE, 1e-14));
+        }
+        assert!(k.conserves_hamming_weight() == false);
+    }
+
+    #[test]
+    fn heisenberg_dot_product_forms_agree() {
+        // S_0 · S_1 via ladder form and via Sx Sx + Sy Sy + Sz Sz.
+        let ladder = crate::builders::heisenberg_bond(0, 1);
+        let cartesian = sx(0) * sx(1) + sy(0) * sy(1) + sz(0) * sz(1);
+        let a = dense(&ladder, 2);
+        let b = dense(&cartesian, 2);
+        assert!(dense_approx_eq(&a, &b, 1e-14));
+    }
+}

@@ -1,0 +1,378 @@
+//! A small expression language for Hamiltonians.
+//!
+//! Mirrors the role of the input-file parser in the paper's package.
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr      := term (('+' | '-') term)*
+//! term      := unary ('*' unary)*
+//! unary     := '-' unary | atom
+//! atom      := number | 'i' | primitive | '(' expr ')'
+//! primitive := ('S+' | 'S-' | 'Sz' | 'Sx' | 'Sy' | 'σx' | 'σy' | 'σz') '_' digits
+//! number    := usual float syntax, optionally suffixed with 'i'
+//! ```
+//!
+//! Examples: `"0.5 * (S+_0 * S-_1 + S-_0 * S+_1) + Sz_0 * Sz_1"`,
+//! `"2i * Sy_3 - σz_0"`.
+
+use crate::ast::{Expr, Primitive, PrimitiveKind};
+use ls_kernels::Complex64;
+
+/// Parse failure with a byte position into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub position: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Number(f64),
+    ImagNumber(f64),
+    ImagUnit,
+    Prim(PrimitiveKind, u16),
+    Plus,
+    Minus,
+    Star,
+    LParen,
+    RParen,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), position: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        std::str::from_utf8(&self.src[self.pos..])
+            .ok()
+            .and_then(|s| s.chars().next())
+    }
+
+    fn next_token(&mut self) -> Result<Option<(Token, usize)>, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let c = self.peek_char().ok_or_else(|| self.error("invalid UTF-8"))?;
+        let tok = match c {
+            '+' => {
+                self.pos += 1;
+                Token::Plus
+            }
+            '-' => {
+                self.pos += 1;
+                Token::Minus
+            }
+            '*' => {
+                self.pos += 1;
+                Token::Star
+            }
+            '(' => {
+                self.pos += 1;
+                Token::LParen
+            }
+            ')' => {
+                self.pos += 1;
+                Token::RParen
+            }
+            '0'..='9' | '.' => self.lex_number()?,
+            'S' => self.lex_spin_primitive()?,
+            'σ' => self.lex_sigma_primitive()?,
+            'i' => {
+                self.pos += 1;
+                Token::ImagUnit
+            }
+            other => return Err(self.error(format!("unexpected character {other:?}"))),
+        };
+        Ok(Some((tok, start)))
+    }
+
+    fn lex_number(&mut self) -> Result<Token, ParseError> {
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && matches!(self.src[self.pos], b'0'..=b'9' | b'.' )
+        {
+            self.pos += 1;
+        }
+        // Exponent part.
+        if self.pos < self.src.len() && matches!(self.src[self.pos], b'e' | b'E') {
+            let mut p = self.pos + 1;
+            if p < self.src.len() && matches!(self.src[p], b'+' | b'-') {
+                p += 1;
+            }
+            if p < self.src.len() && self.src[p].is_ascii_digit() {
+                self.pos = p;
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let value: f64 = text
+            .parse()
+            .map_err(|_| self.error(format!("bad number literal {text:?}")))?;
+        // Imaginary suffix?
+        if self.pos < self.src.len() && self.src[self.pos] == b'i' {
+            self.pos += 1;
+            Ok(Token::ImagNumber(value))
+        } else {
+            Ok(Token::Number(value))
+        }
+    }
+
+    fn lex_spin_primitive(&mut self) -> Result<Token, ParseError> {
+        // "S" already peeked.
+        self.pos += 1;
+        let kind = match self.src.get(self.pos) {
+            Some(b'+') => PrimitiveKind::SPlus,
+            Some(b'-') => PrimitiveKind::SMinus,
+            Some(b'z') => PrimitiveKind::Sz,
+            Some(b'x') => PrimitiveKind::Sx,
+            Some(b'y') => PrimitiveKind::Sy,
+            other => {
+                return Err(self.error(format!(
+                    "expected one of +, -, z, x, y after 'S', got {other:?}"
+                )))
+            }
+        };
+        self.pos += 1;
+        let site = self.lex_site_index()?;
+        Ok(Token::Prim(kind, site))
+    }
+
+    fn lex_sigma_primitive(&mut self) -> Result<Token, ParseError> {
+        // 'σ' is two bytes in UTF-8.
+        self.pos += 'σ'.len_utf8();
+        let kind = match self.src.get(self.pos) {
+            Some(b'x') => PrimitiveKind::SigmaX,
+            Some(b'y') => PrimitiveKind::SigmaY,
+            Some(b'z') => PrimitiveKind::SigmaZ,
+            other => {
+                return Err(
+                    self.error(format!("expected x, y or z after 'σ', got {other:?}"))
+                )
+            }
+        };
+        self.pos += 1;
+        let site = self.lex_site_index()?;
+        Ok(Token::Prim(kind, site))
+    }
+
+    fn lex_site_index(&mut self) -> Result<u16, ParseError> {
+        if self.src.get(self.pos) != Some(&b'_') {
+            return Err(self.error("expected '_' before the site index"));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected a site index"));
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        text.parse::<u16>()
+            .map_err(|_| self.error(format!("site index {text:?} out of range")))
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    cursor: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.cursor).map(|(t, _)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens
+            .get(self.cursor)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.end)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.cursor).map(|(t, _)| t.clone());
+        self.cursor += 1;
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), position: self.pos() }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.bump();
+                    acc = acc + self.term()?;
+                }
+                Some(Token::Minus) => {
+                    self.bump();
+                    acc = acc - self.term()?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.unary()?;
+        while matches!(self.peek(), Some(Token::Star)) {
+            self.bump();
+            acc = acc * self.unary()?;
+        }
+        Ok(acc)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), Some(Token::Minus)) {
+            self.bump();
+            return Ok(-self.unary()?);
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Token::Number(x)) => Ok(Expr::scalar(x)),
+            Some(Token::ImagNumber(x)) => Ok(Expr::scalar_c(Complex64::new(0.0, x))),
+            Some(Token::ImagUnit) => Ok(Expr::scalar_c(Complex64::I)),
+            Some(Token::Prim(kind, site)) => {
+                Ok(Expr::Primitive(Primitive { kind, site }))
+            }
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                match self.bump() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(self.error("expected ')'")),
+                }
+            }
+            other => Err(self.error(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// Parses an operator expression from a string.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut lexer = Lexer::new(src);
+    let mut tokens = Vec::new();
+    while let Some(tok) = lexer.next_token()? {
+        tokens.push(tok);
+    }
+    let end = src.len();
+    let mut parser = Parser { tokens, cursor: 0, end };
+    let expr = parser.expr()?;
+    if parser.cursor != parser.tokens.len() {
+        return Err(parser.error("trailing input"));
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{sminus, splus, sy, sz};
+
+    fn kernels_equal(a: &str, b: Expr, n: u32) -> bool {
+        let ka = parse_expr(a).unwrap().to_kernel(n).unwrap();
+        let kb = b.to_kernel(n).unwrap();
+        ka.approx_eq(&kb, 1e-12)
+    }
+
+    #[test]
+    fn parses_heisenberg_bond() {
+        assert!(kernels_equal(
+            "0.5 * (S+_0 * S-_1 + S-_0 * S+_1) + Sz_0 * Sz_1",
+            crate::builders::heisenberg_bond(0, 1),
+            2
+        ));
+    }
+
+    #[test]
+    fn parses_numbers_and_imaginary() {
+        assert!(kernels_equal("2e-1 * Sz_0", 0.2 * sz(0), 1));
+        assert!(kernels_equal(
+            "2i * Sy_0",
+            Expr::scalar_c(Complex64::new(0.0, 2.0)) * sy(0),
+            1
+        ));
+        assert!(kernels_equal(
+            "i * S+_0 - i * S-_0",
+            Expr::scalar_c(Complex64::I) * (splus(0) - sminus(0)),
+            1
+        ));
+    }
+
+    #[test]
+    fn precedence_and_unary_minus() {
+        assert!(kernels_equal(
+            "-Sz_0 * Sz_1 + 2 * Sz_0",
+            Expr::Sum(vec![-(sz(0) * sz(1)), 2.0 * sz(0)]),
+            2
+        ));
+        // '*' binds tighter than '+':
+        assert!(kernels_equal(
+            "Sz_0 + Sz_1 * Sz_2",
+            sz(0) + sz(1) * sz(2),
+            3
+        ));
+    }
+
+    #[test]
+    fn sigma_primitives() {
+        assert!(kernels_equal("σz_0", 2.0 * sz(0), 1));
+        assert!(kernels_equal("σx_1 * σx_0", crate::ast::sigma_x(1) * crate::ast::sigma_x(0), 2));
+    }
+
+    #[test]
+    fn error_positions() {
+        assert!(parse_expr("Sz_").is_err());
+        assert!(parse_expr("Sq_0").is_err());
+        assert!(parse_expr("(Sz_0").is_err());
+        assert!(parse_expr("Sz_0 Sz_1").is_err()); // no implicit '*'
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("Sz_99999999").is_err());
+        let e = parse_expr("Sz_0 + @").unwrap_err();
+        assert_eq!(e.position, 7);
+    }
+
+    #[test]
+    fn nested_parentheses() {
+        assert!(kernels_equal(
+            "((Sz_0) * ((Sz_1)))",
+            sz(0) * sz(1),
+            2
+        ));
+    }
+}

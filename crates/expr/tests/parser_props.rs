@@ -1,0 +1,70 @@
+//! Property tests of the expression language: pretty-printing any random
+//! expression and re-parsing it must reproduce the same operator.
+
+use ls_expr::ast::{sminus, splus, sx, sy, sz, Expr};
+use ls_expr::parse_expr;
+use proptest::prelude::*;
+
+const N_SITES: u32 = 4;
+
+fn arb_leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0u16..N_SITES as u16).prop_map(splus),
+        (0u16..N_SITES as u16).prop_map(sminus),
+        (0u16..N_SITES as u16).prop_map(sz),
+        (0u16..N_SITES as u16).prop_map(sx),
+        (0u16..N_SITES as u16).prop_map(sy),
+        (-2.0f64..2.0).prop_map(Expr::scalar),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    arb_leaf().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Sum),
+            proptest::collection::vec(inner, 2..3).prop_map(Expr::Product),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn display_parse_roundtrip(e in arb_expr()) {
+        let text = format!("{e}");
+        let parsed = parse_expr(&text)
+            .unwrap_or_else(|err| panic!("failed to parse {text:?}: {err}"));
+        let k1 = e.to_kernel(N_SITES).unwrap();
+        let k2 = parsed.to_kernel(N_SITES).unwrap();
+        prop_assert!(k1.approx_eq(&k2, 1e-9), "expr: {text}");
+    }
+
+    #[test]
+    fn adjoint_matches_kernel_adjoint(e in arb_expr()) {
+        let k = e.to_kernel(N_SITES).unwrap();
+        let ka = e.adjoint().to_kernel(N_SITES).unwrap();
+        prop_assert!(k.adjoint().approx_eq(&ka, 1e-9));
+    }
+
+    #[test]
+    fn double_adjoint_is_identity(e in arb_expr()) {
+        let k = e.to_kernel(N_SITES).unwrap();
+        let kaa = e.adjoint().adjoint().to_kernel(N_SITES).unwrap();
+        prop_assert!(k.approx_eq(&kaa, 1e-9));
+    }
+
+    #[test]
+    fn expr_plus_adjoint_is_hermitian(e in arb_expr()) {
+        let sym = e.clone() + e.adjoint();
+        let k = sym.to_kernel(N_SITES).unwrap();
+        prop_assert!(k.is_hermitian(1e-9));
+    }
+
+    #[test]
+    fn scaling_by_two_equals_self_sum(e in arb_expr()) {
+        let k = e.to_kernel(N_SITES).unwrap();
+        let doubled = (e.clone() + e).to_kernel(N_SITES).unwrap();
+        prop_assert!(k.scaled(2.0).approx_eq(&doubled, 1e-9));
+    }
+}

@@ -1,0 +1,302 @@
+//! Bit-manipulation primitives for spin-1/2 basis states.
+//!
+//! A basis state of an `n`-site system is the low `n` bits of a `u64`; bit
+//! `i` set means spin `i` points up. Everything here is `O(1)` or `O(n)`
+//! with tiny constants — these functions sit in the innermost loops of
+//! basis enumeration and matrix-row generation.
+
+/// Returns the next integer with the same popcount as `v` (Gosper's hack),
+/// or `None` when `v` is the largest such value representable in 64 bits.
+///
+/// `next_same_weight(0)` is `None`: zero is the unique weight-0 value.
+#[inline]
+pub fn next_same_weight(v: u64) -> Option<u64> {
+    if v == 0 {
+        return None;
+    }
+    let t = v | (v - 1);
+    if t == u64::MAX {
+        // v's ones occupy a suffix-maximal block; adding would overflow.
+        return None;
+    }
+    let w = (t + 1) | (((!t & (t + 1)) - 1) >> (v.trailing_zeros() + 1));
+    Some(w)
+}
+
+/// The smallest integer with exactly `weight` bits set (the dense suffix),
+/// i.e. `2^weight - 1`. `weight` must be ≤ 64.
+#[inline]
+pub fn min_with_weight(weight: u32) -> u64 {
+    debug_assert!(weight <= 64);
+    if weight == 64 {
+        u64::MAX
+    } else {
+        (1u64 << weight) - 1
+    }
+}
+
+/// The largest `n`-bit integer with exactly `weight` bits set (the dense
+/// prefix). Requires `weight <= n <= 64`.
+#[inline]
+pub fn max_with_weight(n: u32, weight: u32) -> u64 {
+    debug_assert!(weight <= n && n <= 64);
+    min_with_weight(weight) << (n - weight)
+}
+
+/// Smallest `y >= x` with exactly `weight` bits among the low `n` bits,
+/// or `None` if no such value exists below `2^n`.
+///
+/// Used to start Gosper iteration in the middle of a chunked range
+/// (Sec. 5.2 of the paper splits `0..2^N` into many chunks).
+pub fn ceil_with_weight(x: u64, n: u32, weight: u32) -> Option<u64> {
+    debug_assert!(n <= 64 && weight <= n);
+    let limit = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    if x > limit {
+        return None;
+    }
+    if weight == 0 {
+        return if x == 0 { Some(0) } else { None };
+    }
+    if x.count_ones() == weight {
+        return Some(x);
+    }
+    // Greedy: try to keep a prefix of x and choose the remainder minimally.
+    // For each position `p` (from low to high) where x has a zero bit, we can
+    // produce a candidate y > x that agrees with x above p, has bit p set and
+    // distributes the remaining ones in the lowest positions below p.
+    // Additionally, if popcount(x) < weight we can keep all of x and just add
+    // ones in the lowest free positions — handled by scanning p over zero
+    // bits and picking the smallest valid candidate, which is the first
+    // (lowest p) candidate for the "fill-up" case.
+    let need = weight as i64;
+    // Case 1: fill zeros of x from the bottom (yields y >= x agreeing with x
+    // on all one-bits). Valid when popcount(x) < weight.
+    if (x.count_ones() as i64) < need {
+        let mut y = x;
+        let mut missing = weight - x.count_ones();
+        let mut p = 0u32;
+        while missing > 0 && p < n {
+            if y & (1u64 << p) == 0 {
+                y |= 1u64 << p;
+                missing -= 1;
+            }
+            p += 1;
+        }
+        if missing == 0 {
+            return Some(y);
+        }
+        return None;
+    }
+    // Case 2: popcount(x) > weight — must bump some zero bit of x to one and
+    // clear everything below it. Scan p from low to high; candidate keeps
+    // bits of x at positions > p, sets bit p (x must have 0 there), and puts
+    // `rem` ones at the very bottom.
+    for p in 0..n {
+        if x & (1u64 << p) != 0 {
+            continue;
+        }
+        let high = if p + 1 >= 64 { 0 } else { x >> (p + 1) << (p + 1) };
+        let ones_high = high.count_ones() + 1; // +1 for bit p itself
+        if ones_high > weight {
+            continue;
+        }
+        let rem = weight - ones_high;
+        if rem > p {
+            continue; // not enough room below p
+        }
+        let y = high | (1u64 << p) | min_with_weight(rem);
+        debug_assert!(y > x);
+        return Some(y);
+    }
+    None
+}
+
+/// Iterator over all `n`-bit integers with exactly `weight` set bits lying
+/// in the half-open range `[lo, hi)`, in increasing order.
+#[derive(Debug, Clone)]
+pub struct FixedWeightRange {
+    next: Option<u64>,
+    hi: u64,
+}
+
+impl FixedWeightRange {
+    /// All weight-`weight` states `s` with `lo <= s < hi` and `s < 2^n`.
+    pub fn new(n: u32, weight: u32, lo: u64, hi: u64) -> Self {
+        let next = ceil_with_weight(lo, n, weight).filter(|&s| s < hi);
+        Self { next, hi }
+    }
+
+    /// The full range `0..2^n`.
+    pub fn all(n: u32, weight: u32) -> Self {
+        let hi = if n == 64 { u64::MAX } else { 1u64 << n };
+        // `hi` of 2^64-1 loses the all-ones state for n=64/weight=64; that
+        // corner is irrelevant for physics (we never enumerate n=64), but
+        // keep it correct anyway:
+        if n == 64 && weight == 64 {
+            return Self { next: Some(u64::MAX), hi: u64::MAX };
+        }
+        Self::new(n, weight, 0, hi)
+    }
+}
+
+impl Iterator for FixedWeightRange {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        let cur = self.next?;
+        self.next = match next_same_weight(cur) {
+            Some(n) if n < self.hi => Some(n),
+            _ => None,
+        };
+        // Special corner: hi == u64::MAX means "no upper bound" for the
+        // n=64 all-ones case handled in `all`.
+        if cur == u64::MAX && self.hi == u64::MAX {
+            self.next = None;
+        }
+        Some(cur)
+    }
+}
+
+/// Reverses the low `n` bits of `x` (bits `n..64` are cleared).
+#[inline]
+pub fn reverse_low_bits(x: u64, n: u32) -> u64 {
+    debug_assert!(n >= 1 && n <= 64);
+    x.reverse_bits() >> (64 - n)
+}
+
+/// Flips the low `n` bits of `x` (global spin inversion).
+#[inline]
+pub fn flip_low_bits(x: u64, n: u32) -> u64 {
+    debug_assert!(n >= 1 && n <= 64);
+    x ^ low_mask(n)
+}
+
+/// Mask with the low `n` bits set.
+#[inline]
+pub fn low_mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Rotates the low `n` bits of `x` left by `k` (sites `i -> (i + k) mod n`).
+#[inline]
+pub fn rotate_low_bits(x: u64, n: u32, k: u32) -> u64 {
+    debug_assert!(n >= 1 && n <= 64);
+    let k = k % n;
+    if k == 0 {
+        return x & low_mask(n);
+    }
+    let x = x & low_mask(n);
+    ((x << k) | (x >> (n - k))) & low_mask(n)
+}
+
+/// Parity (0 or 1) of `popcount(x)` as a sign: returns `+1.0` for even
+/// parity and `-1.0` for odd.
+#[inline]
+pub fn parity_sign(x: u64) -> f64 {
+    if x.count_ones() & 1 == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gosper_enumerates_all_combinations() {
+        // n = 10, weight = 4: C(10, 4) = 210 states, increasing order.
+        let states: Vec<u64> = FixedWeightRange::all(10, 4).collect();
+        assert_eq!(states.len(), 210);
+        for w in states.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &s in &states {
+            assert_eq!(s.count_ones(), 4);
+            assert!(s < 1 << 10);
+        }
+    }
+
+    #[test]
+    fn gosper_weight_zero_and_full() {
+        assert_eq!(FixedWeightRange::all(8, 0).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(FixedWeightRange::all(8, 8).collect::<Vec<_>>(), vec![255]);
+    }
+
+    #[test]
+    fn next_same_weight_terminates() {
+        assert_eq!(next_same_weight(0), None);
+        assert_eq!(next_same_weight(u64::MAX), None);
+        // Highest 3-bit-weight value: ones at the very top.
+        let top = 0b111u64 << 61;
+        assert_eq!(next_same_weight(top), None);
+        assert_eq!(next_same_weight(0b0011), Some(0b0101));
+        assert_eq!(next_same_weight(0b0101), Some(0b0110));
+        assert_eq!(next_same_weight(0b0110), Some(0b1001));
+    }
+
+    #[test]
+    fn ceil_with_weight_agrees_with_scan() {
+        let n = 12u32;
+        for weight in 0..=n {
+            for x in 0u64..(1 << n) {
+                let expect = (x..(1 << n)).find(|s| s.count_ones() == weight);
+                assert_eq!(
+                    ceil_with_weight(x, n, weight),
+                    expect,
+                    "x={x:#b} w={weight}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_weight_range_subranges_partition() {
+        // Chunked iteration must reproduce the full iteration exactly.
+        let n = 14u32;
+        let w = 7u32;
+        let full: Vec<u64> = FixedWeightRange::all(n, w).collect();
+        let mut chunked = Vec::new();
+        let total = 1u64 << n;
+        let chunks = 13u64; // deliberately not a divisor
+        for c in 0..chunks {
+            let lo = c * total / chunks;
+            let hi = (c + 1) * total / chunks;
+            chunked.extend(FixedWeightRange::new(n, w, lo, hi));
+        }
+        assert_eq!(full, chunked);
+    }
+
+    #[test]
+    fn rotate_and_reverse() {
+        let x = 0b0000_1011u64;
+        assert_eq!(rotate_low_bits(x, 8, 1), 0b0001_0110);
+        assert_eq!(rotate_low_bits(x, 8, 8), x);
+        assert_eq!(reverse_low_bits(x, 8), 0b1101_0000);
+        assert_eq!(reverse_low_bits(reverse_low_bits(x, 8), 8), x);
+        assert_eq!(flip_low_bits(x, 8), 0b1111_0100);
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(1), 1);
+        assert_eq!(low_mask(64), u64::MAX);
+        assert_eq!(max_with_weight(8, 3), 0b1110_0000);
+        assert_eq!(min_with_weight(3), 0b111);
+    }
+
+    #[test]
+    fn parity() {
+        assert_eq!(parity_sign(0), 1.0);
+        assert_eq!(parity_sign(0b1), -1.0);
+        assert_eq!(parity_sign(0b11), 1.0);
+        assert_eq!(parity_sign(u64::MAX), 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Combinadic (combinatorial number system) ranking of fixed-weight
+//! bitstrings.
+//!
+//! When the only symmetry is U(1) (fixed Hamming weight), the index of a
+//! basis state can be computed in closed form instead of by binary search:
+//! the weight-`w` bitstrings of `n` bits, ordered as integers, are in
+//! bijection with their combinadic rank. This gives an `O(n)` `state ->
+//! index` map with no memory traffic, used as a fast path and as an oracle
+//! in tests of the general lookup structures.
+
+/// Table of binomial coefficients `C(n, k)` for `n, k <= 64`, with
+/// saturation at `u64::MAX` (saturated entries are never used by callers
+/// that stay within physical dimensions, but saturation keeps the table
+/// total and panic-free).
+#[derive(Clone, Debug)]
+pub struct BinomialTable {
+    table: Vec<u64>, // (n, k) -> table[n * 65 + k]
+}
+
+impl BinomialTable {
+    pub fn new() -> Self {
+        let mut table = vec![0u64; 65 * 65];
+        for n in 0..=64usize {
+            table[n * 65] = 1;
+            for k in 1..=n {
+                let a = table[(n - 1) * 65 + k - 1];
+                let b = table[(n - 1) * 65 + k];
+                table[n * 65 + k] = a.saturating_add(b);
+            }
+        }
+        Self { table }
+    }
+
+    /// `C(n, k)`; zero when `k > n`.
+    #[inline]
+    pub fn choose(&self, n: u32, k: u32) -> u64 {
+        if k > n || n > 64 {
+            return 0;
+        }
+        self.table[n as usize * 65 + k as usize]
+    }
+
+    /// Rank of `state` among all values with the same popcount, ordered as
+    /// integers. The lowest weight-`w` value has rank 0.
+    ///
+    /// Combinadic formula: rank = sum over set bits at positions `p_1 < p_2
+    /// < ... < p_w` of `C(p_i, i)`.
+    #[inline]
+    pub fn rank(&self, state: u64) -> u64 {
+        let mut rank = 0u64;
+        let mut rest = state;
+        let mut i = 1u32;
+        while rest != 0 {
+            let p = rest.trailing_zeros();
+            rank += self.choose(p, i);
+            rest &= rest - 1;
+            i += 1;
+        }
+        rank
+    }
+
+    /// Inverse of [`Self::rank`]: the weight-`w` value with the given rank.
+    /// Requires `rank < C(n, w)` where `n` is the number of available bit
+    /// positions (≤ 64).
+    pub fn unrank(&self, mut rank: u64, n: u32, w: u32) -> u64 {
+        debug_assert!(rank < self.choose(n, w), "rank out of range");
+        let mut state = 0u64;
+        let mut k = w;
+        let mut p = n;
+        while k > 0 {
+            p -= 1;
+            let c = self.choose(p, k);
+            if rank >= c {
+                rank -= c;
+                state |= 1u64 << p;
+                k -= 1;
+            }
+        }
+        debug_assert_eq!(rank, 0);
+        state
+    }
+}
+
+impl Default for BinomialTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::FixedWeightRange;
+
+    #[test]
+    fn binomials() {
+        let t = BinomialTable::new();
+        assert_eq!(t.choose(0, 0), 1);
+        assert_eq!(t.choose(4, 2), 6);
+        assert_eq!(t.choose(10, 5), 252);
+        assert_eq!(t.choose(40, 20), 137_846_528_820);
+        assert_eq!(t.choose(48, 24), 32_247_603_683_100);
+        assert_eq!(t.choose(64, 32), 1_832_624_140_942_590_534);
+        assert_eq!(t.choose(5, 7), 0);
+    }
+
+    #[test]
+    fn rank_is_position_in_gosper_order() {
+        let t = BinomialTable::new();
+        for (n, w) in [(10u32, 4u32), (12, 6), (9, 1), (7, 7), (8, 0)] {
+            for (i, s) in FixedWeightRange::all(n, w).enumerate() {
+                assert_eq!(t.rank(s), i as u64, "state {s:#b}");
+                assert_eq!(t.unrank(i as u64, n, w), s);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip_large() {
+        let t = BinomialTable::new();
+        let n = 40;
+        let w = 20;
+        let dim = t.choose(n, w);
+        // Sample ranks across the full range.
+        for i in 0..1000u64 {
+            let r = i * (dim / 1000);
+            let s = t.unrank(r, n, w);
+            assert_eq!(s.count_ones(), w);
+            assert_eq!(t.rank(s), r);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Searching sorted basis-state arrays (`stateToIndex` in the paper).
+//!
+//! Each locale stores its basis states sorted; mapping a generated state to
+//! its local index is a binary search (paper Sec. 5.3). On top of the plain
+//! binary search we provide a prefix-bucket index that first narrows the
+//! range by the high bits of the state — the same trick the shared-memory
+//! `lattice-symmetries` uses — which removes most of the cache misses of
+//! the first binary-search steps. `benches/ablation.rs` quantifies the
+//! difference.
+
+/// Plain binary search in a sorted slice.
+#[inline]
+pub fn binary_search(sorted: &[u64], needle: u64) -> Option<usize> {
+    sorted.binary_search(&needle).ok()
+}
+
+/// A prefix-bucket acceleration structure over a sorted `u64` slice.
+///
+/// States are bucketed by their top `bits` bits (relative to an `n_bits`
+/// wide state space); a bucket lookup plus a short binary search replaces
+/// the full-range binary search.
+#[derive(Clone, Debug)]
+pub struct PrefixIndex {
+    shift: u32,
+    /// `starts[b] .. starts[b + 1]` is the slice of states with prefix `b`.
+    starts: Vec<u32>,
+}
+
+impl PrefixIndex {
+    /// Builds an index over `sorted` (ascending, duplicate-free) for states
+    /// drawn from an `n_bits`-wide space. `bits` prefix bits are used;
+    /// a good default is `ceil(log2(len / 4))`, see [`PrefixIndex::auto`].
+    pub fn new(sorted: &[u64], n_bits: u32, bits: u32) -> Self {
+        assert!(bits <= n_bits && bits <= 31, "prefix too wide");
+        assert!(sorted.len() < u32::MAX as usize);
+        let shift = n_bits - bits;
+        let buckets = 1usize << bits;
+        let mut starts = vec![0u32; buckets + 1];
+        // Counting pass (states must be sorted; we only need boundaries).
+        for &s in sorted {
+            let b = (s >> shift) as usize;
+            debug_assert!(b < buckets, "state exceeds n_bits");
+            starts[b + 1] += 1;
+        }
+        for b in 0..buckets {
+            starts[b + 1] += starts[b];
+        }
+        Self { shift, starts }
+    }
+
+    /// Picks a bucket count of roughly `len / 4` (clamped to `[1, 2^20]`
+    /// buckets) — large enough to shrink searches to a handful of elements,
+    /// small enough to keep the index itself cache-resident.
+    pub fn auto(sorted: &[u64], n_bits: u32) -> Self {
+        let target_bits = (sorted.len() / 4).max(1).ilog2().min(20).min(n_bits);
+        Self::new(sorted, n_bits, target_bits)
+    }
+
+    /// Finds `needle` in `sorted` (the same slice the index was built on).
+    #[inline]
+    pub fn lookup(&self, sorted: &[u64], needle: u64) -> Option<usize> {
+        let b = (needle >> self.shift) as usize;
+        if b + 1 >= self.starts.len() {
+            return None;
+        }
+        let lo = self.starts[b] as usize;
+        let hi = self.starts[b + 1] as usize;
+        sorted[lo..hi].binary_search(&needle).ok().map(|i| lo + i)
+    }
+
+    /// Memory used by the index in bytes (for the perf model).
+    pub fn memory_bytes(&self) -> usize {
+        self.starts.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// A radix-trie ranking structure over a sorted `u64` slice — the
+/// trie-based ranking of Wallerberger & Held (the paper's Ref.\ 25).
+///
+/// States are split into fixed-width bit chunks from the most significant
+/// end; each trie level is an array of nodes with `2^chunk_bits` slots.
+/// Lookups cost exactly `n_chunks` dependent loads — no comparisons, no
+/// branches on the data — at the price of more memory than the
+/// prefix-bucket index. `benches/ablation.rs` compares all ranking
+/// structures.
+#[derive(Clone, Debug)]
+pub struct TrieIndex {
+    chunk_bits: u32,
+    n_chunks: u32,
+    n_bits: u32,
+    /// Flattened nodes; node `i` occupies `nodes[i*fanout .. (i+1)*fanout]`.
+    /// `u32::MAX` marks an absent child / absent state. Leaf slots hold
+    /// ranks.
+    nodes: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl TrieIndex {
+    /// Builds a trie over `sorted` (ascending, duplicate-free) states of
+    /// an `n_bits`-wide space, using `chunk_bits`-wide radix levels.
+    pub fn build(sorted: &[u64], n_bits: u32, chunk_bits: u32) -> Self {
+        assert!((1..=16).contains(&chunk_bits));
+        assert!(n_bits >= 1 && n_bits <= 64);
+        assert!((sorted.len() as u64) < ABSENT as u64);
+        let n_chunks = n_bits.div_ceil(chunk_bits).max(1);
+        let fanout = 1usize << chunk_bits;
+        let mut nodes = vec![ABSENT; fanout]; // root
+        for (rank, &s) in sorted.iter().enumerate() {
+            debug_assert!(n_bits == 64 || s < (1u64 << n_bits));
+            let mut node = 0usize;
+            for level in 0..n_chunks {
+                let chunk = Self::chunk_of(s, n_bits, chunk_bits, n_chunks, level);
+                let slot = node * fanout + chunk;
+                if level + 1 == n_chunks {
+                    debug_assert_eq!(nodes[slot], ABSENT, "duplicate state");
+                    nodes[slot] = rank as u32;
+                } else {
+                    if nodes[slot] == ABSENT {
+                        let new_node = nodes.len() / fanout;
+                        nodes.resize(nodes.len() + fanout, ABSENT);
+                        nodes[slot] = new_node as u32;
+                    }
+                    node = nodes[slot] as usize;
+                }
+            }
+        }
+        Self { chunk_bits, n_chunks, n_bits, nodes }
+    }
+
+    #[inline]
+    fn chunk_of(s: u64, n_bits: u32, chunk_bits: u32, n_chunks: u32, level: u32) -> usize {
+        // Chunks cover the low n_chunks*chunk_bits bits, most significant
+        // first (the top chunk may extend beyond n_bits — those bits are
+        // zero for valid states).
+        let shift = (n_chunks - 1 - level) * chunk_bits;
+        debug_assert!(shift < 64 || s >> 63 == 0);
+        let _ = n_bits;
+        ((s >> shift) & ((1u64 << chunk_bits) - 1)) as usize
+    }
+
+    /// Rank of `state`, or `None` if absent.
+    #[inline]
+    pub fn lookup(&self, state: u64) -> Option<usize> {
+        if self.n_bits < 64 && state >> self.n_bits != 0 {
+            return None;
+        }
+        let fanout = 1usize << self.chunk_bits;
+        let mut node = 0usize;
+        for level in 0..self.n_chunks {
+            let chunk =
+                Self::chunk_of(state, self.n_bits, self.chunk_bits, self.n_chunks, level);
+            let slot = self.nodes[node * fanout + chunk];
+            if slot == ABSENT {
+                return None;
+            }
+            if level + 1 == self.n_chunks {
+                return Some(slot as usize);
+            }
+            node = slot as usize;
+        }
+        unreachable!("n_chunks >= 1")
+    }
+
+    /// Memory used by the trie in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::FixedWeightRange;
+
+    fn test_states() -> Vec<u64> {
+        FixedWeightRange::all(18, 9).collect()
+    }
+
+    #[test]
+    fn binary_search_finds_all() {
+        let states = test_states();
+        for (i, &s) in states.iter().enumerate() {
+            assert_eq!(binary_search(&states, s), Some(i));
+        }
+        assert_eq!(binary_search(&states, 0), None);
+        assert_eq!(binary_search(&states, u64::MAX), None);
+    }
+
+    #[test]
+    fn prefix_index_matches_binary_search() {
+        let states = test_states();
+        for bits in [1u32, 4, 8, 12] {
+            let idx = PrefixIndex::new(&states, 18, bits);
+            for (i, &s) in states.iter().enumerate() {
+                assert_eq!(idx.lookup(&states, s), Some(i), "bits={bits}");
+            }
+            // Absent states: probe every value in a subrange.
+            for probe in 0..(1u64 << 12) {
+                assert_eq!(
+                    idx.lookup(&states, probe),
+                    binary_search(&states, probe),
+                    "bits={bits} probe={probe:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_index_on_small_and_empty() {
+        let empty: Vec<u64> = Vec::new();
+        let idx = PrefixIndex::auto(&empty, 10);
+        assert_eq!(idx.lookup(&empty, 3), None);
+
+        let one = vec![5u64];
+        let idx = PrefixIndex::auto(&one, 10);
+        assert_eq!(idx.lookup(&one, 5), Some(0));
+        assert_eq!(idx.lookup(&one, 6), None);
+    }
+
+    #[test]
+    fn trie_matches_binary_search() {
+        let states = test_states();
+        for chunk_bits in [2u32, 4, 6, 8] {
+            let trie = TrieIndex::build(&states, 18, chunk_bits);
+            for (i, &s) in states.iter().enumerate() {
+                assert_eq!(trie.lookup(s), Some(i), "chunk_bits={chunk_bits}");
+            }
+            for probe in 0..(1u64 << 12) {
+                assert_eq!(
+                    trie.lookup(probe),
+                    binary_search(&states, probe),
+                    "chunk_bits={chunk_bits} probe={probe:#b}"
+                );
+            }
+            // Out-of-space probes:
+            assert_eq!(trie.lookup(1 << 20), None);
+            assert_eq!(trie.lookup(u64::MAX), None);
+        }
+    }
+
+    #[test]
+    fn trie_edge_cases() {
+        // Single state.
+        let one = vec![42u64];
+        let t = TrieIndex::build(&one, 10, 3);
+        assert_eq!(t.lookup(42), Some(0));
+        assert_eq!(t.lookup(41), None);
+        // Empty.
+        let empty: Vec<u64> = Vec::new();
+        let t = TrieIndex::build(&empty, 10, 4);
+        assert_eq!(t.lookup(0), None);
+        // chunk_bits not dividing n_bits.
+        let states: Vec<u64> = (0..100u64).map(|i| i * 7 % 1000).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let t = TrieIndex::build(&states, 10, 3);
+        for (i, &s) in states.iter().enumerate() {
+            assert_eq!(t.lookup(s), Some(i));
+        }
+        assert!(t.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn prefix_index_full_width() {
+        // bits == n_bits: each bucket holds at most one state.
+        let states = vec![0u64, 1, 2, 5, 9, 15];
+        let idx = PrefixIndex::new(&states, 4, 4);
+        for (i, &s) in states.iter().enumerate() {
+            assert_eq!(idx.lookup(&states, s), Some(i));
+        }
+        assert_eq!(idx.lookup(&states, 3), None);
+    }
+}

@@ -1,0 +1,104 @@
+//! Kernel calibration on the host machine.
+//!
+//! Measures the primitive rates of *this* build's kernels (Benes
+//! application inside row generation, ranking lookups, representative
+//! checks, streaming memory bandwidth). The resulting constants can be
+//! swapped into the [`crate::MachineModel`] to confirm that the projected
+//! scaling *shapes* do not depend on the paper-anchored constants.
+
+use ls_basis::{SectorSpec, SpinBasis, SymmetrizedOperator};
+use ls_expr::builders::heisenberg;
+use ls_symmetry::lattice;
+use std::time::Instant;
+
+/// Measured single-core kernel rates.
+#[derive(Clone, Debug)]
+pub struct Calibration {
+    /// Effective seconds per Benes application in row generation.
+    pub t_benes: f64,
+    /// Seconds per ranking lookup (+ accumulate).
+    pub t_lookup: f64,
+    /// Seconds per enumeration candidate.
+    pub t_candidate: f64,
+    /// Streaming memcpy bandwidth of one core (bytes/s).
+    pub memcpy_bw: f64,
+}
+
+/// Runs the calibration micro-benchmarks. `n` controls the model system
+/// (chain length, default 24 is a good balance of realism and runtime).
+pub fn calibrate(n: usize) -> Calibration {
+    let bonds = lattice::chain_bonds(n);
+    let kernel = heisenberg(&bonds, 1.0).to_kernel(n as u32).unwrap();
+    let group = lattice::chain_group(n, 0, Some(0), Some(0)).unwrap();
+    let sector = SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
+    let basis = SpinBasis::build(sector.clone());
+    let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
+
+    // Row generation rate -> t_benes.
+    let sample = basis.dim().min(20_000);
+    let mut row = Vec::with_capacity(op.max_row_entries());
+    let mut sink = 0u64;
+    let start = Instant::now();
+    for j in 0..sample {
+        row.clear();
+        op.apply_off_diag(basis.state(j), basis.orbit_sizes()[j], &mut row);
+        sink = sink.wrapping_add(row.len() as u64);
+    }
+    let t_row = start.elapsed().as_secs_f64() / sample as f64;
+    let t_benes =
+        t_row / (op.n_channels() as f64 * sector.group().order() as f64);
+
+    // Ranking rate.
+    let probes: Vec<u64> = (0..200_000)
+        .map(|i| basis.state((i * 7919) % basis.dim()))
+        .collect();
+    let start = Instant::now();
+    let mut found = 0usize;
+    for &p in &probes {
+        if basis.index_of(p).is_some() {
+            found += 1;
+        }
+    }
+    let t_lookup = start.elapsed().as_secs_f64() / probes.len() as f64;
+    assert_eq!(found, probes.len());
+
+    // Candidate-check rate (enumeration filter).
+    let start = Instant::now();
+    let chunk = ls_basis::enumerate::filter_range(&sector, 0, 1 << n);
+    let t_candidate = start.elapsed().as_secs_f64()
+        / ls_kernels::combinadics::BinomialTable::new()
+            .choose(n as u32, n as u32 / 2) as f64;
+    std::hint::black_box(&chunk);
+
+    // Streaming bandwidth.
+    let buf = vec![1u64; 4 << 20];
+    let mut dst = vec![0u64; 4 << 20];
+    let start = Instant::now();
+    let reps = 8;
+    for _ in 0..reps {
+        dst.copy_from_slice(&buf);
+        std::hint::black_box(&dst);
+    }
+    let memcpy_bw =
+        (reps * buf.len() * 8) as f64 / start.elapsed().as_secs_f64();
+
+    std::hint::black_box(sink);
+    Calibration { t_benes, t_lookup, t_candidate, memcpy_bw }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_produces_sane_rates() {
+        let c = calibrate(16);
+        assert!(c.t_benes > 1e-11 && c.t_benes < 1e-5, "t_benes = {}", c.t_benes);
+        assert!(c.t_lookup > 1e-9 && c.t_lookup < 1e-4);
+        assert!(c.t_candidate > 1e-10 && c.t_candidate < 1e-3);
+        assert!(c.memcpy_bw > 1e8, "memcpy {} B/s", c.memcpy_bw);
+        // A model built from it behaves like a machine model.
+        let m = crate::MachineModel::from_calibration(&c);
+        assert!(m.eff_bandwidth(1e6) > 0.0);
+    }
+}

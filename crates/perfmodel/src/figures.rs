@@ -1,0 +1,349 @@
+//! Per-figure projections.
+//!
+//! Each function returns the series a figure plots (node count vs seconds
+//! or speedup). The bench harness prints these next to the paper's
+//! reported/der derived reference values.
+
+use crate::machine::MachineModel;
+use crate::workload::ChainWorkload;
+
+/// One point of a scaling series.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Point {
+    pub nodes: usize,
+    pub value: f64,
+}
+
+/// Producer/consumer split used by the paper (104 + 24 of 128 cores).
+#[derive(Copy, Clone, Debug)]
+pub struct CoreSplit {
+    pub producers: usize,
+    pub consumers: usize,
+}
+
+impl Default for CoreSplit {
+    fn default() -> Self {
+        Self { producers: 104, consumers: 24 }
+    }
+}
+
+// --------------------------------------------------------------------
+// Fig. 8 / Fig. 9: matrix-vector product
+// --------------------------------------------------------------------
+
+/// Wall time of one producer/consumer matvec on `nodes` nodes.
+///
+/// Single node: no split (every core both produces and consumes, as in
+/// the paper's single-node reference). Multi-node: the strict split makes
+/// the slower side the bottleneck, plus the exposed (non-overlapped)
+/// fraction of communication.
+pub fn matvec_pc_time(
+    m: &MachineModel,
+    w: &ChainWorkload,
+    nodes: usize,
+    split: CoreSplit,
+    buffer_bytes: f64,
+) -> f64 {
+    let produce_work = w.dim * w.t_row(m); // core-seconds
+    let consume_work = w.total_pairs() * m.t_lookup; // core-seconds
+    if nodes <= 1 {
+        return (produce_work + consume_work) / m.cores_per_node as f64;
+    }
+    let n = nodes as f64;
+    // Per-node wire traffic of the pipeline.
+    let bytes_per_node = w.total_pairs() * ChainWorkload::BYTES_PER_PAIR
+        * ChainWorkload::remote_fraction(nodes)
+        / n;
+    // Message initiation is a per-core cost paid by the producers (the
+    // sends are pipelined across cores, not serialized on the wire).
+    let msgs_per_node = bytes_per_node / buffer_bytes;
+    let t_produce = produce_work / (n * split.producers as f64)
+        + msgs_per_node * m.alpha / split.producers as f64;
+    let t_consume = consume_work / (n * split.consumers as f64);
+    let t_wire = bytes_per_node / m.eff_bandwidth(buffer_bytes);
+    t_produce.max(t_consume) + m.comm_exposure * t_wire
+}
+
+/// Fig. 8a/8b: strong-scaling speedups, normalized to `base_nodes`.
+pub fn fig8_speedups(
+    m: &MachineModel,
+    n_spins: usize,
+    node_counts: &[usize],
+    base_nodes: usize,
+    split: CoreSplit,
+) -> Vec<Point> {
+    let w = ChainWorkload::new(n_spins);
+    let buffer = 16.0 * 1024.0;
+    let t_base = matvec_pc_time(m, &w, base_nodes, split, buffer);
+    node_counts
+        .iter()
+        .map(|&nodes| Point {
+            nodes,
+            value: t_base * base_nodes as f64 / base_nodes as f64
+                / matvec_pc_time(m, &w, nodes, split, buffer),
+        })
+        .collect()
+}
+
+/// The paper's single-node producer/consumer second breakdown (Sec. 6.3):
+/// returns (seconds per producing core, seconds per consuming core) for a
+/// given node count and split.
+pub fn matvec_core_breakdown(
+    m: &MachineModel,
+    n_spins: usize,
+    nodes: usize,
+    split: CoreSplit,
+) -> (f64, f64) {
+    let w = ChainWorkload::new(n_spins);
+    let n = nodes as f64;
+    (
+        w.dim * w.t_row(m) / (n * split.producers as f64),
+        w.total_pairs() * m.t_lookup / (n * split.consumers as f64),
+    )
+}
+
+/// SPINPACK-like bulk-synchronous matvec time (Fig. 9's baseline).
+///
+/// Three modelled differences, per the paper's discussion and measured
+/// anchors:
+/// 1. ≈2× slower single-node kernels (the paper measures LS 2× faster on
+///    one node);
+/// 2. no communication/computation overlap — the exchange is serialized
+///    after the generation phase;
+/// 3. the pure-MPI `alltoallv` (one rank per core, `128·L` ranks) loses
+///    effective bandwidth as the node count grows: more, smaller
+///    messages, plus the synchronizing nature of the collective. We model
+///    the per-node effective exchange bandwidth as
+///    `bw_peak / (1 + L/3)`, calibrated so that the measured 7–8× gap at
+///    32 nodes *and* the ≈3× gap at 4 nodes are both reproduced; the
+///    qualitative consequence — SPINPACK's exchange time stays roughly
+///    constant under strong scaling, flattening its speedup curve — is
+///    exactly the behaviour Fig. 9 shows.
+pub fn matvec_spinpack_time(m: &MachineModel, w: &ChainWorkload, nodes: usize) -> f64 {
+    let kernel_factor = 2.0;
+    let compute_work = kernel_factor * (w.dim * w.t_row(m) + w.total_pairs() * m.t_lookup);
+    let t_compute = compute_work / (nodes as f64 * m.cores_per_node as f64);
+    if nodes <= 1 {
+        return t_compute;
+    }
+    let n = nodes as f64;
+    let bytes_per_node = w.total_pairs() * ChainWorkload::BYTES_PER_PAIR
+        * ChainWorkload::remote_fraction(nodes)
+        / n;
+    let collective_bw = m.bw_peak / (1.0 + n / 3.0);
+    let t_comm = bytes_per_node / collective_bw;
+    // No overlap: compute + full exchange, serialized.
+    t_compute + t_comm
+}
+
+/// Fig. 9: speedup over the *fastest single-node LS run* for both codes.
+pub fn fig9_series(
+    m: &MachineModel,
+    n_spins: usize,
+    node_counts: &[usize],
+) -> (Vec<Point>, Vec<Point>) {
+    let w = ChainWorkload::new(n_spins);
+    let buffer = 16.0 * 1024.0;
+    let t1_ls = matvec_pc_time(m, &w, 1, CoreSplit::default(), buffer);
+    let ls = node_counts
+        .iter()
+        .map(|&nodes| Point {
+            nodes,
+            value: t1_ls / matvec_pc_time(m, &w, nodes, CoreSplit::default(), buffer),
+        })
+        .collect();
+    let sp = node_counts
+        .iter()
+        .map(|&nodes| Point {
+            nodes,
+            value: t1_ls / matvec_spinpack_time(m, &w, nodes),
+        })
+        .collect();
+    (ls, sp)
+}
+
+// --------------------------------------------------------------------
+// Fig. 7: basis construction
+// --------------------------------------------------------------------
+
+/// Wall time of the distributed states enumeration on `nodes` nodes.
+///
+/// Filter phase: perfectly parallel over candidates. Distribution phase:
+/// the paper's message-size analysis — `chunks = nodes·cores·25`, so each
+/// chunk sends `dim/(chunks·nodes)` elements per destination, and small
+/// systems hit the small-message regime at high node counts.
+pub fn enumeration_time(m: &MachineModel, w: &ChainWorkload, nodes: usize) -> f64 {
+    let n = nodes as f64;
+    let cores = m.cores_per_node as f64;
+    let t_filter = w.candidates * m.t_candidate / (n * cores);
+    if nodes <= 1 {
+        return t_filter;
+    }
+    let chunks = n * cores * 25.0;
+    let elems_per_chunk = w.dim / chunks;
+    let msg_bytes = (elems_per_chunk / n * 8.0).max(8.0);
+    let bytes_per_node =
+        w.dim / n * 8.0 * ChainWorkload::remote_fraction(nodes);
+    let t_dist = m.transfer_time(bytes_per_node, msg_bytes);
+    t_filter + t_dist
+}
+
+/// Fig. 7: strong-scaling speedup of basis construction over one node.
+pub fn fig7_speedups(m: &MachineModel, n_spins: usize, node_counts: &[usize]) -> Vec<Point> {
+    let w = ChainWorkload::new(n_spins);
+    let t1 = enumeration_time(m, &w, 1);
+    node_counts
+        .iter()
+        .map(|&nodes| Point { nodes, value: t1 / enumeration_time(m, &w, nodes) })
+        .collect()
+}
+
+// --------------------------------------------------------------------
+// Fig. 6: block <-> hashed conversion
+// --------------------------------------------------------------------
+
+/// Wall time of one conversion (either direction — the cost structure is
+/// symmetric: streaming passes locally plus the remote transfer).
+pub fn conversion_time(m: &MachineModel, w: &ChainWorkload, nodes: usize) -> f64 {
+    let n = nodes as f64;
+    let bytes_local = w.dim / n * 8.0;
+    // Histogram pass over the masks + partition/merge pass over the data.
+    let t_local = (bytes_local * 2.5) / m.mem_bw;
+    if nodes <= 1 {
+        return t_local;
+    }
+    let chunks_per_node = m.cores_per_node as f64 * 25.0;
+    let msg_bytes = (bytes_local / chunks_per_node / n).max(8.0);
+    let t_net = m.transfer_time(bytes_local * ChainWorkload::remote_fraction(nodes), msg_bytes);
+    t_local + t_net
+}
+
+/// Fig. 6: absolute conversion times.
+pub fn fig6_times(m: &MachineModel, n_spins: usize, node_counts: &[usize]) -> Vec<Point> {
+    let w = ChainWorkload::new(n_spins);
+    node_counts
+        .iter()
+        .map(|&nodes| Point { nodes, value: conversion_time(m, &w, nodes) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MachineModel {
+        MachineModel::snellius_paper_calibrated()
+    }
+
+    #[test]
+    fn single_node_anchor_42_spins() {
+        // Paper: fastest single-node LS matvec for 42 spins: 509.6 s
+        // (Fig. 9 caption); the model's T1 = produce + consume work.
+        let w = ChainWorkload::new(42);
+        let t1 = matvec_pc_time(&model(), &w, 1, CoreSplit::default(), 16384.0);
+        assert!((t1 - 504.0).abs() < 15.0, "T1 = {t1}");
+    }
+
+    #[test]
+    fn paper_breakdown_at_64_nodes() {
+        // Paper Sec. 6.3: at 64 nodes each producer spends ≈8.2 s in
+        // getManyRows.
+        let (p, c) = matvec_core_breakdown(&model(), 42, 64, CoreSplit::default());
+        assert!((p - 8.2).abs() < 0.5, "producer time {p}");
+        assert!(c < p, "consumers must not dominate: {c} vs {p}");
+    }
+
+    #[test]
+    fn fig8a_speedup_in_papers_range() {
+        // Paper: ≈51× for 42 spins at 64 nodes (vs ideal 64). The model
+        // must land in that regime (sub-ideal, > 40).
+        let s = fig8_speedups(&model(), 42, &[64], 1, CoreSplit::default());
+        assert!(
+            s[0].value > 42.0 && s[0].value < 60.0,
+            "speedup {}",
+            s[0].value
+        );
+        // 40 spins scale slightly worse at fixed nodes (smaller problem).
+        let s40 = fig8_speedups(&model(), 40, &[64], 1, CoreSplit::default());
+        assert!(s40[0].value <= s[0].value + 1.0);
+    }
+
+    #[test]
+    fn fig8b_large_systems() {
+        // 44 spins: 47× going 4 -> 256 nodes (ideal 64); we accept the
+        // 40..64 band. 46 spins: 12× going 16 -> 256 (ideal 16); band
+        // 10..16.
+        let s44 = fig8_speedups(&model(), 44, &[256], 4, CoreSplit::default());
+        assert!(
+            s44[0].value > 40.0 && s44[0].value < 64.0,
+            "44 spins: {}",
+            s44[0].value
+        );
+        let s46 = fig8_speedups(&model(), 46, &[256], 16, CoreSplit::default());
+        assert!(
+            s46[0].value > 10.0 && s46[0].value <= 16.0,
+            "46 spins: {}",
+            s46[0].value
+        );
+    }
+
+    #[test]
+    fn fig9_ratio_grows_to_7x() {
+        let (ls, sp) = fig9_series(&model(), 42, &[1, 32]);
+        // Single node: LS is ~2x faster (the kernel factor).
+        let r1 = ls[0].value / sp[0].value;
+        assert!((r1 - 2.0).abs() < 0.2, "single-node ratio {r1}");
+        // 32 nodes: paper reports 7-8x.
+        let r32 = ls[1].value / sp[1].value;
+        assert!(r32 > 5.5 && r32 < 10.0, "32-node ratio {r32}");
+    }
+
+    #[test]
+    fn fig7_saturation_ordering() {
+        // Paper: near-perfect scaling to 16 nodes; at 32 nodes the
+        // 40-spin system saturates while 42 spins stays close to ideal.
+        let m = model();
+        let s40 = fig7_speedups(&m, 40, &[16, 32]);
+        let s42 = fig7_speedups(&m, 42, &[16, 32]);
+        assert!(s40[0].value > 13.0, "40 spins @16: {}", s40[0].value);
+        assert!(s42[0].value > 14.0, "42 spins @16: {}", s42[0].value);
+        // Saturation: 40 spins loses clearly more at 32 nodes.
+        let eff40 = s40[1].value / 32.0;
+        let eff42 = s42[1].value / 32.0;
+        assert!(
+            eff40 < eff42 - 0.03,
+            "40 spins should saturate first: {eff40} vs {eff42}"
+        );
+        // Single-node anchors: 102.1 s and 407.5 s.
+        let t40 = enumeration_time(&m, &ChainWorkload::new(40), 1);
+        assert!((t40 - 102.1).abs() < 5.0, "{t40}");
+    }
+
+    #[test]
+    fn fig6_under_a_second_beyond_4_locales() {
+        // Paper Sec. 6.1: for > 4 locales both conversions complete well
+        // under a second.
+        let m = model();
+        for n_spins in [40usize, 42] {
+            for nodes in [8usize, 16, 32] {
+                let t = conversion_time(&m, &ChainWorkload::new(n_spins), nodes);
+                assert!(t < 1.0, "{n_spins} spins on {nodes} nodes: {t} s");
+            }
+        }
+        // And the single-node time is larger than the 8-node time.
+        let w = ChainWorkload::new(42);
+        assert!(conversion_time(&m, &w, 1) > conversion_time(&m, &w, 8));
+    }
+
+    #[test]
+    fn matvec_time_decreases_with_nodes() {
+        let m = model();
+        let w = ChainWorkload::new(44);
+        let mut last = f64::INFINITY;
+        for nodes in [4usize, 8, 16, 32, 64, 128, 256] {
+            let t = matvec_pc_time(&m, &w, nodes, CoreSplit::default(), 16384.0);
+            assert!(t < last, "non-monotonic at {nodes}");
+            last = t;
+        }
+    }
+}

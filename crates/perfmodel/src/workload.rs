@@ -1,0 +1,85 @@
+//! Workload descriptions: exact operation counts for the paper's
+//! benchmark Hamiltonians.
+
+use ls_kernels::combinadics::BinomialTable;
+
+/// A closed Heisenberg spin-1/2 chain in the paper's benchmark sector
+/// (U(1) at half filling, momentum 0, reflection +1, spin inversion +1).
+#[derive(Clone, Debug)]
+pub struct ChainWorkload {
+    pub n_spins: usize,
+    /// Exact sector dimension (Burnside counting; matches Table 2).
+    pub dim: f64,
+    /// Off-diagonal scattering channels per row (2 per bond).
+    pub channels: f64,
+    /// Symmetry-group order |G| = 4N (dihedral × inversion).
+    pub group_order: f64,
+    /// Raw candidates enumerated by the basis construction
+    /// (`C(N, N/2)` with Gosper iteration).
+    pub candidates: f64,
+}
+
+impl ChainWorkload {
+    pub fn new(n_spins: usize) -> Self {
+        assert!(n_spins >= 4 && n_spins % 2 == 0 && n_spins <= 64);
+        let dim = ls_symmetry::count::table2_dimension(n_spins) as f64;
+        let binom = BinomialTable::new();
+        let candidates = binom.choose(n_spins as u32, n_spins as u32 / 2) as f64;
+        Self {
+            n_spins,
+            dim,
+            channels: 2.0 * n_spins as f64,
+            group_order: 4.0 * n_spins as f64,
+            candidates,
+        }
+    }
+
+    /// Time to generate one row (all matrix elements of one source
+    /// state) on one core: every generated state is resolved against the
+    /// whole group.
+    pub fn t_row(&self, m: &crate::MachineModel) -> f64 {
+        self.channels * self.group_order * m.t_benes
+    }
+
+    /// Total `(state, coefficient)` pairs of one matrix-vector product.
+    pub fn total_pairs(&self) -> f64 {
+        self.dim * self.channels
+    }
+
+    /// Bytes on the wire per pair (u64 state + f64 coefficient).
+    pub const BYTES_PER_PAIR: f64 = 16.0;
+
+    /// Fraction of pairs whose destination is a different locale (uniform
+    /// hashing).
+    pub fn remote_fraction(nodes: usize) -> f64 {
+        if nodes <= 1 {
+            0.0
+        } else {
+            1.0 - 1.0 / nodes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_dimensions() {
+        assert_eq!(ChainWorkload::new(40).dim, 861_725_794.0);
+        assert_eq!(ChainWorkload::new(42).dim, 3_204_236_779.0);
+        assert_eq!(ChainWorkload::new(44).dim, 11_955_836_258.0);
+        assert_eq!(ChainWorkload::new(46).dim, 44_748_176_653.0);
+        assert_eq!(ChainWorkload::new(48).dim, 167_959_144_032.0);
+    }
+
+    #[test]
+    fn chain_structure() {
+        let w = ChainWorkload::new(40);
+        assert_eq!(w.channels, 80.0);
+        assert_eq!(w.group_order, 160.0);
+        assert_eq!(w.candidates, 137_846_528_820.0);
+        assert_eq!(ChainWorkload::remote_fraction(1), 0.0);
+        assert!((ChainWorkload::remote_fraction(4) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+//! Atomic accumulation windows: the `y[i] += coeff` of the paper's
+//! matrix-vector product, executable concurrently from any locale.
+//!
+//! Scalars are viewed as their `f64` lanes and accumulated with CAS loops
+//! on `AtomicU64` bit patterns; `Relaxed` ordering suffices because
+//! accumulation is commutative and the epoch ends with a barrier that
+//! publishes everything.
+//!
+//! The window itself performs no statistics recording: whether an
+//! accumulation is "remote" depends on the algorithm (the batched matvec
+//! ships coefficients in bulk and then accumulates *locally on behalf of*
+//! the destination, while the naive matvec really does remote updates), so
+//! attribution is the caller's job via [`crate::stats::CommStats`].
+
+use crate::distvec::DistVec;
+use ls_kernels::Scalar;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A window over a distributed vector of scalars allowing concurrent
+/// `fetch_add` from any locale.
+pub struct AtomicAccumWindow<'a, S: Scalar> {
+    /// Per locale: pointer to the first `AtomicU64` lane and the number of
+    /// *scalar* elements.
+    parts: Vec<(*const AtomicU64, usize)>,
+    _marker: PhantomData<&'a mut [S]>,
+}
+
+unsafe impl<'a, S: Scalar> Send for AtomicAccumWindow<'a, S> {}
+unsafe impl<'a, S: Scalar> Sync for AtomicAccumWindow<'a, S> {}
+
+impl<'a, S: Scalar> AtomicAccumWindow<'a, S> {
+    pub fn new(vec: &'a mut DistVec<S>) -> Self {
+        // Layout guarantee: f64 and Complex64 are repr(C) aggregates of
+        // f64 lanes, and AtomicU64 has the same size/alignment as f64.
+        const {
+            assert!(std::mem::align_of::<S>() >= std::mem::align_of::<u64>());
+        };
+        assert_eq!(std::mem::size_of::<S>(), 8 * S::N_REALS);
+        let parts = vec
+            .parts_mut()
+            .iter_mut()
+            .map(|p| (p.as_mut_ptr() as *const AtomicU64, p.len()))
+            .collect();
+        Self { parts, _marker: PhantomData }
+    }
+
+    pub fn len(&self, locale: usize) -> usize {
+        self.parts[locale].1
+    }
+
+    pub fn is_empty(&self, locale: usize) -> bool {
+        self.len(locale) == 0
+    }
+
+    /// Atomically `vec[locale][index] += val`. Safe to call concurrently
+    /// from any number of threads.
+    #[inline]
+    pub fn fetch_add(&self, locale: usize, index: usize, val: S) {
+        let (base, len) = self.parts[locale];
+        assert!(index < len, "accumulate out of bounds: {index} >= {len}");
+        let lanes = val.to_reals();
+        for lane in 0..S::N_REALS {
+            let add = lanes[lane];
+            if add == 0.0 {
+                continue;
+            }
+            // SAFETY: index bounds checked; all epoch access is atomic.
+            let cell = unsafe { &*base.add(index * S::N_REALS + lane) };
+            let mut cur = cell.load(Ordering::Relaxed);
+            loop {
+                let new = (f64::from_bits(cur) + add).to_bits();
+                match cell.compare_exchange_weak(
+                    cur,
+                    new,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+
+    /// Atomic read of one element (diagnostics / tests).
+    pub fn load(&self, locale: usize, index: usize) -> S {
+        let (base, len) = self.parts[locale];
+        assert!(index < len);
+        let mut lanes = [0.0f64; 2];
+        for (lane, slot) in lanes.iter_mut().enumerate().take(S::N_REALS) {
+            let cell = unsafe { &*base.add(index * S::N_REALS + lane) };
+            *slot = f64::from_bits(cell.load(Ordering::Relaxed));
+        }
+        S::from_reals(lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterSpec};
+    use ls_kernels::Complex64;
+
+    #[test]
+    fn concurrent_real_accumulation() {
+        let n_locales = 4;
+        let slots = 16usize;
+        let adds_per_locale = 1000;
+        let cluster = Cluster::new(ClusterSpec::new(n_locales, 1));
+        let mut y = DistVec::<f64>::zeros(&vec![slots; n_locales]);
+        {
+            let win = AtomicAccumWindow::new(&mut y);
+            cluster.run(|ctx| {
+                for i in 0..adds_per_locale {
+                    let dest = i % n_locales;
+                    let idx = (i * 7 + ctx.locale()) % slots;
+                    win.fetch_add(dest, idx, 0.5);
+                }
+            });
+        }
+        let total: f64 = y.parts().iter().flatten().sum();
+        let expect = 0.5 * (adds_per_locale * n_locales) as f64;
+        assert!((total - expect).abs() < 1e-9, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn complex_accumulation() {
+        let cluster = Cluster::new(ClusterSpec::new(3, 1));
+        let mut y = DistVec::<Complex64>::zeros(&[4, 4, 4]);
+        {
+            let win = AtomicAccumWindow::new(&mut y);
+            cluster.run(|_ctx| {
+                for _ in 0..100 {
+                    win.fetch_add(0, 1, Complex64::new(0.25, -0.5));
+                }
+            });
+        }
+        let z = y.part(0)[1];
+        assert!(z.approx_eq(Complex64::new(75.0, -150.0), 1e-9), "{z:?}");
+        assert_eq!(y.part(0)[0], Complex64::ZERO);
+    }
+
+    #[test]
+    fn load_reads_back() {
+        let mut y = DistVec::<f64>::zeros(&[2]);
+        let win = AtomicAccumWindow::new(&mut y);
+        win.fetch_add(0, 0, 1.5);
+        assert_eq!(win.load(0, 0), 1.5);
+        assert_eq!(win.load(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let mut y = DistVec::<f64>::zeros(&[2]);
+        let win = AtomicAccumWindow::new(&mut y);
+        win.fetch_add(0, 2, 1.0);
+    }
+}

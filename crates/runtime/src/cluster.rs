@@ -1,0 +1,208 @@
+//! The simulated cluster: locales, SPMD execution, per-locale context.
+
+use crate::barrier::SenseBarrier;
+use crate::stats::{CommStats, StatsSnapshot};
+
+/// Static description of the simulated machine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Number of locales (compute nodes).
+    pub locales: usize,
+    /// Worker tasks per locale used by task-parallel algorithms (the
+    /// paper's nodes have 128 cores; simulations use small values).
+    pub cores_per_locale: usize,
+}
+
+impl ClusterSpec {
+    pub fn new(locales: usize, cores_per_locale: usize) -> Self {
+        assert!(locales >= 1 && cores_per_locale >= 1);
+        Self { locales, cores_per_locale }
+    }
+}
+
+/// A simulated cluster. Executes SPMD closures — one thread per locale —
+/// and records per-locale communication statistics.
+#[derive(Debug)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    stats: Vec<CommStats>,
+    barrier: SenseBarrier,
+}
+
+impl Cluster {
+    pub fn new(spec: ClusterSpec) -> Self {
+        Self {
+            stats: (0..spec.locales).map(|_| CommStats::new()).collect(),
+            barrier: SenseBarrier::new(spec.locales),
+            spec,
+        }
+    }
+
+    pub fn spec(&self) -> ClusterSpec {
+        self.spec
+    }
+
+    pub fn n_locales(&self) -> usize {
+        self.spec.locales
+    }
+
+    pub fn stats(&self) -> &[CommStats] {
+        &self.stats
+    }
+
+    /// Sum of all locales' statistics.
+    pub fn stats_total(&self) -> StatsSnapshot {
+        self.stats
+            .iter()
+            .map(|s| s.snapshot())
+            .fold(StatsSnapshot::default(), |acc, s| acc.merged(&s))
+    }
+
+    pub fn reset_stats(&self) {
+        for s in &self.stats {
+            s.reset();
+        }
+    }
+
+    /// Runs `f` once per locale (SPMD), each invocation on its own OS
+    /// thread, and returns the per-locale results in locale order.
+    ///
+    /// This is the analogue of the paper's
+    /// `coforall loc in Locales do on loc { ... }`.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&LocaleCtx<'_>) -> R + Sync,
+    {
+        let n = self.spec.locales;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for locale in 0..n {
+                let ctx = LocaleCtx {
+                    locale,
+                    n_locales: n,
+                    cores: self.spec.cores_per_locale,
+                    stats: &self.stats,
+                    barrier: &self.barrier,
+                };
+                let f = &f;
+                handles.push(scope.spawn(move || f(&ctx)));
+            }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    // Re-raise with the original payload so callers (and
+                    // #[should_panic] tests) see the real message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+}
+
+/// Execution context handed to each locale's SPMD task.
+#[derive(Copy, Clone)]
+pub struct LocaleCtx<'a> {
+    locale: usize,
+    n_locales: usize,
+    cores: usize,
+    stats: &'a [CommStats],
+    barrier: &'a SenseBarrier,
+}
+
+impl<'a> LocaleCtx<'a> {
+    /// This locale's index (`here.id` in Chapel).
+    #[inline]
+    pub fn locale(&self) -> usize {
+        self.locale
+    }
+
+    #[inline]
+    pub fn n_locales(&self) -> usize {
+        self.n_locales
+    }
+
+    /// Task-parallel width within this locale.
+    #[inline]
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// This locale's statistics.
+    #[inline]
+    pub fn stats(&self) -> &'a CommStats {
+        &self.stats[self.locale]
+    }
+
+    /// All locales' statistics (used by windows that attribute the cost to
+    /// the initiating locale).
+    #[inline]
+    pub fn all_stats(&self) -> &'a [CommStats] {
+        self.stats
+    }
+
+    /// Cluster-wide barrier (records one crossing per locale).
+    pub fn barrier(&self) -> &'a SenseBarrier {
+        self.barrier
+    }
+
+    /// Waits on the cluster barrier and records the crossing.
+    pub fn barrier_wait(&self) {
+        self.stats().record_barrier();
+        self.barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_locales_in_order() {
+        let cluster = Cluster::new(ClusterSpec::new(4, 2));
+        let ids = cluster.run(|ctx| {
+            assert_eq!(ctx.n_locales(), 4);
+            assert_eq!(ctx.cores(), 2);
+            ctx.locale()
+        });
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        let cluster = Cluster::new(ClusterSpec::new(3, 1));
+        let phase = AtomicUsize::new(0);
+        cluster.run(|ctx| {
+            phase.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier_wait();
+            assert_eq!(phase.load(Ordering::SeqCst), 3);
+            ctx.barrier_wait();
+            phase.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier_wait();
+            assert_eq!(phase.load(Ordering::SeqCst), 6);
+        });
+        let total = cluster.stats_total();
+        assert_eq!(total.barriers, 9);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let cluster = Cluster::new(ClusterSpec::new(2, 1));
+        cluster.run(|ctx| ctx.barrier_wait());
+        assert_eq!(cluster.stats_total().barriers, 2);
+        cluster.reset_stats();
+        assert_eq!(cluster.stats_total().barriers, 0);
+    }
+
+    #[test]
+    fn single_locale_cluster() {
+        let cluster = Cluster::new(ClusterSpec::new(1, 4));
+        let out = cluster.run(|ctx| {
+            ctx.barrier_wait();
+            42usize + ctx.locale()
+        });
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # ls-runtime
+//!
+//! A simulated multi-locale PGAS runtime: the stand-in for Chapel's
+//! distributed execution model (and the cluster it runs on) that the
+//! paper's algorithms are written against.
+//!
+//! ## What is simulated, and what is real
+//!
+//! *Real*: every algorithmic ingredient. Locales are OS threads with
+//! disjoint memory regions ([`DistVec`]); communication happens only
+//! through explicit one-sided operations — [`window::RmaWriteWindow::put`],
+//! [`window::RmaReadWindow::get`], [`accum::AtomicAccumWindow`] for remote
+//! atomic accumulation, and [`remote::remote_atomic_store`] for the paper's
+//! `remoteAtomicWrite` flag protocol. Synchronization (sense-reversing
+//! barriers, spin-with-backoff flag waits) is executed with real atomics,
+//! so the producer/consumer protocol of Sec. 5.3 is genuinely exercised,
+//! including its memory-ordering obligations.
+//!
+//! *Simulated*: the wire. All "remote" transfers are memcpys between
+//! address ranges owned by different threads of one process. Every
+//! operation is counted in [`stats::CommStats`] (operation counts, bytes,
+//! message-size histogram), and `ls-perfmodel` converts those exact counts
+//! into projected wall-clock times for a real interconnect.
+//!
+//! The memory-safety discipline follows MPI RMA epochs: windows borrow the
+//! distributed vector (`&mut` for write windows), so Rust's borrow checker
+//! enforces that an epoch's writers have exclusive access at the type
+//! level, while in-epoch disjointness of writes is checked at runtime in
+//! debug builds.
+
+pub mod accum;
+pub mod barrier;
+pub mod cluster;
+pub mod distvec;
+pub mod remote;
+pub mod stats;
+pub mod window;
+
+pub use accum::AtomicAccumWindow;
+pub use barrier::SenseBarrier;
+pub use cluster::{Cluster, ClusterSpec, LocaleCtx};
+pub use distvec::{block_range, BlockLayout, DistVec};
+pub use stats::CommStats;
+pub use window::{RmaReadWindow, RmaWriteWindow};

@@ -1,0 +1,240 @@
+//! Closed-form symmetry-sector dimension counting (Burnside / projector
+//! trace).
+//!
+//! The dimension of the symmetry-adapted subspace is the trace of the
+//! projector `P = (1/|G|) Σ_g χ(g)* U_g`, i.e.
+//!
+//! ```text
+//! dim = (1/|G|) Σ_g χ(g)* · Fix(g)
+//! ```
+//!
+//! where `Fix(g)` counts basis states fixed by `g` (within the fixed
+//! Hamming-weight sector if U(1) is imposed). `Fix(g)` follows from the
+//! cycle structure of the permutation: a fixed state must be constant along
+//! every cycle, and under a spin-inverting element it must alternate, which
+//! is possible only for even-length cycles. A knapsack DP over cycle
+//! lengths restricts to a given Hamming weight.
+//!
+//! This lets us verify Table 2 of the paper (dimensions up to 1.7·10¹¹)
+//! exactly and instantly, without touching a single basis state.
+
+use crate::group::SymmetryGroup;
+use ls_kernels::Complex64;
+
+/// Number of weight-`w` bitstrings fixed by an element with the given
+/// plain-permutation cycle lengths, when the element carries no spin flip:
+/// the generating function is `Π_c (1 + x^len(c))`.
+///
+/// With a flip, each cycle must have even length and contributes
+/// `2 · x^(len/2)`; odd cycles make the count zero.
+fn count_fixed(cycles: &[usize], flip: bool, weight: Option<u32>) -> u128 {
+    let n: usize = cycles.iter().sum();
+    match weight {
+        None => {
+            if flip {
+                if cycles.iter().any(|&l| l % 2 == 1) {
+                    0
+                } else {
+                    1u128 << cycles.len()
+                }
+            } else {
+                1u128 << cycles.len()
+            }
+        }
+        Some(w) => {
+            let w = w as usize;
+            if w > n {
+                return 0;
+            }
+            // Knapsack DP over cycles: dp[v] = number of ways to pick a
+            // total weight v.
+            let mut dp = vec![0u128; w + 1];
+            dp[0] = 1;
+            if flip {
+                for &len in cycles {
+                    if len % 2 == 1 {
+                        return 0;
+                    }
+                    let half = len / 2;
+                    // Every cycle contributes weight exactly len/2, with
+                    // multiplicity 2 (two alternating colourings).
+                    for v in (0..=w).rev() {
+                        dp[v] = if v >= half { dp[v - half] * 2 } else { 0 };
+                    }
+                }
+            } else {
+                for &len in cycles {
+                    for v in (len..=w).rev() {
+                        dp[v] += dp[v - len];
+                    }
+                }
+            }
+            dp[w]
+        }
+    }
+}
+
+/// The dimension of the symmetry sector defined by `group` (and optionally
+/// a fixed Hamming weight), computed by Burnside counting.
+///
+/// Returns the exact dimension. Panics if the character-weighted sum is not
+/// (numerically) a non-negative integer — which cannot happen for a valid
+/// 1-dim representation.
+pub fn sector_dimension(group: &SymmetryGroup, weight: Option<u32>) -> u64 {
+    let mut acc = Complex64::ZERO;
+    for el in group.elements() {
+        let cycles = el.permutation().cycle_lengths();
+        let fixed = count_fixed(&cycles, el.has_flip(), weight);
+        // χ(g)* weighting.
+        acc += el.phase().conj().to_c64().scale(fixed as f64);
+    }
+    let dim = acc.re / group.order() as f64;
+    assert!(
+        acc.im.abs() < 1e-3 * (1.0 + acc.re.abs()),
+        "sector dimension has imaginary part: {acc:?}"
+    );
+    assert!(dim > -0.5, "negative sector dimension: {dim}");
+    let rounded = dim.round();
+    assert!(
+        (dim - rounded).abs() < 1e-3 * (1.0 + rounded.abs()),
+        "sector dimension not integral: {dim}"
+    );
+    rounded as u64
+}
+
+/// Dimensions of the paper's Table 2: closed chains of `n` spins with
+/// U(1) at half filling, momentum 0, reflection parity +1 and
+/// spin-inversion parity +1.
+pub fn table2_dimension(n: usize) -> u64 {
+    let group = crate::lattice::chain_group(n, 0, Some(0), Some(0))
+        .expect("chain group is always consistent for k = 0");
+    sector_dimension(&group, Some(n as u32 / 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{Generator, SymmetryGroup};
+    use crate::lattice;
+
+    /// Brute-force oracle: enumerate all 2^n states, compute the projector
+    /// trace directly.
+    fn dimension_brute_force(group: &SymmetryGroup, weight: Option<u32>) -> u64 {
+        let n = group.n_sites();
+        let mut acc = Complex64::ZERO;
+        for s in 0..(1u64 << n) {
+            if let Some(w) = weight {
+                if s.count_ones() != w {
+                    continue;
+                }
+            }
+            for el in group.elements() {
+                if el.apply(s) == s {
+                    acc += el.phase().conj().to_c64();
+                }
+            }
+        }
+        let dim = acc.re / group.order() as f64;
+        assert!(acc.im.abs() < 1e-6);
+        dim.round() as u64
+    }
+
+    #[test]
+    fn u1_only_is_binomial() {
+        let g = SymmetryGroup::trivial(10);
+        assert_eq!(sector_dimension(&g, Some(4)), 210);
+        assert_eq!(sector_dimension(&g, None), 1024);
+        assert_eq!(sector_dimension(&g, Some(0)), 1);
+        assert_eq!(sector_dimension(&g, Some(10)), 1);
+    }
+
+    #[test]
+    fn translation_sectors_sum_to_total() {
+        // Σ_k dim(k) over all momenta = C(n, w).
+        let n = 10usize;
+        let w = 5u32;
+        let mut total = 0u64;
+        for k in 0..n as i64 {
+            let g = SymmetryGroup::generate(&[Generator::new(
+                lattice::chain_translation(n),
+                k,
+            )])
+            .unwrap();
+            total += sector_dimension(&g, Some(w));
+        }
+        assert_eq!(total, 252);
+    }
+
+    #[test]
+    fn matches_brute_force_small_systems() {
+        for n in [4usize, 6, 8] {
+            for k in [0i64, 1, n as i64 / 2] {
+                let g = SymmetryGroup::generate(&[Generator::new(
+                    lattice::chain_translation(n),
+                    k,
+                )])
+                .unwrap();
+                for w in [None, Some(n as u32 / 2), Some(1)] {
+                    assert_eq!(
+                        sector_dimension(&g, w),
+                        dimension_brute_force(&g, w),
+                        "n={n} k={k} w={w:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_full_chain_group() {
+        for n in [4usize, 6, 8, 10] {
+            for (k, r, z) in [(0i64, 0i64, 0i64), (0, 1, 0), (0, 0, 1), (n as i64 / 2, 0, 0)] {
+                let g = lattice::chain_group(n, k, Some(r), Some(z)).unwrap();
+                let w = Some(n as u32 / 2);
+                assert_eq!(
+                    sector_dimension(&g, w),
+                    dimension_brute_force(&g, w),
+                    "n={n} k={k} r={r} z={z}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spin_inversion_halves_roughly() {
+        let n = 12usize;
+        let even = lattice::chain_group(n, 0, None, Some(0)).unwrap();
+        let odd = lattice::chain_group(n, 0, None, Some(1)).unwrap();
+        let no_inv = lattice::chain_group(n, 0, None, None).unwrap();
+        let w = Some(n as u32 / 2);
+        assert_eq!(
+            sector_dimension(&even, w) + sector_dimension(&odd, w),
+            sector_dimension(&no_inv, w)
+        );
+    }
+
+    #[test]
+    fn paper_table_2_exact() {
+        // Table 2 of the paper: matrix dimensions of closed spin-1/2
+        // chains with U(1) + translation + reflection + spin inversion.
+        assert_eq!(table2_dimension(40), 861_725_794);
+        assert_eq!(table2_dimension(42), 3_204_236_779);
+        assert_eq!(table2_dimension(44), 11_955_836_258);
+        assert_eq!(table2_dimension(46), 44_748_176_653);
+        assert_eq!(table2_dimension(48), 167_959_144_032);
+    }
+
+    #[test]
+    fn flip_fixed_point_counting() {
+        // No state is fixed by plain spin inversion in an odd-weight
+        // sector; for n even and w = n/2 the count is 0 as well because
+        // inversion maps weight w to n - w = w but has no fixed points
+        // (every bit flips); however states fixed by (T∘flip) exist.
+        assert_eq!(count_fixed(&[1, 1, 1, 1], true, Some(2)), 0);
+        assert_eq!(count_fixed(&[4], true, Some(2)), 2);
+        assert_eq!(count_fixed(&[2, 2], true, Some(2)), 4);
+        assert_eq!(count_fixed(&[3, 1], true, Some(2)), 0);
+        assert_eq!(count_fixed(&[4], false, None), 2);
+        assert_eq!(count_fixed(&[1, 1], false, Some(1)), 2);
+    }
+}

@@ -1,0 +1,311 @@
+//! Ready-made symmetry permutations and bond lists for common lattices.
+//!
+//! The paper's benchmarks use closed spin-1/2 chains (periodic boundary
+//! conditions) with U(1), spin-inversion, translation and reflection
+//! symmetries; the square-lattice helpers support the 2D examples.
+
+use crate::group::{Generator, SymmetryGroup};
+use crate::perm::SitePermutation;
+
+/// Translation by one site on a ring: site `i -> (i+1) mod n`.
+pub fn chain_translation(n: usize) -> SitePermutation {
+    SitePermutation::from_usize(&(0..n).map(|i| (i + 1) % n).collect::<Vec<_>>()).unwrap()
+}
+
+/// Reflection of a ring about the "bond center" between sites `n-1` and 0:
+/// site `i -> n-1-i`.
+pub fn chain_reflection(n: usize) -> SitePermutation {
+    SitePermutation::from_usize(&(0..n).map(|i| n - 1 - i).collect::<Vec<_>>()).unwrap()
+}
+
+/// Nearest-neighbour bonds of a closed chain (periodic boundary
+/// conditions). For `n = 2` there is a single bond to avoid double
+/// counting.
+pub fn chain_bonds(n: usize) -> Vec<(usize, usize)> {
+    assert!(n >= 2);
+    if n == 2 {
+        return vec![(0, 1)];
+    }
+    (0..n).map(|i| (i, (i + 1) % n)).collect()
+}
+
+/// The full symmetry group of the paper's benchmark chains: translation
+/// (momentum `k`), reflection (parity `p` ∈ {0,1} meaning ±1) and spin
+/// inversion (parity `z` ∈ {0,1}).
+///
+/// Reflection is only consistent with `k ∈ {0, n/2}`; pass `reflection =
+/// None` for other momenta.
+pub fn chain_group(
+    n: usize,
+    momentum: i64,
+    reflection: Option<i64>,
+    spin_inversion: Option<i64>,
+) -> Result<SymmetryGroup, crate::group::SymmetryError> {
+    let mut gens = vec![Generator::new(chain_translation(n), momentum)];
+    if let Some(p) = reflection {
+        gens.push(Generator::new(chain_reflection(n), p));
+    }
+    if let Some(z) = spin_inversion {
+        gens.push(Generator::spin_inversion(n, z));
+    }
+    SymmetryGroup::generate(&gens)
+}
+
+/// Site index of `(x, y)` on an `lx × ly` grid, row-major.
+#[inline]
+pub fn square_site(lx: usize, x: usize, y: usize) -> usize {
+    y * lx + x
+}
+
+/// Translation by one column: `(x, y) -> (x+1 mod lx, y)`.
+pub fn square_translation_x(lx: usize, ly: usize) -> SitePermutation {
+    let mut map = vec![0usize; lx * ly];
+    for y in 0..ly {
+        for x in 0..lx {
+            map[square_site(lx, x, y)] = square_site(lx, (x + 1) % lx, y);
+        }
+    }
+    SitePermutation::from_usize(&map).unwrap()
+}
+
+/// Translation by one row: `(x, y) -> (x, y+1 mod ly)`.
+pub fn square_translation_y(lx: usize, ly: usize) -> SitePermutation {
+    let mut map = vec![0usize; lx * ly];
+    for y in 0..ly {
+        for x in 0..lx {
+            map[square_site(lx, x, y)] = square_site(lx, x, (y + 1) % ly);
+        }
+    }
+    SitePermutation::from_usize(&map).unwrap()
+}
+
+/// Nearest-neighbour bonds of an `lx × ly` periodic square lattice.
+/// For extent 2 in a direction, bonds in that direction are not doubled.
+pub fn square_bonds(lx: usize, ly: usize) -> Vec<(usize, usize)> {
+    assert!(lx >= 2 && ly >= 1);
+    let mut bonds = Vec::new();
+    for y in 0..ly {
+        for x in 0..lx {
+            let s = square_site(lx, x, y);
+            // +x neighbour
+            if lx > 2 || x + 1 < lx {
+                bonds.push((s, square_site(lx, (x + 1) % lx, y)));
+            }
+            // +y neighbour
+            if ly > 2 || y + 1 < ly {
+                if ly > 1 {
+                    bonds.push((s, square_site(lx, x, (y + 1) % ly)));
+                }
+            }
+        }
+    }
+    bonds
+}
+
+/// 90° rotation of an `l × l` periodic square lattice about the origin
+/// plaquette: `(x, y) -> (y, l-1-x)`. Order 4; sectors 0..3 give the C4
+/// angular-momentum quantum numbers (±i characters need `Complex64`
+/// amplitudes).
+pub fn square_rotation(l: usize) -> SitePermutation {
+    let mut map = vec![0usize; l * l];
+    for y in 0..l {
+        for x in 0..l {
+            map[square_site(l, x, y)] = square_site(l, y, l - 1 - x);
+        }
+    }
+    SitePermutation::from_usize(&map).unwrap()
+}
+
+/// Nearest-neighbour bonds of a two-leg ladder with `l` rungs (open or
+/// periodic along the legs). Site `2*i` is on leg 0, `2*i + 1` on leg 1.
+pub fn ladder_bonds(l: usize, periodic: bool) -> Vec<(usize, usize)> {
+    assert!(l >= 2);
+    let mut bonds = Vec::new();
+    for i in 0..l {
+        // Rung.
+        bonds.push((2 * i, 2 * i + 1));
+        // Legs.
+        if i + 1 < l {
+            bonds.push((2 * i, 2 * i + 2));
+            bonds.push((2 * i + 1, 2 * i + 3));
+        } else if periodic && l > 2 {
+            bonds.push((2 * i, 0));
+            bonds.push((2 * i + 1, 1));
+        }
+    }
+    bonds
+}
+
+/// Rung translation on a periodic two-leg ladder: `(leg, rung) ->
+/// (leg, rung+1)`.
+pub fn ladder_translation(l: usize) -> SitePermutation {
+    let mut map = vec![0usize; 2 * l];
+    for i in 0..l {
+        for leg in 0..2 {
+            map[2 * i + leg] = 2 * ((i + 1) % l) + leg;
+        }
+    }
+    SitePermutation::from_usize(&map).unwrap()
+}
+
+/// Leg-swap (reflection across the ladder axis).
+pub fn ladder_leg_swap(l: usize) -> SitePermutation {
+    let mut map = vec![0usize; 2 * l];
+    for i in 0..l {
+        map[2 * i] = 2 * i + 1;
+        map[2 * i + 1] = 2 * i;
+    }
+    SitePermutation::from_usize(&map).unwrap()
+}
+
+/// Nearest-neighbour bonds of a periodic triangular ladder (a chain with
+/// next-nearest-neighbour bonds — the J1-J2 geometry at J1 = J2).
+pub fn triangular_ladder_bonds(n: usize) -> Vec<(usize, usize)> {
+    assert!(n >= 5);
+    let mut bonds: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    bonds.extend((0..n).map(|i| (i, (i + 2) % n)));
+    bonds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_helpers() {
+        let t = chain_translation(5);
+        assert_eq!(t.image(0), 1);
+        assert_eq!(t.image(4), 0);
+        assert_eq!(t.order(), 5);
+        let r = chain_reflection(5);
+        assert_eq!(r.image(0), 4);
+        assert_eq!(r.order(), 2);
+        assert_eq!(chain_bonds(4), vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(chain_bonds(2), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn chain_group_orders() {
+        // N=8, k=0, R=+1, I=+1: dihedral(16) × inversion(2) = 32 elements.
+        let g = chain_group(8, 0, Some(0), Some(0)).unwrap();
+        assert_eq!(g.order(), 32);
+        // Without reflection: 8 × 2 = 16.
+        let g = chain_group(8, 0, None, Some(0)).unwrap();
+        assert_eq!(g.order(), 16);
+        // Momentum-only, complex sector:
+        let g = chain_group(8, 1, None, None).unwrap();
+        assert_eq!(g.order(), 8);
+        assert!(!g.is_real());
+    }
+
+    #[test]
+    fn square_translations_commute_and_have_right_order() {
+        let (lx, ly) = (4, 3);
+        let tx = square_translation_x(lx, ly);
+        let ty = square_translation_y(lx, ly);
+        assert_eq!(tx.order(), lx as u64);
+        assert_eq!(ty.order(), ly as u64);
+        assert_eq!(tx.then(&ty), ty.then(&tx));
+    }
+
+    #[test]
+    fn square_bond_counts() {
+        // 4x4 periodic: 2 bonds per site = 32 bonds.
+        assert_eq!(square_bonds(4, 4).len(), 32);
+        // 2xL: x-direction bonds not doubled: L*(1) + L = 2L for L>2.
+        assert_eq!(square_bonds(2, 3).len(), 3 + 6);
+        // 1D-like degenerate case: 4x1 is a 4-chain.
+        assert_eq!(square_bonds(4, 1).len(), 4);
+    }
+
+    #[test]
+    fn square_rotation_properties() {
+        for l in [2usize, 3, 4] {
+            let r = square_rotation(l);
+            assert_eq!(r.order(), 4, "l={l}");
+            // Rotation preserves the periodic bond set.
+            let bonds = square_bonds(l, l);
+            let set: std::collections::BTreeSet<(usize, usize)> = bonds
+                .iter()
+                .map(|&(a, b)| (a.min(b), a.max(b)))
+                .collect();
+            let mapped: std::collections::BTreeSet<(usize, usize)> = bonds
+                .iter()
+                .map(|&(a, b)| {
+                    let (x, y) = (r.image(a), r.image(b));
+                    (x.min(y), x.max(y))
+                })
+                .collect();
+            assert_eq!(mapped, set, "l={l}");
+        }
+        // C4 with character i is a valid (complex) 1-dim rep.
+        let g = crate::group::SymmetryGroup::generate(&[crate::group::Generator::new(
+            square_rotation(3),
+            1,
+        )])
+        .unwrap();
+        assert_eq!(g.order(), 4);
+        assert!(!g.is_real());
+    }
+
+    #[test]
+    fn ladder_helpers() {
+        let l = 4;
+        let bonds = ladder_bonds(l, true);
+        // l rungs + 2l leg bonds (periodic).
+        assert_eq!(bonds.len(), l + 2 * l);
+        let open = ladder_bonds(l, false);
+        assert_eq!(open.len(), l + 2 * (l - 1));
+        let t = ladder_translation(l);
+        assert_eq!(t.order(), l as u64);
+        let swap = ladder_leg_swap(l);
+        assert_eq!(swap.order(), 2);
+        // Translation and leg swap commute.
+        assert_eq!(t.then(&swap), swap.then(&t));
+        // Both are symmetries wrt the bond set: permuted bonds == bonds.
+        let bond_set: std::collections::BTreeSet<(usize, usize)> = bonds
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        for p in [&t, &swap] {
+            let mapped: std::collections::BTreeSet<(usize, usize)> = bonds
+                .iter()
+                .map(|&(a, b)| {
+                    let (x, y) = (p.image(a), p.image(b));
+                    (x.min(y), x.max(y))
+                })
+                .collect();
+            assert_eq!(mapped, bond_set);
+        }
+    }
+
+    #[test]
+    fn triangular_ladder() {
+        let bonds = triangular_ladder_bonds(6);
+        assert_eq!(bonds.len(), 12);
+        // Translation invariance of the bond set.
+        let t = chain_translation(6);
+        let set: std::collections::BTreeSet<(usize, usize)> = bonds
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        let mapped: std::collections::BTreeSet<(usize, usize)> = bonds
+            .iter()
+            .map(|&(a, b)| {
+                let (x, y) = (t.image(a), t.image(b));
+                (x.min(y), x.max(y))
+            })
+            .collect();
+        assert_eq!(mapped, set);
+    }
+
+    #[test]
+    fn square_group_with_momenta() {
+        let g = crate::group::SymmetryGroup::generate(&[
+            Generator::new(square_translation_x(4, 4), 0),
+            Generator::new(square_translation_y(4, 4), 0),
+        ])
+        .unwrap();
+        assert_eq!(g.order(), 16);
+    }
+}

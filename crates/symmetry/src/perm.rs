@@ -1,0 +1,224 @@
+//! Site permutations.
+//!
+//! A [`SitePermutation`] maps lattice sites to lattice sites: `map[i] = j`
+//! means "the spin on site `i` moves to site `j`". Acting on a basis state
+//! `s`, bit `map[i]` of the image equals bit `i` of `s`.
+
+use ls_kernels::net::BenesNetwork;
+
+/// A permutation of `n` lattice sites in image form (`map[i]` = where site
+/// `i` goes).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SitePermutation {
+    map: Vec<u16>,
+}
+
+impl SitePermutation {
+    /// Builds a permutation from its image list. Verifies bijectivity.
+    pub fn new(map: impl Into<Vec<u16>>) -> Result<Self, String> {
+        let map = map.into();
+        if map.len() > 64 {
+            return Err(format!("too many sites: {} > 64", map.len()));
+        }
+        let mut seen = vec![false; map.len()];
+        for &j in &map {
+            if j as usize >= map.len() || seen[j as usize] {
+                return Err("not a permutation".to_string());
+            }
+            seen[j as usize] = true;
+        }
+        Ok(Self { map })
+    }
+
+    /// Builds from usize images (convenience for lattice constructors).
+    pub fn from_usize(map: &[usize]) -> Result<Self, String> {
+        Self::new(map.iter().map(|&x| x as u16).collect::<Vec<u16>>())
+    }
+
+    pub fn identity(n: usize) -> Self {
+        Self { map: (0..n as u16).collect() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &j)| i as u16 == j)
+    }
+
+    /// Image of site `i`.
+    #[inline]
+    pub fn image(&self, i: usize) -> usize {
+        self.map[i] as usize
+    }
+
+    pub fn as_slice(&self) -> &[u16] {
+        &self.map
+    }
+
+    /// Composition `self` then `other` (first move spins by `self`, then by
+    /// `other`): `(other ∘ self)(i) = other[self[i]]`.
+    pub fn then(&self, other: &Self) -> Self {
+        assert_eq!(self.len(), other.len());
+        Self { map: self.map.iter().map(|&j| other.map[j as usize]).collect() }
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0u16; self.len()];
+        for (i, &j) in self.map.iter().enumerate() {
+            inv[j as usize] = i as u16;
+        }
+        Self { map: inv }
+    }
+
+    /// The multiplicative order (smallest `k > 0` with `self^k = id`).
+    pub fn order(&self) -> u64 {
+        // lcm of cycle lengths.
+        let mut order = 1u64;
+        for len in self.cycle_lengths() {
+            order = lcm(order, len as u64);
+        }
+        order
+    }
+
+    /// Lengths of the permutation's cycles (including fixed points).
+    pub fn cycle_lengths(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.len()];
+        let mut out = Vec::new();
+        for start in 0..self.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut len = 0;
+            let mut i = start;
+            while !seen[i] {
+                seen[i] = true;
+                i = self.map[i] as usize;
+                len += 1;
+            }
+            out.push(len);
+        }
+        out
+    }
+
+    /// Applies the permutation to a basis state, bit by bit. The fast path
+    /// is [`SitePermutation::compile`]; this is the oracle.
+    #[inline]
+    pub fn apply_naive(&self, s: u64) -> u64 {
+        let mut out = 0u64;
+        for (i, &j) in self.map.iter().enumerate() {
+            out |= ((s >> i) & 1) << j;
+        }
+        if self.len() < 64 {
+            out |= s & !ls_kernels::bits::low_mask(self.len() as u32);
+        }
+        out
+    }
+
+    /// Compiles the permutation into a Benes network.
+    ///
+    /// The network wants destination-from-source form: output bit `d` reads
+    /// input bit `source[d]`; since bit `i` of the input lands at `map[i]`,
+    /// `source[map[i]] = i`, i.e. `source` is the inverse image list.
+    pub fn compile(&self) -> BenesNetwork {
+        let inv = self.inverse();
+        let source: Vec<usize> = inv.map.iter().map(|&x| x as usize).collect();
+        BenesNetwork::new(&source)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_kernels::bits::{low_mask, rotate_low_bits};
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(SitePermutation::new(vec![0u16, 0]).is_err());
+        assert!(SitePermutation::new(vec![0u16, 2]).is_err());
+        assert!(SitePermutation::new(vec![5u16]).is_err());
+    }
+
+    #[test]
+    fn translation_acts_as_rotation() {
+        // map[i] = (i+1) % n: spin at site i moves to site i+1 — this is a
+        // left rotation of the bits.
+        for n in [2u32, 3, 8, 21, 64] {
+            let map: Vec<u16> = (0..n as u16).map(|i| (i + 1) % n as u16).collect();
+            let t = SitePermutation::new(map).unwrap();
+            for seed in 0..50u64 {
+                let s = ls_kernels::hash64_01(seed) & low_mask(n);
+                assert_eq!(t.apply_naive(s), rotate_low_bits(s, n, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_matches_naive() {
+        let perms = [
+            SitePermutation::new(vec![1u16, 2, 3, 0]).unwrap(),
+            SitePermutation::new(vec![3u16, 2, 1, 0]).unwrap(),
+            SitePermutation::new(vec![0u16, 2, 1, 4, 3, 5]).unwrap(),
+        ];
+        for p in &perms {
+            let net = p.compile();
+            for s in 0..64u64 {
+                assert_eq!(net.apply(s), p.apply_naive(s), "{p:?} s={s:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_and_composition() {
+        let p = SitePermutation::new(vec![2u16, 0, 3, 1]).unwrap();
+        let inv = p.inverse();
+        assert!(p.then(&inv).is_identity());
+        assert!(inv.then(&p).is_identity());
+        for s in 0..16u64 {
+            assert_eq!(inv.apply_naive(p.apply_naive(s)), s);
+        }
+        // then(): composition order matters and matches bit application.
+        let q = SitePermutation::new(vec![1u16, 0, 2, 3]).unwrap();
+        let pq = p.then(&q);
+        for s in 0..16u64 {
+            assert_eq!(pq.apply_naive(s), q.apply_naive(p.apply_naive(s)));
+        }
+    }
+
+    #[test]
+    fn orders_and_cycles() {
+        let t = SitePermutation::new(vec![1u16, 2, 3, 4, 5, 0]).unwrap();
+        assert_eq!(t.order(), 6);
+        assert_eq!(t.cycle_lengths(), vec![6]);
+        let r = SitePermutation::new(vec![5u16, 4, 3, 2, 1, 0]).unwrap();
+        assert_eq!(r.order(), 2);
+        let mut cl = r.cycle_lengths();
+        cl.sort();
+        assert_eq!(cl, vec![2, 2, 2]);
+        assert_eq!(SitePermutation::identity(7).order(), 1);
+        // Mixed cycle structure: 2-cycle + 3-cycle => order 6.
+        let m = SitePermutation::new(vec![1u16, 0, 3, 4, 2]).unwrap();
+        assert_eq!(m.order(), 6);
+        let mut cl = m.cycle_lengths();
+        cl.sort();
+        assert_eq!(cl, vec![2, 3]);
+    }
+}

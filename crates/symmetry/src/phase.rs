@@ -1,0 +1,197 @@
+//! Exact rational phases for group characters.
+//!
+//! Characters of abelian symmetry groups are roots of unity. Storing them
+//! as `exp(-2πi · num/den)` with an exact reduced fraction keeps group
+//! arithmetic exact: equality checks (needed during group closure and for
+//! the "is this sector real?" decision) never suffer from floating-point
+//! drift.
+
+use ls_kernels::Complex64;
+
+/// A phase `exp(-2πi · num / den)` with `0 <= num < den`, `gcd = 1`.
+///
+/// The *negative* sign in the exponent matches the physics convention for
+/// momentum sectors: a translation `T` in sector `k` has character
+/// `χ(T) = exp(-2πi k / N)`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RationalPhase {
+    num: u32,
+    den: u32,
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl RationalPhase {
+    pub const ZERO: Self = Self { num: 0, den: 1 };
+    /// Phase of -1 (`exp(-iπ)`).
+    pub const HALF: Self = Self { num: 1, den: 2 };
+
+    /// `exp(-2πi · num / den)`. The fraction is reduced and taken mod 1.
+    /// `den` must be non-zero.
+    pub fn new(num: i64, den: i64) -> Self {
+        assert!(den != 0, "zero denominator");
+        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let den = den as u64;
+        let num = num.rem_euclid(den as i64) as u64;
+        let g = gcd(num as u32, den as u32).max(1);
+        Self { num: (num / g as u64) as u32, den: (den / g as u64) as u32 }
+    }
+
+    /// Group multiplication of characters: phases add modulo 1.
+    pub fn add(self, other: Self) -> Self {
+        let den = (self.den as u64) * (other.den as u64);
+        let num =
+            (self.num as u64) * (other.den as u64) + (other.num as u64) * (self.den as u64);
+        let num = num % den;
+        let g = gcd64(num, den).max(1);
+        assert!(den / g <= u32::MAX as u64, "phase denominator overflow");
+        Self { num: (num / g) as u32, den: (den / g) as u32 }
+    }
+
+    /// The phase of `χ(g)^k`.
+    pub fn mul_int(self, k: u64) -> Self {
+        let den = self.den as u64;
+        let num = ((self.num as u128 * k as u128) % den as u128) as u64;
+        let g = gcd64(num, den).max(1);
+        Self { num: (num / g) as u32, den: (den / g) as u32 }
+    }
+
+    /// The conjugate character `χ(g)* = χ(g⁻¹)`.
+    pub fn conj(self) -> Self {
+        if self.num == 0 {
+            self
+        } else {
+            Self { num: self.den - self.num, den: self.den }
+        }
+    }
+
+    /// Is the character real (i.e. ±1)?
+    pub fn is_real(self) -> bool {
+        self.num == 0 || (self.den == 2 && self.num == 1)
+    }
+
+    pub fn is_one(self) -> bool {
+        self.num == 0
+    }
+
+    /// The character value as a complex number.
+    pub fn to_c64(self) -> Complex64 {
+        if self.num == 0 {
+            return Complex64::ONE;
+        }
+        if self.den == 2 {
+            return -Complex64::ONE;
+        }
+        if self.den == 4 {
+            // Exact values for the quarter turns.
+            return if self.num == 1 { -Complex64::I } else { Complex64::I };
+        }
+        Complex64::cis(-std::f64::consts::TAU * self.num as f64 / self.den as f64)
+    }
+
+    pub fn numerator(self) -> u32 {
+        self.num
+    }
+
+    pub fn denominator(self) -> u32 {
+        self.den
+    }
+}
+
+fn gcd64(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd64(b, a % b)
+    }
+}
+
+impl Default for RationalPhase {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl std::fmt::Display for RationalPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.num == 0 {
+            write!(f, "1")
+        } else if self.den == 2 {
+            write!(f, "-1")
+        } else {
+            write!(f, "exp(-2πi·{}/{})", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_and_mod_one() {
+        assert_eq!(RationalPhase::new(2, 4), RationalPhase::new(1, 2));
+        assert_eq!(RationalPhase::new(5, 4), RationalPhase::new(1, 4));
+        assert_eq!(RationalPhase::new(-1, 4), RationalPhase::new(3, 4));
+        assert_eq!(RationalPhase::new(4, 4), RationalPhase::ZERO);
+        assert_eq!(RationalPhase::new(3, -4), RationalPhase::new(1, 4));
+    }
+
+    #[test]
+    fn addition_is_exact() {
+        let third = RationalPhase::new(1, 3);
+        assert_eq!(third.add(third).add(third), RationalPhase::ZERO);
+        let k5 = RationalPhase::new(2, 5);
+        assert_eq!(k5.mul_int(5), RationalPhase::ZERO);
+        assert_eq!(k5.mul_int(0), RationalPhase::ZERO);
+        assert_eq!(
+            RationalPhase::new(1, 6).add(RationalPhase::new(1, 2)),
+            RationalPhase::new(2, 3)
+        );
+    }
+
+    #[test]
+    fn conjugate() {
+        assert_eq!(RationalPhase::ZERO.conj(), RationalPhase::ZERO);
+        assert_eq!(RationalPhase::HALF.conj(), RationalPhase::HALF);
+        assert_eq!(RationalPhase::new(1, 3).conj(), RationalPhase::new(2, 3));
+        let p = RationalPhase::new(3, 7);
+        assert_eq!(p.add(p.conj()), RationalPhase::ZERO);
+    }
+
+    #[test]
+    fn realness() {
+        assert!(RationalPhase::ZERO.is_real());
+        assert!(RationalPhase::HALF.is_real());
+        assert!(!RationalPhase::new(1, 3).is_real());
+        assert!(!RationalPhase::new(1, 4).is_real());
+    }
+
+    #[test]
+    fn complex_values() {
+        assert!(RationalPhase::ZERO.to_c64().approx_eq(Complex64::ONE, 1e-15));
+        assert!(RationalPhase::HALF.to_c64().approx_eq(-Complex64::ONE, 1e-15));
+        assert!(RationalPhase::new(1, 4).to_c64().approx_eq(-Complex64::I, 1e-15));
+        let z = RationalPhase::new(1, 8).to_c64();
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(z.approx_eq(Complex64::new(s, -s), 1e-15));
+    }
+
+    #[test]
+    fn phase_times_conjugate_is_unit_modulus() {
+        for den in 1..=24i64 {
+            for num in 0..den {
+                let p = RationalPhase::new(num, den);
+                let z = p.to_c64();
+                assert!((z.norm_sqr() - 1.0).abs() < 1e-14);
+                assert!(z.conj().approx_eq(p.conj().to_c64(), 1e-14));
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The dynamical spin structure factor `S(q, ω)` of the Heisenberg chain
+//! via the Lanczos continued fraction — exact diagonalization's classic
+//! dynamics application, built entirely on the matrix-vector product.
+//!
+//! For each momentum `q` we seed the continued fraction with
+//! `|φ_q⟩ = Sz_q |gs⟩` (diagonal in the σz basis, so the seed is a simple
+//! modulation of the ground state) and locate the dominant excitation
+//! energy. The two-spinon continuum of the Heisenberg chain is bounded
+//! below by the des Cloizeaux–Pearson dispersion `ω_dCP = (π/2)|sin q|`;
+//! the finite-chain peaks must track it.
+//!
+//! ```sh
+//! cargo run --release --example dynamical_structure_factor
+//! ```
+
+use exact_diag::eigen::spectral_coefficients;
+use exact_diag::prelude::*;
+
+fn main() {
+    let n = 16usize;
+    let sector = SectorSpec::with_weight(n as u32, n as u32 / 2).unwrap();
+    let expr = heisenberg(&chain_bonds(n), 1.0);
+    let (basis, op) = Operator::<Complex64>::from_expr(&expr, sector).unwrap();
+    let (e0, gs) = ground_state(&op);
+    println!("{n}-site Heisenberg ring, dim {} (U(1) sector), E0 = {e0:.8}\n", basis.dim());
+
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12}",
+        "q/π", "S(q)", "peak ω", "dCP lower", "2-spinon up"
+    );
+    println!("{}", "-".repeat(58));
+
+    let eta = 0.08;
+    for k in 1..=n / 2 {
+        let q = std::f64::consts::TAU * k as f64 / n as f64;
+        // |φ⟩ = Sz_q |gs⟩ with Sz_q = (1/√n) Σ_j e^{-iqj} Sz_j (diagonal).
+        let mut seed = vec![Complex64::ZERO; basis.dim()];
+        for (idx, amp) in gs.iter().enumerate() {
+            let s = basis.state(idx);
+            let mut f = Complex64::ZERO;
+            for j in 0..n {
+                let szj = if (s >> j) & 1 == 1 { 0.5 } else { -0.5 };
+                f += Complex64::cis(-q * j as f64).scale(szj);
+            }
+            seed[idx] = *amp * f.scale(1.0 / (n as f64).sqrt());
+        }
+        let coeffs = spectral_coefficients(&op, &seed, 120);
+        // Static structure factor = total weight of the seed.
+        let s_q = coeffs.weight;
+
+        // Scan ω for the dominant peak (relative to E0).
+        let mut best = (0.0f64, f64::MIN);
+        for step in 0..800 {
+            let omega = step as f64 * 0.005;
+            let a = coeffs.spectral_function(e0 + omega, eta);
+            if a > best.1 {
+                best = (omega, a);
+            }
+        }
+        let (peak, _) = best;
+        let dcp = std::f64::consts::FRAC_PI_2 * q.sin().abs();
+        let upper = std::f64::consts::PI * (q / 2.0).sin().abs();
+        println!(
+            "{:>6.3} {s_q:>10.5} {peak:>12.4} {dcp:>12.4} {upper:>12.4}",
+            q / std::f64::consts::PI
+        );
+        // The peak lies in (or near, finite-size) the two-spinon band.
+        assert!(
+            peak > dcp - 0.35 && peak < upper + 0.35,
+            "q={q}: peak {peak} outside [{dcp}, {upper}]"
+        );
+    }
+    println!(
+        "\npeaks track the des Cloizeaux–Pearson lower bound of the \
+         two-spinon continuum ✓"
+    );
+}

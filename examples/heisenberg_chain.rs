@@ -1,0 +1,59 @@
+//! Ground-state survey of Heisenberg rings: energies, finite-size
+//! convergence and the singlet-triplet gap, resolved by symmetry sector.
+//!
+//! This is the workload family of the paper's evaluation (Sec. 6), at
+//! laptop scale. For each even ring size we diagonalize every momentum
+//! sector (complex sectors transparently switch to `Complex64`) and
+//! report where the ground state lives — alternating between k = 0 and
+//! k = π with the parity of N/2, per Marshall's sign rule.
+//!
+//! ```sh
+//! cargo run --release --example heisenberg_chain
+//! ```
+
+use exact_diag::prelude::*;
+
+fn sector_energy(expr: &Expr, n: usize, k: i64) -> f64 {
+    let group = chain_group(n, k, None, None).unwrap();
+    let sector = SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
+    if sector.is_real() {
+        let (_, op) = Operator::<f64>::from_expr(expr, sector).unwrap();
+        ground_state_energy(&op)
+    } else {
+        let (_, op) = Operator::<Complex64>::from_expr(expr, sector).unwrap();
+        ground_state_energy(&op)
+    }
+}
+
+fn main() {
+    println!("{:>4} {:>10} {:>16} {:>12} {:>8} {:>12}", "N", "dim(k=0)", "E0", "E0/N", "k(gs)", "gap");
+    println!("{}", "-".repeat(68));
+    let bethe = 0.25 - std::f64::consts::LN_2; // thermodynamic limit of E0/N
+
+    for n in [8usize, 10, 12, 14, 16, 18] {
+        let expr = heisenberg(&chain_bonds(n), 1.0);
+
+        // Scan all momentum sectors for the global ground state & gap.
+        let mut energies: Vec<(i64, f64)> = (0..n as i64)
+            .map(|k| (k, sector_energy(&expr, n, k)))
+            .collect();
+        energies.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let (k_gs, e0) = energies[0];
+        let gap = energies[1].1 - e0;
+
+        let group = chain_group(n, 0, None, None).unwrap();
+        let dim_k0 =
+            SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap().dimension();
+
+        println!(
+            "{n:>4} {dim_k0:>10} {e0:>16.10} {:>12.8} {k_gs:>8} {gap:>12.8}",
+            e0 / n as f64
+        );
+
+        // Marshall: ground state momentum is 0 for N/2 even, π for N/2 odd.
+        let expect_k = if (n / 2) % 2 == 0 { 0 } else { n as i64 / 2 };
+        assert_eq!(k_gs, expect_k, "unexpected ground-state momentum");
+    }
+    println!("{}", "-".repeat(68));
+    println!("thermodynamic limit (Bethe ansatz): E0/N -> {bethe:.8}");
+}

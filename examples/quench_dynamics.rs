@@ -1,0 +1,86 @@
+//! Real-time dynamics after a quantum quench: the Néel state evolving
+//! under the Heisenberg Hamiltonian.
+//!
+//! Krylov time evolution (`ls_eigen::expm`) uses nothing but the same
+//! matrix-vector product the paper scales up — this is the "dynamics"
+//! capability of packages like QuSpin, running on our matrix-free stack.
+//! The staggered magnetization decays from its maximal value 1/2 as the
+//! initial product state dephases, while energy and norm are conserved
+//! to Krylov accuracy.
+//!
+//! ```sh
+//! cargo run --release --example quench_dynamics
+//! ```
+
+use exact_diag::eigen::evolve_real_time;
+use exact_diag::prelude::*;
+
+fn main() {
+    let n = 14usize;
+    // U(1)-only sector: the Néel state is a single basis vector there.
+    let sector = SectorSpec::with_weight(n as u32, n as u32 / 2).unwrap();
+    let expr = heisenberg(&chain_bonds(n), 1.0);
+    let (basis, op) = Operator::<Complex64>::from_expr(&expr, sector).unwrap();
+    println!("quench: |Néel⟩ = |↑↓↑↓...⟩ under the {n}-site Heisenberg ring");
+    println!("sector dim = {}\n", basis.dim());
+
+    // The Néel state |↑↓↑↓…⟩: bit i set for even i.
+    let neel: u64 = (0..n).step_by(2).map(|i| 1u64 << i).sum();
+    let idx = basis.index_of(neel).expect("Néel state is in the sector");
+    let mut psi = vec![Complex64::ZERO; basis.dim()];
+    psi[idx] = Complex64::ONE;
+
+    // Staggered magnetization m_s = (1/n) Σ_i (-1)^i ⟨Sz_i⟩, computed
+    // directly from the amplitudes (diagonal observable).
+    let staggered = |psi: &[Complex64]| -> f64 {
+        let mut m = 0.0;
+        for (j, amp) in psi.iter().enumerate() {
+            let w = amp.norm_sqr();
+            if w == 0.0 {
+                continue;
+            }
+            let s = basis.state(j);
+            let mut sz = 0.0;
+            for i in 0..n {
+                let up = (s >> i) & 1 == 1;
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                sz += sign * if up { 0.5 } else { -0.5 };
+            }
+            m += w * sz;
+        }
+        m / n as f64
+    };
+
+    let energy = |psi: &[Complex64]| -> f64 {
+        let mut h_psi = vec![Complex64::ZERO; basis.dim()];
+        op.apply(psi, &mut h_psi);
+        psi.iter().zip(&h_psi).map(|(a, b)| a.conj() * *b).sum::<Complex64>().re
+    };
+
+    let e_init = energy(&psi);
+    println!("{:>6} {:>12} {:>14} {:>10}", "t", "m_s(t)", "energy", "norm");
+    println!("{}", "-".repeat(46));
+    let dt = 0.5;
+    let steps = 12;
+    let mut t = 0.0;
+    for _ in 0..=steps {
+        let norm: f64 = psi.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        println!(
+            "{t:>6.2} {:>12.6} {:>14.9} {:>10.6}",
+            staggered(&psi),
+            energy(&psi),
+            norm
+        );
+        psi = evolve_real_time(&op, &psi, dt, 40);
+        t += dt;
+    }
+
+    // Conservation checks.
+    let e_final = energy(&psi);
+    let norm: f64 = psi.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+    assert!((e_final - e_init).abs() < 1e-7, "energy drift {}", e_final - e_init);
+    assert!((norm - 1.0).abs() < 1e-8, "norm drift {norm}");
+    // The Néel order must have decayed substantially by t = 6.
+    assert!(staggered(&psi).abs() < 0.25, "m_s did not decay");
+    println!("\nenergy and norm conserved ✓; staggered order decayed ✓");
+}

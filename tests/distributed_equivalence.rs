@@ -1,0 +1,177 @@
+//! Cross-crate integration: every distributed code path must agree with
+//! the shared-memory reference, and the conversions must satisfy the
+//! paper's exact-roundtrip property (Sec. 6.1).
+
+use exact_diag::baseline::{matvec_alltoall, StoredMatrix};
+use exact_diag::basis::{SectorSpec, SpinBasis, SymmetrizedOperator};
+use exact_diag::core::matvec::apply_serial;
+use exact_diag::dist::convert::{hashed_masks, to_block};
+use exact_diag::dist::matvec::{matvec_batched, matvec_naive, matvec_pc, PcOptions};
+use exact_diag::dist::{block_to_hashed, enumerate_dist, hashed_to_block};
+use exact_diag::prelude::*;
+use exact_diag::runtime::{Cluster, ClusterSpec, DistVec};
+
+fn problem(
+    n: usize,
+) -> (SectorSpec, SymmetrizedOperator<f64>, SpinBasis, Vec<f64>, Vec<f64>) {
+    let expr = heisenberg(&chain_bonds(n), 1.0);
+    let kernel = expr.to_kernel(n as u32).unwrap();
+    let group = chain_group(n, 0, Some(0), Some(0)).unwrap();
+    let sector = SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
+    let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
+    let basis = SpinBasis::build(sector.clone());
+    let x: Vec<f64> = (0..basis.dim())
+        .map(|i| {
+            let h = ls_kernels::hash64_01(i as u64 + 17);
+            (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect();
+    let mut y = vec![0.0; basis.dim()];
+    apply_serial(&op, &basis, &x, &mut y);
+    (sector, op, basis, x, y)
+}
+
+/// Scatters a canonical vector into the hashed distribution of `dist`.
+fn scatter(
+    basis: &SpinBasis,
+    dist: &exact_diag::dist::DistSpinBasis,
+    x: &[f64],
+) -> DistVec<f64> {
+    let mut out = DistVec::<f64>::zeros(&dist.states().lens());
+    for l in 0..dist.n_locales() {
+        for (i, &s) in dist.states().part(l).iter().enumerate() {
+            out.part_mut(l)[i] = x[basis.index_of(s).unwrap()];
+        }
+    }
+    out
+}
+
+#[test]
+fn every_matvec_agrees_with_serial_reference() {
+    let n = 14usize;
+    let (sector, op, basis, x, y_ref) = problem(n);
+    for locales in [1usize, 2, 5] {
+        let cluster = Cluster::new(ClusterSpec::new(locales, 2));
+        let dist = enumerate_dist(&cluster, &sector, 4);
+        assert_eq!(dist.dim(), basis.dim() as u64);
+        let xd = scatter(&basis, &dist, &x);
+        let lens = dist.states().lens();
+
+        let check = |yd: &DistVec<f64>, label: &str| {
+            for l in 0..locales {
+                for (i, &s) in dist.states().part(l).iter().enumerate() {
+                    let expect = y_ref[basis.index_of(s).unwrap()];
+                    let got = yd.part(l)[i];
+                    assert!(
+                        (got - expect).abs() < 1e-10,
+                        "{label}, locales={locales}: {got} vs {expect}"
+                    );
+                }
+            }
+        };
+
+        let mut yd = DistVec::<f64>::zeros(&lens);
+        matvec_naive(&cluster, &op, &dist, &xd, &mut yd);
+        check(&yd, "naive");
+
+        let mut yd = DistVec::<f64>::zeros(&lens);
+        matvec_batched(&cluster, &op, &dist, &xd, &mut yd, 32);
+        check(&yd, "batched");
+
+        let mut yd = DistVec::<f64>::zeros(&lens);
+        matvec_pc(
+            &cluster,
+            &op,
+            &dist,
+            &xd,
+            &mut yd,
+            PcOptions { producers: 2, consumers: 2, capacity: 64 },
+        );
+        check(&yd, "producer-consumer");
+
+        let mut yd = DistVec::<f64>::zeros(&lens);
+        matvec_alltoall(&cluster, &op, &dist, &xd, &mut yd);
+        check(&yd, "alltoall baseline");
+
+        let stored = StoredMatrix::build(&cluster, &op, &dist);
+        let mut yd = DistVec::<f64>::zeros(&lens);
+        stored.apply(&cluster, &xd, &mut yd);
+        check(&yd, "stored baseline");
+    }
+}
+
+#[test]
+fn conversion_roundtrip_is_bit_exact() {
+    // The paper: "We use this experiment as a test as well and verify
+    // that the roundtrip exactly preserves the vector."
+    let n = 14usize;
+    let (sector, _, basis, x, _) = problem(n);
+    for locales in [1usize, 3, 6] {
+        let cluster = Cluster::new(ClusterSpec::new(locales, 1));
+        // Canonical (global-order) states, block-distributed.
+        let states_block = to_block(basis.states(), locales);
+        let masks = hashed_masks(&cluster, &states_block);
+        let x_block = to_block(&x, locales);
+
+        let x_hashed = block_to_hashed(&cluster, &x_block, &masks, 7);
+        let x_back = hashed_to_block(&cluster, &x_hashed, &masks, 5);
+        assert_eq!(x_back.parts(), x_block.parts(), "locales={locales}");
+
+        // The hashed states themselves match the distributed enumeration.
+        let dist = enumerate_dist(&cluster, &sector, 4);
+        let states_hashed = block_to_hashed(&cluster, &states_block, &masks, 3);
+        assert_eq!(states_hashed.parts(), dist.states().parts());
+    }
+}
+
+#[test]
+fn distributed_lanczos_invariant_under_cluster_shape() {
+    let n = 12usize;
+    let (sector, op, _, _, _) = problem(n);
+    let mut energies = Vec::new();
+    for (locales, cores) in [(1usize, 1usize), (2, 2), (4, 1)] {
+        let cluster = Cluster::new(ClusterSpec::new(locales, cores));
+        let basis = enumerate_dist(&cluster, &sector, 3);
+        let res = exact_diag::dist::eigensolve::dist_lanczos_smallest(
+            &cluster,
+            &op,
+            &basis,
+            2,
+            &Default::default(),
+        );
+        assert!(res.converged);
+        energies.push(res.eigenvalues.clone());
+    }
+    for e in &energies[1..] {
+        for (a, b) in e.iter().zip(&energies[0]) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+    // Pin the physical value (12-site ring, fully symmetric sector).
+    assert!((energies[0][0] + 5.387_390_917_445).abs() < 1e-6);
+}
+
+#[test]
+fn stats_scale_with_locales() {
+    // More locales => a larger remote fraction of the same total traffic
+    // (1 - 1/L), one of the inputs the perf model relies on.
+    let n = 12usize;
+    let (sector, op, basis, x, _) = problem(n);
+    let mut remote_bytes = Vec::new();
+    for locales in [2usize, 4] {
+        let cluster = Cluster::new(ClusterSpec::new(locales, 1));
+        let dist = enumerate_dist(&cluster, &sector, 3);
+        let xd = scatter(&basis, &dist, &x);
+        let mut yd = DistVec::<f64>::zeros(&dist.states().lens());
+        cluster.reset_stats();
+        matvec_pc(&cluster, &op, &dist, &xd, &mut yd, PcOptions::default());
+        remote_bytes.push(cluster.stats_total().put_bytes as f64);
+    }
+    // Expected ratio ≈ (1 - 1/4) / (1 - 1/2) = 1.5; allow slack for
+    // buffer-boundary effects.
+    let ratio = remote_bytes[1] / remote_bytes[0];
+    assert!(
+        ratio > 1.2 && ratio < 1.8,
+        "remote bytes ratio {ratio}, got {remote_bytes:?}"
+    );
+}

@@ -1,0 +1,175 @@
+//! Failure-injection tests: every misuse the library promises to catch
+//! must actually be caught, across crate boundaries.
+
+use exact_diag::basis::{BasisError, SectorSpec, SymmetrizedOperator};
+use exact_diag::dist::matvec::{matvec_pc, PcOptions};
+use exact_diag::dist::{block_to_hashed, enumerate_dist};
+use exact_diag::prelude::*;
+use exact_diag::runtime::{Cluster, ClusterSpec, DistVec, RmaWriteWindow};
+
+fn chain_op(n: usize) -> (SectorSpec, SymmetrizedOperator<f64>) {
+    let kernel = heisenberg(&chain_bonds(n), 1.0).to_kernel(n as u32).unwrap();
+    let group = chain_group(n, 0, Some(0), Some(0)).unwrap();
+    let sector = SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
+    let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
+    (sector, op)
+}
+
+#[test]
+fn operator_sector_mismatches_reported() {
+    let n = 8usize;
+    let expr = heisenberg(&chain_bonds(n), 1.0);
+    // Wrong site count.
+    let kernel = expr.to_kernel(n as u32).unwrap();
+    let sector10 = SectorSpec::with_weight(10, 5).unwrap();
+    assert!(matches!(
+        SymmetrizedOperator::<f64>::new(&kernel, &sector10),
+        Err(BasisError::OperatorSizeMismatch { .. })
+    ));
+    // U(1) violation.
+    let tfield = exact_diag::expr::builders::transverse_field(n, 1.0)
+        .to_kernel(n as u32)
+        .unwrap();
+    let sector = SectorSpec::with_weight(n as u32, 4).unwrap();
+    assert!(matches!(
+        SymmetrizedOperator::<f64>::new(&tfield, &sector),
+        Err(BasisError::BreaksU1)
+    ));
+    // Symmetry violation: a field on one site breaks translation.
+    let lopsided = (heisenberg(&chain_bonds(n), 1.0)
+        + exact_diag::expr::ast::sz(0))
+    .to_kernel(n as u32)
+    .unwrap();
+    let group = chain_group(n, 0, None, None).unwrap();
+    let tsector = SectorSpec::new(n as u32, Some(4), group).unwrap();
+    assert!(matches!(
+        SymmetrizedOperator::<f64>::new(&lopsided, &tsector),
+        Err(BasisError::BreaksSymmetry)
+    ));
+}
+
+#[test]
+fn inconsistent_symmetry_declarations_rejected() {
+    // Spin inversion off half filling.
+    let g = chain_group(8, 0, None, Some(0)).unwrap();
+    assert!(matches!(
+        SectorSpec::new(8, Some(3), g),
+        Err(BasisError::InversionNeedsHalfFilling)
+    ));
+    // Reflection with a complex momentum has no consistent character.
+    assert!(chain_group(8, 1, Some(0), None).is_err());
+    // Out-of-range weight.
+    assert!(matches!(
+        SectorSpec::with_weight(8, 9),
+        Err(BasisError::WeightOutOfRange { .. })
+    ));
+}
+
+#[test]
+#[should_panic(expected = "x length on locale")]
+fn misaligned_distributed_vector_panics() {
+    let (sector, op) = chain_op(10);
+    let cluster = Cluster::new(ClusterSpec::new(2, 1));
+    let basis = enumerate_dist(&cluster, &sector, 2);
+    // Deliberately wrong lengths.
+    let x = DistVec::<f64>::zeros(&[1, 1]);
+    let mut y = DistVec::<f64>::zeros(&basis.states().lens());
+    matvec_pc(&cluster, &op, &basis, &x, &mut y, PcOptions::default());
+}
+
+#[test]
+#[should_panic(expected = "engine built for another cluster")]
+fn engine_cluster_mismatch_panics() {
+    let (sector, op) = chain_op(10);
+    let cluster = Cluster::new(ClusterSpec::new(3, 1));
+    let basis = enumerate_dist(&cluster, &sector, 2);
+    let x = DistVec::<f64>::zeros(&basis.states().lens());
+    let mut y = DistVec::<f64>::zeros(&basis.states().lens());
+    let engine =
+        exact_diag::dist::matvec::pc::PcEngine::<f64>::new(2, PcOptions::default());
+    engine.apply(&cluster, &op, &basis, &x, &mut y);
+}
+
+#[test]
+#[should_panic(expected = "block layout mismatch")]
+fn conversion_layout_mismatch_panics() {
+    let cluster = Cluster::new(ClusterSpec::new(2, 1));
+    // block has 3 elements on locale 0 and 0 on locale 1 — not a block
+    // layout of 3 elements over 2 locales (should be 1/2 split ... 3
+    // over 2 = [1, 2]).
+    let block = DistVec::from_parts(vec![vec![1u64, 2, 3], vec![]]);
+    let masks = DistVec::from_parts(vec![vec![0u16, 0, 0], vec![]]);
+    let _ = block_to_hashed(&cluster, &block, &masks, 2);
+}
+
+#[test]
+#[should_panic(expected = "overlapping puts")]
+fn rma_window_catches_races() {
+    let cluster = Cluster::new(ClusterSpec::new(2, 1));
+    let mut v = DistVec::<u64>::zeros(&[4, 4]);
+    let win = RmaWriteWindow::new(&mut v);
+    cluster.run(|ctx| {
+        // Both locales write the same destination range.
+        win.put(ctx, 0, 0, &[ctx.locale() as u64]);
+    });
+}
+
+#[test]
+fn lanczos_guards() {
+    let (_, op) = chain_op(8);
+    let basis = ls_basis::SpinBasis::build(chain_op(8).0);
+    let full_op = Operator::from_parts(op, std::sync::Arc::new(basis));
+    // k = 0 rejected.
+    let res = std::panic::catch_unwind(|| {
+        ls_eigen::lanczos_smallest(&full_op, 0, &ls_eigen::LanczosOptions::default())
+    });
+    assert!(res.is_err());
+    // k > dim rejected.
+    let res = std::panic::catch_unwind(|| {
+        ls_eigen::lanczos_smallest(
+            &full_op,
+            10_000,
+            &ls_eigen::LanczosOptions::default(),
+        )
+    });
+    assert!(res.is_err());
+}
+
+#[test]
+fn io_rejects_corruption() {
+    use exact_diag::core::io;
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("ls_failure_io_{}.lsrs", std::process::id()));
+    // Truncated file.
+    std::fs::write(&path, b"LS").unwrap();
+    assert!(io::load_vector::<f64>(&path).is_err());
+    // Wrong magic.
+    std::fs::write(&path, vec![0u8; 64]).unwrap();
+    assert!(io::load_vector::<f64>(&path).is_err());
+    // Valid header, truncated payload.
+    io::save_vector::<f64>(&path, &[1.0, 2.0, 3.0]).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.truncate(bytes.len() - 4);
+    std::fs::write(&path, bytes).unwrap();
+    assert!(io::load_vector::<f64>(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn parser_rejects_malformed_input() {
+    for bad in [
+        "",
+        "S+",
+        "Sz_",
+        "Sz_0 +",
+        "* Sz_0",
+        "(Sz_0",
+        "Sz_0)",
+        "Sq_0",
+        "Sz_0 Sz_1",
+        "1..5 * Sz_0",
+        "σq_0",
+    ] {
+        assert!(parse_expr(bad).is_err(), "accepted {bad:?}");
+    }
+}
