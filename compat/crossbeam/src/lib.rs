@@ -1,0 +1,64 @@
+//! Offline stand-in for the `crossbeam` crate (only `utils::Backoff`).
+
+pub mod utils {
+    use std::cell::Cell;
+
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Exponential backoff for spin loops, mirroring
+    /// `crossbeam_utils::Backoff`: short busy-wait phases first, then OS
+    /// yields once the wait gets long (essential when simulated locales
+    /// oversubscribe the hardware threads).
+    #[derive(Debug, Default)]
+    pub struct Backoff {
+        step: Cell<u32>,
+    }
+
+    impl Backoff {
+        pub fn new() -> Self {
+            Self { step: Cell::new(0) }
+        }
+
+        pub fn reset(&self) {
+            self.step.set(0);
+        }
+
+        /// Backs off, spinning for short waits and yielding to the OS
+        /// scheduler for long ones.
+        pub fn snooze(&self) {
+            let step = self.step.get();
+            if step <= SPIN_LIMIT {
+                for _ in 0..1u32 << step {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+            if step <= YIELD_LIMIT {
+                self.step.set(step + 1);
+            }
+        }
+
+        /// True once snoozing has escalated to yielding.
+        pub fn is_completed(&self) -> bool {
+            self.step.get() > YIELD_LIMIT
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn escalates_to_completed() {
+            let b = Backoff::new();
+            for _ in 0..32 {
+                b.snooze();
+            }
+            assert!(b.is_completed());
+            b.reset();
+            assert!(!b.is_completed());
+        }
+    }
+}

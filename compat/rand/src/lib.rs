@@ -1,0 +1,143 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides a deterministic [`rngs::StdRng`] (splitmix64 stream) and the
+//! `gen_range` subset of the [`Rng`] trait. Statistical quality is ample
+//! for the workspace's uses (random start vectors, test data); the stream
+//! is *not* the same as upstream rand's `StdRng`, only equally
+//! deterministic for a given seed.
+
+use std::ops::Range;
+
+/// Construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_from(raw: u64, range: &Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_from(raw: u64, range: &Range<Self>) -> Self {
+                let span = range.end.wrapping_sub(range.start) as u64;
+                if span == 0 {
+                    return range.start;
+                }
+                range.start.wrapping_add((raw % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_from(raw: u64, range: &Range<Self>) -> Self {
+                let span = range.end.wrapping_sub(range.start) as $u as u64;
+                if span == 0 {
+                    return range.start;
+                }
+                range.start.wrapping_add((raw % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_signed!(i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_from(raw: u64, range: &Range<Self>) -> Self {
+        let unit = (raw >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// The subset of rand's `Rng` used by this workspace.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range requires a non-empty range");
+        T::sample_from(self.next_u64(), &range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_range(0.0..1.0) < p
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut acc = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            acc += x;
+        }
+        // Roughly centered.
+        assert!((acc / 10_000.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x: u32 = rng.gen_range(5u32..17);
+            assert!((5..17).contains(&x));
+            let y: i64 = rng.gen_range(-4i64..4);
+            assert!((-4..4).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *subset* of rayon's API it actually uses, implemented on
+//! `std::thread::scope`. Work is split into contiguous chunks (respecting
+//! `with_min_len`) and each chunk runs on its own scoped thread; ordering
+//! guarantees match rayon's indexed parallel iterators.
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel call may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn run_parallel<T, R, F>(items: Vec<T>, min_len: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    let min_len = min_len.max(1);
+    if threads <= 1 || n <= min_len {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads).max(min_len);
+    let mut pending: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().saturating_sub(chunk));
+        pending.push(tail);
+    }
+    pending.reverse(); // restore original order, one Vec per chunk
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = pending
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// An eager indexed parallel iterator (items are materialized up front).
+pub struct ParIter<T> {
+    items: Vec<T>,
+    min_len: usize,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Lower bound on the number of items processed per thread.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len;
+        self
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect(), min_len: self.min_len }
+    }
+
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap { items: self.items, min_len: self.min_len, f }
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_parallel(self.items, self.min_len, f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// The result of [`ParIter::map`]; executes on `collect`/`for_each`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    min_len: usize,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len;
+        self
+    }
+
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_parallel(self.items, self.min_len, self.f).into_iter().collect()
+    }
+
+    pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+        let f = self.f;
+        run_parallel(self.items, self.min_len, |t| g(f(t)));
+    }
+}
+
+/// Conversion into a [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self, min_len: 1 }
+    }
+}
+
+/// Index types usable in [`ParRange`].
+pub trait RangeItem: Copy + Send + Sync {
+    fn offset(self, n: usize) -> Self;
+    fn distance(lo: Self, hi: Self) -> usize;
+}
+
+impl RangeItem for usize {
+    fn offset(self, n: usize) -> Self {
+        self + n
+    }
+    fn distance(lo: Self, hi: Self) -> usize {
+        hi.saturating_sub(lo)
+    }
+}
+
+impl RangeItem for u64 {
+    fn offset(self, n: usize) -> Self {
+        self + n as u64
+    }
+    fn distance(lo: Self, hi: Self) -> usize {
+        hi.saturating_sub(lo) as usize
+    }
+}
+
+/// A parallel iterator over a numeric range: the range stays arithmetic
+/// (no materialized index vector), and each worker walks a sub-range —
+/// this keeps hot loops like the matvec's `(0..dim).into_par_iter()`
+/// allocation-free.
+pub struct ParRange<T> {
+    lo: T,
+    hi: T,
+    min_len: usize,
+}
+
+impl<T: RangeItem> ParRange<T> {
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len;
+        self
+    }
+
+    /// Splits into at most `current_num_threads()` sub-ranges of at least
+    /// `min_len` indices each.
+    fn subranges(&self) -> Vec<(T, usize)> {
+        let total = T::distance(self.lo, self.hi);
+        let chunk = total.div_ceil(current_num_threads().max(1)).max(self.min_len.max(1));
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < total {
+            let len = chunk.min(total - start);
+            out.push((self.lo.offset(start), len));
+            start += len;
+        }
+        out
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        let subranges = self.subranges();
+        if subranges.len() <= 1 {
+            for (lo, len) in subranges {
+                for i in 0..len {
+                    f(lo.offset(i));
+                }
+            }
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = subranges
+                .into_iter()
+                .map(|(lo, len)| {
+                    scope.spawn(move || {
+                        for i in 0..len {
+                            f(lo.offset(i));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParRangeMap<T, F> {
+        ParRangeMap { range: self, f }
+    }
+}
+
+/// The result of [`ParRange::map`]; executes on `collect`.
+pub struct ParRangeMap<T, F> {
+    range: ParRange<T>,
+    f: F,
+}
+
+impl<T, R, F> ParRangeMap<T, F>
+where
+    T: RangeItem,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.range.min_len = min_len;
+        self
+    }
+
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let subranges = self.range.subranges();
+        let f = &self.f;
+        let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = subranges
+                .into_iter()
+                .map(|(lo, len)| {
+                    scope.spawn(move || (0..len).map(|i| f(lo.offset(i))).collect::<Vec<R>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(part) => part,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParRange<usize>;
+    fn into_par_iter(self) -> ParRange<usize> {
+        ParRange { lo: self.start, hi: self.end, min_len: 1 }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    type Iter = ParRange<u64>;
+    fn into_par_iter(self) -> ParRange<u64> {
+        ParRange { lo: self.start, hi: self.end, min_len: 1 }
+    }
+}
+
+/// Parallel mutable chunking of slices (rayon's `ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter { items: self.chunks_mut(chunk_size).collect(), min_len: 1 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<i64> = (0..1000usize).into_par_iter().map(|i| i as i64 * 2).collect();
+        let expect: Vec<i64> = (0..1000).map(|i| i * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn chunks_mut_touch_every_element() {
+        let mut data = vec![0u32; 257];
+        data.par_chunks_mut(16).enumerate().for_each(|(ci, chunk)| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = (ci * 16 + k) as u32;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i as u32);
+        }
+    }
+
+    #[test]
+    fn for_each_runs_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0..500usize).into_par_iter().with_min_len(7).for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+}

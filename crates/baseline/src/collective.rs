@@ -19,9 +19,8 @@ pub fn alltoallv<T: Copy + Send + Sync + Default>(
         assert_eq!(buckets.len(), locales, "locale {l} bucket count");
     }
     // Count exchange: locale src tells locale dst how much is coming.
-    let counts: Vec<Vec<usize>> = (0..locales)
-        .map(|src| send[src].iter().map(|b| b.len()).collect())
-        .collect();
+    let counts: Vec<Vec<usize>> =
+        (0..locales).map(|src| send[src].iter().map(|b| b.len()).collect()).collect();
     for l in 0..locales {
         cluster.stats()[l].record_put(locales * 8, locales > 1);
     }
@@ -78,11 +77,7 @@ mod tests {
         let cluster = Cluster::new(ClusterSpec::new(locales, 1));
         // send[src][dst] = values src*10+dst repeated (src+1) times.
         let send: Vec<Vec<Vec<u32>>> = (0..locales)
-            .map(|src| {
-                (0..locales)
-                    .map(|dst| vec![(src * 10 + dst) as u32; src + 1])
-                    .collect()
-            })
+            .map(|src| (0..locales).map(|dst| vec![(src * 10 + dst) as u32; src + 1]).collect())
             .collect();
         let recv = alltoallv(&cluster, &send);
         // On dst=1: from src0: [1], src1: [11, 11], src2: [21, 21, 21].

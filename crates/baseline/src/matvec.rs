@@ -53,16 +53,14 @@ pub fn matvec_alltoall<S: Scalar>(
     });
 
     // Phases 2-4: collective exchange (synchronizing).
-    let received = alltoallv(&cluster, &buckets);
+    let received = alltoallv(cluster, &buckets);
 
     // Phase 5: rank + accumulate, purely local, no overlap with comm.
     let y_parts: Vec<Vec<S>> = cluster.run(|ctx| {
         let me = ctx.locale();
         let mut y_local = vec![S::ZERO; basis.local_dim(me)];
         for &(rep, coeff) in received.part(me) {
-            let i = basis
-                .index_on(me, rep)
-                .expect("state missing from the basis");
+            let i = basis.index_on(me, rep).expect("state missing from the basis");
             y_local[i] += coeff;
         }
         ctx.barrier_wait();
@@ -80,9 +78,7 @@ pub fn peak_buffered_pairs<S: Scalar>(
     op: &SymmetrizedOperator<S>,
     basis: &DistSpinBasis,
 ) -> Vec<usize> {
-    (0..basis.n_locales())
-        .map(|l| basis.local_dim(l) * (op.max_row_entries() + 1))
-        .collect()
+    (0..basis.n_locales()).map(|l| basis.local_dim(l) * (op.max_row_entries() + 1)).collect()
 }
 
 #[cfg(test)]
@@ -101,9 +97,7 @@ mod tests {
     ) -> (Cluster, SymmetrizedOperator<f64>, DistSpinBasis, DistVec<f64>) {
         let group = lattice::chain_group(n, 0, Some(0), Some(0)).unwrap();
         let sector = SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
-        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0)
-            .to_kernel(n as u32)
-            .unwrap();
+        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0).to_kernel(n as u32).unwrap();
         let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
         let cluster = Cluster::new(ClusterSpec::new(locales, 1));
         let basis = enumerate_dist(&cluster, &sector, 3);
@@ -128,9 +122,11 @@ mod tests {
             let mut y_pc = DistVec::<f64>::zeros(&lens);
             matvec_pc(&cluster, &op, &basis, &x, &mut y_pc, PcOptions::default());
             for l in 0..locales {
-                for i in 0..lens[l] {
-                    assert!((y_base.part(l)[i] - y_naive.part(l)[i]).abs() < 1e-11);
-                    assert!((y_base.part(l)[i] - y_pc.part(l)[i]).abs() < 1e-11);
+                for ((base, naive), pc) in
+                    y_base.part(l).iter().zip(y_naive.part(l)).zip(y_pc.part(l))
+                {
+                    assert!((base - naive).abs() < 1e-11);
+                    assert!((base - pc).abs() < 1e-11);
                 }
             }
         }

@@ -20,6 +20,9 @@ struct Entry<S> {
     coeff: S,
 }
 
+/// One locale's build output: row pointers, entries, diagonal.
+type LocalPart<S> = (Vec<u32>, Vec<Entry<S>>, Vec<S>);
+
 /// A distributed, fully materialized (transposed) sparse matrix.
 pub struct StoredMatrix<S: Scalar> {
     /// Per source locale: CSR-ish row pointers over the local columns.
@@ -37,7 +40,7 @@ impl<S: Scalar> StoredMatrix<S> {
         basis: &DistSpinBasis,
     ) -> Self {
         let locales = cluster.n_locales();
-        let parts: Vec<(Vec<u32>, Vec<Entry<S>>, Vec<S>)> = cluster.run(|ctx| {
+        let parts: Vec<LocalPart<S>> = cluster.run(|ctx| {
             let me = ctx.locale();
             let states = basis.states().part(me);
             let orbits = basis.orbit_sizes().part(me);
@@ -52,9 +55,7 @@ impl<S: Scalar> StoredMatrix<S> {
                 op.apply_off_diag(alpha, orbit, &mut row);
                 for &(rep, amp) in &row {
                     let dest = ls_kernels::locale_idx_of(rep, locales);
-                    let idx = basis
-                        .index_on(dest, rep)
-                        .expect("state missing from the basis");
+                    let idx = basis.index_on(dest, rep).expect("state missing from the basis");
                     entries.push(Entry {
                         dest_locale: dest as u32,
                         dest_index: idx as u32,
@@ -149,9 +150,7 @@ mod tests {
         let n = 12usize;
         let group = lattice::chain_group(n, 0, None, Some(0)).unwrap();
         let sector = SectorSpec::new(n as u32, Some(6), group).unwrap();
-        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0)
-            .to_kernel(n as u32)
-            .unwrap();
+        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0).to_kernel(n as u32).unwrap();
         let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
         let locales = 3;
         let cluster = Cluster::new(ClusterSpec::new(locales, 1));

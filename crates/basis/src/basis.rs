@@ -54,8 +54,7 @@ impl SpinBasis {
         let prefix = PrefixIndex::auto(&states, sector.n_sites());
         // Combinadic ranking is exact only when every state is its own
         // orbit (trivial group) and the weight is fixed.
-        let combinadic = if sector.group().order() == 1 && sector.hamming_weight().is_some()
-        {
+        let combinadic = if sector.group().order() == 1 && sector.hamming_weight().is_some() {
             Some(BinomialTable::new())
         } else {
             None
@@ -110,11 +109,9 @@ impl SpinBasis {
             }
             RankingKind::PrefixBuckets => self.prefix.lookup(&self.states, rep),
             RankingKind::BinarySearch => self.states.binary_search(&rep).ok(),
-            RankingKind::Trie => self
-                .trie
-                .as_ref()
-                .expect("trie built on selection")
-                .lookup(rep),
+            RankingKind::Trie => {
+                self.trie.as_ref().expect("trie built on selection").lookup(rep)
+            }
         }
     }
 
@@ -124,11 +121,7 @@ impl SpinBasis {
             panic!("combinadic ranking requires a U(1)-only sector");
         }
         if kind == RankingKind::Trie && self.trie.is_none() {
-            self.trie = Some(TrieIndex::build(
-                &self.states,
-                self.sector.n_sites(),
-                8,
-            ));
+            self.trie = Some(TrieIndex::build(&self.states, self.sector.n_sites(), 8));
         }
         self.ranking = kind;
     }
@@ -171,19 +164,16 @@ mod tests {
         let with_prefix: Vec<Option<usize>> =
             probes.iter().map(|&p| basis.index_of(p)).collect();
         basis.set_ranking(RankingKind::BinarySearch);
-        let with_bs: Vec<Option<usize>> =
-            probes.iter().map(|&p| basis.index_of(p)).collect();
+        let with_bs: Vec<Option<usize>> = probes.iter().map(|&p| basis.index_of(p)).collect();
         assert_eq!(with_prefix, with_bs);
         basis.set_ranking(RankingKind::Trie);
-        let with_trie: Vec<Option<usize>> =
-            probes.iter().map(|&p| basis.index_of(p)).collect();
+        let with_trie: Vec<Option<usize>> = probes.iter().map(|&p| basis.index_of(p)).collect();
         assert_eq!(with_prefix, with_trie);
     }
 
     #[test]
     fn combinadic_fast_path() {
-        let basis =
-            SpinBasis::build(SectorSpec::with_weight(14, 7).unwrap());
+        let basis = SpinBasis::build(SectorSpec::with_weight(14, 7).unwrap());
         assert_eq!(basis.ranking(), RankingKind::Combinadic);
         assert_eq!(basis.dim(), 3432);
         for (i, &s) in basis.states().iter().enumerate() {

@@ -42,12 +42,7 @@ pub fn filter_range(sector: &SectorSpec, lo: u64, hi: u64) -> Chunk {
 }
 
 #[inline]
-fn push_if_rep(
-    group: &ls_symmetry::SymmetryGroup,
-    trivial: bool,
-    s: u64,
-    out: &mut Chunk,
-) {
+fn push_if_rep(group: &ls_symmetry::SymmetryGroup, trivial: bool, s: u64, out: &mut Chunk) {
     if trivial {
         out.states.push(s);
         out.orbit_sizes.push(1);
@@ -79,15 +74,11 @@ pub fn enumerate(sector: &SectorSpec) -> Chunk {
 /// result is identical to [`enumerate`].
 pub fn enumerate_par(sector: &SectorSpec, chunks: usize) -> Chunk {
     let ranges = split_ranges(sector.n_sites(), chunks.max(1));
-    let parts: Vec<Chunk> = ranges
-        .into_par_iter()
-        .map(|(lo, hi)| filter_range(sector, lo, hi))
-        .collect();
+    let parts: Vec<Chunk> =
+        ranges.into_par_iter().map(|(lo, hi)| filter_range(sector, lo, hi)).collect();
     let total: usize = parts.iter().map(|c| c.states.len()).sum();
-    let mut out = Chunk {
-        states: Vec::with_capacity(total),
-        orbit_sizes: Vec::with_capacity(total),
-    };
+    let mut out =
+        Chunk { states: Vec::with_capacity(total), orbit_sizes: Vec::with_capacity(total) };
     for p in parts {
         out.states.extend_from_slice(&p.states);
         out.orbit_sizes.extend_from_slice(&p.orbit_sizes);
@@ -113,8 +104,7 @@ mod tests {
     fn counts_match_burnside_dimension() {
         for n in [8usize, 10, 12] {
             let g = lattice::chain_group(n, 0, Some(0), Some(0)).unwrap();
-            let sector =
-                SectorSpec::new(n as u32, Some(n as u32 / 2), g).unwrap();
+            let sector = SectorSpec::new(n as u32, Some(n as u32 / 2), g).unwrap();
             let chunk = enumerate(&sector);
             assert_eq!(chunk.states.len() as u64, sector.dimension(), "n={n}");
             // Sorted and unique:

@@ -83,8 +83,7 @@ mod tests {
     use ls_symmetry::{Generator, SymmetryGroup};
 
     fn translation_group(n: usize, k: i64) -> SymmetryGroup {
-        SymmetryGroup::generate(&[Generator::new(lattice::chain_translation(n), k)])
-            .unwrap()
+        SymmetryGroup::generate(&[Generator::new(lattice::chain_translation(n), k)]).unwrap()
     }
 
     #[test]

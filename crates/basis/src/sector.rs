@@ -30,10 +30,9 @@ pub enum BasisError {
 impl std::fmt::Display for BasisError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::GroupSizeMismatch { group_sites, n_sites } => write!(
-                f,
-                "symmetry group acts on {group_sites} sites, sector has {n_sites}"
-            ),
+            Self::GroupSizeMismatch { group_sites, n_sites } => {
+                write!(f, "symmetry group acts on {group_sites} sites, sector has {n_sites}")
+            }
             Self::WeightOutOfRange { weight, n_sites } => {
                 write!(f, "hamming weight {weight} out of range for {n_sites} sites")
             }
@@ -97,11 +96,7 @@ impl SectorSpec {
 
     /// A sector with no symmetries at all (full 2^n space).
     pub fn full(n_sites: u32) -> Self {
-        Self {
-            n_sites,
-            hamming_weight: None,
-            group: SymmetryGroup::trivial(n_sites as usize),
-        }
+        Self { n_sites, hamming_weight: None, group: SymmetryGroup::trivial(n_sites as usize) }
     }
 
     /// U(1)-only sector (fixed Hamming weight, no lattice symmetries).

@@ -149,8 +149,8 @@ impl<S: Scalar> SymmetrizedOperator<S> {
                     continue;
                 }
                 let norm = (alpha_orbit as f64 / info.orbit_size as f64).sqrt();
-                let phase = S::from_c64(info.phase)
-                    .expect("real sector guarantees real phases");
+                let phase =
+                    S::from_c64(info.phase).expect("real sector guarantees real phases");
                 let amp = ch.coeff * phase.scale_re(norm);
                 out.push((info.representative, amp));
             }
@@ -158,6 +158,9 @@ impl<S: Scalar> SymmetrizedOperator<S> {
     }
 
     /// Builds the dense sector matrix (testing / small systems only).
+    // Column index `j` addresses `h`, the basis and the orbit list at
+    // once; the range loop is the clear form.
+    #[allow(clippy::needless_range_loop)]
     pub fn to_dense(&self, basis: &crate::SpinBasis) -> Vec<Vec<S>> {
         let dim = basis.dim();
         assert!(dim <= 1 << 14, "dense sector matrix too large");
@@ -170,9 +173,8 @@ impl<S: Scalar> SymmetrizedOperator<S> {
             row.clear();
             self.apply_off_diag(alpha, orbit, &mut row);
             for &(beta, amp) in &row {
-                let i = basis
-                    .index_of(beta)
-                    .expect("channel produced a state outside the basis");
+                let i =
+                    basis.index_of(beta).expect("channel produced a state outside the basis");
                 h[i][j] += amp;
             }
         }
@@ -204,9 +206,7 @@ mod tests {
         r: Option<i64>,
         z: Option<i64>,
     ) -> (OperatorKernel, SectorSpec, SpinBasis) {
-        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0)
-            .to_kernel(n as u32)
-            .unwrap();
+        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0).to_kernel(n as u32).unwrap();
         let group = lattice::chain_group(n, k, r, z).unwrap();
         let sector = SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
         let basis = SpinBasis::build(sector.clone());
@@ -235,9 +235,7 @@ mod tests {
     fn symmetry_violation_detected() {
         // A single bond does not commute with translation.
         let n = 6;
-        let kernel = ls_expr::builders::heisenberg_bond(0, 1)
-            .to_kernel(n as u32)
-            .unwrap();
+        let kernel = ls_expr::builders::heisenberg_bond(0, 1).to_kernel(n as u32).unwrap();
         let group = lattice::chain_group(n, 0, None, None).unwrap();
         let sector = SectorSpec::new(n as u32, Some(3), group).unwrap();
         let err = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap_err();
@@ -247,17 +245,17 @@ mod tests {
     #[test]
     fn u1_violation_detected() {
         let n = 4;
-        let kernel = ls_expr::builders::transverse_field(n, 1.0)
-            .to_kernel(n as u32)
-            .unwrap();
+        let kernel = ls_expr::builders::transverse_field(n, 1.0).to_kernel(n as u32).unwrap();
         let sector = SectorSpec::with_weight(n as u32, 2).unwrap();
         let err = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap_err();
         assert_eq!(err, BasisError::BreaksU1);
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // symmetric (i, j) access pattern
     fn dense_sector_matrix_is_hermitian() {
-        for (k, r, z) in [(0i64, Some(0i64), Some(0i64)), (0, Some(1), None), (4, None, Some(0))]
+        for (k, r, z) in
+            [(0i64, Some(0i64), Some(0i64)), (0, Some(1), None), (4, None, Some(0))]
         {
             let (kernel, sector, basis) = chain_setup(8, k, r, z);
             let h = sector_matrix_c64(&kernel, &sector, &basis).unwrap();
@@ -279,9 +277,7 @@ mod tests {
         // U(1)-only: the fast path must agree with a 1-element group going
         // through state_info.
         let n = 6u32;
-        let kernel = heisenberg(&lattice::chain_bonds(n as usize), 1.0)
-            .to_kernel(n)
-            .unwrap();
+        let kernel = heisenberg(&lattice::chain_bonds(n as usize), 1.0).to_kernel(n).unwrap();
         let sector = SectorSpec::with_weight(n, 3).unwrap();
         let basis = SpinBasis::build(sector.clone());
         let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
@@ -293,8 +289,7 @@ mod tests {
             // no phases in the trivial group).
             let mut raw = Vec::new();
             kernel.off_diagonal(alpha, &mut raw);
-            let expect: Vec<(u64, f64)> =
-                raw.into_iter().map(|(b, c)| (b, c.re)).collect();
+            let expect: Vec<(u64, f64)> = raw.into_iter().map(|(b, c)| (b, c.re)).collect();
             assert_eq!(out.len(), expect.len());
             for (a, e) in out.iter().zip(&expect) {
                 assert_eq!(a.0, e.0);

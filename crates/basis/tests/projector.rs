@@ -28,9 +28,7 @@ fn dense_projector(group: &SymmetryGroup, n: u32) -> Vec<Vec<Complex64>> {
 }
 
 fn matvec(m: &[Vec<Complex64>], x: &[Complex64]) -> Vec<Complex64> {
-    m.iter()
-        .map(|row| row.iter().zip(x).map(|(a, b)| *a * *b).sum())
-        .collect()
+    m.iter().map(|row| row.iter().zip(x).map(|(a, b)| *a * *b).sum()).collect()
 }
 
 fn dot(a: &[Complex64], b: &[Complex64]) -> Complex64 {
@@ -59,10 +57,7 @@ fn check_sector(kernel: &OperatorKernel, sector: &SectorSpec) {
         e[r as usize] = Complex64::ONE;
         let pr = matvec(&p, &e);
         let norm = dot(&pr, &pr).re.sqrt();
-        assert!(
-            norm > 1e-10,
-            "representative {r:#b} has zero norm but is in the basis"
-        );
+        assert!(norm > 1e-10, "representative {r:#b} has zero norm but is in the basis");
         psi.push(pr.iter().map(|z| z.scale(1.0 / norm)).collect());
     }
 
@@ -84,9 +79,7 @@ fn check_sector(kernel: &OperatorKernel, sector: &SectorSpec) {
 #[test]
 fn heisenberg_chain_real_sectors() {
     for n in [4usize, 6, 8] {
-        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0)
-            .to_kernel(n as u32)
-            .unwrap();
+        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0).to_kernel(n as u32).unwrap();
         for (k, r, z) in [
             (0i64, Some(0i64), Some(0i64)),
             (0, Some(1), Some(0)),
@@ -95,8 +88,7 @@ fn heisenberg_chain_real_sectors() {
             (n as i64 / 2, Some(1), None),
         ] {
             let group = lattice::chain_group(n, k, r, z).unwrap();
-            let sector =
-                SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
+            let sector = SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
             check_sector(&kernel, &sector);
         }
     }
@@ -105,13 +97,10 @@ fn heisenberg_chain_real_sectors() {
 #[test]
 fn heisenberg_chain_complex_momentum_sectors() {
     for n in [4usize, 6, 8] {
-        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0)
-            .to_kernel(n as u32)
-            .unwrap();
+        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0).to_kernel(n as u32).unwrap();
         for k in 1..n as i64 {
             let group = lattice::chain_group(n, k, None, None).unwrap();
-            let sector =
-                SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
+            let sector = SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
             check_sector(&kernel, &sector);
         }
     }
@@ -122,9 +111,7 @@ fn momentum_sectors_without_u1() {
     // Drop the weight restriction entirely (e.g. for transverse-field
     // models): the machinery must hold on the full 2^n space too.
     let n = 6usize;
-    let kernel = heisenberg(&lattice::chain_bonds(n), 1.0)
-        .to_kernel(n as u32)
-        .unwrap();
+    let kernel = heisenberg(&lattice::chain_bonds(n), 1.0).to_kernel(n as u32).unwrap();
     for k in 0..n as i64 {
         let group = lattice::chain_group(n, k, None, None).unwrap();
         let sector = SectorSpec::new(n as u32, None, group).unwrap();
@@ -135,9 +122,7 @@ fn momentum_sectors_without_u1() {
 #[test]
 fn xxz_anisotropy() {
     let n = 6usize;
-    let kernel = xxz(&lattice::chain_bonds(n), 1.0, 0.4)
-        .to_kernel(n as u32)
-        .unwrap();
+    let kernel = xxz(&lattice::chain_bonds(n), 1.0, 0.4).to_kernel(n as u32).unwrap();
     let group = lattice::chain_group(n, 3, None, None).unwrap();
     let sector = SectorSpec::new(n as u32, Some(3), group).unwrap();
     check_sector(&kernel, &sector);
@@ -147,9 +132,7 @@ fn xxz_anisotropy() {
 fn square_lattice_two_dimensional_translations() {
     let (lx, ly) = (2usize, 3usize);
     let n = lx * ly;
-    let kernel = heisenberg(&lattice::square_bonds(lx, ly), 1.0)
-        .to_kernel(n as u32)
-        .unwrap();
+    let kernel = heisenberg(&lattice::square_bonds(lx, ly), 1.0).to_kernel(n as u32).unwrap();
     for (kx, ky) in [(0i64, 0i64), (1, 0), (0, 1), (1, 2)] {
         let group = SymmetryGroup::generate(&[
             Generator::new(lattice::square_translation_x(lx, ly), kx),

@@ -11,10 +11,7 @@ fn bench_ranking(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_ranking");
     g.sample_size(15);
     let mut basis = SpinBasis::build(SectorSpec::with_weight(24, 12).unwrap());
-    let probes: Vec<u64> = (0..basis.dim())
-        .step_by(7)
-        .map(|i| basis.state(i))
-        .collect();
+    let probes: Vec<u64> = (0..basis.dim()).step_by(7).map(|i| basis.state(i)).collect();
     for kind in [
         RankingKind::Combinadic,
         RankingKind::PrefixBuckets,
@@ -41,9 +38,8 @@ fn bench_partition(c: &mut Criterion) {
     g.sample_size(15);
     let n = 100_000usize;
     let locales = 64usize;
-    let keys: Vec<u16> = (0..n)
-        .map(|i| (ls_kernels::hash64_01(i as u64) % locales as u64) as u16)
-        .collect();
+    let keys: Vec<u16> =
+        (0..n).map(|i| (ls_kernels::hash64_01(i as u64) % locales as u64) as u16).collect();
     let vals: Vec<u64> = (0..n as u64).collect();
     g.bench_function("counting_sort", |b| {
         let mut perm = Vec::new();
@@ -75,10 +71,8 @@ fn bench_diagonal(c: &mut Criterion) {
     let n = 24u32;
     let bonds = ls_symmetry::lattice::chain_bonds(n as usize);
     // Walsh form: one (coeff, zmask) per bond.
-    let walsh: Vec<(f64, u64)> = bonds
-        .iter()
-        .map(|&(i, j)| (0.25, (1u64 << i) | (1u64 << j)))
-        .collect();
+    let walsh: Vec<(f64, u64)> =
+        bonds.iter().map(|&(i, j)| (0.25, (1u64 << i) | (1u64 << j))).collect();
     // Conditional form: 4 (pattern, coeff) channels per bond.
     let mut channels: Vec<(u64, u64, f64)> = Vec::new(); // (sites, pattern, coeff)
     for &(i, j) in &bonds {
@@ -136,11 +130,5 @@ fn bench_batched_rows(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_ranking,
-    bench_partition,
-    bench_diagonal,
-    bench_batched_rows
-);
+criterion_group!(benches, bench_ranking, bench_partition, bench_diagonal, bench_batched_rows);
 criterion_main!(benches);

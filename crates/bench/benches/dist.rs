@@ -64,9 +64,7 @@ fn bench_matvec_variants(c: &mut Criterion) {
         b.iter(|| matvec_batched(&s.cluster, &s.op, &s.basis, &s.x, &mut y, 256))
     });
     g.bench_function("alltoall_baseline", |b| {
-        b.iter(|| {
-            ls_baseline::matvec_alltoall(&s.cluster, &s.op, &s.basis, &s.x, &mut y)
-        })
+        b.iter(|| ls_baseline::matvec_alltoall(&s.cluster, &s.op, &s.basis, &s.x, &mut y))
     });
     g.finish();
 }

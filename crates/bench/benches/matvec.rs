@@ -8,9 +8,7 @@ use ls_expr::builders::heisenberg;
 use ls_symmetry::lattice;
 
 fn setup(n: usize) -> (SymmetrizedOperator<f64>, SpinBasis, Vec<f64>) {
-    let kernel = heisenberg(&lattice::chain_bonds(n), 1.0)
-        .to_kernel(n as u32)
-        .unwrap();
+    let kernel = heisenberg(&lattice::chain_bonds(n), 1.0).to_kernel(n as u32).unwrap();
     let group = lattice::chain_group(n, 0, Some(0), Some(0)).unwrap();
     let sector = SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
     let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
@@ -52,9 +50,7 @@ fn bench_strategies(c: &mut Criterion) {
     g.sample_size(10);
     let (op, basis, x) = setup(20);
     let mut y = vec![0.0f64; basis.dim()];
-    g.bench_function("serial", |b| {
-        b.iter(|| apply_serial(&op, &basis, black_box(&x), &mut y))
-    });
+    g.bench_function("serial", |b| b.iter(|| apply_serial(&op, &basis, black_box(&x), &mut y)));
     g.bench_function("pull_parallel", |b| {
         b.iter(|| apply_pull(&op, &basis, black_box(&x), &mut y))
     });

@@ -67,8 +67,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut t1 = None;
     for locales in [1usize, 2, 4] {
-        let cluster =
-            ls_runtime::Cluster::new(ls_runtime::ClusterSpec::new(locales, 1));
+        let cluster = ls_runtime::Cluster::new(ls_runtime::ClusterSpec::new(locales, 1));
         let mut dim = 0u64;
         let t = ls_bench::time_median(3, || {
             let basis = ls_dist::enumerate_dist(&cluster, &sector, 25);

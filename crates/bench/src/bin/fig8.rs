@@ -97,11 +97,7 @@ fn main() {
         .map(|&(prod, cons)| {
             let s = CoreSplit { producers: prod, consumers: cons };
             let t = matvec_pc_time(&model, &ChainWorkload::new(42), 64, s, 16384.0);
-            vec![
-                format!("{prod}/{cons}"),
-                ls_bench::fmt_secs(t),
-                format!("{:.1}", t1 / t),
-            ]
+            vec![format!("{prod}/{cons}"), ls_bench::fmt_secs(t), format!("{:.1}", t1 / t)]
         })
         .collect();
     ls_bench::print_table(

@@ -47,9 +47,7 @@ fn main() {
             })
             .collect();
         ls_bench::print_table(
-            &format!(
-                "Fig. 9 (model): speedup over fastest 1-node LS run, {n_spins} spins"
-            ),
+            &format!("Fig. 9 (model): speedup over fastest 1-node LS run, {n_spins} spins"),
             &["nodes", "LS", "SPINPACK", "LS/SPINPACK", "reference"],
             &rows,
         );

@@ -41,19 +41,13 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             *w = (*w).max(cell.len());
         }
     }
-    let header_line: Vec<String> = headers
-        .iter()
-        .zip(&widths)
-        .map(|(h, w)| format!("{h:>w$}"))
-        .collect();
+    let header_line: Vec<String> =
+        headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}")).collect();
     println!("{}", header_line.join("  "));
     println!("{}", "-".repeat(header_line.join("  ").len()));
     for row in rows {
-        let line: Vec<String> = row
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
+        let line: Vec<String> =
+            row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
         println!("{}", line.join("  "));
     }
 }
@@ -90,8 +84,7 @@ impl SmallScale {
         let group = ls_symmetry::lattice::chain_group(n, 0, Some(0), Some(0)).unwrap();
         let sector = SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
         let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
-        let cluster =
-            ls_runtime::Cluster::new(ls_runtime::ClusterSpec::new(locales, cores));
+        let cluster = ls_runtime::Cluster::new(ls_runtime::ClusterSpec::new(locales, cores));
         let basis = ls_dist::enumerate_dist(&cluster, &sector, 8);
         let x = ls_runtime::DistVec::from_parts(
             basis

@@ -12,11 +12,8 @@ pub fn ground_state_energy<S: Scalar>(op: &Operator<S>) -> f64 {
 
 /// Ground-state energy and normalized wavefunction.
 pub fn ground_state<S: Scalar>(op: &Operator<S>) -> (f64, Vec<S>) {
-    let res = lanczos_smallest(
-        op,
-        1,
-        &LanczosOptions { want_vectors: true, ..Default::default() },
-    );
+    let res =
+        lanczos_smallest(op, 1, &LanczosOptions { want_vectors: true, ..Default::default() });
     (res.eigenvalues[0], res.eigenvectors.unwrap().remove(0))
 }
 
@@ -28,11 +25,8 @@ pub fn lowest_eigenvalues<S: Scalar>(op: &Operator<S>, k: usize) -> Vec<f64> {
 
 /// The `k` lowest eigenpairs (values + Ritz vectors) of the sector.
 pub fn lowest_eigenpairs<S: Scalar>(op: &Operator<S>, k: usize) -> (Vec<f64>, Vec<Vec<S>>) {
-    let res = lanczos_smallest(
-        op,
-        k,
-        &LanczosOptions { want_vectors: true, ..Default::default() },
-    );
+    let res =
+        lanczos_smallest(op, k, &LanczosOptions { want_vectors: true, ..Default::default() });
     (res.eigenvalues, res.eigenvectors.unwrap())
 }
 

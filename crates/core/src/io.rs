@@ -164,10 +164,7 @@ pub fn hashed_vector_to_block<S: Scalar>(
         }
         out
     };
-    let masks: Vec<u16> = all_states
-        .iter()
-        .map(|&s| basis.owner(s) as u16)
-        .collect();
+    let masks: Vec<u16> = all_states.iter().map(|&s| basis.owner(s) as u16).collect();
     let masks_block = ls_dist::convert::to_block(&masks, cluster.n_locales());
     let block = ls_dist::hashed_to_block(cluster, hashed, &masks_block, 4);
     block.concat()

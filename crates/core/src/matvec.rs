@@ -86,12 +86,8 @@ pub fn apply_push<S: Scalar>(
             let mut cur = cell.load(Ordering::Relaxed);
             loop {
                 let new = (f64::from_bits(cur) + reals[lane]).to_bits();
-                match cell.compare_exchange_weak(
-                    cur,
-                    new,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
+                match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+                {
                     Ok(_) => break,
                     Err(actual) => cur = actual,
                 }
@@ -99,22 +95,19 @@ pub fn apply_push<S: Scalar>(
         }
     };
     let chunk = (dim / (rayon::current_num_threads() * 8)).max(64);
-    (0..dim)
-        .into_par_iter()
-        .with_min_len(chunk)
-        .for_each(|j| {
-            let alpha = basis.state(j);
-            let d = op.diagonal(alpha);
-            if d != S::ZERO {
-                add(j, d * x[j]);
-            }
-            let mut row = Vec::with_capacity(op.max_row_entries());
-            op.apply_off_diag(alpha, basis.orbit_sizes()[j], &mut row);
-            for &(rep, amp) in &row {
-                let i = basis.index_of(rep).expect("state not in basis");
-                add(i, amp * x[j]);
-            }
-        });
+    (0..dim).into_par_iter().with_min_len(chunk).for_each(|j| {
+        let alpha = basis.state(j);
+        let d = op.diagonal(alpha);
+        if d != S::ZERO {
+            add(j, d * x[j]);
+        }
+        let mut row = Vec::with_capacity(op.max_row_entries());
+        op.apply_off_diag(alpha, basis.orbit_sizes()[j], &mut row);
+        for &(rep, amp) in &row {
+            let i = basis.index_of(rep).expect("state not in basis");
+            add(i, amp * x[j]);
+        }
+    });
 }
 
 /// Serial reference (push formulation, no atomics).
@@ -163,9 +156,7 @@ mod tests {
         let n = 12usize;
         let group = lattice::chain_group(n, 0, Some(0), Some(0)).unwrap();
         let sector = SectorSpec::new(n as u32, Some(6), group).unwrap();
-        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0)
-            .to_kernel(n as u32)
-            .unwrap();
+        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0).to_kernel(n as u32).unwrap();
         let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
         let basis = ls_basis::SpinBasis::build(sector);
         let x = random_vec(basis.dim(), 3);
@@ -186,9 +177,7 @@ mod tests {
         let n = 10usize;
         let group = lattice::chain_group(n, 3, None, None).unwrap();
         let sector = SectorSpec::new(n as u32, Some(5), group).unwrap();
-        let kernel = xxz(&lattice::chain_bonds(n), 1.0, 0.7)
-            .to_kernel(n as u32)
-            .unwrap();
+        let kernel = xxz(&lattice::chain_bonds(n), 1.0, 0.7).to_kernel(n as u32).unwrap();
         let op = SymmetrizedOperator::<Complex64>::new(&kernel, &sector).unwrap();
         let basis = ls_basis::SpinBasis::build(sector);
         let x: Vec<Complex64> = random_vec(basis.dim(), 7)

@@ -48,12 +48,12 @@ pub fn expectation<S: Scalar>(
     psi: &[S],
 ) -> Result<S, BasisError> {
     let sector = basis.sector();
-    let kernel = observable
-        .to_kernel(sector.n_sites())
-        .map_err(|_| BasisError::OperatorSizeMismatch {
+    let kernel = observable.to_kernel(sector.n_sites()).map_err(|_| {
+        BasisError::OperatorSizeMismatch {
             kernel_sites: observable.min_sites() as u32,
             n_sites: sector.n_sites(),
-        })?;
+        }
+    })?;
     let mut averaged = group_average(&kernel, sector);
     if sector.hamming_weight().is_some() {
         averaged = averaged.u1_projected();
@@ -71,10 +71,7 @@ pub fn expectation<S: Scalar>(
 
 /// Spin-spin correlation function `C(r) = ⟨Sz_0 Sz_r⟩` for `r = 0..n`
 /// (translation-averaged; `C(0) = 1/4`).
-pub fn sz_correlations<S: Scalar>(
-    op: &Operator<S>,
-    psi: &[S],
-) -> Result<Vec<f64>, BasisError> {
+pub fn sz_correlations<S: Scalar>(op: &Operator<S>, psi: &[S]) -> Result<Vec<f64>, BasisError> {
     let basis = op.basis();
     let n = basis.sector().n_sites() as usize;
     let mut out = Vec::with_capacity(n);
@@ -100,26 +97,19 @@ pub fn expectation_dist<S: Scalar>(
     psi: &ls_runtime::DistVec<S>,
 ) -> Result<S, BasisError> {
     let sector = basis.sector();
-    let kernel = observable
-        .to_kernel(sector.n_sites())
-        .map_err(|_| BasisError::OperatorSizeMismatch {
+    let kernel = observable.to_kernel(sector.n_sites()).map_err(|_| {
+        BasisError::OperatorSizeMismatch {
             kernel_sites: observable.min_sites() as u32,
             n_sites: sector.n_sites(),
-        })?;
+        }
+    })?;
     let mut averaged = group_average(&kernel, sector);
     if sector.hamming_weight().is_some() {
         averaged = averaged.u1_projected();
     }
     let symop = SymmetrizedOperator::<S>::new(&averaged, sector)?;
     let mut o_psi = ls_runtime::DistVec::<S>::zeros(&psi.lens());
-    ls_dist::matvec_pc(
-        cluster,
-        &symop,
-        basis,
-        psi,
-        &mut o_psi,
-        ls_dist::PcOptions::default(),
-    );
+    ls_dist::matvec_pc(cluster, &symop, basis, psi, &mut o_psi, ls_dist::PcOptions::default());
     Ok(ls_dist::blas::dot(psi, &o_psi))
 }
 
@@ -130,11 +120,7 @@ pub fn structure_factor(correlations: &[f64]) -> Vec<f64> {
     (0..n)
         .map(|k| {
             let q = std::f64::consts::TAU * k as f64 / n as f64;
-            correlations
-                .iter()
-                .enumerate()
-                .map(|(r, &c)| c * (q * r as f64).cos())
-                .sum()
+            correlations.iter().enumerate().map(|(r, &c)| c * (q * r as f64).cos()).sum()
         })
         .collect()
 }
@@ -177,9 +163,9 @@ mod tests {
         // C(0) = ⟨Sz²⟩ = 1/4 exactly for spin-1/2.
         assert!((c[0] - 0.25).abs() < 1e-10, "C(0) = {}", c[0]);
         // Antiferromagnet: signs alternate.
-        for r in 1..n {
+        for (r, &cr) in c.iter().enumerate().skip(1) {
             let sign = if r % 2 == 1 { -1.0 } else { 1.0 };
-            assert!(c[r] * sign > 0.0, "C({r}) = {}", c[r]);
+            assert!(cr * sign > 0.0, "C({r}) = {cr}");
         }
         // Sum rule: Σ_r C(r) = ⟨Sz_0 · (Σ_r Sz_r)⟩ = 0 at half filling.
         let total: f64 = c.iter().sum();
@@ -196,12 +182,7 @@ mod tests {
         let (_, op, psi, _) = ground(n);
         let c = sz_correlations(&op, &psi).unwrap();
         let s = structure_factor(&c);
-        let peak = s
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
+        let peak = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(peak, n / 2, "S(q) must peak at q = π, got index {peak}");
         // S(0) = 0 (conserved total Sz at half filling).
         assert!(s[0].abs() < 1e-9);
@@ -213,12 +194,8 @@ mod tests {
         let (basis, _, psi, _) = ground(n);
         let val = expectation(&ls_expr::ast::sx(0), &basis, &psi).unwrap();
         assert!(val.abs() < 1e-12, "⟨Sx⟩ = {val}");
-        let val = expectation(
-            &(ls_expr::ast::splus(0) * ls_expr::ast::splus(1)),
-            &basis,
-            &psi,
-        )
-        .unwrap();
+        let val = expectation(&(ls_expr::ast::splus(0) * ls_expr::ast::splus(1)), &basis, &psi)
+            .unwrap();
         assert!(val.abs() < 1e-12);
     }
 

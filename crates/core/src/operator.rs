@@ -23,19 +23,14 @@ impl<S: Scalar> Operator<S> {
         expr: &Expr,
         sector: SectorSpec,
     ) -> Result<(Arc<SpinBasis>, Self), BasisError> {
-        let kernel = expr
-            .to_kernel(sector.n_sites())
-            .map_err(|_| BasisError::OperatorSizeMismatch {
+        let kernel =
+            expr.to_kernel(sector.n_sites()).map_err(|_| BasisError::OperatorSizeMismatch {
                 kernel_sites: expr.min_sites() as u32,
                 n_sites: sector.n_sites(),
             })?;
         let symop = SymmetrizedOperator::<S>::new(&kernel, &sector)?;
         let basis = Arc::new(SpinBasis::build(sector));
-        let op = Self {
-            symop,
-            basis: Arc::clone(&basis),
-            strategy: MatvecStrategy::default(),
-        };
+        let op = Self { symop, basis: Arc::clone(&basis), strategy: MatvecStrategy::default() };
         Ok((basis, op))
     }
 
@@ -75,15 +70,9 @@ impl<S: Scalar> LinearOp<S> for Operator<S> {
 
     fn apply(&self, x: &[S], y: &mut [S]) {
         match self.strategy {
-            MatvecStrategy::PullParallel => {
-                matvec::apply_pull(&self.symop, &self.basis, x, y)
-            }
-            MatvecStrategy::PushAtomic => {
-                matvec::apply_push(&self.symop, &self.basis, x, y)
-            }
-            MatvecStrategy::Serial => {
-                matvec::apply_serial(&self.symop, &self.basis, x, y)
-            }
+            MatvecStrategy::PullParallel => matvec::apply_pull(&self.symop, &self.basis, x, y),
+            MatvecStrategy::PushAtomic => matvec::apply_push(&self.symop, &self.basis, x, y),
+            MatvecStrategy::Serial => matvec::apply_serial(&self.symop, &self.basis, x, y),
         }
     }
 
@@ -112,9 +101,7 @@ mod tests {
         op.apply(&x, &mut y);
         // H acting on the uniform vector: row sums; compare strategies.
         let mut y2 = vec![0.0; basis.dim()];
-        op.clone()
-            .with_strategy(MatvecStrategy::PushAtomic)
-            .apply(&x, &mut y2);
+        op.clone().with_strategy(MatvecStrategy::PushAtomic).apply(&x, &mut y2);
         let mut y3 = vec![0.0; basis.dim()];
         op.clone().with_strategy(MatvecStrategy::Serial).apply(&x, &mut y3);
         for i in 0..basis.dim() {

@@ -1,0 +1,73 @@
+//! Level-1 operations on distributed vectors.
+//!
+//! Locally these are the same kernels as `ls_eigen::op`; the distributed
+//! versions reduce over locale parts (the `allreduce` of a real cluster —
+//! on the simulated runtime the reduction is a plain sum over parts).
+
+use ls_kernels::Scalar;
+use ls_runtime::DistVec;
+
+/// Hermitian inner product `⟨a, b⟩ = Σ conj(a_i) b_i`.
+pub fn dot<S: Scalar>(a: &DistVec<S>, b: &DistVec<S>) -> S {
+    assert_eq!(a.lens(), b.lens(), "distributed dot of mismatched layouts");
+    let mut acc = S::ZERO;
+    for (pa, pb) in a.parts().iter().zip(b.parts()) {
+        for (x, y) in pa.iter().zip(pb) {
+            acc += x.conj() * *y;
+        }
+    }
+    acc
+}
+
+/// Squared 2-norm (always real).
+pub fn norm_sqr<S: Scalar>(a: &DistVec<S>) -> f64 {
+    a.parts().iter().flatten().map(|x| x.abs_sqr()).sum()
+}
+
+/// 2-norm.
+pub fn norm<S: Scalar>(a: &DistVec<S>) -> f64 {
+    norm_sqr(a).sqrt()
+}
+
+/// `y += alpha * x`, part by part.
+pub fn axpy<S: Scalar>(alpha: S, x: &DistVec<S>, y: &mut DistVec<S>) {
+    assert_eq!(x.lens(), y.lens(), "distributed axpy of mismatched layouts");
+    for (px, py) in x.parts().iter().zip(y.parts_mut()) {
+        for (xi, yi) in px.iter().zip(py.iter_mut()) {
+            *yi += alpha * *xi;
+        }
+    }
+}
+
+/// `x *= alpha` (real scale), part by part.
+pub fn scale<S: Scalar>(x: &mut DistVec<S>, alpha: f64) {
+    for part in x.parts_mut() {
+        for xi in part.iter_mut() {
+            *xi = xi.scale_re(alpha);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_kernels::Complex64;
+
+    #[test]
+    fn real_blas1() {
+        let a = DistVec::from_parts(vec![vec![1.0, -2.0], vec![2.0]]);
+        let mut b = DistVec::from_parts(vec![vec![0.0, 1.0], vec![0.0]]);
+        assert_eq!(dot(&a, &a), 9.0);
+        assert_eq!(norm(&a), 3.0);
+        axpy(2.0, &a, &mut b);
+        assert_eq!(b.parts(), &[vec![2.0, -3.0], vec![4.0]]);
+        scale(&mut b, 0.5);
+        assert_eq!(b.parts(), &[vec![1.0, -1.5], vec![2.0]]);
+    }
+
+    #[test]
+    fn complex_dot_conjugates_left() {
+        let a = DistVec::from_parts(vec![vec![Complex64::new(0.0, 1.0)]]);
+        assert!(dot(&a, &a).approx_eq(Complex64::ONE, 1e-15));
+    }
+}

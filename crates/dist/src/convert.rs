@@ -1,0 +1,301 @@
+//! Conversions between the block and hashed distributions (paper Sec. 4,
+//! Figs. 2 and 3).
+//!
+//! A vector in *block* layout stores global indices `[lo, hi)` of locale
+//! `l` contiguously (canonical order — what I/O wants); in *hashed* layout
+//! element `i` lives on locale `masks[i]`, in global order within each
+//! locale. Both conversions precompute all destination offsets so every
+//! transfer is a disjoint one-sided operation, giving an *exactly*
+//! reversible (bit-exact) roundtrip — the property the paper tests.
+//!
+//! Each source range is processed in `chunks` pieces: per chunk the
+//! elements are stable-partitioned by destination (counting sort, as in
+//! the real implementation) and shipped with one message per destination,
+//! which is what bounds message sizes at scale.
+
+use crate::layout;
+use ls_kernels::sort::{apply_perm, counting_sort_perm};
+use ls_runtime::{BlockLayout, Cluster, DistVec, RmaReadWindow, RmaWriteWindow};
+
+/// Splits `data` into the canonical block distribution over `locales`.
+pub fn to_block<T: Clone>(data: &[T], locales: usize) -> DistVec<T> {
+    let layout = BlockLayout::new(data.len() as u64, locales);
+    DistVec::from_parts(
+        (0..locales)
+            .map(|l| {
+                let (lo, hi) = layout.range(l);
+                data[lo as usize..hi as usize].to_vec()
+            })
+            .collect(),
+    )
+}
+
+/// The hash-distribution masks of block-distributed basis states: entry
+/// `i` says which locale owns state `i` in the hashed layout.
+pub fn hashed_masks(cluster: &Cluster, states_block: &DistVec<u64>) -> DistVec<u16> {
+    let locales = cluster.n_locales();
+    DistVec::from_parts(
+        states_block
+            .parts()
+            .iter()
+            .map(|part| {
+                part.iter().map(|&s| ls_kernels::locale_idx_of(s, locales) as u16).collect()
+            })
+            .collect(),
+    )
+}
+
+/// Panics unless `v` has exactly the canonical block lengths for its total
+/// size, returning that total.
+fn check_block_layout<T>(v: &DistVec<T>, locales: usize, what: &str) -> usize {
+    let total = v.total_len();
+    let layout = BlockLayout::new(total as u64, locales);
+    for l in 0..locales {
+        assert_eq!(
+            v.part(l).len(),
+            layout.len(l),
+            "block layout mismatch: {what} holds {} elements on locale {l}, \
+             the block distribution of {total} over {locales} wants {}",
+            v.part(l).len(),
+            layout.len(l),
+        );
+    }
+    total
+}
+
+/// Chunk boundaries splitting `len` elements into `chunks` contiguous
+/// pieces of near-equal size.
+fn chunk_bounds(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let chunks = chunks.max(1);
+    (0..chunks).map(|c| (c * len / chunks, (c + 1) * len / chunks)).collect()
+}
+
+/// Block → hashed redistribution (paper Fig. 2). `masks` must be the
+/// block-distributed destination masks (see [`hashed_masks`]); order is
+/// preserved within each destination.
+///
+/// # Panics
+/// Panics when `block`/`masks` are not in the canonical block layout or a
+/// mask names a locale outside the cluster.
+pub fn block_to_hashed<T: Copy + Send + Sync + Default>(
+    cluster: &Cluster,
+    block: &DistVec<T>,
+    masks: &DistVec<u16>,
+    chunks: usize,
+) -> DistVec<T> {
+    let locales = cluster.n_locales();
+    let total = check_block_layout(block, locales, "data");
+    let masks_total = check_block_layout(masks, locales, "masks");
+    assert_eq!(total, masks_total, "masks must cover exactly the data");
+    for part in masks.parts() {
+        for &m in part {
+            assert!((m as usize) < locales, "mask {m} exceeds locale count {locales}");
+        }
+    }
+
+    // Offsets via the ordered-placement rule (see `layout`): slot (src,
+    // chunk) in source-major order is global element order for a block
+    // layout, so every destination receives its elements in global order.
+    let chunks_n = chunks.max(1);
+    let bounds: Vec<Vec<(usize, usize)>> =
+        (0..locales).map(|l| chunk_bounds(block.part(l).len(), chunks)).collect();
+    let (offsets, totals) = layout::destination_offsets(
+        bounds.iter().enumerate().flat_map(|(src, src_bounds)| {
+            src_bounds
+                .iter()
+                .map(move |&(lo, hi)| layout::mask_counts(&masks.part(src)[lo..hi], locales))
+        }),
+        locales,
+    );
+    let offset_of = |src: usize, c: usize| &offsets[src * chunks_n + c];
+
+    let mut out = DistVec::<T>::zeros(&totals);
+    {
+        let win = RmaWriteWindow::new(&mut out);
+        cluster.run(|ctx| {
+            let me = ctx.locale();
+            let data = block.part(me);
+            let mask = masks.part(me);
+            let mut perm = Vec::new();
+            let mut bucket_offsets = Vec::new();
+            let mut grouped = Vec::new();
+            for (c, &(lo, hi)) in bounds[me].iter().enumerate() {
+                // Stable partition of the chunk by destination.
+                counting_sort_perm(&mask[lo..hi], locales, &mut perm, &mut bucket_offsets);
+                apply_perm(&perm, &data[lo..hi], &mut grouped);
+                for dest in 0..locales {
+                    let blo = bucket_offsets[dest] as usize;
+                    let bhi = bucket_offsets[dest + 1] as usize;
+                    win.put(ctx, dest, offset_of(me, c)[dest], &grouped[blo..bhi]);
+                }
+            }
+            ctx.barrier_wait();
+        });
+    }
+    out
+}
+
+/// Hashed → block redistribution (paper Fig. 3), the exact inverse of
+/// [`block_to_hashed`] for the same `masks`.
+///
+/// Every block locale rebuilds its contiguous global range chunk by
+/// chunk: within one chunk the needed elements of each source locale are
+/// consecutive there (both sides are ordered by global index), so a chunk
+/// costs one get per source locale.
+///
+/// # Panics
+/// Panics when `masks` is not in the canonical block layout or the hashed
+/// part sizes do not match the mask counts.
+pub fn hashed_to_block<T: Copy + Send + Sync + Default>(
+    cluster: &Cluster,
+    hashed: &DistVec<T>,
+    masks: &DistVec<u16>,
+    chunks: usize,
+) -> DistVec<T> {
+    let locales = cluster.n_locales();
+    let total = check_block_layout(masks, locales, "masks");
+    assert_eq!(
+        hashed.total_len(),
+        total,
+        "hashed vector and masks disagree on the total element count"
+    );
+    let mut mask_counts = vec![0usize; locales];
+    for part in masks.parts() {
+        for &m in part {
+            assert!((m as usize) < locales, "mask {m} exceeds locale count {locales}");
+            mask_counts[m as usize] += 1;
+        }
+    }
+    for (l, &count) in mask_counts.iter().enumerate() {
+        assert_eq!(
+            hashed.part(l).len(),
+            count,
+            "hashed part on locale {l} does not match its mask count"
+        );
+    }
+
+    // For block locale `b`, chunk `c`, source `d`: the first hashed index
+    // on `d` that belongs to the chunk — the same ordered walk as the
+    // forward direction (see `layout`), read as gather starts.
+    let chunks_n = chunks.max(1);
+    let block_layout = BlockLayout::new(total as u64, locales);
+    let bounds: Vec<Vec<(usize, usize)>> =
+        (0..locales).map(|b| chunk_bounds(block_layout.len(b), chunks)).collect();
+    let (starts, _) = layout::destination_offsets(
+        bounds.iter().enumerate().flat_map(|(b, b_bounds)| {
+            b_bounds
+                .iter()
+                .map(move |&(lo, hi)| layout::mask_counts(&masks.part(b)[lo..hi], locales))
+        }),
+        locales,
+    );
+    let start_of = |b: usize, c: usize| &starts[b * chunks_n + c];
+
+    let mut out = DistVec::<T>::zeros(&block_layout.all_lens());
+    {
+        let win_read = RmaReadWindow::new(hashed);
+        let win_write = RmaWriteWindow::new(&mut out);
+        cluster.run(|ctx| {
+            let me = ctx.locale();
+            let mask = masks.part(me);
+            let mut fetched: Vec<Vec<T>> = vec![Vec::new(); locales];
+            let mut assembled: Vec<T> = Vec::new();
+            for (c, &(lo, hi)) in bounds[me].iter().enumerate() {
+                // Per-source element counts within this chunk.
+                let counts = layout::mask_counts(&mask[lo..hi], locales);
+                // One bulk get per source locale.
+                for (d, buf) in fetched.iter_mut().enumerate() {
+                    buf.clear();
+                    buf.resize(counts[d], T::default());
+                    if counts[d] > 0 {
+                        win_read.get(ctx, d, start_of(me, c)[d], buf);
+                    }
+                }
+                // Local merge back into global order.
+                assembled.clear();
+                let mut cursors = vec![0usize; locales];
+                for &m in &mask[lo..hi] {
+                    let d = m as usize;
+                    assembled.push(fetched[d][cursors[d]]);
+                    cursors[d] += 1;
+                }
+                win_write.put(ctx, me, lo, &assembled);
+            }
+            ctx.barrier_wait();
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_runtime::ClusterSpec;
+
+    #[test]
+    fn roundtrip_small_dense() {
+        for locales in [1usize, 2, 4, 7] {
+            for chunks in [1usize, 2, 5] {
+                let cluster = Cluster::new(ClusterSpec::new(locales, 1));
+                let data: Vec<u64> = (0..123).map(|i| i * i + 1).collect();
+                let masks_raw: Vec<u16> = data
+                    .iter()
+                    .map(|&v| ls_kernels::locale_idx_of(v, locales) as u16)
+                    .collect();
+                let block = to_block(&data, locales);
+                let masks = to_block(&masks_raw, locales);
+                let hashed = block_to_hashed(&cluster, &block, &masks, chunks);
+                assert_eq!(hashed.total_len(), data.len());
+                let back = hashed_to_block(&cluster, &hashed, &masks, chunks + 1);
+                assert_eq!(back.parts(), block.parts(), "L={locales} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_preserved_within_destination() {
+        let cluster = Cluster::new(ClusterSpec::new(3, 1));
+        let data: Vec<u64> = (0..40).collect();
+        let masks_raw: Vec<u16> = (0..40).map(|i| (i % 3) as u16).collect();
+        let hashed =
+            block_to_hashed(&cluster, &to_block(&data, 3), &to_block(&masks_raw, 3), 4);
+        for l in 0..3 {
+            let expect: Vec<u64> = data
+                .iter()
+                .zip(&masks_raw)
+                .filter(|&(_, &m)| m as usize == l)
+                .map(|(&d, _)| d)
+                .collect();
+            assert_eq!(hashed.part(l), &expect[..]);
+        }
+    }
+
+    #[test]
+    fn empty_vector_roundtrips() {
+        let cluster = Cluster::new(ClusterSpec::new(3, 1));
+        let block = to_block(&[] as &[f64], 3);
+        let masks = to_block(&[] as &[u16], 3);
+        let hashed = block_to_hashed(&cluster, &block, &masks, 2);
+        assert_eq!(hashed.total_len(), 0);
+        let back = hashed_to_block(&cluster, &hashed, &masks, 2);
+        assert_eq!(back.parts(), block.parts());
+    }
+
+    #[test]
+    #[should_panic(expected = "block layout mismatch")]
+    fn wrong_layout_rejected() {
+        let cluster = Cluster::new(ClusterSpec::new(2, 1));
+        let block = DistVec::from_parts(vec![vec![1u64, 2, 3], vec![]]);
+        let masks = DistVec::from_parts(vec![vec![0u16, 0, 0], vec![]]);
+        let _ = block_to_hashed(&cluster, &block, &masks, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds locale count")]
+    fn out_of_range_mask_rejected() {
+        let cluster = Cluster::new(ClusterSpec::new(2, 1));
+        let data = [1u64, 2];
+        let masks_raw = [0u16, 5];
+        let _ = block_to_hashed(&cluster, &to_block(&data, 2), &to_block(&masks_raw, 2), 1);
+    }
+}

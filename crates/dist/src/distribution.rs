@@ -1,0 +1,113 @@
+//! Load-balance diagnostics for state-distribution schemes (paper
+//! Sec. 5.1: why hash all the bits).
+
+use ls_kernels::locale_idx_of;
+
+/// How basis states are assigned to locales.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// `hash64_01(state) % locales` — the paper's choice; mixing all bits
+    /// balances both memory and row work.
+    Hashed,
+    /// Contiguous equal ranges of the *raw* `2^n` space. Representative
+    /// density varies strongly across the space, so this skews badly.
+    RawRanges,
+}
+
+/// Per-locale state counts under a scheme, with summary statistics.
+#[derive(Clone, Debug)]
+pub struct BalanceReport {
+    pub counts: Vec<usize>,
+}
+
+impl BalanceReport {
+    fn mean(&self) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        total as f64 / self.counts.len().max(1) as f64
+    }
+
+    /// `max / mean` — 1.0 is perfect balance.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            return 1.0;
+        }
+        *self.counts.iter().max().unwrap_or(&0) as f64 / mean
+    }
+
+    /// Coefficient of variation (stddev / mean).
+    pub fn cv(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.counts.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Counts how `states` (drawn from an `n_sites`-bit space) would spread
+/// over `locales` under `scheme`.
+pub fn partition_balance(
+    states: &[u64],
+    n_sites: u32,
+    locales: usize,
+    scheme: Scheme,
+) -> BalanceReport {
+    assert!(locales >= 1);
+    let mut counts = vec![0usize; locales];
+    for &s in states {
+        let owner = match scheme {
+            Scheme::Hashed => locale_idx_of(s, locales),
+            Scheme::RawRanges => {
+                // Which of `locales` equal slices of [0, 2^n) holds s.
+                debug_assert!(
+                    n_sites <= 64 && (n_sites == 64 || s < (1u128 << n_sites) as u64)
+                );
+                ((s as u128 * locales as u128) >> n_sites) as usize
+            }
+        };
+        counts[owner] += 1;
+    }
+    BalanceReport { counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_kernels::bits::FixedWeightRange;
+
+    #[test]
+    fn hashing_beats_raw_ranges_on_fixed_weight_states() {
+        // Fixed-weight states cluster in the middle of the raw range, so
+        // contiguous range splitting is badly skewed while hashing is
+        // close to uniform.
+        let n = 16u32;
+        let states: Vec<u64> = FixedWeightRange::all(n, n / 2).collect();
+        let hashed = partition_balance(&states, n, 8, Scheme::Hashed);
+        let ranged = partition_balance(&states, n, 8, Scheme::RawRanges);
+        assert!(hashed.imbalance() < 1.1, "hashed {:?}", hashed.counts);
+        assert!(ranged.imbalance() > hashed.imbalance(), "ranged {:?}", ranged.counts);
+        assert!(hashed.cv() < ranged.cv());
+        // Counts always partition the input.
+        assert_eq!(hashed.counts.iter().sum::<usize>(), states.len());
+        assert_eq!(ranged.counts.iter().sum::<usize>(), states.len());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = partition_balance(&[], 8, 4, Scheme::Hashed);
+        assert_eq!(empty.imbalance(), 1.0);
+        assert_eq!(empty.cv(), 0.0);
+        let one = partition_balance(&[3], 8, 1, Scheme::RawRanges);
+        assert_eq!(one.counts, vec![1]);
+    }
+}

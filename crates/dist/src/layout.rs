@@ -1,0 +1,59 @@
+//! The ordered-placement invariant shared by every redistribution in this
+//! crate.
+//!
+//! All three data movements (block→hashed, hashed→block, distributed
+//! enumeration) place elements into per-destination arrays via one-sided
+//! puts at precomputed offsets. The offsets come from one rule: walk the
+//! source *slots* (source locale × chunk) in global element order and
+//! snapshot a running per-destination counter at each slot. Because the
+//! walk is in global order, every destination receives its elements in
+//! global order — which keeps basis parts sorted and makes the
+//! conversions exactly invertible.
+
+/// Walks `slot_counts` (per-destination element counts of each slot, in
+/// global slot order) and returns the per-slot destination offsets plus
+/// the final per-destination totals.
+pub(crate) fn destination_offsets(
+    slot_counts: impl Iterator<Item = Vec<usize>>,
+    locales: usize,
+) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let mut counters = vec![0usize; locales];
+    let mut offsets = Vec::new();
+    for counts in slot_counts {
+        debug_assert_eq!(counts.len(), locales);
+        offsets.push(counters.clone());
+        for (counter, n) in counters.iter_mut().zip(&counts) {
+            *counter += n;
+        }
+    }
+    (offsets, counters)
+}
+
+/// Per-destination element counts of one mask slice.
+pub(crate) fn mask_counts(masks: &[u16], locales: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; locales];
+    for &m in masks {
+        counts[m as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_disjoint_and_ordered() {
+        // Three slots with varying destination mixes over two locales.
+        let slots = vec![vec![2usize, 1], vec![0, 3], vec![1, 1]];
+        let (offsets, totals) = destination_offsets(slots.into_iter(), 2);
+        assert_eq!(offsets, vec![vec![0, 0], vec![2, 1], vec![2, 4]]);
+        assert_eq!(totals, vec![3, 5]);
+    }
+
+    #[test]
+    fn mask_counting() {
+        assert_eq!(mask_counts(&[0, 2, 2, 1, 2], 3), vec![1, 1, 3]);
+        assert_eq!(mask_counts(&[], 2), vec![0, 0]);
+    }
+}

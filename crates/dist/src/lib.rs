@@ -1,0 +1,37 @@
+//! # ls-dist
+//!
+//! The distributed-memory layer of the workspace: everything from the
+//! paper's Secs. 4–5, executed on the simulated PGAS runtime of
+//! [`ls_runtime`].
+//!
+//! * [`basis`] — distributed representative enumeration ([`enumerate_dist`],
+//!   the paper's Fig. 4) producing a [`DistSpinBasis`] in the *hashed*
+//!   distribution: basis state `s` lives on locale
+//!   `hash64_01(s) % numLocales` (Sec. 5.1), which balances both memory
+//!   and matrix-row work;
+//! * [`convert`] — exact conversions between the hashed distribution used
+//!   for compute and the *block* distribution used for I/O (Sec. 4,
+//!   Figs. 2–3); the roundtrip is bit-exact;
+//! * [`distribution`] — load-balance diagnostics comparing the hashed
+//!   scheme against naive contiguous range partitioning;
+//! * [`matvec`] — three distributed matrix-vector products: per-element
+//!   remote atomics ([`matvec::matvec_naive`]), bulk batched transfers
+//!   ([`matvec::matvec_batched`]) and the producer/consumer pipeline of
+//!   Sec. 5.3 ([`matvec::matvec_pc`] / [`matvec::pc::PcEngine`]) that
+//!   overlaps row generation with communication through reusable buffer
+//!   channels;
+//! * [`eigensolve`] — distributed Lanczos layered on [`ls_eigen`], with
+//!   buffer reuse across the repeated matrix-vector products;
+//! * [`blas`] — level-1 operations on distributed vectors.
+
+pub mod basis;
+pub mod blas;
+pub mod convert;
+pub mod distribution;
+pub mod eigensolve;
+mod layout;
+pub mod matvec;
+
+pub use basis::{enumerate_dist, DistSpinBasis};
+pub use convert::{block_to_hashed, hashed_to_block};
+pub use matvec::{matvec_batched, matvec_naive, matvec_pc, PcOptions};

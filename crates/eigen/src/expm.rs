@@ -176,8 +176,7 @@ mod tests {
         let a = random_symmetric(n, 11);
         let (vals, vecs) = eigh_real(&a, n);
         let op = to_complex_op(&a, n);
-        let psi: Vec<Complex64> =
-            vecs[0].iter().map(|&x| Complex64::new(x, 0.0)).collect();
+        let psi: Vec<Complex64> = vecs[0].iter().map(|&x| Complex64::new(x, 0.0)).collect();
         let t = 0.83;
         let out = evolve_real_time(&op, &psi, t, n);
         let phase = Complex64::cis(-t * vals[0]);
@@ -201,8 +200,7 @@ mod tests {
         let mut hhp = vec![Complex64::ZERO; n];
         op.apply(&hp, &mut hhp);
         for i in 0..n {
-            let taylor = psi[i] - Complex64::I.scale(t) * hp[i]
-                - hhp[i].scale(t * t / 2.0);
+            let taylor = psi[i] - Complex64::I.scale(t) * hp[i] - hhp[i].scale(t * t / 2.0);
             assert!(out[i].approx_eq(taylor, 1e-7), "{:?} vs {taylor:?}", out[i]);
         }
     }

@@ -77,10 +77,8 @@ pub fn eigh_real(a: &[f64], n: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&x, &y| a[x * n + x].total_cmp(&a[y * n + y]));
     let vals: Vec<f64> = order.iter().map(|&i| a[i * n + i]).collect();
-    let vecs: Vec<Vec<f64>> = order
-        .iter()
-        .map(|&col| (0..n).map(|row| v[row * n + col]).collect())
-        .collect();
+    let vecs: Vec<Vec<f64>> =
+        order.iter().map(|&col| (0..n).map(|row| v[row * n + col]).collect()).collect();
     (vals, vecs)
 }
 

@@ -102,13 +102,9 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
             let (vals, vecs) = tridiag_eigh(&alphas, &betas, true);
             let vecs = vecs.unwrap();
             let m = alphas.len();
-            let spectral_scale = vals
-                .iter()
-                .fold(0.0f64, |acc, v| acc.max(v.abs()))
-                .max(1e-300);
-            let residuals: Vec<f64> = (0..k)
-                .map(|i| (beta * vecs[i][m - 1]).abs())
-                .collect();
+            let spectral_scale =
+                vals.iter().fold(0.0f64, |acc, v| acc.max(v.abs())).max(1e-300);
+            let residuals: Vec<f64> = (0..k).map(|i| (beta * vecs[i][m - 1]).abs()).collect();
             let ok = residuals.iter().all(|r| *r <= opts.tol * spectral_scale);
             last_check = (vals[..k].to_vec(), residuals);
             if ok {
@@ -156,18 +152,15 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
     let m = alphas.len();
     let k_eff = k.min(m);
     let eigenvalues: Vec<f64> = vals[..k_eff].to_vec();
-    let residuals = if last_check.0.len() == k_eff {
-        last_check.1
-    } else {
-        vec![f64::NAN; k_eff]
-    };
+    let residuals =
+        if last_check.0.len() == k_eff { last_check.1 } else { vec![f64::NAN; k_eff] };
 
     let eigenvectors = if opts.want_vectors {
         let mut out = Vec::with_capacity(k_eff);
-        for i in 0..k_eff {
+        for tv in tvecs.iter().take(k_eff) {
             let mut x = vec![S::ZERO; n];
             for (j, vb) in basis.iter().take(m).enumerate() {
-                axpy(S::from_re(tvecs[i][j]), vb, &mut x);
+                axpy(S::from_re(tv[j]), vb, &mut x);
             }
             let nx = norm(&x);
             scale(&mut x, 1.0 / nx);
@@ -178,13 +171,7 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
         None
     };
 
-    LanczosResult {
-        eigenvalues,
-        eigenvectors,
-        iterations: m,
-        residuals,
-        converged,
-    }
+    LanczosResult { eigenvalues, eigenvectors, iterations: m, residuals, converged }
 }
 
 fn random_fill<S: Scalar>(v: &mut [S], rng: &mut StdRng) {
@@ -231,13 +218,8 @@ mod tests {
             &LanczosOptions { max_iter: n, tol: 1e-11, ..Default::default() },
         );
         assert!(res.converged, "residuals: {:?}", res.residuals);
-        for i in 0..4 {
-            assert!(
-                (res.eigenvalues[i] - expect[i]).abs() < 1e-8,
-                "λ{i}: {} vs {}",
-                res.eigenvalues[i],
-                expect[i]
-            );
+        for (i, (got, want)) in res.eigenvalues.iter().zip(&expect).take(4).enumerate() {
+            assert!((got - want).abs() < 1e-8, "λ{i}: {got} vs {want}");
         }
     }
 
@@ -289,13 +271,8 @@ mod tests {
             3,
             &LanczosOptions { max_iter: n, tol: 1e-11, ..Default::default() },
         );
-        for i in 0..3 {
-            assert!(
-                (res.eigenvalues[i] - expect[i]).abs() < 1e-8,
-                "{} vs {}",
-                res.eigenvalues[i],
-                expect[i]
-            );
+        for (got, want) in res.eigenvalues.iter().zip(&expect).take(3) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
         }
     }
 
@@ -325,11 +302,8 @@ mod tests {
             a[i * n + i] = if i < 3 { -1.0 } else { 2.0 };
         }
         let op = DenseOp::new(n, a);
-        let res = lanczos_smallest(
-            &op,
-            4,
-            &LanczosOptions { max_iter: n, ..Default::default() },
-        );
+        let res =
+            lanczos_smallest(&op, 4, &LanczosOptions { max_iter: n, ..Default::default() });
         assert!((res.eigenvalues[0] + 1.0).abs() < 1e-9);
         // Every returned value is in the true spectrum {-1, 2}.
         for v in &res.eigenvalues {

@@ -129,8 +129,7 @@ mod tests {
         let mut acc = 0.0;
         for (lam, v) in vals.iter().zip(&vecs) {
             let overlap: f64 = v.iter().zip(phi).map(|(a, b)| a * b).sum();
-            let lorentz =
-                eta / std::f64::consts::PI / ((omega - lam).powi(2) + eta * eta);
+            let lorentz = eta / std::f64::consts::PI / ((omega - lam).powi(2) + eta * eta);
             acc += overlap * overlap * lorentz;
         }
         acc
@@ -171,10 +170,7 @@ mod tests {
         let integral: f64 = (0..steps)
             .map(|i| coeffs.spectral_function(lo + (i as f64 + 0.5) * dw, eta) * dw)
             .sum();
-        assert!(
-            (integral - weight).abs() < 0.02 * weight,
-            "∫A = {integral}, ⟨φ|φ⟩ = {weight}"
-        );
+        assert!((integral - weight).abs() < 0.02 * weight, "∫A = {integral}, ⟨φ|φ⟩ = {weight}");
     }
 
     #[test]

@@ -102,12 +102,7 @@ pub fn tridiag_eigh(
     order.sort_by(|&a, &b| d[a].total_cmp(&d[b]));
     let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let vectors = if want_vectors {
-        Some(
-            order
-                .iter()
-                .map(|&col| (0..n).map(|row| z[row * n + col]).collect())
-                .collect(),
-        )
+        Some(order.iter().map(|&col| (0..n).map(|row| z[row * n + col]).collect()).collect())
     } else {
         None
     };

@@ -120,9 +120,7 @@ impl Expr {
                 Expr::Primitive(Primitive { kind, site: p.site })
             }
             Expr::Sum(es) => Expr::Sum(es.iter().map(|e| e.adjoint()).collect()),
-            Expr::Product(es) => {
-                Expr::Product(es.iter().rev().map(|e| e.adjoint()).collect())
-            }
+            Expr::Product(es) => Expr::Product(es.iter().rev().map(|e| e.adjoint()).collect()),
         }
     }
 }
@@ -295,8 +293,7 @@ mod tests {
 
     #[test]
     fn adjoint_is_involution() {
-        let e = Expr::scalar_c(Complex64::new(0.0, 2.0)) * sy(3) * splus(1)
-            + 0.5 * sz(0);
+        let e = Expr::scalar_c(Complex64::new(0.0, 2.0)) * sy(3) * splus(1) + 0.5 * sz(0);
         assert_eq!(e.adjoint().adjoint(), e);
     }
 

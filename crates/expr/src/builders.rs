@@ -5,8 +5,7 @@ use crate::ast::{sminus, splus, sx, sz, Expr};
 /// The Heisenberg exchange on one bond:
 /// `S_i · S_j = (S+_i S-_j + S-_i S+_j)/2 + Sz_i Sz_j`.
 pub fn heisenberg_bond(i: u16, j: u16) -> Expr {
-    Expr::scalar(0.5) * (splus(i) * sminus(j) + sminus(i) * splus(j))
-        + sz(i) * sz(j)
+    Expr::scalar(0.5) * (splus(i) * sminus(j) + sminus(i) * splus(j)) + sz(i) * sz(j)
 }
 
 /// Antiferromagnetic Heisenberg model `H = J Σ_bonds S_i · S_j`.
@@ -129,9 +128,7 @@ mod tests {
     #[test]
     fn total_spin_commutes_with_heisenberg() {
         let n = 4;
-        let h = heisenberg(&[(0, 1), (1, 2), (2, 3), (3, 0)], 1.0)
-            .to_kernel(n)
-            .unwrap();
+        let h = heisenberg(&[(0, 1), (1, 2), (2, 3), (3, 0)], 1.0).to_kernel(n).unwrap();
         let s2 = total_spin_squared(n as usize).to_kernel(n).unwrap();
         // [H, S²] = 0: compare dense products.
         let hd = h.to_dense();

@@ -128,9 +128,7 @@ impl OperatorKernel {
     /// Does every off-diagonal channel preserve the Hamming weight? (i.e.
     /// does the operator commute with total `Sz` — the U(1) symmetry).
     pub fn conserves_hamming_weight(&self) -> bool {
-        self.offdiag
-            .iter()
-            .all(|c| c.in_pat.count_ones() == c.out_pat.count_ones())
+        self.offdiag.iter().all(|c| c.in_pat.count_ones() == c.out_pat.count_ones())
     }
 
     /// Is the kernel Hermitian (as a matrix)?
@@ -141,9 +139,10 @@ impl OperatorKernel {
         }
         // Every channel must have a conjugate partner.
         for c in &self.offdiag {
-            let partner = self.offdiag.iter().find(|p| {
-                p.sites == c.sites && p.in_pat == c.out_pat && p.out_pat == c.in_pat
-            });
+            let partner = self
+                .offdiag
+                .iter()
+                .find(|p| p.sites == c.sites && p.in_pat == c.out_pat && p.out_pat == c.in_pat);
             match partner {
                 Some(p) => {
                     if !p.coeff.approx_eq(c.coeff.conj(), tol) {
@@ -248,9 +247,8 @@ impl OperatorKernel {
                 *walsh.entry(m.zmask).or_insert(Complex64::ZERO) += m.coeff;
             }
             for c in &k.offdiag {
-                *channels
-                    .entry((c.sites, c.in_pat, c.out_pat))
-                    .or_insert(Complex64::ZERO) += c.coeff;
+                *channels.entry((c.sites, c.in_pat, c.out_pat)).or_insert(Complex64::ZERO) +=
+                    c.coeff;
             }
         }
         const TOL: f64 = 1e-14;
@@ -262,12 +260,7 @@ impl OperatorKernel {
         let offdiag = channels
             .into_iter()
             .filter(|(_, c)| c.abs() > TOL)
-            .map(|((sites, in_pat, out_pat), coeff)| Channel {
-                coeff,
-                sites,
-                in_pat,
-                out_pat,
-            })
+            .map(|((sites, in_pat, out_pat), coeff)| Channel { coeff, sites, in_pat, out_pat })
             .collect();
         Self::from_parts(n_sites, diag, offdiag)
     }
@@ -300,11 +293,7 @@ impl OperatorKernel {
             .iter()
             .map(|m| {
                 let zmask = apply(m.zmask);
-                let sign = if flip && zmask.count_ones() & 1 == 1 {
-                    -1.0
-                } else {
-                    1.0
-                };
+                let sign = if flip && zmask.count_ones() & 1 == 1 { -1.0 } else { 1.0 };
                 ZMonomial { coeff: m.coeff.scale(sign), zmask }
             })
             .collect();
@@ -329,7 +318,7 @@ impl OperatorKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{splus, sminus, sz};
+    use crate::ast::{sminus, splus, sz};
 
     #[test]
     fn heisenberg_bond_row() {
@@ -357,10 +346,7 @@ mod tests {
         assert!(h.is_hermitian(1e-12));
         let nh = (splus(0) * sminus(1)).to_kernel(2).unwrap();
         assert!(!nh.is_hermitian(1e-12));
-        assert!(nh.adjoint().approx_eq(
-            &(splus(1) * sminus(0)).to_kernel(2).unwrap(),
-            1e-12
-        ));
+        assert!(nh.adjoint().approx_eq(&(splus(1) * sminus(0)).to_kernel(2).unwrap(), 1e-12));
     }
 
     #[test]
@@ -379,9 +365,7 @@ mod tests {
         let b = crate::builders::heisenberg_bond(1, 2).to_kernel(3).unwrap();
         // a + b == kernel of the summed expression.
         let merged = OperatorKernel::merged([&a, &b]);
-        let expect = crate::builders::heisenberg(&[(0, 1), (1, 2)], 1.0)
-            .to_kernel(3)
-            .unwrap();
+        let expect = crate::builders::heisenberg(&[(0, 1), (1, 2)], 1.0).to_kernel(3).unwrap();
         assert!(merged.approx_eq(&expect, 1e-13));
         // a + (-1)·a == 0.
         let cancelled = OperatorKernel::merged([&a, &a.scaled(-1.0)]);

@@ -24,42 +24,21 @@ impl Matrix2 {
     /// `S- = |↓⟩⟨↑|`: lowers an up spin.
     pub const SMINUS: Self = Self { m: [[C0, C1], [C0, C0]] };
     /// `Sz = diag(-1/2, +1/2)` (bit 1 = up = +1/2).
-    pub const SZ: Self = Self {
-        m: [
-            [Complex64::new(-0.5, 0.0), C0],
-            [C0, Complex64::new(0.5, 0.0)],
-        ],
-    };
+    pub const SZ: Self =
+        Self { m: [[Complex64::new(-0.5, 0.0), C0], [C0, Complex64::new(0.5, 0.0)]] };
     /// `Sx = (S+ + S-) / 2`.
-    pub const SX: Self = Self {
-        m: [
-            [C0, Complex64::new(0.5, 0.0)],
-            [Complex64::new(0.5, 0.0), C0],
-        ],
-    };
+    pub const SX: Self =
+        Self { m: [[C0, Complex64::new(0.5, 0.0)], [Complex64::new(0.5, 0.0), C0]] };
     /// `Sy = (S+ - S-) / (2i)`.
-    pub const SY: Self = Self {
-        m: [
-            [C0, Complex64::new(0.0, 0.5)],
-            [Complex64::new(0.0, -0.5), C0],
-        ],
-    };
+    pub const SY: Self =
+        Self { m: [[C0, Complex64::new(0.0, 0.5)], [Complex64::new(0.0, -0.5), C0]] };
     /// Pauli `σx = 2 Sx`.
     pub const SIGMA_X: Self = Self { m: [[C0, C1], [C1, C0]] };
     /// Pauli `σy = 2 Sy`.
-    pub const SIGMA_Y: Self = Self {
-        m: [
-            [C0, Complex64::new(0.0, 1.0)],
-            [Complex64::new(0.0, -1.0), C0],
-        ],
-    };
+    pub const SIGMA_Y: Self =
+        Self { m: [[C0, Complex64::new(0.0, 1.0)], [Complex64::new(0.0, -1.0), C0]] };
     /// Pauli `σz = 2 Sz`.
-    pub const SIGMA_Z: Self = Self {
-        m: [
-            [Complex64::new(-1.0, 0.0), C0],
-            [C0, C1],
-        ],
-    };
+    pub const SIGMA_Z: Self = Self { m: [[Complex64::new(-1.0, 0.0), C0], [C0, C1]] };
     /// Projector onto `|↑⟩` (number operator `n = 1/2 + Sz`).
     pub const P_UP: Self = Self { m: [[C0, C0], [C0, C1]] };
     /// Projector onto `|↓⟩` (hole operator `1 - n`).
@@ -70,8 +49,7 @@ impl Matrix2 {
         let mut out = Self::ZERO;
         for r in 0..2 {
             for c in 0..2 {
-                out.m[r][c] =
-                    self.m[r][0] * other.m[0][c] + self.m[r][1] * other.m[1][c];
+                out.m[r][c] = self.m[r][0] * other.m[0][c] + self.m[r][1] * other.m[1][c];
             }
         }
         out
@@ -91,7 +69,7 @@ impl Matrix2 {
         let mut out = *self;
         for r in 0..2 {
             for c in 0..2 {
-                out.m[r][c] = out.m[r][c] * z;
+                out.m[r][c] *= z;
             }
         }
         out

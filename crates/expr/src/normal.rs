@@ -162,8 +162,7 @@ impl Expr {
                             // in_pat within T}.
                             let negs = (t & !in_pat).count_ones();
                             let sign = if negs & 1 == 0 { 1.0 } else { -1.0 };
-                            *walsh.entry(t).or_insert(Complex64::ZERO) +=
-                                c.scale(norm * sign);
+                            *walsh.entry(t).or_insert(Complex64::ZERO) += c.scale(norm * sign);
                             if t == 0 {
                                 break;
                             }
@@ -185,12 +184,7 @@ impl Expr {
         let offdiag: Vec<Channel> = channels
             .into_iter()
             .filter(|(_, c)| c.abs() > TOL)
-            .map(|((sites, in_pat, out_pat), coeff)| Channel {
-                coeff,
-                sites,
-                in_pat,
-                out_pat,
-            })
+            .map(|((sites, in_pat, out_pat), coeff)| Channel { coeff, sites, in_pat, out_pat })
             .collect();
         Ok(OperatorKernel::from_parts(n_sites, diag, offdiag))
     }
@@ -248,9 +242,9 @@ mod tests {
 
     fn dense_approx_eq(a: &[Vec<Complex64>], b: &[Vec<Complex64>], tol: f64) -> bool {
         a.len() == b.len()
-            && a.iter().zip(b).all(|(ra, rb)| {
-                ra.iter().zip(rb).all(|(x, y)| x.approx_eq(*y, tol))
-            })
+            && a.iter()
+                .zip(b)
+                .all(|(ra, rb)| ra.iter().zip(rb).all(|(x, y)| x.approx_eq(*y, tol)))
     }
 
     #[test]
@@ -331,7 +325,7 @@ mod tests {
             assert_eq!(c.flip_mask(), 0b11);
             assert!(c.coeff.approx_eq(Complex64::ONE, 1e-14));
         }
-        assert!(k.conserves_hamming_weight() == false);
+        assert!(!k.conserves_hamming_weight());
     }
 
     #[test]

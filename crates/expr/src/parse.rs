@@ -67,9 +67,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn peek_char(&self) -> Option<char> {
-        std::str::from_utf8(&self.src[self.pos..])
-            .ok()
-            .and_then(|s| s.chars().next())
+        std::str::from_utf8(&self.src[self.pos..]).ok().and_then(|s| s.chars().next())
     }
 
     fn next_token(&mut self) -> Result<Option<(Token, usize)>, ParseError> {
@@ -114,9 +112,7 @@ impl<'a> Lexer<'a> {
 
     fn lex_number(&mut self) -> Result<Token, ParseError> {
         let start = self.pos;
-        while self.pos < self.src.len()
-            && matches!(self.src[self.pos], b'0'..=b'9' | b'.' )
-        {
+        while self.pos < self.src.len() && matches!(self.src[self.pos], b'0'..=b'9' | b'.') {
             self.pos += 1;
         }
         // Exponent part.
@@ -133,9 +129,8 @@ impl<'a> Lexer<'a> {
             }
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
-        let value: f64 = text
-            .parse()
-            .map_err(|_| self.error(format!("bad number literal {text:?}")))?;
+        let value: f64 =
+            text.parse().map_err(|_| self.error(format!("bad number literal {text:?}")))?;
         // Imaginary suffix?
         if self.pos < self.src.len() && self.src[self.pos] == b'i' {
             self.pos += 1;
@@ -155,9 +150,8 @@ impl<'a> Lexer<'a> {
             Some(b'x') => PrimitiveKind::Sx,
             Some(b'y') => PrimitiveKind::Sy,
             other => {
-                return Err(self.error(format!(
-                    "expected one of +, -, z, x, y after 'S', got {other:?}"
-                )))
+                return Err(self
+                    .error(format!("expected one of +, -, z, x, y after 'S', got {other:?}")))
             }
         };
         self.pos += 1;
@@ -173,9 +167,7 @@ impl<'a> Lexer<'a> {
             Some(b'y') => PrimitiveKind::SigmaY,
             Some(b'z') => PrimitiveKind::SigmaZ,
             other => {
-                return Err(
-                    self.error(format!("expected x, y or z after 'σ', got {other:?}"))
-                )
+                return Err(self.error(format!("expected x, y or z after 'σ', got {other:?}")))
             }
         };
         self.pos += 1;
@@ -196,8 +188,7 @@ impl<'a> Lexer<'a> {
             return Err(self.error("expected a site index"));
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
-        text.parse::<u16>()
-            .map_err(|_| self.error(format!("site index {text:?} out of range")))
+        text.parse::<u16>().map_err(|_| self.error(format!("site index {text:?} out of range")))
     }
 }
 
@@ -213,10 +204,7 @@ impl Parser {
     }
 
     fn pos(&self) -> usize {
-        self.tokens
-            .get(self.cursor)
-            .map(|&(_, p)| p)
-            .unwrap_or(self.end)
+        self.tokens.get(self.cursor).map(|&(_, p)| p).unwrap_or(self.end)
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -268,9 +256,7 @@ impl Parser {
             Some(Token::Number(x)) => Ok(Expr::scalar(x)),
             Some(Token::ImagNumber(x)) => Ok(Expr::scalar_c(Complex64::new(0.0, x))),
             Some(Token::ImagUnit) => Ok(Expr::scalar_c(Complex64::I)),
-            Some(Token::Prim(kind, site)) => {
-                Ok(Expr::Primitive(Primitive { kind, site }))
-            }
+            Some(Token::Prim(kind, site)) => Ok(Expr::Primitive(Primitive { kind, site })),
             Some(Token::LParen) => {
                 let inner = self.expr()?;
                 match self.bump() {
@@ -342,17 +328,17 @@ mod tests {
             2
         ));
         // '*' binds tighter than '+':
-        assert!(kernels_equal(
-            "Sz_0 + Sz_1 * Sz_2",
-            sz(0) + sz(1) * sz(2),
-            3
-        ));
+        assert!(kernels_equal("Sz_0 + Sz_1 * Sz_2", sz(0) + sz(1) * sz(2), 3));
     }
 
     #[test]
     fn sigma_primitives() {
         assert!(kernels_equal("σz_0", 2.0 * sz(0), 1));
-        assert!(kernels_equal("σx_1 * σx_0", crate::ast::sigma_x(1) * crate::ast::sigma_x(0), 2));
+        assert!(kernels_equal(
+            "σx_1 * σx_0",
+            crate::ast::sigma_x(1) * crate::ast::sigma_x(0),
+            2
+        ));
     }
 
     #[test]
@@ -369,10 +355,6 @@ mod tests {
 
     #[test]
     fn nested_parentheses() {
-        assert!(kernels_equal(
-            "((Sz_0) * ((Sz_1)))",
-            sz(0) * sz(1),
-            2
-        ));
+        assert!(kernels_equal("((Sz_0) * ((Sz_1)))", sz(0) * sz(1), 2));
     }
 }

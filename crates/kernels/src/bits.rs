@@ -161,14 +161,14 @@ impl Iterator for FixedWeightRange {
 /// Reverses the low `n` bits of `x` (bits `n..64` are cleared).
 #[inline]
 pub fn reverse_low_bits(x: u64, n: u32) -> u64 {
-    debug_assert!(n >= 1 && n <= 64);
+    debug_assert!((1..=64).contains(&n));
     x.reverse_bits() >> (64 - n)
 }
 
 /// Flips the low `n` bits of `x` (global spin inversion).
 #[inline]
 pub fn flip_low_bits(x: u64, n: u32) -> u64 {
-    debug_assert!(n >= 1 && n <= 64);
+    debug_assert!((1..=64).contains(&n));
     x ^ low_mask(n)
 }
 
@@ -185,7 +185,7 @@ pub fn low_mask(n: u32) -> u64 {
 /// Rotates the low `n` bits of `x` left by `k` (sites `i -> (i + k) mod n`).
 #[inline]
 pub fn rotate_low_bits(x: u64, n: u32, k: u32) -> u64 {
-    debug_assert!(n >= 1 && n <= 64);
+    debug_assert!((1..=64).contains(&n));
     let k = k % n;
     if k == 0 {
         return x & low_mask(n);
@@ -247,11 +247,7 @@ mod tests {
         for weight in 0..=n {
             for x in 0u64..(1 << n) {
                 let expect = (x..(1 << n)).find(|s| s.count_ones() == weight);
-                assert_eq!(
-                    ceil_with_weight(x, n, weight),
-                    expect,
-                    "x={x:#b} w={weight}"
-                );
+                assert_eq!(ceil_with_weight(x, n, weight), expect, "x={x:#b} w={weight}");
             }
         }
     }

@@ -83,10 +83,7 @@ impl Mul for Complex64 {
     type Output = Self;
     #[inline]
     fn mul(self, o: Self) -> Self {
-        Self {
-            re: self.re * o.re - self.im * o.im,
-            im: self.re * o.im + self.im * o.re,
-        }
+        Self { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
     }
 }
 
@@ -333,8 +330,7 @@ mod tests {
             assert!((z.abs() - 1.0).abs() < 1e-14);
         }
         assert!(Complex64::cis(0.0).approx_eq(Complex64::ONE, 1e-15));
-        assert!(Complex64::cis(std::f64::consts::PI)
-            .approx_eq(-Complex64::ONE, 1e-15));
+        assert!(Complex64::cis(std::f64::consts::PI).approx_eq(-Complex64::ONE, 1e-15));
     }
 
     #[test]

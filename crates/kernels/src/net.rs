@@ -44,10 +44,7 @@ impl BenesNetwork {
         for (i, slot) in perm.iter_mut().enumerate() {
             let s = if i < source.len() {
                 let s = source[i];
-                assert!(
-                    s < source.len() && !seen[s],
-                    "`source` is not a permutation"
-                );
+                assert!(s < source.len() && !seen[s], "`source` is not a permutation");
                 seen[s] = true;
                 s
             } else {
@@ -71,8 +68,8 @@ impl BenesNetwork {
     pub fn apply(&self, x: u64) -> u64 {
         let mut x = x;
         // Unconditionally apply all stages: branchless and fast.
-        for s in 0..STAGES {
-            x = delta_swap(x, self.masks[s], DELTAS[s]);
+        for (&mask, &delta) in self.masks.iter().zip(&DELTAS) {
+            x = delta_swap(x, mask, delta);
         }
         x
     }
@@ -108,7 +105,13 @@ pub fn apply_perm_naive(source: &[usize], x: u64) -> u64 {
 ///
 /// `depth` selects the stage pair: stage `depth` on the way in and stage
 /// `STAGES - 1 - depth` on the way out, both with shift `size / 2`.
-fn route(masks: &mut [u64; STAGES], perm: &mut [usize; 64], depth: usize, off: usize, size: usize) {
+fn route(
+    masks: &mut [u64; STAGES],
+    perm: &mut [usize; 64],
+    depth: usize,
+    off: usize,
+    size: usize,
+) {
     if size == 1 {
         return;
     }
@@ -164,8 +167,8 @@ fn route(masks: &mut [u64; STAGES], perm: &mut [usize; 64], depth: usize, off: u
     }
     // Output stage: output pair (i, i + m); lower net delivers at i, upper
     // at i + m; swap when output i wants the upper element.
-    for i in 0..m {
-        if net[i] == 1 {
+    for (i, &route_up) in net.iter().enumerate().take(m) {
+        if route_up == 1 {
             masks[STAGES - 1 - depth] |= 1u64 << (off + i);
         }
     }

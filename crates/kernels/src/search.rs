@@ -101,7 +101,7 @@ impl TrieIndex {
     /// an `n_bits`-wide space, using `chunk_bits`-wide radix levels.
     pub fn build(sorted: &[u64], n_bits: u32, chunk_bits: u32) -> Self {
         assert!((1..=16).contains(&chunk_bits));
-        assert!(n_bits >= 1 && n_bits <= 64);
+        assert!((1..=64).contains(&n_bits));
         assert!((sorted.len() as u64) < ABSENT as u64);
         let n_chunks = n_bits.div_ceil(chunk_bits).max(1);
         let fanout = 1usize << chunk_bits;
@@ -251,7 +251,11 @@ mod tests {
         let t = TrieIndex::build(&empty, 10, 4);
         assert_eq!(t.lookup(0), None);
         // chunk_bits not dividing n_bits.
-        let states: Vec<u64> = (0..100u64).map(|i| i * 7 % 1000).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let states: Vec<u64> = (0..100u64)
+            .map(|i| i * 7 % 1000)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
         let t = TrieIndex::build(&states, 10, 3);
         for (i, &s) in states.iter().enumerate() {
             assert_eq!(t.lookup(s), Some(i));

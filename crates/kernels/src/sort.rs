@@ -118,8 +118,7 @@ mod tests {
         let mut scratch = PartitionScratch::new();
         let mut s_out = Vec::new();
         let mut c_out = Vec::new();
-        let offsets =
-            scratch.partition(&keys, 3, &states, &coeffs, &mut s_out, &mut c_out);
+        let offsets = scratch.partition(&keys, 3, &states, &coeffs, &mut s_out, &mut c_out);
         assert_eq!(offsets, &[0, 2, 5, 8]);
         // Bucket 0 keeps original order (stability):
         assert_eq!(&s_out[0..2], &[101, 104]);
@@ -136,8 +135,9 @@ mod tests {
         // random data.
         let n = 10_000usize;
         let buckets = 37usize;
-        let keys: Vec<u16> =
-            (0..n).map(|i| (crate::hash::hash64_01(i as u64) % buckets as u64) as u16).collect();
+        let keys: Vec<u16> = (0..n)
+            .map(|i| (crate::hash::hash64_01(i as u64) % buckets as u64) as u16)
+            .collect();
         let vals: Vec<u64> = (0..n as u64).collect();
 
         let mut perm = Vec::new();

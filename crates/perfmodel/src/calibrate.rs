@@ -45,13 +45,11 @@ pub fn calibrate(n: usize) -> Calibration {
         sink = sink.wrapping_add(row.len() as u64);
     }
     let t_row = start.elapsed().as_secs_f64() / sample as f64;
-    let t_benes =
-        t_row / (op.n_channels() as f64 * sector.group().order() as f64);
+    let t_benes = t_row / (op.n_channels() as f64 * sector.group().order() as f64);
 
     // Ranking rate.
-    let probes: Vec<u64> = (0..200_000)
-        .map(|i| basis.state((i * 7919) % basis.dim()))
-        .collect();
+    let probes: Vec<u64> =
+        (0..200_000).map(|i| basis.state((i * 7919) % basis.dim())).collect();
     let start = Instant::now();
     let mut found = 0usize;
     for &p in &probes {
@@ -66,8 +64,7 @@ pub fn calibrate(n: usize) -> Calibration {
     let start = Instant::now();
     let chunk = ls_basis::enumerate::filter_range(&sector, 0, 1 << n);
     let t_candidate = start.elapsed().as_secs_f64()
-        / ls_kernels::combinadics::BinomialTable::new()
-            .choose(n as u32, n as u32 / 2) as f64;
+        / ls_kernels::combinadics::BinomialTable::new().choose(n as u32, n as u32 / 2) as f64;
     std::hint::black_box(&chunk);
 
     // Streaming bandwidth.
@@ -79,8 +76,7 @@ pub fn calibrate(n: usize) -> Calibration {
         dst.copy_from_slice(&buf);
         std::hint::black_box(&dst);
     }
-    let memcpy_bw =
-        (reps * buf.len() * 8) as f64 / start.elapsed().as_secs_f64();
+    let memcpy_bw = (reps * buf.len() * 8) as f64 / start.elapsed().as_secs_f64();
 
     std::hint::black_box(sink);
     Calibration { t_benes, t_lookup, t_candidate, memcpy_bw }

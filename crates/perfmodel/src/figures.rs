@@ -51,9 +51,9 @@ pub fn matvec_pc_time(
     }
     let n = nodes as f64;
     // Per-node wire traffic of the pipeline.
-    let bytes_per_node = w.total_pairs() * ChainWorkload::BYTES_PER_PAIR
-        * ChainWorkload::remote_fraction(nodes)
-        / n;
+    let bytes_per_node =
+        w.total_pairs() * ChainWorkload::BYTES_PER_PAIR * ChainWorkload::remote_fraction(nodes)
+            / n;
     // Message initiation is a per-core cost paid by the producers (the
     // sends are pipelined across cores, not serialized on the wire).
     let msgs_per_node = bytes_per_node / buffer_bytes;
@@ -79,8 +79,7 @@ pub fn fig8_speedups(
         .iter()
         .map(|&nodes| Point {
             nodes,
-            value: t_base * base_nodes as f64 / base_nodes as f64
-                / matvec_pc_time(m, &w, nodes, split, buffer),
+            value: t_base / matvec_pc_time(m, &w, nodes, split, buffer),
         })
         .collect()
 }
@@ -127,9 +126,9 @@ pub fn matvec_spinpack_time(m: &MachineModel, w: &ChainWorkload, nodes: usize) -
         return t_compute;
     }
     let n = nodes as f64;
-    let bytes_per_node = w.total_pairs() * ChainWorkload::BYTES_PER_PAIR
-        * ChainWorkload::remote_fraction(nodes)
-        / n;
+    let bytes_per_node =
+        w.total_pairs() * ChainWorkload::BYTES_PER_PAIR * ChainWorkload::remote_fraction(nodes)
+            / n;
     let collective_bw = m.bw_peak / (1.0 + n / 3.0);
     let t_comm = bytes_per_node / collective_bw;
     // No overlap: compute + full exchange, serialized.
@@ -154,10 +153,7 @@ pub fn fig9_series(
         .collect();
     let sp = node_counts
         .iter()
-        .map(|&nodes| Point {
-            nodes,
-            value: t1_ls / matvec_spinpack_time(m, &w, nodes),
-        })
+        .map(|&nodes| Point { nodes, value: t1_ls / matvec_spinpack_time(m, &w, nodes) })
         .collect();
     (ls, sp)
 }
@@ -182,8 +178,7 @@ pub fn enumeration_time(m: &MachineModel, w: &ChainWorkload, nodes: usize) -> f6
     let chunks = n * cores * 25.0;
     let elems_per_chunk = w.dim / chunks;
     let msg_bytes = (elems_per_chunk / n * 8.0).max(8.0);
-    let bytes_per_node =
-        w.dim / n * 8.0 * ChainWorkload::remote_fraction(nodes);
+    let bytes_per_node = w.dim / n * 8.0 * ChainWorkload::remote_fraction(nodes);
     let t_dist = m.transfer_time(bytes_per_node, msg_bytes);
     t_filter + t_dist
 }
@@ -258,11 +253,7 @@ mod tests {
         // Paper: ≈51× for 42 spins at 64 nodes (vs ideal 64). The model
         // must land in that regime (sub-ideal, > 40).
         let s = fig8_speedups(&model(), 42, &[64], 1, CoreSplit::default());
-        assert!(
-            s[0].value > 42.0 && s[0].value < 60.0,
-            "speedup {}",
-            s[0].value
-        );
+        assert!(s[0].value > 42.0 && s[0].value < 60.0, "speedup {}", s[0].value);
         // 40 spins scale slightly worse at fixed nodes (smaller problem).
         let s40 = fig8_speedups(&model(), 40, &[64], 1, CoreSplit::default());
         assert!(s40[0].value <= s[0].value + 1.0);
@@ -274,17 +265,9 @@ mod tests {
         // 40..64 band. 46 spins: 12× going 16 -> 256 (ideal 16); band
         // 10..16.
         let s44 = fig8_speedups(&model(), 44, &[256], 4, CoreSplit::default());
-        assert!(
-            s44[0].value > 40.0 && s44[0].value < 64.0,
-            "44 spins: {}",
-            s44[0].value
-        );
+        assert!(s44[0].value > 40.0 && s44[0].value < 64.0, "44 spins: {}", s44[0].value);
         let s46 = fig8_speedups(&model(), 46, &[256], 16, CoreSplit::default());
-        assert!(
-            s46[0].value > 10.0 && s46[0].value <= 16.0,
-            "46 spins: {}",
-            s46[0].value
-        );
+        assert!(s46[0].value > 10.0 && s46[0].value <= 16.0, "46 spins: {}", s46[0].value);
     }
 
     #[test]
@@ -310,10 +293,7 @@ mod tests {
         // Saturation: 40 spins loses clearly more at 32 nodes.
         let eff40 = s40[1].value / 32.0;
         let eff42 = s42[1].value / 32.0;
-        assert!(
-            eff40 < eff42 - 0.03,
-            "40 spins should saturate first: {eff40} vs {eff42}"
-        );
+        assert!(eff40 < eff42 - 0.03, "40 spins should saturate first: {eff40} vs {eff42}");
         // Single-node anchors: 102.1 s and 407.5 s.
         let t40 = enumeration_time(&m, &ChainWorkload::new(40), 1);
         assert!((t40 - 102.1).abs() < 5.0, "{t40}");

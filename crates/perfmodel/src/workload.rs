@@ -21,7 +21,7 @@ pub struct ChainWorkload {
 
 impl ChainWorkload {
     pub fn new(n_spins: usize) -> Self {
-        assert!(n_spins >= 4 && n_spins % 2 == 0 && n_spins <= 64);
+        assert!(n_spins >= 4 && n_spins.is_multiple_of(2) && n_spins <= 64);
         let dim = ls_symmetry::count::table2_dimension(n_spins) as f64;
         let binom = BinomialTable::new();
         let candidates = binom.choose(n_spins as u32, n_spins as u32 / 2) as f64;

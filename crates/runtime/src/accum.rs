@@ -60,8 +60,7 @@ impl<'a, S: Scalar> AtomicAccumWindow<'a, S> {
         let (base, len) = self.parts[locale];
         assert!(index < len, "accumulate out of bounds: {index} >= {len}");
         let lanes = val.to_reals();
-        for lane in 0..S::N_REALS {
-            let add = lanes[lane];
+        for (lane, &add) in lanes.iter().enumerate().take(S::N_REALS) {
             if add == 0.0 {
                 continue;
             }
@@ -70,12 +69,8 @@ impl<'a, S: Scalar> AtomicAccumWindow<'a, S> {
             let mut cur = cell.load(Ordering::Relaxed);
             loop {
                 let new = (f64::from_bits(cur) + add).to_bits();
-                match cell.compare_exchange_weak(
-                    cur,
-                    new,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
+                match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+                {
                     Ok(_) => break,
                     Err(actual) => cur = actual,
                 }

@@ -75,11 +75,7 @@ mod tests {
                         barrier.wait();
                         // After the barrier, all T increments of round r
                         // must be visible.
-                        assert_eq!(
-                            counter.load(Ordering::Relaxed),
-                            T as u64,
-                            "round {r}"
-                        );
+                        assert_eq!(counter.load(Ordering::Relaxed), T as u64, "round {r}");
                         barrier.wait();
                     }
                 });

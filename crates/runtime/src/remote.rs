@@ -108,7 +108,7 @@ impl<T: Copy + Default> BufferChannel<T> {
             buf[..data.len()].copy_from_slice(data);
         }
         self.len.store(data.len(), Ordering::Relaxed);
-        stats.record_put(data.len() * std::mem::size_of::<T>(), remote);
+        stats.record_put(std::mem::size_of_val(data), remote);
         // Publish: the paper's remoteAtomicWrite on the consumer's flag.
         remote_atomic_store(stats, &self.consumer_full, true);
     }
@@ -165,10 +165,7 @@ impl<T: Copy + Default> BufferChannel<T> {
     /// no unconsumed data, buffer free).
     pub fn reset(&self) {
         assert!(self.is_closed(), "reset of an open channel");
-        assert!(
-            !self.consumer_full.load(Ordering::Acquire),
-            "reset with unconsumed data"
-        );
+        assert!(!self.consumer_full.load(Ordering::Acquire), "reset with unconsumed data");
         assert!(
             self.producer_free.load(Ordering::Acquire),
             "reset while producer holds the buffer"

@@ -62,10 +62,7 @@ impl<'a, T: Copy + Sync> RmaReadWindow<'a, T> {
         unsafe {
             std::ptr::copy_nonoverlapping(ptr.add(offset), dst.as_mut_ptr(), dst.len());
         }
-        ctx.stats().record_get(
-            dst.len() * std::mem::size_of::<T>(),
-            src_locale != ctx.locale(),
-        );
+        ctx.stats().record_get(std::mem::size_of_val(dst), src_locale != ctx.locale());
     }
 
     /// Borrow the caller's *own* part directly (local access is free in
@@ -90,11 +87,8 @@ unsafe impl<'a, T: Copy + Send> Sync for RmaWriteWindow<'a, T> {}
 
 impl<'a, T: Copy + Send> RmaWriteWindow<'a, T> {
     pub fn new(vec: &'a mut DistVec<T>) -> Self {
-        let parts: Vec<(*mut T, usize)> = vec
-            .parts_mut()
-            .iter_mut()
-            .map(|p| (p.as_mut_ptr(), p.len()))
-            .collect();
+        let parts: Vec<(*mut T, usize)> =
+            vec.parts_mut().iter_mut().map(|p| (p.as_mut_ptr(), p.len())).collect();
         let claims = (0..parts.len()).map(|_| Mutex::new(Vec::new())).collect();
         Self { parts, claims, _marker: PhantomData }
     }
@@ -138,10 +132,7 @@ impl<'a, T: Copy + Send> RmaWriteWindow<'a, T> {
         unsafe {
             std::ptr::copy_nonoverlapping(src.as_ptr(), ptr.add(offset), src.len());
         }
-        ctx.stats().record_put(
-            src.len() * std::mem::size_of::<T>(),
-            dest_locale != ctx.locale(),
-        );
+        ctx.stats().record_put(std::mem::size_of_val(src), dest_locale != ctx.locale());
     }
 }
 
@@ -179,11 +170,8 @@ mod tests {
     fn gets_read_remote_parts() {
         let n = 3usize;
         let cluster = Cluster::new(ClusterSpec::new(n, 1));
-        let data = DistVec::from_parts(vec![
-            vec![1u64, 2, 3],
-            vec![10, 20, 30],
-            vec![100, 200, 300],
-        ]);
+        let data =
+            DistVec::from_parts(vec![vec![1u64, 2, 3], vec![10, 20, 30], vec![100, 200, 300]]);
         let win = RmaReadWindow::new(&data);
         let sums = cluster.run(|ctx| {
             let mut buf = [0u64; 3];

@@ -155,11 +155,9 @@ mod tests {
         let w = 5u32;
         let mut total = 0u64;
         for k in 0..n as i64 {
-            let g = SymmetryGroup::generate(&[Generator::new(
-                lattice::chain_translation(n),
-                k,
-            )])
-            .unwrap();
+            let g =
+                SymmetryGroup::generate(&[Generator::new(lattice::chain_translation(n), k)])
+                    .unwrap();
             total += sector_dimension(&g, Some(w));
         }
         assert_eq!(total, 252);

@@ -95,7 +95,7 @@ impl GroupElement {
         let p = self.perm.order();
         if self.flip {
             // (π, flip)^k = (π^k, flip^k); need π^k = id and k even.
-            if p % 2 == 0 {
+            if p.is_multiple_of(2) {
                 p
             } else {
                 2 * p

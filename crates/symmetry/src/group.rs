@@ -103,9 +103,8 @@ impl SymmetryGroup {
             if g.permutation.len() != n_sites {
                 return Err(SymmetryError::MixedSizes);
             }
-            let order =
-                GroupElement::new(g.permutation.clone(), g.flip, RationalPhase::ZERO)
-                    .action_order();
+            let order = GroupElement::new(g.permutation.clone(), g.flip, RationalPhase::ZERO)
+                .action_order();
             let phase = RationalPhase::new(g.sector, order as i64);
             gens.push(GroupElement::new(g.permutation.clone(), g.flip, phase));
         }
@@ -192,8 +191,8 @@ mod tests {
         let g = SymmetryGroup::generate(&[Generator::new(t, 0)]).unwrap();
         assert_eq!(g.order(), 6);
         assert!(g.is_real()); // k = 0 sector
-        // All elements are powers of the translation: applying each to a
-        // state gives all rotations.
+                              // All elements are powers of the translation: applying each to a
+                              // state gives all rotations.
         let s = 0b000011u64;
         let mut images: Vec<u64> = g.elements().iter().map(|e| e.apply(s)).collect();
         images.sort_unstable();
@@ -210,9 +209,8 @@ mod tests {
         let g = SymmetryGroup::generate(&[Generator::new(t, 1)]).unwrap();
         assert_eq!(g.order(), 4);
         assert!(!g.is_real()); // k = 1 on a 4-ring: characters include ±i
-        // The characters must be exp(-2πi·j/4) for the j-th power.
-        let mut phases: Vec<RationalPhase> =
-            g.elements().iter().map(|e| e.phase()).collect();
+                               // The characters must be exp(-2πi·j/4) for the j-th power.
+        let mut phases: Vec<RationalPhase> = g.elements().iter().map(|e| e.phase()).collect();
         phases.sort_by_key(|p| (p.denominator(), p.numerator()));
         assert!(phases.contains(&RationalPhase::new(1, 4)));
         assert!(phases.contains(&RationalPhase::new(3, 4)));
@@ -240,8 +238,7 @@ mod tests {
         // trivial character this is a perfectly valid 1-dim representation.
         let a = SitePermutation::new(vec![1u16, 0, 2]).unwrap();
         let b = SitePermutation::new(vec![1u16, 2, 0]).unwrap();
-        let g = SymmetryGroup::generate(&[Generator::new(a, 0), Generator::new(b, 0)])
-            .unwrap();
+        let g = SymmetryGroup::generate(&[Generator::new(a, 0), Generator::new(b, 0)]).unwrap();
         assert_eq!(g.order(), 6);
         assert!(g.is_real());
     }
@@ -254,10 +251,7 @@ mod tests {
         let n = 6;
         let t = lattice::chain_translation(n);
         let r = lattice::chain_reflection(n);
-        let res = SymmetryGroup::generate(&[
-            Generator::new(t, 1),
-            Generator::new(r, 0),
-        ]);
+        let res = SymmetryGroup::generate(&[Generator::new(t, 1), Generator::new(r, 0)]);
         assert_eq!(res.unwrap_err(), SymmetryError::InconsistentSectors);
     }
 
@@ -270,11 +264,9 @@ mod tests {
             for parity in [0i64, 1] {
                 let t = lattice::chain_translation(n);
                 let r = lattice::chain_reflection(n);
-                let g = SymmetryGroup::generate(&[
-                    Generator::new(t, k),
-                    Generator::new(r, parity),
-                ])
-                .unwrap();
+                let g =
+                    SymmetryGroup::generate(&[Generator::new(t, k), Generator::new(r, parity)])
+                        .unwrap();
                 assert_eq!(g.order(), 2 * n, "k={k} parity={parity}");
                 assert!(g.is_real());
             }
@@ -299,11 +291,8 @@ mod tests {
         ]);
         assert_eq!(res.unwrap_err(), SymmetryError::InconsistentSectors);
         // And the consistent declaration succeeds:
-        let ok = SymmetryGroup::generate(&[
-            Generator::new(t, 2),
-            Generator::new(t2, 0),
-        ])
-        .unwrap();
+        let ok =
+            SymmetryGroup::generate(&[Generator::new(t, 2), Generator::new(t2, 0)]).unwrap();
         assert_eq!(ok.order(), 4);
     }
 

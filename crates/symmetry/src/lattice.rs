@@ -92,10 +92,8 @@ pub fn square_bonds(lx: usize, ly: usize) -> Vec<(usize, usize)> {
                 bonds.push((s, square_site(lx, (x + 1) % lx, y)));
             }
             // +y neighbour
-            if ly > 2 || y + 1 < ly {
-                if ly > 1 {
-                    bonds.push((s, square_site(lx, x, (y + 1) % ly)));
-                }
+            if (ly > 2 || y + 1 < ly) && ly > 1 {
+                bonds.push((s, square_site(lx, x, (y + 1) % ly)));
             }
         }
     }
@@ -225,10 +223,8 @@ mod tests {
             assert_eq!(r.order(), 4, "l={l}");
             // Rotation preserves the periodic bond set.
             let bonds = square_bonds(l, l);
-            let set: std::collections::BTreeSet<(usize, usize)> = bonds
-                .iter()
-                .map(|&(a, b)| (a.min(b), a.max(b)))
-                .collect();
+            let set: std::collections::BTreeSet<(usize, usize)> =
+                bonds.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
             let mapped: std::collections::BTreeSet<(usize, usize)> = bonds
                 .iter()
                 .map(|&(a, b)| {
@@ -263,10 +259,8 @@ mod tests {
         // Translation and leg swap commute.
         assert_eq!(t.then(&swap), swap.then(&t));
         // Both are symmetries wrt the bond set: permuted bonds == bonds.
-        let bond_set: std::collections::BTreeSet<(usize, usize)> = bonds
-            .iter()
-            .map(|&(a, b)| (a.min(b), a.max(b)))
-            .collect();
+        let bond_set: std::collections::BTreeSet<(usize, usize)> =
+            bonds.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
         for p in [&t, &swap] {
             let mapped: std::collections::BTreeSet<(usize, usize)> = bonds
                 .iter()
@@ -285,10 +279,8 @@ mod tests {
         assert_eq!(bonds.len(), 12);
         // Translation invariance of the bond set.
         let t = chain_translation(6);
-        let set: std::collections::BTreeSet<(usize, usize)> = bonds
-            .iter()
-            .map(|&(a, b)| (a.min(b), a.max(b)))
-            .collect();
+        let set: std::collections::BTreeSet<(usize, usize)> =
+            bonds.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
         let mapped: std::collections::BTreeSet<(usize, usize)> = bonds
             .iter()
             .map(|&(a, b)| {

@@ -44,6 +44,9 @@ impl RationalPhase {
     }
 
     /// Group multiplication of characters: phases add modulo 1.
+    // Not `ops::Add`: this is the group operation on characters, and the
+    // callers read better with an explicit name.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Self) -> Self {
         let den = (self.den as u64) * (other.den as u64);
         let num =

@@ -26,7 +26,10 @@ fn sector_energy(expr: &Expr, n: usize, k: i64) -> f64 {
 }
 
 fn main() {
-    println!("{:>4} {:>10} {:>16} {:>12} {:>8} {:>12}", "N", "dim(k=0)", "E0", "E0/N", "k(gs)", "gap");
+    println!(
+        "{:>4} {:>10} {:>16} {:>12} {:>8} {:>12}",
+        "N", "dim(k=0)", "E0", "E0/N", "k(gs)", "gap"
+    );
     println!("{}", "-".repeat(68));
     let bethe = 0.25 - std::f64::consts::LN_2; // thermodynamic limit of E0/N
 
@@ -34,16 +37,14 @@ fn main() {
         let expr = heisenberg(&chain_bonds(n), 1.0);
 
         // Scan all momentum sectors for the global ground state & gap.
-        let mut energies: Vec<(i64, f64)> = (0..n as i64)
-            .map(|k| (k, sector_energy(&expr, n, k)))
-            .collect();
+        let mut energies: Vec<(i64, f64)> =
+            (0..n as i64).map(|k| (k, sector_energy(&expr, n, k))).collect();
         energies.sort_by(|a, b| a.1.total_cmp(&b.1));
         let (k_gs, e0) = energies[0];
         let gap = energies[1].1 - e0;
 
         let group = chain_group(n, 0, None, None).unwrap();
-        let dim_k0 =
-            SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap().dimension();
+        let dim_k0 = SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap().dimension();
 
         println!(
             "{n:>4} {dim_k0:>10} {e0:>16.10} {:>12.8} {k_gs:>8} {gap:>12.8}",

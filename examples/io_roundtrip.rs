@@ -49,8 +49,7 @@ fn main() {
 
     // Save the basis too (states in canonical global order).
     let canonical = io::hashed_vector_to_block(&cluster, &basis, &hashed);
-    let mut all_states: Vec<u64> =
-        basis.states().parts().iter().flatten().copied().collect();
+    let mut all_states: Vec<u64> = basis.states().parts().iter().flatten().copied().collect();
     all_states.sort_unstable();
     let orbit_by_state: std::collections::HashMap<u64, u32> = basis
         .states()
@@ -60,8 +59,7 @@ fn main() {
         .flat_map(|(s, o)| s.iter().copied().zip(o.iter().copied()))
         .collect();
     let orbits: Vec<u32> = all_states.iter().map(|s| orbit_by_state[s]).collect();
-    io::save_basis(&basis_path, n as u32, Some(n as u32 / 2), &all_states, &orbits)
-        .unwrap();
+    io::save_basis(&basis_path, n as u32, Some(n as u32 / 2), &all_states, &orbits).unwrap();
     println!("wrote {}", basis_path.display());
 
     // Read back and verify bit-exactness against the canonical gather.

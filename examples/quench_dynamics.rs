@@ -65,12 +65,7 @@ fn main() {
     let mut t = 0.0;
     for _ in 0..=steps {
         let norm: f64 = psi.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
-        println!(
-            "{t:>6.2} {:>12.6} {:>14.9} {:>10.6}",
-            staggered(&psi),
-            energy(&psi),
-            norm
-        );
+        println!("{t:>6.2} {:>12.6} {:>14.9} {:>10.6}", staggered(&psi), energy(&psi), norm);
         psi = evolve_real_time(&op, &psi, dt, 40);
         t += dt;
     }

@@ -19,8 +19,8 @@ fn main() {
     //    trick: 2^16 = 65536 states collapse to a few hundred.
     let group = chain_group(n, 0, Some(0), Some(0)).unwrap();
     let sector = SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
-    let u1_states = ls_kernels::combinadics::BinomialTable::new()
-        .choose(n as u32, n as u32 / 2);
+    let u1_states =
+        ls_kernels::combinadics::BinomialTable::new().choose(n as u32, n as u32 / 2);
     println!(
         "sector: dim {} (of {u1_states} U(1) states, of 2^{n} = {} raw states)",
         sector.dimension(),

@@ -11,9 +11,7 @@ use exact_diag::dist::{block_to_hashed, enumerate_dist, hashed_to_block};
 use exact_diag::prelude::*;
 use exact_diag::runtime::{Cluster, ClusterSpec, DistVec};
 
-fn problem(
-    n: usize,
-) -> (SectorSpec, SymmetrizedOperator<f64>, SpinBasis, Vec<f64>, Vec<f64>) {
+fn problem(n: usize) -> (SectorSpec, SymmetrizedOperator<f64>, SpinBasis, Vec<f64>, Vec<f64>) {
     let expr = heisenberg(&chain_bonds(n), 1.0);
     let kernel = expr.to_kernel(n as u32).unwrap();
     let group = chain_group(n, 0, Some(0), Some(0)).unwrap();
@@ -170,8 +168,5 @@ fn stats_scale_with_locales() {
     // Expected ratio ≈ (1 - 1/4) / (1 - 1/2) = 1.5; allow slack for
     // buffer-boundary effects.
     let ratio = remote_bytes[1] / remote_bytes[0];
-    assert!(
-        ratio > 1.2 && ratio < 1.8,
-        "remote bytes ratio {ratio}, got {remote_bytes:?}"
-    );
+    assert!(ratio > 1.2 && ratio < 1.8, "remote bytes ratio {ratio}, got {remote_bytes:?}");
 }

@@ -27,19 +27,17 @@ fn operator_sector_mismatches_reported() {
         Err(BasisError::OperatorSizeMismatch { .. })
     ));
     // U(1) violation.
-    let tfield = exact_diag::expr::builders::transverse_field(n, 1.0)
-        .to_kernel(n as u32)
-        .unwrap();
+    let tfield =
+        exact_diag::expr::builders::transverse_field(n, 1.0).to_kernel(n as u32).unwrap();
     let sector = SectorSpec::with_weight(n as u32, 4).unwrap();
     assert!(matches!(
         SymmetrizedOperator::<f64>::new(&tfield, &sector),
         Err(BasisError::BreaksU1)
     ));
     // Symmetry violation: a field on one site breaks translation.
-    let lopsided = (heisenberg(&chain_bonds(n), 1.0)
-        + exact_diag::expr::ast::sz(0))
-    .to_kernel(n as u32)
-    .unwrap();
+    let lopsided = (heisenberg(&chain_bonds(n), 1.0) + exact_diag::expr::ast::sz(0))
+        .to_kernel(n as u32)
+        .unwrap();
     let group = chain_group(n, 0, None, None).unwrap();
     let tsector = SectorSpec::new(n as u32, Some(4), group).unwrap();
     assert!(matches!(
@@ -59,10 +57,7 @@ fn inconsistent_symmetry_declarations_rejected() {
     // Reflection with a complex momentum has no consistent character.
     assert!(chain_group(8, 1, Some(0), None).is_err());
     // Out-of-range weight.
-    assert!(matches!(
-        SectorSpec::with_weight(8, 9),
-        Err(BasisError::WeightOutOfRange { .. })
-    ));
+    assert!(matches!(SectorSpec::with_weight(8, 9), Err(BasisError::WeightOutOfRange { .. })));
 }
 
 #[test]
@@ -85,8 +80,7 @@ fn engine_cluster_mismatch_panics() {
     let basis = enumerate_dist(&cluster, &sector, 2);
     let x = DistVec::<f64>::zeros(&basis.states().lens());
     let mut y = DistVec::<f64>::zeros(&basis.states().lens());
-    let engine =
-        exact_diag::dist::matvec::pc::PcEngine::<f64>::new(2, PcOptions::default());
+    let engine = exact_diag::dist::matvec::pc::PcEngine::<f64>::new(2, PcOptions::default());
     engine.apply(&cluster, &op, &basis, &x, &mut y);
 }
 
@@ -126,11 +120,7 @@ fn lanczos_guards() {
     assert!(res.is_err());
     // k > dim rejected.
     let res = std::panic::catch_unwind(|| {
-        ls_eigen::lanczos_smallest(
-            &full_op,
-            10_000,
-            &ls_eigen::LanczosOptions::default(),
-        )
+        ls_eigen::lanczos_smallest(&full_op, 10_000, &ls_eigen::LanczosOptions::default())
     });
     assert!(res.is_err());
 }

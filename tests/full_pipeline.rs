@@ -2,7 +2,6 @@
 //! eigensolvers, cross-validated against dense reference diagonalization.
 
 use exact_diag::eigen::jacobi::eigh_real;
-use exact_diag::eigen::DenseOp;
 use exact_diag::prelude::*;
 
 /// Dense spectrum of a sector via Jacobi (real sectors only).
@@ -29,9 +28,7 @@ fn parsed_expression_equals_builder() {
         if !text.is_empty() {
             text.push_str(" + ");
         }
-        text.push_str(&format!(
-            "0.5 * (S+_{i} * S-_{j} + S-_{i} * S+_{j}) + Sz_{i} * Sz_{j}"
-        ));
+        text.push_str(&format!("0.5 * (S+_{i} * S-_{j} + S-_{i} * S+_{j}) + Sz_{i} * Sz_{j}"));
     }
     let parsed = parse_expr(&text).unwrap();
     let built = heisenberg(&chain_bonds(n), 1.0);
@@ -59,10 +56,7 @@ fn lanczos_matches_dense_in_every_real_sector() {
         let (_, op) = Operator::<f64>::from_expr(&expr, sector).unwrap();
         let lows = lowest_eigenvalues(&op, 3.min(dense.len()));
         for (a, b) in lows.iter().zip(&dense) {
-            assert!(
-                (a - b).abs() < 1e-8,
-                "k={k} r={r:?} z={z:?}: lanczos {a} vs dense {b}"
-            );
+            assert!((a - b).abs() < 1e-8, "k={k} r={r:?} z={z:?}: lanczos {a} vs dense {b}");
         }
     }
 }
@@ -163,10 +157,7 @@ fn transverse_field_ising_uses_inversion_only() {
     let plain = SectorSpec::full(n as u32);
     let (_, op_plain) = Operator::<f64>::from_expr(&expr, plain).unwrap();
     let e0_plain = ground_state_energy(&op_plain);
-    assert!(
-        (e0 - e0_plain).abs() < 1e-8,
-        "symmetrized {e0} vs plain {e0_plain}"
-    );
+    assert!((e0 - e0_plain).abs() < 1e-8, "symmetrized {e0} vs plain {e0_plain}");
 }
 
 fn ising_like(n: usize, j: f64, h: f64) -> Expr {

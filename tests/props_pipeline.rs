@@ -132,16 +132,16 @@ proptest! {
         let mut hhx = vec![0.0; dim];
         apply_serial(&op, &basis, &hx, &mut hhx);
         let dense = op.to_dense(&basis);
-        for i in 0..dim {
+        for (row, hh) in dense.iter().zip(&hhx) {
             let mut acc = 0.0;
-            for j in 0..dim {
-                let mut hij_hjx = 0.0;
-                for (l, xl) in x.iter().enumerate() {
-                    hij_hjx += dense[j][l] * xl;
+            for (hij, col) in row.iter().zip(&dense) {
+                let mut hjx = 0.0;
+                for (hjl, xl) in col.iter().zip(&x) {
+                    hjx += hjl * xl;
                 }
-                acc += dense[i][j] * hij_hjx;
+                acc += hij * hjx;
             }
-            prop_assert!((acc - hhx[i]).abs() < 1e-9);
+            prop_assert!((acc - hh).abs() < 1e-9);
         }
     }
 }
