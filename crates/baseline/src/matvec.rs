@@ -56,11 +56,21 @@ pub fn matvec_alltoall<S: Scalar>(
     let received = alltoallv(cluster, &buckets);
 
     // Phase 5: rank + accumulate, purely local, no overlap with comm.
+    // Ranking runs through the bulk kernel — even the bulk-synchronous
+    // baseline benefits from interleaved lookups once the data is local.
     let y_parts: Vec<Vec<S>> = cluster.run(|ctx| {
         let me = ctx.locale();
         let mut y_local = vec![S::ZERO; basis.local_dim(me)];
-        for &(rep, coeff) in received.part(me) {
-            let i = basis.index_on(me, rep).expect("state missing from the basis");
+        let pairs = received.part(me);
+        let needles: Vec<u64> = pairs.iter().map(|&(s, _)| s).collect();
+        let mut idx = Vec::new();
+        basis.index_on_batch(me, &needles, &mut idx);
+        for (&(rep, coeff), &i) in pairs.iter().zip(&idx) {
+            let i = if i != ls_kernels::search::NOT_FOUND {
+                i as usize
+            } else {
+                basis.index_on_present(me, rep)
+            };
             y_local[i] += coeff;
         }
         ctx.barrier_wait();

@@ -3,7 +3,16 @@
 use crate::enumerate;
 use crate::sector::SectorSpec;
 use ls_kernels::combinadics::BinomialTable;
-use ls_kernels::search::{PrefixIndex, TrieIndex};
+use ls_kernels::search::{PrefixIndex, TrieIndex, NOT_FOUND};
+
+/// The cold tail of [`SpinBasis::index_of_present`]: keeping the panic
+/// (and its formatting machinery) out of the inlined hot path lets the
+/// ranking call compile down to the lookup plus one predictable branch.
+#[cold]
+#[inline(never)]
+fn missing_state(rep: u64) -> ! {
+    panic!("generated state {rep:#018x} is not in the basis");
+}
 
 /// How `state -> index` ranking is performed.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -115,6 +124,54 @@ impl SpinBasis {
         }
     }
 
+    /// Ranking for hot loops where the state is guaranteed to be a member
+    /// of the basis (every valid representative a Hermitian,
+    /// symmetry-commuting operator generates is). Skips the `Option`
+    /// plumbing and keeps panic formatting in a cold out-of-line function;
+    /// membership is still asserted in debug builds.
+    #[inline]
+    pub fn index_of_present(&self, rep: u64) -> usize {
+        debug_assert!(self.index_of(rep).is_some(), "state {rep:#018x} missing from the basis");
+        match self.index_of(rep) {
+            Some(i) => i,
+            None => missing_state(rep),
+        }
+    }
+
+    /// Batched ranking: resolves a whole block of representatives into
+    /// `out`, one `u32` rank (or [`NOT_FOUND`]) per input. Dispatches to
+    /// the interleaved bulk kernels of the active [`RankingKind`] — this
+    /// is the `stateToIndex` the batched matvec strategies use.
+    pub fn index_of_batch(&self, reps: &[u64], out: &mut Vec<u32>) {
+        match self.ranking {
+            RankingKind::Combinadic => {
+                let t = self.combinadic.as_ref().unwrap();
+                let weight = self.sector.hamming_weight().unwrap();
+                let len = self.states.len();
+                out.clear();
+                out.extend(reps.iter().map(|&rep| {
+                    let idx = t.rank(rep) as usize;
+                    if rep.count_ones() == weight && idx < len {
+                        debug_assert_eq!(self.states[idx], rep);
+                        idx as u32
+                    } else {
+                        NOT_FOUND
+                    }
+                }));
+            }
+            RankingKind::PrefixBuckets => self.prefix.lookup_batch(&self.states, reps, out),
+            RankingKind::BinarySearch => {
+                out.clear();
+                out.extend(reps.iter().map(|&rep| {
+                    self.states.binary_search(&rep).map_or(NOT_FOUND, |i| i as u32)
+                }));
+            }
+            RankingKind::Trie => {
+                self.trie.as_ref().expect("trie built on selection").lookup_batch(reps, out)
+            }
+        }
+    }
+
     /// Forces a particular ranking implementation (ablation benches).
     pub fn set_ranking(&mut self, kind: RankingKind) {
         if kind == RankingKind::Combinadic && self.combinadic.is_none() {
@@ -128,6 +185,13 @@ impl SpinBasis {
 
     pub fn ranking(&self) -> RankingKind {
         self.ranking
+    }
+
+    /// The combinadic ranking table, present exactly when the sector is
+    /// U(1)-only (trivial group, fixed weight) — the precondition of the
+    /// differential-ranking fast path in the batched matvec.
+    pub fn combinadic_table(&self) -> Option<&BinomialTable> {
+        self.combinadic.as_ref()
     }
 
     /// Memory estimate in bytes (states + orbit sizes + index).
@@ -169,6 +233,47 @@ mod tests {
         basis.set_ranking(RankingKind::Trie);
         let with_trie: Vec<Option<usize>> = probes.iter().map(|&p| basis.index_of(p)).collect();
         assert_eq!(with_prefix, with_trie);
+    }
+
+    #[test]
+    fn batch_ranking_matches_scalar_for_all_kinds() {
+        let mut basis = chain_basis(10);
+        let mut probes: Vec<u64> = basis.states().to_vec();
+        probes.extend(0..1024u64); // mostly absent
+        probes.push(u64::MAX);
+        let mut out = Vec::new();
+        for kind in [RankingKind::PrefixBuckets, RankingKind::BinarySearch, RankingKind::Trie] {
+            basis.set_ranking(kind);
+            basis.index_of_batch(&probes, &mut out);
+            assert_eq!(out.len(), probes.len());
+            for (&p, &o) in probes.iter().zip(&out) {
+                let expect = basis.index_of(p).map_or(NOT_FOUND, |i| i as u32);
+                assert_eq!(o, expect, "{kind:?} probe={p:#b}");
+            }
+        }
+        // Combinadic kind on a U(1)-only basis.
+        let basis = SpinBasis::build(SectorSpec::with_weight(12, 6).unwrap());
+        assert_eq!(basis.ranking(), RankingKind::Combinadic);
+        basis.index_of_batch(&probes, &mut out);
+        for (&p, &o) in probes.iter().zip(&out) {
+            assert_eq!(o, basis.index_of(p).map_or(NOT_FOUND, |i| i as u32));
+        }
+    }
+
+    #[test]
+    fn index_of_present_agrees() {
+        let basis = chain_basis(10);
+        for (i, &s) in basis.states().iter().enumerate() {
+            assert_eq!(basis.index_of_present(s), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "is not in the basis")]
+    #[cfg(not(debug_assertions))]
+    fn index_of_present_panics_on_missing() {
+        let basis = chain_basis(10);
+        basis.index_of_present(0b10); // not a representative
     }
 
     #[test]

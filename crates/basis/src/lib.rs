@@ -25,7 +25,7 @@ pub mod rep;
 pub mod sector;
 pub mod symop;
 
-pub use basis::SpinBasis;
-pub use rep::{state_info, StateInfo};
+pub use basis::{RankingKind, SpinBasis};
+pub use rep::{state_info, state_info_batch, StateInfo, StateInfoBatch};
 pub use sector::{BasisError, SectorSpec};
-pub use symop::SymmetrizedOperator;
+pub use symop::{OffDiagBlock, SymmetrizedOperator};

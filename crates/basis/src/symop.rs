@@ -14,11 +14,44 @@
 //! symmetry-adapted bases, and the inner kernel of every matrix-vector
 //! product in this workspace.
 
-use crate::rep::state_info;
+use crate::rep::{state_info, state_info_batch, StateInfoBatch};
 use crate::sector::{BasisError, SectorSpec};
 use ls_expr::OperatorKernel;
+use ls_kernels::combinadics::BinomialTable;
 use ls_kernels::{Complex64, Scalar};
 use ls_symmetry::SymmetryGroup;
+
+/// SoA emissions of one block off-diagonal generation (the batched
+/// `getRow`): parallel arrays of source position, destination
+/// representative and matrix element. Caller-owned scratch — reusing one
+/// `OffDiagBlock` across blocks keeps the hot loop allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct OffDiagBlock<S: Scalar> {
+    /// Source position of each emission, relative to the block start.
+    /// Non-decreasing: emissions are ordered (state, channel), exactly
+    /// like repeated [`SymmetrizedOperator::apply_off_diag`] calls.
+    pub src: Vec<u32>,
+    /// Destination representatives, resolved against the group.
+    pub reps: Vec<u64>,
+    /// Matrix elements `⟨β̃|H|α̃⟩`.
+    pub amps: Vec<S>,
+    info: StateInfoBatch,
+}
+
+impl<S: Scalar> OffDiagBlock<S> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of emissions in the current block.
+    pub fn len(&self) -> usize {
+        self.reps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.reps.is_empty()
+    }
+}
 
 #[derive(Copy, Clone, Debug)]
 struct SymChannel<S> {
@@ -36,7 +69,14 @@ pub struct SymmetrizedOperator<S: Scalar> {
     channels: Vec<SymChannel<S>>,
     hermitian: bool,
     trivial_group: bool,
+    /// Process-unique construction id (shared by clones, which carry
+    /// identical terms) — see [`Self::diag_fingerprint`].
+    id: u64,
 }
+
+/// Source of [`SymmetrizedOperator::id`]: monotonically increasing, never
+/// reused, so cache keys built on it cannot suffer allocator ABA.
+static NEXT_OPERATOR_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl<S: Scalar> SymmetrizedOperator<S> {
     /// Binds `kernel` to `sector`, verifying that the operator
@@ -86,11 +126,27 @@ impl<S: Scalar> SymmetrizedOperator<S> {
             channels,
             hermitian: kernel.is_hermitian(1e-10),
             trivial_group: sector.group().order() == 1,
+            id: NEXT_OPERATOR_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         })
     }
 
     pub fn group(&self) -> &SymmetryGroup {
         &self.group
+    }
+
+    /// Is the bound group trivial (U(1)-only sector)? Gates the
+    /// differential-ranking fast path of the batched matvec.
+    pub fn has_trivial_group(&self) -> bool {
+        self.trivial_group
+    }
+
+    /// Identity of this operator's diagonal — the cache key the matvec
+    /// scratch pool uses to memoize per-state diagonals across repeated
+    /// products. Built on a process-unique construction id (never
+    /// recycled, so a freed operator's allocation being reused cannot
+    /// produce a stale hit); clones share the id and the identical terms.
+    pub fn diag_fingerprint(&self) -> (u64, usize) {
+        (self.id, self.diag.len())
     }
 
     pub fn is_hermitian(&self) -> bool {
@@ -154,6 +210,208 @@ impl<S: Scalar> SymmetrizedOperator<S> {
                 let amp = ch.coeff * phase.scale_re(norm);
                 out.push((info.representative, amp));
             }
+        }
+    }
+
+    /// Diagonal matrix elements for a whole block of states:
+    /// `out[k] = ⟨α̃_k|H|α̃_k⟩_diag`. Monomial-outer / state-inner loop
+    /// order — each Walsh mask is loaded once per block and the inner loop
+    /// is a branch-light popcount stream. Elementwise bit-identical to
+    /// [`Self::diagonal`] (same monomial accumulation order).
+    pub fn diagonal_block(&self, states: &[u64], out: &mut [S]) {
+        assert_eq!(states.len(), out.len());
+        out.fill(S::ZERO);
+        for &(c, zmask) in &self.diag {
+            for (o, &s) in out.iter_mut().zip(states) {
+                let downs = (!s & zmask).count_ones();
+                if downs & 1 == 0 {
+                    *o += c;
+                } else {
+                    *o -= c;
+                }
+            }
+        }
+    }
+
+    /// Batched [`Self::apply_off_diag`]: generates every off-diagonal
+    /// emission for a block of representatives (`states` with orbit sizes
+    /// `orbits`) into `out`'s SoA arrays.
+    ///
+    /// The pipeline is: (1) channel-mask generation of raw states, (2) a
+    /// single [`state_info_batch`] pass over all raw states of the block
+    /// (group-element-outer), (3) amplitude resolution with zero-norm
+    /// emissions compacted away. Emission order and every floating-point
+    /// operation match the scalar path, so results are bit-identical to
+    /// calling `apply_off_diag` state by state.
+    pub fn apply_off_diag_block(
+        &self,
+        states: &[u64],
+        orbits: &[u32],
+        out: &mut OffDiagBlock<S>,
+    ) {
+        assert_eq!(states.len(), orbits.len());
+        out.src.clear();
+        out.reps.clear();
+        out.amps.clear();
+        for (k, &alpha) in states.iter().enumerate() {
+            for ch in &self.channels {
+                if alpha & ch.sites == ch.in_pat {
+                    out.src.push(k as u32);
+                    out.reps.push(alpha ^ ch.flip);
+                    out.amps.push(ch.coeff);
+                }
+            }
+        }
+        if self.trivial_group {
+            // Raw states are their own representatives with unit phase.
+            return;
+        }
+        state_info_batch(&self.group, &out.reps, &mut out.info);
+        let info = &out.info;
+        let mut w = 0usize;
+        for r in 0..out.reps.len() {
+            if !info.valid[r] {
+                continue;
+            }
+            let alpha_orbit = orbits[out.src[r] as usize];
+            let norm = (alpha_orbit as f64 / info.orbit_sizes[r] as f64).sqrt();
+            let phase =
+                S::from_c64(info.phases[r]).expect("real sector guarantees real phases");
+            out.src[w] = out.src[r];
+            out.reps[w] = info.representatives[r];
+            out.amps[w] = out.amps[r] * phase.scale_re(norm);
+            w += 1;
+        }
+        out.src.truncate(w);
+        out.reps.truncate(w);
+        out.amps.truncate(w);
+    }
+
+    /// The U(1) fused fast path: generation *and ranking* of a block in
+    /// one pass. Valid only for a trivial group over the full fixed-weight
+    /// basis (the combinadic-ranking precondition): there the basis index
+    /// of a state *is* its combinadic rank, the rank of the block's `k`-th
+    /// row is simply `first_rank + k`, and each destination rank follows
+    /// by [`BinomialTable::rank_xor`] — O(flipped span) instead of
+    /// O(weight) per matrix element, with no lookup structure touched at
+    /// all. Emits `(src, dest rank, amplitude)` in the same (state,
+    /// channel) order as [`Self::apply_off_diag_block`]; destination ranks
+    /// are always valid.
+    pub fn apply_off_diag_block_u1_ranked(
+        &self,
+        states: &[u64],
+        first_rank: u64,
+        table: &BinomialTable,
+        src: &mut Vec<u32>,
+        idx: &mut Vec<u32>,
+        amps: &mut Vec<S>,
+    ) {
+        debug_assert!(self.trivial_group, "fused ranking requires the trivial group");
+        src.clear();
+        idx.clear();
+        amps.clear();
+        for (k, &alpha) in states.iter().enumerate() {
+            let rank_alpha = first_rank + k as u64;
+            debug_assert_eq!(table.rank(alpha), rank_alpha);
+            for ch in &self.channels {
+                if alpha & ch.sites == ch.in_pat {
+                    let dest = table.rank_xor(alpha, ch.flip, rank_alpha);
+                    src.push(k as u32);
+                    idx.push(dest as u32);
+                    amps.push(ch.coeff);
+                }
+            }
+        }
+    }
+
+    /// Channel-outer variant of [`Self::apply_off_diag_block_u1_ranked`]
+    /// for the gather (pull) formulation.
+    ///
+    /// For each channel, firing rows are first collected with a
+    /// *branchless* compaction sweep (the data-dependent fire/no-fire
+    /// branch of the row-outer loops mispredicts constantly; a
+    /// conditional-increment store does not), then ranked differentially.
+    /// Output is segment-encoded: `emit` packs each emission as
+    /// `(source position << 32) | destination rank` grouped by channel,
+    /// and `segs` holds one `(coefficient, end offset)` pair per channel —
+    /// the amplitude of a U(1) channel is a constant, so storing it per
+    /// segment instead of per emission halves the emission traffic.
+    ///
+    /// Emission order is (channel, state); each output element still
+    /// receives its contributions in ascending channel order — exactly the
+    /// scalar pull accumulation order, so gather results stay bit-exact.
+    /// Not suitable for the push formulation, whose serial reference
+    /// requires (state, channel) order per *destination*.
+    pub fn apply_off_diag_block_u1_ranked_channels(
+        &self,
+        states: &[u64],
+        first_rank: u64,
+        table: &BinomialTable,
+        fired: &mut Vec<u32>,
+        emit: &mut Vec<u64>,
+        segs: &mut Vec<(S, u32)>,
+    ) {
+        debug_assert!(self.trivial_group, "fused ranking requires the trivial group");
+        emit.clear();
+        segs.clear();
+        fired.clear();
+        fired.resize(states.len(), 0);
+        let mut c = 0usize;
+        while c < self.channels.len() {
+            let ch = &self.channels[c];
+            // Exchange-pair merge: the kernel's channel list is sorted by
+            // (sites, in_pat), so the S⁺S⁻ / S⁻S⁺ halves of a bond are
+            // consecutive; with equal coefficients they share one
+            // "exactly one of the two sites is up" sweep (a row fires at
+            // most one of the two, so per-row emission order is
+            // unchanged). This halves the dominant cost — the per-channel
+            // block sweep.
+            let paired = c + 1 < self.channels.len() && {
+                let ch2 = &self.channels[c + 1];
+                ch.sites.count_ones() == 2
+                    && ch.flip == ch.sites
+                    && ch2.sites == ch.sites
+                    && ch2.flip == ch.sites
+                    && ch.in_pat ^ ch2.in_pat == ch.sites
+                    && ch.coeff == ch2.coeff
+            };
+            let sites = ch.sites;
+            let in_pat = ch.in_pat;
+            // Branchless compaction: every row writes its index, only
+            // firing rows advance the cursor.
+            let mut w = 0usize;
+            if paired {
+                for (k, &alpha) in states.iter().enumerate() {
+                    fired[w] = k as u32;
+                    let t = alpha & sites;
+                    w += (t != 0 && t != sites) as usize;
+                }
+            } else {
+                for (k, &alpha) in states.iter().enumerate() {
+                    fired[w] = k as u32;
+                    w += (alpha & sites == in_pat) as usize;
+                }
+            }
+            // Channel constants of the differential rank, hoisted.
+            let lo = ch.flip.trailing_zeros();
+            let below = !(u64::MAX << lo);
+            if ch.flip >> lo == 0b11 {
+                // Adjacent transposition (every nearest-neighbour term):
+                // the rank delta is two table loads.
+                for &k in &fired[..w] {
+                    let alpha = states[k as usize];
+                    let dest = table.rank_xor_adjacent(alpha, lo, below, first_rank + k as u64);
+                    emit.push((k as u64) << 32 | dest);
+                }
+            } else {
+                for &k in &fired[..w] {
+                    let alpha = states[k as usize];
+                    let dest = table.rank_xor(alpha, ch.flip, first_rank + k as u64);
+                    emit.push((k as u64) << 32 | dest);
+                }
+            }
+            segs.push((ch.coeff, emit.len() as u32));
+            c += if paired { 2 } else { 1 };
         }
     }
 
@@ -269,6 +527,61 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn block_generation_matches_scalar_apply() {
+        // Symmetric and U(1)-only sectors; Complex64 covers the momentum
+        // sector path with genuine phases.
+        let n = 8usize;
+        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0).to_kernel(n as u32).unwrap();
+        for (k, r, z) in [(0i64, Some(0i64), Some(0i64)), (2, None, None), (4, None, Some(0))] {
+            let group = lattice::chain_group(n, k, r, z).unwrap();
+            let sector = SectorSpec::new(n as u32, Some(4), group).unwrap();
+            let basis = SpinBasis::build(sector.clone());
+            let op = SymmetrizedOperator::<Complex64>::new(&kernel, &sector).unwrap();
+            check_block_matches_scalar(&op, &basis);
+        }
+        // Trivial group fast path (f64).
+        let sector = SectorSpec::with_weight(n as u32, 4).unwrap();
+        let basis = SpinBasis::build(sector.clone());
+        let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
+        check_block_matches_scalar(&op, &basis);
+    }
+
+    fn check_block_matches_scalar<S: Scalar>(op: &SymmetrizedOperator<S>, basis: &SpinBasis) {
+        let states = basis.states();
+        let orbits = basis.orbit_sizes();
+        let mut block = OffDiagBlock::new();
+        let mut diag = vec![S::ZERO; 0];
+        let mut row = Vec::new();
+        // Deliberately odd block size to exercise boundaries.
+        let bs = 13usize;
+        let mut b0 = 0usize;
+        while b0 < states.len() {
+            let b1 = (b0 + bs).min(states.len());
+            op.apply_off_diag_block(&states[b0..b1], &orbits[b0..b1], &mut block);
+            diag.resize(b1 - b0, S::ZERO);
+            op.diagonal_block(&states[b0..b1], &mut diag);
+            let mut t = 0usize;
+            for k in 0..(b1 - b0) {
+                // Diagonal: bit-identical to the scalar accumulator.
+                assert_eq!(diag[k], op.diagonal(states[b0 + k]));
+                row.clear();
+                op.apply_off_diag(states[b0 + k], orbits[b0 + k], &mut row);
+                for &(rep, amp) in &row {
+                    assert!(t < block.len(), "batch emitted too few entries");
+                    assert_eq!(block.src[t] as usize, k);
+                    assert_eq!(block.reps[t], rep);
+                    // Bit-exact: the batch path performs the identical
+                    // floating-point operations in the same order.
+                    assert_eq!(block.amps[t], amp);
+                    t += 1;
+                }
+            }
+            assert_eq!(t, block.len(), "batch emitted extra entries");
+            b0 = b1;
         }
     }
 

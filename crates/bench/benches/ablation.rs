@@ -6,7 +6,8 @@ use ls_basis::{SectorSpec, SpinBasis};
 use ls_kernels::bits::FixedWeightRange;
 use ls_kernels::sort::{apply_perm, counting_sort_perm};
 
-/// Ranking: prefix buckets vs plain binary search vs combinadics.
+/// Ranking: prefix buckets vs plain binary search vs combinadics, one
+/// lookup at a time vs the interleaved bulk kernels.
 fn bench_ranking(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_ranking");
     g.sample_size(15);
@@ -28,7 +29,48 @@ fn bench_ranking(c: &mut Criterion) {
                 acc
             })
         });
+        let mut out = Vec::new();
+        g.bench_function(format!("{kind:?}_batch"), |b| {
+            b.iter(|| {
+                basis.index_of_batch(black_box(&probes), &mut out);
+                out.iter().map(|&i| i as usize).sum::<usize>()
+            })
+        });
     }
+    g.finish();
+}
+
+/// Shared-memory matvec: scalar vs batched strategies on a U(1) sector.
+fn bench_matvec_strategies(c: &mut Criterion) {
+    use ls_basis::SymmetrizedOperator;
+    use ls_core::matvec;
+    use ls_core::MatvecScratchPool;
+
+    let mut g = c.benchmark_group("ablation_matvec_strategies");
+    g.sample_size(10);
+    let n = 20u32;
+    let sector = SectorSpec::with_weight(n, n / 2).unwrap();
+    let kernel =
+        ls_expr::builders::heisenberg(&ls_symmetry::lattice::chain_bonds(n as usize), 1.0)
+            .to_kernel(n)
+            .unwrap();
+    let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
+    let basis = SpinBasis::build(sector);
+    let x: Vec<f64> = (0..basis.dim()).map(|i| (i as f64 * 0.11).sin()).collect();
+    let mut y = vec![0.0; basis.dim()];
+    let pool = MatvecScratchPool::new();
+    g.bench_function("pull_scalar", |b| {
+        b.iter(|| matvec::apply_pull_pooled(&op, &basis, black_box(&x), &mut y, &pool))
+    });
+    g.bench_function("pull_batched", |b| {
+        b.iter(|| matvec::apply_batched_pull_pooled(&op, &basis, black_box(&x), &mut y, &pool))
+    });
+    g.bench_function("push_atomic", |b| {
+        b.iter(|| matvec::apply_push_pooled(&op, &basis, black_box(&x), &mut y, &pool))
+    });
+    g.bench_function("push_batched", |b| {
+        b.iter(|| matvec::apply_batched_push_pooled(&op, &basis, black_box(&x), &mut y, &pool))
+    });
     g.finish();
 }
 
@@ -130,5 +172,12 @@ fn bench_batched_rows(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ranking, bench_partition, bench_diagonal, bench_batched_rows);
+criterion_group!(
+    benches,
+    bench_ranking,
+    bench_matvec_strategies,
+    bench_partition,
+    bench_diagonal,
+    bench_batched_rows
+);
 criterion_main!(benches);

@@ -1,0 +1,243 @@
+//! Batched vs scalar matrix-vector products: the ablation behind the
+//! batched engine (`MatvecStrategy::BatchedPull` / `BatchedPush`).
+//!
+//! Times every shared-memory strategy against every applicable
+//! `RankingKind` on a U(1) sector (and a fully symmetrized sector for the
+//! `state_info_batch` path), verifies agreement against the serial
+//! reference while doing so, and emits the measurements as
+//! `BENCH_matvec.json` so the repository's performance trajectory is
+//! recorded run over run.
+//!
+//! ```sh
+//! cargo run --release -p ls-bench --bin fig_batch -- \
+//!     [--sites N] [--weight W] [--reps R] [--out BENCH_matvec.json]
+//! ```
+
+use ls_basis::basis::RankingKind;
+use ls_basis::{SectorSpec, SpinBasis, SymmetrizedOperator};
+use ls_core::matvec::{
+    apply_batched_pull_pooled, apply_batched_push_pooled, apply_pull_pooled, apply_push_pooled,
+    apply_serial_pooled,
+};
+use ls_core::{MatvecScratchPool, MatvecStrategy};
+use ls_symmetry::lattice::{chain_bonds, chain_group};
+
+const STRATEGIES: [MatvecStrategy; 5] = [
+    MatvecStrategy::Serial,
+    MatvecStrategy::PullParallel,
+    MatvecStrategy::PushAtomic,
+    MatvecStrategy::BatchedPull,
+    MatvecStrategy::BatchedPush,
+];
+
+struct Measurement {
+    strategy: MatvecStrategy,
+    ranking: RankingKind,
+    seconds: f64,
+}
+
+struct SectorReport {
+    label: &'static str,
+    n_sites: usize,
+    dim: usize,
+    group_order: usize,
+    default_ranking: RankingKind,
+    results: Vec<Measurement>,
+}
+
+impl SectorReport {
+    /// Median seconds of `strategy` at the sector's default ranking.
+    fn default_time(&self, strategy: MatvecStrategy) -> f64 {
+        self.results
+            .iter()
+            .find(|m| m.strategy == strategy && m.ranking == self.default_ranking)
+            .map(|m| m.seconds)
+            .expect("strategy measured at the default ranking")
+    }
+
+    fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .results
+            .iter()
+            .map(|m| {
+                format!(
+                    "      {{\"strategy\": \"{:?}\", \"ranking\": \"{:?}\", \
+                     \"seconds\": {:.9}}}",
+                    m.strategy, m.ranking, m.seconds
+                )
+            })
+            .collect();
+        format!(
+            "  \"{}\": {{\n    \"n_sites\": {},\n    \"dim\": {},\n    \
+             \"group_order\": {},\n    \"default_ranking\": \"{:?}\",\n    \
+             \"results\": [\n{}\n    ]\n  }}",
+            self.label,
+            self.n_sites,
+            self.dim,
+            self.group_order,
+            self.default_ranking,
+            rows.join(",\n")
+        )
+    }
+}
+
+fn run_sector(
+    label: &'static str,
+    sector: SectorSpec,
+    n_sites: usize,
+    reps: usize,
+) -> SectorReport {
+    let kernel = ls_expr::builders::heisenberg(&chain_bonds(n_sites), 1.0)
+        .to_kernel(n_sites as u32)
+        .unwrap();
+    let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
+    let group_order = sector.group().order();
+    let mut basis = SpinBasis::build(sector);
+    let default_ranking = basis.ranking();
+    let dim = basis.dim();
+    let x: Vec<f64> = (0..dim)
+        .map(|i| (ls_kernels::hash64_01(i as u64) >> 11) as f64 * 1e-16 - 0.4)
+        .collect();
+    let mut y = vec![0.0f64; dim];
+    let mut y_ref = vec![0.0f64; dim];
+    let pool = MatvecScratchPool::new();
+    apply_serial_pooled(&op, &basis, &x, &mut y_ref, &pool);
+
+    let mut rankings = vec![RankingKind::PrefixBuckets, RankingKind::BinarySearch];
+    if group_order == 1 {
+        rankings.insert(0, RankingKind::Combinadic);
+    }
+    rankings.push(RankingKind::Trie);
+
+    // Interleaved rounds: one sample of every (ranking, strategy) pair
+    // per round, so slow machine-load drift biases no strategy; the
+    // per-pair median is reported.
+    let mut samples = vec![vec![Vec::with_capacity(reps); STRATEGIES.len()]; rankings.len()];
+    for round in 0..reps.max(1) {
+        for (ri, &ranking) in rankings.iter().enumerate() {
+            basis.set_ranking(ranking);
+            for (si, &strategy) in STRATEGIES.iter().enumerate() {
+                let t = std::time::Instant::now();
+                match strategy {
+                    MatvecStrategy::Serial => {
+                        apply_serial_pooled(&op, &basis, &x, &mut y, &pool)
+                    }
+                    MatvecStrategy::PullParallel => {
+                        apply_pull_pooled(&op, &basis, &x, &mut y, &pool)
+                    }
+                    MatvecStrategy::PushAtomic => {
+                        apply_push_pooled(&op, &basis, &x, &mut y, &pool)
+                    }
+                    MatvecStrategy::BatchedPull => {
+                        apply_batched_pull_pooled(&op, &basis, &x, &mut y, &pool)
+                    }
+                    MatvecStrategy::BatchedPush => {
+                        apply_batched_push_pooled(&op, &basis, &x, &mut y, &pool)
+                    }
+                }
+                samples[ri][si].push(t.elapsed().as_secs_f64());
+                if round == 0 {
+                    // Every configuration doubles as a correctness check.
+                    for i in 0..dim {
+                        assert!(
+                            (y[i] - y_ref[i]).abs() < 1e-10,
+                            "{strategy:?}/{ranking:?} disagrees with serial at {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let mut results = Vec::new();
+    for (ri, &ranking) in rankings.iter().enumerate() {
+        for (si, &strategy) in STRATEGIES.iter().enumerate() {
+            let times = &mut samples[ri][si];
+            times.sort_by(f64::total_cmp);
+            results.push(Measurement { strategy, ranking, seconds: times[times.len() / 2] });
+        }
+    }
+    basis.set_ranking(default_ranking);
+    SectorReport { label, n_sites, dim, group_order, default_ranking, results }
+}
+
+fn print_report(r: &SectorReport, reps: usize) {
+    let rows: Vec<Vec<String>> = r
+        .results
+        .iter()
+        .map(|m| {
+            vec![
+                format!("{:?}", m.strategy),
+                format!("{:?}", m.ranking),
+                ls_bench::fmt_secs(m.seconds),
+                format!("{:.2}×", r.default_time(MatvecStrategy::Serial) / m.seconds),
+            ]
+        })
+        .collect();
+    ls_bench::print_table(
+        &format!(
+            "{}: {} sites, dim {}, |G| = {} (median of {reps})",
+            r.label, r.n_sites, r.dim, r.group_order
+        ),
+        &["strategy", "ranking", "time", "vs serial"],
+        &rows,
+    );
+}
+
+fn main() {
+    let mut sites = 24usize;
+    let mut weight: Option<usize> = None;
+    let mut reps = 3usize;
+    let mut out_path = String::from("BENCH_matvec.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().expect("missing value for flag");
+        match arg.as_str() {
+            "--sites" => sites = value().parse().unwrap(),
+            "--weight" => weight = Some(value().parse().unwrap()),
+            "--reps" => reps = value().parse().unwrap(),
+            "--out" => out_path = value(),
+            other => panic!("unknown flag {other} (try --sites/--weight/--reps/--out)"),
+        }
+    }
+    let weight = weight.unwrap_or(sites / 2);
+    let threads = rayon::current_num_threads();
+
+    // U(1)-only sector: the trivial-group fast path, all four rankings.
+    let u1 = run_sector(
+        "u1",
+        SectorSpec::with_weight(sites as u32, weight as u32).unwrap(),
+        sites,
+        reps,
+    );
+    print_report(&u1, reps);
+
+    // Fully symmetrized sector (translation + reflection + spin flip):
+    // exercises `state_info_batch`. The dimension shrinks by ~|G|, so the
+    // same site count stays cheap.
+    let group = chain_group(sites, 0, Some(0), Some(0)).unwrap();
+    let symmetrized = run_sector(
+        "symmetrized",
+        SectorSpec::new(sites as u32, Some(weight as u32), group).unwrap(),
+        sites,
+        reps,
+    );
+    print_report(&symmetrized, reps);
+
+    let speedup_pull = u1.default_time(MatvecStrategy::PullParallel)
+        / u1.default_time(MatvecStrategy::BatchedPull);
+    let speedup_push = u1.default_time(MatvecStrategy::PushAtomic)
+        / u1.default_time(MatvecStrategy::BatchedPush);
+    println!("\nU(1) speedups at the default ranking ({:?}):", u1.default_ranking);
+    println!("  BatchedPull vs PullParallel: {speedup_pull:.2}×");
+    println!("  BatchedPush vs PushAtomic:   {speedup_push:.2}×");
+
+    let json = format!(
+        "{{\n  \"bench\": \"matvec\",\n  \"threads\": {threads},\n  \"reps\": {reps},\n\
+         {},\n{},\n  \"speedup_batched_pull_vs_pull\": {speedup_pull:.4},\n  \
+         \"speedup_batched_push_vs_push\": {speedup_push:.4}\n}}\n",
+        u1.to_json(),
+        symmetrized.to_json()
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+}

@@ -44,7 +44,7 @@ pub mod observables;
 pub mod operator;
 
 pub use eigen::{ground_state, ground_state_energy, lowest_eigenvalues};
-pub use matvec::MatvecStrategy;
+pub use matvec::{MatvecScratchPool, MatvecStrategy};
 pub use observables::{expectation, structure_factor, sz_correlations};
 pub use operator::Operator;
 

@@ -1,33 +1,235 @@
 //! Shared-memory parallel matrix-vector products.
 //!
-//! Three strategies (the first two are the single-node analogues of the
-//! distributed pull/push formulations; `benches/ablation.rs` compares
-//! them):
+//! Five strategies (see [`MatvecStrategy`]; `benches/ablation.rs` and the
+//! `fig_batch` binary compare them):
 //!
-//! * **pull** — each output element gathers its row: `y[i] = Σ_j H_ij x_j`
-//!   via the Hermitian conjugate of the generated column. Race-free,
-//!   rayon over output chunks; random *reads* of `x`.
-//! * **push** — each input element scatters its column with atomic f64
-//!   adds; random *writes* to `y` (the formulation the distributed
-//!   producer/consumer pipeline uses).
-//! * **serial** — reference implementation.
+//! * **batched pull** (default) — the batched engine in gather form: rows
+//!   are processed in blocks, off-diagonal generation runs through
+//!   [`SymmetrizedOperator::apply_off_diag_block`] (one
+//!   group-element-outer `state_info` pass per block), ranking through the
+//!   interleaved [`SpinBasis::index_of_batch`] kernels, and the gathered
+//!   reads of `x` are software-prefetched from the ranked index block.
+//! * **batched push** — the batched engine in scatter form: emissions are
+//!   `(dest_index, amplitude, src_index)` triples, radix-partitioned by
+//!   destination block and merged in a sequential per-block sweep — the
+//!   per-lane atomic-CAS loop of the scatter formulation disappears
+//!   entirely. Source chunks are processed in bounded waves so the staging
+//!   memory never exceeds a few blocks' worth of triples.
+//! * **pull** — scalar gather: each output element walks its row one
+//!   element at a time. Race-free, rayon over output chunks.
+//! * **push** — scalar scatter with atomic f64 adds (the formulation the
+//!   distributed producer/consumer pipeline uses).
+//! * **serial** — single-threaded scalar reference (push order).
+//!
+//! Determinism: the batched strategies perform the identical
+//! floating-point operations in the identical order as their scalar
+//! references — `BatchedPull` is bit-exact against `PullParallel`, and
+//! `BatchedPush` is bit-exact against `Serial` (the proptests in
+//! `tests/batched_strategies.rs` pin this).
+//!
+//! All strategies draw their temporaries from a [`MatvecScratchPool`];
+//! [`crate::Operator`] keeps one pool for its lifetime, so the hundreds of
+//! products of a Lanczos run reuse the same staging memory.
 
-use ls_basis::{SpinBasis, SymmetrizedOperator};
+use ls_basis::{OffDiagBlock, RankingKind, SpinBasis, SymmetrizedOperator};
+use ls_kernels::combinadics::BinomialTable;
+use ls_kernels::search::NOT_FOUND;
+use ls_kernels::sort::BlockPartitioner;
 use ls_kernels::Scalar;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Which shared-memory implementation [`crate::Operator`] uses.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub enum MatvecStrategy {
-    /// Gather formulation, rayon-parallel (default).
+    /// Batched gather formulation (default): block generation, bulk
+    /// ranking, prefetched reads.
     #[default]
+    BatchedPull,
+    /// Batched scatter formulation: destination-partitioned triples merged
+    /// without atomics.
+    BatchedPush,
+    /// Scalar gather formulation, rayon-parallel.
     PullParallel,
-    /// Scatter formulation with atomic accumulation.
+    /// Scalar scatter formulation with atomic accumulation.
     PushAtomic,
-    /// Single-threaded reference.
+    /// Single-threaded scalar reference.
     Serial,
 }
+
+/// Number of rows a batched strategy processes per block: large enough to
+/// amortize the per-block passes, small enough that the block's SoA
+/// emission arrays stay cache-resident.
+const BATCH_BLOCK: usize = 1024;
+
+/// Lookahead distance (in emissions) for software prefetch of the
+/// gathered `x` reads in the batched pull accumulation. Sized for a DRAM
+/// round-trip (~100 ns) over a ~3 ns loop iteration.
+const PREFETCH_AHEAD: usize = 32;
+
+/// Issues a best-effort prefetch of `data[index]` into L1.
+#[inline(always)]
+fn prefetch_read<T>(data: &[T], index: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if index < data.len() {
+        // SAFETY: in-bounds pointer; prefetch has no observable effect.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                data.as_ptr().add(index) as *const i8,
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (data, index);
+}
+
+/// Cold tail for a ranked emission that is not in the basis (cannot
+/// happen for a symmetry-commuting operator; kept out of line so the hot
+/// loop carries only a predictable branch).
+#[cold]
+#[inline(never)]
+fn missing_state(rep: u64) -> ! {
+    panic!("generated state {rep:#018x} is not in the basis");
+}
+
+// ---------------------------------------------------------------------------
+// Scratch arena
+// ---------------------------------------------------------------------------
+
+/// Per-task temporaries of one matvec worker. All vectors grow to their
+/// steady-state capacity on first use and are reused afterwards.
+#[derive(Default)]
+pub struct MatvecScratch<S: Scalar> {
+    /// Scalar-path row buffer (`apply_off_diag` output).
+    row: Vec<(u64, S)>,
+    /// Batched generation output.
+    gen: OffDiagBlock<S>,
+    /// Bulk-ranking output aligned with `gen`.
+    idx: Vec<u32>,
+    /// Branchless-compaction scratch of the fused U(1) pull generation.
+    fired: Vec<u32>,
+    /// Per-channel `(coefficient, end offset)` segments of the fused pull.
+    segs: Vec<(S, u32)>,
+    /// Push emission assembly: destination indices, amplitudes, sources.
+    dest: Vec<u32>,
+    amp: Vec<S>,
+    src: Vec<u32>,
+    /// Radix partitioner state for the push path.
+    part: BlockPartitioner,
+}
+
+/// One source chunk's partitioned emissions, ready for the merge sweep.
+#[derive(Default)]
+pub struct ChunkEmissions<S: Scalar> {
+    dest: Vec<u32>,
+    amp: Vec<S>,
+    src: Vec<u32>,
+    /// Destination-block offsets (`n_blocks + 1` entries).
+    offsets: Vec<u32>,
+}
+
+/// A pool of [`MatvecScratch`] / [`ChunkEmissions`] buffers shared by the
+/// workers of (possibly repeated) matvec calls. [`crate::Operator`] owns
+/// one pool per operator, so Lanczos' hundreds of `apply` calls on the
+/// same operator allocate staging memory exactly once. Checkout is a
+/// single mutex operation per worker chunk — noise next to the thousands
+/// of rows a chunk processes.
+pub struct MatvecScratchPool<S: Scalar> {
+    scratch: Mutex<Vec<MatvecScratch<S>>>,
+    emissions: Mutex<Vec<ChunkEmissions<S>>>,
+    /// Memoized per-state diagonal, keyed on the (operator, basis)
+    /// identity: the diagonal depends on neither `x` nor the strategy, so
+    /// the hundreds of products of a Lanczos run compute it once.
+    diag: Mutex<Option<(DiagKey, Arc<Vec<S>>)>>,
+}
+
+/// Identity of a (operator diagonal, basis) pair. The operator half is a
+/// process-unique construction id (allocator-reuse proof); the basis half
+/// is pointer + length of the Arc'd state list.
+type DiagKey = ((u64, usize), usize, usize);
+
+impl<S: Scalar> Default for MatvecScratchPool<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> MatvecScratchPool<S> {
+    pub fn new() -> Self {
+        Self {
+            scratch: Mutex::new(Vec::new()),
+            emissions: Mutex::new(Vec::new()),
+            diag: Mutex::new(None),
+        }
+    }
+
+    /// The memoized diagonal of `op` over `basis` (computed in parallel on
+    /// first use). Values are produced by [`SymmetrizedOperator::diagonal_block`],
+    /// so they are bit-identical to inline evaluation.
+    fn cached_diagonal(&self, op: &SymmetrizedOperator<S>, basis: &SpinBasis) -> Arc<Vec<S>> {
+        let states = basis.states();
+        let key: DiagKey = (op.diag_fingerprint(), states.as_ptr() as usize, states.len());
+        if let Some((k, v)) = &*self.diag.lock().unwrap() {
+            if *k == key {
+                return Arc::clone(v);
+            }
+        }
+        let mut values = vec![S::ZERO; states.len()];
+        let chunk = par_chunk(states.len());
+        values.par_chunks_mut(chunk).enumerate().for_each(|(ci, vc)| {
+            let base = ci * chunk;
+            op.diagonal_block(&states[base..base + vc.len()], vc);
+        });
+        let values = Arc::new(values);
+        *self.diag.lock().unwrap() = Some((key, Arc::clone(&values)));
+        values
+    }
+
+    fn take(&self) -> MatvecScratch<S> {
+        self.scratch.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn put(&self, s: MatvecScratch<S>) {
+        self.scratch.lock().unwrap().push(s);
+    }
+
+    fn take_emissions(&self) -> ChunkEmissions<S> {
+        self.emissions.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn put_emissions(&self, e: ChunkEmissions<S>) {
+        self.emissions.lock().unwrap().push(e);
+    }
+}
+
+/// Output-chunk size for the rayon strategies.
+fn par_chunk(dim: usize) -> usize {
+    (dim / (rayon::current_num_threads() * 8)).max(64)
+}
+
+/// The differential-ranking fast path is available when the sector is
+/// U(1)-only (trivial group, combinadic basis) and the combinadic ranking
+/// is the one selected — there, a row's basis index *is* its combinadic
+/// rank and destination ranks follow from `rank_xor` deltas, skipping
+/// every lookup structure. Gated on the active [`RankingKind`] so the
+/// ablation benches still measure the generic bulk kernels under the
+/// other rankings.
+fn fused_u1_table<'b, S: Scalar>(
+    op: &SymmetrizedOperator<S>,
+    basis: &'b SpinBasis,
+) -> Option<&'b BinomialTable> {
+    if op.has_trivial_group() && basis.ranking() == RankingKind::Combinadic {
+        basis.combinadic_table()
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar strategies
+// ---------------------------------------------------------------------------
 
 /// Pull: `y[β] = diag(β)·x[β] + Σ conj(amp)·x[rank(rep)]`.
 /// Requires a Hermitian operator.
@@ -37,26 +239,38 @@ pub fn apply_pull<S: Scalar>(
     x: &[S],
     y: &mut [S],
 ) {
+    apply_pull_pooled(op, basis, x, y, &MatvecScratchPool::new());
+}
+
+/// [`apply_pull`] drawing its temporaries from `pool`.
+pub fn apply_pull_pooled<S: Scalar>(
+    op: &SymmetrizedOperator<S>,
+    basis: &SpinBasis,
+    x: &[S],
+    y: &mut [S],
+    pool: &MatvecScratchPool<S>,
+) {
     assert!(op.is_hermitian(), "pull formulation requires Hermitian H");
     let dim = basis.dim();
     assert_eq!(x.len(), dim);
     assert_eq!(y.len(), dim);
-    let chunk = (dim / (rayon::current_num_threads() * 8)).max(64);
+    let chunk = par_chunk(dim);
     y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
         let base = ci * chunk;
-        let mut row = Vec::with_capacity(op.max_row_entries());
+        let mut sc = pool.take();
         for (k, out) in yc.iter_mut().enumerate() {
             let j = base + k;
             let beta = basis.state(j);
             let mut acc = op.diagonal(beta) * x[j];
-            row.clear();
-            op.apply_off_diag(beta, basis.orbit_sizes()[j], &mut row);
-            for &(rep, amp) in &row {
-                let i = basis.index_of(rep).expect("state not in basis");
+            sc.row.clear();
+            op.apply_off_diag(beta, basis.orbit_sizes()[j], &mut sc.row);
+            for &(rep, amp) in &sc.row {
+                let i = basis.index_of_present(rep);
                 acc += amp.conj() * x[i];
             }
             *out = acc;
         }
+        pool.put(sc);
     });
 }
 
@@ -66,6 +280,17 @@ pub fn apply_push<S: Scalar>(
     basis: &SpinBasis,
     x: &[S],
     y: &mut [S],
+) {
+    apply_push_pooled(op, basis, x, y, &MatvecScratchPool::new());
+}
+
+/// [`apply_push`] drawing its temporaries from `pool`.
+pub fn apply_push_pooled<S: Scalar>(
+    op: &SymmetrizedOperator<S>,
+    basis: &SpinBasis,
+    x: &[S],
+    y: &mut [S],
+    pool: &MatvecScratchPool<S>,
 ) {
     let dim = basis.dim();
     assert_eq!(x.len(), dim);
@@ -94,19 +319,26 @@ pub fn apply_push<S: Scalar>(
             }
         }
     };
-    let chunk = (dim / (rayon::current_num_threads() * 8)).max(64);
-    (0..dim).into_par_iter().with_min_len(chunk).for_each(|j| {
-        let alpha = basis.state(j);
-        let d = op.diagonal(alpha);
-        if d != S::ZERO {
-            add(j, d * x[j]);
+    let chunk = par_chunk(dim);
+    let n_chunks = dim.div_ceil(chunk);
+    (0..n_chunks).into_par_iter().for_each(|c| {
+        let mut sc = pool.take();
+        let lo = c * chunk;
+        let hi = ((c + 1) * chunk).min(dim);
+        for (j, &xj) in x.iter().enumerate().take(hi).skip(lo) {
+            let alpha = basis.state(j);
+            let d = op.diagonal(alpha);
+            if d != S::ZERO {
+                add(j, d * xj);
+            }
+            sc.row.clear();
+            op.apply_off_diag(alpha, basis.orbit_sizes()[j], &mut sc.row);
+            for &(rep, amp) in &sc.row {
+                let i = basis.index_of_present(rep);
+                add(i, amp * xj);
+            }
         }
-        let mut row = Vec::with_capacity(op.max_row_entries());
-        op.apply_off_diag(alpha, basis.orbit_sizes()[j], &mut row);
-        for &(rep, amp) in &row {
-            let i = basis.index_of(rep).expect("state not in basis");
-            add(i, amp * x[j]);
-        }
+        pool.put(sc);
     });
 }
 
@@ -117,20 +349,348 @@ pub fn apply_serial<S: Scalar>(
     x: &[S],
     y: &mut [S],
 ) {
+    apply_serial_pooled(op, basis, x, y, &MatvecScratchPool::new());
+}
+
+/// [`apply_serial`] drawing its temporaries from `pool`.
+pub fn apply_serial_pooled<S: Scalar>(
+    op: &SymmetrizedOperator<S>,
+    basis: &SpinBasis,
+    x: &[S],
+    y: &mut [S],
+    pool: &MatvecScratchPool<S>,
+) {
     let dim = basis.dim();
     assert_eq!(x.len(), dim);
     assert_eq!(y.len(), dim);
     y.fill(S::ZERO);
-    let mut row = Vec::with_capacity(op.max_row_entries());
+    let mut sc = pool.take();
     for j in 0..dim {
         let alpha = basis.state(j);
         y[j] += op.diagonal(alpha) * x[j];
-        row.clear();
-        op.apply_off_diag(alpha, basis.orbit_sizes()[j], &mut row);
-        for &(rep, amp) in &row {
-            let i = basis.index_of(rep).expect("state not in basis");
+        sc.row.clear();
+        op.apply_off_diag(alpha, basis.orbit_sizes()[j], &mut sc.row);
+        for &(rep, amp) in &sc.row {
+            let i = basis.index_of_present(rep);
             y[i] += amp * x[j];
         }
+    }
+    pool.put(sc);
+}
+
+// ---------------------------------------------------------------------------
+// Batched pull
+// ---------------------------------------------------------------------------
+
+/// Batched gather: `y[β]` accumulated per block of rows through the bulk
+/// generation and ranking kernels. Bit-exact against [`apply_pull`].
+pub fn apply_batched_pull<S: Scalar>(
+    op: &SymmetrizedOperator<S>,
+    basis: &SpinBasis,
+    x: &[S],
+    y: &mut [S],
+) {
+    apply_batched_pull_pooled(op, basis, x, y, &MatvecScratchPool::new());
+}
+
+/// [`apply_batched_pull`] drawing its temporaries from `pool`.
+pub fn apply_batched_pull_pooled<S: Scalar>(
+    op: &SymmetrizedOperator<S>,
+    basis: &SpinBasis,
+    x: &[S],
+    y: &mut [S],
+    pool: &MatvecScratchPool<S>,
+) {
+    assert!(op.is_hermitian(), "pull formulation requires Hermitian H");
+    let dim = basis.dim();
+    assert_eq!(x.len(), dim);
+    assert_eq!(y.len(), dim);
+    // Both the bulk ranking kernels and the fused path's packed
+    // (src << 32 | dest) emissions hold ranks in 32 bits; beyond that the
+    // scalar gather (usize indexing) — the batched path's bit-exact twin —
+    // takes over instead of losing the sector entirely.
+    if dim >= u32::MAX as usize {
+        return apply_pull_pooled(op, basis, x, y, pool);
+    }
+    let chunk = par_chunk(dim);
+    let states_all = basis.states();
+    let orbits_all = basis.orbit_sizes();
+    let fused = fused_u1_table(op, basis);
+    let diag_all = pool.cached_diagonal(op, basis);
+    y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+        let base = ci * chunk;
+        let mut sc = pool.take();
+        let mut b0 = 0usize;
+        while b0 < yc.len() {
+            let b1 = (b0 + BATCH_BLOCK).min(yc.len());
+            let states = &states_all[base + b0..base + b1];
+            let orbits = &orbits_all[base + b0..base + b1];
+            let yb = &mut yc[b0..b1];
+            // Seed with `diag * x[j]` — the scalar path's accumulator
+            // seed, with the diagonal drawn from the pool's memo.
+            for (k, out) in yb.iter_mut().enumerate() {
+                let j = base + b0 + k;
+                *out = diag_all[j] * x[j];
+            }
+            match fused {
+                Some(table) => {
+                    // Fused channel-outer generation + differential
+                    // ranking; the gather can trust every destination
+                    // rank and hoists each channel's constant amplitude.
+                    op.apply_off_diag_block_u1_ranked_channels(
+                        states,
+                        (base + b0) as u64,
+                        table,
+                        &mut sc.fired,
+                        &mut sc.gen.reps,
+                        &mut sc.segs,
+                    );
+                    accumulate_pull_segments(yb, x, &sc.gen.reps, &sc.segs);
+                }
+                None => {
+                    // Generate + bulk-rank the whole block, then gather.
+                    op.apply_off_diag_block(states, orbits, &mut sc.gen);
+                    basis.index_of_batch(&sc.gen.reps, &mut sc.idx);
+                    accumulate_pull(yb, x, &sc.gen, &sc.idx);
+                }
+            }
+            b0 = b1;
+        }
+        pool.put(sc);
+    });
+}
+
+/// The fused-path gather: per channel segment the (conjugated) amplitude
+/// is a hoisted constant, destination ranks are valid by construction,
+/// and the `x` reads are prefetched from the packed
+/// `(source << 32) | destination` emission block. Per output element the
+/// adds still arrive in ascending channel order — the scalar pull order.
+#[inline]
+fn accumulate_pull_segments<S: Scalar>(yb: &mut [S], x: &[S], emit: &[u64], segs: &[(S, u32)]) {
+    let mut t0 = 0usize;
+    for &(coeff, t1) in segs {
+        let a = coeff.conj();
+        let t1 = t1 as usize;
+        for t in t0..t1 {
+            if t + PREFETCH_AHEAD < emit.len() {
+                prefetch_read(x, emit[t + PREFETCH_AHEAD] as u32 as usize);
+            }
+            let e = emit[t];
+            yb[(e >> 32) as usize] += a * x[e as u32 as usize];
+        }
+        t0 = t1;
+    }
+}
+
+/// The gather sweep: emissions are ordered (row, channel), so per output
+/// element the additions happen in exactly the scalar pull order. The
+/// ranked index block enables prefetching the `x` reads ahead of use —
+/// the single biggest win over the one-lookup-at-a-time scalar loop.
+#[inline]
+fn accumulate_pull<S: Scalar>(yb: &mut [S], x: &[S], gen: &OffDiagBlock<S>, idx: &[u32]) {
+    debug_assert_eq!(gen.len(), idx.len());
+    for t in 0..idx.len() {
+        if t + PREFETCH_AHEAD < idx.len() {
+            let ahead = idx[t + PREFETCH_AHEAD];
+            if ahead != NOT_FOUND {
+                prefetch_read(x, ahead as usize);
+            }
+        }
+        let i = idx[t];
+        if i == NOT_FOUND {
+            missing_state(gen.reps[t]);
+        }
+        yb[gen.src[t] as usize] += gen.amps[t].conj() * x[i as usize];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched push
+// ---------------------------------------------------------------------------
+
+/// Batched scatter: emissions are assembled as `(dest, amp, src)` triples
+/// in serial row order, radix-partitioned by destination block, and merged
+/// block-by-block in a sequential sweep — no atomics anywhere. Source
+/// chunks are produced in bounded waves to cap the staging memory.
+/// Bit-exact against [`apply_serial`].
+pub fn apply_batched_push<S: Scalar>(
+    op: &SymmetrizedOperator<S>,
+    basis: &SpinBasis,
+    x: &[S],
+    y: &mut [S],
+) {
+    apply_batched_push_pooled(op, basis, x, y, &MatvecScratchPool::new());
+}
+
+/// [`apply_batched_push`] drawing its temporaries from `pool`.
+pub fn apply_batched_push_pooled<S: Scalar>(
+    op: &SymmetrizedOperator<S>,
+    basis: &SpinBasis,
+    x: &[S],
+    y: &mut [S],
+    pool: &MatvecScratchPool<S>,
+) {
+    let dim = basis.dim();
+    assert_eq!(x.len(), dim);
+    assert_eq!(y.len(), dim);
+    // The emission triples hold destination ranks in 32 bits; beyond that
+    // the serial reference — the batched path's bit-exact twin — takes
+    // over instead of losing the sector entirely.
+    if dim >= u32::MAX as usize {
+        return apply_serial_pooled(op, basis, x, y, pool);
+    }
+    y.fill(S::ZERO);
+    if dim == 0 {
+        return;
+    }
+    let threads = rayon::current_num_threads();
+    // Destination blocks: power-of-two size so the partition key is a
+    // shift, sized for a few blocks per thread.
+    let block_size = dim.div_ceil((threads * 4).max(8)).next_power_of_two().max(64);
+    let block_bits = block_size.trailing_zeros();
+    let n_blocks = dim.div_ceil(block_size);
+    // Source chunks, produced in waves of a few chunks per thread so the
+    // triple staging stays bounded regardless of `dim`.
+    let rows_per_chunk = dim.div_ceil((threads * 4).max(1)).clamp(256, 1 << 14);
+    let n_chunks = dim.div_ceil(rows_per_chunk);
+    let wave = (threads * 2).max(4);
+    let fused = fused_u1_table(op, basis);
+    let diag_all = pool.cached_diagonal(op, basis);
+    let mut c0 = 0usize;
+    while c0 < n_chunks {
+        let c1 = (c0 + wave).min(n_chunks);
+        // Wave phase 1: produce, partition by destination block.
+        let produced: Vec<ChunkEmissions<S>> = (c0..c1)
+            .into_par_iter()
+            .map(|c| {
+                let mut sc = pool.take();
+                let mut em = pool.take_emissions();
+                let lo = c * rows_per_chunk;
+                let hi = ((c + 1) * rows_per_chunk).min(dim);
+                produce_chunk(
+                    op, basis, &diag_all, fused, lo, hi, block_bits, n_blocks, &mut sc, &mut em,
+                );
+                pool.put(sc);
+                em
+            })
+            .collect();
+        // Wave phase 2: merge — each destination block is owned by one
+        // task and swept sequentially, chunks in ascending source order.
+        y.par_chunks_mut(block_size).enumerate().for_each(|(b, yb)| {
+            let block_base = b * block_size;
+            for em in &produced {
+                let lo = em.offsets[b] as usize;
+                let hi = em.offsets[b + 1] as usize;
+                merge_block(
+                    yb,
+                    block_base,
+                    x,
+                    &em.dest[lo..hi],
+                    &em.amp[lo..hi],
+                    &em.src[lo..hi],
+                );
+            }
+        });
+        for em in produced {
+            pool.put_emissions(em);
+        }
+        c0 = c1;
+    }
+}
+
+/// Generates rows `lo..hi` and leaves their destination-partitioned
+/// triples in `em`. Emissions are assembled in the serial order — per row
+/// the diagonal first, then the off-diagonal channels — and the partition
+/// is stable, so the later merge reproduces the serial accumulation order
+/// exactly.
+#[allow(clippy::too_many_arguments)] // internal worker of apply_batched_push
+fn produce_chunk<S: Scalar>(
+    op: &SymmetrizedOperator<S>,
+    basis: &SpinBasis,
+    diag_all: &[S],
+    fused: Option<&BinomialTable>,
+    lo: usize,
+    hi: usize,
+    block_bits: u32,
+    n_blocks: usize,
+    sc: &mut MatvecScratch<S>,
+    em: &mut ChunkEmissions<S>,
+) {
+    let states_all = basis.states();
+    let orbits_all = basis.orbit_sizes();
+    let trusted = fused.is_some();
+    sc.dest.clear();
+    sc.amp.clear();
+    sc.src.clear();
+    let mut b0 = lo;
+    while b0 < hi {
+        let b1 = (b0 + BATCH_BLOCK).min(hi);
+        let states = &states_all[b0..b1];
+        match fused {
+            Some(table) => op.apply_off_diag_block_u1_ranked(
+                states,
+                b0 as u64,
+                table,
+                &mut sc.gen.src,
+                &mut sc.idx,
+                &mut sc.gen.amps,
+            ),
+            None => {
+                op.apply_off_diag_block(states, &orbits_all[b0..b1], &mut sc.gen);
+                basis.index_of_batch(&sc.gen.reps, &mut sc.idx);
+            }
+        }
+        // Row-interleaved assembly: `gen.src` is non-decreasing, so one
+        // forward cursor splices each row's emissions after its diagonal.
+        let mut t = 0usize;
+        for k in 0..(b1 - b0) {
+            let j = (b0 + k) as u32;
+            sc.dest.push(j);
+            sc.amp.push(diag_all[b0 + k]);
+            sc.src.push(j);
+            while t < sc.idx.len() && sc.gen.src[t] as usize == k {
+                let i = sc.idx[t];
+                if !trusted && i == NOT_FOUND {
+                    missing_state(sc.gen.reps[t]);
+                }
+                sc.dest.push(i);
+                sc.amp.push(sc.gen.amps[t]);
+                sc.src.push(j);
+                t += 1;
+            }
+        }
+        debug_assert_eq!(t, sc.idx.len());
+        b0 = b1;
+    }
+    let offsets = sc.part.partition(
+        block_bits,
+        n_blocks,
+        &sc.dest,
+        &sc.amp,
+        &sc.src,
+        &mut em.dest,
+        &mut em.amp,
+        &mut em.src,
+    );
+    em.offsets.clear();
+    em.offsets.extend_from_slice(offsets);
+}
+
+/// The merge sweep for one destination block: `y[dest] += amp · x[src]`,
+/// the exact expression (and order) of the serial reference. Within a
+/// block slice `src` is ascending, so the `x` reads walk forward — cache
+/// friendly without any prefetch hints.
+#[inline]
+fn merge_block<S: Scalar>(
+    yb: &mut [S],
+    block_base: usize,
+    x: &[S],
+    dest: &[u32],
+    amp: &[S],
+    src: &[u32],
+) {
+    for t in 0..dest.len() {
+        yb[dest[t] as usize - block_base] += amp[t] * x[src[t] as usize];
     }
 }
 
@@ -163,12 +723,20 @@ mod tests {
         let mut y1 = vec![0.0; basis.dim()];
         let mut y2 = vec![0.0; basis.dim()];
         let mut y3 = vec![0.0; basis.dim()];
+        let mut y4 = vec![0.0; basis.dim()];
+        let mut y5 = vec![0.0; basis.dim()];
         apply_pull(&op, &basis, &x, &mut y1);
         apply_push(&op, &basis, &x, &mut y2);
         apply_serial(&op, &basis, &x, &mut y3);
+        apply_batched_pull(&op, &basis, &x, &mut y4);
+        apply_batched_push(&op, &basis, &x, &mut y5);
         for i in 0..basis.dim() {
             assert!((y1[i] - y3[i]).abs() < 1e-11);
             assert!((y2[i] - y3[i]).abs() < 1e-11);
+            // The batched engines are bit-exact twins of their scalar
+            // references.
+            assert_eq!(y4[i], y1[i], "batched pull vs pull at {i}");
+            assert_eq!(y5[i], y3[i], "batched push vs serial at {i}");
         }
     }
 
@@ -188,12 +756,65 @@ mod tests {
         let mut y1 = vec![Complex64::ZERO; basis.dim()];
         let mut y2 = vec![Complex64::ZERO; basis.dim()];
         let mut y3 = vec![Complex64::ZERO; basis.dim()];
+        let mut y4 = vec![Complex64::ZERO; basis.dim()];
+        let mut y5 = vec![Complex64::ZERO; basis.dim()];
         apply_pull(&op, &basis, &x, &mut y1);
         apply_push(&op, &basis, &x, &mut y2);
         apply_serial(&op, &basis, &x, &mut y3);
+        apply_batched_pull(&op, &basis, &x, &mut y4);
+        apply_batched_push(&op, &basis, &x, &mut y5);
         for i in 0..basis.dim() {
             assert!(y1[i].approx_eq(y3[i], 1e-11), "{:?} vs {:?}", y1[i], y3[i]);
             assert!(y2[i].approx_eq(y3[i], 1e-11));
+            assert_eq!(y4[i], y1[i], "batched pull vs pull at {i}");
+            assert_eq!(y5[i], y3[i], "batched push vs serial at {i}");
+        }
+    }
+
+    #[test]
+    fn batched_push_handles_tiny_and_odd_dims() {
+        // Dimensions around the block/chunk boundaries, U(1)-only sector.
+        for (n, w) in [(4u32, 2u32), (9, 4), (13, 6)] {
+            let sector = SectorSpec::with_weight(n, w).unwrap();
+            let kernel =
+                heisenberg(&lattice::chain_bonds(n as usize), 1.0).to_kernel(n).unwrap();
+            let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
+            let basis = ls_basis::SpinBasis::build(sector);
+            let x = random_vec(basis.dim(), n as u64);
+            let mut y_ref = vec![0.0; basis.dim()];
+            let mut y_pull = vec![0.0; basis.dim()];
+            let mut y_push = vec![0.0; basis.dim()];
+            apply_serial(&op, &basis, &x, &mut y_ref);
+            apply_batched_pull(&op, &basis, &x, &mut y_pull);
+            apply_batched_push(&op, &basis, &x, &mut y_push);
+            for i in 0..basis.dim() {
+                assert_eq!(y_push[i], y_ref[i], "n={n} i={i}");
+                assert!((y_pull[i] - y_ref[i]).abs() < 1e-12, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reuse_is_deterministic() {
+        let n = 10usize;
+        let group = lattice::chain_group(n, 0, Some(0), Some(0)).unwrap();
+        let sector = SectorSpec::new(n as u32, Some(5), group).unwrap();
+        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0).to_kernel(n as u32).unwrap();
+        let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
+        let basis = ls_basis::SpinBasis::build(sector);
+        let x = random_vec(basis.dim(), 11);
+        let pool = MatvecScratchPool::new();
+        let mut first = vec![0.0; basis.dim()];
+        apply_batched_pull_pooled(&op, &basis, &x, &mut first, &pool);
+        for _ in 0..3 {
+            let mut again = vec![0.0; basis.dim()];
+            apply_batched_pull_pooled(&op, &basis, &x, &mut again, &pool);
+            assert_eq!(first, again);
+            let mut push = vec![0.0; basis.dim()];
+            apply_batched_push_pooled(&op, &basis, &x, &mut push, &pool);
+            let mut serial = vec![0.0; basis.dim()];
+            apply_serial_pooled(&op, &basis, &x, &mut serial, &pool);
+            assert_eq!(push, serial);
         }
     }
 }

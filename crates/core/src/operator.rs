@@ -1,7 +1,7 @@
 //! The high-level operator: expression + sector → basis + matrix-free
 //! Hamiltonian with a parallel shared-memory matrix-vector product.
 
-use crate::matvec::{self, MatvecStrategy};
+use crate::matvec::{self, MatvecScratchPool, MatvecStrategy};
 use ls_basis::{BasisError, SectorSpec, SpinBasis, SymmetrizedOperator};
 use ls_eigen::LinearOp;
 use ls_expr::Expr;
@@ -9,11 +9,16 @@ use ls_kernels::Scalar;
 use std::sync::Arc;
 
 /// A symmetrized Hamiltonian bound to its basis.
+///
+/// The operator owns a [`MatvecScratchPool`]: repeated [`LinearOp::apply`]
+/// calls (a Lanczos run performs hundreds on the same operator) reuse the
+/// same staging buffers instead of reallocating per product.
 #[derive(Clone)]
 pub struct Operator<S: Scalar> {
     symop: SymmetrizedOperator<S>,
     basis: Arc<SpinBasis>,
     strategy: MatvecStrategy,
+    scratch: Arc<MatvecScratchPool<S>>,
 }
 
 impl<S: Scalar> Operator<S> {
@@ -30,13 +35,18 @@ impl<S: Scalar> Operator<S> {
             })?;
         let symop = SymmetrizedOperator::<S>::new(&kernel, &sector)?;
         let basis = Arc::new(SpinBasis::build(sector));
-        let op = Self { symop, basis: Arc::clone(&basis), strategy: MatvecStrategy::default() };
+        let op = Self::from_parts(symop, Arc::clone(&basis));
         Ok((basis, op))
     }
 
     /// Binds an already-compiled kernel to an existing basis.
     pub fn from_parts(symop: SymmetrizedOperator<S>, basis: Arc<SpinBasis>) -> Self {
-        Self { symop, basis, strategy: MatvecStrategy::default() }
+        Self {
+            symop,
+            basis,
+            strategy: MatvecStrategy::default(),
+            scratch: Arc::new(MatvecScratchPool::new()),
+        }
     }
 
     pub fn basis(&self) -> &Arc<SpinBasis> {
@@ -69,10 +79,23 @@ impl<S: Scalar> LinearOp<S> for Operator<S> {
     }
 
     fn apply(&self, x: &[S], y: &mut [S]) {
+        let pool = &*self.scratch;
         match self.strategy {
-            MatvecStrategy::PullParallel => matvec::apply_pull(&self.symop, &self.basis, x, y),
-            MatvecStrategy::PushAtomic => matvec::apply_push(&self.symop, &self.basis, x, y),
-            MatvecStrategy::Serial => matvec::apply_serial(&self.symop, &self.basis, x, y),
+            MatvecStrategy::BatchedPull => {
+                matvec::apply_batched_pull_pooled(&self.symop, &self.basis, x, y, pool)
+            }
+            MatvecStrategy::BatchedPush => {
+                matvec::apply_batched_push_pooled(&self.symop, &self.basis, x, y, pool)
+            }
+            MatvecStrategy::PullParallel => {
+                matvec::apply_pull_pooled(&self.symop, &self.basis, x, y, pool)
+            }
+            MatvecStrategy::PushAtomic => {
+                matvec::apply_push_pooled(&self.symop, &self.basis, x, y, pool)
+            }
+            MatvecStrategy::Serial => {
+                matvec::apply_serial_pooled(&self.symop, &self.basis, x, y, pool)
+            }
         }
     }
 
@@ -100,13 +123,18 @@ mod tests {
         let mut y = vec![0.0; basis.dim()];
         op.apply(&x, &mut y);
         // H acting on the uniform vector: row sums; compare strategies.
-        let mut y2 = vec![0.0; basis.dim()];
-        op.clone().with_strategy(MatvecStrategy::PushAtomic).apply(&x, &mut y2);
-        let mut y3 = vec![0.0; basis.dim()];
-        op.clone().with_strategy(MatvecStrategy::Serial).apply(&x, &mut y3);
-        for i in 0..basis.dim() {
-            assert!((y[i] - y2[i]).abs() < 1e-12);
-            assert!((y[i] - y3[i]).abs() < 1e-12);
+        assert_eq!(op.strategy(), MatvecStrategy::BatchedPull);
+        for strategy in [
+            MatvecStrategy::BatchedPush,
+            MatvecStrategy::PullParallel,
+            MatvecStrategy::PushAtomic,
+            MatvecStrategy::Serial,
+        ] {
+            let mut y2 = vec![0.0; basis.dim()];
+            op.clone().with_strategy(strategy).apply(&x, &mut y2);
+            for i in 0..basis.dim() {
+                assert!((y[i] - y2[i]).abs() < 1e-12, "{strategy:?} at {i}");
+            }
         }
     }
 

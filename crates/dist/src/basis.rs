@@ -13,6 +13,14 @@ use ls_kernels::search::PrefixIndex;
 use ls_kernels::{locale_idx_of, Scalar};
 use ls_runtime::{Cluster, DistVec, RmaWriteWindow};
 
+/// Cold tail of [`DistSpinBasis::index_on_present`]; see the shared-memory
+/// twin in `ls-basis` for the rationale.
+#[cold]
+#[inline(never)]
+fn missing_state(locale: usize, rep: u64) -> ! {
+    panic!("state {rep:#018x} is not in the basis part of locale {locale}");
+}
+
 /// A symmetry-sector basis in the hashed distribution: locale `l` holds
 /// the sorted list of representatives `s` with `locale_idx_of(s) == l`,
 /// together with their orbit sizes and a local ranking index.
@@ -86,6 +94,27 @@ impl DistSpinBasis {
     #[inline]
     pub fn index_on(&self, locale: usize, rep: u64) -> Option<usize> {
         self.index[locale].lookup(self.states.part(locale), rep)
+    }
+
+    /// Hot-loop variant of [`Self::index_on`] for states guaranteed to be
+    /// owned by `locale`: panic formatting stays in a cold out-of-line
+    /// function.
+    #[inline]
+    pub fn index_on_present(&self, locale: usize, rep: u64) -> usize {
+        match self.index_on(locale, rep) {
+            Some(i) => i,
+            None => missing_state(locale, rep),
+        }
+    }
+
+    /// Bulk `stateToIndex` on `locale`: ranks a whole batch of received
+    /// states through the interleaved prefix-bucket kernel, writing
+    /// `u32` ranks (or [`ls_kernels::search::NOT_FOUND`]) into `out`.
+    /// This is how the owner side of the batched/producer-consumer
+    /// matvec formulations ranks incoming off-diagonal batches.
+    #[inline]
+    pub fn index_on_batch(&self, locale: usize, reps: &[u64], out: &mut Vec<u32>) {
+        self.index[locale].lookup_batch(self.states.part(locale), reps, out);
     }
 
     /// Load-balance summary of the hashed distribution:

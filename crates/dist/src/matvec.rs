@@ -19,10 +19,37 @@ pub mod pc;
 
 use crate::basis::DistSpinBasis;
 use ls_basis::SymmetrizedOperator;
+use ls_kernels::search::NOT_FOUND;
 use ls_kernels::Scalar;
 use ls_runtime::{AtomicAccumWindow, Cluster, DistVec};
 
 pub use pc::{matvec_pc, PcOptions};
+
+/// Ranks a shipped batch of `(state, coefficient)` pairs on behalf of
+/// `dest` with the bulk prefix-bucket kernel and accumulates it — the
+/// owner-side half of the batched formulations. `needles`/`idx` are
+/// caller-owned scratch reused across batches.
+pub(crate) fn accumulate_batch<S: Scalar>(
+    basis: &DistSpinBasis,
+    win: &AtomicAccumWindow<'_, S>,
+    dest: usize,
+    pairs: &[(u64, S)],
+    needles: &mut Vec<u64>,
+    idx: &mut Vec<u32>,
+) {
+    needles.clear();
+    needles.extend(pairs.iter().map(|&(s, _)| s));
+    basis.index_on_batch(dest, needles, idx);
+    for (&(rep, coeff), &i) in pairs.iter().zip(idx.iter()) {
+        let i = if i != NOT_FOUND {
+            i as usize
+        } else {
+            // Cold: re-resolve through the panicking helper.
+            basis.index_on_present(dest, rep)
+        };
+        win.fetch_add(dest, i, coeff);
+    }
+}
 
 /// Checks that `x`/`y` are distributed exactly like `basis`.
 ///
@@ -125,6 +152,7 @@ pub fn matvec_batched<S: Scalar>(
         let mut staging: Vec<Vec<(u64, S)>> =
             (0..locales).map(|_| Vec::with_capacity(batch)).collect();
         let mut row = Vec::with_capacity(op.max_row_entries());
+        let needles = std::cell::RefCell::new((Vec::new(), Vec::new()));
 
         let flush = |ctx: &ls_runtime::LocaleCtx<'_>,
                      dest: usize,
@@ -135,11 +163,10 @@ pub fn matvec_batched<S: Scalar>(
             // The bulk transfer of the batch...
             ctx.stats().record_put(pairs.len() * std::mem::size_of::<(u64, S)>(), dest != me);
             // ...after which ranking + accumulation happen on the
-            // destination's data (executed here on its behalf).
-            for &(rep, coeff) in pairs.iter() {
-                let i = basis.index_on(dest, rep).expect("state missing from the basis");
-                win.fetch_add(dest, i, coeff);
-            }
+            // destination's data (executed here on its behalf), through
+            // the interleaved bulk kernel.
+            let (needles, idx) = &mut *needles.borrow_mut();
+            accumulate_batch(basis, &win, dest, pairs, needles, idx);
             pairs.clear();
         };
 

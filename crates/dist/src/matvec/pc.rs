@@ -1,13 +1,17 @@
 //! The producer/consumer matrix-vector product (paper Sec. 5.3, Fig. 5).
 //!
-//! Per locale, `producers` tasks stream over the local rows, generating
-//! `(destination state, coefficient)` pairs that are staged per
-//! destination and shipped through fixed-capacity [`BufferChannel`]s —
-//! one per (source, destination) pair. Concurrently, `consumers` tasks on
-//! every locale drain the channels addressed to them, rank the received
-//! states against the *local* basis part and accumulate atomically into
-//! `y`. Row generation, transfer and accumulation therefore overlap — the
-//! defining contrast with the bulk-synchronous baseline in `ls-baseline`.
+//! Per locale, `producers` tasks stream over the local rows *in blocks*
+//! through the batch kernels (one group pass and one bulk ranking per
+//! [`GEN_BLOCK`] rows), generating `(destination state, coefficient)`
+//! pairs that are staged per destination and shipped through
+//! fixed-capacity [`BufferChannel`]s — one per (source, destination)
+//! pair. Concurrently, `consumers` tasks on every locale drain the
+//! channels addressed to them, rank each received batch in bulk against
+//! the *local* basis part (the interleaved prefix-bucket kernel — ranking
+//! happens owner-side, where the sorted state list lives) and accumulate
+//! atomically into `y`. Row generation, transfer and accumulation
+//! therefore overlap — the defining contrast with the bulk-synchronous
+//! baseline in `ls-baseline`.
 //!
 //! Channel hand-off follows the paper's flag protocol: each side spins
 //! only on its own flag (with backoff), and flips the peer's flag with a
@@ -16,12 +20,18 @@
 //! Lanczos run to avoid reallocation.
 
 use crate::basis::DistSpinBasis;
-use crate::matvec::validate_shapes;
-use ls_basis::SymmetrizedOperator;
+use crate::matvec::{accumulate_batch, validate_shapes};
+use ls_basis::{OffDiagBlock, SymmetrizedOperator};
+use ls_kernels::search::NOT_FOUND;
 use ls_kernels::Scalar;
 use ls_runtime::remote::BufferChannel;
 use ls_runtime::{AtomicAccumWindow, Cluster, DistVec, LocaleCtx};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Rows a producer generates per batch before routing the emissions:
+/// one `state_info` pass and one bulk ranking per block instead of one
+/// per matrix element.
+const GEN_BLOCK: usize = 512;
 
 /// Tuning knobs of the producer/consumer pipeline.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -145,7 +155,9 @@ impl<S: Scalar> PcEngine<S> {
     }
 
     /// Producer task `p`: generates the rows of a contiguous share of the
-    /// local basis part, staging off-locale contributions per destination.
+    /// local basis part in blocks through the batch kernels
+    /// ([`SymmetrizedOperator::apply_off_diag_block`]), staging off-locale
+    /// contributions per destination and bulk-ranking the local ones.
     fn produce(
         &self,
         ctx: &LocaleCtx<'_>,
@@ -165,31 +177,52 @@ impl<S: Scalar> PcEngine<S> {
 
         let mut staging: Vec<Vec<(u64, S)>> =
             (0..self.n_locales).map(|_| Vec::with_capacity(self.opts.capacity)).collect();
-        let mut row = Vec::with_capacity(op.max_row_entries());
-        for j in lo..hi {
-            let alpha = states[j];
-            let xj = x_local[j];
-            let d = op.diagonal(alpha);
-            if d != S::ZERO {
-                win.fetch_add(me, j, d * xj);
+        let mut gen = OffDiagBlock::new();
+        let mut diag: Vec<S> = Vec::new();
+        let mut local_reps: Vec<u64> = Vec::new();
+        let mut local_vals: Vec<S> = Vec::new();
+        let mut local_idx: Vec<u32> = Vec::new();
+        let mut b0 = lo;
+        while b0 < hi {
+            let b1 = (b0 + GEN_BLOCK).min(hi);
+            let block = &states[b0..b1];
+            diag.resize(block.len(), S::ZERO);
+            op.diagonal_block(block, &mut diag);
+            for (k, &d) in diag.iter().enumerate() {
+                if d != S::ZERO {
+                    win.fetch_add(me, b0 + k, d * x_local[b0 + k]);
+                }
             }
-            row.clear();
-            op.apply_off_diag(alpha, orbits[j], &mut row);
-            for &(rep, amp) in &row {
+            op.apply_off_diag_block(block, &orbits[b0..b1], &mut gen);
+            local_reps.clear();
+            local_vals.clear();
+            for t in 0..gen.len() {
+                let rep = gen.reps[t];
+                let val = gen.amps[t] * x_local[b0 + gen.src[t] as usize];
                 let dest = basis.owner(rep);
                 if dest == me {
                     // Local contributions skip the buffers entirely (the
-                    // PGAS "here" fast path).
-                    let i = basis.index_on(me, rep).expect("state missing from the basis");
-                    win.fetch_add(me, i, amp * xj);
+                    // PGAS "here" fast path) but still rank in bulk.
+                    local_reps.push(rep);
+                    local_vals.push(val);
                 } else {
                     let pairs = &mut staging[dest];
-                    pairs.push((rep, amp * xj));
+                    pairs.push((rep, val));
                     if pairs.len() == self.opts.capacity {
                         self.ship(ctx, dest, pairs);
                     }
                 }
             }
+            basis.index_on_batch(me, &local_reps, &mut local_idx);
+            for (k, &val) in local_vals.iter().enumerate() {
+                let i = if local_idx[k] != NOT_FOUND {
+                    local_idx[k] as usize
+                } else {
+                    basis.index_on_present(me, local_reps[k])
+                };
+                win.fetch_add(me, i, val);
+            }
+            b0 = b1;
         }
         for (dest, pairs) in staging.iter_mut().enumerate() {
             if !pairs.is_empty() {
@@ -218,6 +251,8 @@ impl<S: Scalar> PcEngine<S> {
         let me = ctx.locale();
         let n = self.n_locales;
         let mut buf: Vec<(u64, S)> = Vec::with_capacity(self.opts.capacity);
+        let mut needles: Vec<u64> = Vec::with_capacity(self.opts.capacity);
+        let mut idx: Vec<u32> = Vec::with_capacity(self.opts.capacity);
         let mut done = vec![false; n];
         let mut n_done = 0usize;
         let mut idle_spins = 0u32;
@@ -230,7 +265,7 @@ impl<S: Scalar> PcEngine<S> {
                 let ch = self.channel(src, me);
                 buf.clear();
                 if ch.try_recv(ctx.stats(), src != me, &mut buf) {
-                    self.accumulate(basis, win, me, &buf);
+                    accumulate_batch(basis, win, me, &buf, &mut needles, &mut idx);
                     progress = true;
                 } else if ch.drained_after_failed_recv(ctx.stats(), &mut buf) {
                     *src_done = true;
@@ -239,7 +274,7 @@ impl<S: Scalar> PcEngine<S> {
                 } else if !buf.is_empty() {
                     // The drain check raced with a final publish and took
                     // the data itself.
-                    self.accumulate(basis, win, me, &buf);
+                    accumulate_batch(basis, win, me, &buf, &mut needles, &mut idx);
                     progress = true;
                 }
             }
@@ -255,20 +290,6 @@ impl<S: Scalar> PcEngine<S> {
                     std::thread::yield_now();
                 }
             }
-        }
-    }
-
-    #[inline]
-    fn accumulate(
-        &self,
-        basis: &DistSpinBasis,
-        win: &AtomicAccumWindow<'_, S>,
-        me: usize,
-        pairs: &[(u64, S)],
-    ) {
-        for &(rep, coeff) in pairs {
-            let i = basis.index_on(me, rep).expect("state missing from the basis");
-            win.fetch_add(me, i, coeff);
         }
     }
 }

@@ -40,6 +40,15 @@ impl BinomialTable {
         self.table[n as usize * 65 + k as usize]
     }
 
+    /// [`Self::choose`] without the range branches, for hot loops whose
+    /// arguments are bounded by construction (`n, k <= 64`). The table
+    /// stores explicit zeros for `k > n`, so the value is identical.
+    #[inline]
+    fn choose_raw(&self, n: u32, k: u32) -> u64 {
+        debug_assert!(n <= 64 && k <= 64);
+        self.table[n as usize * 65 + k as usize]
+    }
+
     /// Rank of `state` among all values with the same popcount, ordered as
     /// integers. The lowest weight-`w` value has rank 0.
     ///
@@ -57,6 +66,63 @@ impl BinomialTable {
             i += 1;
         }
         rank
+    }
+
+    /// Differential rank: `rank(s ^ f)` for a *weight-preserving* flip
+    /// mask `f`, given `rank(s)`.
+    ///
+    /// Only the set bits inside the flipped span `[lowest bit of f,
+    /// highest bit of f]` contribute to the difference — below the span
+    /// nothing changes, and above it the set-bit indices are unchanged
+    /// because `f` conserves the popcount inside the span. For the
+    /// short-range terms of a typical lattice Hamiltonian the span holds
+    /// O(1) set bits, so this replaces the O(weight) full rank in the
+    /// matvec's inner loop (the basis index of the *source* state is its
+    /// rank, so the destination rank comes out of this delta alone).
+    #[inline]
+    pub fn rank_xor(&self, s: u64, f: u64, rank_s: u64) -> u64 {
+        debug_assert!(f != 0, "flip mask of an off-diagonal channel");
+        debug_assert_eq!(s.count_ones(), (s ^ f).count_ones(), "flip must conserve weight");
+        let lo = f.trailing_zeros();
+        let hi = 63 - f.leading_zeros();
+        let span = (u64::MAX << lo) & (u64::MAX >> (63 - hi));
+        // 1-based set-bit index of the first position inside the span.
+        let first = (s & !(u64::MAX << lo)).count_ones() + 1;
+        let mut sub = 0u64;
+        let mut i = first;
+        let mut rest = s & span;
+        while rest != 0 {
+            sub += self.choose(rest.trailing_zeros(), i);
+            rest &= rest - 1;
+            i += 1;
+        }
+        let mut add = 0u64;
+        let mut i = first;
+        let mut rest = (s ^ f) & span;
+        while rest != 0 {
+            add += self.choose(rest.trailing_zeros(), i);
+            rest &= rest - 1;
+            i += 1;
+        }
+        rank_s + add - sub
+    }
+
+    /// [`Self::rank_xor`] specialized for an *adjacent transposition*:
+    /// the flip mask is `0b11 << lo` and exactly one of the two positions
+    /// is set in `s`. The flipped span has no interior positions, so the
+    /// delta collapses to two table loads — the inner-loop rank of every
+    /// nearest-neighbour hopping/exchange term.
+    ///
+    /// `below_mask` must be `!(u64::MAX << lo)` (hoisted by the caller,
+    /// which knows it per channel).
+    #[inline]
+    pub fn rank_xor_adjacent(&self, s: u64, lo: u32, below_mask: u64, rank_s: u64) -> u64 {
+        debug_assert!((s >> lo) & 0b11 == 0b01 || (s >> lo) & 0b11 == 0b10);
+        let first = (s & below_mask).count_ones() + 1;
+        let lower_set = ((s >> lo) & 1) as u32;
+        let sub = self.choose_raw(lo + 1 - lower_set, first);
+        let add = self.choose_raw(lo + lower_set, first);
+        rank_s + add - sub
     }
 
     /// Inverse of [`Self::rank`]: the weight-`w` value with the given rank.
@@ -111,6 +177,58 @@ mod tests {
             for (i, s) in FixedWeightRange::all(n, w).enumerate() {
                 assert_eq!(t.rank(s), i as u64, "state {s:#b}");
                 assert_eq!(t.unrank(i as u64, n, w), s);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_xor_matches_full_rank() {
+        let t = BinomialTable::new();
+        // Every weight-preserving 2-bit flip on every weight-6 state of 12
+        // bits, plus some longer-range 4-bit flips.
+        for s in FixedWeightRange::all(12, 6) {
+            let rank_s = t.rank(s);
+            for p in 0..12u32 {
+                for q in 0..12u32 {
+                    if p == q {
+                        continue;
+                    }
+                    let f = (1u64 << p) | (1u64 << q);
+                    if (s ^ f).count_ones() != s.count_ones() {
+                        continue;
+                    }
+                    assert_eq!(t.rank_xor(s, f, rank_s), t.rank(s ^ f), "s={s:#b} f={f:#b}");
+                }
+            }
+            // 4-bit flips: swap two set with two unset positions.
+            let f = 0b1111u64;
+            if (s ^ f).count_ones() == s.count_ones() {
+                assert_eq!(t.rank_xor(s, f, rank_s), t.rank(s ^ f));
+            }
+        }
+        // High-bit span on a wide state.
+        let s = (1u64 << 63) | 0b101;
+        let f = (1u64 << 63) | (1u64 << 62);
+        assert_eq!(t.rank_xor(s, f, t.rank(s)), t.rank(s ^ f));
+    }
+
+    #[test]
+    fn rank_xor_adjacent_matches_generic() {
+        let t = BinomialTable::new();
+        for s in FixedWeightRange::all(14, 7) {
+            let rank_s = t.rank(s);
+            for lo in 0..13u32 {
+                let pair = (s >> lo) & 0b11;
+                if pair != 0b01 && pair != 0b10 {
+                    continue;
+                }
+                let f = 0b11u64 << lo;
+                let below = !(u64::MAX << lo);
+                assert_eq!(
+                    t.rank_xor_adjacent(s, lo, below, rank_s),
+                    t.rank_xor(s, f, rank_s),
+                    "s={s:#b} lo={lo}"
+                );
             }
         }
     }

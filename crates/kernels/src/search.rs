@@ -7,6 +7,28 @@
 //! `lattice-symmetries` uses — which removes most of the cache misses of
 //! the first binary-search steps. `benches/ablation.rs` quantifies the
 //! difference.
+//!
+//! ## Bulk ranking
+//!
+//! One ranking per matrix element makes the matvec latency-bound: every
+//! lookup is a chain of dependent loads, and the out-of-order window cannot
+//! overlap enough of them when each lookup lives inside a larger per-element
+//! loop body. [`PrefixIndex::lookup_batch`] and [`TrieIndex::lookup_batch`]
+//! therefore rank a whole *block* of states at once, keeping
+//! [`INTERLEAVE`] searches in flight simultaneously: the per-lane state is
+//! a handful of registers, and the memory system sees a window of
+//! independent loads instead of one dependent chain. Absent states are
+//! reported with the [`NOT_FOUND`] sentinel so results stay in dense `u32`
+//! arrays (no `Option` in the hot path).
+
+/// Sentinel written by the `lookup_batch` kernels for states that are not
+/// in the array. Never a valid rank (arrays are capped below `u32::MAX`).
+pub const NOT_FOUND: u32 = u32::MAX;
+
+/// Number of in-flight searches the batch kernels interleave. Eight lanes
+/// of (lo, hi) bounds fit comfortably in registers while giving the memory
+/// system eight independent loads per round.
+pub const INTERLEAVE: usize = 8;
 
 /// Plain binary search in a sorted slice.
 #[inline]
@@ -38,7 +60,7 @@ impl PrefixIndex {
         let mut starts = vec![0u32; buckets + 1];
         // Counting pass (states must be sorted; we only need boundaries).
         for &s in sorted {
-            let b = (s >> shift) as usize;
+            let b = Self::bucket(shift, s);
             debug_assert!(b < buckets, "state exceeds n_bits");
             starts[b + 1] += 1;
         }
@@ -50,22 +72,89 @@ impl PrefixIndex {
 
     /// Picks a bucket count of roughly `len / 4` (clamped to `[1, 2^20]`
     /// buckets) — large enough to shrink searches to a handful of elements,
-    /// small enough to keep the index itself cache-resident.
+    /// small enough to keep the index itself cache-resident. Degenerate
+    /// inputs are handled: empty and length-1 slices get a single bucket,
+    /// and the width is clamped so it can never exceed `n_bits` (or the
+    /// structural limit of 31 bits) however `len / 4` rounds.
     pub fn auto(sorted: &[u64], n_bits: u32) -> Self {
-        let target_bits = (sorted.len() / 4).max(1).ilog2().min(20).min(n_bits);
+        let target_bits = (sorted.len() / 4).max(1).ilog2().min(20).min(n_bits).min(31);
         Self::new(sorted, n_bits, target_bits)
+    }
+
+    /// The bucket of `s` for a given shift. `shift >= 64` (an index with
+    /// zero prefix bits over a 64-bit state space) means a single bucket;
+    /// a plain `>>` would overflow the shift there.
+    #[inline]
+    fn bucket(shift: u32, s: u64) -> usize {
+        if shift >= 64 {
+            0
+        } else {
+            (s >> shift) as usize
+        }
     }
 
     /// Finds `needle` in `sorted` (the same slice the index was built on).
     #[inline]
     pub fn lookup(&self, sorted: &[u64], needle: u64) -> Option<usize> {
-        let b = (needle >> self.shift) as usize;
+        let b = Self::bucket(self.shift, needle);
         if b + 1 >= self.starts.len() {
             return None;
         }
         let lo = self.starts[b] as usize;
         let hi = self.starts[b + 1] as usize;
         sorted[lo..hi].binary_search(&needle).ok().map(|i| lo + i)
+    }
+
+    /// Ranks a whole block of `needles` at once, writing each rank (or
+    /// [`NOT_FOUND`]) into `out[i]`. [`INTERLEAVE`] binary searches advance
+    /// in lockstep so their array probes overlap in the memory system —
+    /// the bulk `stateToIndex` of the batched matvec engine.
+    pub fn lookup_batch(&self, sorted: &[u64], needles: &[u64], out: &mut Vec<u32>) {
+        const W: usize = INTERLEAVE;
+        out.clear();
+        out.resize(needles.len(), NOT_FOUND);
+        let mut k = 0usize;
+        while k + W <= needles.len() {
+            // Per-lane search bounds from the prefix buckets.
+            let mut lo = [0usize; W];
+            let mut hi = [0usize; W];
+            for l in 0..W {
+                let b = Self::bucket(self.shift, needles[k + l]);
+                if b + 1 < self.starts.len() {
+                    lo[l] = self.starts[b] as usize;
+                    hi[l] = self.starts[b + 1] as usize;
+                }
+                // else: lo == hi == 0 — the lane is born finished.
+            }
+            // Lockstep binary search: every live lane issues one probe per
+            // round, so up to W independent loads are in flight.
+            loop {
+                let mut live = false;
+                for l in 0..W {
+                    if lo[l] < hi[l] {
+                        let mid = (lo[l] + hi[l]) / 2;
+                        let v = sorted[mid];
+                        let n = needles[k + l];
+                        if v < n {
+                            lo[l] = mid + 1;
+                        } else if v > n {
+                            hi[l] = mid;
+                        } else {
+                            out[k + l] = mid as u32;
+                            hi[l] = 0; // retire the lane
+                        }
+                        live = live || lo[l] < hi[l];
+                    }
+                }
+                if !live {
+                    break;
+                }
+            }
+            k += W;
+        }
+        for (o, &n) in out[k..].iter_mut().zip(&needles[k..]) {
+            *o = self.lookup(sorted, n).map_or(NOT_FOUND, |i| i as u32);
+        }
     }
 
     /// Memory used by the index in bytes (for the perf model).
@@ -162,6 +251,53 @@ impl TrieIndex {
         unreachable!("n_chunks >= 1")
     }
 
+    /// Ranks a whole block of `needles`, writing each rank (or
+    /// [`NOT_FOUND`]) into `out[i]`. Lanes descend the trie level by level
+    /// in lockstep: each round issues [`INTERLEAVE`] independent node
+    /// loads, hiding the dependent-load latency a one-at-a-time walk pays
+    /// in full at every level.
+    pub fn lookup_batch(&self, needles: &[u64], out: &mut Vec<u32>) {
+        const W: usize = INTERLEAVE;
+        out.clear();
+        out.resize(needles.len(), NOT_FOUND);
+        let fanout = 1usize << self.chunk_bits;
+        let mut k = 0usize;
+        while k + W <= needles.len() {
+            // ABSENT doubles as the "lane retired" marker; conveniently it
+            // equals NOT_FOUND, so a retired lane's slot value is final.
+            let mut node = [0u32; W];
+            for l in 0..W {
+                if self.n_bits < 64 && needles[k + l] >> self.n_bits != 0 {
+                    node[l] = ABSENT;
+                }
+            }
+            for level in 0..self.n_chunks {
+                let last = level + 1 == self.n_chunks;
+                for l in 0..W {
+                    if node[l] == ABSENT {
+                        continue;
+                    }
+                    let chunk = Self::chunk_of(
+                        needles[k + l],
+                        self.n_bits,
+                        self.chunk_bits,
+                        self.n_chunks,
+                        level,
+                    );
+                    let slot = self.nodes[node[l] as usize * fanout + chunk];
+                    if last {
+                        out[k + l] = slot; // rank, or ABSENT == NOT_FOUND
+                    }
+                    node[l] = slot;
+                }
+            }
+            k += W;
+        }
+        for (o, &n) in out[k..].iter_mut().zip(&needles[k..]) {
+            *o = self.lookup(n).map_or(NOT_FOUND, |i| i as u32);
+        }
+    }
+
     /// Memory used by the trie in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<u32>()
@@ -216,6 +352,93 @@ mod tests {
         let idx = PrefixIndex::auto(&one, 10);
         assert_eq!(idx.lookup(&one, 5), Some(0));
         assert_eq!(idx.lookup(&one, 6), None);
+    }
+
+    #[test]
+    fn auto_index_full_width_state_space() {
+        // n_bits = 64 with a tiny basis drives `bits` to 0, i.e. a shift
+        // of 64: the bucket computation must not overflow the shift.
+        let empty: Vec<u64> = Vec::new();
+        let idx = PrefixIndex::auto(&empty, 64);
+        assert_eq!(idx.lookup(&empty, u64::MAX), None);
+
+        let one = vec![1u64 << 63];
+        let idx = PrefixIndex::auto(&one, 64);
+        assert_eq!(idx.lookup(&one, 1 << 63), Some(0));
+        assert_eq!(idx.lookup(&one, u64::MAX), None);
+        assert_eq!(idx.lookup(&one, 0), None);
+
+        // Awkward rounding: len / 4 == 1 keeps bits at 0 for any n_bits.
+        let five: Vec<u64> = vec![0, 3, u64::MAX / 2, u64::MAX - 1, u64::MAX];
+        let idx = PrefixIndex::auto(&five, 64);
+        for (i, &s) in five.iter().enumerate() {
+            assert_eq!(idx.lookup(&five, s), Some(i));
+        }
+        assert_eq!(idx.lookup(&five, 17), None);
+    }
+
+    #[test]
+    fn auto_bits_never_exceed_n_bits() {
+        // A large array over a tiny state space: len / 4 would suggest far
+        // more prefix bits than the space has.
+        let states: Vec<u64> = (0..16u64).collect();
+        let idx = PrefixIndex::auto(&states, 4);
+        for (i, &s) in states.iter().enumerate() {
+            assert_eq!(idx.lookup(&states, s), Some(i));
+        }
+        assert_eq!(idx.lookup(&states, 16), None);
+    }
+
+    #[test]
+    fn prefix_lookup_batch_matches_scalar() {
+        let states = test_states();
+        // Mix of present states and absent probes, misaligned with the
+        // interleave width on purpose.
+        let mut probes: Vec<u64> = states.iter().copied().step_by(3).collect();
+        probes.extend(0..(1u64 << 10));
+        probes.push(u64::MAX);
+        for bits in [1u32, 4, 8, 12] {
+            let idx = PrefixIndex::new(&states, 18, bits);
+            let mut out = Vec::new();
+            idx.lookup_batch(&states, &probes, &mut out);
+            assert_eq!(out.len(), probes.len());
+            for (&p, &o) in probes.iter().zip(&out) {
+                let expect = idx.lookup(&states, p).map_or(NOT_FOUND, |i| i as u32);
+                assert_eq!(o, expect, "bits={bits} probe={p:#b}");
+            }
+        }
+        // Tail-only batch (shorter than the interleave width).
+        let idx = PrefixIndex::auto(&states, 18);
+        let mut out = Vec::new();
+        idx.lookup_batch(&states, &probes[..3], &mut out);
+        assert_eq!(out.len(), 3);
+        // And an empty batch.
+        idx.lookup_batch(&states, &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn trie_lookup_batch_matches_scalar() {
+        let states = test_states();
+        let mut probes: Vec<u64> = states.iter().copied().step_by(5).collect();
+        probes.extend(0..(1u64 << 10));
+        probes.push(1 << 20);
+        probes.push(u64::MAX);
+        for chunk_bits in [2u32, 4, 8] {
+            let trie = TrieIndex::build(&states, 18, chunk_bits);
+            let mut out = Vec::new();
+            trie.lookup_batch(&probes, &mut out);
+            for (&p, &o) in probes.iter().zip(&out) {
+                let expect = trie.lookup(p).map_or(NOT_FOUND, |i| i as u32);
+                assert_eq!(o, expect, "chunk_bits={chunk_bits} probe={p:#b}");
+            }
+        }
+        // Degenerate tries still answer batches.
+        let empty: Vec<u64> = Vec::new();
+        let trie = TrieIndex::build(&empty, 10, 4);
+        let mut out = Vec::new();
+        trie.lookup_batch(&[0, 5, 9, 1, 2, 3, 4, 5, 6], &mut out);
+        assert!(out.iter().all(|&o| o == NOT_FOUND));
     }
 
     #[test]
