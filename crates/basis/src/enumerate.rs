@@ -2,9 +2,12 @@
 //! representatives (the shared-memory analogue of the paper's Fig. 4).
 //!
 //! The iteration space is split into chunks; each chunk is filtered
-//! independently (rayon), and the chunk results are concatenated in range
-//! order, which keeps the final list sorted — binary-search ranking
-//! depends on that.
+//! independently on the persistent pool (chunks are claimed dynamically,
+//! which matters here: representative density varies wildly across the
+//! range, so statically pre-assigned chunks would load-imbalance), and
+//! the chunk results are concatenated in range order, which keeps the
+//! final list sorted — binary-search ranking depends on that. The result
+//! is identical for any chunk count and any thread count.
 
 use crate::rep::is_representative;
 use crate::sector::SectorSpec;

@@ -25,20 +25,31 @@
 //! floating-point operations in the identical order as their scalar
 //! references — `BatchedPull` is bit-exact against `PullParallel`, and
 //! `BatchedPush` is bit-exact against `Serial` (the proptests in
-//! `tests/batched_strategies.rs` pin this).
+//! `tests/batched_strategies.rs` pin this). Results are also bit-exact
+//! across *thread counts*: chunk partitions come from the
+//! thread-independent [`chunk::par_chunk`] heuristic, per-element
+//! accumulation order is fixed, and the fused matvec+dot epilogue
+//! ([`apply_batched_pull_dot_pooled`]) combines its per-chunk partials in
+//! a fixed pairwise tree (`tests/pool_determinism.rs` pins this against
+//! `LS_NUM_THREADS`).
 //!
-//! All strategies draw their temporaries from a [`MatvecScratchPool`];
-//! [`crate::Operator`] keeps one pool for its lifetime, so the hundreds of
-//! products of a Lanczos run reuse the same staging memory.
+//! All strategies run on the persistent pool (`compat/rayon`: parked
+//! workers, dynamic chunk claiming) and draw their temporaries from a
+//! [`MatvecScratchPool`], which keys scratch on the pool's worker index —
+//! per *worker*, not per call. [`crate::Operator`] keeps one pool for its
+//! lifetime, so the hundreds of products of a Lanczos run reuse the same
+//! staging memory.
 
 use ls_basis::{OffDiagBlock, RankingKind, SpinBasis, SymmetrizedOperator};
+use ls_eigen::op::pairwise_sum;
+use ls_kernels::chunk;
 use ls_kernels::combinadics::BinomialTable;
 use ls_kernels::search::NOT_FOUND;
 use ls_kernels::sort::BlockPartitioner;
 use ls_kernels::Scalar;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Which shared-memory implementation [`crate::Operator`] uses.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -58,10 +69,9 @@ pub enum MatvecStrategy {
     Serial,
 }
 
-/// Number of rows a batched strategy processes per block: large enough to
-/// amortize the per-block passes, small enough that the block's SoA
-/// emission arrays stay cache-resident.
-const BATCH_BLOCK: usize = 1024;
+/// Number of rows a batched strategy processes per block (the shared
+/// workspace constant — see [`chunk::BATCH_ROWS`]).
+const BATCH_BLOCK: usize = chunk::BATCH_ROWS;
 
 /// Lookahead distance (in emissions) for software prefetch of the
 /// gathered `x` reads in the batched pull accumulation. Sized for a DRAM
@@ -133,16 +143,69 @@ pub struct ChunkEmissions<S: Scalar> {
 /// A pool of [`MatvecScratch`] / [`ChunkEmissions`] buffers shared by the
 /// workers of (possibly repeated) matvec calls. [`crate::Operator`] owns
 /// one pool per operator, so Lanczos' hundreds of `apply` calls on the
-/// same operator allocate staging memory exactly once. Checkout is a
-/// single mutex operation per worker chunk — noise next to the thousands
-/// of rows a chunk processes.
+/// same operator allocate staging memory exactly once.
+///
+/// Scratch is **per worker**, not per call: slot `i` is owned by
+/// persistent pool worker `i` (keyed on [`rayon::current_worker_index`]),
+/// so a worker gets the same warm buffers chunk after chunk, product
+/// after product, and its slot mutex is uncontended by construction.
+/// Threads that are *not* pool workers (the call's initiating thread, or
+/// the scoped threads of the legacy spawn-per-call backend) draw from a
+/// shared freelist instead — a short pop/push per chunk, never a lock
+/// held across the chunk body, so they still run concurrently.
 pub struct MatvecScratchPool<S: Scalar> {
-    scratch: Mutex<Vec<MatvecScratch<S>>>,
+    worker: Vec<Mutex<MatvecScratch<S>>>,
+    floating: Mutex<Vec<MatvecScratch<S>>>,
     emissions: Mutex<Vec<ChunkEmissions<S>>>,
     /// Memoized per-state diagonal, keyed on the (operator, basis)
     /// identity: the diagonal depends on neither `x` nor the strategy, so
     /// the hundreds of products of a Lanczos run compute it once.
     diag: Mutex<Option<(DiagKey, Arc<Vec<S>>)>>,
+}
+
+/// RAII lease of one [`MatvecScratch`]: either the calling pool worker's
+/// own slot (guard held for the chunk) or a buffer popped from the
+/// floating freelist (returned on drop).
+pub struct ScratchLease<'a, S: Scalar> {
+    pool: &'a MatvecScratchPool<S>,
+    kind: LeaseKind<'a, S>,
+}
+
+// The size skew vs the guard variant is fine: leases live on a worker's
+// stack for one chunk, never in bulk storage.
+#[allow(clippy::large_enum_variant)]
+enum LeaseKind<'a, S: Scalar> {
+    Worker(MutexGuard<'a, MatvecScratch<S>>),
+    Floating(Option<MatvecScratch<S>>),
+}
+
+impl<S: Scalar> std::ops::Deref for ScratchLease<'_, S> {
+    type Target = MatvecScratch<S>;
+    fn deref(&self) -> &MatvecScratch<S> {
+        match &self.kind {
+            LeaseKind::Worker(guard) => guard,
+            LeaseKind::Floating(sc) => sc.as_ref().expect("lease alive"),
+        }
+    }
+}
+
+impl<S: Scalar> std::ops::DerefMut for ScratchLease<'_, S> {
+    fn deref_mut(&mut self) -> &mut MatvecScratch<S> {
+        match &mut self.kind {
+            LeaseKind::Worker(guard) => guard,
+            LeaseKind::Floating(sc) => sc.as_mut().expect("lease alive"),
+        }
+    }
+}
+
+impl<S: Scalar> Drop for ScratchLease<'_, S> {
+    fn drop(&mut self) {
+        if let LeaseKind::Floating(sc) = &mut self.kind {
+            if let Some(sc) = sc.take() {
+                self.pool.floating.lock().unwrap().push(sc);
+            }
+        }
+    }
 }
 
 /// Identity of a (operator diagonal, basis) pair. The operator half is a
@@ -159,7 +222,8 @@ impl<S: Scalar> Default for MatvecScratchPool<S> {
 impl<S: Scalar> MatvecScratchPool<S> {
     pub fn new() -> Self {
         Self {
-            scratch: Mutex::new(Vec::new()),
+            worker: (0..rayon::max_workers()).map(|_| Mutex::new(Default::default())).collect(),
+            floating: Mutex::new(Vec::new()),
             emissions: Mutex::new(Vec::new()),
             diag: Mutex::new(None),
         }
@@ -187,12 +251,21 @@ impl<S: Scalar> MatvecScratchPool<S> {
         values
     }
 
-    fn take(&self) -> MatvecScratch<S> {
-        self.scratch.lock().unwrap().pop().unwrap_or_default()
-    }
-
-    fn put(&self, s: MatvecScratch<S>) {
-        self.scratch.lock().unwrap().push(s);
+    /// Checks out scratch for the calling thread: pool workers get their
+    /// own uncontended slot (same warm buffers on every chunk), any other
+    /// thread pops from the floating freelist (returned when the lease
+    /// drops, so concurrent non-pool threads never serialize on it).
+    fn worker_scratch(&self) -> ScratchLease<'_, S> {
+        match rayon::current_worker_index() {
+            Some(i) => ScratchLease {
+                pool: self,
+                kind: LeaseKind::Worker(self.worker[i].lock().unwrap()),
+            },
+            None => {
+                let sc = self.floating.lock().unwrap().pop().unwrap_or_default();
+                ScratchLease { pool: self, kind: LeaseKind::Floating(Some(sc)) }
+            }
+        }
     }
 
     fn take_emissions(&self) -> ChunkEmissions<S> {
@@ -204,9 +277,13 @@ impl<S: Scalar> MatvecScratchPool<S> {
     }
 }
 
-/// Output-chunk size for the rayon strategies.
+/// Output-chunk size for the parallel strategies — the centralized,
+/// thread-count-independent heuristic (see [`chunk::par_chunk`]): the
+/// partition shape depends only on `dim`, so the fused matvec+dot
+/// partials keep the same reduction tree at any thread count, and the
+/// persistent pool's dynamic chunk claiming does the load balancing.
 fn par_chunk(dim: usize) -> usize {
-    (dim / (rayon::current_num_threads() * 8)).max(64)
+    chunk::par_chunk(dim)
 }
 
 /// The differential-ranking fast path is available when the sector is
@@ -257,7 +334,7 @@ pub fn apply_pull_pooled<S: Scalar>(
     let chunk = par_chunk(dim);
     y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
         let base = ci * chunk;
-        let mut sc = pool.take();
+        let mut sc = pool.worker_scratch();
         for (k, out) in yc.iter_mut().enumerate() {
             let j = base + k;
             let beta = basis.state(j);
@@ -270,7 +347,6 @@ pub fn apply_pull_pooled<S: Scalar>(
             }
             *out = acc;
         }
-        pool.put(sc);
     });
 }
 
@@ -322,7 +398,7 @@ pub fn apply_push_pooled<S: Scalar>(
     let chunk = par_chunk(dim);
     let n_chunks = dim.div_ceil(chunk);
     (0..n_chunks).into_par_iter().for_each(|c| {
-        let mut sc = pool.take();
+        let mut sc = pool.worker_scratch();
         let lo = c * chunk;
         let hi = ((c + 1) * chunk).min(dim);
         for (j, &xj) in x.iter().enumerate().take(hi).skip(lo) {
@@ -338,7 +414,6 @@ pub fn apply_push_pooled<S: Scalar>(
                 add(i, amp * xj);
             }
         }
-        pool.put(sc);
     });
 }
 
@@ -364,7 +439,7 @@ pub fn apply_serial_pooled<S: Scalar>(
     assert_eq!(x.len(), dim);
     assert_eq!(y.len(), dim);
     y.fill(S::ZERO);
-    let mut sc = pool.take();
+    let mut sc = pool.worker_scratch();
     for j in 0..dim {
         let alpha = basis.state(j);
         y[j] += op.diagonal(alpha) * x[j];
@@ -375,7 +450,6 @@ pub fn apply_serial_pooled<S: Scalar>(
             y[i] += amp * x[j];
         }
     }
-    pool.put(sc);
 }
 
 // ---------------------------------------------------------------------------
@@ -401,25 +475,68 @@ pub fn apply_batched_pull_pooled<S: Scalar>(
     y: &mut [S],
     pool: &MatvecScratchPool<S>,
 ) {
-    assert!(op.is_hermitian(), "pull formulation requires Hermitian H");
-    let dim = basis.dim();
-    assert_eq!(x.len(), dim);
-    assert_eq!(y.len(), dim);
     // Both the bulk ranking kernels and the fused path's packed
     // (src << 32 | dest) emissions hold ranks in 32 bits; beyond that the
     // scalar gather (usize indexing) — the batched path's bit-exact twin —
     // takes over instead of losing the sector entirely.
-    if dim >= u32::MAX as usize {
+    if basis.dim() >= u32::MAX as usize {
         return apply_pull_pooled(op, basis, x, y, pool);
     }
+    batched_pull_sweep(op, basis, x, y, pool, None);
+}
+
+/// [`apply_batched_pull_pooled`] fused with the inner product `⟨x, y⟩` of
+/// its own output — the matvec+dot epilogue of a Lanczos iteration
+/// (`α = ⟨v, H v⟩` falls out of the product instead of costing another
+/// full sweep over both vectors). Each chunk accumulates its partial
+/// while the freshly written outputs are still cache-hot; the partials
+/// combine in a fixed pairwise tree over the thread-count-independent
+/// chunk partition, so the value is bit-identical at any
+/// `LS_NUM_THREADS`. `y` is bit-exact against [`apply_batched_pull`].
+pub fn apply_batched_pull_dot_pooled<S: Scalar>(
+    op: &SymmetrizedOperator<S>,
+    basis: &SpinBasis,
+    x: &[S],
+    y: &mut [S],
+    pool: &MatvecScratchPool<S>,
+) -> S {
+    if basis.dim() >= u32::MAX as usize {
+        apply_pull_pooled(op, basis, x, y, pool);
+        return ls_eigen::op::par_dot(x, y);
+    }
+    let chunk = par_chunk(basis.dim());
+    let mut partials = vec![S::ZERO; basis.dim().div_ceil(chunk)];
+    batched_pull_sweep(op, basis, x, y, pool, Some(&mut partials));
+    pairwise_sum(&partials)
+}
+
+/// The shared batched-pull sweep. With `partials`, chunk `ci` additionally
+/// stores `Σ_j conj(x[j])·y[j]` over its rows into `partials[ci]` (each
+/// slot written by exactly one chunk, so relaxed lane stores suffice).
+fn batched_pull_sweep<S: Scalar>(
+    op: &SymmetrizedOperator<S>,
+    basis: &SpinBasis,
+    x: &[S],
+    y: &mut [S],
+    pool: &MatvecScratchPool<S>,
+    partials: Option<&mut [S]>,
+) {
+    assert!(op.is_hermitian(), "pull formulation requires Hermitian H");
+    let dim = basis.dim();
+    assert_eq!(x.len(), dim);
+    assert_eq!(y.len(), dim);
     let chunk = par_chunk(dim);
     let states_all = basis.states();
     let orbits_all = basis.orbit_sizes();
     let fused = fused_u1_table(op, basis);
     let diag_all = pool.cached_diagonal(op, basis);
+    // Race-free indexed stores of the partials: each chunk writes only
+    // its own slot (same layout trick as the scatter accumulation).
+    let partial_lanes: Option<&[AtomicU64]> = partials.map(|p| ls_eigen::op::atomic_lanes(p));
     y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
         let base = ci * chunk;
-        let mut sc = pool.take();
+        let mut sc = pool.worker_scratch();
+        let sc = &mut *sc;
         let mut b0 = 0usize;
         while b0 < yc.len() {
             let b1 = (b0 + BATCH_BLOCK).min(yc.len());
@@ -456,7 +573,15 @@ pub fn apply_batched_pull_pooled<S: Scalar>(
             }
             b0 = b1;
         }
-        pool.put(sc);
+        if let Some(lanes) = partial_lanes {
+            // The fused epilogue: the chunk's share of ⟨x, y⟩, summed in
+            // ascending row order while `yc` is cache-resident.
+            let mut acc = S::ZERO;
+            for (k, &yv) in yc.iter().enumerate() {
+                acc += x[base + k].conj() * yv;
+            }
+            ls_eigen::op::store_partial(lanes, ci, acc);
+        }
     });
 }
 
@@ -545,13 +670,14 @@ pub fn apply_batched_push_pooled<S: Scalar>(
     }
     let threads = rayon::current_num_threads();
     // Destination blocks: power-of-two size so the partition key is a
-    // shift, sized for a few blocks per thread.
-    let block_size = dim.div_ceil((threads * 4).max(8)).next_power_of_two().max(64);
+    // shift, sized for a few blocks per thread (centralized heuristic —
+    // the partition affects staging layout only, never summation order).
+    let block_size = chunk::dest_block_size(dim, threads);
     let block_bits = block_size.trailing_zeros();
     let n_blocks = dim.div_ceil(block_size);
     // Source chunks, produced in waves of a few chunks per thread so the
     // triple staging stays bounded regardless of `dim`.
-    let rows_per_chunk = dim.div_ceil((threads * 4).max(1)).clamp(256, 1 << 14);
+    let rows_per_chunk = chunk::rows_per_chunk(dim, threads);
     let n_chunks = dim.div_ceil(rows_per_chunk);
     let wave = (threads * 2).max(4);
     let fused = fused_u1_table(op, basis);
@@ -563,14 +689,13 @@ pub fn apply_batched_push_pooled<S: Scalar>(
         let produced: Vec<ChunkEmissions<S>> = (c0..c1)
             .into_par_iter()
             .map(|c| {
-                let mut sc = pool.take();
+                let mut sc = pool.worker_scratch();
                 let mut em = pool.take_emissions();
                 let lo = c * rows_per_chunk;
                 let hi = ((c + 1) * rows_per_chunk).min(dim);
                 produce_chunk(
                     op, basis, &diag_all, fused, lo, hi, block_bits, n_blocks, &mut sc, &mut em,
                 );
-                pool.put(sc);
                 em
             })
             .collect();
@@ -792,6 +917,28 @@ mod tests {
                 assert!((y_pull[i] - y_ref[i]).abs() < 1e-12, "n={n} i={i}");
             }
         }
+    }
+
+    #[test]
+    fn fused_pull_dot_matches_separate_sweeps() {
+        let n = 14usize;
+        let group = lattice::chain_group(n, 0, Some(0), Some(0)).unwrap();
+        let sector = SectorSpec::new(n as u32, Some(7), group).unwrap();
+        let kernel = heisenberg(&lattice::chain_bonds(n), 1.0).to_kernel(n as u32).unwrap();
+        let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
+        let basis = ls_basis::SpinBasis::build(sector);
+        let x = random_vec(basis.dim(), 17);
+        let pool = MatvecScratchPool::new();
+        let mut y_plain = vec![0.0; basis.dim()];
+        apply_batched_pull_pooled(&op, &basis, &x, &mut y_plain, &pool);
+        let mut y_fused = vec![0.0; basis.dim()];
+        let d = apply_batched_pull_dot_pooled(&op, &basis, &x, &mut y_fused, &pool);
+        // The product itself is untouched by the fused epilogue.
+        assert_eq!(y_plain, y_fused);
+        // The fused inner product agrees with a separate sweep (different
+        // partial layout, so tolerance-exact).
+        let expect = ls_eigen::op::par_dot(&x, &y_plain);
+        assert!((d - expect).abs() <= 1e-12 * expect.abs().max(1.0), "{d} vs {expect}");
     }
 
     #[test]

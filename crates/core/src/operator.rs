@@ -99,6 +99,27 @@ impl<S: Scalar> LinearOp<S> for Operator<S> {
         }
     }
 
+    /// The fused matvec+dot epilogue: for the default batched pull
+    /// strategy the inner product is accumulated chunk-by-chunk while the
+    /// product's output is still cache-resident (one full sweep over the
+    /// Krylov vectors saved per Lanczos iteration). Other strategies fall
+    /// back to the product followed by the deterministic parallel dot.
+    fn apply_dot(&self, x: &[S], y: &mut [S]) -> S {
+        match self.strategy {
+            MatvecStrategy::BatchedPull => matvec::apply_batched_pull_dot_pooled(
+                &self.symop,
+                &self.basis,
+                x,
+                y,
+                &self.scratch,
+            ),
+            _ => {
+                self.apply(x, y);
+                ls_eigen::op::par_dot(x, y)
+            }
+        }
+    }
+
     fn is_hermitian(&self) -> bool {
         self.symop.is_hermitian()
     }

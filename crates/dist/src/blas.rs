@@ -1,9 +1,13 @@
 //! Level-1 operations on distributed vectors.
 //!
-//! Locally these are the same kernels as `ls_eigen::op`; the distributed
-//! versions reduce over locale parts (the `allreduce` of a real cluster —
-//! on the simulated runtime the reduction is a plain sum over parts).
+//! Locally these are the parallel deterministic kernels of
+//! `ls_eigen::op` (per-part partials on the persistent pool); the
+//! distributed versions reduce over locale parts in locale order (the
+//! `allreduce` of a real cluster — on the simulated runtime the
+//! reduction is a plain sum over parts). Per-part results are
+//! bit-deterministic across thread counts, so the whole reduction is.
 
+use ls_eigen::op as blas;
 use ls_kernels::Scalar;
 use ls_runtime::DistVec;
 
@@ -12,16 +16,14 @@ pub fn dot<S: Scalar>(a: &DistVec<S>, b: &DistVec<S>) -> S {
     assert_eq!(a.lens(), b.lens(), "distributed dot of mismatched layouts");
     let mut acc = S::ZERO;
     for (pa, pb) in a.parts().iter().zip(b.parts()) {
-        for (x, y) in pa.iter().zip(pb) {
-            acc += x.conj() * *y;
-        }
+        acc += blas::par_dot(pa, pb);
     }
     acc
 }
 
 /// Squared 2-norm (always real).
 pub fn norm_sqr<S: Scalar>(a: &DistVec<S>) -> f64 {
-    a.parts().iter().flatten().map(|x| x.abs_sqr()).sum()
+    a.parts().iter().map(|p| blas::par_norm_sqr(p)).sum()
 }
 
 /// 2-norm.
@@ -33,18 +35,14 @@ pub fn norm<S: Scalar>(a: &DistVec<S>) -> f64 {
 pub fn axpy<S: Scalar>(alpha: S, x: &DistVec<S>, y: &mut DistVec<S>) {
     assert_eq!(x.lens(), y.lens(), "distributed axpy of mismatched layouts");
     for (px, py) in x.parts().iter().zip(y.parts_mut()) {
-        for (xi, yi) in px.iter().zip(py.iter_mut()) {
-            *yi += alpha * *xi;
-        }
+        blas::par_axpy(alpha, px, py);
     }
 }
 
 /// `x *= alpha` (real scale), part by part.
 pub fn scale<S: Scalar>(x: &mut DistVec<S>, alpha: f64) {
     for part in x.parts_mut() {
-        for xi in part.iter_mut() {
-            *xi = xi.scale_re(alpha);
-        }
+        blas::par_scale(part, alpha);
     }
 }
 

@@ -17,7 +17,11 @@
 //! only on its own flag (with backoff), and flips the peer's flag with a
 //! `remoteAtomicWrite`. Buffers are reused across products via
 //! [`PcEngine`] — the paper reuses its `RemoteBuffer`s across the whole
-//! Lanczos run to avoid reallocation.
+//! Lanczos run to avoid reallocation — and the producer/consumer task set
+//! runs on the cluster's **persistent worker team**
+//! ([`Cluster::run_tasks`]): a Lanczos solve wakes parked threads once
+//! per product instead of spawning `locales × (producers + consumers)`
+//! fresh threads each iteration.
 
 use crate::basis::DistSpinBasis;
 use crate::matvec::{accumulate_batch, validate_shapes};
@@ -122,30 +126,31 @@ impl<S: Scalar> PcEngine<S> {
         let win = AtomicAccumWindow::new(y);
         let producers = self.opts.producers;
         let consumers = self.opts.consumers;
-        cluster.run(|ctx| {
+        // Per-locale countdowns: the last producer to finish closes the
+        // locale's outgoing channels (releasing all remote consumers),
+        // and the locale's last task of any kind crosses the cluster
+        // barrier on its behalf — the moral equivalent of the old
+        // scope-join-then-barrier, without spawning a single thread (all
+        // tasks run on the cluster's persistent team).
+        let live_producers: Vec<AtomicUsize> =
+            (0..self.n_locales).map(|_| AtomicUsize::new(producers)).collect();
+        let live_tasks: Vec<AtomicUsize> =
+            (0..self.n_locales).map(|_| AtomicUsize::new(producers + consumers)).collect();
+        cluster.run_tasks(producers + consumers, |ctx, task| {
             let me = ctx.locale();
-            // The last producer to finish closes this locale's outgoing
-            // channels, releasing all remote consumers.
-            let live_producers = AtomicUsize::new(producers);
-            std::thread::scope(|scope| {
-                for p in 0..producers {
-                    let live_producers = &live_producers;
-                    let win = &win;
-                    scope.spawn(move || {
-                        self.produce(ctx, op, basis, x, win, p);
-                        if live_producers.fetch_sub(1, Ordering::AcqRel) == 1 {
-                            for dest in 0..self.n_locales {
-                                self.channel(me, dest).close();
-                            }
-                        }
-                    });
+            if task < producers {
+                self.produce(ctx, op, basis, x, &win, task);
+                if live_producers[me].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    for dest in 0..self.n_locales {
+                        self.channel(me, dest).close();
+                    }
                 }
-                for _ in 0..consumers {
-                    let win = &win;
-                    scope.spawn(move || self.consume(ctx, basis, win));
-                }
-            });
-            ctx.barrier_wait();
+            } else {
+                self.consume(ctx, basis, &win);
+            }
+            if live_tasks[me].fetch_sub(1, Ordering::AcqRel) == 1 {
+                ctx.barrier_wait();
+            }
         });
         // Re-arm the channels for the next product (buffer reuse).
         for ch in &self.channels {

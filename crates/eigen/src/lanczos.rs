@@ -1,12 +1,26 @@
-//! Lanczos with full reorthogonalization.
+//! Lanczos with full reorthogonalization, on the parallel fused BLAS-1
+//! pipeline.
 //!
 //! Plain three-term Lanczos loses orthogonality in floating point (ghost
 //! eigenvalues); since our Krylov dimensions are modest (≲ a few hundred)
 //! we keep all basis vectors and reorthogonalize every new vector twice
 //! ("twice is enough", Kahan–Parlett). Memory is `m · dim` scalars, which
 //! is the same trade the real `lattice-symmetries` makes for robustness.
+//!
+//! Between the parallel matrix-vector products every vector operation
+//! runs on the deterministic parallel kernels of [`crate::op`]:
+//! reorthogonalization is *blocked* CGS2 (`par_multi_dot` /
+//! `par_multi_axpy` sweep `w` once per pass for the whole basis, not
+//! once per basis vector), and two fused epilogues trim further sweeps —
+//! [`LinearOp::apply_dot`] (matvec+dot, `α_j` falls out of the product)
+//! and [`crate::op::par_multi_axpy_norm_sqr`] (the final update + the β
+//! norm). All reductions use fixed-shape pairwise trees over
+//! thread-independent blocks, so a run is bit-identical for any
+//! `LS_NUM_THREADS`.
 
-use crate::op::{axpy, dot, norm, scale, LinearOp};
+use crate::op::{
+    par_multi_axpy, par_multi_axpy_norm_sqr, par_multi_dot, par_norm, par_scale, LinearOp,
+};
 use crate::tridiag::tridiag_eigh;
 use ls_kernels::Scalar;
 use rand::rngs::StdRng;
@@ -66,8 +80,8 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut v0 = vec![S::ZERO; n];
     random_fill(&mut v0, &mut rng);
-    let nrm = norm(&v0);
-    scale(&mut v0, 1.0 / nrm);
+    let nrm = par_norm(&v0);
+    par_scale(&mut v0, 1.0 / nrm);
 
     let mut basis: Vec<Vec<S>> = vec![v0];
     let mut alphas: Vec<f64> = Vec::new();
@@ -78,24 +92,35 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
     let mut last_check: (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
 
     for j in 0..m_max {
-        let vj = basis[j].clone();
-        op.apply(&vj, &mut w);
-        let alpha = dot(&vj, &w).re();
+        // Fused matvec+dot: `w = H v_j` and `α_j = ⟨v_j, w⟩` in one pass
+        // over the freshly written output (no clone of v_j either — the
+        // operator reads the basis vector in place).
+        let alpha = op.apply_dot(&basis[j], &mut w).re();
         alphas.push(alpha);
-        axpy(S::from_re(-alpha), &vj, &mut w);
-        if j > 0 {
-            let beta_prev = betas[j - 1];
-            let vjm = basis[j - 1].clone();
-            axpy(S::from_re(-beta_prev), &vjm, &mut w);
-        }
-        // Full reorthogonalization, two passes.
-        for _pass in 0..2 {
-            for vb in &basis {
-                let c = dot(vb, &w);
-                axpy(-c, vb, &mut w);
+        // Full reorthogonalization, two *blocked* classical Gram–Schmidt
+        // passes (CGS2 — "twice is enough" is precisely the repeated-CGS
+        // theorem): each pass sweeps `w` once to take all coefficients at
+        // a go (`par_multi_dot`) and once to apply them, instead of the
+        // 2·m sweeps of the vector-at-a-time loop. The explicit
+        // three-term subtractions (`α v_j`, `β v_{j-1}`) are subsumed by
+        // the first pass — `⟨v_j, w⟩` *is* α and `⟨v_{j-1}, w⟩` is β up
+        // to rounding, so projecting against the whole basis removes them
+        // along with every older component: two more full sweeps saved.
+        // The second pass's update is fused with the β norm (one sweep
+        // fewer again).
+        let mut beta_sqr = f64::NAN;
+        for pass in 0..2 {
+            let mut coeffs = par_multi_dot(&basis, &w);
+            for c in &mut coeffs {
+                *c = -*c;
+            }
+            if pass == 1 {
+                beta_sqr = par_multi_axpy_norm_sqr(&coeffs, &basis, &mut w);
+            } else {
+                par_multi_axpy(&coeffs, &basis, &mut w);
             }
         }
-        let beta = norm(&w);
+        let beta = beta_sqr.sqrt();
 
         // Convergence test on the projected problem.
         if alphas.len() >= k {
@@ -124,14 +149,15 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
             let mut fresh = vec![S::ZERO; n];
             random_fill(&mut fresh, &mut rng);
             for _pass in 0..2 {
-                for vb in &basis {
-                    let c = dot(vb, &fresh);
-                    axpy(-c, vb, &mut fresh);
+                let mut coeffs = par_multi_dot(&basis, &fresh);
+                for c in &mut coeffs {
+                    *c = -*c;
                 }
+                par_multi_axpy(&coeffs, &basis, &mut fresh);
             }
-            let nf = norm(&fresh);
+            let nf = par_norm(&fresh);
             assert!(nf > 1e-12, "could not extend Krylov basis");
-            scale(&mut fresh, 1.0 / nf);
+            par_scale(&mut fresh, 1.0 / nf);
             betas.push(0.0);
             basis.push(fresh);
             continue;
@@ -141,7 +167,7 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
             break;
         }
         betas.push(beta);
-        scale(&mut w, 1.0 / beta);
+        par_scale(&mut w, 1.0 / beta);
         basis.push(w.clone());
     }
 
@@ -159,11 +185,10 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
         let mut out = Vec::with_capacity(k_eff);
         for tv in tvecs.iter().take(k_eff) {
             let mut x = vec![S::ZERO; n];
-            for (j, vb) in basis.iter().take(m).enumerate() {
-                axpy(S::from_re(tv[j]), vb, &mut x);
-            }
-            let nx = norm(&x);
-            scale(&mut x, 1.0 / nx);
+            let coeffs: Vec<S> = tv.iter().take(m).map(|&t| S::from_re(t)).collect();
+            par_multi_axpy(&coeffs, &basis[..m], &mut x);
+            let nx = par_norm(&x);
+            par_scale(&mut x, 1.0 / nx);
             out.push(x);
         }
         Some(out)

@@ -8,9 +8,15 @@
 //! workspace's centrepiece) as the only operation touching the operator.
 //!
 //! This crate provides:
-//! * [`LinearOp`] — the minimal matrix-free operator interface;
-//! * [`lanczos::lanczos_smallest`] — Lanczos with full reorthogonalization
-//!   and Ritz-residual convergence control;
+//! * [`LinearOp`] — the minimal matrix-free operator interface, including
+//!   the fused matvec+dot epilogue hook ([`LinearOp::apply_dot`]);
+//! * [`op`] — the BLAS-1 layer: serial helpers plus the **parallel
+//!   deterministic kernels** (`par_dot`, `par_norm_sqr`, blocked
+//!   multi-vector `par_multi_dot`/`par_multi_axpy`, fused axpy+norm)
+//!   whose reductions are bit-identical at any `LS_NUM_THREADS`;
+//! * [`lanczos::lanczos_smallest`] — Lanczos with full (blocked CGS2)
+//!   reorthogonalization and Ritz-residual convergence control, running
+//!   entirely on the parallel fused pipeline;
 //! * [`tridiag::tridiag_eigh`] — implicit-shift QL for the projected
 //!   tridiagonal problem (no LAPACK available offline, so this is a
 //!   from-scratch implementation);

@@ -1,0 +1,107 @@
+//! Pins the determinism contract of the parallel BLAS-1 kernels: the
+//! reductions use a fixed-shape pairwise tree over a thread-independent
+//! block partition, so `par_dot` / `par_norm_sqr` (and the fused
+//! `par_axpy_norm_sqr`) return *bit-identical* results for threads = 1,
+//! 2, and N.
+//!
+//! The whole property lives in one `proptest!` test because
+//! `rayon::set_thread_limit` is process-global: a single test body owns
+//! the limit for its entire run and restores it afterwards.
+
+use ls_eigen::op::{
+    axpy, dot, norm_sqr, par_axpy, par_axpy_norm_sqr, par_dot, par_norm_sqr, REDUCE_BLOCK,
+};
+use ls_kernels::Complex64;
+use proptest::prelude::*;
+
+fn vec_from_seed(len: usize, seed: u64) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let h = ls_kernels::hash64_01(seed.wrapping_add(i as u64).wrapping_mul(0x9e37));
+            (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Runs `f` under each thread limit and asserts all results are
+/// bit-identical; restores the previous limit even on failure.
+fn identical_under_limits<R: PartialEq + std::fmt::Debug>(
+    limits: &[usize],
+    f: impl Fn() -> R,
+) -> R {
+    let prev = rayon::set_thread_limit(0);
+    rayon::set_thread_limit(prev);
+    let reference = {
+        rayon::set_thread_limit(1);
+        f()
+    };
+    for &t in limits {
+        rayon::set_thread_limit(t);
+        let got = f();
+        assert_eq!(got, reference, "thread limit {t} diverged");
+    }
+    rayon::set_thread_limit(prev);
+    reference
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reductions_identical_for_1_2_n(
+        len in 0usize..4 * REDUCE_BLOCK + 17,
+        seed in any::<u64>(),
+        alpha_bits in any::<u64>(),
+    ) {
+        let n_threads = rayon::current_num_threads().max(4);
+        let limits = [2usize, n_threads];
+        let a = vec_from_seed(len, seed);
+        let b = vec_from_seed(len, seed ^ 0xdead_beef);
+        let alpha = ((alpha_bits >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+
+        // Real scalars.
+        let d = identical_under_limits(&limits, || par_dot(&a, &b).to_bits());
+        let n2 = identical_under_limits(&limits, || par_norm_sqr(&a).to_bits());
+        let fused = identical_under_limits(&limits, || {
+            let mut y = b.clone();
+            let r = par_axpy_norm_sqr(alpha, &a, &mut y);
+            (r.to_bits(), y.iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+        });
+        // The fused kernel is bit-identical to axpy followed by the
+        // parallel norm (same partial layout).
+        let mut y = b.clone();
+        {
+            let prev = rayon::set_thread_limit(1);
+            par_axpy(alpha, &a, &mut y);
+            let split = par_norm_sqr(&y);
+            prop_assert_eq!(fused.0, split.to_bits());
+            rayon::set_thread_limit(prev);
+        }
+        prop_assert_eq!(
+            fused.1,
+            y.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // Small inputs take the serial fast path; it must agree bitwise
+        // with the general algorithm's single-block case.
+        if len <= REDUCE_BLOCK {
+            prop_assert_eq!(d, dot(&a, &b).to_bits());
+            prop_assert_eq!(n2, norm_sqr(&a).to_bits());
+            let mut y2 = b.clone();
+            axpy(alpha, &a, &mut y2);
+            prop_assert_eq!(fused.0, norm_sqr(&y2).to_bits());
+        }
+
+        // Complex scalars exercise the multi-lane partial stores.
+        let re = vec_from_seed(len, seed ^ 1);
+        let im = vec_from_seed(len, seed ^ 2);
+        let ca: Vec<Complex64> =
+            re.iter().zip(&im).map(|(&r, &i)| Complex64::new(r, i)).collect();
+        let cb: Vec<Complex64> =
+            im.iter().zip(&re).map(|(&r, &i)| Complex64::new(r, i)).collect();
+        identical_under_limits(&limits, || {
+            let z = par_dot(&ca, &cb);
+            (z.re.to_bits(), z.im.to_bits())
+        });
+        identical_under_limits(&limits, || par_norm_sqr(&ca).to_bits());
+    }
+}

@@ -12,6 +12,7 @@
 //! tiny leaf functions.
 
 pub mod bits;
+pub mod chunk;
 pub mod combinadics;
 pub mod complexnum;
 pub mod hash;

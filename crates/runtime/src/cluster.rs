@@ -1,7 +1,22 @@
 //! The simulated cluster: locales, SPMD execution, per-locale context.
+//!
+//! Locale tasks run on a **persistent team** of worker threads owned by
+//! the [`Cluster`]: threads are spawned lazily the first time a run needs
+//! them and parked on a condvar between runs. A Lanczos solve issues one
+//! distributed matrix-vector product per iteration — with spawn-per-call
+//! execution that used to mean `locales × (1 + producers + consumers)`
+//! `thread::spawn`s *per product*; with the team it means a wake-up.
+//! [`Cluster::run`] executes one task per locale (the paper's
+//! `coforall loc in Locales`), [`Cluster::run_tasks`] executes several
+//! concurrent tasks per locale (what the producer/consumer pipeline
+//! needs: all tasks of a run are genuinely concurrent, since producers
+//! block on channel capacity until consumers drain).
 
 use crate::barrier::SenseBarrier;
 use crate::stats::{CommStats, StatsSnapshot};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
 
 /// Static description of the simulated machine.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -20,13 +35,60 @@ impl ClusterSpec {
     }
 }
 
-/// A simulated cluster. Executes SPMD closures — one thread per locale —
-/// and records per-locale communication statistics.
-#[derive(Debug)]
+/// One published SPMD run: a type-erased `(locale, task)` closure living
+/// on the initiating caller's stack (the caller blocks until every slot
+/// has finished, which keeps the borrow alive).
+#[derive(Copy, Clone)]
+struct TeamJob {
+    data: *const (),
+    call: unsafe fn(*const (), usize, usize),
+    locales: usize,
+    tasks_per_locale: usize,
+}
+
+// SAFETY: the pointee outlives the job (completion protocol) and the
+// closure behind it is `Sync`.
+unsafe impl Send for TeamJob {}
+
+struct TeamState {
+    job: Option<TeamJob>,
+    /// Bumped per run so a worker never re-runs a job it finished.
+    epoch: u64,
+    /// Slots of the current run not yet completed.
+    pending: usize,
+    /// Worker threads spawned so far.
+    spawned: usize,
+    /// First panic payload captured from any slot of the current run.
+    panic: Option<Box<dyn Any + Send>>,
+    shutdown: bool,
+}
+
+/// The persistent worker team backing a [`Cluster`].
+struct Team {
+    state: Mutex<TeamState>,
+    /// Workers park here between runs.
+    work_cv: Condvar,
+    /// The initiating caller parks here until `pending == 0`.
+    done_cv: Condvar,
+    /// Later concurrent callers park here until the job slot frees up.
+    queue_cv: Condvar,
+}
+
+/// A simulated cluster. Executes SPMD closures — one persistent worker
+/// thread per (locale, task) slot, parked between runs — and records
+/// per-locale communication statistics.
 pub struct Cluster {
     spec: ClusterSpec,
     stats: Vec<CommStats>,
     barrier: SenseBarrier,
+    team: std::sync::Arc<Team>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster").field("spec", &self.spec).finish_non_exhaustive()
+    }
 }
 
 impl Cluster {
@@ -35,6 +97,20 @@ impl Cluster {
             stats: (0..spec.locales).map(|_| CommStats::new()).collect(),
             barrier: SenseBarrier::new(spec.locales),
             spec,
+            team: std::sync::Arc::new(Team {
+                state: Mutex::new(TeamState {
+                    job: None,
+                    epoch: 0,
+                    pending: 0,
+                    spawned: 0,
+                    panic: None,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+                queue_cv: Condvar::new(),
+            }),
+            handles: Mutex::new(Vec::new()),
         }
     }
 
@@ -64,8 +140,21 @@ impl Cluster {
         }
     }
 
-    /// Runs `f` once per locale (SPMD), each invocation on its own OS
-    /// thread, and returns the per-locale results in locale order.
+    /// The execution context of one locale (exposed so long-lived engines
+    /// can drive per-locale work outside a [`Cluster::run`] closure).
+    fn ctx(&self, locale: usize) -> LocaleCtx<'_> {
+        LocaleCtx {
+            locale,
+            n_locales: self.spec.locales,
+            cores: self.spec.cores_per_locale,
+            stats: &self.stats,
+            barrier: &self.barrier,
+        }
+    }
+
+    /// Runs `f` once per locale (SPMD) on the persistent team — one
+    /// parked worker thread per locale, woken for the run — and returns
+    /// the per-locale results in locale order.
     ///
     /// This is the analogue of the paper's
     /// `coforall loc in Locales do on loc { ... }`.
@@ -75,29 +164,157 @@ impl Cluster {
         F: Fn(&LocaleCtx<'_>) -> R + Sync,
     {
         let n = self.spec.locales;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for locale in 0..n {
-                let ctx = LocaleCtx {
-                    locale,
-                    n_locales: n,
-                    cores: self.spec.cores_per_locale,
-                    stats: &self.stats,
-                    barrier: &self.barrier,
-                };
-                let f = &f;
-                handles.push(scope.spawn(move || f(&ctx)));
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        {
+            let slots = SlotPtr(out.as_mut_ptr());
+            self.run_impl(1, &|locale, _task| {
+                let r = f(&self.ctx(locale));
+                // SAFETY: slot `locale` is written by exactly one task,
+                // and `out` outlives the run (the caller blocks in
+                // `run_impl` until every slot completed).
+                unsafe { *slots.get().add(locale) = Some(r) };
+            });
+        }
+        out.into_iter().map(|r| r.expect("locale task completed")).collect()
+    }
+
+    /// Runs `tasks_per_locale` concurrent tasks on every locale (the
+    /// paper's nested `coforall` — e.g. the producer/consumer pipeline's
+    /// task set). All `locales × tasks_per_locale` tasks execute
+    /// concurrently on the persistent team; `f` receives the locale
+    /// context and the task index within the locale.
+    pub fn run_tasks<F>(&self, tasks_per_locale: usize, f: F)
+    where
+        F: Fn(&LocaleCtx<'_>, usize) + Sync,
+    {
+        assert!(tasks_per_locale >= 1, "need at least one task per locale");
+        self.run_impl(tasks_per_locale, &|locale, task| f(&self.ctx(locale), task));
+    }
+
+    /// Publishes one SPMD job to the team and blocks until every slot has
+    /// completed, growing the worker set lazily to the run's width.
+    fn run_impl(&self, tasks_per_locale: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        let locales = self.spec.locales;
+        let slots = locales * tasks_per_locale;
+        if slots == 1 {
+            // Single-slot run: no concurrency needed, execute in place
+            // (panics propagate natively).
+            return f(0, 0);
+        }
+        let job = TeamJob {
+            data: &f as *const &(dyn Fn(usize, usize) + Sync) as *const (),
+            call: call_team_job,
+            locales,
+            tasks_per_locale,
+        };
+        {
+            let mut st = self.team.state.lock().unwrap();
+            // Top the persistent team up to this run's width; workers are
+            // parked between runs, never torn down before Drop.
+            while st.spawned < slots {
+                let index = st.spawned;
+                let team = std::sync::Arc::clone(&self.team);
+                let handle = std::thread::Builder::new()
+                    .name(format!("ls-locale-{index}"))
+                    .spawn(move || team_worker(team, index))
+                    .expect("spawn locale worker");
+                self.handles.lock().unwrap().push(handle);
+                st.spawned += 1;
             }
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(r) => r,
-                    // Re-raise with the original payload so callers (and
-                    // #[should_panic] tests) see the real message.
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
-        })
+            // One run at a time per cluster; concurrent callers queue.
+            while st.job.is_some() {
+                st = self.team.queue_cv.wait(st).unwrap();
+            }
+            st.job = Some(job);
+            st.epoch = st.epoch.wrapping_add(1);
+            st.pending = slots;
+            st.panic = None;
+        }
+        self.team.work_cv.notify_all();
+        let payload = {
+            let mut st = self.team.state.lock().unwrap();
+            while st.pending != 0 {
+                st = self.team.done_cv.wait(st).unwrap();
+            }
+            st.job = None;
+            st.panic.take()
+        };
+        self.team.queue_cv.notify_one();
+        if let Some(payload) = payload {
+            // Re-raise with the original payload so callers (and
+            // #[should_panic] tests) see the real message.
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        {
+            let mut st = self.team.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.team.work_cv.notify_all();
+        for handle in self.handles.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The monomorphization-free shim [`TeamJob::call`] points at.
+unsafe fn call_team_job(data: *const (), locale: usize, task: usize) {
+    let f = *(data as *const &(dyn Fn(usize, usize) + Sync));
+    f(locale, task)
+}
+
+/// A shareable raw slot pointer (accessor method so closures capture the
+/// `Sync` wrapper, not the bare pointer field).
+struct SlotPtr<R>(*mut Option<R>);
+unsafe impl<R: Send> Send for SlotPtr<R> {}
+unsafe impl<R: Send> Sync for SlotPtr<R> {}
+impl<R> SlotPtr<R> {
+    fn get(&self) -> *mut Option<R> {
+        self.0
+    }
+}
+
+/// The parked-worker loop: wait for a run that includes this slot,
+/// execute it, report completion, park again.
+fn team_worker(team: std::sync::Arc<Team>, index: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = team.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                match st.job {
+                    Some(job) if st.epoch != last_epoch => {
+                        last_epoch = st.epoch;
+                        break (index < job.locales * job.tasks_per_locale).then_some(job);
+                    }
+                    _ => st = team.work_cv.wait(st).unwrap(),
+                }
+            }
+        };
+        let Some(job) = job else { continue };
+        let locale = index % job.locales;
+        let task = index / job.locales;
+        // SAFETY: the job (and the closure it points at) outlives this
+        // call — the publisher blocks until `pending` reaches zero.
+        let result =
+            catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, locale, task) }));
+        let mut st = team.state.lock().unwrap();
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.pending -= 1;
+        if st.pending == 0 {
+            team.done_cv.notify_all();
+        }
     }
 }
 
@@ -194,6 +411,57 @@ mod tests {
         assert_eq!(cluster.stats_total().barriers, 2);
         cluster.reset_stats();
         assert_eq!(cluster.stats_total().barriers, 0);
+    }
+
+    #[test]
+    fn run_tasks_are_genuinely_concurrent() {
+        // 3 locales × 4 tasks: every task must rendezvous at one barrier,
+        // which only terminates if all 12 run concurrently (the guarantee
+        // the producer/consumer pipeline depends on: producers block on
+        // channel capacity until consumers drain).
+        let cluster = Cluster::new(ClusterSpec::new(3, 2));
+        let rendezvous = std::sync::Barrier::new(12);
+        let hits: Vec<AtomicUsize> = (0..12).map(|_| AtomicUsize::new(0)).collect();
+        cluster.run_tasks(4, |ctx, task| {
+            rendezvous.wait();
+            hits[ctx.locale() * 4 + task].fetch_add(1, Ordering::SeqCst);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn team_is_reused_across_runs() {
+        // Many runs on one cluster: the persistent team handles changing
+        // widths (1 task, then 3, then 1) without respawning per call.
+        let cluster = Cluster::new(ClusterSpec::new(2, 1));
+        for round in 0..50usize {
+            let ids = cluster.run(|ctx| ctx.locale() * 100 + round);
+            assert_eq!(ids, vec![round, 100 + round]);
+            let total = AtomicUsize::new(0);
+            cluster.run_tasks(3, |_ctx, task| {
+                total.fetch_add(task + 1, Ordering::SeqCst);
+            });
+            // 2 locales × (1 + 2 + 3).
+            assert_eq!(total.load(Ordering::SeqCst), 12);
+        }
+    }
+
+    #[test]
+    fn panic_in_one_locale_propagates_and_team_survives() {
+        let cluster = Cluster::new(ClusterSpec::new(2, 1));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cluster.run(|ctx| {
+                if ctx.locale() == 1 {
+                    panic!("locale 1 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The team keeps serving runs after a panicked one.
+        let ids = cluster.run(|ctx| ctx.locale());
+        assert_eq!(ids, vec![0, 1]);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Pins the persistent pool's determinism guarantee end to end: batched
+//! matvec products and a full 30-step Lanczos ground-state run are
+//! **bit-exact** across thread counts (`LS_NUM_THREADS=1` vs the
+//! default), on randomized symmetrized sectors.
+//!
+//! Why this holds by construction:
+//! * batched pull computes every output element independently, in a fixed
+//!   per-row channel order;
+//! * batched push replays contributions in serial source order during the
+//!   merge sweep, regardless of how chunks were claimed;
+//! * every Lanczos reduction (`par_dot`, `par_norm_sqr`, the fused
+//!   matvec+dot and axpy+norm epilogues) uses per-block partials over a
+//!   thread-independent partition combined in a fixed pairwise tree.
+//!
+//! The thread count is driven through `rayon::set_thread_limit` — the
+//! process-global override that emulates `LS_NUM_THREADS` (the env
+//! variable itself is parsed once per process, so two counts cannot be
+//! tested through it in one test binary). Everything lives in one `#[test]`
+//! so the override is never mutated concurrently.
+
+use exact_diag::basis::{SectorSpec, SpinBasis, SymmetrizedOperator};
+use exact_diag::core::matvec::{apply_batched_pull_pooled, apply_batched_push_pooled};
+use exact_diag::core::MatvecScratchPool;
+use exact_diag::prelude::*;
+use exact_diag::symmetry::lattice::{chain_bonds, chain_group};
+
+fn random_vec(dim: usize, seed: u64) -> Vec<f64> {
+    (0..dim)
+        .map(|i| {
+            let h = exact_diag::kernels::hash64_01(seed.wrapping_add(i as u64));
+            (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+/// The randomized sector set: U(1)-only and fully symmetrized chains of
+/// varying size (hash-driven, so the choice is reproducible).
+fn sectors(seed: u64) -> Vec<(usize, SectorSpec)> {
+    let mut out = Vec::new();
+    for (case, &n) in [12usize, 14, 16].iter().enumerate() {
+        let h = exact_diag::kernels::hash64_01(seed.wrapping_add(case as u64));
+        let sector = if h & 8 == 0 {
+            // U(1)-only: a hash-picked weight near half filling.
+            let weight = (n / 2 - 1 + (h % 3) as usize) as u32;
+            SectorSpec::with_weight(n as u32, weight).unwrap()
+        } else {
+            // Fully symmetrized (translation + reflection + spin flip);
+            // spin inversion requires exact half filling.
+            let group = chain_group(n, 0, Some(0), Some(0)).unwrap();
+            SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap()
+        };
+        out.push((n, sector));
+    }
+    out
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// One full single-thread vs multi-thread comparison for one sector.
+fn check_sector(n: usize, sector: SectorSpec, threads: usize) {
+    let kernel = heisenberg(&chain_bonds(n), 1.0).to_kernel(n as u32).unwrap();
+    let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
+    let run = |limit: usize| {
+        let prev = rayon::set_thread_limit(limit);
+        // Rebuild the basis under this thread count too: enumeration
+        // chunking must not affect the state list.
+        let basis = SpinBasis::build(sector.clone());
+        let dim = basis.dim();
+        let x = random_vec(dim, n as u64 ^ 0xc0ffee);
+        let pool = MatvecScratchPool::new();
+        let mut pull = vec![0.0; dim];
+        apply_batched_pull_pooled(&op, &basis, &x, &mut pull, &pool);
+        let mut push = vec![0.0; dim];
+        apply_batched_push_pooled(&op, &basis, &x, &mut push, &pool);
+
+        // Full 30-step Lanczos ground-state run through the public
+        // operator (fused matvec+dot epilogue, parallel BLAS-1, shared
+        // scratch pool).
+        let full = Operator::<f64>::from_parts(op.clone(), std::sync::Arc::new(basis));
+        let res = lanczos_smallest(
+            &full,
+            1,
+            &LanczosOptions {
+                max_iter: 30,
+                tol: 1e-14,
+                want_vectors: true,
+                ..Default::default()
+            },
+        );
+        rayon::set_thread_limit(prev);
+        (
+            bits(&pull),
+            bits(&push),
+            res.eigenvalues[0].to_bits(),
+            bits(&res.eigenvectors.unwrap()[0]),
+            res.iterations,
+        )
+    };
+    let serial = run(1);
+    let parallel = run(threads);
+    assert_eq!(serial.0, parallel.0, "batched pull diverged (n={n})");
+    assert_eq!(serial.1, parallel.1, "batched push diverged (n={n})");
+    assert_eq!(
+        serial.2,
+        parallel.2,
+        "Lanczos ground-state energy diverged (n={n}): {} vs {}",
+        f64::from_bits(serial.2),
+        f64::from_bits(parallel.2)
+    );
+    assert_eq!(serial.3, parallel.3, "Lanczos ground-state vector diverged (n={n})");
+    assert_eq!(serial.4, parallel.4, "Lanczos iteration count diverged (n={n})");
+}
+
+#[test]
+fn matvec_and_lanczos_bit_exact_across_thread_counts() {
+    // Oversubscribe deliberately when the machine is small: the pool
+    // spawns workers lazily, and determinism must hold regardless.
+    let threads = rayon::current_num_threads().max(4);
+    for (n, sector) in sectors(0x5eed_0001) {
+        check_sector(n, sector, threads);
+    }
+}
