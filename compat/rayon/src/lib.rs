@@ -254,6 +254,11 @@ fn worker_loop(index: usize) {
 struct CursorJob {
     cursor: AtomicUsize,
     n_chunks: usize,
+    /// Consecutive chunks claimed per cursor bump. Claiming short *runs*
+    /// instead of single chunks keeps each thread sweeping a contiguous
+    /// index range (the locality static striping gets for free) while
+    /// retaining dynamic balancing at run granularity.
+    claim: usize,
     data: *const (),
     call: unsafe fn(*const (), usize),
     poisoned: AtomicBool,
@@ -269,21 +274,27 @@ impl CursorJob {
     /// Claims and runs chunks until the cursor is exhausted (or a chunk
     /// panicked). Runs on the caller *and* every participating worker.
     fn work(&self) {
-        while !self.poisoned.load(Ordering::Relaxed) {
-            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= self.n_chunks {
+        'claims: while !self.poisoned.load(Ordering::Relaxed) {
+            let lo = self.cursor.fetch_add(self.claim, Ordering::Relaxed);
+            if lo >= self.n_chunks {
                 break;
             }
-            // SAFETY: `data` points at the closure in the initiating
-            // caller's frame, which outlives the job (the caller blocks
-            // until `active == 0`); the closure is `Sync`.
-            if let Err(payload) =
-                catch_unwind(AssertUnwindSafe(|| unsafe { (self.call)(self.data, i) }))
-            {
-                self.poisoned.store(true, Ordering::Relaxed);
-                let mut slot = self.panic.lock().unwrap();
-                if slot.is_none() {
-                    *slot = Some(payload);
+            let hi = (lo + self.claim).min(self.n_chunks);
+            for i in lo..hi {
+                if self.poisoned.load(Ordering::Relaxed) {
+                    break 'claims;
+                }
+                // SAFETY: `data` points at the closure in the initiating
+                // caller's frame, which outlives the job (the caller blocks
+                // until `active == 0`); the closure is `Sync`.
+                if let Err(payload) =
+                    catch_unwind(AssertUnwindSafe(|| unsafe { (self.call)(self.data, i) }))
+                {
+                    self.poisoned.store(true, Ordering::Relaxed);
+                    let mut slot = self.panic.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
                 }
             }
         }
@@ -316,6 +327,9 @@ fn run_chunked<F: Fn(usize) + Sync>(n_chunks: usize, run_chunk: F) {
     let job = CursorJob {
         cursor: AtomicUsize::new(0),
         n_chunks,
+        // Aim for ~8 claims per participating thread: long enough runs to
+        // sweep memory contiguously, short enough to rebalance skew.
+        claim: (n_chunks / (threads * 8)).max(1),
         data: &run_chunk as *const F as *const (),
         call: call_chunk::<F>,
         poisoned: AtomicBool::new(false),

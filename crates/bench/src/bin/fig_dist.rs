@@ -1,0 +1,274 @@
+//! Distributed Lanczos: in-place Krylov state vs the old gather-scatter
+//! adapter, versus locale count — emitted as `BENCH_dist.json`.
+//!
+//! Two configurations per locale count:
+//!
+//! * **in_place** — the current solver
+//!   (`ls_dist::eigensolve::dist_lanczos_smallest`): the Krylov
+//!   recurrence runs directly on `DistVec` parts through the generic
+//!   `KrylovVec` pipeline; the only communication is the
+//!   producer/consumer channel traffic of the matrix-vector product.
+//!   Bytes gathered per iteration are read off the cluster's RMA
+//!   statistics and **must be zero** — the CI bench-smoke step asserts
+//!   it.
+//! * **gather_scatter** — a faithful replica of the adapter this PR
+//!   deleted: every product scatters the dense Krylov vector into a
+//!   freshly allocated `DistVec`, runs the engine, and gathers the
+//!   result back into one node-local buffer (the shared-memory solver
+//!   then iterates on dense slices). The replica counts its own gather
+//!   and scatter bytes, which is what the old adapter's O(dim) copies
+//!   per iteration cost — on top of capping the solver at single-node
+//!   memory.
+//!
+//! Both runs use the same engine options and iteration count, and the
+//! binary asserts their ground-state estimates agree (the recurrences
+//! are mathematically identical; only reduction partitioning differs).
+//!
+//! ```sh
+//! cargo run --release -p ls-bench --bin fig_dist -- \
+//!     [--sites N] [--iters I] [--reps R] [--locales 1,2,4] \
+//!     [--out BENCH_dist.json]
+//! ```
+
+use ls_basis::{SectorSpec, SymmetrizedOperator};
+use ls_dist::eigensolve::{dist_lanczos_smallest, DistLanczosOptions, DistOp};
+use ls_dist::matvec::pc::PcEngine;
+use ls_dist::{enumerate_dist, DistSpinBasis, PcOptions};
+use ls_eigen::{lanczos_smallest, LanczosOptions, LinearOp};
+use ls_kernels::Scalar;
+use ls_runtime::{Cluster, ClusterSpec, DistVec};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The deleted adapter, preserved here as the benchmark baseline: dense
+/// node-local Krylov vectors, scattered and gathered around every
+/// product, with a fresh `DistVec` allocated per apply.
+struct GatherScatterOp<'a, S: Scalar> {
+    cluster: &'a Cluster,
+    op: &'a SymmetrizedOperator<S>,
+    basis: &'a DistSpinBasis,
+    engine: PcEngine<S>,
+    lens: Vec<usize>,
+    gathered_bytes: AtomicU64,
+    scattered_bytes: AtomicU64,
+}
+
+impl<S: Scalar> GatherScatterOp<'_, S> {
+    fn scatter(&self, x: &[S]) -> DistVec<S> {
+        self.scattered_bytes.fetch_add(std::mem::size_of_val(x) as u64, Ordering::Relaxed);
+        let mut out = DistVec::new(self.lens.len());
+        let mut cursor = 0usize;
+        for (l, &len) in self.lens.iter().enumerate() {
+            out.part_mut(l).extend_from_slice(&x[cursor..cursor + len]);
+            cursor += len;
+        }
+        out
+    }
+
+    fn gather(&self, v: &DistVec<S>, out: &mut [S]) {
+        self.gathered_bytes.fetch_add(std::mem::size_of_val(out) as u64, Ordering::Relaxed);
+        let mut cursor = 0usize;
+        for l in 0..self.lens.len() {
+            let part = v.part(l);
+            out[cursor..cursor + part.len()].copy_from_slice(part);
+            cursor += part.len();
+        }
+    }
+}
+
+impl<S: Scalar> LinearOp<S> for GatherScatterOp<'_, S> {
+    fn dim(&self) -> usize {
+        self.basis.dim() as usize
+    }
+
+    fn apply(&self, x: &[S], y: &mut [S]) {
+        let xd = self.scatter(x);
+        let mut yd = DistVec::<S>::zeros(&self.lens);
+        self.engine.apply(self.cluster, self.op, self.basis, &xd, &mut yd);
+        self.gather(&yd, y);
+    }
+
+    fn is_hermitian(&self) -> bool {
+        self.op.is_hermitian()
+    }
+}
+
+struct Cell {
+    locales: usize,
+    mode: &'static str,
+    lanczos_iter_seconds: f64,
+    gathered_bytes_per_iter: u64,
+    scattered_bytes_per_iter: u64,
+    energy: f64,
+}
+
+fn main() {
+    let mut sites = 16usize;
+    let mut iters = 6usize;
+    let mut reps = 3usize;
+    let mut locales_arg = vec![1usize, 2, 4];
+    let mut out_path = String::from("BENCH_dist.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().expect("missing value for flag");
+        match arg.as_str() {
+            "--sites" => sites = value().parse().unwrap(),
+            "--iters" => iters = value().parse().unwrap(),
+            "--reps" => reps = value().parse().unwrap(),
+            "--locales" => {
+                locales_arg = value().split(',').map(|t| t.trim().parse().unwrap()).collect()
+            }
+            "--out" => out_path = value(),
+            other => {
+                panic!("unknown flag {other} (try --sites/--iters/--reps/--locales/--out)")
+            }
+        }
+    }
+
+    // The paper's benchmark family: Heisenberg chain, fully symmetric
+    // sector at half filling.
+    let kernel = ls_expr::builders::heisenberg(&ls_symmetry::lattice::chain_bonds(sites), 1.0)
+        .to_kernel(sites as u32)
+        .unwrap();
+    let group = ls_symmetry::lattice::chain_group(sites, 0, Some(0), Some(0)).unwrap();
+    let sector = SectorSpec::new(sites as u32, Some(sites as u32 / 2), group).unwrap();
+    let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
+
+    let lanczos_opts = LanczosOptions { max_iter: iters, tol: 1e-300, ..Default::default() };
+    let pc = PcOptions::default();
+
+    println!("fig_dist: {sites} sites, locales {locales_arg:?}, {iters} iterations");
+    let mut cells: Vec<Cell> = Vec::new();
+    for &locales in &locales_arg {
+        let cluster = Cluster::new(ClusterSpec::new(locales, 2));
+        let basis = enumerate_dist(&cluster, &sector, 4);
+        let dim = basis.dim();
+
+        // In-place path: median over interleaved rounds; RMA gets are the
+        // gather counter (the producer/consumer pipeline issues none).
+        let mut t_inplace = Vec::with_capacity(reps);
+        let mut t_gs = Vec::with_capacity(reps);
+        let mut e_inplace = f64::NAN;
+        let mut e_gs = f64::NAN;
+        let mut inplace_get_bytes = 0u64;
+        let mut gs_gathered = 0u64;
+        let mut gs_scattered = 0u64;
+        // Alternate which mode runs first each round so slow machine
+        // drift (frequency scaling, cache warmth) biases neither mode.
+        for round in 0..reps.max(1) {
+            for half in 0..2 {
+                if (round + half) % 2 == 0 {
+                    cluster.reset_stats();
+                    let t = std::time::Instant::now();
+                    let res = dist_lanczos_smallest(
+                        &cluster,
+                        &op,
+                        &basis,
+                        1,
+                        &DistLanczosOptions { lanczos: lanczos_opts.clone(), pc },
+                    );
+                    t_inplace.push(t.elapsed().as_secs_f64() / res.iterations.max(1) as f64);
+                    e_inplace = res.eigenvalues[0];
+                    inplace_get_bytes = cluster.stats_total().get_bytes;
+                } else {
+                    let gs_op = GatherScatterOp {
+                        cluster: &cluster,
+                        op: &op,
+                        basis: &basis,
+                        engine: PcEngine::new(locales, pc),
+                        lens: basis.states().lens(),
+                        gathered_bytes: AtomicU64::new(0),
+                        scattered_bytes: AtomicU64::new(0),
+                    };
+                    let t = std::time::Instant::now();
+                    let res = lanczos_smallest(&gs_op, 1, &lanczos_opts);
+                    let its = res.iterations.max(1) as u64;
+                    t_gs.push(t.elapsed().as_secs_f64() / its as f64);
+                    e_gs = res.eigenvalues[0];
+                    gs_gathered = gs_op.gathered_bytes.load(Ordering::Relaxed) / its;
+                    gs_scattered = gs_op.scattered_bytes.load(Ordering::Relaxed) / its;
+                }
+            }
+        }
+        assert_eq!(
+            inplace_get_bytes, 0,
+            "in-place distributed Lanczos gathered {inplace_get_bytes} bytes"
+        );
+        assert!(
+            (e_inplace - e_gs).abs() < 1e-6 * e_gs.abs().max(1.0),
+            "paths disagree at {locales} locales: {e_inplace} vs {e_gs}"
+        );
+        let median = |mut s: Vec<f64>| -> f64 {
+            s.sort_by(f64::total_cmp);
+            s[s.len() / 2]
+        };
+        let (ti, tg) = (median(t_inplace), median(t_gs));
+        println!(
+            "  locales {locales}: dim {dim}, in-place {}/iter (0 B gathered), \
+             gather-scatter {}/iter ({} B gathered + {} B scattered per iter)",
+            ls_bench::fmt_secs(ti),
+            ls_bench::fmt_secs(tg),
+            gs_gathered,
+            gs_scattered,
+        );
+        cells.push(Cell {
+            locales,
+            mode: "in_place",
+            lanczos_iter_seconds: ti,
+            gathered_bytes_per_iter: 0,
+            scattered_bytes_per_iter: 0,
+            energy: e_inplace,
+        });
+        cells.push(Cell {
+            locales,
+            mode: "gather_scatter",
+            lanczos_iter_seconds: tg,
+            gathered_bytes_per_iter: gs_gathered,
+            scattered_bytes_per_iter: gs_scattered,
+            energy: e_gs,
+        });
+
+        // Smoke the in-place dynamics entry points on the same layout
+        // (cheap: a handful of extra products) so the bench also guards
+        // the distributed propagators against gathers.
+        cluster.reset_stats();
+        let psi = DistVec::<f64>::from_parts(
+            basis.states().lens().iter().map(|&l| vec![1.0; l]).collect(),
+        );
+        let _ = ls_dist::dist_evolve_imaginary_time(&cluster, &op, &basis, &psi, 0.5, 5, pc);
+        let _ = ls_dist::dist_spectral_coefficients(&cluster, &op, &basis, &psi, 5, pc);
+        let dyn_gets = cluster.stats_total().get_bytes;
+        assert_eq!(dyn_gets, 0, "distributed dynamics gathered {dyn_gets} bytes");
+
+        // And the fused apply_dot contract: bit-identical to the separate
+        // locale-ordered dot over the same product output.
+        let dist_op = DistOp::new(&cluster, &op, &basis, pc);
+        let mut y = ls_eigen::KrylovOp::new_vec(&dist_op);
+        let d = ls_eigen::KrylovOp::apply_dot(&dist_op, &psi, &mut y);
+        assert_eq!(d.to_bits(), ls_dist::blas::dot(&psi, &y).to_bits());
+    }
+
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"locales\": {}, \"mode\": \"{}\", \"lanczos_iter_seconds\": {:.9}, \
+                 \"gathered_bytes_per_iter\": {}, \"scattered_bytes_per_iter\": {}, \
+                 \"energy\": {:.12}}}",
+                c.locales,
+                c.mode,
+                c.lanczos_iter_seconds,
+                c.gathered_bytes_per_iter,
+                c.scattered_bytes_per_iter,
+                c.energy
+            )
+        })
+        .collect();
+    let dim = sector.dimension();
+    let json = format!(
+        "{{\n  \"bench\": \"dist\",\n  \"sites\": {sites},\n  \"dim\": {dim},\n  \
+         \"iters\": {iters},\n  \"reps\": {reps},\n  \"series\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -55,7 +55,10 @@ pub mod prelude {
     pub use crate::observables::{expectation, structure_factor, sz_correlations};
     pub use crate::operator::Operator;
     pub use ls_basis::{BasisError, SectorSpec, SpinBasis, SymmetrizedOperator};
-    pub use ls_eigen::{lanczos_smallest, LanczosOptions, LinearOp};
+    pub use ls_eigen::{
+        evolve_imaginary_time, evolve_real_time, lanczos_smallest, spectral_coefficients,
+        LanczosOptions, LinearOp,
+    };
     pub use ls_expr::builders::{heisenberg, heisenberg_bond, transverse_field, xxz};
     pub use ls_expr::{parse_expr, Expr, OperatorKernel};
     pub use ls_kernels::{Complex64, Scalar};

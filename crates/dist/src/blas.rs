@@ -1,29 +1,32 @@
 //! Level-1 operations on distributed vectors.
 //!
-//! Locally these are the parallel deterministic kernels of
-//! `ls_eigen::op` (per-part partials on the persistent pool); the
-//! distributed versions reduce over locale parts in locale order (the
-//! `allreduce` of a real cluster — on the simulated runtime the
-//! reduction is a plain sum over parts). Per-part results are
-//! bit-deterministic across thread counts, so the whole reduction is.
+//! The canonical implementations live in `ls_eigen::vector` as the
+//! [`KrylovVec`] instance for [`DistVec`] — per part they are the
+//! parallel deterministic kernels of `ls_eigen::op` (fixed-block partials
+//! on the persistent pool), and the per-locale partials reduce in locale
+//! order (the `allreduce` of a real cluster; on the simulated runtime the
+//! reduction is a plain sum over parts). This module re-exposes them as
+//! free functions, including the **fused** counterparts the in-place
+//! distributed Krylov pipeline runs on ([`multi_dot`] / [`multi_axpy`] /
+//! [`multi_axpy_norm_sqr`] for blocked CGS2 reorthogonalization,
+//! [`axpy_norm_sqr`] for the update+norm epilogue). Per-part results are
+//! bit-deterministic across thread counts, so the whole reduction is;
+//! the locale-ordered combination means results across *cluster shapes*
+//! agree to rounding, exactly like a real machine.
 
-use ls_eigen::op as blas;
+use ls_eigen::KrylovVec;
 use ls_kernels::Scalar;
 use ls_runtime::DistVec;
 
 /// Hermitian inner product `⟨a, b⟩ = Σ conj(a_i) b_i`.
 pub fn dot<S: Scalar>(a: &DistVec<S>, b: &DistVec<S>) -> S {
     assert_eq!(a.lens(), b.lens(), "distributed dot of mismatched layouts");
-    let mut acc = S::ZERO;
-    for (pa, pb) in a.parts().iter().zip(b.parts()) {
-        acc += blas::par_dot(pa, pb);
-    }
-    acc
+    KrylovVec::dot(a, b)
 }
 
 /// Squared 2-norm (always real).
 pub fn norm_sqr<S: Scalar>(a: &DistVec<S>) -> f64 {
-    a.parts().iter().map(|p| blas::par_norm_sqr(p)).sum()
+    KrylovVec::norm_sqr(a)
 }
 
 /// 2-norm.
@@ -34,16 +37,41 @@ pub fn norm<S: Scalar>(a: &DistVec<S>) -> f64 {
 /// `y += alpha * x`, part by part.
 pub fn axpy<S: Scalar>(alpha: S, x: &DistVec<S>, y: &mut DistVec<S>) {
     assert_eq!(x.lens(), y.lens(), "distributed axpy of mismatched layouts");
-    for (px, py) in x.parts().iter().zip(y.parts_mut()) {
-        blas::par_axpy(alpha, px, py);
-    }
+    KrylovVec::axpy(y, alpha, x);
 }
 
 /// `x *= alpha` (real scale), part by part.
 pub fn scale<S: Scalar>(x: &mut DistVec<S>, alpha: f64) {
-    for part in x.parts_mut() {
-        blas::par_scale(part, alpha);
-    }
+    KrylovVec::scale(x, alpha);
+}
+
+/// Fused `y += alpha * x; ‖y‖²` in one sweep over every part.
+pub fn axpy_norm_sqr<S: Scalar>(alpha: S, x: &DistVec<S>, y: &mut DistVec<S>) -> f64 {
+    assert_eq!(x.lens(), y.lens(), "distributed axpy of mismatched layouts");
+    KrylovVec::axpy_norm_sqr(y, alpha, x)
+}
+
+/// Blocked multi-vector inner products: `out[b] = ⟨vs[b], w⟩` for every
+/// vector at once, sweeping each part of `w` exactly once — the
+/// coefficient half of distributed blocked (CGS2) reorthogonalization.
+pub fn multi_dot<S: Scalar>(vs: &[DistVec<S>], w: &DistVec<S>) -> Vec<S> {
+    KrylovVec::multi_dot(vs, w)
+}
+
+/// Blocked multi-vector update: `w += Σ_b coeffs[b] · vs[b]`, sweeping
+/// each part of `w` exactly once (ascending `b` per element).
+pub fn multi_axpy<S: Scalar>(coeffs: &[S], vs: &[DistVec<S>], w: &mut DistVec<S>) {
+    KrylovVec::multi_axpy(coeffs, vs, w);
+}
+
+/// [`multi_axpy`] fused with `‖w‖²` of the result — the final
+/// reorthogonalization pass and the β norm in one sweep per part.
+pub fn multi_axpy_norm_sqr<S: Scalar>(
+    coeffs: &[S],
+    vs: &[DistVec<S>],
+    w: &mut DistVec<S>,
+) -> f64 {
+    KrylovVec::multi_axpy_norm_sqr(coeffs, vs, w)
 }
 
 #[cfg(test)]
@@ -67,5 +95,42 @@ mod tests {
     fn complex_dot_conjugates_left() {
         let a = DistVec::from_parts(vec![vec![Complex64::new(0.0, 1.0)]]);
         assert!(dot(&a, &a).approx_eq(Complex64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn fused_kernels_match_split_pairs() {
+        let lens = [3usize, 0, 4];
+        let mk = |seed: f64| {
+            DistVec::from_parts(
+                lens.iter()
+                    .scan(0usize, |k, &len| {
+                        let part = (0..len).map(|i| ((*k + i) as f64 * seed).sin()).collect();
+                        *k += len;
+                        Some(part)
+                    })
+                    .collect(),
+            )
+        };
+        let x = mk(0.7);
+        let y0 = mk(-1.3);
+        let vs = [mk(0.31), mk(0.57)];
+
+        let mut y1 = y0.clone();
+        let fused = axpy_norm_sqr(0.37, &x, &mut y1);
+        let mut y2 = y0.clone();
+        axpy(0.37, &x, &mut y2);
+        assert_eq!(y1, y2);
+        assert_eq!(fused.to_bits(), norm_sqr(&y2).to_bits());
+
+        let coeffs = multi_dot(&vs, &x);
+        for (b, v) in vs.iter().enumerate() {
+            assert_eq!(coeffs[b].to_bits(), dot(v, &x).to_bits(), "lane {b}");
+        }
+        let mut w1 = y0.clone();
+        let fused = multi_axpy_norm_sqr(&coeffs, &vs, &mut w1);
+        let mut w2 = y0.clone();
+        multi_axpy(&coeffs, &vs, &mut w2);
+        assert_eq!(w1, w2);
+        assert_eq!(fused.to_bits(), norm_sqr(&w2).to_bits());
     }
 }

@@ -32,8 +32,18 @@ pub fn to_block<T: Clone>(data: &[T], locales: usize) -> DistVec<T> {
 
 /// The hash-distribution masks of block-distributed basis states: entry
 /// `i` says which locale owns state `i` in the hashed layout.
+///
+/// # Panics
+/// Panics when the cluster has more locales than a `u16` mask can name
+/// (65536): a silent `as u16` truncation would mis-route every state
+/// whose owner index exceeds `u16::MAX`, corrupting the redistribution.
 pub fn hashed_masks(cluster: &Cluster, states_block: &DistVec<u64>) -> DistVec<u16> {
     let locales = cluster.n_locales();
+    assert!(
+        locales <= u16::MAX as usize + 1,
+        "u16 masks address at most 65536 locales, cluster has {locales}; \
+         widen the mask type before scaling past that"
+    );
     DistVec::from_parts(
         states_block
             .parts()
@@ -288,6 +298,29 @@ mod tests {
         let block = DistVec::from_parts(vec![vec![1u64, 2, 3], vec![]]);
         let masks = DistVec::from_parts(vec![vec![0u16, 0, 0], vec![]]);
         let _ = block_to_hashed(&cluster, &block, &masks, 1);
+    }
+
+    #[test]
+    fn mask_width_boundary_accepted() {
+        // Exactly 65536 locales still fit a u16 mask (owners 0..=65535).
+        // No cluster threads are spawned: hashed_masks only reads the
+        // locale count.
+        let cluster = Cluster::new(ClusterSpec::new(65_536, 1));
+        let states = DistVec::from_parts(
+            (0..65_536).map(|l| if l == 0 { vec![7u64, 9, 11] } else { Vec::new() }).collect(),
+        );
+        let masks = hashed_masks(&cluster, &states);
+        for (&s, &m) in states.part(0).iter().zip(masks.part(0)) {
+            assert_eq!(m as usize, ls_kernels::locale_idx_of(s, 65_536));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "u16 masks address at most 65536 locales")]
+    fn mask_width_overflow_rejected() {
+        let cluster = Cluster::new(ClusterSpec::new(65_537, 1));
+        let states = DistVec::from_parts((0..65_537).map(|_| Vec::new()).collect());
+        let _ = hashed_masks(&cluster, &states);
     }
 
     #[test]

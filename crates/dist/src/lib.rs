@@ -20,18 +20,31 @@
 //!   Sec. 5.3 ([`matvec::matvec_pc`] / [`matvec::pc::PcEngine`]) that
 //!   overlaps row generation with communication through reusable buffer
 //!   channels;
-//! * [`eigensolve`] — distributed Lanczos layered on [`ls_eigen`], with
-//!   buffer reuse across the repeated matrix-vector products;
-//! * [`blas`] — level-1 operations on distributed vectors.
+//! * [`eigensolve`] — distributed Lanczos running **in place on
+//!   [`ls_runtime::DistVec`]** through [`ls_eigen`]'s generic Krylov
+//!   solver ([`eigensolve::DistOp`] implements `KrylovOp<DistVec>`): no
+//!   Krylov vector is ever gathered, and one producer/consumer engine's
+//!   buffers are reused across the repeated matrix-vector products;
+//! * [`dynamics`] — distributed time evolution (`exp(-itH)`, `exp(-τH)`)
+//!   and spectral-function coefficients on the same in-place pipeline;
+//! * [`blas`] — level-1 operations on distributed vectors, including the
+//!   fused blocked-CGS2 kernels (`multi_dot`, `multi_axpy`,
+//!   `multi_axpy_norm_sqr`, `axpy_norm_sqr`) the Krylov recurrence runs
+//!   on.
 
 pub mod basis;
 pub mod blas;
 pub mod convert;
 pub mod distribution;
+pub mod dynamics;
 pub mod eigensolve;
 mod layout;
 pub mod matvec;
 
 pub use basis::{enumerate_dist, DistSpinBasis};
 pub use convert::{block_to_hashed, hashed_to_block};
+pub use dynamics::{
+    dist_evolve_imaginary_time, dist_evolve_real_time, dist_spectral_coefficients,
+};
+pub use eigensolve::{dist_lanczos_smallest, DistLanczosOptions, DistLanczosResult, DistOp};
 pub use matvec::{matvec_batched, matvec_naive, matvec_pc, PcOptions};

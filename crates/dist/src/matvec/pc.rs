@@ -108,6 +108,50 @@ impl<S: Scalar> PcEngine<S> {
         x: &DistVec<S>,
         y: &mut DistVec<S>,
     ) {
+        self.apply_inner(cluster, op, basis, x, y, None);
+    }
+
+    /// One distributed product `y = H x` fused with the inner product
+    /// `⟨x, y⟩` — the matvec+dot epilogue of a distributed Lanczos
+    /// iteration (`α_j = ⟨v_j, H v_j⟩` falls out of the product).
+    ///
+    /// The fusion is locale-local: every contribution to locale `l`'s
+    /// part of `y` is accumulated by locale `l`'s own tasks (owner-side
+    /// ranking), so the moment a locale's last task finishes, its part is
+    /// final — that task computes the locale's dot partial right there,
+    /// while the freshly written part is still cache-resident, before
+    /// crossing the cluster barrier. The per-locale partials (each a
+    /// deterministic [`ls_eigen::op::par_dot`]) are then combined in
+    /// locale order, making the value bit-identical to `apply` followed
+    /// by [`crate::blas::dot`] at any thread count.
+    pub fn apply_dot(
+        &self,
+        cluster: &Cluster,
+        op: &SymmetrizedOperator<S>,
+        basis: &DistSpinBasis,
+        x: &DistVec<S>,
+        y: &mut DistVec<S>,
+    ) -> S {
+        let mut partials = vec![S::ZERO; self.n_locales];
+        self.apply_inner(cluster, op, basis, x, y, Some(&mut partials));
+        // The simulated allreduce: locale-ordered sum of the partials
+        // (exactly `blas::dot`'s combination order).
+        let mut acc = S::ZERO;
+        for p in partials {
+            acc += p;
+        }
+        acc
+    }
+
+    fn apply_inner(
+        &self,
+        cluster: &Cluster,
+        op: &SymmetrizedOperator<S>,
+        basis: &DistSpinBasis,
+        x: &DistVec<S>,
+        y: &mut DistVec<S>,
+        dot_partials: Option<&mut Vec<S>>,
+    ) {
         assert_eq!(
             cluster.n_locales(),
             self.n_locales,
@@ -124,12 +168,16 @@ impl<S: Scalar> PcEngine<S> {
             part.fill(S::ZERO);
         }
         let win = AtomicAccumWindow::new(y);
+        // Race-free indexed stores of the per-locale dot partials (each
+        // slot written by exactly one locale's last task).
+        let dot_lanes = dot_partials.map(|p| ls_eigen::op::atomic_lanes(p));
         let producers = self.opts.producers;
         let consumers = self.opts.consumers;
         // Per-locale countdowns: the last producer to finish closes the
         // locale's outgoing channels (releasing all remote consumers),
-        // and the locale's last task of any kind crosses the cluster
-        // barrier on its behalf — the moral equivalent of the old
+        // and the locale's last task of any kind computes the fused dot
+        // partial (if requested) and crosses the cluster barrier on its
+        // behalf — the moral equivalent of the old
         // scope-join-then-barrier, without spawning a single thread (all
         // tasks run on the cluster's persistent team).
         let live_producers: Vec<AtomicUsize> =
@@ -149,6 +197,19 @@ impl<S: Scalar> PcEngine<S> {
                 self.consume(ctx, basis, &win);
             }
             if live_tasks[me].fetch_sub(1, Ordering::AcqRel) == 1 {
+                if let Some(lanes) = dot_lanes {
+                    // All writes into this locale's part of `y` come from
+                    // this locale's own tasks (producers' local fast path
+                    // and diagonal, consumers' owner-side accumulation),
+                    // and this is the locale's last task — the part is
+                    // final and cache-hot.
+                    // SAFETY: the AcqRel countdown above synchronizes
+                    // with every sibling task's writes; no further
+                    // accumulation into part `me` can occur.
+                    let y_local = unsafe { win.part_slice(me) };
+                    let partial = ls_eigen::op::par_dot(x.part(me), y_local);
+                    ls_eigen::op::store_partial(lanes, me, partial);
+                }
                 ctx.barrier_wait();
             }
         });

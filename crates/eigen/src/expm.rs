@@ -7,114 +7,130 @@
 //! imaginary-time/thermal evolution (`z = -τ`) — the "dynamics" features
 //! packages like QuSpin offer, built on the same matrix-vector product the
 //! paper scales up.
+//!
+//! The propagators are generic over [`KrylovVec`]
+//! ([`evolve_real_time_in`] / [`evolve_imaginary_time_in`]): the Krylov
+//! factorization is the shared blocked-CGS2 pipeline of
+//! [`crate::lanczos`] (fused matvec+dot, one `multi_dot`/`multi_axpy`
+//! sweep per pass instead of a clone-and-subtract per basis vector), and
+//! the lift back is a single fused `multi_axpy` sweep. Distributed
+//! states evolve in place on their locale parts; the slice-based
+//! wrappers ([`evolve_real_time`] / [`evolve_imaginary_time`]) cover the
+//! shared-memory path.
 
-use crate::op::{axpy, dot, norm, scale, LinearOp};
+use crate::lanczos::krylov_factorization;
 use crate::tridiag::tridiag_eigh;
+use crate::vector::{KrylovOp, KrylovVec};
+use crate::LinearOp;
 use ls_kernels::{Complex64, Scalar};
-
-/// Builds an orthonormal Krylov basis and the projected tridiagonal
-/// matrix (full reorthogonalization, like the eigensolver).
-fn lanczos_factorization<S: Scalar, Op: LinearOp<S> + ?Sized>(
-    op: &Op,
-    v0: &[S],
-    m: usize,
-) -> (Vec<Vec<S>>, Vec<f64>, Vec<f64>) {
-    let n = v0.len();
-    let mut basis: Vec<Vec<S>> = Vec::with_capacity(m);
-    let mut alphas = Vec::with_capacity(m);
-    let mut betas: Vec<f64> = Vec::with_capacity(m.saturating_sub(1));
-    let mut v = v0.to_vec();
-    let nv = norm(&v);
-    assert!(nv > 0.0, "zero start vector");
-    scale(&mut v, 1.0 / nv);
-    basis.push(v);
-    let mut w = vec![S::ZERO; n];
-    for j in 0..m {
-        op.apply(&basis[j], &mut w);
-        let alpha = dot(&basis[j], &w).re();
-        alphas.push(alpha);
-        let vj = basis[j].clone();
-        axpy(S::from_re(-alpha), &vj, &mut w);
-        if j > 0 {
-            let prev = basis[j - 1].clone();
-            axpy(S::from_re(-betas[j - 1]), &prev, &mut w);
-        }
-        for _ in 0..2 {
-            for vb in &basis {
-                let c = dot(vb, &w);
-                axpy(-c, vb, &mut w);
-            }
-        }
-        let beta = norm(&w);
-        if beta <= 1e-13 || j + 1 == m {
-            break;
-        }
-        betas.push(beta);
-        scale(&mut w, 1.0 / beta);
-        basis.push(w.clone());
-    }
-    (basis, alphas, betas)
-}
 
 /// `exp(-i t H)|ψ⟩` for a Hermitian operator, via an `m`-dimensional
 /// Krylov space. Unitary up to Krylov truncation error (use `m ≈ 20–40`
-/// for moderate `t·‖H‖`).
+/// for moderate `t·‖H‖`). Slice-based wrapper over
+/// [`evolve_real_time_in`].
 pub fn evolve_real_time<Op: LinearOp<Complex64> + ?Sized>(
     op: &Op,
     psi: &[Complex64],
     t: f64,
     m: usize,
 ) -> Vec<Complex64> {
+    evolve_real_time_owned(op, psi.to_vec(), t, m)
+}
+
+/// `exp(-i t H)|ψ⟩` in place on the operator's vector storage: the
+/// Krylov basis, the projected exponential and the lifted result all
+/// live in `V` (for a distributed state nothing is ever gathered).
+pub fn evolve_real_time_in<V, Op>(op: &Op, psi: &V, t: f64, m: usize) -> V
+where
+    V: KrylovVec<Scalar = Complex64>,
+    Op: KrylovOp<V> + ?Sized,
+{
+    evolve_real_time_owned(op, psi.clone(), t, m)
+}
+
+/// The owned core both entry points lower to: `psi` becomes the first
+/// Krylov vector, so each caller pays exactly one copy of the state.
+fn evolve_real_time_owned<V, Op>(op: &Op, psi: V, t: f64, m: usize) -> V
+where
+    V: KrylovVec<Scalar = Complex64>,
+    Op: KrylovOp<V> + ?Sized,
+{
     assert!(op.is_hermitian());
-    let norm_in = norm(psi);
+    let norm_in = psi.norm();
     if norm_in == 0.0 {
-        return psi.to_vec();
+        return psi;
     }
-    let (basis, alphas, betas) = lanczos_factorization(op, psi, m.max(2));
+    let (basis, alphas, betas) = krylov_factorization(op, psi, m.max(2));
     let k = alphas.len();
     let (vals, vecs) = tridiag_eigh(&alphas, &betas, true);
     let vecs = vecs.unwrap();
     // coeff_j = Σ_k Q_{j,k} e^{-i t λ_k} Q_{0,k} — note `vecs[k][j]` is
     // component j of eigenvector k.
-    let mut out = vec![Complex64::ZERO; psi.len()];
+    let mut coeffs = Vec::with_capacity(k);
     for j in 0..k {
         let mut cj = Complex64::ZERO;
         for (lam, q) in vals.iter().zip(&vecs) {
             cj += Complex64::cis(-t * lam).scale(q[j] * q[0]);
         }
-        axpy(cj.scale(norm_in), &basis[j], &mut out);
+        coeffs.push(cj.scale(norm_in));
     }
+    let mut out = op.new_vec();
+    V::multi_axpy(&coeffs, &basis[..k], &mut out);
     out
 }
 
 /// `exp(-τ H)|ψ⟩` (imaginary time), normalized. Works in real arithmetic
 /// for real sectors; converges to the ground state as `τ → ∞`.
+/// Slice-based wrapper over [`evolve_imaginary_time_in`].
 pub fn evolve_imaginary_time<S: Scalar, Op: LinearOp<S> + ?Sized>(
     op: &Op,
     psi: &[S],
     tau: f64,
     m: usize,
 ) -> Vec<S> {
+    evolve_imaginary_time_owned(op, psi.to_vec(), tau, m)
+}
+
+/// `exp(-τ H)|ψ⟩` (imaginary time, normalized) in place on the
+/// operator's vector storage.
+pub fn evolve_imaginary_time_in<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
+    op: &Op,
+    psi: &V,
+    tau: f64,
+    m: usize,
+) -> V {
+    evolve_imaginary_time_owned(op, psi.clone(), tau, m)
+}
+
+/// The owned core both entry points lower to (one state copy per call).
+fn evolve_imaginary_time_owned<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
+    op: &Op,
+    psi: V,
+    tau: f64,
+    m: usize,
+) -> V {
     assert!(op.is_hermitian());
-    let norm_in = norm(psi);
+    let norm_in = psi.norm();
     assert!(norm_in > 0.0, "zero start vector");
-    let (basis, alphas, betas) = lanczos_factorization(op, psi, m.max(2));
+    let (basis, alphas, betas) = krylov_factorization(op, psi, m.max(2));
     let k = alphas.len();
     let (vals, vecs) = tridiag_eigh(&alphas, &betas, true);
     let vecs = vecs.unwrap();
     // Shift by the smallest Ritz value to avoid overflow for large τ.
     let shift = vals[0];
-    let mut out = vec![S::ZERO; psi.len()];
+    let mut coeffs = Vec::with_capacity(k);
     for j in 0..k {
         let mut cj = 0.0f64;
         for (lam, q) in vals.iter().zip(&vecs) {
             cj += (-tau * (lam - shift)).exp() * q[j] * q[0];
         }
-        axpy(S::from_re(cj), &basis[j], &mut out);
+        coeffs.push(V::Scalar::from_re(cj));
     }
-    let n_out = norm(&out);
+    let mut out = op.new_vec();
+    V::multi_axpy(&coeffs, &basis[..k], &mut out);
+    let n_out = out.norm();
     assert!(n_out > 0.0, "evolution annihilated the state");
-    scale(&mut out, 1.0 / n_out);
+    out.scale(1.0 / n_out);
     out
 }
 
@@ -122,7 +138,7 @@ pub fn evolve_imaginary_time<S: Scalar, Op: LinearOp<S> + ?Sized>(
 mod tests {
     use super::*;
     use crate::jacobi::eigh_real;
-    use crate::op::DenseOp;
+    use crate::op::{dot, norm, DenseOp};
 
     fn random_symmetric(n: usize, seed: u64) -> Vec<f64> {
         let mut s = seed;
@@ -155,7 +171,7 @@ mod tests {
             .collect();
         let e_before = {
             let mut hp = vec![Complex64::ZERO; n];
-            op.apply(&psi, &mut hp);
+            LinearOp::apply(&op, &psi, &mut hp);
             dot(&psi, &hp).re / dot(&psi, &psi).re
         };
         let out = evolve_real_time(&op, &psi, 1.7, n);
@@ -164,7 +180,7 @@ mod tests {
         // Energy preserved.
         let e_after = {
             let mut hp = vec![Complex64::ZERO; n];
-            op.apply(&out, &mut hp);
+            LinearOp::apply(&op, &out, &mut hp);
             dot(&out, &hp).re / dot(&out, &out).re
         };
         assert!((e_before - e_after).abs() < 1e-8, "{e_before} vs {e_after}");
@@ -196,9 +212,9 @@ mod tests {
         let out = evolve_real_time(&op, &psi, t, n);
         // ψ - i t H ψ - t²/2 H²ψ + O(t³)
         let mut hp = vec![Complex64::ZERO; n];
-        op.apply(&psi, &mut hp);
+        LinearOp::apply(&op, &psi, &mut hp);
         let mut hhp = vec![Complex64::ZERO; n];
-        op.apply(&hp, &mut hhp);
+        LinearOp::apply(&op, &hp, &mut hhp);
         for i in 0..n {
             let taylor = psi[i] - Complex64::I.scale(t) * hp[i] - hhp[i].scale(t * t / 2.0);
             assert!(out[i].approx_eq(taylor, 1e-7), "{:?} vs {taylor:?}", out[i]);

@@ -1,5 +1,5 @@
 //! Lanczos with full reorthogonalization, on the parallel fused BLAS-1
-//! pipeline.
+//! pipeline — generic over the Krylov vector storage.
 //!
 //! Plain three-term Lanczos loses orthogonality in floating point (ghost
 //! eigenvalues); since our Krylov dimensions are modest (≲ a few hundred)
@@ -7,21 +7,24 @@
 //! ("twice is enough", Kahan–Parlett). Memory is `m · dim` scalars, which
 //! is the same trade the real `lattice-symmetries` makes for robustness.
 //!
-//! Between the parallel matrix-vector products every vector operation
-//! runs on the deterministic parallel kernels of [`crate::op`]:
-//! reorthogonalization is *blocked* CGS2 (`par_multi_dot` /
-//! `par_multi_axpy` sweep `w` once per pass for the whole basis, not
-//! once per basis vector), and two fused epilogues trim further sweeps —
-//! [`LinearOp::apply_dot`] (matvec+dot, `α_j` falls out of the product)
-//! and [`crate::op::par_multi_axpy_norm_sqr`] (the final update + the β
-//! norm). All reductions use fixed-shape pairwise trees over
-//! thread-independent blocks, so a run is bit-identical for any
-//! `LS_NUM_THREADS`.
+//! The recurrence is written once, against [`KrylovVec`] /
+//! [`KrylovOp`] ([`lanczos_smallest_in`]): between the matrix-vector
+//! products every vector operation is a fused deterministic primitive —
+//! reorthogonalization is *blocked* CGS2 (`multi_dot` / `multi_axpy`
+//! sweep `w` once per pass for the whole basis, not once per basis
+//! vector), and two fused epilogues trim further sweeps —
+//! [`KrylovOp::apply_dot`] (matvec+dot, `α_j` falls out of the product)
+//! and [`KrylovVec::multi_axpy_norm_sqr`] (the final update + the β
+//! norm). On `Vec<S>` these lower to the kernels of [`crate::op`]
+//! (bit-identical for any `LS_NUM_THREADS`); on `DistVec<S>` they run in
+//! place on the locale parts, so the Krylov state never leaves its locale
+//! ([`lanczos_smallest`] is the slice-based wrapper). The Ritz vectors
+//! are assembled in the same storage — a distributed solve returns
+//! distributed eigenvectors.
 
-use crate::op::{
-    par_multi_axpy, par_multi_axpy_norm_sqr, par_multi_dot, par_norm, par_scale, LinearOp,
-};
 use crate::tridiag::tridiag_eigh;
+use crate::vector::{KrylovOp, KrylovVec};
+use crate::LinearOp;
 use ls_kernels::Scalar;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,13 +49,15 @@ impl Default for LanczosOptions {
     }
 }
 
-/// Result of a Lanczos run.
+/// Result of a Lanczos run over vector storage `V` (eigenvectors come
+/// back in the same storage the solver iterated on — a distributed solve
+/// yields distributed Ritz vectors).
 #[derive(Clone, Debug)]
-pub struct LanczosResult<S> {
+pub struct LanczosResultIn<V> {
     /// The `k` smallest Ritz values, ascending.
     pub eigenvalues: Vec<f64>,
     /// Ritz vectors (if requested), aligned with `eigenvalues`.
-    pub eigenvectors: Option<Vec<Vec<S>>>,
+    pub eigenvectors: Option<Vec<V>>,
     /// Krylov dimension actually used.
     pub iterations: usize,
     /// Final residual estimates per returned eigenvalue.
@@ -61,7 +66,12 @@ pub struct LanczosResult<S> {
     pub converged: bool,
 }
 
-/// Computes the `k` smallest eigenpairs of a Hermitian operator.
+/// Result of a shared-memory (slice-backed) Lanczos run.
+pub type LanczosResult<S> = LanczosResultIn<Vec<S>>;
+
+/// Computes the `k` smallest eigenpairs of a Hermitian operator on dense
+/// shared-memory vectors. Thin wrapper over [`lanczos_smallest_in`] with
+/// `V = Vec<S>`.
 ///
 /// # Panics
 /// Panics if `k == 0`, `k > op.dim()` or the operator reports itself
@@ -71,6 +81,20 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
     k: usize,
     opts: &LanczosOptions,
 ) -> LanczosResult<S> {
+    lanczos_smallest_in::<Vec<S>, Op>(op, k, opts)
+}
+
+/// Computes the `k` smallest eigenpairs of a Hermitian operator, running
+/// the whole recurrence in place on the operator's vector storage.
+///
+/// # Panics
+/// Panics if `k == 0`, `k > op.dim()` or the operator reports itself
+/// non-Hermitian.
+pub fn lanczos_smallest_in<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
+    op: &Op,
+    k: usize,
+    opts: &LanczosOptions,
+) -> LanczosResultIn<V> {
     let n = op.dim();
     assert!(k >= 1, "need at least one eigenpair");
     assert!(k <= n, "k = {k} exceeds dimension {n}");
@@ -78,15 +102,15 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
     let m_max = opts.max_iter.min(n).max(k + 1).min(n);
 
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut v0 = vec![S::ZERO; n];
+    let mut v0 = op.new_vec();
     random_fill(&mut v0, &mut rng);
-    let nrm = par_norm(&v0);
-    par_scale(&mut v0, 1.0 / nrm);
+    let nrm = v0.norm();
+    v0.scale(1.0 / nrm);
 
-    let mut basis: Vec<Vec<S>> = vec![v0];
+    let mut basis: Vec<V> = vec![v0];
     let mut alphas: Vec<f64> = Vec::new();
     let mut betas: Vec<f64> = Vec::new();
-    let mut w = vec![S::ZERO; n];
+    let mut w = op.new_vec();
 
     let mut converged = false;
     let mut last_check: (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
@@ -100,7 +124,7 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
         // Full reorthogonalization, two *blocked* classical Gram–Schmidt
         // passes (CGS2 — "twice is enough" is precisely the repeated-CGS
         // theorem): each pass sweeps `w` once to take all coefficients at
-        // a go (`par_multi_dot`) and once to apply them, instead of the
+        // a go (`multi_dot`) and once to apply them, instead of the
         // 2·m sweeps of the vector-at-a-time loop. The explicit
         // three-term subtractions (`α v_j`, `β v_{j-1}`) are subsumed by
         // the first pass — `⟨v_j, w⟩` *is* α and `⟨v_{j-1}, w⟩` is β up
@@ -108,19 +132,7 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
         // along with every older component: two more full sweeps saved.
         // The second pass's update is fused with the β norm (one sweep
         // fewer again).
-        let mut beta_sqr = f64::NAN;
-        for pass in 0..2 {
-            let mut coeffs = par_multi_dot(&basis, &w);
-            for c in &mut coeffs {
-                *c = -*c;
-            }
-            if pass == 1 {
-                beta_sqr = par_multi_axpy_norm_sqr(&coeffs, &basis, &mut w);
-            } else {
-                par_multi_axpy(&coeffs, &basis, &mut w);
-            }
-        }
-        let beta = beta_sqr.sqrt();
+        let beta = cgs2_beta(&basis, &mut w);
 
         // Convergence test on the projected problem.
         if alphas.len() >= k {
@@ -146,18 +158,18 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
                 converged = true;
                 break;
             }
-            let mut fresh = vec![S::ZERO; n];
+            let mut fresh = op.new_vec();
             random_fill(&mut fresh, &mut rng);
             for _pass in 0..2 {
-                let mut coeffs = par_multi_dot(&basis, &fresh);
+                let mut coeffs = V::multi_dot(&basis, &fresh);
                 for c in &mut coeffs {
                     *c = -*c;
                 }
-                par_multi_axpy(&coeffs, &basis, &mut fresh);
+                V::multi_axpy(&coeffs, &basis, &mut fresh);
             }
-            let nf = par_norm(&fresh);
+            let nf = fresh.norm();
             assert!(nf > 1e-12, "could not extend Krylov basis");
-            par_scale(&mut fresh, 1.0 / nf);
+            fresh.scale(1.0 / nf);
             betas.push(0.0);
             basis.push(fresh);
             continue;
@@ -167,7 +179,7 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
             break;
         }
         betas.push(beta);
-        par_scale(&mut w, 1.0 / beta);
+        w.scale(1.0 / beta);
         basis.push(w.clone());
     }
 
@@ -184,11 +196,12 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
     let eigenvectors = if opts.want_vectors {
         let mut out = Vec::with_capacity(k_eff);
         for tv in tvecs.iter().take(k_eff) {
-            let mut x = vec![S::ZERO; n];
-            let coeffs: Vec<S> = tv.iter().take(m).map(|&t| S::from_re(t)).collect();
-            par_multi_axpy(&coeffs, &basis[..m], &mut x);
-            let nx = par_norm(&x);
-            par_scale(&mut x, 1.0 / nx);
+            let mut x = op.new_vec();
+            let coeffs: Vec<V::Scalar> =
+                tv.iter().take(m).map(|&t| V::Scalar::from_re(t)).collect();
+            V::multi_axpy(&coeffs, &basis[..m], &mut x);
+            let nx = x.norm();
+            x.scale(1.0 / nx);
             out.push(x);
         }
         Some(out)
@@ -196,15 +209,68 @@ pub fn lanczos_smallest<S: Scalar, Op: LinearOp<S> + ?Sized>(
         None
     };
 
-    LanczosResult { eigenvalues, eigenvectors, iterations: m, residuals, converged }
+    LanczosResultIn { eigenvalues, eigenvectors, iterations: m, residuals, converged }
 }
 
-fn random_fill<S: Scalar>(v: &mut [S], rng: &mut StdRng) {
-    for x in v.iter_mut() {
-        let re: f64 = rng.gen_range(-1.0..1.0);
-        let im: f64 = if S::N_REALS == 2 { rng.gen_range(-1.0..1.0) } else { 0.0 };
-        *x = S::from_reals([re, im]);
+/// Two blocked CGS passes orthogonalizing `w` against `basis`, the second
+/// fused with the norm of the result: returns `β = ‖(1 - P)² w‖`.
+fn cgs2_beta<V: KrylovVec>(basis: &[V], w: &mut V) -> f64 {
+    let mut beta_sqr = f64::NAN;
+    for pass in 0..2 {
+        let mut coeffs = V::multi_dot(basis, w);
+        for c in &mut coeffs {
+            *c = -*c;
+        }
+        if pass == 1 {
+            beta_sqr = V::multi_axpy_norm_sqr(&coeffs, basis, w);
+        } else {
+            V::multi_axpy(&coeffs, basis, w);
+        }
     }
+    beta_sqr.sqrt()
+}
+
+/// Builds an orthonormal Krylov basis from `v0` (consumed — it becomes
+/// the first basis vector after normalization, so callers pay exactly
+/// one copy of the input state) and the projected tridiagonal matrix
+/// (full blocked-CGS2 reorthogonalization, fused epilogues — the
+/// factorization behind the `exp(zH)` propagators and the spectral
+/// continued fraction). Returns `(basis, alphas, betas)` with
+/// `basis.len() == alphas.len()` and `betas.len() + 1 == alphas.len()`.
+pub(crate) fn krylov_factorization<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
+    op: &Op,
+    mut v: V,
+    m: usize,
+) -> (Vec<V>, Vec<f64>, Vec<f64>) {
+    let m = m.min(op.dim());
+    let nv = v.norm();
+    assert!(nv > 0.0, "zero start vector");
+    v.scale(1.0 / nv);
+    let mut basis: Vec<V> = Vec::with_capacity(m);
+    basis.push(v);
+    let mut alphas = Vec::with_capacity(m);
+    let mut betas: Vec<f64> = Vec::with_capacity(m.saturating_sub(1));
+    let mut w = op.new_vec();
+    for j in 0..m {
+        let alpha = op.apply_dot(&basis[j], &mut w).re();
+        alphas.push(alpha);
+        let beta = cgs2_beta(&basis, &mut w);
+        if beta <= 1e-13 || j + 1 == m {
+            break;
+        }
+        betas.push(beta);
+        w.scale(1.0 / beta);
+        basis.push(w.clone());
+    }
+    (basis, alphas, betas)
+}
+
+fn random_fill<V: KrylovVec>(v: &mut V, rng: &mut StdRng) {
+    v.fill_with(&mut |_i| {
+        let re: f64 = rng.gen_range(-1.0..1.0);
+        let im: f64 = if V::Scalar::N_REALS == 2 { rng.gen_range(-1.0..1.0) } else { 0.0 };
+        V::Scalar::from_reals([re, im])
+    });
 }
 
 #[cfg(test)]
@@ -266,7 +332,7 @@ mod tests {
         let vecs = res.eigenvectors.unwrap();
         for (lam, v) in res.eigenvalues.iter().zip(&vecs) {
             let mut av = vec![0.0f64; n];
-            op.apply(v, &mut av);
+            LinearOp::apply(&op, v, &mut av);
             let res_norm: f64 = av
                 .iter()
                 .zip(v)
@@ -362,5 +428,62 @@ mod tests {
     fn k_too_large_panics() {
         let op = DenseOp::new(2, vec![1.0, 0.0, 0.0, 1.0]);
         let _ = lanczos_smallest(&op, 3, &LanczosOptions::default());
+    }
+
+    /// A dense operator that hands out block-distributed vectors: drives
+    /// the generic solver through the `DistVec` storage path without any
+    /// cluster machinery.
+    struct DistDense {
+        inner: DenseOp<f64>,
+        lens: Vec<usize>,
+    }
+
+    impl KrylovOp<ls_runtime::DistVec<f64>> for DistDense {
+        fn dim(&self) -> usize {
+            LinearOp::dim(&self.inner)
+        }
+        fn new_vec(&self) -> ls_runtime::DistVec<f64> {
+            ls_runtime::DistVec::zeros(&self.lens)
+        }
+        fn apply(&self, x: &ls_runtime::DistVec<f64>, y: &mut ls_runtime::DistVec<f64>) {
+            let mut dense = vec![0.0; KrylovOp::dim(self)];
+            LinearOp::apply(&self.inner, &x.concat(), &mut dense);
+            let mut lo = 0;
+            for part in y.parts_mut() {
+                let hi = lo + part.len();
+                part.copy_from_slice(&dense[lo..hi]);
+                lo = hi;
+            }
+        }
+    }
+
+    #[test]
+    fn distvec_storage_agrees_with_dense_storage() {
+        let n = 48;
+        let a = random_symmetric(n, 41);
+        let opts = LanczosOptions {
+            max_iter: n,
+            tol: 1e-11,
+            want_vectors: true,
+            ..Default::default()
+        };
+        let dense = lanczos_smallest(&DenseOp::new(n, a.clone()), 3, &opts);
+        let dist_op = DistDense { inner: DenseOp::new(n, a), lens: vec![11, 0, 30, 7] };
+        let dist = lanczos_smallest_in(&dist_op, 3, &opts);
+        assert!(dense.converged && dist.converged);
+        assert_eq!(dense.iterations, dist.iterations);
+        for (a, b) in dense.eigenvalues.iter().zip(&dist.eigenvalues) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+        // Ritz vectors come back distributed, matching up to global sign
+        // and BLAS-1 reduction rounding (per-part partial sums differ
+        // from the dense partition's).
+        let dv = dense.eigenvectors.unwrap();
+        let xv = dist.eigenvectors.unwrap();
+        for (d, x) in dv.iter().zip(&xv) {
+            let x = x.concat();
+            let overlap: f64 = d.iter().zip(&x).map(|(p, q)| p * q).sum();
+            assert!((overlap.abs() - 1.0).abs() < 1e-8, "overlap {overlap}");
+        }
     }
 }

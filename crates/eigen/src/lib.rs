@@ -8,15 +8,25 @@
 //! workspace's centrepiece) as the only operation touching the operator.
 //!
 //! This crate provides:
-//! * [`LinearOp`] — the minimal matrix-free operator interface, including
-//!   the fused matvec+dot epilogue hook ([`LinearOp::apply_dot`]);
+//! * [`vector`] — the Krylov storage abstraction: [`KrylovVec`] (fused
+//!   deterministic BLAS-1 over any vector representation, implemented for
+//!   `Vec<S>` and the locale-partitioned `ls_runtime::DistVec<S>`) and
+//!   [`KrylovOp`] (the matrix-free operator over that storage, with a
+//!   blanket implementation turning every [`LinearOp`] into a
+//!   `KrylovOp<Vec<S>>`);
+//! * [`LinearOp`] — the slice-based matrix-free operator interface,
+//!   including the fused matvec+dot epilogue hook
+//!   ([`LinearOp::apply_dot`]);
 //! * [`op`] — the BLAS-1 layer: serial helpers plus the **parallel
 //!   deterministic kernels** (`par_dot`, `par_norm_sqr`, blocked
 //!   multi-vector `par_multi_dot`/`par_multi_axpy`, fused axpy+norm)
 //!   whose reductions are bit-identical at any `LS_NUM_THREADS`;
-//! * [`lanczos::lanczos_smallest`] — Lanczos with full (blocked CGS2)
-//!   reorthogonalization and Ritz-residual convergence control, running
-//!   entirely on the parallel fused pipeline;
+//! * [`lanczos::lanczos_smallest_in`] — Lanczos with full (blocked CGS2)
+//!   reorthogonalization and Ritz-residual convergence control, written
+//!   once against the vector abstraction and running entirely on the
+//!   parallel fused pipeline ([`lanczos::lanczos_smallest`] is the
+//!   slice-based wrapper); [`expm`] and [`spectral`] reuse the same
+//!   factorization for propagators and spectral functions;
 //! * [`tridiag::tridiag_eigh`] — implicit-shift QL for the projected
 //!   tridiagonal problem (no LAPACK available offline, so this is a
 //!   from-scratch implementation);
@@ -30,8 +40,14 @@ pub mod lanczos;
 pub mod op;
 pub mod spectral;
 pub mod tridiag;
+pub mod vector;
 
-pub use expm::{evolve_imaginary_time, evolve_real_time};
-pub use lanczos::{lanczos_smallest, LanczosOptions, LanczosResult};
+pub use expm::{
+    evolve_imaginary_time, evolve_imaginary_time_in, evolve_real_time, evolve_real_time_in,
+};
+pub use lanczos::{
+    lanczos_smallest, lanczos_smallest_in, LanczosOptions, LanczosResult, LanczosResultIn,
+};
 pub use op::{DenseOp, LinearOp};
-pub use spectral::{spectral_coefficients, SpectralCoefficients};
+pub use spectral::{spectral_coefficients, spectral_coefficients_in, SpectralCoefficients};
+pub use vector::{KrylovOp, KrylovVec};

@@ -10,8 +10,18 @@
 //! is evaluated from the Lanczos coefficients `(α_j, β_j)` of `|φ⟩` as a
 //! continued fraction — no inversion, no dense algebra, just the same
 //! matrix-vector product everything else uses.
+//!
+//! The coefficient run is the shared blocked-CGS2 Krylov factorization
+//! of [`crate::lanczos`] (fused matvec+dot, one `multi_dot`/`multi_axpy`
+//! sweep per pass — no per-iteration clones), generic over
+//! [`KrylovVec`]: a distributed seed state produces its coefficients
+//! entirely in place on the locale parts
+//! ([`spectral_coefficients_in`]); the coefficients themselves are a few
+//! scalars, so the continued-fraction evaluation is storage-agnostic.
 
-use crate::op::{axpy, dot, norm, scale, LinearOp};
+use crate::lanczos::krylov_factorization;
+use crate::vector::{KrylovOp, KrylovVec};
+use crate::LinearOp;
 use ls_kernels::{Complex64, Scalar};
 
 /// The Lanczos tridiagonal coefficients of a seed state: everything needed
@@ -25,47 +35,37 @@ pub struct SpectralCoefficients {
 }
 
 /// Runs `m` Lanczos steps from `seed` (full reorthogonalization) and
-/// returns the continued-fraction coefficients.
+/// returns the continued-fraction coefficients. Slice-based wrapper over
+/// [`spectral_coefficients_in`].
 pub fn spectral_coefficients<S: Scalar, Op: LinearOp<S> + ?Sized>(
     op: &Op,
     seed: &[S],
     m: usize,
 ) -> SpectralCoefficients {
+    spectral_coefficients_owned(op, seed.to_vec(), m)
+}
+
+/// Runs `m` Lanczos steps from `seed` in place on the operator's vector
+/// storage and returns the continued-fraction coefficients.
+pub fn spectral_coefficients_in<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
+    op: &Op,
+    seed: &V,
+    m: usize,
+) -> SpectralCoefficients {
+    spectral_coefficients_owned(op, seed.clone(), m)
+}
+
+/// The owned core both entry points lower to: `seed` becomes the first
+/// Krylov vector, so each caller pays exactly one copy of the state.
+fn spectral_coefficients_owned<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
+    op: &Op,
+    seed: V,
+    m: usize,
+) -> SpectralCoefficients {
     assert!(op.is_hermitian());
-    let weight = crate::op::norm_sqr(seed);
+    let weight = seed.norm_sqr();
     assert!(weight > 0.0, "zero seed state has no spectrum");
-    let n = seed.len();
-    let mut basis: Vec<Vec<S>> = Vec::new();
-    let mut alphas = Vec::new();
-    let mut betas: Vec<f64> = Vec::new();
-    let mut v = seed.to_vec();
-    scale(&mut v, 1.0 / weight.sqrt());
-    basis.push(v);
-    let mut w = vec![S::ZERO; n];
-    for j in 0..m.min(n) {
-        op.apply(&basis[j], &mut w);
-        let alpha = dot(&basis[j], &w).re();
-        alphas.push(alpha);
-        let vj = basis[j].clone();
-        axpy(S::from_re(-alpha), &vj, &mut w);
-        if j > 0 {
-            let prev = basis[j - 1].clone();
-            axpy(S::from_re(-betas[j - 1]), &prev, &mut w);
-        }
-        for _ in 0..2 {
-            for vb in &basis {
-                let c = dot(vb, &w);
-                axpy(-c, vb, &mut w);
-            }
-        }
-        let beta = norm(&w);
-        if beta <= 1e-13 || j + 1 == m.min(n) {
-            break;
-        }
-        betas.push(beta);
-        scale(&mut w, 1.0 / beta);
-        basis.push(w.clone());
-    }
+    let (_basis, alphas, betas) = krylov_factorization(op, seed, m);
     SpectralCoefficients { weight, alphas, betas }
 }
 

@@ -1,0 +1,401 @@
+//! The Krylov vector abstraction: one solver, any storage.
+//!
+//! Every Krylov algorithm in this crate (Lanczos eigensolver, the
+//! `exp(zH)` propagators, the spectral continued fraction) is a short
+//! three-term recurrence over a handful of BLAS-1 primitives plus the
+//! matrix-vector product. [`KrylovVec`] captures exactly those
+//! primitives — fused, deterministic, in place — so the recurrences are
+//! written once and run on any storage:
+//!
+//! * **`Vec<S>`** — shared-memory vectors on the parallel deterministic
+//!   kernels of [`crate::op`] (per-block partials over the fixed
+//!   [`crate::op::REDUCE_BLOCK`] partition, pairwise reduction trees);
+//! * **`ls_runtime::DistVec<S>`** — locale-partitioned vectors. Each
+//!   primitive runs the same shared-memory kernel *per part* and reduces
+//!   the per-locale partials in locale order (the `allreduce` of a real
+//!   cluster). Nothing is ever gathered: the Krylov recurrence operates
+//!   on the distributed parts in place, which is the paper's central
+//!   claim — Krylov state stays distributed, only matrix elements cross
+//!   locale boundaries.
+//!
+//! [`KrylovOp`] is the operator side: the matrix-vector product over a
+//! given vector type, plus the allocation hook the solvers use for their
+//! workspace ([`KrylovOp::new_vec`]) and the fused matvec+dot epilogue
+//! ([`KrylovOp::apply_dot`]). Every [`LinearOp`] automatically is a
+//! `KrylovOp<Vec<S>>`, so existing slice-based operators need no changes;
+//! the distributed backend implements `KrylovOp<DistVec<S>>` directly on
+//! the producer/consumer engine.
+//!
+//! # Determinism
+//!
+//! Both implementations inherit the workspace-wide contract: reduction
+//! partials live on thread-count-independent partitions (blocks within a
+//! part, parts in locale order), so every primitive is bit-identical for
+//! any `LS_NUM_THREADS`. The distributed reduction order *does* depend on
+//! the locale count — results across cluster shapes agree to solver
+//! tolerance, not bitwise, exactly like a real machine.
+
+use crate::op::{self, LinearOp};
+use ls_kernels::Scalar;
+use ls_runtime::DistVec;
+
+/// A vector a Krylov solver can iterate on: fused, deterministic BLAS-1
+/// plus an element-order fill hook.
+///
+/// The multi-vector operations (`multi_dot`, `multi_axpy`,
+/// `multi_axpy_norm_sqr`) are the blocked-CGS2 workhorses — they sweep
+/// the target vector once for the whole basis instead of once per basis
+/// vector, and the solvers' performance rests on them.
+pub trait KrylovVec: Clone {
+    type Scalar: Scalar;
+
+    /// Global number of elements (summed over parts for distributed
+    /// storage).
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Overwrites every element with `f(global_index)`, calling `f` in
+    /// ascending global order exactly once per element. Callers feed
+    /// sequential RNG streams through this, so the order is a contract:
+    /// a distributed vector filled this way is element-for-element the
+    /// vector a shared-memory solver would start from.
+    fn fill_with(&mut self, f: &mut dyn FnMut(usize) -> Self::Scalar);
+
+    /// Hermitian inner product `⟨self, other⟩` (left side conjugated).
+    fn dot(&self, other: &Self) -> Self::Scalar;
+
+    /// Squared 2-norm (always real).
+    fn norm_sqr(&self) -> f64;
+
+    fn norm(&self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// `self += alpha · x`.
+    fn axpy(&mut self, alpha: Self::Scalar, x: &Self);
+
+    /// `self *= alpha` (real scale).
+    fn scale(&mut self, alpha: f64);
+
+    /// Fused `self += alpha · x; ‖self‖²` in one sweep.
+    fn axpy_norm_sqr(&mut self, alpha: Self::Scalar, x: &Self) -> f64;
+
+    /// Blocked multi-dot: `out[b] = ⟨vs[b], w⟩`, sweeping `w` once.
+    fn multi_dot(vs: &[Self], w: &Self) -> Vec<Self::Scalar>;
+
+    /// Blocked multi-update: `w += Σ_b coeffs[b] · vs[b]`, sweeping `w`
+    /// once; per element the additions run in ascending `b` order.
+    fn multi_axpy(coeffs: &[Self::Scalar], vs: &[Self], w: &mut Self);
+
+    /// [`Self::multi_axpy`] fused with `‖w‖²` of the result.
+    fn multi_axpy_norm_sqr(coeffs: &[Self::Scalar], vs: &[Self], w: &mut Self) -> f64;
+}
+
+impl<S: Scalar> KrylovVec for Vec<S> {
+    type Scalar = S;
+
+    fn len(&self) -> usize {
+        <[S]>::len(self)
+    }
+
+    fn fill_with(&mut self, f: &mut dyn FnMut(usize) -> S) {
+        for (i, x) in self.iter_mut().enumerate() {
+            *x = f(i);
+        }
+    }
+
+    fn dot(&self, other: &Self) -> S {
+        op::par_dot(self, other)
+    }
+
+    fn norm_sqr(&self) -> f64 {
+        op::par_norm_sqr(self)
+    }
+
+    fn axpy(&mut self, alpha: S, x: &Self) {
+        op::par_axpy(alpha, x, self);
+    }
+
+    fn scale(&mut self, alpha: f64) {
+        op::par_scale(self, alpha);
+    }
+
+    fn axpy_norm_sqr(&mut self, alpha: S, x: &Self) -> f64 {
+        op::par_axpy_norm_sqr(alpha, x, self)
+    }
+
+    fn multi_dot(vs: &[Self], w: &Self) -> Vec<S> {
+        op::par_multi_dot(vs, w)
+    }
+
+    fn multi_axpy(coeffs: &[S], vs: &[Self], w: &mut Self) {
+        op::par_multi_axpy(coeffs, vs, w);
+    }
+
+    fn multi_axpy_norm_sqr(coeffs: &[S], vs: &[Self], w: &mut Self) -> f64 {
+        op::par_multi_axpy_norm_sqr(coeffs, vs, w)
+    }
+}
+
+/// The distributed implementation: every primitive is the shared-memory
+/// kernel applied per locale part, with scalar partials combined in
+/// locale order. No part ever leaves its locale.
+impl<S: Scalar> KrylovVec for DistVec<S> {
+    type Scalar = S;
+
+    fn len(&self) -> usize {
+        self.total_len()
+    }
+
+    fn fill_with(&mut self, f: &mut dyn FnMut(usize) -> S) {
+        let mut i = 0usize;
+        for part in self.parts_mut() {
+            for x in part.iter_mut() {
+                *x = f(i);
+                i += 1;
+            }
+        }
+    }
+
+    fn dot(&self, other: &Self) -> S {
+        debug_assert_eq!(self.lens(), other.lens(), "distributed dot of mismatched layouts");
+        let mut acc = S::ZERO;
+        for (pa, pb) in self.parts().iter().zip(other.parts()) {
+            acc += op::par_dot(pa, pb);
+        }
+        acc
+    }
+
+    fn norm_sqr(&self) -> f64 {
+        self.parts().iter().map(|p| op::par_norm_sqr(p)).sum()
+    }
+
+    fn axpy(&mut self, alpha: S, x: &Self) {
+        debug_assert_eq!(self.lens(), x.lens(), "distributed axpy of mismatched layouts");
+        for (py, px) in self.parts_mut().iter_mut().zip(x.parts()) {
+            op::par_axpy(alpha, px, py);
+        }
+    }
+
+    fn scale(&mut self, alpha: f64) {
+        for part in self.parts_mut() {
+            op::par_scale(part, alpha);
+        }
+    }
+
+    fn axpy_norm_sqr(&mut self, alpha: S, x: &Self) -> f64 {
+        debug_assert_eq!(self.lens(), x.lens(), "distributed axpy of mismatched layouts");
+        let mut acc = 0.0f64;
+        for (py, px) in self.parts_mut().iter_mut().zip(x.parts()) {
+            acc += op::par_axpy_norm_sqr(alpha, px, py);
+        }
+        acc
+    }
+
+    fn multi_dot(vs: &[Self], w: &Self) -> Vec<S> {
+        let mut out = vec![S::ZERO; vs.len()];
+        for (l, wp) in w.parts().iter().enumerate() {
+            let parts: Vec<&[S]> = vs.iter().map(|v| v.part(l)).collect();
+            for (acc, partial) in out.iter_mut().zip(op::par_multi_dot(&parts, wp)) {
+                *acc += partial;
+            }
+        }
+        out
+    }
+
+    fn multi_axpy(coeffs: &[S], vs: &[Self], w: &mut Self) {
+        debug_assert_eq!(coeffs.len(), vs.len());
+        for (l, wp) in w.parts_mut().iter_mut().enumerate() {
+            let parts: Vec<&[S]> = vs.iter().map(|v| v.part(l)).collect();
+            op::par_multi_axpy(coeffs, &parts, wp);
+        }
+    }
+
+    fn multi_axpy_norm_sqr(coeffs: &[S], vs: &[Self], w: &mut Self) -> f64 {
+        debug_assert_eq!(coeffs.len(), vs.len());
+        let mut acc = 0.0f64;
+        for (l, wp) in w.parts_mut().iter_mut().enumerate() {
+            let parts: Vec<&[S]> = vs.iter().map(|v| v.part(l)).collect();
+            acc += op::par_multi_axpy_norm_sqr(coeffs, &parts, wp);
+        }
+        acc
+    }
+}
+
+/// A linear operator over an abstract Krylov vector type.
+///
+/// This is what the generic solvers ([`crate::lanczos::lanczos_smallest_in`],
+/// [`crate::expm::evolve_real_time_in`], ...) are written against. The
+/// slice-based [`LinearOp`] gets a blanket implementation for
+/// `V = Vec<S>`, so every existing operator works unchanged; distributed
+/// operators implement this directly for `DistVec<S>` and run their
+/// products in place on the parts.
+pub trait KrylovOp<V: KrylovVec> {
+    /// Dimension of the (square) operator — `V::len` of its vectors.
+    fn dim(&self) -> usize;
+
+    /// Allocates a zero vector in this operator's layout (the solvers'
+    /// workspace hook: one call per solver invocation, never per
+    /// iteration).
+    fn new_vec(&self) -> V;
+
+    /// Computes `y = A x` in place on `y`'s storage.
+    fn apply(&self, x: &V, y: &mut V);
+
+    /// Computes `y = A x` and returns `⟨x, y⟩` — the fused matvec+dot
+    /// epilogue of a Lanczos iteration. Implementations override it when
+    /// they can accumulate the inner product while the freshly written
+    /// output is still cache-resident.
+    fn apply_dot(&self, x: &V, y: &mut V) -> V::Scalar {
+        self.apply(x, y);
+        x.dot(y)
+    }
+
+    /// True when the operator is Hermitian. The Krylov solvers require it.
+    fn is_hermitian(&self) -> bool {
+        true
+    }
+}
+
+/// Every slice-based operator is a Krylov operator over `Vec<S>`,
+/// including its fused `apply_dot` override (e.g. the batched-pull
+/// matvec+dot of `ls-core`).
+impl<S: Scalar, Op: LinearOp<S> + ?Sized> KrylovOp<Vec<S>> for Op {
+    fn dim(&self) -> usize {
+        LinearOp::dim(self)
+    }
+
+    fn new_vec(&self) -> Vec<S> {
+        vec![S::ZERO; LinearOp::dim(self)]
+    }
+
+    fn apply(&self, x: &Vec<S>, y: &mut Vec<S>) {
+        LinearOp::apply(self, x, y);
+    }
+
+    fn apply_dot(&self, x: &Vec<S>, y: &mut Vec<S>) -> S {
+        LinearOp::apply_dot(self, x, y)
+    }
+
+    fn is_hermitian(&self) -> bool {
+        LinearOp::is_hermitian(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_kernels::Complex64;
+
+    fn ramp(n: usize, scale: f64) -> Vec<f64> {
+        (0..n).map(|i| ((i % 89) as f64 - 44.0) * scale).collect()
+    }
+
+    /// Splits a dense vector into parts of the given lengths.
+    fn split(v: &[f64], lens: &[usize]) -> DistVec<f64> {
+        let mut parts = Vec::new();
+        let mut lo = 0usize;
+        for &len in lens {
+            parts.push(v[lo..lo + len].to_vec());
+            lo += len;
+        }
+        assert_eq!(lo, v.len());
+        DistVec::from_parts(parts)
+    }
+
+    #[test]
+    fn dist_primitives_agree_with_dense() {
+        let n = 3 * op::REDUCE_BLOCK + 137;
+        let lens = [op::REDUCE_BLOCK + 1, 0, n - op::REDUCE_BLOCK - 1 - 500, 500];
+        let a = ramp(n, 1e-3);
+        let b = ramp(n, -7e-4);
+        let da = split(&a, &lens);
+        let db = split(&b, &lens);
+        let tol = 1e-12 * n as f64;
+        assert!((KrylovVec::dot(&da, &db) - op::dot(&a, &b)).abs() <= tol);
+        assert!((da.norm_sqr() - op::norm_sqr(&a)).abs() <= tol);
+
+        let mut y = db.clone();
+        y.axpy(0.37, &da);
+        let mut y_ref = b.clone();
+        op::axpy(0.37, &a, &mut y_ref);
+        assert_eq!(y.concat(), y_ref, "axpy");
+        y.scale(0.25);
+        op::scale(&mut y_ref, 0.25);
+        assert_eq!(y.concat(), y_ref, "scale");
+
+        let mut y = db.clone();
+        let fused = y.axpy_norm_sqr(-0.11, &da);
+        let mut y_ref = b.clone();
+        op::axpy(-0.11, &a, &mut y_ref);
+        assert_eq!(y.concat(), y_ref, "fused axpy");
+        assert!((fused - op::norm_sqr(&y_ref)).abs() <= tol, "fused norm");
+    }
+
+    #[test]
+    fn dist_multi_kernels_agree_with_loops() {
+        let n = 2 * op::REDUCE_BLOCK + 33;
+        let lens = [17usize, n - 17 - 1000, 0, 1000];
+        let w = ramp(n, 5e-4);
+        let vs: Vec<Vec<f64>> = (0..5).map(|k| ramp(n, 1e-3 * (k + 1) as f64)).collect();
+        let dw = split(&w, &lens);
+        let dvs: Vec<DistVec<f64>> = vs.iter().map(|v| split(v, &lens)).collect();
+
+        let coeffs = KrylovVec::multi_dot(&dvs, &dw);
+        for (b, v) in vs.iter().enumerate() {
+            let expect = op::dot(v, &w);
+            assert!((coeffs[b] - expect).abs() <= 1e-12 * n as f64, "lane {b}");
+        }
+
+        let mut out = dw.clone();
+        DistVec::multi_axpy(&coeffs, &dvs, &mut out);
+        let mut out_ref = w.clone();
+        for i in 0..n {
+            for (b, v) in vs.iter().enumerate() {
+                out_ref[i] += coeffs[b] * v[i];
+            }
+        }
+        assert_eq!(out.concat(), out_ref, "multi-axpy");
+
+        let mut out2 = dw.clone();
+        let fused = DistVec::multi_axpy_norm_sqr(&coeffs, &dvs, &mut out2);
+        assert_eq!(out2.concat(), out_ref, "fused multi-axpy update");
+        assert!((fused - op::norm_sqr(&out_ref)).abs() <= 1e-10 * n as f64, "fused norm");
+    }
+
+    #[test]
+    fn fill_order_is_global_element_order() {
+        let mut dense = vec![0.0f64; 23];
+        let mut dist = DistVec::<f64>::zeros(&[5, 0, 11, 7]);
+        let mut k = 0;
+        KrylovVec::fill_with(&mut dense, &mut |i| i as f64 * 0.5);
+        KrylovVec::fill_with(&mut dist, &mut |i| {
+            assert_eq!(i, k, "fill must visit ascending global order");
+            k += 1;
+            i as f64 * 0.5
+        });
+        assert_eq!(dist.concat(), dense);
+    }
+
+    #[test]
+    fn blanket_krylov_op_matches_linear_op() {
+        let a = crate::op::DenseOp::new(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let x = vec![1.0, 1.0];
+        let mut y = KrylovOp::<Vec<f64>>::new_vec(&a);
+        assert_eq!(y, vec![0.0, 0.0]);
+        let d = KrylovOp::apply_dot(&a, &x, &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+        assert_eq!(d, 10.0);
+        assert_eq!(KrylovOp::<Vec<f64>>::dim(&a), 2);
+        assert!(KrylovOp::<Vec<f64>>::is_hermitian(&a));
+    }
+
+    #[test]
+    fn complex_dist_dot_conjugates_left() {
+        let a = DistVec::from_parts(vec![vec![Complex64::new(0.0, 1.0)], vec![]]);
+        assert!(KrylovVec::dot(&a, &a).approx_eq(Complex64::ONE, 1e-15));
+    }
+}

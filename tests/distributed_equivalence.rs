@@ -149,6 +149,165 @@ fn distributed_lanczos_invariant_under_cluster_shape() {
     assert!((energies[0][0] + 5.387_390_917_445).abs() < 1e-6);
 }
 
+/// The gather-scatter regression guard: the in-place distributed Lanczos
+/// must never read a Krylov vector across locales. All communication in
+/// the solve is the producer/consumer channel traffic (one-sided *puts*
+/// and flag messages); a gather would show up as RMA *gets*. Requested
+/// Ritz vectors come back distributed, in the basis's own layout.
+#[test]
+fn distributed_lanczos_gathers_nothing() {
+    let n = 12usize;
+    let (sector, op, basis, _, _) = problem(n);
+    let cluster = Cluster::new(ClusterSpec::new(3, 2));
+    let dist = enumerate_dist(&cluster, &sector, 3);
+    cluster.reset_stats();
+    let res = exact_diag::dist::eigensolve::dist_lanczos_smallest(
+        &cluster,
+        &op,
+        &dist,
+        1,
+        &exact_diag::dist::eigensolve::DistLanczosOptions {
+            lanczos: exact_diag::eigen::LanczosOptions {
+                want_vectors: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let stats = cluster.stats_total();
+    assert_eq!(stats.gets, 0, "in-place Lanczos must not issue RMA gets");
+    assert_eq!(stats.get_bytes, 0, "in-place Lanczos gathered {} bytes", stats.get_bytes);
+    assert!(stats.puts > 0, "the matvec channel traffic is still there");
+    assert!(res.converged);
+    let vectors = res.eigenvectors.expect("requested vectors");
+    assert_eq!(vectors[0].lens(), dist.states().lens(), "Ritz vector left its distribution");
+    // The distributed Ritz vector is a genuine eigenvector of the
+    // shared-memory operator (gathering *here*, in the test oracle, is
+    // the explicitly allowed final step).
+    let gs = vectors[0].concat();
+    let mut by_state: Vec<(u64, f64)> =
+        dist.states().parts().iter().flatten().copied().zip(gs.iter().copied()).collect();
+    by_state.sort_unstable_by_key(|&(s, _)| s);
+    let dense: Vec<f64> = by_state.iter().map(|&(_, v)| v).collect();
+    let mut h_dense = vec![0.0; dense.len()];
+    apply_serial(&op, &basis, &dense, &mut h_dense);
+    let residual: f64 = h_dense
+        .iter()
+        .zip(&dense)
+        .map(|(hv, v)| (hv - res.eigenvalues[0] * v).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    assert!(residual < 1e-6, "Ritz residual {residual}");
+}
+
+/// Degenerate distributed layouts: a locale owning zero basis states, a
+/// single-locale cluster, and a sector smaller than the locale count must
+/// all survive enumeration → producer/consumer matvec → in-place
+/// distributed Lanczos and agree with the shared-memory solver.
+#[test]
+fn degenerate_layouts_enumerate_multiply_and_solve() {
+    // n=6 at half filling, fully symmetric: dimension is tiny (< 10), so
+    // 8 and 16 locales guarantee empty parts and dim < locales.
+    let n = 6usize;
+    let (sector, op, basis, x, y_ref) = problem(n);
+    let dim = basis.dim();
+    let mut reference_energy = None;
+    for locales in [1usize, 8, 16] {
+        let cluster = Cluster::new(ClusterSpec::new(locales, 2));
+        let dist = enumerate_dist(&cluster, &sector, 2);
+        assert_eq!(dist.dim(), dim as u64, "locales={locales}");
+        if locales > dim {
+            assert!(
+                dist.states().lens().contains(&0),
+                "expected at least one empty part at {locales} locales"
+            );
+        }
+        // Producer/consumer product across the degenerate layout.
+        let xd = scatter(&basis, &dist, &x);
+        let mut yd = DistVec::<f64>::zeros(&dist.states().lens());
+        matvec_pc(
+            &cluster,
+            &op,
+            &dist,
+            &xd,
+            &mut yd,
+            PcOptions { producers: 2, consumers: 1, capacity: 8 },
+        );
+        for l in 0..locales {
+            for (i, &s) in dist.states().part(l).iter().enumerate() {
+                let expect = y_ref[basis.index_of(s).unwrap()];
+                assert!((yd.part(l)[i] - expect).abs() < 1e-10, "locales={locales}");
+            }
+        }
+        // In-place distributed Lanczos on the same layout.
+        let res = exact_diag::dist::eigensolve::dist_lanczos_smallest(
+            &cluster,
+            &op,
+            &dist,
+            1,
+            &Default::default(),
+        );
+        assert!(res.converged, "locales={locales}");
+        let e = res.eigenvalues[0];
+        match reference_energy {
+            None => reference_energy = Some(e),
+            Some(e0) => assert!((e - e0).abs() < 1e-9, "locales={locales}: {e} vs {e0}"),
+        }
+    }
+}
+
+/// The distributed BLAS-1 layer (the kernels the in-place Krylov
+/// recurrence runs on) is bit-identical across thread counts: per-part
+/// reductions use thread-independent block partials, and parts combine
+/// in locale order. Driven through `rayon::set_thread_limit` in a single
+/// test so the global override is never mutated concurrently.
+#[test]
+fn dist_blas_bit_exact_across_thread_counts() {
+    use exact_diag::dist::blas;
+    let lens = [40_000usize, 0, 25_000, 1];
+    let mk = |seed: u64| {
+        let mut k = 0u64;
+        let mut parts = Vec::new();
+        for &len in &lens {
+            parts.push(
+                (0..len)
+                    .map(|_| {
+                        k += 1;
+                        let h = ls_kernels::hash64_01(seed.wrapping_add(k));
+                        (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+                    })
+                    .collect::<Vec<f64>>(),
+            );
+        }
+        DistVec::from_parts(parts)
+    };
+    let x = mk(3);
+    let y = mk(17);
+    let vs = [mk(31), mk(47), mk(59)];
+    let run = |threads: usize| {
+        let prev = rayon::set_thread_limit(threads);
+        let d = blas::dot(&x, &y);
+        let n = blas::norm_sqr(&x);
+        let coeffs = blas::multi_dot(&vs, &y);
+        let mut w = y.clone();
+        let fused = blas::multi_axpy_norm_sqr(&coeffs, &vs, &mut w);
+        let mut z = y.clone();
+        let an = blas::axpy_norm_sqr(-0.37, &x, &mut z);
+        rayon::set_thread_limit(prev);
+        (
+            d.to_bits(),
+            n.to_bits(),
+            coeffs.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+            fused.to_bits(),
+            w.concat().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            an.to_bits(),
+        )
+    };
+    let serial = run(1);
+    let parallel = run(rayon::current_num_threads().max(4));
+    assert_eq!(serial, parallel, "dist BLAS-1 diverged across thread counts");
+}
+
 #[test]
 fn stats_scale_with_locales() {
     // More locales => a larger remote fraction of the same total traffic

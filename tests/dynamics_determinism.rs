@@ -1,0 +1,84 @@
+//! Pins the determinism guarantee of the Krylov dynamics pipeline
+//! (mirroring `tests/pool_determinism.rs` for the eigensolver): real- and
+//! imaginary-time evolution and the spectral continued-fraction
+//! coefficients are **bit-exact** across thread counts, now that the
+//! propagators run on the same fused deterministic kernels as Lanczos
+//! (blocked CGS2 via `multi_dot`/`multi_axpy`, fused matvec+dot) instead
+//! of the old serial clone-per-iteration loops.
+//!
+//! The thread count is driven through `rayon::set_thread_limit`;
+//! everything lives in one `#[test]` so the process-global override is
+//! never mutated concurrently.
+
+use exact_diag::basis::SectorSpec;
+use exact_diag::kernels::Complex64;
+use exact_diag::prelude::*;
+use exact_diag::symmetry::lattice::{chain_bonds, chain_group};
+
+fn bits_c(v: &[Complex64]) -> Vec<(u64, u64)> {
+    v.iter().map(|z| (z.re.to_bits(), z.im.to_bits())).collect()
+}
+
+fn bits_r(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn dynamics_bit_exact_across_thread_counts() {
+    let n = 12usize;
+    let expr = heisenberg(&chain_bonds(n), 1.0);
+
+    // Real sector (translation + reflection + spin flip): imaginary-time
+    // evolution and spectral coefficients in f64.
+    let group = chain_group(n, 0, Some(0), Some(0)).unwrap();
+    let sector_real = SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap();
+    // Momentum k=3 sector: complex amplitudes, real-time evolution.
+    let group_k = chain_group(n, 3, None, None).unwrap();
+    let sector_cplx = SectorSpec::new(n as u32, Some(n as u32 / 2), group_k).unwrap();
+
+    let threads = rayon::current_num_threads().max(4);
+    let run = |limit: usize| {
+        let prev = rayon::set_thread_limit(limit);
+        // Rebuild everything under this thread count: basis construction
+        // and the memoized diagonal must not depend on it either.
+        let (basis_r, op_r) = Operator::<f64>::from_expr(&expr, sector_real.clone()).unwrap();
+        let psi_r: Vec<f64> = (0..basis_r.dim())
+            .map(|i| {
+                let h = exact_diag::kernels::hash64_01(i as u64 ^ 0xd15c0);
+                (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        let tau_out = evolve_imaginary_time(&op_r, &psi_r, 2.5, 30);
+        let coeffs = spectral_coefficients(&op_r, &psi_r, 30);
+
+        let (basis_c, op_c) =
+            Operator::<Complex64>::from_expr(&expr, sector_cplx.clone()).unwrap();
+        let psi_c: Vec<Complex64> = (0..basis_c.dim())
+            .map(|i| {
+                let h = exact_diag::kernels::hash64_01(i as u64 ^ 0xfeed);
+                let g = exact_diag::kernels::hash64_01(i as u64 ^ 0xbeef);
+                Complex64::new(
+                    (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5,
+                    (g >> 11) as f64 / (1u64 << 53) as f64 - 0.5,
+                )
+            })
+            .collect();
+        let t_out = evolve_real_time(&op_c, &psi_c, 0.9, 25);
+        rayon::set_thread_limit(prev);
+        (
+            bits_r(&tau_out),
+            bits_r(&coeffs.alphas),
+            bits_r(&coeffs.betas),
+            coeffs.weight.to_bits(),
+            bits_c(&t_out),
+        )
+    };
+
+    let serial = run(1);
+    let parallel = run(threads);
+    assert_eq!(serial.0, parallel.0, "imaginary-time evolution diverged");
+    assert_eq!(serial.1, parallel.1, "spectral alphas diverged");
+    assert_eq!(serial.2, parallel.2, "spectral betas diverged");
+    assert_eq!(serial.3, parallel.3, "spectral weight diverged");
+    assert_eq!(serial.4, parallel.4, "real-time evolution diverged");
+}
