@@ -1,7 +1,9 @@
 //! Convenience eigensolver entry points.
 
 use crate::operator::Operator;
-use ls_eigen::{lanczos_smallest, LanczosOptions};
+use ls_eigen::{
+    lanczos_smallest, thick_restart_lanczos, LanczosOptions, LanczosResult, RestartOptions,
+};
 use ls_kernels::Scalar;
 
 /// Ground-state energy of the operator's sector.
@@ -28,6 +30,32 @@ pub fn lowest_eigenpairs<S: Scalar>(op: &Operator<S>, k: usize) -> (Vec<f64>, Ve
     let res =
         lanczos_smallest(op, k, &LanczosOptions { want_vectors: true, ..Default::default() });
     (res.eigenvalues, res.eigenvectors.unwrap())
+}
+
+/// The `k` lowest eigenvalues under an explicit memory budget: the solver
+/// holds at most `budget` Krylov-state vectors (thick-restart Lanczos;
+/// see [`ls_eigen::restart`]). `budget` must be at least `2k + 3`.
+pub fn lowest_eigenvalues_bounded<S: Scalar>(
+    op: &Operator<S>,
+    k: usize,
+    budget: usize,
+) -> Vec<f64> {
+    assert!(budget >= 2 * k + 3, "budget {budget} too small for k = {k} (need 2k + 3)");
+    let res = thick_restart_lanczos(
+        op,
+        &RestartOptions { extra: budget - k, ..RestartOptions::new(k) },
+    );
+    res.eigenvalues
+}
+
+/// Full-control memory-bounded solve (checkpointing, custom tolerance,
+/// Ritz vectors) — the facade over
+/// [`ls_eigen::thick_restart_lanczos`] for [`Operator`]s.
+pub fn eigensolve_restarted<S: Scalar>(
+    op: &Operator<S>,
+    opts: &RestartOptions,
+) -> LanczosResult<S> {
+    thick_restart_lanczos(op, opts)
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! Binary I/O for bases and wavefunctions.
+//! Binary I/O for bases, wavefunctions and solver checkpoints.
 //!
 //! The paper keeps vectors in the hashed distribution internally and
 //! converts to the block distribution for I/O (Sec. 5.1); the same flow
@@ -9,19 +9,147 @@
 //!
 //! Format (little-endian): magic `LSRS`, version u32, payload-specific
 //! header, raw data.
+//!
+//! Every load path validates magic, version, kind and declared lengths
+//! with length-checked reads — truncated or corrupted files come back as
+//! typed [`LoadError`]s (wrapped in `io::Error` with
+//! `ErrorKind::InvalidData`), never as panics.
+//!
+//! Thick-restart Lanczos checkpoints (magic `LSCK`, checksummed,
+//! bit-identical resume) live in `ls-eigen` and are re-exported here:
+//! [`save_checkpoint`] / [`load_checkpoint`] handle both `Vec<S>` and
+//! hashed `DistVec<S>` storage.
 
 use bytes::{Buf, BufMut};
 use ls_dist::DistSpinBasis;
 use ls_kernels::Scalar;
 use ls_runtime::{Cluster, DistVec};
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
+
+pub use ls_eigen::checkpoint::{
+    load_checkpoint, save_checkpoint, save_checkpoint_ref, CheckpointError, CheckpointState,
+    CheckpointStateRef,
+};
+pub use ls_eigen::restart::CheckpointPolicy;
 
 const MAGIC: &[u8; 4] = b"LSRS";
 const VERSION: u32 = 1;
 const KIND_VECTOR: u32 = 1;
 const KIND_BASIS: u32 = 2;
+
+/// Typed failure modes of the `LSRS` load paths. Converted into
+/// `io::Error` (`ErrorKind::InvalidData`) at the public boundary so
+/// existing callers keep their `io::Result` signatures; match on the
+/// message or downcast for programmatic handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// Shorter than the fixed header.
+    TooShort,
+    BadMagic([u8; 4]),
+    UnsupportedVersion(u32),
+    WrongKind {
+        found: u32,
+        expected: u32,
+    },
+    /// The payload ends before its declared contents.
+    Truncated {
+        needed: usize,
+        available: usize,
+    },
+    ScalarWidthMismatch {
+        found: u32,
+        expected: u32,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooShort => write!(f, "file too short for header"),
+            Self::BadMagic(m) => write!(f, "bad magic {m:?}"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            Self::WrongKind { found, expected } => {
+                write!(f, "wrong payload kind {found} (expected {expected})")
+            }
+            Self::Truncated { needed, available } => {
+                write!(f, "truncated payload: needs {needed} more bytes, has {available}")
+            }
+            Self::ScalarWidthMismatch { found, expected } => {
+                write!(f, "scalar width mismatch: file {found}, requested {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<LoadError> for io::Error {
+    fn from(e: LoadError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Length-checked reads over the raw bytes: malformed input surfaces as
+/// [`LoadError`], never as an out-of-bounds panic. (A sibling cursor
+/// with checkpoint-specific errors lives in `ls_eigen::checkpoint`; the
+/// duplication is deliberate — sharing it would couple the `LSRS` file
+/// errors to the checkpoint format's.)
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl Reader<'_> {
+    fn need(&self, n: usize) -> Result<(), LoadError> {
+        if self.buf.remaining() < n {
+            Err(LoadError::Truncated { needed: n, available: self.buf.remaining() })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, LoadError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, LoadError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn i64(&mut self) -> Result<i64, LoadError> {
+        self.need(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    fn f64(&mut self) -> Result<f64, LoadError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    fn header(&mut self, expected_kind: u32) -> Result<(), LoadError> {
+        if self.buf.remaining() < 12 {
+            return Err(LoadError::TooShort);
+        }
+        let mut magic = [0u8; 4];
+        self.buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(LoadError::BadMagic(magic));
+        }
+        let version = self.u32()?;
+        if version != VERSION {
+            return Err(LoadError::UnsupportedVersion(version));
+        }
+        let kind = self.u32()?;
+        if kind != expected_kind {
+            return Err(LoadError::WrongKind { found: kind, expected: expected_kind });
+        }
+        Ok(())
+    }
+}
 
 /// Saves a plain (shared-memory) vector.
 pub fn save_vector<S: Scalar>(path: &Path, data: &[S]) -> io::Result<()> {
@@ -43,24 +171,29 @@ pub fn save_vector<S: Scalar>(path: &Path, data: &[S]) -> io::Result<()> {
 /// Loads a vector saved by [`save_vector`].
 pub fn load_vector<S: Scalar>(path: &Path) -> io::Result<Vec<S>> {
     let raw = fs::read(path)?;
-    let mut buf = &raw[..];
-    check_header(&mut buf, KIND_VECTOR)?;
-    let lanes = buf.get_u32_le() as usize;
+    Ok(parse_vector(&raw)?)
+}
+
+fn parse_vector<S: Scalar>(raw: &[u8]) -> Result<Vec<S>, LoadError> {
+    let mut r = Reader { buf: raw };
+    r.header(KIND_VECTOR)?;
+    let lanes = r.u32()? as usize;
     if lanes != S::N_REALS {
-        return Err(bad_data(format!(
-            "scalar width mismatch: file {lanes}, requested {}",
-            S::N_REALS
-        )));
+        return Err(LoadError::ScalarWidthMismatch {
+            found: lanes as u32,
+            expected: S::N_REALS as u32,
+        });
     }
-    let len = buf.get_u64_le() as usize;
-    if buf.remaining() < len * 8 * lanes {
-        return Err(bad_data("truncated vector data"));
-    }
+    let len = r.u64()? as usize;
+    let bytes = len
+        .checked_mul(8 * lanes)
+        .ok_or(LoadError::Truncated { needed: usize::MAX, available: r.buf.remaining() })?;
+    r.need(bytes)?;
     let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         let mut reals = [0.0f64; 2];
         for lane in reals.iter_mut().take(lanes) {
-            *lane = buf.get_f64_le();
+            *lane = r.f64()?;
         }
         out.push(S::from_reals(reals));
     }
@@ -104,17 +237,28 @@ pub struct LoadedBasis {
 /// Loads a basis saved by [`save_basis`].
 pub fn load_basis(path: &Path) -> io::Result<LoadedBasis> {
     let raw = fs::read(path)?;
-    let mut buf = &raw[..];
-    check_header(&mut buf, KIND_BASIS)?;
-    let n_sites = buf.get_u32_le();
-    let w = buf.get_i64_le();
+    Ok(parse_basis(&raw)?)
+}
+
+fn parse_basis(raw: &[u8]) -> Result<LoadedBasis, LoadError> {
+    let mut r = Reader { buf: raw };
+    r.header(KIND_BASIS)?;
+    let n_sites = r.u32()?;
+    let w = r.i64()?;
     let hamming_weight = if w < 0 { None } else { Some(w as u32) };
-    let len = buf.get_u64_le() as usize;
-    if buf.remaining() < len * 12 {
-        return Err(bad_data("truncated basis data"));
+    let len = r.u64()? as usize;
+    let bytes = len
+        .checked_mul(12)
+        .ok_or(LoadError::Truncated { needed: usize::MAX, available: r.buf.remaining() })?;
+    r.need(bytes)?;
+    let mut states = Vec::with_capacity(len);
+    for _ in 0..len {
+        states.push(r.u64()?);
     }
-    let states = (0..len).map(|_| buf.get_u64_le()).collect();
-    let orbit_sizes = (0..len).map(|_| buf.get_u32_le()).collect();
+    let mut orbit_sizes = Vec::with_capacity(len);
+    for _ in 0..len {
+        orbit_sizes.push(r.u32()?);
+    }
     Ok(LoadedBasis { n_sites, hamming_weight, states, orbit_sizes })
 }
 
@@ -168,30 +312,6 @@ pub fn hashed_vector_to_block<S: Scalar>(
     let masks_block = ls_dist::convert::to_block(&masks, cluster.n_locales());
     let block = ls_dist::hashed_to_block(cluster, hashed, &masks_block, 4);
     block.concat()
-}
-
-fn check_header(buf: &mut &[u8], expected_kind: u32) -> io::Result<()> {
-    if buf.remaining() < 12 {
-        return Err(bad_data("file too short"));
-    }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(bad_data("bad magic"));
-    }
-    let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(bad_data(format!("unsupported version {version}")));
-    }
-    let kind = buf.get_u32_le();
-    if kind != expected_kind {
-        return Err(bad_data(format!("wrong payload kind {kind}")));
-    }
-    Ok(())
-}
-
-fn bad_data(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
 #[cfg(test)]
@@ -254,6 +374,59 @@ mod tests {
         fs::write(&path, b"not a valid file").unwrap();
         assert!(load_vector::<f64>(&path).is_err());
         assert!(load_basis(&path).is_err());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_an_error_not_a_panic() {
+        // Historical bug: a file cut inside the header (e.g. 13 bytes)
+        // panicked in the unchecked reads. Every prefix must now come
+        // back as a typed error.
+        let path = tmp("trunc_every");
+        let data: Vec<f64> = (0..16).map(|i| i as f64 * 0.25).collect();
+        save_vector(&path, &data).unwrap();
+        let good = fs::read(&path).unwrap();
+        for cut in 0..good.len() {
+            std::panic::catch_unwind(|| parse_vector::<f64>(&good[..cut]))
+                .expect("parse must not panic")
+                .expect_err("truncated file must be rejected");
+        }
+        save_basis(&path, 4, None, &[1, 2], &[1, 1]).unwrap();
+        let good = fs::read(&path).unwrap();
+        for cut in 0..good.len() {
+            std::panic::catch_unwind(|| parse_basis(&good[..cut]))
+                .expect("parse must not panic")
+                .expect_err("truncated file must be rejected");
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn typed_errors_identify_the_failure() {
+        let path = tmp("typed");
+        save_basis(&path, 4, Some(2), &[0b0011], &[4]).unwrap();
+        // A basis payload loaded as a vector is WrongKind.
+        let raw = fs::read(&path).unwrap();
+        assert_eq!(
+            parse_vector::<f64>(&raw).unwrap_err(),
+            LoadError::WrongKind { found: KIND_BASIS, expected: KIND_VECTOR }
+        );
+        assert_eq!(parse_vector::<f64>(b"LS").unwrap_err(), LoadError::TooShort);
+        assert_eq!(
+            parse_vector::<f64>(&[0u8; 64]).unwrap_err(),
+            LoadError::BadMagic([0, 0, 0, 0])
+        );
+        // The io::Error wrapper preserves the typed error for downcasting.
+        let err =
+            load_basis(&std::path::PathBuf::from(&path).with_extension("missing")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        save_vector::<f64>(&path, &[1.0]).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 1);
+        fs::write(&path, &bytes).unwrap();
+        let err = load_vector::<f64>(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.get_ref().unwrap().is::<LoadError>());
         fs::remove_file(&path).ok();
     }
 }

@@ -43,21 +43,27 @@ pub mod matvec;
 pub mod observables;
 pub mod operator;
 
-pub use eigen::{ground_state, ground_state_energy, lowest_eigenvalues};
+pub use eigen::{
+    eigensolve_restarted, ground_state, ground_state_energy, lowest_eigenvalues,
+    lowest_eigenvalues_bounded,
+};
 pub use matvec::{MatvecScratchPool, MatvecStrategy};
 pub use observables::{expectation, structure_factor, sz_correlations};
 pub use operator::Operator;
 
 /// One-stop imports for typical use.
 pub mod prelude {
-    pub use crate::eigen::{ground_state, ground_state_energy, lowest_eigenvalues};
+    pub use crate::eigen::{
+        eigensolve_restarted, ground_state, ground_state_energy, lowest_eigenvalues,
+        lowest_eigenvalues_bounded,
+    };
     pub use crate::matvec::MatvecStrategy;
     pub use crate::observables::{expectation, structure_factor, sz_correlations};
     pub use crate::operator::Operator;
     pub use ls_basis::{BasisError, SectorSpec, SpinBasis, SymmetrizedOperator};
     pub use ls_eigen::{
         evolve_imaginary_time, evolve_real_time, lanczos_smallest, spectral_coefficients,
-        LanczosOptions, LinearOp,
+        thick_restart_lanczos, CheckpointPolicy, LanczosOptions, LinearOp, RestartOptions,
     };
     pub use ls_expr::builders::{heisenberg, heisenberg_bond, transverse_field, xxz};
     pub use ls_expr::{parse_expr, Expr, OperatorKernel};

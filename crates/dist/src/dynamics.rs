@@ -13,6 +13,12 @@
 //! One producer/consumer engine (and its staging buffers) is reused
 //! across all `m` products of a call, mirroring
 //! [`crate::eigensolve::dist_lanczos_smallest`].
+//!
+//! **Memory note:** the propagators retain their full `m`-vector Krylov
+//! basis (each vector in the hashed distribution), so pick `m` within
+//! the per-locale memory budget — for a memory-bounded *eigensolve*
+//! (where restarting applies) use
+//! [`crate::eigensolve::dist_thick_restart_lanczos`] instead.
 
 use crate::basis::DistSpinBasis;
 use crate::eigensolve::DistOp;

@@ -24,15 +24,33 @@ use crate::basis::DistSpinBasis;
 use crate::matvec::pc::PcEngine;
 use crate::matvec::PcOptions;
 use ls_basis::SymmetrizedOperator;
-use ls_eigen::{lanczos_smallest_in, KrylovOp, LanczosOptions, LanczosResultIn};
+use ls_eigen::{
+    lanczos_smallest_in, thick_restart_lanczos_in, KrylovOp, LanczosOptions, LanczosResultIn,
+    RestartOptions,
+};
 use ls_kernels::Scalar;
 use ls_runtime::{Cluster, DistVec};
 
 /// Options for [`dist_lanczos_smallest`].
 #[derive(Clone, Debug, Default)]
 pub struct DistLanczosOptions {
-    /// The inner Krylov iteration (tolerance, max iterations, seed, ...).
+    /// The inner Krylov iteration (tolerance, max iterations, seed,
+    /// retained-basis budget, checkpoint policy, ...). When `max_iter`
+    /// exceeds `max_retained` the distributed solve routes through
+    /// thick-restart Lanczos exactly like the shared-memory one —
+    /// distributed Krylov vectors included.
     pub lanczos: LanczosOptions,
+    /// Producer/consumer pipeline tuning for every matrix-vector product.
+    pub pc: PcOptions,
+}
+
+/// Options for [`dist_thick_restart_lanczos`] — direct control over the
+/// memory-bounded solver (budget split, checkpoint/restart) on a
+/// distributed sector.
+#[derive(Clone, Debug, Default)]
+pub struct DistRestartOptions {
+    /// Thick-restart parameters (`k`, `extra`, checkpoint policy, ...).
+    pub restart: RestartOptions,
     /// Producer/consumer pipeline tuning for every matrix-vector product.
     pub pc: PcOptions,
 }
@@ -116,6 +134,25 @@ pub fn dist_lanczos_smallest<S: Scalar>(
 ) -> DistLanczosResult<S> {
     let dist_op = DistOp::new(cluster, op, basis, opts.pc);
     lanczos_smallest_in(&dist_op, k, &opts.lanczos)
+}
+
+/// Memory-bounded distributed eigensolve: thick-restart Lanczos over the
+/// producer/consumer product, holding at most `k + extra` distributed
+/// Krylov vectors (each in the hashed distribution — per-locale memory
+/// is `(k + extra) · dim / locales` scalars). With a
+/// [`ls_eigen::CheckpointPolicy`] in `opts.restart.checkpoint`, the
+/// compressed state is written at restart boundaries in canonical global
+/// element order, and a killed solve resumes **bit-identically** on the
+/// same cluster shape (a different locale partition is rejected with a
+/// typed error — reduction order follows the parts).
+pub fn dist_thick_restart_lanczos<S: Scalar>(
+    cluster: &Cluster,
+    op: &SymmetrizedOperator<S>,
+    basis: &DistSpinBasis,
+    opts: &DistRestartOptions,
+) -> DistLanczosResult<S> {
+    let dist_op = DistOp::new(cluster, op, basis, opts.pc);
+    thick_restart_lanczos_in(&dist_op, &opts.restart)
 }
 
 #[cfg(test)]

@@ -1,0 +1,520 @@
+//! Versioned, checksummed checkpoints for the thick-restart Lanczos
+//! solver ([`crate::restart`]).
+//!
+//! A checkpoint captures the compressed solver state at a restart
+//! boundary — the retained Ritz basis plus the chain seed, the projected
+//! coefficients (`θ`, border `s`), the restart counter and the RNG draw
+//! counter — which is everything needed to resume a killed solve
+//! **bit-identically**: vectors are stored as exact `f64` lanes in
+//! canonical global element order, so the resumed in-memory state equals
+//! the uninterrupted one to the last bit.
+//!
+//! Format (little-endian), magic `LSCK`, version 1:
+//!
+//! ```text
+//! magic[4] version:u32 kind:u32 lanes:u32
+//! k:u64 budget:u64 restarts:u64 draws:u64 breakdowns:u64 retained:u64 nvecs:u64
+//! nparts:u64 part_len:u64 × nparts
+//! diag:f64 × retained  border:f64 × retained
+//! vector data: nvecs × Σpart_len × lanes × f64   (global element order)
+//! checksum:u64 (FNV-1a over every preceding byte)
+//! ```
+//!
+//! `kind` is [`KrylovVec::STORAGE_KIND`] (dense = 1, distributed = 2):
+//! loading a checkpoint into a different storage is a typed error, as is
+//! a layout (part-length) mismatch — resuming on a different locale
+//! partition would change reduction order and break bit-identity.
+//! Writes go to `<path>.tmp` first and are renamed into place, so a kill
+//! mid-write never corrupts the previous checkpoint.
+
+use crate::vector::{KrylovOp, KrylovVec};
+use bytes::{Buf, BufMut};
+use ls_kernels::Scalar;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"LSCK";
+const VERSION: u32 = 1;
+
+/// Solver state at a restart boundary (see [`crate::restart`] for the
+/// invariants: `basis` holds `retained` locked Ritz vectors followed by
+/// one chain-seed vector, `diag`/`border` are the projected arrowhead).
+#[derive(Clone, Debug)]
+pub struct CheckpointState<V> {
+    /// Number of wanted eigenpairs the checkpointed solve was asked for.
+    pub k: usize,
+    /// Total vector budget (`k + extra`) of the checkpointed solve.
+    pub budget: usize,
+    /// Restart cycles completed so far (cumulative across resumes).
+    pub restarts: usize,
+    /// Random vectors drawn so far (start vector + breakdown re-seeds).
+    pub draws: u64,
+    /// Exact-breakdown events so far (cumulative across resumes): the
+    /// solver's multiplicity-recovery rule compares this against `k`, so
+    /// a resume must replay the same count to stay bit-identical.
+    pub breakdowns: u64,
+    /// Number of locked Ritz vectors at the front of `basis`.
+    pub retained: usize,
+    /// Ritz values of the locked vectors (`retained` entries).
+    pub diag: Vec<f64>,
+    /// Arrowhead border coupling each locked vector to the chain seed.
+    pub border: Vec<f64>,
+    /// `retained + 1` vectors: the locked Ritz basis, then the chain seed.
+    pub basis: Vec<V>,
+}
+
+/// Typed failure modes of [`load_checkpoint`]. Corrupted or mismatched
+/// files are reported, never panicked on.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(io::Error),
+    /// Shorter than the fixed header + checksum.
+    TooShort,
+    BadMagic([u8; 4]),
+    UnsupportedVersion(u32),
+    /// The file was written for a different vector storage (e.g. a dense
+    /// checkpoint loaded into a distributed solve).
+    WrongStorageKind {
+        found: u32,
+        expected: u32,
+    },
+    ScalarWidthMismatch {
+        found: u32,
+        expected: u32,
+    },
+    /// Part lengths in the file differ from the operator's layout.
+    LayoutMismatch {
+        found: Vec<usize>,
+        expected: Vec<usize>,
+    },
+    /// The payload ends before its declared contents.
+    Truncated {
+        needed: usize,
+        available: usize,
+    },
+    BadChecksum {
+        stored: u64,
+        computed: u64,
+    },
+    /// Internally inconsistent header fields.
+    Malformed(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            Self::TooShort => write!(f, "checkpoint file too short for header"),
+            Self::BadMagic(m) => write!(f, "bad checkpoint magic {m:?}"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            Self::WrongStorageKind { found, expected } => write!(
+                f,
+                "checkpoint written for storage kind {found}, loading as kind {expected}"
+            ),
+            Self::ScalarWidthMismatch { found, expected } => write!(
+                f,
+                "checkpoint scalar has {found} lanes, requested scalar has {expected}"
+            ),
+            Self::LayoutMismatch { found, expected } => write!(
+                f,
+                "checkpoint layout {found:?} does not match solver layout {expected:?}"
+            ),
+            Self::Truncated { needed, available } => {
+                write!(f, "checkpoint truncated: needs {needed} more bytes, has {available}")
+            }
+            Self::BadChecksum { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            Self::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// FNV-1a (64-bit), the checksum all checkpoints carry. Not
+/// cryptographic — it catches truncation, bit rot and partial writes.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Borrowed view of the solver state for [`save_checkpoint_ref`]: the
+/// solver checkpoints every cycle, and cloning `retained + 1` full
+/// vectors per write would double the transient footprint the
+/// `k + extra` budget promises to bound.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointStateRef<'a, V> {
+    pub k: usize,
+    pub budget: usize,
+    pub restarts: usize,
+    pub draws: u64,
+    pub breakdowns: u64,
+    pub retained: usize,
+    pub diag: &'a [f64],
+    pub border: &'a [f64],
+    pub basis: &'a [V],
+}
+
+/// Serializes a checkpoint and writes it atomically (`<path>.tmp` then
+/// rename), so an interrupted write never destroys the previous one.
+pub fn save_checkpoint<V: KrylovVec>(
+    path: &Path,
+    state: &CheckpointState<V>,
+) -> io::Result<()> {
+    save_checkpoint_ref(
+        path,
+        &CheckpointStateRef {
+            k: state.k,
+            budget: state.budget,
+            restarts: state.restarts,
+            draws: state.draws,
+            breakdowns: state.breakdowns,
+            retained: state.retained,
+            diag: &state.diag,
+            border: &state.border,
+            basis: &state.basis,
+        },
+    )
+}
+
+/// [`save_checkpoint`] over borrowed state — the solver's write path.
+pub fn save_checkpoint_ref<V: KrylovVec>(
+    path: &Path,
+    state: &CheckpointStateRef<'_, V>,
+) -> io::Result<()> {
+    assert_eq!(state.diag.len(), state.retained, "diag length != retained count");
+    assert_eq!(state.border.len(), state.retained, "border length != retained count");
+    assert_eq!(state.basis.len(), state.retained + 1, "basis must hold retained + 1 vectors");
+    let layout = state.basis[0].layout();
+    let dim: usize = layout.iter().sum();
+    let lanes = V::Scalar::N_REALS;
+
+    let mut buf = Vec::with_capacity(
+        4 + 3 * 4
+            + 8 * 8
+            + layout.len() * 8
+            + 2 * state.retained * 8
+            + state.basis.len() * dim * lanes * 8
+            + 8,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(V::STORAGE_KIND);
+    buf.put_u32_le(lanes as u32);
+    buf.put_u64_le(state.k as u64);
+    buf.put_u64_le(state.budget as u64);
+    buf.put_u64_le(state.restarts as u64);
+    buf.put_u64_le(state.draws);
+    buf.put_u64_le(state.breakdowns);
+    buf.put_u64_le(state.retained as u64);
+    buf.put_u64_le(state.basis.len() as u64);
+    buf.put_u64_le(layout.len() as u64);
+    for &l in &layout {
+        buf.put_u64_le(l as u64);
+    }
+    for &d in state.diag {
+        buf.put_f64_le(d);
+    }
+    for &s in state.border {
+        buf.put_f64_le(s);
+    }
+    for v in state.basis {
+        debug_assert_eq!(v.layout(), layout, "checkpointed vectors must share one layout");
+        v.visit(&mut |x| {
+            let reals = x.to_reals();
+            for lane in reals.iter().take(lanes) {
+                buf.put_f64_le(*lane);
+            }
+        });
+    }
+    let checksum = fnv1a64(&buf);
+    buf.put_u64_le(checksum);
+
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, &buf)?;
+    fs::rename(&tmp, path)
+}
+
+/// A cursor over the raw bytes with length-checked reads: every parse
+/// failure is a typed [`CheckpointError`], never a panic.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl Reader<'_> {
+    fn need(&self, n: usize) -> Result<(), CheckpointError> {
+        if self.buf.remaining() < n {
+            Err(CheckpointError::Truncated { needed: n, available: self.buf.remaining() })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+}
+
+/// Loads and validates a checkpoint, rebuilding the basis vectors in the
+/// operator's own storage (`op.new_vec()` + element-order fill). The
+/// checkpoint must match the operator: same storage kind, same scalar
+/// width, same part layout — anything else is a typed error, because a
+/// resume that silently reinterprets or repartitions the state cannot be
+/// bit-identical to the uninterrupted solve.
+pub fn load_checkpoint<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
+    path: &Path,
+    op: &Op,
+) -> Result<CheckpointState<V>, CheckpointError> {
+    let raw = fs::read(path)?;
+    if raw.len() < 4 + 3 * 4 + 8 * 8 + 8 {
+        return Err(CheckpointError::TooShort);
+    }
+    let (payload, stored_tail) = raw.split_at(raw.len() - 8);
+    let stored = u64::from_le_bytes(stored_tail.try_into().unwrap());
+    let computed = fnv1a64(payload);
+    if stored != computed {
+        return Err(CheckpointError::BadChecksum { stored, computed });
+    }
+
+    let mut r = Reader { buf: payload };
+    let mut magic = [0u8; 4];
+    r.need(4)?;
+    r.buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic(magic));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let kind = r.u32()?;
+    if kind != V::STORAGE_KIND {
+        return Err(CheckpointError::WrongStorageKind {
+            found: kind,
+            expected: V::STORAGE_KIND,
+        });
+    }
+    let lanes = r.u32()? as usize;
+    if lanes != V::Scalar::N_REALS {
+        return Err(CheckpointError::ScalarWidthMismatch {
+            found: lanes as u32,
+            expected: V::Scalar::N_REALS as u32,
+        });
+    }
+    let k = r.u64()? as usize;
+    let budget = r.u64()? as usize;
+    let restarts = r.u64()? as usize;
+    let draws = r.u64()?;
+    let breakdowns = r.u64()?;
+    let retained = r.u64()? as usize;
+    let nvecs = r.u64()? as usize;
+    if nvecs != retained + 1 {
+        return Err(CheckpointError::Malformed(format!(
+            "{nvecs} vectors for {retained} retained pairs (want retained + 1)"
+        )));
+    }
+    if retained > budget || k > budget {
+        return Err(CheckpointError::Malformed(format!(
+            "retained {retained} / k {k} exceed budget {budget}"
+        )));
+    }
+    let nparts = r.u64()? as usize;
+    // Bound before allocating: each part length is 8 bytes.
+    r.need(nparts.checked_mul(8).ok_or(CheckpointError::TooShort)?)?;
+    let mut layout = Vec::with_capacity(nparts);
+    for _ in 0..nparts {
+        layout.push(r.u64()? as usize);
+    }
+    let expected_layout = op.new_vec().layout();
+    if layout != expected_layout {
+        return Err(CheckpointError::LayoutMismatch {
+            found: layout,
+            expected: expected_layout,
+        });
+    }
+    let dim: usize = layout.iter().sum();
+    if dim != op.dim() {
+        return Err(CheckpointError::Malformed(format!(
+            "checkpoint dimension {dim} != operator dimension {}",
+            op.dim()
+        )));
+    }
+
+    // Bound before allocating: `retained` is file-controlled, and a
+    // checksum-valid but malformed file must come back as a typed error,
+    // never as a capacity panic (diag + border are 16 bytes per entry).
+    r.need(retained.checked_mul(16).ok_or(CheckpointError::TooShort)?)?;
+    let mut diag = Vec::with_capacity(retained);
+    for _ in 0..retained {
+        diag.push(r.f64()?);
+    }
+    let mut border = Vec::with_capacity(retained);
+    for _ in 0..retained {
+        border.push(r.f64()?);
+    }
+
+    let vec_bytes = dim
+        .checked_mul(lanes)
+        .and_then(|x| x.checked_mul(8))
+        .ok_or(CheckpointError::TooShort)?;
+    let total = vec_bytes.checked_mul(nvecs).ok_or(CheckpointError::TooShort)?;
+    r.need(total)?;
+    let mut basis = Vec::with_capacity(nvecs);
+    for _ in 0..nvecs {
+        let mut v = op.new_vec();
+        v.fill_with(&mut |_i| {
+            let mut reals = [0.0f64; 2];
+            for lane in reals.iter_mut().take(lanes) {
+                *lane = r.buf.get_f64_le();
+            }
+            V::Scalar::from_reals(reals)
+        });
+        basis.push(v);
+    }
+
+    Ok(CheckpointState {
+        k,
+        budget,
+        restarts,
+        draws,
+        breakdowns,
+        retained,
+        diag,
+        border,
+        basis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::DenseOp;
+    use ls_runtime::DistVec;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ls_eigen_ckpt_{}_{name}.lsck", std::process::id()));
+        p
+    }
+
+    fn sample_state(dim: usize) -> CheckpointState<Vec<f64>> {
+        let mk = |s: f64| (0..dim).map(|i| (i as f64 * s).sin()).collect::<Vec<f64>>();
+        CheckpointState {
+            k: 2,
+            budget: 12,
+            restarts: 5,
+            draws: 3,
+            breakdowns: 1,
+            retained: 2,
+            diag: vec![-1.5, -0.25],
+            border: vec![1e-3, -2e-4],
+            basis: vec![mk(0.1), mk(0.2), mk(0.3)],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let path = tmp("roundtrip");
+        let dim = 97;
+        let st = sample_state(dim);
+        save_checkpoint(&path, &st).unwrap();
+        let op = DenseOp::new(dim, vec![0.0; dim * dim]);
+        let back = load_checkpoint::<Vec<f64>, _>(&path, &op).unwrap();
+        assert_eq!(back.k, st.k);
+        assert_eq!(back.budget, st.budget);
+        assert_eq!(back.restarts, st.restarts);
+        assert_eq!(back.draws, st.draws);
+        assert_eq!(back.breakdowns, st.breakdowns);
+        assert_eq!(back.retained, st.retained);
+        assert_eq!(back.diag, st.diag);
+        assert_eq!(back.border, st.border);
+        assert_eq!(back.basis, st.basis); // f64 bit equality via PartialEq
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_storage_kind_rejected() {
+        let path = tmp("kind");
+        let dim = 16;
+        save_checkpoint(&path, &sample_state(dim)).unwrap();
+        // A distributed operator with the same total dimension.
+        struct DistZero(Vec<usize>);
+        impl KrylovOp<DistVec<f64>> for DistZero {
+            fn dim(&self) -> usize {
+                self.0.iter().sum()
+            }
+            fn new_vec(&self) -> DistVec<f64> {
+                DistVec::zeros(&self.0)
+            }
+            fn apply(&self, _x: &DistVec<f64>, _y: &mut DistVec<f64>) {}
+        }
+        let op = DistZero(vec![8, 8]);
+        match load_checkpoint::<DistVec<f64>, _>(&path, &op) {
+            Err(CheckpointError::WrongStorageKind { found: 1, expected: 2 }) => {}
+            other => panic!("expected WrongStorageKind, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_and_corruption_rejected() {
+        let path = tmp("corrupt");
+        let dim = 40;
+        save_checkpoint(&path, &sample_state(dim)).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        let op = DenseOp::new(dim, vec![0.0; dim * dim]);
+
+        // Truncated at various points (header, payload, checksum).
+        for cut in [0, 3, 20, good.len() / 2, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            let err = load_checkpoint::<Vec<f64>, _>(&path, &op).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::TooShort | CheckpointError::BadChecksum { .. }),
+                "cut {cut}: {err:?}"
+            );
+        }
+
+        // A flipped payload byte fails the checksum.
+        let mut bad = good.clone();
+        bad[good.len() / 2] ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            load_checkpoint::<Vec<f64>, _>(&path, &op),
+            Err(CheckpointError::BadChecksum { .. })
+        ));
+
+        // Layout mismatch: same bytes, smaller operator.
+        std::fs::write(&path, &good).unwrap();
+        let small = DenseOp::new(dim - 1, vec![0.0; (dim - 1) * (dim - 1)]);
+        assert!(matches!(
+            load_checkpoint::<Vec<f64>, _>(&path, &small),
+            Err(CheckpointError::LayoutMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

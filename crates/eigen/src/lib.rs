@@ -27,6 +27,17 @@
 //!   parallel fused pipeline ([`lanczos::lanczos_smallest`] is the
 //!   slice-based wrapper); [`expm`] and [`spectral`] reuse the same
 //!   factorization for propagators and spectral functions;
+//! * [`restart::thick_restart_lanczos_in`] — the memory-bounded variant:
+//!   at most `k + extra` retained Krylov vectors via Ritz compression at
+//!   restart boundaries, with optional checkpoint/restart
+//!   ([`restart::CheckpointPolicy`]) whose resume is bit-identical to
+//!   the uninterrupted solve. [`lanczos_smallest_in`] routes here
+//!   automatically when `max_iter` exceeds the
+//!   [`LanczosOptions::max_retained`] budget;
+//! * [`checkpoint`] — the versioned, checksummed on-disk format behind
+//!   that resume contract ([`save_checkpoint`] / [`load_checkpoint`],
+//!   typed [`CheckpointError`]s for truncated, corrupt or mismatched
+//!   files);
 //! * [`tridiag::tridiag_eigh`] — implicit-shift QL for the projected
 //!   tridiagonal problem (no LAPACK available offline, so this is a
 //!   from-scratch implementation);
@@ -34,14 +45,20 @@
 //!   and complex Hermitian via real embedding) used to validate everything
 //!   else.
 
+pub mod checkpoint;
 pub mod expm;
 pub mod jacobi;
 pub mod lanczos;
 pub mod op;
+pub mod restart;
 pub mod spectral;
 pub mod tridiag;
 pub mod vector;
 
+pub use checkpoint::{
+    load_checkpoint, save_checkpoint, save_checkpoint_ref, CheckpointError, CheckpointState,
+    CheckpointStateRef,
+};
 pub use expm::{
     evolve_imaginary_time, evolve_imaginary_time_in, evolve_real_time, evolve_real_time_in,
 };
@@ -49,5 +66,8 @@ pub use lanczos::{
     lanczos_smallest, lanczos_smallest_in, LanczosOptions, LanczosResult, LanczosResultIn,
 };
 pub use op::{DenseOp, LinearOp};
+pub use restart::{
+    thick_restart_lanczos, thick_restart_lanczos_in, CheckpointPolicy, RestartOptions,
+};
 pub use spectral::{spectral_coefficients, spectral_coefficients_in, SpectralCoefficients};
 pub use vector::{KrylovOp, KrylovVec};

@@ -1,0 +1,650 @@
+//! Thick-restart Lanczos: memory-bounded eigensolving with
+//! checkpoint/restart.
+//!
+//! Full-reorthogonalization Lanczos ([`crate::lanczos`]) retains every
+//! Krylov vector, so a long solve on a large sector is memory-bound by
+//! the *solver* (`m · dim` scalars), not the matrix — exactly backwards
+//! for a code whose point is reaching dimensions where memory is the
+//! binding constraint. Thick restart (Wu & Simon; the restarting used by
+//! the Lanczos solvers in XDiag / `lattice-symmetries`) caps the basis:
+//! run a cycle of the ordinary recurrence, diagonalize the projected
+//! matrix, keep only the best `keep` Ritz pairs plus the trailing
+//! residual direction, and continue expanding from there. The retained
+//! set plus workspace never exceeds `k + extra` vectors
+//! ([`RestartOptions`]), so sector size — not iteration count — sets the
+//! memory budget.
+//!
+//! After a restart the projected operator is no longer tridiagonal but
+//! **arrowhead + tridiagonal**: locked Ritz values `θ_i` on the diagonal,
+//! a border `s_i = β·y_i[m-1]` coupling each locked vector to the chain
+//! seed, then the new `α/β` chain. The first cycle solves the projected
+//! problem with the tridiagonal QL of [`crate::tridiag`]; restarted
+//! cycles use the dense Jacobi reference ([`crate::jacobi`]) on the small
+//! `m × m` projected matrix — both `O(m³) ≪` one matrix-vector product.
+//!
+//! The expansion itself is the same blocked-CGS2 pipeline as the
+//! unrestarted solver (fused [`KrylovOp::apply_dot`],
+//! `multi_dot`/`multi_axpy` sweeps, fused update+norm), written against
+//! [`KrylovVec`]/[`KrylovOp`] — one implementation serves `Vec<S>` and
+//! the locale-partitioned `DistVec<S>`, and a distributed solve stays
+//! distributed.
+//!
+//! Long cluster runs additionally get **checkpoint/restart**
+//! ([`CheckpointPolicy`]): at restart boundaries the compressed state
+//! (locked basis + chain seed + projected coefficients + restart/RNG
+//! counters) is written atomically in the versioned, checksummed format
+//! of [`crate::checkpoint`]. A killed solve resumed from its checkpoint
+//! is **bit-identical** to the uninterrupted one — same eigenvalues,
+//! same Ritz vectors, to the last bit, at any `LS_NUM_THREADS`.
+
+use crate::checkpoint::{load_checkpoint, save_checkpoint_ref, CheckpointStateRef};
+use crate::jacobi::eigh_real;
+use crate::lanczos::{
+    cgs2_beta, lanczos_plain_in, random_fill, LanczosOptions, LanczosResult, LanczosResultIn,
+};
+use crate::tridiag::tridiag_eigh;
+use crate::vector::{KrylovOp, KrylovVec};
+use crate::LinearOp;
+use ls_kernels::Scalar;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// Exact-breakdown threshold, shared with the unrestarted solver.
+const BREAKDOWN: f64 = 1e-13;
+
+/// When and where to checkpoint a thick-restart solve.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file. Writes are atomic (`<path>.tmp` + rename); the
+    /// file is overwritten as the solve progresses and left in place on
+    /// completion (delete it to force a fresh start).
+    pub path: PathBuf,
+    /// Write every `every` completed restart cycles (≥ 1).
+    pub every: usize,
+    /// Resume from `path` when it exists (default). The checkpoint must
+    /// match the solve (same `k`, budget, storage kind, scalar width and
+    /// part layout) — anything else panics with the typed
+    /// [`crate::checkpoint::CheckpointError`], because a silently
+    /// mismatched resume could not be bit-identical.
+    pub resume: bool,
+}
+
+impl CheckpointPolicy {
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into(), every: 1, resume: true }
+    }
+}
+
+/// Options for [`thick_restart_lanczos_in`].
+///
+/// Defaults ([`RestartOptions::new`]): `extra = max(2k, 24)` (total
+/// budget `k + extra` vectors), `max_restarts = 400`, `tol = 1e-10`,
+/// `seed = 0x5eed`, no vectors, no checkpointing.
+#[derive(Clone, Debug)]
+pub struct RestartOptions {
+    /// Number of wanted (smallest) eigenpairs.
+    pub k: usize,
+    /// Memory headroom beyond `k`: the solve holds at most `k + extra`
+    /// Krylov-state vectors at any instant (locked Ritz vectors, chain,
+    /// workspace and compression scratch). Must be ≥ `k + 3` so a
+    /// restart cycle can make progress.
+    pub extra: usize,
+    /// Cap on completed restart cycles, **cumulative across resumes**
+    /// (the counter is stored in the checkpoint): a resumed solve
+    /// continues toward the same limit. Hitting it returns the current
+    /// Ritz estimates with `converged = false`.
+    pub max_restarts: usize,
+    /// Convergence threshold on the Ritz residual estimate
+    /// `|β·y_i[m-1]|` relative to the spectral scale.
+    pub tol: f64,
+    /// Seed for the start vector and breakdown re-seeds. Each draw uses
+    /// a counter-derived stream, so resumed runs redraw identically.
+    pub seed: u64,
+    /// Compute Ritz vectors?
+    pub want_vectors: bool,
+    /// Checkpoint/restart policy (off by default).
+    pub checkpoint: Option<CheckpointPolicy>,
+}
+
+impl RestartOptions {
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            extra: (2 * k).max(24),
+            max_restarts: 400,
+            tol: 1e-10,
+            seed: 0x5eed,
+            want_vectors: false,
+            checkpoint: None,
+        }
+    }
+}
+
+impl Default for RestartOptions {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+/// Splits the total vector budget `b = k + extra` into the locked count
+/// per restart (`keep`) and the cycle expansion cap (`m`). Compression
+/// transiently holds `m` old + `keep` new + 1 residual vectors, all of
+/// which must fit in `b`: `m = b - keep - 1`.
+pub(crate) fn split_budget(k: usize, b: usize) -> (usize, usize) {
+    debug_assert!(b >= 2 * k + 3);
+    let keep = (k + ((b - k) / 4).max(1)).min((b - 3) / 2).max(k);
+    let m = b - keep - 1;
+    debug_assert!(m > keep);
+    (keep, m)
+}
+
+/// Draws the `draws`-th random vector of the solve. Every draw seeds its
+/// own RNG from `(seed, draw index)`, so a resumed run reproduces the
+/// exact stream without serializing RNG internals.
+fn draw_random<V: KrylovVec>(v: &mut V, seed: u64, draws: &mut u64) {
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(*draws + 1));
+    random_fill(v, &mut rng);
+    *draws += 1;
+}
+
+/// Dense symmetric projected matrix: locked arrowhead (diagonal `θ_i`,
+/// border `s_i` in column `l`) followed by the tridiagonal chain.
+fn projected_dense(diag: &[f64], border: &[f64], offdiag: &[f64], l: usize) -> Vec<f64> {
+    let m = diag.len();
+    let mut t = vec![0.0f64; m * m];
+    for (i, &d) in diag.iter().enumerate() {
+        t[i * m + i] = d;
+    }
+    for (i, &s) in border.iter().enumerate().take(l) {
+        t[i * m + l] = s;
+        t[l * m + i] = s;
+    }
+    for (idx, &beta) in offdiag.iter().enumerate() {
+        let j = l + idx;
+        t[j * m + j + 1] = beta;
+        t[(j + 1) * m + j] = beta;
+    }
+    t
+}
+
+/// Eigen-decomposition of the projected matrix: tridiagonal QL on the
+/// first cycle (`l == 0`), dense Jacobi on the arrowhead thereafter.
+fn projected_eigh(
+    diag: &[f64],
+    border: &[f64],
+    offdiag: &[f64],
+    l: usize,
+) -> (Vec<f64>, Vec<Vec<f64>>) {
+    if l == 0 {
+        let (vals, vecs) = tridiag_eigh(diag, offdiag, true);
+        (vals, vecs.unwrap())
+    } else {
+        eigh_real(&projected_dense(diag, border, offdiag, l), diag.len())
+    }
+}
+
+/// Shared-memory wrapper over [`thick_restart_lanczos_in`] with
+/// `V = Vec<S>`.
+pub fn thick_restart_lanczos<S: Scalar, Op: LinearOp<S> + ?Sized>(
+    op: &Op,
+    opts: &RestartOptions,
+) -> LanczosResult<S> {
+    thick_restart_lanczos_in::<Vec<S>, Op>(op, opts)
+}
+
+/// Computes the `k` smallest eigenpairs of a Hermitian operator while
+/// holding at most `k + extra` Krylov-state vectors, restarting the
+/// recurrence through the Ritz compression of the projected matrix.
+///
+/// The result type is the same [`LanczosResultIn`] the unrestarted
+/// solver returns (Ritz vectors come back in the solver's storage);
+/// `iterations` counts matrix-vector products performed *by this call*
+/// and `peak_retained` reports the realized vector high-water mark.
+///
+/// # Panics
+/// Panics if `k == 0`, `k > op.dim()`, `extra < k + 3`, the operator
+/// reports itself non-Hermitian, or resuming from a corrupt/mismatched
+/// checkpoint (the typed [`crate::checkpoint::CheckpointError`] is in
+/// the panic message).
+pub fn thick_restart_lanczos_in<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
+    op: &Op,
+    opts: &RestartOptions,
+) -> LanczosResultIn<V> {
+    let n = op.dim();
+    let k = opts.k;
+    assert!(k >= 1, "need at least one eigenpair");
+    assert!(k <= n, "k = {k} exceeds dimension {n}");
+    assert!(op.is_hermitian(), "Lanczos requires a Hermitian operator");
+    assert!(
+        opts.extra >= k + 3,
+        "restart budget too small: extra = {} but need extra >= k + 3 = {}",
+        opts.extra,
+        k + 3
+    );
+    let b = k + opts.extra;
+    // Delegate to the unrestarted solver only when its own high-water
+    // mark (n basis vectors + workspace + Ritz assembly) provably fits
+    // the budget — the `≤ k + extra` contract holds on every path.
+    // Slightly larger small problems still run the restart machinery:
+    // the expansion simply exhausts the space and finishes exactly.
+    let assembly = if opts.want_vectors { k } else { 0 };
+    if n + 1 + assembly <= b {
+        let plain = LanczosOptions {
+            max_iter: n,
+            tol: opts.tol,
+            seed: opts.seed,
+            want_vectors: opts.want_vectors,
+            ..Default::default()
+        };
+        return lanczos_plain_in(op, k, &plain);
+    }
+    let (keep_max, m) = split_budget(k, b);
+
+    // ---- state at a restart boundary -----------------------------------
+    // basis = [u_0 .. u_{l-1}, chain seed, chain ...]; diag holds the l
+    // locked Ritz values then the chain alphas; border couples each
+    // locked vector to the chain seed; offdiag is the chain betas.
+    let mut basis: Vec<V> = Vec::with_capacity(m);
+    let mut diag: Vec<f64> = Vec::with_capacity(m);
+    let mut border: Vec<f64> = Vec::new();
+    let mut offdiag: Vec<f64> = Vec::with_capacity(m);
+    let mut l = 0usize;
+    let mut restarts = 0usize;
+    let mut draws = 0u64;
+    let mut breakdowns = 0usize;
+
+    if let Some(cp) = &opts.checkpoint {
+        if cp.resume && cp.path.exists() {
+            let st = match load_checkpoint::<V, Op>(&cp.path, op) {
+                Ok(st) => st,
+                Err(e) => {
+                    panic!("cannot resume from checkpoint {}: {e}", cp.path.display())
+                }
+            };
+            assert!(
+                st.k == k && st.budget == b,
+                "checkpoint {} was written for k = {}, budget = {} (this solve: k = {k}, \
+                 budget = {b}); resuming under different parameters would not be \
+                 bit-identical",
+                cp.path.display(),
+                st.k,
+                st.budget,
+            );
+            l = st.retained;
+            diag = st.diag;
+            border = st.border;
+            basis = st.basis;
+            restarts = st.restarts;
+            draws = st.draws;
+            breakdowns = st.breakdowns as usize;
+        }
+    }
+    if basis.is_empty() {
+        let mut v0 = op.new_vec();
+        draw_random(&mut v0, opts.seed, &mut draws);
+        let nrm = v0.norm();
+        v0.scale(1.0 / nrm);
+        basis.push(v0);
+    }
+
+    let mut w = op.new_vec();
+    let mut matvecs = 0usize;
+    let mut peak = basis.len() + 1; // basis + workspace w
+    let mut converged = false;
+    // Current Ritz estimates (from the resumed locked set, if any) so a
+    // run that performs zero new cycles still reports something sane.
+    let mut vals: Vec<f64> = diag.iter().copied().take(k).collect();
+    let mut residuals: Vec<f64> = border.iter().map(|s| s.abs()).take(k).collect();
+    let mut eigenvectors: Option<Vec<V>> = None;
+
+    'outer: while restarts < opts.max_restarts {
+        // ---- expansion: grow the chain to m vectors --------------------
+        let mut beta_last = 0.0f64;
+        // Set when the chain filled up via a breakdown while an
+        // unexplored invariant subspace provably remains: the cycle must
+        // then compress and restart from that fresh direction instead of
+        // declaring the (exact but possibly multiplicity-deficient)
+        // projected values converged.
+        let mut forced_restart = false;
+        loop {
+            let j = basis.len() - 1;
+            debug_assert_eq!(diag.len(), j, "projected matrix out of step with basis");
+            let alpha = op.apply_dot(&basis[j], &mut w).re();
+            matvecs += 1;
+            diag.push(alpha);
+            // Full blocked-CGS2 reorthogonalization against the *whole*
+            // retained set — locked Ritz vectors and chain alike. The
+            // first pass subsumes the explicit `α v_j`, `β v_{j-1}` and
+            // `Σ s_i u_i` subtractions.
+            let beta = cgs2_beta(&basis, &mut w);
+            if beta <= BREAKDOWN {
+                // Exact invariant subspace. Re-seed with a fresh random
+                // direction orthogonalized (CGS2) against every retained
+                // vector — including the locked Ritz vectors — so the
+                // next block explores an unexplored subspace.
+                breakdowns += 1;
+                let mut fresh = op.new_vec();
+                draw_random(&mut fresh, opts.seed, &mut draws);
+                let before = fresh.norm();
+                let nf = cgs2_beta(&basis, &mut fresh);
+                if nf <= 1e-10 * before {
+                    // The basis spans the reachable space: the projected
+                    // problem is exact and complete. Finish on it.
+                    break;
+                }
+                fresh.scale(1.0 / nf);
+                if basis.len() == m {
+                    if breakdowns > k {
+                        // More than k independent invariant blocks have
+                        // been explored (cumulative across cycles, like
+                        // the unrestarted solver's rule): every copy of
+                        // the wanted eigenvalues is reachable from some
+                        // block, so the exact projected values stand.
+                        break;
+                    }
+                    // The chain is full but `fresh` just proved an
+                    // unexplored subspace remains — multiplicity may be
+                    // unresolved. Force a restart with `fresh` as the
+                    // next chain seed (β = 0: decoupled from the locked
+                    // set, exactly a random-restart block).
+                    w = fresh;
+                    beta_last = 0.0;
+                    forced_restart = true;
+                    break;
+                }
+                offdiag.push(0.0);
+                basis.push(fresh);
+                peak = peak.max(basis.len() + 1);
+                continue;
+            }
+            if basis.len() == m {
+                beta_last = beta;
+                w.scale(1.0 / beta);
+                break; // w is now the normalized residual v_res
+            }
+            offdiag.push(beta);
+            w.scale(1.0 / beta);
+            basis.push(w.clone());
+            peak = peak.max(basis.len() + 1);
+        }
+
+        // ---- cycle end: projected solve + convergence test -------------
+        let mcur = basis.len();
+        assert!(mcur >= k, "Krylov space collapsed below k = {k} (dim {n})");
+        let (cvals, yvecs) = projected_eigh(&diag, &border, &offdiag, l);
+        let spectral_scale = cvals.iter().fold(0.0f64, |acc, v| acc.max(v.abs())).max(1e-300);
+        let resid: Vec<f64> = (0..k).map(|i| (beta_last * yvecs[i][mcur - 1]).abs()).collect();
+        let ok = !forced_restart && resid.iter().all(|r| *r <= opts.tol * spectral_scale);
+        vals = cvals[..k].to_vec();
+        residuals = resid;
+
+        if ok {
+            // Converged (β_last ≈ 0 without a forced restart means the
+            // reachable space is exhausted — the projected problem is
+            // then exact). Assemble Ritz vectors from the full cycle
+            // basis before anything is compressed away.
+            converged = true;
+            if opts.want_vectors {
+                let mut out = Vec::with_capacity(k);
+                for yv in yvecs.iter().take(k) {
+                    let mut x = op.new_vec();
+                    let coeffs: Vec<V::Scalar> =
+                        yv.iter().take(mcur).map(|&t| V::Scalar::from_re(t)).collect();
+                    V::multi_axpy(&coeffs, &basis[..mcur], &mut x);
+                    let nx = x.norm();
+                    x.scale(1.0 / nx);
+                    out.push(x);
+                }
+                peak = peak.max(mcur + 1 + k);
+                eigenvectors = Some(out);
+            }
+            break 'outer;
+        }
+
+        // ---- thick restart: compress to the best keep Ritz pairs -------
+        let keep = keep_max.min(mcur - 2).max(k);
+        let mut new_basis: Vec<V> = Vec::with_capacity(keep + 1);
+        for yv in yvecs.iter().take(keep) {
+            let mut u = op.new_vec();
+            let coeffs: Vec<V::Scalar> =
+                yv.iter().take(mcur).map(|&t| V::Scalar::from_re(t)).collect();
+            V::multi_axpy(&coeffs, &basis[..mcur], &mut u);
+            new_basis.push(u);
+        }
+        peak = peak.max(mcur + keep + 1);
+        let new_border: Vec<f64> = (0..keep).map(|i| beta_last * yvecs[i][mcur - 1]).collect();
+        basis = new_basis; // old cycle basis freed here
+        basis.push(w); // the residual vector seeds the next chain
+        w = op.new_vec();
+        l = keep;
+        diag = cvals[..keep].to_vec();
+        border = new_border;
+        offdiag.clear();
+        restarts += 1;
+
+        if let Some(cp) = &opts.checkpoint {
+            if restarts.is_multiple_of(cp.every.max(1)) {
+                // Borrowed state: no clone of the retained basis, so the
+                // write stays inside the k + extra vector budget.
+                let st = CheckpointStateRef {
+                    k,
+                    budget: b,
+                    restarts,
+                    draws,
+                    breakdowns: breakdowns as u64,
+                    retained: l,
+                    diag: &diag,
+                    border: &border,
+                    basis: &basis,
+                };
+                if let Err(e) = save_checkpoint_ref(&cp.path, &st) {
+                    panic!("failed to write checkpoint {}: {e}", cp.path.display());
+                }
+            }
+        }
+    }
+
+    if opts.want_vectors && eigenvectors.is_none() && l >= k {
+        // Restart budget exhausted before convergence: the locked basis
+        // holds the current best Ritz vectors — return them (best
+        // effort, aligned with the reported eigenvalue estimates) so
+        // `want_vectors` is honored on every exit path that has them.
+        eigenvectors = Some(basis[..k].to_vec());
+        peak = peak.max(basis.len() + 1 + k);
+    }
+
+    LanczosResultIn {
+        eigenvalues: vals,
+        eigenvectors,
+        iterations: matvecs,
+        residuals,
+        converged,
+        peak_retained: peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::eigh_real;
+    use crate::lanczos::lanczos_smallest;
+    use crate::op::DenseOp;
+
+    fn random_symmetric(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed;
+        let mut next = move || {
+            s = ls_kernels::hash64_01(s.wrapping_add(1));
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let x = next();
+                a[i * n + j] = x;
+                a[j * n + i] = x;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn matches_dense_with_a_tight_budget() {
+        let n = 120;
+        let a = random_symmetric(n, 11);
+        let (expect, _) = eigh_real(&a, n);
+        let op = DenseOp::new(n, a);
+        let opts = RestartOptions {
+            extra: 14, // budget 18 vectors on a 120-dim problem
+            tol: 1e-11,
+            want_vectors: true,
+            ..RestartOptions::new(4)
+        };
+        let res = thick_restart_lanczos(&op, &opts);
+        assert!(res.converged, "residuals {:?}", res.residuals);
+        assert!(res.peak_retained <= opts.k + opts.extra, "peak {}", res.peak_retained);
+        for (i, (got, want)) in res.eigenvalues.iter().zip(&expect).enumerate() {
+            assert!((got - want).abs() < 1e-7, "λ{i}: {got} vs {want}");
+        }
+        // Ritz vectors are genuine eigenvectors.
+        let op_ref = DenseOp::new(n, random_symmetric(n, 11));
+        for (lam, v) in res.eigenvalues.iter().zip(res.eigenvectors.as_ref().unwrap()) {
+            let mut av = vec![0.0f64; n];
+            LinearOp::apply(&op_ref, v, &mut av);
+            let rn: f64 = av
+                .iter()
+                .zip(v)
+                .map(|(x, y)| (x - lam * y) * (x - lam * y))
+                .sum::<f64>()
+                .sqrt();
+            assert!(rn < 1e-6, "residual {rn}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_full_memory_lanczos() {
+        let n = 90;
+        let a = random_symmetric(n, 23);
+        let op = DenseOp::new(n, a);
+        let full = lanczos_smallest(
+            &op,
+            3,
+            &LanczosOptions { max_iter: n, tol: 1e-11, ..Default::default() },
+        );
+        let thick = thick_restart_lanczos(
+            &op,
+            &RestartOptions { extra: 10, tol: 1e-11, ..RestartOptions::new(3) },
+        );
+        assert!(full.converged && thick.converged);
+        for (a, b) in full.eigenvalues.iter().zip(&thick.eigenvalues) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn small_problems_fall_back_to_plain_lanczos() {
+        let n = 12;
+        let a = random_symmetric(n, 5);
+        let (expect, _) = eigh_real(&a, n);
+        let op = DenseOp::new(n, a);
+        let res = thick_restart_lanczos(&op, &RestartOptions::new(2));
+        assert!(res.converged);
+        for (got, want) in res.eigenvalues.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn truncated_then_resumed_is_bit_identical() {
+        let n = 150;
+        let a = random_symmetric(n, 77);
+        let op = DenseOp::new(n, a);
+        let mut path = std::env::temp_dir();
+        path.push(format!("ls_restart_resume_{}.lsck", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        let base = RestartOptions {
+            extra: 12,
+            tol: 1e-12,
+            want_vectors: true,
+            ..RestartOptions::new(2)
+        };
+        let uninterrupted = thick_restart_lanczos(&op, &base);
+        assert!(uninterrupted.converged);
+
+        // Same solve, but killed after 2 restart cycles and resumed.
+        let ck = CheckpointPolicy::new(path.clone());
+        let truncated = thick_restart_lanczos(
+            &op,
+            &RestartOptions { max_restarts: 2, checkpoint: Some(ck.clone()), ..base.clone() },
+        );
+        assert!(!truncated.converged, "picked max_restarts too large for the test");
+        let resumed = thick_restart_lanczos(
+            &op,
+            &RestartOptions { checkpoint: Some(ck), ..base.clone() },
+        );
+        assert!(resumed.converged);
+        for (a, b) in uninterrupted.eigenvalues.iter().zip(&resumed.eigenvalues) {
+            assert_eq!(a.to_bits(), b.to_bits(), "resumed eigenvalue diverged");
+        }
+        let uv = uninterrupted.eigenvectors.unwrap();
+        let rv = resumed.eigenvectors.unwrap();
+        for (a, b) in uv.iter().zip(&rv) {
+            let bits = |v: &Vec<f64>| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(a), bits(b), "resumed Ritz vector diverged");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn degenerate_spectrum_recovers_multiplicity() {
+        // 3 copies of -1 in a 60-dim space, solved with an 11-vector
+        // budget: restarts + breakdown re-seeding must find all copies.
+        let n = 60;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            a[i * n + i] = if i < 3 { -1.0 } else { 2.0 };
+        }
+        let op = DenseOp::new(n, a);
+        let res =
+            thick_restart_lanczos(&op, &RestartOptions { extra: 7, ..RestartOptions::new(4) });
+        let copies = res.eigenvalues.iter().filter(|v| (*v + 1.0).abs() < 1e-8).count();
+        assert_eq!(copies, 3, "eigenvalues {:?}", res.eigenvalues);
+        assert!((res.eigenvalues[3] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn breakdown_at_chain_capacity_forces_a_restart() {
+        // diag(-1 ×4, 2 ×56) with k = 4 and a budget whose expansion
+        // chain (m = 6) fills with exactly three 2-dim invariant blocks:
+        // the first cycle ends in a breakdown *at capacity* while a
+        // fourth copy of -1 is still unexplored. Declaring the exact
+        // projected values converged there would return [-1,-1,-1,2];
+        // the forced restart must keep going until all four copies are
+        // found.
+        let n = 60;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            a[i * n + i] = if i < 4 { -1.0 } else { 2.0 };
+        }
+        let op = DenseOp::new(n, a);
+        let res = thick_restart_lanczos(
+            &op,
+            &RestartOptions { extra: 7, want_vectors: true, ..RestartOptions::new(4) },
+        );
+        for (i, v) in res.eigenvalues.iter().enumerate() {
+            assert!((v + 1.0).abs() < 1e-8, "λ{i} = {v}, expected all four copies of -1");
+        }
+        // want_vectors is honored on every exit path.
+        assert_eq!(res.eigenvectors.as_ref().map(|e| e.len()), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "extra >= k + 3")]
+    fn undersized_budget_panics() {
+        let op = DenseOp::new(50, vec![0.0; 2500]);
+        let _ =
+            thick_restart_lanczos(&op, &RestartOptions { extra: 2, ..RestartOptions::new(2) });
+    }
+}

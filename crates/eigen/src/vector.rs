@@ -49,6 +49,12 @@ use ls_runtime::DistVec;
 pub trait KrylovVec: Clone {
     type Scalar: Scalar;
 
+    /// Storage-kind tag written into checkpoint files so a resume cannot
+    /// silently reinterpret one storage's bytes as another's
+    /// (see [`crate::checkpoint`]). Dense `Vec<S>` is 1, distributed
+    /// `DistVec<S>` is 2.
+    const STORAGE_KIND: u32;
+
     /// Global number of elements (summed over parts for distributed
     /// storage).
     fn len(&self) -> usize;
@@ -56,6 +62,17 @@ pub trait KrylovVec: Clone {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Part lengths describing the physical layout (`[len]` for dense
+    /// storage, per-locale lengths for distributed storage). Checkpoints
+    /// record it so a resume on a different layout is rejected instead of
+    /// silently breaking the bit-identical-resume contract (reduction
+    /// order follows the parts).
+    fn layout(&self) -> Vec<usize>;
+
+    /// Visits every element in ascending global order — the
+    /// serialization counterpart of [`KrylovVec::fill_with`].
+    fn visit(&self, f: &mut dyn FnMut(Self::Scalar));
 
     /// Overwrites every element with `f(global_index)`, calling `f` in
     /// ascending global order exactly once per element. Callers feed
@@ -97,8 +114,20 @@ pub trait KrylovVec: Clone {
 impl<S: Scalar> KrylovVec for Vec<S> {
     type Scalar = S;
 
+    const STORAGE_KIND: u32 = 1;
+
     fn len(&self) -> usize {
         <[S]>::len(self)
+    }
+
+    fn layout(&self) -> Vec<usize> {
+        vec![<[S]>::len(self)]
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(S)) {
+        for &x in self.iter() {
+            f(x);
+        }
     }
 
     fn fill_with(&mut self, f: &mut dyn FnMut(usize) -> S) {
@@ -146,8 +175,18 @@ impl<S: Scalar> KrylovVec for Vec<S> {
 impl<S: Scalar> KrylovVec for DistVec<S> {
     type Scalar = S;
 
+    const STORAGE_KIND: u32 = 2;
+
     fn len(&self) -> usize {
         self.total_len()
+    }
+
+    fn layout(&self) -> Vec<usize> {
+        self.lens()
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(S)) {
+        self.for_each(|&x| f(x));
     }
 
     fn fill_with(&mut self, f: &mut dyn FnMut(usize) -> S) {

@@ -1,0 +1,78 @@
+//! Shared generators for the integration suite: reproducible random
+//! vectors and randomized symmetrized sectors. Factored out so the
+//! pipeline, determinism and restart-oracle tests all draw from one
+//! sector family.
+
+#![allow(dead_code)] // each test binary uses its own subset
+
+use exact_diag::basis::{SectorSpec, SpinBasis, SymmetrizedOperator};
+use exact_diag::prelude::*;
+use exact_diag::symmetry::lattice::{chain_bonds, chain_group};
+
+/// Hash-driven random vector in `[-0.5, 0.5)^dim` (same stream at any
+/// thread count).
+pub fn random_vec(dim: usize, seed: u64) -> Vec<f64> {
+    (0..dim)
+        .map(|i| {
+            let h = exact_diag::kernels::hash64_01(seed.wrapping_add(i as u64));
+            (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+/// A randomized sector of an `n`-site chain: U(1)-only at a hash-picked
+/// weight near half filling, or fully symmetrized (translation +
+/// reflection + spin inversion) at half filling. The choice is
+/// hash-driven from `seed`, so it is reproducible.
+pub fn random_sector(n: usize, seed: u64) -> SectorSpec {
+    let h = exact_diag::kernels::hash64_01(seed);
+    if h & 8 == 0 {
+        let weight = (n / 2 - 1 + (h % 3) as usize) as u32;
+        SectorSpec::with_weight(n as u32, weight).unwrap()
+    } else {
+        let group = chain_group(n, 0, Some(0), Some(0)).unwrap();
+        SectorSpec::new(n as u32, Some(n as u32 / 2), group).unwrap()
+    }
+}
+
+/// The randomized sector set used by the determinism suites: one sector
+/// per chain size.
+pub fn sectors(seed: u64) -> Vec<(usize, SectorSpec)> {
+    [12usize, 14, 16]
+        .iter()
+        .enumerate()
+        .map(|(case, &n)| (n, random_sector(n, seed.wrapping_add(case as u64))))
+        .collect()
+}
+
+/// Builds the Heisenberg operator + basis of a sector.
+pub fn heisenberg_problem(
+    n: usize,
+    sector: &SectorSpec,
+) -> (SymmetrizedOperator<f64>, SpinBasis) {
+    let kernel = heisenberg(&chain_bonds(n), 1.0).to_kernel(n as u32).unwrap();
+    let op = SymmetrizedOperator::<f64>::new(&kernel, sector).unwrap();
+    let basis = SpinBasis::build(sector.clone());
+    (op, basis)
+}
+
+/// Bit view of an `f64` slice, for exactness assertions.
+pub fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// A unique temp path for checkpoint files.
+pub fn tmp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("exact_diag_it_{}_{name}", std::process::id()));
+    p
+}
+
+/// Serializes tests that mutate the process-global
+/// `rayon::set_thread_limit` override (the harness runs `#[test]`s
+/// concurrently within one binary). Results are thread-count independent
+/// by design, but serializing keeps each comparison's limits honest.
+pub fn thread_limit_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -142,6 +142,115 @@ fn io_rejects_corruption() {
     bytes.truncate(bytes.len() - 4);
     std::fs::write(&path, bytes).unwrap();
     assert!(io::load_vector::<f64>(&path).is_err());
+    // Truncation *inside the header* must also be a typed error (this
+    // used to panic in the unchecked reads).
+    io::save_vector::<f64>(&path, &[1.0]).unwrap();
+    let good = std::fs::read(&path).unwrap();
+    for cut in [5usize, 13, 15, 20] {
+        std::fs::write(&path, &good[..cut]).unwrap();
+        let got = std::panic::catch_unwind(|| io::load_vector::<f64>(&path));
+        assert!(got.expect("load must not panic").is_err(), "cut at {cut} accepted");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Checkpoint load paths: truncation, checksum corruption and
+/// wrong-storage-kind files must all surface as the right typed
+/// [`CheckpointError`], across the crate boundary.
+#[test]
+fn checkpoints_reject_truncation_corruption_and_wrong_storage() {
+    use exact_diag::core::io::{load_checkpoint, save_checkpoint, CheckpointError};
+    use exact_diag::eigen::{CheckpointState, KrylovOp};
+    use exact_diag::runtime::DistVec;
+
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("ls_failure_ckpt_{}.lsck", std::process::id()));
+    let dim = 64usize;
+    let mk = |s: f64| (0..dim).map(|i| (i as f64 * s).cos()).collect::<Vec<f64>>();
+    let state = CheckpointState {
+        k: 1,
+        budget: 9,
+        restarts: 2,
+        draws: 1,
+        breakdowns: 0,
+        retained: 1,
+        diag: vec![-2.5],
+        border: vec![3e-4],
+        basis: vec![mk(0.3), mk(0.7)],
+    };
+    save_checkpoint(&path, &state).unwrap();
+    let good = std::fs::read(&path).unwrap();
+    let dense_op = ls_eigen::DenseOp::new(dim, vec![0.0; dim * dim]);
+
+    // Truncation at every stage of the layout: typed error, no panic.
+    for cut in [0usize, 7, 30, good.len() / 3, good.len() - 3] {
+        std::fs::write(&path, &good[..cut]).unwrap();
+        let err = load_checkpoint::<Vec<f64>, _>(&path, &dense_op).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::TooShort | CheckpointError::BadChecksum { .. }),
+            "cut {cut}: {err:?}"
+        );
+    }
+
+    // Bit rot anywhere in the payload fails the checksum.
+    for flip in [12usize, good.len() / 2, good.len() - 9] {
+        let mut bad = good.clone();
+        bad[flip] ^= 0x10;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            load_checkpoint::<Vec<f64>, _>(&path, &dense_op),
+            Err(CheckpointError::BadChecksum { .. })
+        ));
+    }
+
+    // Wrong storage kind: a dense checkpoint refused by a distributed
+    // solve (and the panic-free typed error is what the solver reports).
+    struct DistZero(Vec<usize>);
+    impl KrylovOp<DistVec<f64>> for DistZero {
+        fn dim(&self) -> usize {
+            self.0.iter().sum()
+        }
+        fn new_vec(&self) -> DistVec<f64> {
+            DistVec::zeros(&self.0)
+        }
+        fn apply(&self, _x: &DistVec<f64>, _y: &mut DistVec<f64>) {}
+    }
+    std::fs::write(&path, &good).unwrap();
+    let dist_op = DistZero(vec![40, 24]);
+    assert!(matches!(
+        load_checkpoint::<DistVec<f64>, _>(&path, &dist_op),
+        Err(CheckpointError::WrongStorageKind { found: 1, expected: 2 })
+    ));
+
+    // ... and symmetrically: a distributed checkpoint refused by a
+    // shared-memory solve.
+    let dist_state = CheckpointState {
+        k: 1,
+        budget: 9,
+        restarts: 2,
+        draws: 1,
+        breakdowns: 0,
+        retained: 1,
+        diag: vec![-2.5],
+        border: vec![3e-4],
+        basis: vec![
+            DistVec::from_parts(vec![mk(0.3)[..40].to_vec(), mk(0.3)[40..].to_vec()]),
+            DistVec::from_parts(vec![mk(0.7)[..40].to_vec(), mk(0.7)[40..].to_vec()]),
+        ],
+    };
+    save_checkpoint(&path, &dist_state).unwrap();
+    assert!(matches!(
+        load_checkpoint::<Vec<f64>, _>(&path, &dense_op),
+        Err(CheckpointError::WrongStorageKind { found: 2, expected: 1 })
+    ));
+    // The distributed op with the *matching* layout loads it fine...
+    assert!(load_checkpoint::<DistVec<f64>, _>(&path, &dist_op).is_ok());
+    // ...but a different locale partition of the same total is refused.
+    let repartitioned = DistZero(vec![32, 32]);
+    assert!(matches!(
+        load_checkpoint::<DistVec<f64>, _>(&path, &repartitioned),
+        Err(CheckpointError::LayoutMismatch { .. })
+    ));
     std::fs::remove_file(&path).ok();
 }
 

@@ -1,5 +1,7 @@
 //! Property-based integration tests over the whole stack.
 
+mod common;
+
 use exact_diag::basis::{SectorSpec, SpinBasis, SymmetrizedOperator};
 use exact_diag::core::matvec::{apply_pull, apply_push, apply_serial};
 use exact_diag::dist::convert::{block_to_hashed, hashed_to_block, to_block};
@@ -27,12 +29,7 @@ proptest! {
         let sector = SectorSpec::new(n as u32, Some(5), group).unwrap();
         let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
         let basis = SpinBasis::build(sector);
-        let x: Vec<f64> = (0..basis.dim())
-            .map(|i| {
-                let h = ls_kernels::hash64_01(seed.wrapping_add(i as u64));
-                (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-            })
-            .collect();
+        let x = common::random_vec(basis.dim(), seed);
         let mut y1 = vec![0.0; basis.dim()];
         let mut y2 = vec![0.0; basis.dim()];
         let mut y3 = vec![0.0; basis.dim()];
