@@ -56,7 +56,12 @@ fn bench_matvec_variants(c: &mut Criterion) {
                 &s.basis,
                 &s.x,
                 &mut y,
-                PcOptions { producers: 1, consumers: 1, capacity: 1024 },
+                PcOptions {
+                    producers: 1,
+                    consumers: 1,
+                    capacity: 1024,
+                    ..PcOptions::default()
+                },
             )
         })
     });

@@ -68,7 +68,12 @@ fn main() {
                 &s.basis,
                 &s.x,
                 &mut y_pc,
-                PcOptions { producers: 1, consumers: 1, capacity: 1024 },
+                PcOptions {
+                    producers: 1,
+                    consumers: 1,
+                    capacity: 1024,
+                    ..PcOptions::default()
+                },
             );
         });
 
@@ -96,7 +101,7 @@ fn main() {
             &s.basis,
             &s.x,
             &mut y_pc,
-            PcOptions { producers: 1, consumers: 1, capacity: 1024 },
+            PcOptions { producers: 1, consumers: 1, capacity: 1024, ..PcOptions::default() },
         );
         let barriers_pc = s.cluster.stats_total().barriers;
         let peak: usize =

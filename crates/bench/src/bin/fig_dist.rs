@@ -36,6 +36,7 @@ use ls_dist::matvec::pc::PcEngine;
 use ls_dist::{enumerate_dist, DistSpinBasis, PcOptions};
 use ls_eigen::{lanczos_smallest, LanczosOptions, LinearOp};
 use ls_kernels::Scalar;
+use ls_runtime::transport;
 use ls_runtime::{Cluster, ClusterSpec, DistVec};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -98,10 +99,18 @@ struct Cell {
     lanczos_iter_seconds: f64,
     gathered_bytes_per_iter: u64,
     scattered_bytes_per_iter: u64,
+    /// Bytes that actually crossed the transport wire (TCP frames), per
+    /// Lanczos iteration. Zero on the in-process backend, where locales
+    /// are threads and nothing is serialized.
+    wire_tx_bytes_per_iter: u64,
+    wire_rx_bytes_per_iter: u64,
+    /// Mean wall time of one transport barrier during the timed solve.
+    mean_barrier_seconds: f64,
     energy: f64,
 }
 
 fn main() {
+    transport::launch_if_requested();
     let mut sites = 16usize;
     let mut iters = 6usize;
     let mut reps = 3usize;
@@ -122,6 +131,29 @@ fn main() {
                 panic!("unknown flag {other} (try --sites/--iters/--reps/--locales/--out)")
             }
         }
+    }
+
+    // Never emit simulated numbers under a multiprocess label (or vice
+    // versa): if the multiprocess backend was requested this process must
+    // actually be connected to a job, and the locale axis is fixed by the
+    // job size. (`requested_backend` already rejects unknown
+    // `LS_TRANSPORT` values loudly.)
+    let mp = transport::active();
+    if transport::requested_backend() == transport::Backend::MultiProcess && mp.is_none() {
+        panic!(
+            "LS_TRANSPORT=multiprocess requested but this process is not part of a \
+             multiprocess job; refusing to emit in-process numbers under that label"
+        );
+    }
+    if let Some(mp) = mp {
+        if locales_arg != vec![mp.n_locales()] {
+            println!(
+                "fig_dist: multiprocess job has {} locales; ignoring --locales {:?}",
+                mp.n_locales(),
+                locales_arg
+            );
+        }
+        locales_arg = vec![mp.n_locales()];
     }
 
     // The paper's benchmark family: Heisenberg chain, fully symmetric
@@ -152,12 +184,21 @@ fn main() {
         let mut inplace_get_bytes = 0u64;
         let mut gs_gathered = 0u64;
         let mut gs_scattered = 0u64;
+        let mut wire_tx = 0u64;
+        let mut wire_rx = 0u64;
+        let mut barrier_secs = 0.0f64;
         // Alternate which mode runs first each round so slow machine
         // drift (frequency scaling, cache warmth) biases neither mode.
+        // (Across processes the gather-scatter baseline is meaningless —
+        // its dense node-local Krylov vectors would read stale replicas —
+        // so only the in-place path is measured there.)
         for round in 0..reps.max(1) {
             for half in 0..2 {
                 if (round + half) % 2 == 0 {
                     cluster.reset_stats();
+                    if let Some(mp) = mp {
+                        mp.stats().reset();
+                    }
                     let t = std::time::Instant::now();
                     let res = dist_lanczos_smallest(
                         &cluster,
@@ -166,10 +207,17 @@ fn main() {
                         1,
                         &DistLanczosOptions { lanczos: lanczos_opts.clone(), pc },
                     );
-                    t_inplace.push(t.elapsed().as_secs_f64() / res.iterations.max(1) as f64);
+                    let its = res.iterations.max(1) as u64;
+                    t_inplace.push(t.elapsed().as_secs_f64() / its as f64);
                     e_inplace = res.eigenvalues[0];
                     inplace_get_bytes = cluster.stats_total().get_bytes;
-                } else {
+                    if let Some(mp) = mp {
+                        let w = mp.stats().snapshot();
+                        wire_tx = w.tx_bytes / its;
+                        wire_rx = w.rx_bytes / its;
+                        barrier_secs = w.mean_barrier_seconds();
+                    }
+                } else if mp.is_none() {
                     let gs_op = GatherScatterOp {
                         cluster: &cluster,
                         op: &op,
@@ -193,39 +241,59 @@ fn main() {
             inplace_get_bytes, 0,
             "in-place distributed Lanczos gathered {inplace_get_bytes} bytes"
         );
-        assert!(
-            (e_inplace - e_gs).abs() < 1e-6 * e_gs.abs().max(1.0),
-            "paths disagree at {locales} locales: {e_inplace} vs {e_gs}"
-        );
         let median = |mut s: Vec<f64>| -> f64 {
             s.sort_by(f64::total_cmp);
             s[s.len() / 2]
         };
-        let (ti, tg) = (median(t_inplace), median(t_gs));
-        println!(
-            "  locales {locales}: dim {dim}, in-place {}/iter (0 B gathered), \
-             gather-scatter {}/iter ({} B gathered + {} B scattered per iter)",
-            ls_bench::fmt_secs(ti),
-            ls_bench::fmt_secs(tg),
-            gs_gathered,
-            gs_scattered,
-        );
+        let ti = median(t_inplace);
         cells.push(Cell {
             locales,
             mode: "in_place",
             lanczos_iter_seconds: ti,
             gathered_bytes_per_iter: 0,
             scattered_bytes_per_iter: 0,
+            wire_tx_bytes_per_iter: wire_tx,
+            wire_rx_bytes_per_iter: wire_rx,
+            mean_barrier_seconds: barrier_secs,
             energy: e_inplace,
         });
-        cells.push(Cell {
-            locales,
-            mode: "gather_scatter",
-            lanczos_iter_seconds: tg,
-            gathered_bytes_per_iter: gs_gathered,
-            scattered_bytes_per_iter: gs_scattered,
-            energy: e_gs,
-        });
+        if mp.is_some() {
+            if transport::is_primary() {
+                println!(
+                    "  locales {locales}: dim {dim}, in-place {}/iter (0 B gathered), \
+                     wire {} B tx + {} B rx per iter, mean barrier {}",
+                    ls_bench::fmt_secs(ti),
+                    wire_tx,
+                    wire_rx,
+                    ls_bench::fmt_secs(barrier_secs),
+                );
+            }
+        } else {
+            assert!(
+                (e_inplace - e_gs).abs() < 1e-6 * e_gs.abs().max(1.0),
+                "paths disagree at {locales} locales: {e_inplace} vs {e_gs}"
+            );
+            let tg = median(t_gs);
+            println!(
+                "  locales {locales}: dim {dim}, in-place {}/iter (0 B gathered), \
+                 gather-scatter {}/iter ({} B gathered + {} B scattered per iter)",
+                ls_bench::fmt_secs(ti),
+                ls_bench::fmt_secs(tg),
+                gs_gathered,
+                gs_scattered,
+            );
+            cells.push(Cell {
+                locales,
+                mode: "gather_scatter",
+                lanczos_iter_seconds: tg,
+                gathered_bytes_per_iter: gs_gathered,
+                scattered_bytes_per_iter: gs_scattered,
+                wire_tx_bytes_per_iter: 0,
+                wire_rx_bytes_per_iter: 0,
+                mean_barrier_seconds: 0.0,
+                energy: e_gs,
+            });
+        }
 
         // Smoke the in-place dynamics entry points on the same layout
         // (cheap: a handful of extra products) so the bench also guards
@@ -253,22 +321,32 @@ fn main() {
             format!(
                 "    {{\"locales\": {}, \"mode\": \"{}\", \"lanczos_iter_seconds\": {:.9}, \
                  \"gathered_bytes_per_iter\": {}, \"scattered_bytes_per_iter\": {}, \
-                 \"energy\": {:.12}}}",
+                 \"wire_tx_bytes_per_iter\": {}, \"wire_rx_bytes_per_iter\": {}, \
+                 \"mean_barrier_seconds\": {:.9}, \"energy\": {:.12}}}",
                 c.locales,
                 c.mode,
                 c.lanczos_iter_seconds,
                 c.gathered_bytes_per_iter,
                 c.scattered_bytes_per_iter,
+                c.wire_tx_bytes_per_iter,
+                c.wire_rx_bytes_per_iter,
+                c.mean_barrier_seconds,
                 c.energy
             )
         })
         .collect();
     let dim = sector.dimension();
     let json = format!(
-        "{{\n  \"bench\": \"dist\",\n  \"sites\": {sites},\n  \"dim\": {dim},\n  \
-         \"iters\": {iters},\n  \"reps\": {reps},\n  \"series\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"dist\",\n  \"backend\": \"{}\",\n  \"sites\": {sites},\n  \
+         \"dim\": {dim},\n  \"iters\": {iters},\n  \"reps\": {reps},\n  \
+         \"series\": [\n{}\n  ]\n}}\n",
+        transport::backend().name(),
         rows.join(",\n")
     );
-    std::fs::write(&out_path, &json).expect("write benchmark JSON");
-    println!("wrote {out_path}");
+    // In a multiprocess job every rank computes the same numbers modulo
+    // timing noise; rank 0's file is the job's output.
+    if transport::is_primary() {
+        std::fs::write(&out_path, &json).expect("write benchmark JSON");
+        println!("wrote {out_path}");
+    }
 }

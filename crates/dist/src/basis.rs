@@ -136,6 +136,10 @@ impl DistSpinBasis {
 
     /// Gathers a distributed vector into canonical (globally sorted state)
     /// order — a test/diagnostic helper, not a scalable operation.
+    ///
+    /// Only meaningful on the in-process backend (or after an explicit
+    /// replication step): under the multiprocess transport the remote
+    /// parts of `v` read from this process's stale replica.
     pub fn gather_canonical<S: Scalar>(&self, v: &DistVec<S>) -> Vec<S> {
         let locales = self.n_locales();
         let mut cursors = vec![0usize; locales];
@@ -198,20 +202,56 @@ pub fn enumerate_dist(
         mine
     });
 
+    // Under the multiprocess transport `cluster.run` returns only this
+    // rank's results, so exchange the per-chunk per-destination counts
+    // first; in process every locale's buckets are already at hand.
+    let mp = ls_runtime::transport::active();
+    let chunk_counts: Vec<Vec<Vec<usize>>> = match mp {
+        Some(mp) => {
+            let mut wire = Vec::new();
+            for (chunk_states, _) in &filtered[0] {
+                for dest in chunk_states {
+                    wire.extend_from_slice(&(dest.len() as u64).to_le_bytes());
+                }
+            }
+            mp.allgather(&wire)
+                .into_iter()
+                .map(|bytes| {
+                    bytes
+                        .chunks_exact(8 * locales)
+                        .map(|chunk| {
+                            chunk
+                                .chunks_exact(8)
+                                .map(|n| u64::from_le_bytes(n.try_into().unwrap()) as usize)
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+        None => filtered
+            .iter()
+            .map(|chunks| {
+                chunks.iter().map(|(s, _)| s.iter().map(Vec::len).collect()).collect()
+            })
+            .collect(),
+    };
+
     // Destination offsets via the ordered-placement rule (see `layout`):
     // walking chunks in global (range) order keeps every locale's
     // received list sorted, because chunk ranges are disjoint and
     // ascending. Chunk `c` is slot `c`; its owner holds it at local
     // position `c / locales`.
     let (offsets, totals) = crate::layout::destination_offsets(
-        (0..total_chunks)
-            .map(|c| filtered[c % locales][c / locales].0.iter().map(Vec::len).collect()),
+        (0..total_chunks).map(|c| chunk_counts[c % locales][c / locales].clone()),
         locales,
     );
     let offset_of = |src: usize, local_c: usize| &offsets[local_c * locales + src];
 
     // Phase 2 (exchange): one-sided puts into the precomputed disjoint
-    // slots — the distribution step of Fig. 4.
+    // slots — the distribution step of Fig. 4. (The write windows'
+    // multiprocess epoch replicates every part on close, which is what
+    // lets `from_parts` build its ranking indices everywhere.)
     let mut states = DistVec::<u64>::zeros(&totals);
     let mut orbit_sizes = DistVec::<u32>::zeros(&totals);
     {
@@ -219,7 +259,8 @@ pub fn enumerate_dist(
         let win_orbits = RmaWriteWindow::new(&mut orbit_sizes);
         cluster.run(|ctx| {
             let me = ctx.locale();
-            for (local_c, (chunk_states, chunk_orbits)) in filtered[me].iter().enumerate() {
+            let mine = if mp.is_some() { &filtered[0] } else { &filtered[me] };
+            for (local_c, (chunk_states, chunk_orbits)) in mine.iter().enumerate() {
                 for dest in 0..locales {
                     let off = offset_of(me, local_c)[dest];
                     win_states.put(ctx, dest, off, &chunk_states[dest]);

@@ -2,9 +2,9 @@
 //!
 //! Per locale, `producers` tasks stream over the local rows *in blocks*
 //! through the batch kernels (one group pass and one bulk ranking per
-//! [`GEN_BLOCK`] rows), generating `(destination state, coefficient)`
+//! `GEN_BLOCK` rows), generating `(destination state, coefficient)`
 //! pairs that are staged per destination and shipped through
-//! fixed-capacity [`BufferChannel`]s — one per (source, destination)
+//! fixed-capacity [`BufferChannel`](ls_runtime::remote::BufferChannel)s — one per (source, destination)
 //! pair. Concurrently, `consumers` tasks on every locale drain the
 //! channels addressed to them, rank each received batch in bulk against
 //! the *local* basis part (the interleaved prefix-bucket kernel — ranking
@@ -25,10 +25,11 @@
 
 use crate::basis::DistSpinBasis;
 use crate::matvec::{accumulate_batch, validate_shapes};
+use crossbeam::utils::Backoff;
 use ls_basis::{OffDiagBlock, SymmetrizedOperator};
 use ls_kernels::search::NOT_FOUND;
 use ls_kernels::Scalar;
-use ls_runtime::remote::BufferChannel;
+use ls_runtime::transport::{self, PairChannel};
 use ls_runtime::{AtomicAccumWindow, Cluster, DistVec, LocaleCtx};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -46,11 +47,21 @@ pub struct PcOptions {
     pub consumers: usize,
     /// Capacity of each staging buffer, in `(state, coefficient)` pairs.
     pub capacity: usize,
+    /// Deterministic accumulation order: forces one producer and one
+    /// consumer per locale, and the consumer *stashes* received batches
+    /// (communication still overlaps generation) and applies them only
+    /// after the locale's producer finished — local contributions in row
+    /// order first, then each source locale's batches in source order.
+    /// The result is bit-identical across runs **and across transport
+    /// backends** (the racing-CAS default is deterministic only to
+    /// rounding). Costs the stash memory (all remote contributions of a
+    /// product buffered at once) and the overlap of accumulation.
+    pub deterministic: bool,
 }
 
 impl Default for PcOptions {
     fn default() -> Self {
-        Self { producers: 1, consumers: 1, capacity: 512 }
+        Self { producers: 1, consumers: 1, capacity: 512, deterministic: false }
     }
 }
 
@@ -60,8 +71,10 @@ impl Default for PcOptions {
 pub struct PcEngine<S: Scalar> {
     n_locales: usize,
     opts: PcOptions,
-    /// Row-major `[source locale][destination locale]`.
-    channels: Vec<BufferChannel<(u64, S)>>,
+    /// Row-major `[source locale][destination locale]`, transport-aware
+    /// ([`PairChannel`]: in-process buffers or cross-process framed
+    /// channels, selected by the active backend).
+    channels: Vec<PairChannel<(u64, S)>>,
     /// Guards the channels against overlapping products: `apply` must be
     /// `&self` (it backs [`ls_eigen::LinearOp`]), so exclusivity is
     /// enforced at runtime instead of by the borrow checker.
@@ -69,24 +82,29 @@ pub struct PcEngine<S: Scalar> {
 }
 
 impl<S: Scalar> PcEngine<S> {
+    /// Builds the reusable channel grid. Under the multiprocess transport
+    /// this is SPMD-collective: every rank must construct its engines in
+    /// the same program order.
     pub fn new(n_locales: usize, opts: PcOptions) -> Self {
         assert!(n_locales >= 1, "need at least one locale");
         let opts = PcOptions {
-            producers: opts.producers.max(1),
-            consumers: opts.consumers.max(1),
+            producers: if opts.deterministic { 1 } else { opts.producers.max(1) },
+            consumers: if opts.deterministic { 1 } else { opts.consumers.max(1) },
             capacity: opts.capacity.max(1),
+            deterministic: opts.deterministic,
         };
-        let channels =
-            (0..n_locales * n_locales).map(|_| BufferChannel::new(opts.capacity)).collect();
+        let channels = PairChannel::grid(n_locales, opts.capacity);
         Self { n_locales, opts, channels, in_use: AtomicBool::new(false) }
     }
 
+    /// The effective options (deterministic mode pins producers and
+    /// consumers to 1).
     pub fn options(&self) -> PcOptions {
         self.opts
     }
 
     #[inline]
-    fn channel(&self, src: usize, dest: usize) -> &BufferChannel<(u64, S)> {
+    fn channel(&self, src: usize, dest: usize) -> &PairChannel<(u64, S)> {
         &self.channels[src * self.n_locales + dest]
     }
 
@@ -134,8 +152,23 @@ impl<S: Scalar> PcEngine<S> {
     ) -> S {
         let mut partials = vec![S::ZERO; self.n_locales];
         self.apply_inner(cluster, op, basis, x, y, Some(&mut partials));
-        // The simulated allreduce: locale-ordered sum of the partials
-        // (exactly `blas::dot`'s combination order).
+        if let Some(mp) = transport::active() {
+            // A real allreduce: each rank contributes its own slot (the
+            // others are zero); lane-wise rank-ordered sums reproduce the
+            // per-locale partials on every rank bit-identically.
+            let mut lanes = Vec::with_capacity(self.n_locales * S::N_REALS);
+            for p in &partials {
+                lanes.extend_from_slice(&p.to_reals()[..S::N_REALS]);
+            }
+            let summed = mp.allreduce_lanes(&lanes);
+            for (p, c) in partials.iter_mut().zip(summed.chunks_exact(S::N_REALS)) {
+                let mut r = [0.0f64; 2];
+                r[..S::N_REALS].copy_from_slice(c);
+                *p = S::from_reals(r);
+            }
+        }
+        // The locale-ordered sum of the partials (exactly `blas::dot`'s
+        // combination order, identical on both backends).
         let mut acc = S::ZERO;
         for p in partials {
             acc += p;
@@ -193,6 +226,8 @@ impl<S: Scalar> PcEngine<S> {
                         self.channel(me, dest).close();
                     }
                 }
+            } else if self.opts.deterministic {
+                self.consume_deterministic(ctx, basis, &win, &live_producers[me]);
             } else {
                 self.consume(ctx, basis, &win);
             }
@@ -358,6 +393,71 @@ impl<S: Scalar> PcEngine<S> {
             }
         }
     }
+
+    /// The deterministic consumer: drains eagerly (so producers never
+    /// stall on flow control and communication still overlaps row
+    /// generation) but *stashes* everything, applying the accumulation
+    /// only once the ordering is fixed — after this locale's producer
+    /// finished its row-ordered local adds — and then source by source in
+    /// locale order, FIFO within each source. Batch boundaries and
+    /// contents are identical on every backend (single producer, fixed
+    /// capacity), so the global accumulation order is too: the output is
+    /// bit-identical across runs and transports.
+    fn consume_deterministic(
+        &self,
+        ctx: &LocaleCtx<'_>,
+        basis: &DistSpinBasis,
+        win: &AtomicAccumWindow<'_, S>,
+        live_local_producers: &AtomicUsize,
+    ) {
+        let me = ctx.locale();
+        let n = self.n_locales;
+        let mut stash: Vec<Vec<(u64, S)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut done = vec![false; n];
+        let mut n_done = 0usize;
+        let mut idle_spins = 0u32;
+        while n_done < n {
+            let mut progress = false;
+            for (src, src_done) in done.iter_mut().enumerate() {
+                if *src_done {
+                    continue;
+                }
+                let ch = self.channel(src, me);
+                if ch.try_recv(ctx.stats(), src != me, &mut stash[src]) {
+                    progress = true;
+                } else if ch.drained_after_failed_recv(ctx.stats(), &mut stash[src]) {
+                    // (A racing final publish lands in the stash and the
+                    // next round observes the close.)
+                    *src_done = true;
+                    n_done += 1;
+                    progress = true;
+                }
+            }
+            if progress {
+                idle_spins = 0;
+            } else {
+                idle_spins = idle_spins.saturating_add(1);
+                if idle_spins < 8 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        // All sources closed and drained; wait out the local producer's
+        // row-ordered adds, then apply the stashes in source order.
+        let backoff = Backoff::new();
+        while live_local_producers.load(Ordering::Acquire) != 0 {
+            backoff.snooze();
+        }
+        let mut needles: Vec<u64> = Vec::new();
+        let mut idx: Vec<u32> = Vec::new();
+        for batch in &stash {
+            if !batch.is_empty() {
+                accumulate_batch(basis, win, me, batch, &mut needles, &mut idx);
+            }
+        }
+    }
 }
 
 /// One-shot producer/consumer product: builds a throwaway [`PcEngine`].
@@ -408,8 +508,10 @@ mod tests {
     fn engine_reuse_is_deterministic() {
         let (cluster, op, basis, x) = setup(12, 3);
         let lens = basis.states().lens();
-        let engine =
-            PcEngine::<f64>::new(3, PcOptions { producers: 2, consumers: 2, capacity: 16 });
+        let engine = PcEngine::<f64>::new(
+            3,
+            PcOptions { producers: 2, consumers: 2, capacity: 16, ..PcOptions::default() },
+        );
         let mut y1 = DistVec::<f64>::zeros(&lens);
         engine.apply(&cluster, &op, &basis, &x, &mut y1);
         let mut y2 = DistVec::<f64>::zeros(&lens);
@@ -440,7 +542,7 @@ mod tests {
             &basis,
             &x,
             &mut y_pc,
-            PcOptions { producers: 3, consumers: 2, capacity: 1 },
+            PcOptions { producers: 3, consumers: 2, capacity: 1, ..PcOptions::default() },
         );
         let mut y_ref = DistVec::<f64>::zeros(&lens);
         crate::matvec::matvec_naive(&cluster, &op, &basis, &x, &mut y_ref);

@@ -60,7 +60,7 @@ fn pc_pipeline_across_batch_capacities() {
                     &dist,
                     &xd,
                     &mut yd,
-                    PcOptions { producers, consumers, capacity },
+                    PcOptions { producers, consumers, capacity, ..PcOptions::default() },
                 );
                 for l in 0..locales {
                     for (i, &s) in dist.states().part(l).iter().enumerate() {

@@ -244,7 +244,12 @@ pub fn save_checkpoint_ref<V: KrylovVec>(
     let checksum = fnv1a64(&buf);
     buf.put_u64_le(checksum);
 
-    let tmp = path.with_extension("tmp");
+    // Process-unique temp name: under the multiprocess transport every
+    // rank writes the (identical, deterministic) checkpoint, and distinct
+    // temp files keep the concurrent write+rename pairs from clobbering
+    // each other mid-write — each rename atomically installs a complete
+    // file.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     fs::write(&tmp, &buf)?;
     fs::rename(&tmp, path)
 }

@@ -37,7 +37,27 @@
 
 use crate::op::{self, LinearOp};
 use ls_kernels::Scalar;
+use ls_runtime::transport::{self, MpRuntime};
 use ls_runtime::DistVec;
+
+/// Rank-ordered sum of per-rank scalar partials (multiprocess). Lane-wise
+/// addition in rank order is bit-identical to the in-process backend's
+/// `acc += partial` over parts in locale order.
+fn allreduce_scalars<S: Scalar>(mp: &MpRuntime, partials: &[S]) -> Vec<S> {
+    let mut lanes = Vec::with_capacity(partials.len() * S::N_REALS);
+    for p in partials {
+        lanes.extend_from_slice(&p.to_reals()[..S::N_REALS]);
+    }
+    let summed = mp.allreduce_lanes(&lanes);
+    summed
+        .chunks_exact(S::N_REALS)
+        .map(|c| {
+            let mut r = [0.0f64; 2];
+            r[..S::N_REALS].copy_from_slice(c);
+            S::from_reals(r)
+        })
+        .collect()
+}
 
 /// A vector a Krylov solver can iterate on: fused, deterministic BLAS-1
 /// plus an element-order fill hook.
@@ -172,6 +192,13 @@ impl<S: Scalar> KrylovVec for Vec<S> {
 /// The distributed implementation: every primitive is the shared-memory
 /// kernel applied per locale part, with scalar partials combined in
 /// locale order. No part ever leaves its locale.
+///
+/// Under the multiprocess transport each rank runs the kernels on its own
+/// (authoritative) part only and combines partials through a rank-ordered
+/// allreduce — bit-identical to the in-process locale-ordered sum. The
+/// replica's remote parts are left untouched by the update primitives;
+/// only [`KrylovVec::visit`] re-assembles the global vector (allgather in
+/// rank order), which is what checkpointing consumes.
 impl<S: Scalar> KrylovVec for DistVec<S> {
     type Scalar = S;
 
@@ -186,10 +213,37 @@ impl<S: Scalar> KrylovVec for DistVec<S> {
     }
 
     fn visit(&self, f: &mut dyn FnMut(S)) {
+        if let Some(mp) = transport::active() {
+            // Allgather this rank's authoritative part and emit all parts
+            // in rank (= global) order: every rank streams the identical
+            // canonical vector, so checkpoints written from it agree.
+            use bytes::{Buf, BufMut};
+            let own = self.part(mp.rank());
+            let mut payload = Vec::with_capacity(own.len() * 8 * S::N_REALS);
+            for x in own {
+                for &lane in &x.to_reals()[..S::N_REALS] {
+                    payload.put_f64_le(lane);
+                }
+            }
+            for contribution in mp.allgather(&payload) {
+                let mut r: &[u8] = &contribution;
+                while r.remaining() > 0 {
+                    let mut lanes = [0.0f64; 2];
+                    for slot in lanes.iter_mut().take(S::N_REALS) {
+                        *slot = r.get_f64_le();
+                    }
+                    f(S::from_reals(lanes));
+                }
+            }
+            return;
+        }
         self.for_each(|&x| f(x));
     }
 
     fn fill_with(&mut self, f: &mut dyn FnMut(usize) -> S) {
+        // Multiprocess included: every rank fills the full replica — the
+        // stream is deterministic, so all ranks agree and each rank's own
+        // part comes out authoritative.
         let mut i = 0usize;
         for part in self.parts_mut() {
             for x in part.iter_mut() {
@@ -201,6 +255,11 @@ impl<S: Scalar> KrylovVec for DistVec<S> {
 
     fn dot(&self, other: &Self) -> S {
         debug_assert_eq!(self.lens(), other.lens(), "distributed dot of mismatched layouts");
+        if let Some(mp) = transport::active() {
+            let me = mp.rank();
+            let partial = op::par_dot(self.part(me), other.part(me));
+            return allreduce_scalars(mp, &[partial])[0];
+        }
         let mut acc = S::ZERO;
         for (pa, pb) in self.parts().iter().zip(other.parts()) {
             acc += op::par_dot(pa, pb);
@@ -209,17 +268,30 @@ impl<S: Scalar> KrylovVec for DistVec<S> {
     }
 
     fn norm_sqr(&self) -> f64 {
+        if let Some(mp) = transport::active() {
+            let partial = op::par_norm_sqr(self.part(mp.rank()));
+            return mp.allreduce_lanes(&[partial])[0];
+        }
         self.parts().iter().map(|p| op::par_norm_sqr(p)).sum()
     }
 
     fn axpy(&mut self, alpha: S, x: &Self) {
         debug_assert_eq!(self.lens(), x.lens(), "distributed axpy of mismatched layouts");
+        if let Some(mp) = transport::active() {
+            let me = mp.rank();
+            op::par_axpy(alpha, x.part(me), self.part_mut(me));
+            return;
+        }
         for (py, px) in self.parts_mut().iter_mut().zip(x.parts()) {
             op::par_axpy(alpha, px, py);
         }
     }
 
     fn scale(&mut self, alpha: f64) {
+        if let Some(mp) = transport::active() {
+            op::par_scale(self.part_mut(mp.rank()), alpha);
+            return;
+        }
         for part in self.parts_mut() {
             op::par_scale(part, alpha);
         }
@@ -227,6 +299,11 @@ impl<S: Scalar> KrylovVec for DistVec<S> {
 
     fn axpy_norm_sqr(&mut self, alpha: S, x: &Self) -> f64 {
         debug_assert_eq!(self.lens(), x.lens(), "distributed axpy of mismatched layouts");
+        if let Some(mp) = transport::active() {
+            let me = mp.rank();
+            let partial = op::par_axpy_norm_sqr(alpha, x.part(me), self.part_mut(me));
+            return mp.allreduce_lanes(&[partial])[0];
+        }
         let mut acc = 0.0f64;
         for (py, px) in self.parts_mut().iter_mut().zip(x.parts()) {
             acc += op::par_axpy_norm_sqr(alpha, px, py);
@@ -235,6 +312,12 @@ impl<S: Scalar> KrylovVec for DistVec<S> {
     }
 
     fn multi_dot(vs: &[Self], w: &Self) -> Vec<S> {
+        if let Some(mp) = transport::active() {
+            let me = mp.rank();
+            let parts: Vec<&[S]> = vs.iter().map(|v| v.part(me)).collect();
+            let partials = op::par_multi_dot(&parts, w.part(me));
+            return allreduce_scalars(mp, &partials);
+        }
         let mut out = vec![S::ZERO; vs.len()];
         for (l, wp) in w.parts().iter().enumerate() {
             let parts: Vec<&[S]> = vs.iter().map(|v| v.part(l)).collect();
@@ -247,6 +330,12 @@ impl<S: Scalar> KrylovVec for DistVec<S> {
 
     fn multi_axpy(coeffs: &[S], vs: &[Self], w: &mut Self) {
         debug_assert_eq!(coeffs.len(), vs.len());
+        if let Some(mp) = transport::active() {
+            let me = mp.rank();
+            let parts: Vec<&[S]> = vs.iter().map(|v| v.part(me)).collect();
+            op::par_multi_axpy(coeffs, &parts, w.part_mut(me));
+            return;
+        }
         for (l, wp) in w.parts_mut().iter_mut().enumerate() {
             let parts: Vec<&[S]> = vs.iter().map(|v| v.part(l)).collect();
             op::par_multi_axpy(coeffs, &parts, wp);
@@ -255,6 +344,12 @@ impl<S: Scalar> KrylovVec for DistVec<S> {
 
     fn multi_axpy_norm_sqr(coeffs: &[S], vs: &[Self], w: &mut Self) -> f64 {
         debug_assert_eq!(coeffs.len(), vs.len());
+        if let Some(mp) = transport::active() {
+            let me = mp.rank();
+            let parts: Vec<&[S]> = vs.iter().map(|v| v.part(me)).collect();
+            let partial = op::par_multi_axpy_norm_sqr(coeffs, &parts, w.part_mut(me));
+            return mp.allreduce_lanes(&[partial])[0];
+        }
         let mut acc = 0.0f64;
         for (l, wp) in w.parts_mut().iter_mut().enumerate() {
             let parts: Vec<&[S]> = vs.iter().map(|v| v.part(l)).collect();

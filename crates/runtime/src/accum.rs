@@ -11,8 +11,20 @@
 //! ships coefficients in bulk and then accumulates *locally on behalf of*
 //! the destination, while the naive matvec really does remote updates), so
 //! attribution is the caller's job via [`crate::stats::CommStats`].
+//!
+//! ## Multiprocess epochs
+//!
+//! Under the multiprocess transport an accumulation window is collective:
+//! `new` registers this rank's part as an accumulate target and barriers
+//! (no remote add can arrive before its target exists), remote
+//! `fetch_add`s travel as transport frames applied atomically by the
+//! owner, and drop barriers before deregistering — the barrier doubles as
+//! the flush, so after the epoch the owner's part holds every
+//! contribution. Remote parts of the local replica are **not** updated
+//! ([`AtomicAccumWindow::load`] of a remote locale reads stale data).
 
 use crate::distvec::DistVec;
+use crate::transport::{self, MpRuntime};
 use ls_kernels::Scalar;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,6 +35,8 @@ pub struct AtomicAccumWindow<'a, S: Scalar> {
     /// Per locale: pointer to the first `AtomicU64` lane and the number of
     /// *scalar* elements.
     parts: Vec<(*const AtomicU64, usize)>,
+    /// Multiprocess: the runtime, this rank, and the registered window id.
+    mp: Option<(&'static MpRuntime, usize, u64)>,
     _marker: PhantomData<&'a mut [S]>,
 }
 
@@ -30,6 +44,8 @@ unsafe impl<'a, S: Scalar> Send for AtomicAccumWindow<'a, S> {}
 unsafe impl<'a, S: Scalar> Sync for AtomicAccumWindow<'a, S> {}
 
 impl<'a, S: Scalar> AtomicAccumWindow<'a, S> {
+    /// Opens an accumulation epoch on `vec`. Multiprocess: collective
+    /// (registers this rank's part and barriers).
     pub fn new(vec: &'a mut DistVec<S>) -> Self {
         // Layout guarantee: f64 and Complex64 are repr(C) aggregates of
         // f64 lanes, and AtomicU64 has the same size/alignment as f64.
@@ -37,29 +53,50 @@ impl<'a, S: Scalar> AtomicAccumWindow<'a, S> {
             assert!(std::mem::align_of::<S>() >= std::mem::align_of::<u64>());
         };
         assert_eq!(std::mem::size_of::<S>(), 8 * S::N_REALS);
-        let parts = vec
+        let parts: Vec<(*const AtomicU64, usize)> = vec
             .parts_mut()
             .iter_mut()
             .map(|p| (p.as_mut_ptr() as *const AtomicU64, p.len()))
             .collect();
-        Self { parts, _marker: PhantomData }
+        let mp = transport::active().map(|mp| {
+            let me = mp.rank();
+            let (base, len) = parts[me];
+            // SAFETY: the borrow of `vec` keeps the part alive for the
+            // window lifetime; drop deregisters before releasing it.
+            let id = unsafe { mp.register_accum(base, len, S::N_REALS) };
+            mp.barrier();
+            (mp, me, id)
+        });
+        Self { parts, mp, _marker: PhantomData }
     }
 
+    /// Element count of `locale`'s part.
     pub fn len(&self, locale: usize) -> usize {
         self.parts[locale].1
     }
 
+    /// True when `locale`'s part is empty.
     pub fn is_empty(&self, locale: usize) -> bool {
         self.len(locale) == 0
     }
 
     /// Atomically `vec[locale][index] += val`. Safe to call concurrently
-    /// from any number of threads.
+    /// from any number of threads. Multiprocess: a remote `locale` ships
+    /// one transport frame; the add is visible to the owner no later than
+    /// the next barrier.
     #[inline]
     pub fn fetch_add(&self, locale: usize, index: usize, val: S) {
         let (base, len) = self.parts[locale];
         assert!(index < len, "accumulate out of bounds: {index} >= {len}");
         let lanes = val.to_reals();
+        if let Some((mp, me, id)) = self.mp {
+            if locale != me {
+                if lanes.iter().take(S::N_REALS).any(|&v| v != 0.0) {
+                    mp.send_acc(locale, id, index, &lanes[..S::N_REALS]);
+                }
+                return;
+            }
+        }
         for (lane, &add) in lanes.iter().enumerate().take(S::N_REALS) {
             if add == 0.0 {
                 continue;
@@ -93,7 +130,9 @@ impl<'a, S: Scalar> AtomicAccumWindow<'a, S> {
         std::slice::from_raw_parts(base as *const S, len)
     }
 
-    /// Atomic read of one element (diagnostics / tests).
+    /// Atomic read of one element (diagnostics / tests). Multiprocess:
+    /// only this rank's part is authoritative — a remote `locale` reads
+    /// the stale local replica.
     pub fn load(&self, locale: usize, index: usize) -> S {
         let (base, len) = self.parts[locale];
         assert!(index < len);
@@ -103,6 +142,18 @@ impl<'a, S: Scalar> AtomicAccumWindow<'a, S> {
             *slot = f64::from_bits(cell.load(Ordering::Relaxed));
         }
         S::from_reals(lanes)
+    }
+}
+
+impl<'a, S: Scalar> Drop for AtomicAccumWindow<'a, S> {
+    fn drop(&mut self) {
+        if let Some((mp, _, id)) = self.mp {
+            // The barrier flushes every in-flight remote add (per-peer
+            // FIFO: accumulate frames travel ahead of the barrier's
+            // collective frame), so deregistering afterwards is safe.
+            mp.barrier();
+            mp.deregister_accum(id);
+        }
     }
 }
 

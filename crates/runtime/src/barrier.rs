@@ -17,11 +17,13 @@ pub struct SenseBarrier {
 }
 
 impl SenseBarrier {
+    /// A barrier for exactly `n` participants (`n >= 1`).
     pub fn new(n: usize) -> Self {
         assert!(n >= 1);
         Self { n, count: AtomicUsize::new(0), sense: AtomicBool::new(false) }
     }
 
+    /// The fixed participant count `n`.
     pub fn participants(&self) -> usize {
         self.n
     }

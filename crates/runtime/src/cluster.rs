@@ -11,9 +11,21 @@
 //! concurrent tasks per locale (what the producer/consumer pipeline
 //! needs: all tasks of a run are genuinely concurrent, since producers
 //! block on channel capacity until consumers drain).
+//!
+//! ## Multiprocess execution
+//!
+//! Under `LS_TRANSPORT=multiprocess` (see [`crate::transport`]) each
+//! locale is a separate OS process running the same SPMD program, and a
+//! `Cluster` describes the *whole job* while executing only this rank's
+//! share: [`Cluster::run`] runs the closure once (for this rank) and
+//! returns a single-element vector, [`Cluster::run_tasks`] runs this
+//! rank's task set, and [`LocaleCtx::barrier_wait`] crosses the real
+//! cross-process barrier. Statistics are per process — each rank's
+//! [`Cluster::stats`] records only its own operations.
 
 use crate::barrier::SenseBarrier;
 use crate::stats::{CommStats, StatsSnapshot};
+use crate::transport;
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
@@ -29,6 +41,7 @@ pub struct ClusterSpec {
 }
 
 impl ClusterSpec {
+    /// A machine of `locales` nodes with `cores_per_locale` task slots each.
     pub fn new(locales: usize, cores_per_locale: usize) -> Self {
         assert!(locales >= 1 && cores_per_locale >= 1);
         Self { locales, cores_per_locale }
@@ -44,6 +57,9 @@ struct TeamJob {
     call: unsafe fn(*const (), usize, usize),
     locales: usize,
     tasks_per_locale: usize,
+    /// Multiprocess: every slot runs as this locale (this process's rank)
+    /// and the slot index becomes the task index.
+    fixed_locale: Option<usize>,
 }
 
 // SAFETY: the pointee outlives the job (completion protocol) and the
@@ -92,7 +108,18 @@ impl std::fmt::Debug for Cluster {
 }
 
 impl Cluster {
+    /// Builds a cluster for `spec`. Worker threads spawn lazily on first
+    /// use. Under the multiprocess transport the spec must agree with the
+    /// job: `spec.locales == LS_LOCALES`.
     pub fn new(spec: ClusterSpec) -> Self {
+        if let Some(mp) = transport::active() {
+            assert_eq!(
+                spec.locales,
+                mp.n_locales(),
+                "ClusterSpec.locales must match the multiprocess job size ({})",
+                mp.n_locales()
+            );
+        }
         Self {
             stats: (0..spec.locales).map(|_| CommStats::new()).collect(),
             barrier: SenseBarrier::new(spec.locales),
@@ -114,19 +141,23 @@ impl Cluster {
         }
     }
 
+    /// The machine description this cluster was built from.
     pub fn spec(&self) -> ClusterSpec {
         self.spec
     }
 
+    /// Number of locales in the job.
     pub fn n_locales(&self) -> usize {
         self.spec.locales
     }
 
+    /// Per-locale statistics, indexed by locale. Multiprocess: only this
+    /// rank's entry is populated (each process counts its own operations).
     pub fn stats(&self) -> &[CommStats] {
         &self.stats
     }
 
-    /// Sum of all locales' statistics.
+    /// Sum of all locales' statistics (multiprocess: this process's only).
     pub fn stats_total(&self) -> StatsSnapshot {
         self.stats
             .iter()
@@ -134,6 +165,7 @@ impl Cluster {
             .fold(StatsSnapshot::default(), |acc, s| acc.merged(&s))
     }
 
+    /// Zeroes every locale's statistics.
     pub fn reset_stats(&self) {
         for s in &self.stats {
             s.reset();
@@ -158,11 +190,21 @@ impl Cluster {
     ///
     /// This is the analogue of the paper's
     /// `coforall loc in Locales do on loc { ... }`.
+    ///
+    /// Multiprocess: executes `f` once, for this process's rank, and
+    /// returns a **single-element** vector — other locales' results live
+    /// in other processes. Callers needing all locales' results must
+    /// exchange them explicitly (e.g. [`MpRuntime::allgather`]).
+    ///
+    /// [`MpRuntime::allgather`]: crate::transport::MpRuntime::allgather
     pub fn run<R, F>(&self, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&LocaleCtx<'_>) -> R + Sync,
     {
+        if let Some(mp) = transport::active() {
+            return vec![f(&self.ctx(mp.rank()))];
+        }
         let n = self.spec.locales;
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
         {
@@ -193,19 +235,26 @@ impl Cluster {
 
     /// Publishes one SPMD job to the team and blocks until every slot has
     /// completed, growing the worker set lazily to the run's width.
+    /// Multiprocess: the team only hosts this rank's `tasks_per_locale`
+    /// tasks (every slot pinned to the rank).
     fn run_impl(&self, tasks_per_locale: usize, f: &(dyn Fn(usize, usize) + Sync)) {
         let locales = self.spec.locales;
-        let slots = locales * tasks_per_locale;
+        let fixed_locale = transport::active().map(|mp| mp.rank());
+        let slots = match fixed_locale {
+            Some(_) => tasks_per_locale,
+            None => locales * tasks_per_locale,
+        };
         if slots == 1 {
             // Single-slot run: no concurrency needed, execute in place
             // (panics propagate natively).
-            return f(0, 0);
+            return f(fixed_locale.unwrap_or(0), 0);
         }
         let job = TeamJob {
             data: &f as *const &(dyn Fn(usize, usize) + Sync) as *const (),
             call: call_team_job,
             locales,
             tasks_per_locale,
+            fixed_locale,
         };
         {
             let mut st = self.team.state.lock().unwrap();
@@ -292,15 +341,21 @@ fn team_worker(team: std::sync::Arc<Team>, index: usize) {
                 match st.job {
                     Some(job) if st.epoch != last_epoch => {
                         last_epoch = st.epoch;
-                        break (index < job.locales * job.tasks_per_locale).then_some(job);
+                        let width = match job.fixed_locale {
+                            Some(_) => job.tasks_per_locale,
+                            None => job.locales * job.tasks_per_locale,
+                        };
+                        break (index < width).then_some(job);
                     }
                     _ => st = team.work_cv.wait(st).unwrap(),
                 }
             }
         };
         let Some(job) = job else { continue };
-        let locale = index % job.locales;
-        let task = index / job.locales;
+        let (locale, task) = match job.fixed_locale {
+            Some(l) => (l, index),
+            None => (index % job.locales, index / job.locales),
+        };
         // SAFETY: the job (and the closure it points at) outlives this
         // call — the publisher blocks until `pending` reaches zero.
         let result =
@@ -335,6 +390,7 @@ impl<'a> LocaleCtx<'a> {
         self.locale
     }
 
+    /// Number of locales in the job.
     #[inline]
     pub fn n_locales(&self) -> usize {
         self.n_locales
@@ -359,15 +415,25 @@ impl<'a> LocaleCtx<'a> {
         self.stats
     }
 
-    /// Cluster-wide barrier (records one crossing per locale).
+    /// The in-process cluster barrier (records one crossing per locale).
+    /// Prefer [`LocaleCtx::barrier_wait`], which is transport-aware.
     pub fn barrier(&self) -> &'a SenseBarrier {
         self.barrier
     }
 
-    /// Waits on the cluster barrier and records the crossing.
+    /// Waits until every locale reaches the barrier, then returns — on
+    /// both backends. In-process this is the sense-reversing thread
+    /// barrier; multiprocess it is a real cross-process collective that
+    /// also **flushes**: accumulates and channel messages this locale
+    /// sent before the barrier are visible at their destination once the
+    /// barrier completes. At most one task per locale may wait per epoch.
     pub fn barrier_wait(&self) {
         self.stats().record_barrier();
-        self.barrier.wait();
+        if let Some(mp) = transport::active() {
+            mp.barrier();
+        } else {
+            self.barrier.wait();
+        }
     }
 }
 

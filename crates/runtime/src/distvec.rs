@@ -13,38 +13,47 @@ impl<T> DistVec<T> {
         Self { parts: (0..n_locales).map(|_| Vec::new()).collect() }
     }
 
+    /// Wraps existing per-locale parts.
     pub fn from_parts(parts: Vec<Vec<T>>) -> Self {
         Self { parts }
     }
 
+    /// Number of parts (= locales).
     pub fn n_locales(&self) -> usize {
         self.parts.len()
     }
 
+    /// One locale's part, read-only.
     pub fn part(&self, locale: usize) -> &[T] {
         &self.parts[locale]
     }
 
+    /// One locale's part, mutable (owner access outside epochs).
     pub fn part_mut(&mut self, locale: usize) -> &mut Vec<T> {
         &mut self.parts[locale]
     }
 
+    /// All parts in locale order.
     pub fn parts(&self) -> &[Vec<T>] {
         &self.parts
     }
 
+    /// All parts, mutable.
     pub fn parts_mut(&mut self) -> &mut [Vec<T>] {
         &mut self.parts
     }
 
+    /// Consumes the vector into its parts.
     pub fn into_parts(self) -> Vec<Vec<T>> {
         self.parts
     }
 
+    /// Sum of all part lengths (the global dimension).
     pub fn total_len(&self) -> usize {
         self.parts.iter().map(|p| p.len()).sum()
     }
 
+    /// Per-locale part lengths.
     pub fn lens(&self) -> Vec<usize> {
         self.parts.iter().map(|p| p.len()).collect()
     }
@@ -99,11 +108,14 @@ pub fn block_range(total: u64, locales: usize, locale: usize) -> (u64, u64) {
 /// Block-distribution descriptor with owner lookup.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct BlockLayout {
+    /// Global element count.
     pub total: u64,
+    /// Number of locales the elements are distributed over.
     pub locales: usize,
 }
 
 impl BlockLayout {
+    /// The block distribution of `total` elements over `locales` locales.
     pub fn new(total: u64, locales: usize) -> Self {
         assert!(locales >= 1);
         Self { total, locales }
@@ -122,6 +134,7 @@ impl BlockLayout {
         (hi - lo) as usize
     }
 
+    /// True when the layout holds no elements at all.
     pub fn is_empty(&self) -> bool {
         self.total == 0
     }

@@ -27,6 +27,18 @@
 //! enforces that an epoch's writers have exclusive access at the type
 //! level, while in-epoch disjointness of writes is checked at runtime in
 //! debug builds.
+//!
+//! ## Transports
+//!
+//! Since the [`transport`] module landed, "simulated wire" describes only
+//! the *default* backend. `LS_TRANSPORT=multiprocess` runs the identical
+//! one-sided API across real OS processes — shared-memory segment files
+//! for puts/gets, TCP frames for accumulates/channels/barriers — with the
+//! same visibility and determinism contract (see [`transport`] and
+//! `docs/ARCHITECTURE.md`). Programs opt in by calling
+//! [`transport::launch_if_requested`] first thing in `main`.
+
+#![warn(missing_docs)]
 
 pub mod accum;
 pub mod barrier;
@@ -34,6 +46,7 @@ pub mod cluster;
 pub mod distvec;
 pub mod remote;
 pub mod stats;
+pub mod transport;
 pub mod window;
 
 pub use accum::AtomicAccumWindow;
@@ -41,4 +54,5 @@ pub use barrier::SenseBarrier;
 pub use cluster::{Cluster, ClusterSpec, LocaleCtx};
 pub use distvec::{block_range, BlockLayout, DistVec};
 pub use stats::CommStats;
+pub use transport::{Backend, MpRuntime, PairChannel, TransportSnapshot, TransportStats};
 pub use window::{RmaReadWindow, RmaWriteWindow};

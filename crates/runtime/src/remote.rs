@@ -58,6 +58,7 @@ pub struct BufferChannel<T> {
 unsafe impl<T: Send> Sync for BufferChannel<T> {}
 
 impl<T: Copy + Default> BufferChannel<T> {
+    /// A channel whose single buffer holds up to `capacity` elements.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         Self {
@@ -69,6 +70,7 @@ impl<T: Copy + Default> BufferChannel<T> {
         }
     }
 
+    /// The buffer's element capacity.
     pub fn capacity(&self) -> usize {
         // SAFETY: the boxed slice's length is immutable after
         // construction; reading it never races with content writes.
@@ -119,6 +121,7 @@ impl<T: Copy + Default> BufferChannel<T> {
         self.closed.store(true, Ordering::Release);
     }
 
+    /// True once the producer declared the stream finished.
     pub fn is_closed(&self) -> bool {
         self.closed.load(Ordering::Acquire)
     }

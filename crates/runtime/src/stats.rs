@@ -24,6 +24,7 @@ pub struct CommStats {
     pub get_bytes: AtomicU64,
     /// Local (same-locale) put/get operations, for completeness.
     pub local_ops: AtomicU64,
+    /// Bytes moved by local put/get operations.
     pub local_bytes: AtomicU64,
     /// Remote atomic updates (accumulations into remote memory).
     pub remote_atomics: AtomicU64,
@@ -43,6 +44,7 @@ impl Default for CommStats {
 }
 
 impl CommStats {
+    /// All-zero counters.
     pub fn new() -> Self {
         Self {
             puts: AtomicU64::new(0),
@@ -63,6 +65,8 @@ impl CommStats {
         (usize::BITS - bytes.max(1).leading_zeros()) as usize % SIZE_CLASSES
     }
 
+    /// Records one put of `bytes` (`remote` selects remote vs local
+    /// counters and the histogram).
     #[inline]
     pub fn record_put(&self, bytes: usize, remote: bool) {
         if remote {
@@ -75,6 +79,7 @@ impl CommStats {
         }
     }
 
+    /// Records one get of `bytes` (`remote` as in [`Self::record_put`]).
     #[inline]
     pub fn record_get(&self, bytes: usize, remote: bool) {
         if remote {
@@ -87,16 +92,19 @@ impl CommStats {
         }
     }
 
+    /// Records one remote atomic update.
     #[inline]
     pub fn record_remote_atomic(&self) {
         self.remote_atomics.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one flag message (the paper's `remoteAtomicWrite`).
     #[inline]
     pub fn record_flag_message(&self) {
         self.flag_messages.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one barrier crossing.
     #[inline]
     pub fn record_barrier(&self) {
         self.barriers.fetch_add(1, Ordering::Relaxed);
@@ -122,6 +130,7 @@ impl CommStats {
         }
     }
 
+    /// Zeroes every counter.
     pub fn reset(&self) {
         self.puts.store(0, Ordering::Relaxed);
         self.put_bytes.store(0, Ordering::Relaxed);
@@ -141,15 +150,25 @@ impl CommStats {
 /// Plain-data snapshot of [`CommStats`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
+    /// Remote put operations.
     pub puts: u64,
+    /// Bytes written by remote puts.
     pub put_bytes: u64,
+    /// Remote get operations.
     pub gets: u64,
+    /// Bytes read by remote gets.
     pub get_bytes: u64,
+    /// Local (same-locale) put/get operations.
     pub local_ops: u64,
+    /// Bytes moved by local operations.
     pub local_bytes: u64,
+    /// Remote atomic updates.
     pub remote_atomics: u64,
+    /// Flag messages.
     pub flag_messages: u64,
+    /// Barrier crossings.
     pub barriers: u64,
+    /// Message-size histogram (puts + gets), bucket = ceil(log2(bytes)).
     pub size_histogram: Vec<u64>,
 }
 

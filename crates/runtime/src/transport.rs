@@ -1,0 +1,1308 @@
+//! Pluggable PGAS transport: the layer that decides what "remote" means.
+//!
+//! Every one-sided primitive of this crate ([`crate::window`],
+//! [`crate::accum`], [`crate::cluster::LocaleCtx::barrier_wait`], the
+//! producer/consumer [`PairChannel`]) runs over one of two backends,
+//! selected by the `LS_TRANSPORT` environment variable:
+//!
+//! * **`inprocess`** (default) — the historical backend: locales are
+//!   threads of one process and every transfer is a memcpy. Hermetic,
+//!   deterministic, and what `cargo test` exercises.
+//! * **`multiprocess`** — one OS process per locale. A launcher
+//!   ([`launch_if_requested`]) re-executes the current binary once per
+//!   locale; workers rendezvous through a job directory, exchange window
+//!   puts/gets through shared-memory segment files (`/dev/shm`), and run
+//!   accumulate/channel/barrier traffic over a full mesh of TCP sockets
+//!   with frames serialized through the `bytes` shim.
+//!
+//! # Execution model (multiprocess)
+//!
+//! The multiprocess backend is SPMD, like MPI: every worker process runs
+//! the *identical* program. Collective operations (barriers, allgathers,
+//! the reductions of `ls-eigen`'s distributed vectors) are matched up
+//! purely by program order — each process stamps its `k`-th collective
+//! with sequence number `k`, and the deterministic control flow that the
+//! workspace already guarantees (fixed reduction trees, counter-derived
+//! RNG, identical convergence scalars on every rank) makes the `k`-th
+//! collective the same operation everywhere. A desynchronized sequence
+//! number is detected and aborts the job rather than deadlocking.
+//!
+//! Distributed vectors keep their full shape in every process; only rank
+//! `r`'s part is authoritative on rank `r`. One-sided epochs re-replicate
+//! where needed: an [`crate::RmaWriteWindow`] epoch ends by reading every
+//! locale's segment back, so data produced by distributed enumeration is
+//! fully replicated, while Krylov vectors are never replicated — their
+//! reductions combine per-rank partials in rank order, bit-identical to
+//! the in-process locale-ordered sum.
+//!
+//! # Visibility and ordering contract
+//!
+//! Both backends satisfy the same contract (docs/ARCHITECTURE.md states
+//! it in full):
+//!
+//! * puts/gets are only ordered by barriers — a get may not observe a
+//!   concurrent epoch's put until a barrier separates them;
+//! * remote accumulates become visible to the owner no later than the
+//!   next barrier (TCP frames are FIFO per peer, and the barrier's
+//!   collective frame travels behind every earlier accumulate);
+//! * channel sends arrive in order per (source, destination) pair;
+//! * barriers order everything: an operation issued before a barrier on
+//!   one rank happens-before anything issued after that barrier anywhere.
+
+use crate::remote::BufferChannel;
+use crate::stats::CommStats;
+use bytes::{Buf, BufMut};
+use crossbeam::utils::Backoff;
+use std::collections::{HashMap, VecDeque};
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Backend selector (`LS_TRANSPORT=inprocess|multiprocess`).
+pub const ENV_TRANSPORT: &str = "LS_TRANSPORT";
+/// Locale count for the multiprocess launcher (`LS_LOCALES=N`).
+pub const ENV_LOCALES: &str = "LS_LOCALES";
+/// Internal: this worker's rank. Set by the launcher, never by hand.
+pub const ENV_RANK: &str = "LS_MP_RANK";
+/// Internal: the rendezvous/job directory. Set by the launcher.
+pub const ENV_JOB: &str = "LS_MP_JOB";
+/// Internal: enables the parent-death watchdog in workers.
+pub const ENV_WATCHDOG: &str = "LS_MP_WATCHDOG";
+/// Collective timeout override in seconds (default 180).
+pub const ENV_TIMEOUT: &str = "LS_MP_TIMEOUT_SECS";
+
+const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(60);
+const DEFAULT_COLLECTIVE_TIMEOUT: Duration = Duration::from_secs(180);
+
+/// Exit code of a worker whose launcher died (watchdog).
+const EXIT_ORPHANED: i32 = 124;
+/// Exit code for transport protocol failures (desync, timeout).
+const EXIT_PROTOCOL: i32 = 113;
+
+// Wire frame tags. Every frame travels on the single TCP stream between
+// an ordered pair of ranks, so per-peer FIFO is a transport guarantee.
+const TAG_COLL: u8 = 1;
+const TAG_CHAN: u8 = 2;
+const TAG_CLOSE: u8 = 3;
+const TAG_CREDIT: u8 = 4;
+const TAG_ACC: u8 = 5;
+
+/// Which transport the process runs on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Locales are threads of this process; transfers are memcpys.
+    InProcess,
+    /// Locales are OS processes; transfers cross real process boundaries.
+    MultiProcess,
+}
+
+impl Backend {
+    /// Stable lowercase name (`"inprocess"` / `"multiprocess"`), as used
+    /// in `LS_TRANSPORT` and benchmark JSON labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::InProcess => "inprocess",
+            Backend::MultiProcess => "multiprocess",
+        }
+    }
+}
+
+/// The backend requested through `LS_TRANSPORT`.
+///
+/// # Panics
+/// Panics on an unrecognized value — a typo must not silently fall back
+/// to simulated numbers.
+pub fn requested_backend() -> Backend {
+    match std::env::var(ENV_TRANSPORT) {
+        Err(_) => Backend::InProcess,
+        Ok(v) => match v.as_str() {
+            "" | "inprocess" => Backend::InProcess,
+            "multiprocess" => Backend::MultiProcess,
+            other => {
+                panic!("{ENV_TRANSPORT}={other:?}: expected \"inprocess\" or \"multiprocess\"")
+            }
+        },
+    }
+}
+
+/// The backend this process is actually running on: `MultiProcess` only
+/// when the process is a connected worker of a multiprocess job.
+pub fn backend() -> Backend {
+    if active().is_some() {
+        Backend::MultiProcess
+    } else {
+        Backend::InProcess
+    }
+}
+
+/// True on the rank whose output is canonical (rank 0), and always true
+/// in-process. Gate file writes (benchmark JSON, reports) on this so a
+/// multiprocess job does not race N identical writers.
+pub fn is_primary() -> bool {
+    active().map(|mp| mp.rank() == 0).unwrap_or(true)
+}
+
+static RUNTIME: OnceLock<Option<&'static MpRuntime>> = OnceLock::new();
+
+/// The multiprocess runtime of this worker, or `None` when the process
+/// is not part of a multiprocess job. Initializes (rendezvous + mesh
+/// connect) on first call when `LS_MP_RANK` is present.
+pub fn active() -> Option<&'static MpRuntime> {
+    *RUNTIME.get_or_init(|| {
+        if std::env::var_os(ENV_RANK).is_some() {
+            let rt: &'static MpRuntime = Box::leak(Box::new(MpRuntime::connect()));
+            rt.spawn_receivers();
+            rt.spawn_watchdog();
+            Some(rt)
+        } else {
+            None
+        }
+    })
+}
+
+/// The multiprocess entry hook: call this first in `main` of any binary
+/// that supports `LS_TRANSPORT=multiprocess`.
+///
+/// * In-process backend requested: returns immediately (no-op).
+/// * Worker process (spawned by the launcher): connects the mesh and
+///   returns — the program then runs SPMD.
+/// * Launcher (multiprocess requested, not yet a worker): spawns
+///   `LS_LOCALES` copies of the current binary with identical arguments,
+///   waits for them, propagates the first failure, and **exits** — it
+///   never returns.
+pub fn launch_if_requested() {
+    if requested_backend() != Backend::MultiProcess {
+        return;
+    }
+    if std::env::var_os(ENV_RANK).is_some() {
+        // Worker: ensure the runtime is up before any Cluster exists.
+        let _ = active();
+        return;
+    }
+    run_launcher();
+}
+
+/// Parent side of the launcher: spawn workers, wait, exit.
+fn run_launcher() -> ! {
+    let n: usize = std::env::var(ENV_LOCALES).ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    assert!(n >= 1, "{ENV_LOCALES} must be >= 1");
+    let exe = std::env::current_exe().expect("current_exe for the multiprocess launcher");
+    let base = if cfg!(unix) && std::path::Path::new("/dev/shm").is_dir() {
+        PathBuf::from("/dev/shm")
+    } else {
+        std::env::temp_dir()
+    };
+    let job_dir = base.join(format!("ls-mp-{}", std::process::id()));
+    fs::create_dir_all(&job_dir).expect("create multiprocess job directory");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut children = Vec::with_capacity(n);
+    let mut pipes = Vec::with_capacity(n);
+    for rank in 0..n {
+        let mut child = Command::new(&exe)
+            .args(&args)
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_JOB, &job_dir)
+            .env(ENV_LOCALES, n.to_string())
+            .env(ENV_WATCHDOG, "1")
+            // The pipe is never written: its EOF (launcher death, even by
+            // SIGKILL) tells workers to exit instead of lingering.
+            .stdin(Stdio::piped())
+            // Rank 0's stdout is the job's canonical output.
+            .stdout(if rank == 0 { Stdio::inherit() } else { Stdio::null() })
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn worker {rank}: {e}"));
+        // `Child::wait` closes the child's stdin first, which would trip
+        // the watchdog of a still-running worker — hold the write ends
+        // apart from the children until every worker has exited.
+        pipes.push(child.stdin.take());
+        children.push(child);
+    }
+    let mut code = 0i32;
+    for (rank, mut child) in children.into_iter().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                if code == 0 {
+                    code = status.code().unwrap_or(1);
+                    eprintln!("ls-mp: worker {rank} failed with {status}");
+                }
+            }
+            Err(e) => {
+                if code == 0 {
+                    code = 1;
+                    eprintln!("ls-mp: wait for worker {rank}: {e}");
+                }
+            }
+        }
+    }
+    drop(pipes);
+    let _ = fs::remove_dir_all(&job_dir);
+    std::process::exit(code);
+}
+
+/// Unrecoverable transport failure: a hung or desynchronized SPMD job
+/// cannot limp on, so die loudly (the launcher propagates the failure).
+fn fatal(msg: &str) -> ! {
+    let rank = std::env::var(ENV_RANK).unwrap_or_default();
+    eprintln!("ls-mp[rank {rank}]: fatal: {msg}");
+    std::process::exit(EXIT_PROTOCOL);
+}
+
+/// One collective inbox per peer: frames arrive FIFO from the peer's
+/// receiver thread, the main thread pops them in sequence order.
+struct CollQueue {
+    q: Mutex<VecDeque<(u64, Vec<u8>)>>,
+    cv: Condvar,
+}
+
+/// Receiver side of one multiprocess channel.
+struct ChanInbox {
+    q: Mutex<VecDeque<Vec<u8>>>,
+    closed: AtomicBool,
+}
+
+/// Sender-side flow control of one multiprocess channel: mirrors the
+/// single-buffer ownership of the in-process [`BufferChannel`] (one
+/// outstanding batch; a credit returns when the consumer took it).
+struct ChanCredits {
+    avail: AtomicUsize,
+}
+
+/// Owner-side target of a registered accumulation window.
+#[derive(Copy, Clone)]
+struct AccTarget {
+    /// Base address of the owner part's first `AtomicU64` lane.
+    base: usize,
+    /// Scalar element count of the owner part.
+    len: usize,
+    /// `f64` lanes per scalar element.
+    lanes: usize,
+}
+
+/// Wire-level statistics of the multiprocess backend: real bytes moved,
+/// not simulated counts. [`CommStats`] keeps recording the *logical*
+/// one-sided operations on both backends; these counters exist only when
+/// bytes genuinely cross a process boundary.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Frames written to TCP peers.
+    pub tx_frames: AtomicU64,
+    /// Bytes written to TCP peers (headers + payloads).
+    pub tx_bytes: AtomicU64,
+    /// Frames read from TCP peers.
+    pub rx_frames: AtomicU64,
+    /// Bytes read from TCP peers.
+    pub rx_bytes: AtomicU64,
+    /// Bytes read from other locales' shared-memory segments.
+    pub shm_read_bytes: AtomicU64,
+    /// Bytes written to shared-memory segments (own publishes + puts).
+    pub shm_write_bytes: AtomicU64,
+    /// Barrier crossings.
+    pub barriers: AtomicU64,
+    /// Total nanoseconds spent inside barriers (latency numerator).
+    pub barrier_nanos: AtomicU64,
+}
+
+impl TransportStats {
+    fn add(&self, counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Plain-data snapshot.
+    pub fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            tx_frames: self.tx_frames.load(Ordering::Relaxed),
+            tx_bytes: self.tx_bytes.load(Ordering::Relaxed),
+            rx_frames: self.rx_frames.load(Ordering::Relaxed),
+            rx_bytes: self.rx_bytes.load(Ordering::Relaxed),
+            shm_read_bytes: self.shm_read_bytes.load(Ordering::Relaxed),
+            shm_write_bytes: self.shm_write_bytes.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            barrier_nanos: self.barrier_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.tx_frames.store(0, Ordering::Relaxed);
+        self.tx_bytes.store(0, Ordering::Relaxed);
+        self.rx_frames.store(0, Ordering::Relaxed);
+        self.rx_bytes.store(0, Ordering::Relaxed);
+        self.shm_read_bytes.store(0, Ordering::Relaxed);
+        self.shm_write_bytes.store(0, Ordering::Relaxed);
+        self.barriers.store(0, Ordering::Relaxed);
+        self.barrier_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data snapshot of [`TransportStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransportSnapshot {
+    /// Frames written to TCP peers.
+    pub tx_frames: u64,
+    /// Bytes written to TCP peers.
+    pub tx_bytes: u64,
+    /// Frames read from TCP peers.
+    pub rx_frames: u64,
+    /// Bytes read from TCP peers.
+    pub rx_bytes: u64,
+    /// Bytes read from other locales' segments.
+    pub shm_read_bytes: u64,
+    /// Bytes written to segments.
+    pub shm_write_bytes: u64,
+    /// Barrier crossings.
+    pub barriers: u64,
+    /// Nanoseconds spent in barriers.
+    pub barrier_nanos: u64,
+}
+
+impl TransportSnapshot {
+    /// Mean barrier latency in seconds (0 when no barrier was crossed).
+    pub fn mean_barrier_seconds(&self) -> f64 {
+        if self.barriers == 0 {
+            0.0
+        } else {
+            self.barrier_nanos as f64 * 1e-9 / self.barriers as f64
+        }
+    }
+}
+
+/// The per-worker multiprocess runtime: rank identity, the TCP mesh, the
+/// shared-memory job directory, and the registries behind channels and
+/// accumulation windows. One per process, `'static`, created lazily by
+/// [`active`].
+pub struct MpRuntime {
+    rank: usize,
+    n: usize,
+    job_dir: PathBuf,
+    /// Write halves of the mesh (`None` at the self index).
+    writers: Vec<Option<Mutex<TcpStream>>>,
+    /// Read halves, drained once by [`Self::spawn_receivers`].
+    readers: Mutex<Vec<Option<TcpStream>>>,
+    /// Collective sequence counter; the guard also serializes collectives.
+    coll_seq: Mutex<u64>,
+    coll_in: Vec<CollQueue>,
+    chans: Mutex<HashMap<u64, Arc<ChanInbox>>>,
+    credits: Mutex<HashMap<u64, Arc<ChanCredits>>>,
+    accums: Mutex<HashMap<u64, AccTarget>>,
+    next_chan: AtomicU64,
+    next_seg: AtomicU64,
+    next_win: AtomicU64,
+    stats: TransportStats,
+    timeout: Duration,
+}
+
+impl MpRuntime {
+    /// This worker's locale index.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of worker processes (= locales) in the job.
+    #[inline]
+    pub fn n_locales(&self) -> usize {
+        self.n
+    }
+
+    /// Wire statistics of this process.
+    pub fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+
+    /// Rendezvous + full-mesh connect. Every worker binds an ephemeral
+    /// listener, publishes its port as a file in the job directory
+    /// (write-tmp-then-rename, so readers never see a partial file),
+    /// connects to all lower ranks and accepts from all higher ranks.
+    fn connect() -> MpRuntime {
+        if !cfg!(unix) {
+            fatal("the multiprocess backend requires a unix platform");
+        }
+        let rank: usize = std::env::var(ENV_RANK)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| fatal(&format!("{ENV_RANK} missing or unparsable")));
+        let n: usize = std::env::var(ENV_LOCALES)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| fatal(&format!("{ENV_LOCALES} missing or unparsable")));
+        let job_dir = PathBuf::from(
+            std::env::var_os(ENV_JOB).unwrap_or_else(|| fatal(&format!("{ENV_JOB} missing"))),
+        );
+        let timeout = std::env::var(ENV_TIMEOUT)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_secs)
+            .unwrap_or(DEFAULT_COLLECTIVE_TIMEOUT);
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind mesh listener");
+        let port = listener.local_addr().expect("listener addr").port();
+        let port_file = job_dir.join(format!("port-{rank}"));
+        let tmp = job_dir.join(format!("port-{rank}.tmp"));
+        fs::write(&tmp, port.to_string()).expect("write port file");
+        fs::rename(&tmp, &port_file).expect("publish port file");
+
+        let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+        let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        // Dial every lower rank, announcing who we are.
+        for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
+            let peer_file = job_dir.join(format!("port-{peer}"));
+            let stream = loop {
+                if let Ok(text) = fs::read_to_string(&peer_file) {
+                    if let Ok(port) = text.trim().parse::<u16>() {
+                        if let Ok(s) = TcpStream::connect(("127.0.0.1", port)) {
+                            break s;
+                        }
+                    }
+                }
+                if Instant::now() > deadline {
+                    fatal(&format!("rendezvous timeout dialing rank {peer}"));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            };
+            stream.set_nodelay(true).ok();
+            let mut hello = Vec::with_capacity(4);
+            hello.put_u32_le(rank as u32);
+            (&stream).write_all(&hello).expect("send hello");
+            *slot = Some(stream);
+        }
+        // Accept every higher rank; the hello says which one arrived.
+        for _ in rank + 1..n {
+            listener.set_nonblocking(false).expect("blocking accept mode");
+            let (stream, _) = listener.accept().unwrap_or_else(|e| {
+                fatal(&format!("mesh accept: {e}"));
+            });
+            stream.set_nodelay(true).ok();
+            let mut hello = [0u8; 4];
+            (&stream).read_exact(&mut hello).expect("read hello");
+            let peer = u32::from_le_bytes(hello) as usize;
+            if peer <= rank || peer >= n || streams[peer].is_some() {
+                fatal(&format!("bogus hello from rank {peer}"));
+            }
+            streams[peer] = Some(stream);
+        }
+
+        let mut writers = Vec::with_capacity(n);
+        let mut readers = Vec::with_capacity(n);
+        for (peer, s) in streams.into_iter().enumerate() {
+            match s {
+                Some(s) if peer != rank => {
+                    readers.push(Some(s.try_clone().expect("clone mesh stream")));
+                    writers.push(Some(Mutex::new(s)));
+                }
+                _ => {
+                    readers.push(None);
+                    writers.push(None);
+                }
+            }
+        }
+        MpRuntime {
+            rank,
+            n,
+            job_dir,
+            writers,
+            readers: Mutex::new(readers),
+            coll_seq: Mutex::new(0),
+            coll_in: (0..n)
+                .map(|_| CollQueue { q: Mutex::new(VecDeque::new()), cv: Condvar::new() })
+                .collect(),
+            chans: Mutex::new(HashMap::new()),
+            credits: Mutex::new(HashMap::new()),
+            accums: Mutex::new(HashMap::new()),
+            next_chan: AtomicU64::new(0),
+            next_seg: AtomicU64::new(0),
+            next_win: AtomicU64::new(0),
+            stats: TransportStats::default(),
+            timeout,
+        }
+    }
+
+    /// One receiver thread per peer: reads frames off the stream in order
+    /// and dispatches them. EOF (peer exited) ends the thread quietly.
+    fn spawn_receivers(&'static self) {
+        let mut readers = self.readers.lock().unwrap();
+        for (peer, slot) in readers.iter_mut().enumerate() {
+            let Some(stream) = slot.take() else { continue };
+            std::thread::Builder::new()
+                .name(format!("ls-mp-rx-{peer}"))
+                .spawn(move || self.receive_loop(peer, stream))
+                .expect("spawn receiver thread");
+        }
+    }
+
+    /// Workers must not outlive a killed launcher: the launcher holds the
+    /// write end of each worker's stdin pipe and never writes, so EOF on
+    /// stdin — including after `kill -9` of the launcher — means orphaned.
+    fn spawn_watchdog(&'static self) {
+        if std::env::var_os(ENV_WATCHDOG).is_none() {
+            return;
+        }
+        std::thread::Builder::new()
+            .name("ls-mp-watchdog".into())
+            .spawn(|| {
+                let mut buf = [0u8; 64];
+                let mut stdin = std::io::stdin();
+                loop {
+                    match stdin.read(&mut buf) {
+                        Ok(0) | Err(_) => std::process::exit(EXIT_ORPHANED),
+                        Ok(_) => {}
+                    }
+                }
+            })
+            .expect("spawn watchdog thread");
+    }
+
+    fn receive_loop(&'static self, peer: usize, mut stream: TcpStream) {
+        let mut tag = [0u8; 1];
+        loop {
+            if stream.read_exact(&mut tag).is_err() {
+                return; // peer exited; normal shutdown
+            }
+            let frame_bytes = match tag[0] {
+                TAG_COLL => {
+                    let mut head = [0u8; 12];
+                    if stream.read_exact(&mut head).is_err() {
+                        return;
+                    }
+                    let mut r: &[u8] = &head;
+                    let seq = r.get_u64_le();
+                    let len = r.get_u32_le() as usize;
+                    let mut payload = vec![0u8; len];
+                    if stream.read_exact(&mut payload).is_err() {
+                        return;
+                    }
+                    {
+                        let queue = &self.coll_in[peer];
+                        queue.q.lock().unwrap().push_back((seq, payload));
+                        queue.cv.notify_all();
+                    }
+                    13 + len
+                }
+                TAG_CHAN => {
+                    let mut head = [0u8; 12];
+                    if stream.read_exact(&mut head).is_err() {
+                        return;
+                    }
+                    let mut r: &[u8] = &head;
+                    let chan = r.get_u64_le();
+                    let len = r.get_u32_le() as usize;
+                    let mut payload = vec![0u8; len];
+                    if stream.read_exact(&mut payload).is_err() {
+                        return;
+                    }
+                    self.inbox(chan).q.lock().unwrap().push_back(payload);
+                    13 + len
+                }
+                TAG_CLOSE => {
+                    let mut head = [0u8; 8];
+                    if stream.read_exact(&mut head).is_err() {
+                        return;
+                    }
+                    let mut r: &[u8] = &head;
+                    let chan = r.get_u64_le();
+                    self.inbox(chan).closed.store(true, Ordering::Release);
+                    9
+                }
+                TAG_CREDIT => {
+                    let mut head = [0u8; 8];
+                    if stream.read_exact(&mut head).is_err() {
+                        return;
+                    }
+                    let mut r: &[u8] = &head;
+                    let chan = r.get_u64_le();
+                    self.credit_cell(chan).avail.fetch_add(1, Ordering::Release);
+                    9
+                }
+                TAG_ACC => {
+                    let mut head = [0u8; 20];
+                    if stream.read_exact(&mut head).is_err() {
+                        return;
+                    }
+                    let mut r: &[u8] = &head;
+                    let win = r.get_u64_le();
+                    let index = r.get_u64_le() as usize;
+                    let lanes = r.get_u32_le() as usize;
+                    let mut payload = vec![0u8; lanes * 8];
+                    if stream.read_exact(&mut payload).is_err() {
+                        return;
+                    }
+                    let mut r: &[u8] = &payload;
+                    let mut vals = [0.0f64; 2];
+                    for v in vals.iter_mut().take(lanes.min(2)) {
+                        *v = r.get_f64_le();
+                    }
+                    self.apply_acc(win, index, &vals[..lanes.min(2)]);
+                    21 + lanes * 8
+                }
+                other => {
+                    fatal(&format!("unknown frame tag {other} from rank {peer}"));
+                }
+            };
+            self.stats.add(&self.stats.rx_frames, 1);
+            self.stats.add(&self.stats.rx_bytes, frame_bytes as u64);
+        }
+    }
+
+    fn inbox(&self, chan: u64) -> Arc<ChanInbox> {
+        Arc::clone(self.chans.lock().unwrap().entry(chan).or_insert_with(|| {
+            Arc::new(ChanInbox {
+                q: Mutex::new(VecDeque::new()),
+                closed: AtomicBool::new(false),
+            })
+        }))
+    }
+
+    fn credit_cell(&self, chan: u64) -> Arc<ChanCredits> {
+        Arc::clone(
+            self.credits
+                .lock()
+                .unwrap()
+                .entry(chan)
+                .or_insert_with(|| Arc::new(ChanCredits { avail: AtomicUsize::new(1) })),
+        )
+    }
+
+    fn send_frame(&self, peer: usize, frame: &[u8]) {
+        let writer = self.writers[peer]
+            .as_ref()
+            .unwrap_or_else(|| fatal(&format!("send to self or unconnected rank {peer}")));
+        writer
+            .lock()
+            .unwrap()
+            .write_all(frame)
+            .unwrap_or_else(|e| fatal(&format!("send to rank {peer}: {e}")));
+        self.stats.add(&self.stats.tx_frames, 1);
+        self.stats.add(&self.stats.tx_bytes, frame.len() as u64);
+    }
+
+    /// Pops the collective payload with sequence `seq` from `peer`. The
+    /// per-peer stream is FIFO and both ranks count collectives in the
+    /// same SPMD program order, so the queue head must carry exactly
+    /// `seq` — anything else is a desynchronized job.
+    fn pop_coll(&self, peer: usize, seq: u64) -> Vec<u8> {
+        let queue = &self.coll_in[peer];
+        let deadline = Instant::now() + self.timeout;
+        let mut q = queue.q.lock().unwrap();
+        loop {
+            if let Some(&(s, _)) = q.front() {
+                if s != seq {
+                    fatal(&format!(
+                        "collective desync with rank {peer}: expected seq {seq}, got {s}"
+                    ));
+                }
+                return q.pop_front().unwrap().1;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                fatal(&format!("collective timeout waiting for rank {peer} (seq {seq})"));
+            }
+            let (guard, _) = queue.cv.wait_timeout(q, deadline - now).unwrap();
+            q = guard;
+        }
+    }
+
+    /// Allgather: every rank contributes `payload`, every rank receives
+    /// all contributions indexed by rank. The fundamental collective —
+    /// barriers and reductions are built on it.
+    pub fn allgather(&self, payload: &[u8]) -> Vec<Vec<u8>> {
+        // The guard both allocates the sequence number and serializes
+        // collectives within the process.
+        let mut seq_guard = self.coll_seq.lock().unwrap();
+        let seq = *seq_guard;
+        *seq_guard += 1;
+        let mut frame = Vec::with_capacity(13 + payload.len());
+        frame.put_u8(TAG_COLL);
+        frame.put_u64_le(seq);
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_slice(payload);
+        for peer in 0..self.n {
+            if peer != self.rank {
+                self.send_frame(peer, &frame);
+            }
+        }
+        let mut out: Vec<Vec<u8>> = (0..self.n).map(|_| Vec::new()).collect();
+        out[self.rank] = payload.to_vec();
+        for (peer, slot) in out.iter_mut().enumerate() {
+            if peer != self.rank {
+                *slot = self.pop_coll(peer, seq);
+            }
+        }
+        drop(seq_guard);
+        out
+    }
+
+    /// Barrier: an empty allgather. Per-peer FIFO makes it a flush: every
+    /// accumulate/channel/credit frame a peer sent before entering the
+    /// barrier has been applied here once its barrier frame is popped.
+    pub fn barrier(&self) {
+        let t0 = Instant::now();
+        let _ = self.allgather(&[]);
+        self.stats.add(&self.stats.barriers, 1);
+        self.stats.add(&self.stats.barrier_nanos, t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Lane-wise allreduce of `f64` partials: gathers every rank's lanes
+    /// and sums them **in rank order**, which is bit-identical to the
+    /// in-process backend's locale-ordered combination.
+    pub fn allreduce_lanes(&self, lanes: &[f64]) -> Vec<f64> {
+        let mut payload = Vec::with_capacity(lanes.len() * 8);
+        for &v in lanes {
+            payload.put_f64_le(v);
+        }
+        let all = self.allgather(&payload);
+        let mut out = vec![0.0f64; lanes.len()];
+        for contribution in &all {
+            let mut r: &[u8] = contribution;
+            if r.remaining() != lanes.len() * 8 {
+                fatal("allreduce lane-count mismatch across ranks");
+            }
+            for slot in out.iter_mut() {
+                *slot += r.get_f64_le();
+            }
+        }
+        out
+    }
+
+    // ---- accumulation windows -------------------------------------------
+
+    /// Registers the owner-side target of a new accumulation window and
+    /// returns its id. SPMD-collective: every rank must call it in the
+    /// same program order (ids are derived from a per-process counter).
+    /// Callers must barrier after registration and before any remote
+    /// accumulate can target the window (see [`crate::accum`]).
+    ///
+    /// # Safety
+    /// `base` must point at `len * lanes` `AtomicU64` cells that stay
+    /// valid until [`Self::deregister_accum`].
+    pub unsafe fn register_accum(
+        &self,
+        base: *const AtomicU64,
+        len: usize,
+        lanes: usize,
+    ) -> u64 {
+        let id = self.next_win.fetch_add(1, Ordering::Relaxed);
+        self.accums.lock().unwrap().insert(id, AccTarget { base: base as usize, len, lanes });
+        id
+    }
+
+    /// Drops a window registration. Callers must barrier first so no
+    /// in-flight accumulate can still target the window.
+    pub fn deregister_accum(&self, id: u64) {
+        self.accums.lock().unwrap().remove(&id);
+    }
+
+    /// Ships one remote accumulate (`y[dest][index] += value`, given as
+    /// its `f64` lanes) to the owner, which applies it atomically.
+    pub fn send_acc(&self, dest: usize, win: u64, index: usize, lanes: &[f64]) {
+        let mut frame = Vec::with_capacity(21 + lanes.len() * 8);
+        frame.put_u8(TAG_ACC);
+        frame.put_u64_le(win);
+        frame.put_u64_le(index as u64);
+        frame.put_u32_le(lanes.len() as u32);
+        for &v in lanes {
+            frame.put_f64_le(v);
+        }
+        self.send_frame(dest, &frame);
+    }
+
+    fn apply_acc(&self, win: u64, index: usize, lanes: &[f64]) {
+        let target = match self.accums.lock().unwrap().get(&win) {
+            Some(&t) => t,
+            None => fatal(&format!("accumulate into unregistered window {win}")),
+        };
+        if index >= target.len || lanes.len() > target.lanes {
+            fatal(&format!("accumulate out of bounds: {index} >= {}", target.len));
+        }
+        let base = target.base as *const AtomicU64;
+        for (lane, &add) in lanes.iter().enumerate() {
+            if add == 0.0 {
+                continue;
+            }
+            // SAFETY: the registration contract keeps the cells alive and
+            // in bounds; all access during the epoch is atomic.
+            let cell = unsafe { &*base.add(index * target.lanes + lane) };
+            let mut cur = cell.load(Ordering::Relaxed);
+            loop {
+                let new = (f64::from_bits(cur) + add).to_bits();
+                match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+                {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+
+    // ---- shared-memory segments -----------------------------------------
+
+    /// Creates a new segment set for a distributed epoch: one file per
+    /// locale under the job directory, element size `elem` bytes, part
+    /// lengths `lens`. SPMD-collective (ids come from a counter), and the
+    /// caller must publish its own part and barrier before peers read.
+    pub fn new_segment(&'static self, elem: usize, lens: &[usize]) -> Segment {
+        let id = self.next_seg.fetch_add(1, Ordering::Relaxed);
+        Segment {
+            mp: self,
+            id,
+            elem,
+            lens: lens.to_vec(),
+            files: (0..lens.len()).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    // ---- channels --------------------------------------------------------
+
+    /// Reserves `count` consecutive channel ids. SPMD-collective: every
+    /// rank must allocate blocks in the same program order so ids agree.
+    pub fn alloc_chan_ids(&self, count: usize) -> u64 {
+        self.next_chan.fetch_add(count as u64, Ordering::Relaxed)
+    }
+
+    fn send_chan(&self, peer: usize, chan: u64, payload: &[u8]) {
+        let mut frame = Vec::with_capacity(13 + payload.len());
+        frame.put_u8(TAG_CHAN);
+        frame.put_u64_le(chan);
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_slice(payload);
+        self.send_frame(peer, &frame);
+    }
+
+    fn send_close(&self, peer: usize, chan: u64) {
+        let mut frame = Vec::with_capacity(9);
+        frame.put_u8(TAG_CLOSE);
+        frame.put_u64_le(chan);
+        self.send_frame(peer, &frame);
+    }
+
+    fn send_credit(&self, peer: usize, chan: u64) {
+        let mut frame = Vec::with_capacity(9);
+        frame.put_u8(TAG_CREDIT);
+        frame.put_u64_le(chan);
+        self.send_frame(peer, &frame);
+    }
+
+    fn drop_chan(&self, chan: u64) {
+        self.chans.lock().unwrap().remove(&chan);
+        self.credits.lock().unwrap().remove(&chan);
+    }
+}
+
+// ---- shared-memory segment ----------------------------------------------
+
+/// One distributed epoch's shared-memory backing: a file per locale in
+/// the job directory (`/dev/shm` — tmpfs, so reads/writes are real
+/// same-host shared memory through the page cache). The owner publishes
+/// its part, a barrier makes it visible, peers `pread`/`pwrite` at
+/// element offsets.
+pub struct Segment {
+    mp: &'static MpRuntime,
+    id: u64,
+    elem: usize,
+    lens: Vec<usize>,
+    files: Vec<Mutex<Option<File>>>,
+}
+
+impl Segment {
+    fn path(&self, locale: usize) -> PathBuf {
+        self.mp.job_dir.join(format!("seg-{}-{locale}", self.id))
+    }
+
+    /// Element count of one locale's part.
+    pub fn len(&self, locale: usize) -> usize {
+        self.lens[locale]
+    }
+
+    /// True when `locale`'s part is empty.
+    pub fn is_empty(&self, locale: usize) -> bool {
+        self.lens[locale] == 0
+    }
+
+    /// Creates this rank's file and writes `bytes` as its full content.
+    /// Must be followed by a barrier before any peer reads or writes it.
+    pub fn publish_own(&self, bytes: &[u8]) {
+        let me = self.mp.rank();
+        assert_eq!(bytes.len(), self.lens[me] * self.elem, "publish size mismatch");
+        // Read+write: the handle is cached and later serves `read` too.
+        let mut f = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(self.path(me))
+            .unwrap_or_else(|e| {
+                fatal(&format!("create segment {}: {e}", self.path(me).display()))
+            });
+        f.write_all(bytes).unwrap_or_else(|e| fatal(&format!("publish segment: {e}")));
+        *self.files[me].lock().unwrap() = Some(f);
+        self.mp.stats.add(&self.mp.stats.shm_write_bytes, bytes.len() as u64);
+    }
+
+    fn with_file<R>(&self, locale: usize, f: impl FnOnce(&File) -> std::io::Result<R>) -> R {
+        let mut guard = self.files[locale].lock().unwrap();
+        if guard.is_none() {
+            let file = fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(self.path(locale))
+                .unwrap_or_else(|e| {
+                    fatal(&format!(
+                        "open segment {} (missing barrier before access?): {e}",
+                        self.path(locale).display()
+                    ))
+                });
+            *guard = Some(file);
+        }
+        f(guard.as_ref().unwrap()).unwrap_or_else(|e| fatal(&format!("segment io: {e}")))
+    }
+
+    /// Reads `dst.len()` bytes from `locale`'s part at element `offset`.
+    pub fn read(&self, locale: usize, offset: usize, dst: &mut [u8]) {
+        assert!(offset * self.elem + dst.len() <= self.lens[locale] * self.elem);
+        self.with_file(locale, |f| pread(f, (offset * self.elem) as u64, dst));
+        self.mp.stats.add(&self.mp.stats.shm_read_bytes, dst.len() as u64);
+    }
+
+    /// Writes `src` into `locale`'s part at element `offset`.
+    pub fn write(&self, locale: usize, offset: usize, src: &[u8]) {
+        assert!(offset * self.elem + src.len() <= self.lens[locale] * self.elem);
+        self.with_file(locale, |f| pwrite(f, (offset * self.elem) as u64, src));
+        self.mp.stats.add(&self.mp.stats.shm_write_bytes, src.len() as u64);
+    }
+
+    /// Collective epoch close: barriers (so every peer is done accessing
+    /// the files) and then deletes this rank's file.
+    pub fn close(&self) {
+        self.mp.barrier();
+        let _ = fs::remove_file(self.path(self.mp.rank()));
+    }
+}
+
+fn pread(file: &File, off: u64, dst: &mut [u8]) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(dst, off)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (file, off, dst);
+        unreachable!("multiprocess backend is unix-only")
+    }
+}
+
+fn pwrite(file: &File, off: u64, src: &[u8]) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.write_all_at(src, off)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (file, off, src);
+        unreachable!("multiprocess backend is unix-only")
+    }
+}
+
+// ---- raw byte views ------------------------------------------------------
+
+/// Views a slice of plain-old-data elements as bytes.
+///
+/// # Safety
+/// `T` must be `Copy` **without padding bytes** (the runtime moves
+/// `u64`/`u32`/`f64`/scalar-pair payloads only). All processes run the
+/// same executable on the same architecture, so the layout agrees.
+pub(crate) unsafe fn slice_as_bytes<T: Copy>(s: &[T]) -> &[u8] {
+    std::slice::from_raw_parts(s.as_ptr() as *const u8, std::mem::size_of_val(s))
+}
+
+/// Decodes a byte payload produced by [`slice_as_bytes`] back into `T`s,
+/// appending to `out`. Unaligned-safe.
+pub(crate) fn decode_extend<T: Copy>(payload: &[u8], out: &mut Vec<T>) {
+    let size = std::mem::size_of::<T>();
+    assert!(
+        size > 0 && payload.len().is_multiple_of(size),
+        "payload not a whole number of elements"
+    );
+    out.reserve(payload.len() / size);
+    for chunk in payload.chunks_exact(size) {
+        // SAFETY: chunk holds exactly one T's bytes; read_unaligned
+        // tolerates the arbitrary alignment of the network buffer.
+        out.push(unsafe { std::ptr::read_unaligned(chunk.as_ptr() as *const T) });
+    }
+}
+
+// ---- pair channels -------------------------------------------------------
+
+/// Backend-agnostic (source locale → destination locale) staging channel:
+/// the transport-aware replacement for raw [`BufferChannel`] grids. The
+/// in-process variant *is* a `BufferChannel`; the multiprocess variants
+/// speak the CHAN/CLOSE/CREDIT frame protocol, with exactly the same
+/// single-outstanding-batch flow control and the same per-operation
+/// [`CommStats`] attribution, so channel statistics agree across
+/// backends.
+pub enum PairChannel<T: Copy + Default> {
+    /// Both endpoints in this process (in-process backend, or the local
+    /// loopback pair of the multiprocess backend).
+    Local(BufferChannel<T>),
+    /// This process is the producer; the consumer is a remote rank.
+    Sender(MpSender<T>),
+    /// This process is the consumer; the producer is a remote rank.
+    Receiver(MpReceiver<T>),
+    /// Neither endpoint lives here (multiprocess: a third-party pair).
+    Absent,
+}
+
+/// Producer endpoint of a cross-process channel.
+pub struct MpSender<T: Copy> {
+    mp: &'static MpRuntime,
+    peer: usize,
+    id: u64,
+    capacity: usize,
+    credits: Arc<ChanCredits>,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+/// Consumer endpoint of a cross-process channel.
+pub struct MpReceiver<T: Copy> {
+    mp: &'static MpRuntime,
+    peer: usize,
+    id: u64,
+    inbox: Arc<ChanInbox>,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Copy + Default> PairChannel<T> {
+    /// Builds the full `locales × locales` channel grid in row-major
+    /// `[source][destination]` order. In-process: every pair is a
+    /// [`BufferChannel`]. Multiprocess: this rank's outgoing pairs are
+    /// senders, incoming pairs are receivers, the self-loop stays a local
+    /// buffer, and all other pairs are [`PairChannel::Absent`].
+    /// SPMD-collective (channel ids come from a per-process counter).
+    pub fn grid(n_locales: usize, capacity: usize) -> Vec<PairChannel<T>> {
+        let Some(mp) = active() else {
+            return (0..n_locales * n_locales)
+                .map(|_| PairChannel::Local(BufferChannel::new(capacity)))
+                .collect();
+        };
+        assert_eq!(mp.n_locales(), n_locales, "channel grid sized for another job");
+        let base = mp.alloc_chan_ids(n_locales * n_locales);
+        let me = mp.rank();
+        let mut out = Vec::with_capacity(n_locales * n_locales);
+        for src in 0..n_locales {
+            for dest in 0..n_locales {
+                let id = base + (src * n_locales + dest) as u64;
+                out.push(if src == me && dest == me {
+                    PairChannel::Local(BufferChannel::new(capacity))
+                } else if src == me {
+                    PairChannel::Sender(MpSender {
+                        mp,
+                        peer: dest,
+                        id,
+                        capacity,
+                        credits: mp.credit_cell(id),
+                        _marker: std::marker::PhantomData,
+                    })
+                } else if dest == me {
+                    PairChannel::Receiver(MpReceiver {
+                        mp,
+                        peer: src,
+                        id,
+                        inbox: mp.inbox(id),
+                        _marker: std::marker::PhantomData,
+                    })
+                } else {
+                    PairChannel::Absent
+                });
+            }
+        }
+        out
+    }
+
+    /// Producer: blocking claim of the (single) staging buffer.
+    pub fn claim(&self) {
+        match self {
+            PairChannel::Local(ch) => ch.claim(),
+            PairChannel::Sender(s) => {
+                let backoff = Backoff::new();
+                loop {
+                    let avail = s.credits.avail.load(Ordering::Acquire);
+                    if avail > 0
+                        && s.credits
+                            .avail
+                            .compare_exchange(
+                                avail,
+                                avail - 1,
+                                Ordering::Acquire,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                    {
+                        return;
+                    }
+                    backoff.snooze();
+                }
+            }
+            _ => panic!("claim on a non-producer channel endpoint"),
+        }
+    }
+
+    /// Producer: publishes a claimed batch to the consumer.
+    pub fn send(&self, stats: &CommStats, remote: bool, data: &[T]) {
+        match self {
+            PairChannel::Local(ch) => ch.send(stats, remote, data),
+            PairChannel::Sender(s) => {
+                assert!(data.len() <= s.capacity, "buffer overflow");
+                // SAFETY: channel payload types are padding-free PODs
+                // (see slice_as_bytes).
+                let payload = unsafe { slice_as_bytes(data) };
+                s.mp.send_chan(s.peer, s.id, payload);
+                stats.record_put(payload.len(), true);
+                stats.record_flag_message();
+            }
+            _ => panic!("send on a non-producer channel endpoint"),
+        }
+    }
+
+    /// Producer: declares the stream finished for this product.
+    pub fn close(&self) {
+        match self {
+            PairChannel::Local(ch) => ch.close(),
+            PairChannel::Sender(s) => s.mp.send_close(s.peer, s.id),
+            _ => panic!("close on a non-producer channel endpoint"),
+        }
+    }
+
+    /// Consumer: takes one published batch if available, appending the
+    /// elements to `out` and returning the buffer credit to the producer.
+    pub fn try_recv(&self, stats: &CommStats, remote: bool, out: &mut Vec<T>) -> bool {
+        match self {
+            PairChannel::Local(ch) => ch.try_recv(stats, remote, out),
+            PairChannel::Receiver(r) => {
+                let payload = r.inbox.q.lock().unwrap().pop_front();
+                let Some(payload) = payload else { return false };
+                decode_extend(&payload, out);
+                r.mp.send_credit(r.peer, r.id);
+                stats.record_flag_message();
+                true
+            }
+            _ => panic!("recv on a non-consumer channel endpoint"),
+        }
+    }
+
+    /// Consumer: true when the stream is certainly finished (closed
+    /// observed, then one more failed receive). See
+    /// [`BufferChannel::drained_after_failed_recv`].
+    pub fn drained_after_failed_recv(&self, stats: &CommStats, out: &mut Vec<T>) -> bool {
+        match self {
+            PairChannel::Local(ch) => ch.drained_after_failed_recv(stats, out),
+            PairChannel::Receiver(r) => {
+                if !r.inbox.closed.load(Ordering::Acquire) {
+                    return false;
+                }
+                // CLOSE travels behind every CHAN frame (per-peer FIFO),
+                // so closed + empty queue means drained for good.
+                !self.try_recv(stats, false, out)
+            }
+            _ => panic!("drain check on a non-consumer channel endpoint"),
+        }
+    }
+
+    /// Re-arms the channel for the next product (buffer/credit reuse).
+    ///
+    /// # Panics
+    /// Panics when the channel is not idle (undrained data, outstanding
+    /// credit) — products must be separated by a barrier, which also
+    /// flushes the last credit frames home.
+    pub fn reset(&self) {
+        match self {
+            PairChannel::Local(ch) => ch.reset(),
+            PairChannel::Sender(s) => {
+                assert_eq!(
+                    s.credits.avail.load(Ordering::Acquire),
+                    1,
+                    "reset while the consumer still holds the batch credit"
+                );
+            }
+            PairChannel::Receiver(r) => {
+                assert!(r.inbox.closed.load(Ordering::Acquire), "reset of an open channel");
+                assert!(r.inbox.q.lock().unwrap().is_empty(), "reset with unconsumed data");
+                r.inbox.closed.store(false, Ordering::Release);
+            }
+            PairChannel::Absent => {}
+        }
+    }
+}
+
+impl<T: Copy> Drop for MpSender<T> {
+    fn drop(&mut self) {
+        self.mp.drop_chan(self.id);
+    }
+}
+
+impl<T: Copy> Drop for MpReceiver<T> {
+    fn drop(&mut self) {
+        self.mp.drop_chan(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parse_defaults_to_inprocess() {
+        // The test environment never sets LS_TRANSPORT.
+        assert_eq!(requested_backend(), Backend::InProcess);
+        assert_eq!(backend(), Backend::InProcess);
+        assert!(active().is_none());
+        assert!(is_primary());
+        assert_eq!(Backend::MultiProcess.name(), "multiprocess");
+    }
+
+    #[test]
+    fn pair_channel_grid_is_local_in_process() {
+        let grid = PairChannel::<(u64, f64)>::grid(3, 8);
+        assert_eq!(grid.len(), 9);
+        let stats = CommStats::new();
+        for ch in &grid {
+            assert!(matches!(ch, PairChannel::Local(_)));
+            ch.claim();
+            ch.send(&stats, true, &[(7, 0.5)]);
+            let mut out = Vec::new();
+            assert!(ch.try_recv(&stats, true, &mut out));
+            assert_eq!(out, vec![(7, 0.5)]);
+            ch.close();
+            assert!(ch.drained_after_failed_recv(&stats, &mut out));
+            ch.reset();
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_pairs() {
+        let data: Vec<(u64, f64)> = (0..17).map(|i| (i as u64 * 3, i as f64 * 0.25)).collect();
+        // SAFETY: (u64, f64) has no padding.
+        let bytes = unsafe { slice_as_bytes(&data) }.to_vec();
+        let mut back: Vec<(u64, f64)> = Vec::new();
+        decode_extend(&bytes, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn transport_stats_snapshot_and_reset() {
+        let stats = TransportStats::default();
+        stats.add(&stats.tx_bytes, 100);
+        stats.add(&stats.barriers, 2);
+        stats.add(&stats.barrier_nanos, 3_000_000_000);
+        let snap = stats.snapshot();
+        assert_eq!(snap.tx_bytes, 100);
+        assert!((snap.mean_barrier_seconds() - 1.5).abs() < 1e-12);
+        stats.reset();
+        assert_eq!(stats.snapshot(), TransportSnapshot::default());
+        assert_eq!(TransportSnapshot::default().mean_barrier_seconds(), 0.0);
+    }
+}

@@ -16,15 +16,51 @@
 //! For repeatedly reused buffers (the producer/consumer matvec), see
 //! [`crate::remote::BufferChannel`], whose flag protocol transfers
 //! ownership back and forth instead.
+//!
+//! ## Multiprocess epochs
+//!
+//! Under the multiprocess transport ([`crate::transport`]) a window epoch
+//! is a real collective. `new` publishes this rank's part to a
+//! shared-memory segment and barriers (so every peer's segment exists
+//! before any access); `get`/`put` on remote locales become
+//! `pread`/`pwrite` on the owner's segment; dropping the window barriers
+//! again — and a write window's drop additionally **reads every locale's
+//! segment back** into the local replica, so after the epoch the whole
+//! `DistVec` is coherent in every process (the paper's enumeration
+//! pipeline relies on this full replication). Because epochs are
+//! collective, all ranks must create and drop windows at the same program
+//! point. The write-once ledger only observes this process's puts — a
+//! cross-process overlap is caught by whichever rank issues both halves,
+//! not globally.
 
 use crate::cluster::LocaleCtx;
 use crate::distvec::DistVec;
+use crate::transport::{self, Segment};
 use parking_lot::Mutex;
 use std::marker::PhantomData;
+
+/// Views one part as bytes for segment publication.
+///
+/// # Safety
+/// `T` must be a padding-free POD (the window element types of this
+/// workspace: `u32`/`u64`/`f64`/`Complex64`).
+unsafe fn part_bytes<T: Copy>(part: &[T]) -> &[u8] {
+    std::slice::from_raw_parts(part.as_ptr() as *const u8, std::mem::size_of_val(part))
+}
+
+fn new_segment_for<T: Copy>(lens: &[usize], own: &[T]) -> Option<Segment> {
+    let mp = transport::active()?;
+    let seg = mp.new_segment(std::mem::size_of::<T>(), lens);
+    // SAFETY: window element types are padding-free PODs (doc contract).
+    seg.publish_own(unsafe { part_bytes(own) });
+    mp.barrier();
+    Some(seg)
+}
 
 /// Read-only window (shared borrow ⇒ no writers can exist).
 pub struct RmaReadWindow<'a, T: Copy + Sync> {
     parts: Vec<(*const T, usize)>,
+    segment: Option<Segment>,
     _marker: PhantomData<&'a [T]>,
 }
 
@@ -32,17 +68,25 @@ unsafe impl<'a, T: Copy + Sync> Send for RmaReadWindow<'a, T> {}
 unsafe impl<'a, T: Copy + Sync> Sync for RmaReadWindow<'a, T> {}
 
 impl<'a, T: Copy + Sync> RmaReadWindow<'a, T> {
+    /// Opens a read epoch on `vec`. Multiprocess: collective (publishes
+    /// this rank's part and barriers).
     pub fn new(vec: &'a DistVec<T>) -> Self {
+        let lens: Vec<usize> = vec.parts().iter().map(Vec::len).collect();
+        let me = transport::active().map(|mp| mp.rank()).unwrap_or(0);
+        let segment = new_segment_for(&lens, vec.part(me));
         Self {
             parts: vec.parts().iter().map(|p| (p.as_ptr(), p.len())).collect(),
+            segment,
             _marker: PhantomData,
         }
     }
 
+    /// Element count of `locale`'s part.
     pub fn len(&self, locale: usize) -> usize {
         self.parts[locale].1
     }
 
+    /// True when `locale`'s part is empty.
     pub fn is_empty(&self, locale: usize) -> bool {
         self.len(locale) == 0
     }
@@ -57,10 +101,24 @@ impl<'a, T: Copy + Sync> RmaReadWindow<'a, T> {
             offset,
             offset + dst.len()
         );
-        // SAFETY: shared borrow of the DistVec guarantees no concurrent
-        // writers; the range is in bounds.
-        unsafe {
-            std::ptr::copy_nonoverlapping(ptr.add(offset), dst.as_mut_ptr(), dst.len());
+        match &self.segment {
+            Some(seg) if src_locale != ctx.locale() => {
+                // SAFETY: dst is a unique &mut of padding-free PODs.
+                let raw = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        dst.as_mut_ptr() as *mut u8,
+                        std::mem::size_of_val(dst),
+                    )
+                };
+                seg.read(src_locale, offset, raw);
+            }
+            _ => {
+                // SAFETY: shared borrow of the DistVec guarantees no
+                // concurrent writers; the range is in bounds.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(ptr.add(offset), dst.as_mut_ptr(), dst.len());
+                }
+            }
         }
         ctx.stats().record_get(std::mem::size_of_val(dst), src_locale != ctx.locale());
     }
@@ -74,11 +132,22 @@ impl<'a, T: Copy + Sync> RmaReadWindow<'a, T> {
     }
 }
 
+impl<'a, T: Copy + Sync> Drop for RmaReadWindow<'a, T> {
+    fn drop(&mut self) {
+        // Multiprocess: collective close (peers may read our segment up
+        // to the last moment of the epoch).
+        if let Some(seg) = &self.segment {
+            seg.close();
+        }
+    }
+}
+
 /// Write window with write-once-per-epoch semantics.
 pub struct RmaWriteWindow<'a, T: Copy + Send> {
     parts: Vec<(*mut T, usize)>,
     /// Per-destination ledger of claimed `[start, end)` ranges.
     claims: Vec<Mutex<Vec<(usize, usize)>>>,
+    segment: Option<Segment>,
     _marker: PhantomData<&'a mut [T]>,
 }
 
@@ -86,13 +155,20 @@ unsafe impl<'a, T: Copy + Send> Send for RmaWriteWindow<'a, T> {}
 unsafe impl<'a, T: Copy + Send> Sync for RmaWriteWindow<'a, T> {}
 
 impl<'a, T: Copy + Send> RmaWriteWindow<'a, T> {
+    /// Opens a write epoch on `vec`. Multiprocess: collective (publishes
+    /// this rank's current part content and barriers, so unwritten
+    /// elements keep their values through the epoch).
     pub fn new(vec: &'a mut DistVec<T>) -> Self {
+        let lens: Vec<usize> = vec.parts().iter().map(Vec::len).collect();
+        let me = transport::active().map(|mp| mp.rank()).unwrap_or(0);
+        let segment = new_segment_for(&lens, vec.part(me));
         let parts: Vec<(*mut T, usize)> =
             vec.parts_mut().iter_mut().map(|p| (p.as_mut_ptr(), p.len())).collect();
         let claims = (0..parts.len()).map(|_| Mutex::new(Vec::new())).collect();
-        Self { parts, claims, _marker: PhantomData }
+        Self { parts, claims, segment, _marker: PhantomData }
     }
 
+    /// Element count of `locale`'s part.
     pub fn len(&self, locale: usize) -> usize {
         self.parts[locale].1
     }
@@ -127,12 +203,47 @@ impl<'a, T: Copy + Send> RmaWriteWindow<'a, T> {
             }
             ledger.push(range);
         }
-        // SAFETY: exclusive borrow of the DistVec for the window lifetime;
-        // the ledger guarantees the range is written by this call only.
-        unsafe {
-            std::ptr::copy_nonoverlapping(src.as_ptr(), ptr.add(offset), src.len());
+        match &self.segment {
+            Some(seg) => {
+                // Multiprocess: every put (own part included) lands in the
+                // destination's segment; drop reads the results back.
+                // SAFETY: window element types are padding-free PODs.
+                let raw = unsafe { part_bytes(src) };
+                seg.write(dest_locale, offset, raw);
+            }
+            None => {
+                // SAFETY: exclusive borrow of the DistVec for the window
+                // lifetime; the ledger guarantees the range is written by
+                // this call only.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(src.as_ptr(), ptr.add(offset), src.len());
+                }
+            }
         }
         ctx.stats().record_put(std::mem::size_of_val(src), dest_locale != ctx.locale());
+    }
+}
+
+impl<'a, T: Copy + Send> Drop for RmaWriteWindow<'a, T> {
+    fn drop(&mut self) {
+        let Some(seg) = &self.segment else { return };
+        // Multiprocess epoch close: barrier (every rank's puts are in the
+        // segments), then replicate every locale's part back into local
+        // memory — the algorithms built on write epochs (distributed
+        // enumeration) expect the full vector to be readable afterwards.
+        transport::active().expect("segment implies active transport").barrier();
+        for (locale, &(ptr, len)) in self.parts.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            // SAFETY: exclusive borrow of the DistVec for the window
+            // lifetime; every rank performs the same read-back.
+            let raw = unsafe {
+                std::slice::from_raw_parts_mut(ptr as *mut u8, len * std::mem::size_of::<T>())
+            };
+            seg.read(locale, 0, raw);
+        }
+        seg.close();
     }
 }
 

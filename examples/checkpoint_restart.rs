@@ -19,10 +19,19 @@
 //! `--fresh` deletes an existing checkpoint first; `--verify` reruns the
 //! whole solve uninterrupted in memory and asserts the eigenvalues are
 //! bit-identical to the chunked/resumed run.
+//!
+//! With `LS_TRANSPORT=multiprocess LS_LOCALES=N` the same contract holds
+//! across OS processes: the solve runs distributed (thick-restart over
+//! the producer/consumer product with the deterministic schedule), every
+//! rank writes the identical canonical-order checkpoint via its own
+//! atomic tempfile, and killing the whole job (launcher included) at any
+//! moment still resumes bit-identically — on the same locale count.
 
 use exact_diag::prelude::*;
+use exact_diag::runtime::transport;
 
 fn main() {
+    transport::launch_if_requested();
     let mut sites = 18usize;
     let mut weight: Option<usize> = None;
     let mut k = 2usize;
@@ -54,7 +63,19 @@ fn main() {
     let weight = weight.unwrap_or(sites / 2) as u32;
     let path = std::path::PathBuf::from(&ckpt);
     if fresh {
-        std::fs::remove_file(&path).ok();
+        // One deleter is enough; the barrier keeps a lagging rank from
+        // probing (and resuming from) the file before it disappears.
+        if transport::is_primary() {
+            std::fs::remove_file(&path).ok();
+        }
+        if let Some(mp) = transport::active() {
+            mp.barrier();
+        }
+    }
+
+    if let Some(mp) = transport::active() {
+        run_distributed(mp, sites, weight, k, extra, tol, &ckpt, &path, verify, max_cycles);
+        return;
     }
 
     let expr = heisenberg(&chain_bonds(sites), 1.0);
@@ -133,5 +154,131 @@ fn main() {
             "checkpointed run diverged from the uninterrupted solve"
         );
         println!("VERIFIED: chunked/resumed run is bit-identical to the uninterrupted solve");
+    }
+}
+
+/// The multiprocess variant: the identical cycle-by-cycle protocol, but
+/// the solve is the distributed thick-restart Lanczos (deterministic
+/// producer/consumer schedule), the Krylov state lives in the hashed
+/// distribution and the checkpoint is written in canonical global order
+/// by every rank. SPMD: all ranks execute everything collective; only
+/// rank 0 narrates.
+#[allow(clippy::too_many_arguments)]
+fn run_distributed(
+    mp: &'static transport::MpRuntime,
+    sites: usize,
+    weight: u32,
+    k: usize,
+    extra: usize,
+    tol: f64,
+    ckpt: &str,
+    path: &std::path::Path,
+    verify: bool,
+    max_cycles: usize,
+) {
+    use exact_diag::basis::{SectorSpec, SymmetrizedOperator};
+    use exact_diag::dist::eigensolve::{
+        dist_thick_restart_lanczos, DistOp, DistRestartOptions,
+    };
+    use exact_diag::dist::enumerate_dist;
+    use exact_diag::dist::matvec::PcOptions;
+    use exact_diag::runtime::{Cluster, ClusterSpec, DistVec};
+
+    let primary = mp.rank() == 0;
+    let kernel = heisenberg(&chain_bonds(sites), 1.0).to_kernel(sites as u32).unwrap();
+    let sector = SectorSpec::with_weight(sites as u32, weight).unwrap();
+    let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
+    let cluster = Cluster::new(ClusterSpec::new(mp.n_locales(), 1));
+    let basis = enumerate_dist(&cluster, &sector, 4);
+    if primary {
+        println!(
+            "{sites}-site U(1) sector (weight {weight}): dim {}, budget {} vectors, \
+             tol {tol:.0e} — distributed over {} processes",
+            basis.dim(),
+            k + extra,
+            mp.n_locales(),
+        );
+        if path.exists() {
+            println!("resuming from checkpoint {ckpt}");
+        }
+    }
+
+    let pc = PcOptions { deterministic: true, ..PcOptions::default() };
+    let base = RestartOptions { k, extra, tol, ..RestartOptions::new(k) };
+    let policy = CheckpointPolicy::new(path.to_path_buf());
+
+    let start = if path.exists() {
+        let probe = DistOp::new(&cluster, &op, &basis, pc);
+        match exact_diag::core::io::load_checkpoint::<DistVec<f64>, _>(path, &probe) {
+            Ok(st) => st.restarts + 1,
+            Err(e) => panic!("cannot resume from {ckpt}: {e}"),
+        }
+    } else {
+        1
+    };
+    let mut result = None;
+    for cycle in start..=max_cycles.max(start) {
+        let res = dist_thick_restart_lanczos(
+            &cluster,
+            &op,
+            &basis,
+            &DistRestartOptions {
+                restart: RestartOptions {
+                    max_restarts: cycle,
+                    checkpoint: Some(policy.clone()),
+                    ..base.clone()
+                },
+                pc,
+            },
+        );
+        let lam0 = res.eigenvalues.first().copied().unwrap_or(f64::NAN);
+        let resid = res.residuals.iter().cloned().fold(0.0f64, f64::max);
+        if primary {
+            println!(
+                "cycle {cycle:>4}: λ0 ≈ {lam0:.12}  max residual {resid:.3e}  \
+                 (peak {} vectors, {} matvecs this call)",
+                res.peak_retained, res.iterations
+            );
+        }
+        let done = res.converged;
+        result = Some(res);
+        if done {
+            break;
+        }
+    }
+    let result = result.expect("max_cycles must be >= 1");
+    assert!(result.converged, "did not converge within {max_cycles} cycles");
+
+    if primary {
+        print!("EIGENVALUES");
+        for v in &result.eigenvalues {
+            print!(" {:016x}", v.to_bits());
+        }
+        println!();
+        for (i, v) in result.eigenvalues.iter().enumerate() {
+            println!("  λ{i} = {v:.15}");
+        }
+    }
+
+    if verify {
+        // Uninterrupted reference on the same cluster shape (collective:
+        // every rank participates; every rank checks).
+        let reference = dist_thick_restart_lanczos(
+            &cluster,
+            &op,
+            &basis,
+            &DistRestartOptions { restart: base, pc },
+        );
+        assert!(reference.converged);
+        assert_eq!(
+            reference.eigenvalues.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            result.eigenvalues.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "checkpointed run diverged from the uninterrupted solve"
+        );
+        if primary {
+            println!(
+                "VERIFIED: chunked/resumed run is bit-identical to the uninterrupted solve"
+            );
+        }
     }
 }

@@ -1,14 +1,26 @@
-//! The paper's distributed pipeline end to end, on the simulated cluster:
-//! distributed basis enumeration (Fig. 4), producer/consumer matrix-vector
-//! products (Fig. 5), a distributed Lanczos run — Krylov state held **in
-//! place on the locale parts**, nothing gathered — plus distributed
-//! imaginary-time evolution and a spectral function on the same in-place
-//! pipeline, and the communication statistics that drive the performance
-//! model.
+//! The paper's distributed pipeline end to end: distributed basis
+//! enumeration (Fig. 4), producer/consumer matrix-vector products
+//! (Fig. 5), a distributed Lanczos run — Krylov state held **in place on
+//! the locale parts**, nothing gathered — plus distributed imaginary-time
+//! evolution and a spectral function on the same in-place pipeline, and
+//! the communication statistics that drive the performance model.
 //!
 //! ```sh
 //! cargo run --release --example distributed_matvec
 //! ```
+//!
+//! runs on the default in-process transport (locales are thread teams).
+//! The identical program runs across real OS processes — shared-memory
+//! windows, TCP accumulate/collective traffic — with:
+//!
+//! ```sh
+//! LS_TRANSPORT=multiprocess LS_LOCALES=4 \
+//!     cargo run --release --example distributed_matvec
+//! ```
+//!
+//! The `EIGENVALUES` line is bit-identical across both backends (the
+//! Lanczos run uses the deterministic producer/consumer schedule); CI
+//! compares the hex digests directly.
 
 use exact_diag::basis::SectorSpec;
 use exact_diag::basis::SymmetrizedOperator;
@@ -18,14 +30,34 @@ use exact_diag::dist::{
     dist_evolve_imaginary_time, dist_spectral_coefficients, enumerate_dist, matvec_pc,
 };
 use exact_diag::prelude::*;
+use exact_diag::runtime::transport;
 use exact_diag::runtime::{Cluster, ClusterSpec, DistVec};
 
+/// Prints on the primary rank only (every rank in multiprocess mode runs
+/// the same program; one copy of the report is enough).
+macro_rules! say {
+    ($($arg:tt)*) => { if transport::is_primary() { println!($($arg)*); } };
+}
+
 fn main() {
+    // Relaunches as the multi-process launcher when LS_TRANSPORT says so;
+    // a no-op on the in-process backend and inside worker processes.
+    transport::launch_if_requested();
+
     let n = 20usize;
-    let locales = 4usize;
+    let mp = transport::active();
+    // LS_LOCALES also sizes the in-process cluster, so the two backends
+    // can be compared on the same shape (reduction order follows it).
+    let locales = mp.map(|m| m.n_locales()).unwrap_or_else(|| {
+        std::env::var(transport::ENV_LOCALES).ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+    });
     let cores = 2usize;
 
-    println!("== simulated cluster: {locales} locales x {cores} cores ==");
+    say!(
+        "== {} cluster: {locales} locales x {cores} cores (backend: {}) ==",
+        if mp.is_some() { "multiprocess" } else { "simulated" },
+        transport::backend().name()
+    );
     let cluster = Cluster::new(ClusterSpec::new(locales, cores));
 
     // Hamiltonian and the paper's benchmark sector.
@@ -38,14 +70,14 @@ fn main() {
     // distribute.
     let t = std::time::Instant::now();
     let basis = enumerate_dist(&cluster, &sector, 25);
-    println!(
+    say!(
         "basis: dim {} enumerated in {:.1} ms (exact Burnside dim: {})",
         basis.dim(),
         t.elapsed().as_secs_f64() * 1e3,
         sector.dimension()
     );
     let (min, max, mean) = basis.balance();
-    println!("hashed distribution balance: min {min} / mean {mean:.1} / max {max}");
+    say!("hashed distribution balance: min {min} / mean {mean:.1} / max {max}");
 
     // Why hashing? Compare against partitioning the raw state space into
     // contiguous ranges (paper Sec. 5.1: the hash "mixes all bits" for
@@ -54,11 +86,7 @@ fn main() {
     let all_states: Vec<u64> = basis.states().parts().iter().flatten().copied().collect();
     for scheme in [Scheme::Hashed, Scheme::RawRanges] {
         let r = partition_balance(&all_states, n as u32, locales, scheme);
-        println!(
-            "  {scheme:?}: imbalance (max/mean) = {:.3}, cv = {:.3}",
-            r.imbalance(),
-            r.cv()
-        );
+        say!("  {scheme:?}: imbalance (max/mean) = {:.3}, cv = {:.3}", r.imbalance(), r.cv());
     }
 
     // One producer/consumer matvec on |+...+> and its statistics.
@@ -74,20 +102,22 @@ fn main() {
         &basis,
         &x,
         &mut y,
-        PcOptions { producers: 1, consumers: 1, capacity: 512 },
+        PcOptions { producers: 1, consumers: 1, capacity: 512, ..PcOptions::default() },
     );
     let dt = t.elapsed().as_secs_f64();
     let stats = cluster.stats_total();
-    println!("\n== one producer/consumer matvec ==");
-    println!("wall time        : {:.1} ms", dt * 1e3);
-    println!("remote puts      : {} ({} bytes)", stats.puts, stats.put_bytes);
-    println!("mean message     : {:.0} bytes", stats.mean_message_bytes());
-    println!("flag messages    : {} (remoteAtomicWrite)", stats.flag_messages);
+    say!("\n== one producer/consumer matvec ==");
+    say!("wall time        : {:.1} ms", dt * 1e3);
+    say!("remote puts      : {} ({} bytes)", stats.puts, stats.put_bytes);
+    say!("mean message     : {:.0} bytes", stats.mean_message_bytes());
+    say!("flag messages    : {} (remoteAtomicWrite)", stats.flag_messages);
 
     // Distributed Lanczos: the full ED pipeline. Every Krylov vector
     // lives and dies in the hashed distribution — the statistics below
-    // prove no full-vector gather ever happens (zero RMA gets).
-    println!("\n== distributed Lanczos (in place on DistVec) ==");
+    // prove no full-vector gather ever happens (zero RMA gets). The
+    // deterministic schedule makes the eigenvalue bit-identical across
+    // transports, which the multiprocess CI smoke test checks.
+    say!("\n== distributed Lanczos (in place on DistVec) ==");
     cluster.reset_stats();
     let t = std::time::Instant::now();
     let res = dist_lanczos_smallest(
@@ -96,28 +126,30 @@ fn main() {
         &basis,
         1,
         &DistLanczosOptions {
-            pc: PcOptions { producers: 1, consumers: 1, capacity: 512 },
+            pc: PcOptions { capacity: 512, deterministic: true, ..PcOptions::default() },
             ..Default::default()
         },
     );
-    println!(
+    say!(
         "E0 = {:.12} ({} iterations, {:.1} ms, converged: {})",
         res.eigenvalues[0],
         res.iterations,
         t.elapsed().as_secs_f64() * 1e3,
         res.converged
     );
+    say!("EIGENVALUES {:016x}", res.eigenvalues[0].to_bits());
     let solve_stats = cluster.stats_total();
-    println!(
+    say!(
         "krylov state gathered : {} bytes ({} RMA gets) — everything stayed distributed",
-        solve_stats.get_bytes, solve_stats.gets
+        solve_stats.get_bytes,
+        solve_stats.gets
     );
     assert_eq!(solve_stats.gets, 0);
 
     // Distributed dynamics on the same in-place pipeline: imaginary-time
     // projection toward the ground state, then the dynamical spectral
     // function of a seed state via the Lanczos continued fraction.
-    println!("\n== distributed dynamics ==");
+    say!("\n== distributed dynamics ==");
     let psi0 = DistVec::<f64>::from_parts(
         basis.states().lens().iter().map(|&l| vec![1.0; l]).collect(),
     );
@@ -128,7 +160,7 @@ fn main() {
     let mut h_cooled = DistVec::<f64>::zeros(&basis.states().lens());
     matvec_pc(&cluster, &op, &basis, &cooled, &mut h_cooled, PcOptions::default());
     let e_cooled = exact_diag::dist::blas::dot(&cooled, &h_cooled);
-    println!(
+    say!(
         "imaginary time τ=4.0 : ⟨H⟩ = {:.9} (E0 = {:.9}, {:.1} ms, state stayed distributed)",
         e_cooled,
         res.eigenvalues[0],
@@ -140,7 +172,7 @@ fn main() {
         dist_spectral_coefficients(&cluster, &op, &basis, &psi0, 60, PcOptions::default());
     let omegas: Vec<f64> = (0..5).map(|i| res.eigenvalues[0] + i as f64 * 2.0).collect();
     let spectrum = coeffs.spectrum(&omegas, 0.2);
-    println!(
+    say!(
         "spectral function    : {} Lanczos coefficients in {:.1} ms; A(ω) at {:?} = {:?}",
         coeffs.alphas.len(),
         t.elapsed().as_secs_f64() * 1e3,
@@ -148,15 +180,33 @@ fn main() {
         spectrum.iter().map(|a| (a * 1e4).round() / 1e4).collect::<Vec<_>>(),
     );
 
-    // Cross-check against the shared-memory path.
-    let shared_sector = sector.clone();
-    let expr = heisenberg(&chain_bonds(n), 1.0);
-    let (_, shared_op) = Operator::<f64>::from_expr(&expr, shared_sector).unwrap();
-    let e0_shared = ground_state_energy(&shared_op);
-    println!("shared-memory reference: {e0_shared:.12}");
-    assert!(
-        (res.eigenvalues[0] - e0_shared).abs() < 1e-8,
-        "distributed and shared-memory energies disagree"
-    );
-    println!("\ndistributed == shared ✓");
+    // Wire traffic summary (multiprocess only: what actually crossed the
+    // socket / shared-memory boundary, as opposed to the modeled counts).
+    if let Some(mp) = mp {
+        let t = mp.stats().snapshot();
+        say!("\n== transport wire statistics (rank 0) ==");
+        say!("tcp tx           : {} frames, {} bytes", t.tx_frames, t.tx_bytes);
+        say!("tcp rx           : {} frames, {} bytes", t.rx_frames, t.rx_bytes);
+        say!("shm read/write   : {} / {} bytes", t.shm_read_bytes, t.shm_write_bytes);
+        say!(
+            "barriers         : {} (mean {:.1} µs)",
+            t.barriers,
+            t.mean_barrier_seconds() * 1e6
+        );
+    }
+
+    // Cross-check against the shared-memory path. The reference solve is
+    // process-local, so only the primary rank runs it.
+    if transport::is_primary() {
+        let shared_sector = sector.clone();
+        let expr = heisenberg(&chain_bonds(n), 1.0);
+        let (_, shared_op) = Operator::<f64>::from_expr(&expr, shared_sector).unwrap();
+        let e0_shared = ground_state_energy(&shared_op);
+        say!("shared-memory reference: {e0_shared:.12}");
+        assert!(
+            (res.eigenvalues[0] - e0_shared).abs() < 1e-8,
+            "distributed and shared-memory energies disagree"
+        );
+        say!("\ndistributed == shared ✓");
+    }
 }
