@@ -336,9 +336,23 @@ fn main() {
         })
         .collect();
     let dim = sector.dimension();
+    // Recovery columns: how the job got here. `restarts` counts
+    // supervisor relaunches (nonzero means this incarnation resumed from
+    // a checkpoint after a failure); the failure counters describe what
+    // *this* incarnation observed — a recovered run that proceeds
+    // cleanly reports restarts > 0 with zero fresh failures.
+    let (restarts, peer_failures, aborts_sent, mean_detection) = match mp {
+        Some(mp) => {
+            let w = mp.stats().snapshot();
+            (w.restarts, w.peer_failures, w.aborts_sent, w.mean_detection_seconds())
+        }
+        None => (0, 0, 0, 0.0),
+    };
     let json = format!(
         "{{\n  \"bench\": \"dist\",\n  \"backend\": \"{}\",\n  \"sites\": {sites},\n  \
          \"dim\": {dim},\n  \"iters\": {iters},\n  \"reps\": {reps},\n  \
+         \"restarts\": {restarts},\n  \"peer_failures_detected\": {peer_failures},\n  \
+         \"aborts_sent\": {aborts_sent},\n  \"mean_detection_seconds\": {mean_detection:.9},\n  \
          \"series\": [\n{}\n  ]\n}}\n",
         transport::backend().name(),
         rows.join(",\n")

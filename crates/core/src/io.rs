@@ -18,7 +18,11 @@
 //! Thick-restart Lanczos checkpoints (magic `LSCK`, checksummed,
 //! bit-identical resume) live in `ls-eigen` and are re-exported here:
 //! [`save_checkpoint`] / [`load_checkpoint`] handle both `Vec<S>` and
-//! hashed `DistVec<S>` storage.
+//! hashed `DistVec<S>` storage. Rotated keep-last-K checkpoints (magic
+//! `LSMF` manifest plus `.g<N>` generation files) use
+//! [`save_checkpoint_rotated`] / [`load_latest_checkpoint`]; the latter
+//! also reads plain single-file checkpoints, so callers can migrate by
+//! switching the load path alone.
 
 use bytes::{Buf, BufMut};
 use ls_dist::DistSpinBasis;
@@ -30,8 +34,9 @@ use std::io;
 use std::path::Path;
 
 pub use ls_eigen::checkpoint::{
-    load_checkpoint, save_checkpoint, save_checkpoint_ref, CheckpointError, CheckpointState,
-    CheckpointStateRef,
+    generation_path, load_checkpoint, load_latest_checkpoint, manifest_generations,
+    remove_checkpoint, save_checkpoint, save_checkpoint_ref, save_checkpoint_rotated,
+    CheckpointError, CheckpointState, CheckpointStateRef,
 };
 pub use ls_eigen::restart::CheckpointPolicy;
 

@@ -388,6 +388,9 @@ impl<S: Scalar> PcEngine<S> {
                 if idle_spins < 8 {
                     std::hint::spin_loop();
                 } else {
+                    // A producer that died mid-product would leave us
+                    // spinning forever: surface the failure instead.
+                    transport::poll_failure();
                     std::thread::yield_now();
                 }
             }
@@ -440,6 +443,7 @@ impl<S: Scalar> PcEngine<S> {
                 if idle_spins < 8 {
                     std::hint::spin_loop();
                 } else {
+                    transport::poll_failure();
                     std::thread::yield_now();
                 }
             }
@@ -448,6 +452,9 @@ impl<S: Scalar> PcEngine<S> {
         // row-ordered adds, then apply the stashes in source order.
         let backoff = Backoff::new();
         while live_local_producers.load(Ordering::Acquire) != 0 {
+            if backoff.is_completed() {
+                transport::poll_failure();
+            }
             backoff.snooze();
         }
         let mut needles: Vec<u64> = Vec::new();

@@ -191,11 +191,9 @@ pub fn save_checkpoint<V: KrylovVec>(
     )
 }
 
-/// [`save_checkpoint`] over borrowed state — the solver's write path.
-pub fn save_checkpoint_ref<V: KrylovVec>(
-    path: &Path,
-    state: &CheckpointStateRef<'_, V>,
-) -> io::Result<()> {
+/// Serializes a checkpoint into its on-disk byte image (header, state,
+/// trailing checksum) — shared by the plain and rotated write paths.
+fn encode_checkpoint<V: KrylovVec>(state: &CheckpointStateRef<'_, V>) -> Vec<u8> {
     assert_eq!(state.diag.len(), state.retained, "diag length != retained count");
     assert_eq!(state.border.len(), state.retained, "border length != retained count");
     assert_eq!(state.basis.len(), state.retained + 1, "basis must hold retained + 1 vectors");
@@ -243,15 +241,222 @@ pub fn save_checkpoint_ref<V: KrylovVec>(
     }
     let checksum = fnv1a64(&buf);
     buf.put_u64_le(checksum);
+    buf
+}
 
-    // Process-unique temp name: under the multiprocess transport every
-    // rank writes the (identical, deterministic) checkpoint, and distinct
-    // temp files keep the concurrent write+rename pairs from clobbering
-    // each other mid-write — each rename atomically installs a complete
-    // file.
+/// Atomic byte write: process-unique temp name, then rename. Under the
+/// multiprocess transport every rank writes the (identical,
+/// deterministic) bytes, and distinct temp files keep the concurrent
+/// write+rename pairs from clobbering each other mid-write — each rename
+/// atomically installs a complete file.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    fs::write(&tmp, &buf)?;
+    fs::write(&tmp, bytes)?;
     fs::rename(&tmp, path)
+}
+
+/// [`save_checkpoint`] over borrowed state — the solver's write path.
+pub fn save_checkpoint_ref<V: KrylovVec>(
+    path: &Path,
+    state: &CheckpointStateRef<'_, V>,
+) -> io::Result<()> {
+    write_atomic(path, &encode_checkpoint(state))
+}
+
+// ---- keep-last-K rotation ------------------------------------------------
+//
+// With `keep > 1` the checkpoint path holds a tiny *manifest* (magic
+// `LSMF`) instead of the state itself; the state lives in sibling
+// generation files `<filename>.g<restarts>`. Ordering makes the scheme
+// crash-consistent: a generation file is fully written (atomically)
+// *before* the manifest that mentions it, so the manifest never points at
+// bytes that do not exist, and a crash between the two writes merely
+// leaves an extra generation on disk. Because resumes are bit-identical
+// from any cycle, falling back to an older valid generation (after
+// corruption of the newest) changes nothing about the final eigenvalues.
+
+const MANIFEST_MAGIC: &[u8; 4] = b"LSMF";
+const MANIFEST_VERSION: u32 = 1;
+
+/// The sibling file holding generation `gen` of the rotated checkpoint
+/// at `path`.
+pub fn generation_path(path: &Path, gen: u64) -> std::path::PathBuf {
+    let name = path.file_name().map(|n| n.to_string_lossy()).unwrap_or_default();
+    path.with_file_name(format!("{name}.g{gen}"))
+}
+
+fn encode_manifest(keep: usize, gens: &[u64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + gens.len() * 8 + 8);
+    buf.put_slice(MANIFEST_MAGIC);
+    buf.put_u32_le(MANIFEST_VERSION);
+    buf.put_u32_le(keep as u32);
+    buf.put_u32_le(gens.len() as u32);
+    for &g in gens {
+        buf.put_u64_le(g);
+    }
+    let checksum = fnv1a64(&buf);
+    buf.put_u64_le(checksum);
+    buf
+}
+
+fn parse_manifest(raw: &[u8]) -> Result<Vec<u64>, CheckpointError> {
+    if raw.len() < 16 + 8 {
+        return Err(CheckpointError::TooShort);
+    }
+    let (payload, stored_tail) = raw.split_at(raw.len() - 8);
+    let stored = u64::from_le_bytes(stored_tail.try_into().unwrap());
+    let computed = fnv1a64(payload);
+    if stored != computed {
+        return Err(CheckpointError::BadChecksum { stored, computed });
+    }
+    let mut r = Reader { buf: payload };
+    let mut magic = [0u8; 4];
+    r.need(4)?;
+    r.buf.copy_to_slice(&mut magic);
+    if &magic != MANIFEST_MAGIC {
+        return Err(CheckpointError::BadMagic(magic));
+    }
+    let version = r.u32()?;
+    if version != MANIFEST_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let _keep = r.u32()?;
+    let count = r.u32()? as usize;
+    r.need(count.checked_mul(8).ok_or(CheckpointError::TooShort)?)?;
+    let mut gens = Vec::with_capacity(count);
+    for _ in 0..count {
+        gens.push(r.u64()?);
+    }
+    Ok(gens)
+}
+
+/// The generations a rotated checkpoint at `path` currently advertises,
+/// oldest first. Errors mirror [`load_checkpoint`]'s typed failures; a
+/// plain (non-rotated) checkpoint reports [`CheckpointError::BadMagic`].
+pub fn manifest_generations(path: &Path) -> Result<Vec<u64>, CheckpointError> {
+    parse_manifest(&fs::read(path)?)
+}
+
+/// Every `<filename>.g<N>` sibling actually on disk, newest first — the
+/// recovery path when the manifest itself is torn or missing.
+fn scan_generations(path: &Path) -> Vec<u64> {
+    let name = match path.file_name() {
+        Some(n) => format!("{}.g", n.to_string_lossy()),
+        None => return Vec::new(),
+    };
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let mut gens: Vec<u64> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .flatten()
+            .filter_map(|e| {
+                e.file_name().to_string_lossy().strip_prefix(&name).and_then(|s| s.parse().ok())
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    gens.sort_unstable_by(|a, b| b.cmp(a));
+    gens.dedup();
+    gens
+}
+
+/// Saves one generation of a keep-last-`keep` rotated checkpoint: writes
+/// the state to its generation file, then atomically updates the
+/// manifest at `path`, then prunes generations that fell out of the
+/// window (best-effort). `keep == 1` still goes through the manifest so
+/// a job's rotation mode is consistent; use [`save_checkpoint_ref`] for
+/// the plain single-file format.
+pub fn save_checkpoint_rotated<V: KrylovVec>(
+    path: &Path,
+    state: &CheckpointStateRef<'_, V>,
+    keep: usize,
+) -> io::Result<()> {
+    let keep = keep.max(1);
+    let gen = state.restarts as u64;
+    write_atomic(&generation_path(path, gen), &encode_checkpoint(state))?;
+
+    // Merge with whatever the manifest (or, failing that, the directory)
+    // already knows, keep the newest `keep`.
+    let mut gens = match fs::read(path) {
+        Ok(raw) => parse_manifest(&raw).unwrap_or_else(|_| {
+            let mut g = scan_generations(path);
+            g.reverse();
+            g
+        }),
+        Err(_) => Vec::new(),
+    };
+    if !gens.contains(&gen) {
+        gens.push(gen);
+    }
+    gens.sort_unstable();
+    let cut = gens.len().saturating_sub(keep);
+    let pruned: Vec<u64> = gens.drain(..cut).collect();
+    write_atomic(path, &encode_manifest(keep, &gens))?;
+    for old in pruned {
+        let _ = fs::remove_file(generation_path(path, old));
+    }
+    Ok(())
+}
+
+/// Loads the newest valid checkpoint reachable from `path`, whatever its
+/// format:
+///
+/// * a plain `LSCK` file loads directly ([`load_checkpoint`]);
+/// * a rotated `LSMF` manifest tries its generations newest-first,
+///   falling back past corrupt or missing ones — a crash mid-write
+///   strands at most the newest generation, never the job;
+/// * a torn manifest falls back to scanning the directory for
+///   generation files.
+///
+/// The error returned when nothing loads is the most recent failure.
+pub fn load_latest_checkpoint<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
+    path: &Path,
+    op: &Op,
+) -> Result<CheckpointState<V>, CheckpointError> {
+    let raw = fs::read(path)?;
+    if !raw.starts_with(MANIFEST_MAGIC) {
+        return load_checkpoint(path, op);
+    }
+    let mut gens = match parse_manifest(&raw) {
+        Ok(mut gens) => {
+            gens.sort_unstable_by(|a, b| b.cmp(a));
+            gens
+        }
+        Err(_) => Vec::new(),
+    };
+    // Union with the directory: a crash after writing a generation but
+    // before the manifest leaves a newer-than-advertised file that is
+    // perfectly valid to resume from; a torn manifest leaves only files.
+    for g in scan_generations(path) {
+        if !gens.contains(&g) {
+            gens.push(g);
+        }
+    }
+    gens.sort_unstable_by(|a, b| b.cmp(a));
+    if gens.is_empty() {
+        return Err(CheckpointError::Malformed(
+            "rotated checkpoint manifest with no generations on disk".into(),
+        ));
+    }
+    let mut last_err = None;
+    for gen in gens {
+        match load_checkpoint(&generation_path(path, gen), op) {
+            Ok(state) => return Ok(state),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap())
+}
+
+/// Removes a checkpoint and, if rotated, all of its generation files —
+/// the `--fresh` path of restartable programs.
+pub fn remove_checkpoint(path: &Path) -> io::Result<()> {
+    for gen in scan_generations(path) {
+        let _ = fs::remove_file(generation_path(path, gen));
+    }
+    match fs::remove_file(path) {
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        other => other,
+    }
 }
 
 /// A cursor over the raw bytes with length-checked reads: every parse
@@ -521,5 +726,129 @@ mod tests {
             Err(CheckpointError::LayoutMismatch { .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    fn save_rotated(path: &Path, st: &CheckpointState<Vec<f64>>, keep: usize) {
+        save_checkpoint_rotated(
+            path,
+            &CheckpointStateRef {
+                k: st.k,
+                budget: st.budget,
+                restarts: st.restarts,
+                draws: st.draws,
+                breakdowns: st.breakdowns,
+                retained: st.retained,
+                diag: &st.diag,
+                border: &st.border,
+                basis: &st.basis,
+            },
+            keep,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rotation_keeps_last_k_and_loads_newest() {
+        let path = tmp("rotate");
+        remove_checkpoint(&path).unwrap();
+        let dim = 24;
+        let op = DenseOp::new(dim, vec![0.0; dim * dim]);
+        for cycle in 1..=5 {
+            let mut st = sample_state(dim);
+            st.restarts = cycle;
+            st.draws = cycle as u64 * 10;
+            save_rotated(&path, &st, 3);
+        }
+        // Only the newest 3 generations survive, manifest agrees.
+        assert_eq!(manifest_generations(&path).unwrap(), vec![3, 4, 5]);
+        assert!(!generation_path(&path, 1).exists());
+        assert!(!generation_path(&path, 2).exists());
+        for gen in 3..=5 {
+            assert!(generation_path(&path, gen).exists(), "generation {gen} missing");
+        }
+        let newest = load_latest_checkpoint::<Vec<f64>, _>(&path, &op).unwrap();
+        assert_eq!(newest.restarts, 5);
+        assert_eq!(newest.draws, 50);
+        remove_checkpoint(&path).unwrap();
+        assert!(!path.exists());
+        assert!(scan_generations(&path).is_empty());
+    }
+
+    #[test]
+    fn rotation_falls_back_past_a_corrupt_newest_generation() {
+        let path = tmp("fallback");
+        remove_checkpoint(&path).unwrap();
+        let dim = 24;
+        let op = DenseOp::new(dim, vec![0.0; dim * dim]);
+        for cycle in 1..=3 {
+            let mut st = sample_state(dim);
+            st.restarts = cycle;
+            save_rotated(&path, &st, 3);
+        }
+        // Corrupt the newest generation: the loader must fall back.
+        let g3 = generation_path(&path, 3);
+        let mut bytes = std::fs::read(&g3).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&g3, &bytes).unwrap();
+        let state = load_latest_checkpoint::<Vec<f64>, _>(&path, &op).unwrap();
+        assert_eq!(state.restarts, 2, "should resume from the newest *valid* generation");
+
+        // Torn manifest: directory scan still finds the generations.
+        std::fs::write(&path, b"LSMFgarbage").unwrap();
+        let state = load_latest_checkpoint::<Vec<f64>, _>(&path, &op).unwrap();
+        assert_eq!(state.restarts, 2);
+
+        // Every generation corrupt: a typed error, not a panic.
+        for gen in 1..=3 {
+            std::fs::write(generation_path(&path, gen), b"junk").unwrap();
+        }
+        assert!(load_latest_checkpoint::<Vec<f64>, _>(&path, &op).is_err());
+        remove_checkpoint(&path).unwrap();
+    }
+
+    #[test]
+    fn plain_checkpoints_load_through_the_latest_api() {
+        let path = tmp("plain_via_latest");
+        remove_checkpoint(&path).unwrap();
+        let dim = 33;
+        let st = sample_state(dim);
+        save_checkpoint(&path, &st).unwrap();
+        let op = DenseOp::new(dim, vec![0.0; dim * dim]);
+        let back = load_latest_checkpoint::<Vec<f64>, _>(&path, &op).unwrap();
+        assert_eq!(back.basis, st.basis);
+        // And a plain file is not a manifest.
+        assert!(matches!(manifest_generations(&path), Err(CheckpointError::BadMagic(_))));
+        remove_checkpoint(&path).unwrap();
+    }
+
+    #[test]
+    fn unadvertised_newer_generation_is_preferred() {
+        // Crash window: generation written, manifest not yet updated.
+        let path = tmp("unadvertised");
+        remove_checkpoint(&path).unwrap();
+        let dim = 24;
+        let op = DenseOp::new(dim, vec![0.0; dim * dim]);
+        let mut st = sample_state(dim);
+        st.restarts = 1;
+        save_rotated(&path, &st, 2);
+        // Simulate the torn write: generation 2 exists, manifest says [1].
+        st.restarts = 2;
+        let bytes = encode_checkpoint(&CheckpointStateRef {
+            k: st.k,
+            budget: st.budget,
+            restarts: st.restarts,
+            draws: st.draws,
+            breakdowns: st.breakdowns,
+            retained: st.retained,
+            diag: &st.diag,
+            border: &st.border,
+            basis: &st.basis,
+        });
+        std::fs::write(generation_path(&path, 2), &bytes).unwrap();
+        assert_eq!(manifest_generations(&path).unwrap(), vec![1]);
+        let state = load_latest_checkpoint::<Vec<f64>, _>(&path, &op).unwrap();
+        assert_eq!(state.restarts, 2);
+        remove_checkpoint(&path).unwrap();
     }
 }

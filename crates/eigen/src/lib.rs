@@ -56,8 +56,9 @@ pub mod tridiag;
 pub mod vector;
 
 pub use checkpoint::{
-    load_checkpoint, save_checkpoint, save_checkpoint_ref, CheckpointError, CheckpointState,
-    CheckpointStateRef,
+    generation_path, load_checkpoint, load_latest_checkpoint, manifest_generations,
+    remove_checkpoint, save_checkpoint, save_checkpoint_ref, save_checkpoint_rotated,
+    CheckpointError, CheckpointState, CheckpointStateRef,
 };
 pub use expm::{
     evolve_imaginary_time, evolve_imaginary_time_in, evolve_real_time, evolve_real_time_in,

@@ -37,7 +37,9 @@
 //! is **bit-identical** to the uninterrupted one — same eigenvalues,
 //! same Ritz vectors, to the last bit, at any `LS_NUM_THREADS`.
 
-use crate::checkpoint::{load_checkpoint, save_checkpoint_ref, CheckpointStateRef};
+use crate::checkpoint::{
+    load_latest_checkpoint, save_checkpoint_ref, save_checkpoint_rotated, CheckpointStateRef,
+};
 use crate::jacobi::eigh_real;
 use crate::lanczos::{
     cgs2_beta, lanczos_plain_in, random_fill, LanczosOptions, LanczosResult, LanczosResultIn,
@@ -68,11 +70,20 @@ pub struct CheckpointPolicy {
     /// [`crate::checkpoint::CheckpointError`], because a silently
     /// mismatched resume could not be bit-identical.
     pub resume: bool,
+    /// Generations to retain (default 1). With `keep == 1`, `path` holds
+    /// the single checkpoint file (the historical format). With
+    /// `keep > 1`, `path` holds a crash-consistent manifest and the last
+    /// `keep` generations live in sibling `<filename>.g<cycle>` files
+    /// ([`crate::checkpoint::save_checkpoint_rotated`]): a crash mid-write
+    /// strands at most the newest generation, and resumes fall back to
+    /// the newest *valid* one — still bit-identical, because resuming
+    /// from any cycle reproduces the same trajectory.
+    pub keep: usize,
 }
 
 impl CheckpointPolicy {
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        Self { path: path.into(), every: 1, resume: true }
+        Self { path: path.into(), every: 1, resume: true, keep: 1 }
     }
 }
 
@@ -257,7 +268,7 @@ pub fn thick_restart_lanczos_in<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
 
     if let Some(cp) = &opts.checkpoint {
         if cp.resume && cp.path.exists() {
-            let st = match load_checkpoint::<V, Op>(&cp.path, op) {
+            let st = match load_latest_checkpoint::<V, Op>(&cp.path, op) {
                 Ok(st) => st,
                 Err(e) => {
                     panic!("cannot resume from checkpoint {}: {e}", cp.path.display())
@@ -439,7 +450,12 @@ pub fn thick_restart_lanczos_in<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
                     border: &border,
                     basis: &basis,
                 };
-                if let Err(e) = save_checkpoint_ref(&cp.path, &st) {
+                let written = if cp.keep > 1 {
+                    save_checkpoint_rotated(&cp.path, &st, cp.keep)
+                } else {
+                    save_checkpoint_ref(&cp.path, &st)
+                };
+                if let Err(e) = written {
                     panic!("failed to write checkpoint {}: {e}", cp.path.display());
                 }
             }
@@ -595,6 +611,52 @@ mod tests {
             assert_eq!(bits(a), bits(b), "resumed Ritz vector diverged");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rotated_resume_survives_a_torn_newest_generation() {
+        use crate::checkpoint::{generation_path, manifest_generations, remove_checkpoint};
+        let n = 150;
+        let a = random_symmetric(n, 77);
+        let op = DenseOp::new(n, a);
+        let mut path = std::env::temp_dir();
+        path.push(format!("ls_restart_rotated_{}.lsck", std::process::id()));
+        remove_checkpoint(&path).unwrap();
+
+        let base = RestartOptions {
+            extra: 12,
+            tol: 1e-12,
+            want_vectors: true,
+            ..RestartOptions::new(2)
+        };
+        let uninterrupted = thick_restart_lanczos(&op, &base);
+        assert!(uninterrupted.converged);
+
+        // Killed after 3 cycles with keep-last-2 rotation...
+        let ck = CheckpointPolicy { keep: 2, ..CheckpointPolicy::new(path.clone()) };
+        let truncated = thick_restart_lanczos(
+            &op,
+            &RestartOptions { max_restarts: 3, checkpoint: Some(ck.clone()), ..base.clone() },
+        );
+        assert!(!truncated.converged);
+        assert_eq!(manifest_generations(&path).unwrap(), vec![2, 3]);
+
+        // ...then the newest generation is torn by the "crash".
+        let g3 = generation_path(&path, 3);
+        let bytes = std::fs::read(&g3).unwrap();
+        std::fs::write(&g3, &bytes[..bytes.len() / 2]).unwrap();
+
+        // The resume falls back to generation 2 and still converges to
+        // the bit-identical answer (any-cycle resume determinism).
+        let resumed = thick_restart_lanczos(
+            &op,
+            &RestartOptions { checkpoint: Some(ck), ..base.clone() },
+        );
+        assert!(resumed.converged);
+        for (a, b) in uninterrupted.eigenvalues.iter().zip(&resumed.eigenvalues) {
+            assert_eq!(a.to_bits(), b.to_bits(), "rotated resume diverged");
+        }
+        remove_checkpoint(&path).unwrap();
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! the flush, so after the epoch the owner's part holds every
 //! contribution. Remote parts of the local replica are **not** updated
 //! ([`AtomicAccumWindow::load`] of a remote locale reads stale data).
+//! A peer failing while accumulate frames are in flight surfaces at the
+//! next collective (or immediately, via socket EOF on the frame
+//! stream) as an attributed abort — see [`crate::transport`]'s failure
+//! model. Outbound accumulate frames are eligible targets for `LS_FAULT`
+//! `delay:` injection (frame class `accum`).
 
 use crate::distvec::DistVec;
 use crate::transport::{self, MpRuntime};

@@ -427,6 +427,15 @@ impl<'a> LocaleCtx<'a> {
     /// also **flushes**: accumulates and channel messages this locale
     /// sent before the barrier are visible at their destination once the
     /// barrier completes. At most one task per locale may wait per epoch.
+    ///
+    /// Failure model (multiprocess): a peer that dies while this rank
+    /// waits is detected in milliseconds (socket EOF / missed
+    /// heartbeats), the failure is attributed to that rank, and the job
+    /// aborts with [`transport::TransportError`] semantics — an `ABORT`
+    /// frame fans out so every survivor exits promptly, and the
+    /// supervisor decides whether to relaunch from the latest
+    /// checkpoint. Barrier crossings are also the reference points for
+    /// deterministic fault injection (`LS_FAULT` counts barriers).
     pub fn barrier_wait(&self) {
         self.stats().record_barrier();
         if let Some(mp) = transport::active() {

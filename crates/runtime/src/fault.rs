@@ -1,0 +1,340 @@
+//! Deterministic fault injection for the multiprocess transport.
+//!
+//! A fault plan is parsed from the `LS_FAULT` environment variable and
+//! executed inside [`crate::transport`]. Triggers are counter-derived
+//! (barrier ordinals, frame send counts), never time-derived, so a plan
+//! replays identically on every run of the same deterministic SPMD
+//! program — the property that turns a kill-and-resume smoke test into a
+//! systematic fault matrix.
+//!
+//! Grammar (actions separated by `;`, keys by `,`):
+//!
+//! ```text
+//! LS_FAULT = action (";" action)*
+//! action   = "kill"      ":" keys   — SIGABRT the rank at a barrier
+//!          | "delay"     ":" keys   — sleep before sending matching frames
+//!          | "drop-conn" ":" keys   — shut down every mesh socket at a barrier
+//! keys     = key "=" value ("," key "=" value)*
+//!            rank=R                  (required: which rank misbehaves)
+//!            barrier=N               (kill/drop-conn: fire entering the
+//!                                     N-th barrier of the run; default 1)
+//!            frame=coll|chan|close|credit|accum|any
+//!                                    (delay: which frames; default any)
+//!            ms=M                    (delay: sleep per frame; default 100)
+//!            count=C                 (delay: first C matching frames;
+//!                                     default 1)
+//!            attempt=A               (fire only in supervisor incarnation
+//!                                     A; default 0, i.e. the first launch
+//!                                     — restarted incarnations run clean
+//!                                     so recovery converges)
+//! ```
+//!
+//! Examples: `kill:rank=2,barrier=7`, `delay:rank=1,frame=accum,ms=500`,
+//! `drop-conn:rank=3,barrier=2`, or several at once separated by `;`.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Environment variable carrying the fault plan.
+pub const ENV_FAULT: &str = "LS_FAULT";
+
+/// What a fault action does when its trigger fires.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Abort the process (SIGABRT — the supervisor classifies it as a
+    /// crash) on entering the trigger barrier.
+    Kill,
+    /// Sleep `ms` before sending each of the first `count` matching
+    /// frames.
+    Delay,
+    /// Shut down every mesh TCP stream on entering the trigger barrier
+    /// (simulates losing the NIC: peers observe EOF, the rank itself
+    /// fails its next send).
+    DropConn,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Kill => "kill",
+            FaultKind::Delay => "delay",
+            FaultKind::DropConn => "drop-conn",
+        })
+    }
+}
+
+/// Which wire frames a `delay` action applies to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FrameClass {
+    /// Collective frames (barriers, allgathers, reductions).
+    Coll,
+    /// Channel data frames.
+    Chan,
+    /// Channel close frames.
+    Close,
+    /// Channel credit returns.
+    Credit,
+    /// Remote accumulate frames.
+    Accum,
+    /// Every frame.
+    Any,
+}
+
+/// One parsed fault action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultAction {
+    /// What to do.
+    pub kind: FaultKind,
+    /// The rank that misbehaves.
+    pub rank: usize,
+    /// Barrier ordinal (1-based) at which kill/drop-conn fire.
+    pub barrier: u64,
+    /// Frame filter for delay actions.
+    pub frame: FrameClass,
+    /// Delay per matching frame.
+    pub ms: u64,
+    /// How many matching frames a delay action slows down.
+    pub count: u64,
+    /// Supervisor incarnation in which the action is armed.
+    pub attempt: u64,
+}
+
+impl FaultAction {
+    /// The sleep a `delay` action injects.
+    pub fn delay(&self) -> Duration {
+        Duration::from_millis(self.ms)
+    }
+}
+
+/// A parsed `LS_FAULT` plan. An empty plan injects nothing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The parsed actions, in plan order.
+    pub actions: Vec<FaultAction>,
+}
+
+/// A malformed `LS_FAULT` value, with the offending fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultParseError(pub String);
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed {ENV_FAULT} plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
+
+impl FaultPlan {
+    /// Parses a plan string. Errors are loud: a typo in a chaos test must
+    /// not silently inject nothing.
+    pub fn parse(plan: &str) -> Result<FaultPlan, FaultParseError> {
+        let mut actions = Vec::new();
+        for raw in plan.split(';') {
+            let spec = raw.trim();
+            if spec.is_empty() {
+                continue;
+            }
+            let (kind_str, keys) = spec
+                .split_once(':')
+                .ok_or_else(|| FaultParseError(format!("{spec:?}: missing ':' after kind")))?;
+            let kind = match kind_str.trim() {
+                "kill" => FaultKind::Kill,
+                "delay" => FaultKind::Delay,
+                "drop-conn" => FaultKind::DropConn,
+                other => {
+                    return Err(FaultParseError(format!(
+                        "unknown kind {other:?} (want kill, delay or drop-conn)"
+                    )))
+                }
+            };
+            let mut rank: Option<usize> = None;
+            let mut barrier = 1u64;
+            let mut frame = FrameClass::Any;
+            let mut ms = 100u64;
+            let mut count = 1u64;
+            let mut attempt = 0u64;
+            for kv in keys.split(',') {
+                let kv = kv.trim();
+                if kv.is_empty() {
+                    continue;
+                }
+                let (key, value) = kv
+                    .split_once('=')
+                    .ok_or_else(|| FaultParseError(format!("{kv:?}: missing '='")))?;
+                let (key, value) = (key.trim(), value.trim());
+                let num = || {
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| FaultParseError(format!("{key}={value:?}: not a number")))
+                };
+                match key {
+                    "rank" => rank = Some(num()? as usize),
+                    "barrier" => barrier = num()?,
+                    "ms" => ms = num()?,
+                    "count" => count = num()?,
+                    "attempt" => attempt = num()?,
+                    "frame" => {
+                        frame = match value {
+                            "coll" => FrameClass::Coll,
+                            "chan" => FrameClass::Chan,
+                            "close" => FrameClass::Close,
+                            "credit" => FrameClass::Credit,
+                            "acc" | "accum" => FrameClass::Accum,
+                            "any" => FrameClass::Any,
+                            other => {
+                                return Err(FaultParseError(format!(
+                                    "frame={other:?}: want coll, chan, close, credit, \
+                                     accum or any"
+                                )))
+                            }
+                        }
+                    }
+                    other => return Err(FaultParseError(format!("unknown key {other:?}"))),
+                }
+            }
+            let rank =
+                rank.ok_or_else(|| FaultParseError(format!("{spec:?}: rank= is required")))?;
+            if barrier == 0 {
+                return Err(FaultParseError("barrier ordinals are 1-based".into()));
+            }
+            actions.push(FaultAction { kind, rank, barrier, frame, ms, count, attempt });
+        }
+        Ok(FaultPlan { actions })
+    }
+
+    /// Parses `LS_FAULT` from the environment; absent means no faults.
+    ///
+    /// # Panics
+    /// Panics on a malformed plan (silently ignoring a chaos plan would
+    /// make a failing fault test look green).
+    pub fn from_env() -> FaultPlan {
+        match std::env::var(ENV_FAULT) {
+            Err(_) => FaultPlan::default(),
+            Ok(plan) => match FaultPlan::parse(&plan) {
+                Ok(p) => p,
+                Err(e) => panic!("{e}"),
+            },
+        }
+    }
+
+    /// True when no action is armed for `rank` in incarnation `attempt`
+    /// (the hot-path early-out: transport hooks skip all bookkeeping).
+    pub fn is_empty_for(&self, rank: usize, attempt: u64) -> bool {
+        !self.actions.iter().any(|a| a.rank == rank && a.attempt == attempt)
+    }
+
+    /// The kill/drop-conn actions armed for `rank` in `attempt` that fire
+    /// on entering barrier ordinal `barrier` (1-based).
+    pub fn at_barrier(
+        &self,
+        rank: usize,
+        attempt: u64,
+        barrier: u64,
+    ) -> impl Iterator<Item = &FaultAction> {
+        self.actions.iter().filter(move |a| {
+            a.rank == rank
+                && a.attempt == attempt
+                && a.barrier == barrier
+                && matches!(a.kind, FaultKind::Kill | FaultKind::DropConn)
+        })
+    }
+
+    /// The delay actions armed for `rank` in `attempt` matching a frame of
+    /// class `frame`. Budget accounting (`count`) is the caller's job —
+    /// the plan itself stays immutable and shareable.
+    pub fn delays_for(
+        &self,
+        rank: usize,
+        attempt: u64,
+        frame: FrameClass,
+    ) -> impl Iterator<Item = (usize, &FaultAction)> {
+        self.actions.iter().enumerate().filter(move |(_, a)| {
+            a.kind == FaultKind::Delay
+                && a.rank == rank
+                && a.attempt == attempt
+                && (a.frame == FrameClass::Any || a.frame == frame)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_examples() {
+        let plan = FaultPlan::parse(
+            "kill:rank=2,barrier=7; delay:rank=1,frame=accum,ms=500; drop-conn:rank=3",
+        )
+        .unwrap();
+        assert_eq!(plan.actions.len(), 3);
+        assert_eq!(
+            plan.actions[0],
+            FaultAction {
+                kind: FaultKind::Kill,
+                rank: 2,
+                barrier: 7,
+                frame: FrameClass::Any,
+                ms: 100,
+                count: 1,
+                attempt: 0,
+            }
+        );
+        assert_eq!(plan.actions[1].kind, FaultKind::Delay);
+        assert_eq!(plan.actions[1].frame, FrameClass::Accum);
+        assert_eq!(plan.actions[1].ms, 500);
+        assert_eq!(plan.actions[2].kind, FaultKind::DropConn);
+        assert_eq!(plan.actions[2].barrier, 1, "barrier defaults to the first");
+    }
+
+    #[test]
+    fn trigger_filters_respect_rank_attempt_and_ordinal() {
+        let plan =
+            FaultPlan::parse("kill:rank=2,barrier=7;kill:rank=2,barrier=7,attempt=1").unwrap();
+        assert_eq!(plan.at_barrier(2, 0, 7).count(), 1);
+        assert_eq!(plan.at_barrier(2, 1, 7).count(), 1);
+        assert_eq!(plan.at_barrier(2, 0, 6).count(), 0);
+        assert_eq!(plan.at_barrier(1, 0, 7).count(), 0);
+        assert_eq!(plan.at_barrier(2, 2, 7).count(), 0);
+        assert!(plan.is_empty_for(0, 0));
+        assert!(!plan.is_empty_for(2, 0));
+        assert!(!plan.is_empty_for(2, 1));
+        assert!(plan.is_empty_for(2, 2));
+    }
+
+    #[test]
+    fn delay_matching_by_frame_class() {
+        let plan = FaultPlan::parse("delay:rank=1,frame=chan,ms=5,count=3").unwrap();
+        assert_eq!(plan.delays_for(1, 0, FrameClass::Chan).count(), 1);
+        assert_eq!(plan.delays_for(1, 0, FrameClass::Coll).count(), 0);
+        assert_eq!(plan.delays_for(0, 0, FrameClass::Chan).count(), 0);
+        let any = FaultPlan::parse("delay:rank=0").unwrap();
+        assert_eq!(any.delays_for(0, 0, FrameClass::Credit).count(), 1);
+        assert_eq!(any.actions[0].count, 1);
+        assert_eq!(any.actions[0].delay(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn empty_and_whitespace_plans_are_empty() {
+        assert!(FaultPlan::parse("").unwrap().actions.is_empty());
+        assert!(FaultPlan::parse(" ; ;").unwrap().actions.is_empty());
+        assert!(FaultPlan::default().is_empty_for(0, 0));
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        for bad in [
+            "kill",                    // no keys
+            "explode:rank=1",          // unknown kind
+            "kill:barrier=3",          // missing rank
+            "kill:rank=x",             // non-numeric
+            "kill:rank=1,barrier=0",   // 1-based ordinals
+            "delay:rank=1,frame=warp", // unknown frame class
+            "kill:rank=1,when=now",    // unknown key
+            "kill:rank=1,barrier",     // missing '='
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+}

@@ -37,6 +37,17 @@
 //! same visibility and determinism contract (see [`transport`] and
 //! `docs/ARCHITECTURE.md`). Programs opt in by calling
 //! [`transport::launch_if_requested`] first thing in `main`.
+//!
+//! ## Failure model
+//!
+//! Multiprocess jobs are supervised: the launcher side of
+//! [`transport::launch_if_requested`] is a [`supervisor`] loop that
+//! classifies worker exits and relaunches abnormal rounds (programs that
+//! checkpoint resume bit-identically). Inside a job, peer failures are
+//! detected in milliseconds (socket EOF + heartbeats), attributed with a
+//! typed [`transport::TransportError`], and fanned out with an `ABORT`
+//! frame so every rank exits promptly. Deterministic fault injection
+//! ([`fault`], `LS_FAULT`) drives the whole machinery under test.
 
 #![warn(missing_docs)]
 
@@ -44,8 +55,10 @@ pub mod accum;
 pub mod barrier;
 pub mod cluster;
 pub mod distvec;
+pub mod fault;
 pub mod remote;
 pub mod stats;
+pub mod supervisor;
 pub mod transport;
 pub mod window;
 
@@ -53,6 +66,10 @@ pub use accum::AtomicAccumWindow;
 pub use barrier::SenseBarrier;
 pub use cluster::{Cluster, ClusterSpec, LocaleCtx};
 pub use distvec::{block_range, BlockLayout, DistVec};
+pub use fault::{FaultAction, FaultKind, FaultPlan, FrameClass};
 pub use stats::CommStats;
-pub use transport::{Backend, MpRuntime, PairChannel, TransportSnapshot, TransportStats};
+pub use supervisor::{classify_exit, FailureClass};
+pub use transport::{
+    Backend, MpRuntime, PairChannel, TransportError, TransportSnapshot, TransportStats,
+};
 pub use window::{RmaReadWindow, RmaWriteWindow};

@@ -4,6 +4,14 @@
 //! functions of the algorithm and the locale count — which is what lets
 //! the performance model project paper-scale timings from small-scale
 //! executions.
+//!
+//! These counters describe the *algorithm's* communication; transport
+//! mechanics — wire frames and bytes, and since the fault-tolerance
+//! work also peer failures detected, aborts fanned out, heartbeats and
+//! detection latency — live in [`crate::transport::TransportStats`].
+//! Heartbeat traffic is deliberately excluded from the wire byte
+//! counters so the two layers stay comparable across runs with and
+//! without failure detection enabled.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -49,16 +49,17 @@
 //! * barriers order everything: an operation issued before a barrier on
 //!   one rank happens-before anything issued after that barrier anywhere.
 
+use crate::fault::{FaultKind, FaultPlan, FrameClass};
 use crate::remote::BufferChannel;
 use crate::stats::CommStats;
 use bytes::{Buf, BufMut};
 use crossbeam::utils::Backoff;
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::fs::{self, File};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -75,14 +76,35 @@ pub const ENV_JOB: &str = "LS_MP_JOB";
 pub const ENV_WATCHDOG: &str = "LS_MP_WATCHDOG";
 /// Collective timeout override in seconds (default 180).
 pub const ENV_TIMEOUT: &str = "LS_MP_TIMEOUT_SECS";
+/// Supervisor retry budget: how many times an abnormally-exited job is
+/// relaunched before the supervisor gives up (default 2).
+pub const ENV_MAX_RESTARTS: &str = "LS_MP_MAX_RESTARTS";
+/// Base supervisor backoff in milliseconds, doubled per retry
+/// (default 250).
+pub const ENV_BACKOFF_MS: &str = "LS_MP_BACKOFF_MS";
+/// Heartbeat interval in milliseconds (default 500; 0 disables).
+pub const ENV_HEARTBEAT_MS: &str = "LS_MP_HEARTBEAT_MS";
+/// Peer-silence threshold in seconds: a peer that sends nothing (not
+/// even heartbeats) for this long while we wait on it is declared failed
+/// (default 30; 0 disables).
+pub const ENV_SILENCE_SECS: &str = "LS_MP_SILENCE_SECS";
+/// Internal: which supervisor incarnation this worker belongs to (0 on
+/// the first launch). Set by the supervisor, read by fault injection and
+/// [`restart_count`].
+pub const ENV_RESTART_COUNT: &str = "LS_MP_RESTART_COUNT";
 
 const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(60);
 const DEFAULT_COLLECTIVE_TIMEOUT: Duration = Duration::from_secs(180);
+const DEFAULT_HEARTBEAT: Duration = Duration::from_millis(500);
+const DEFAULT_SILENCE: Duration = Duration::from_secs(30);
 
 /// Exit code of a worker whose launcher died (watchdog).
-const EXIT_ORPHANED: i32 = 124;
+pub(crate) const EXIT_ORPHANED: i32 = 124;
 /// Exit code for transport protocol failures (desync, timeout).
-const EXIT_PROTOCOL: i32 = 113;
+pub(crate) const EXIT_PROTOCOL: i32 = 113;
+/// Exit code of a rank that aborted because a *peer* failed (either it
+/// detected the failure itself or an `ABORT` frame told it to die).
+pub(crate) const EXIT_FAILOVER: i32 = 114;
 
 // Wire frame tags. Every frame travels on the single TCP stream between
 // an ordered pair of ranks, so per-peer FIFO is a transport guarantee.
@@ -91,6 +113,122 @@ const TAG_CHAN: u8 = 2;
 const TAG_CLOSE: u8 = 3;
 const TAG_CREDIT: u8 = 4;
 const TAG_ACC: u8 = 5;
+/// Job-abort fan-out: origin rank, exit code, reason. A rank that
+/// detects an unrecoverable failure sends this to every live peer so the
+/// whole job exits promptly instead of burning the collective timeout.
+const TAG_ABORT: u8 = 6;
+/// Heartbeat: a single tag byte. Carries no data — its only job is to
+/// advance the receiver's last-traffic clock so silent-peer detection
+/// can distinguish "slow collective" from "hung process".
+const TAG_PING: u8 = 7;
+
+/// A typed, attributed transport failure. This is what replaced the
+/// pile of anonymous `fatal()` exits: every failure names the peer (or
+/// protocol condition) responsible, and the runtime's internal abort
+/// path turns it into a prompt, job-wide abort with a matching exit
+/// code (an `ABORT` frame fans out so every rank exits naming the
+/// origin).
+#[derive(Clone, Debug)]
+pub enum TransportError {
+    /// A peer's mesh connection died (EOF / reset) or a send to it
+    /// failed. `detection` is how long the failure went unnoticed from
+    /// this rank's perspective (wait start or socket death, whichever is
+    /// later — sub-second in practice, never the collective timeout).
+    PeerFailed {
+        /// The failed peer's rank.
+        peer: usize,
+        /// What was observed (connection lost, send failed, silent...).
+        detail: String,
+        /// Latency from failure to detection on this rank.
+        detection: Duration,
+    },
+    /// A collective arrived with the wrong sequence number: the SPMD
+    /// ranks are no longer executing the same program.
+    Desync {
+        /// The peer whose frame mismatched.
+        peer: usize,
+        /// The sequence number this rank expected.
+        expected: u64,
+        /// The sequence number that actually arrived.
+        got: u64,
+    },
+    /// A collective hit the `LS_MP_TIMEOUT_SECS` deadline with the peer
+    /// still connected (backstop for failures EOF cannot see).
+    Timeout {
+        /// The peer that never delivered.
+        peer: usize,
+        /// The collective's sequence number.
+        seq: u64,
+        /// How long this rank waited.
+        waited: Duration,
+    },
+    /// A peer told this rank to die (`ABORT` frame), or the local abort
+    /// path is already underway.
+    Aborted {
+        /// The rank where the failure originated.
+        origin: usize,
+        /// The originating failure, as text.
+        reason: String,
+    },
+    /// A protocol invariant broke (unknown frame tag, unregistered
+    /// accumulate window, segment IO failure, ...).
+    Protocol {
+        /// What broke.
+        detail: String,
+    },
+}
+
+impl TransportError {
+    /// The process exit code this failure maps to: protocol breakages
+    /// keep the historical 113, while dying *because a peer died* is 114
+    /// so the supervisor can tell the culprit from the collateral.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            TransportError::PeerFailed { .. } | TransportError::Aborted { .. } => EXIT_FAILOVER,
+            TransportError::Desync { .. }
+            | TransportError::Timeout { .. }
+            | TransportError::Protocol { .. } => EXIT_PROTOCOL,
+        }
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::PeerFailed { peer, detail, detection } => write!(
+                f,
+                "peer rank {peer} failed ({detail}) — detected in {:.3}s",
+                detection.as_secs_f64()
+            ),
+            TransportError::Desync { peer, expected, got } => write!(
+                f,
+                "collective desync with rank {peer}: expected seq {expected}, got {got}"
+            ),
+            TransportError::Timeout { peer, seq, waited } => write!(
+                f,
+                "collective timeout waiting for rank {peer} (seq {seq}, waited {:.0}s)",
+                waited.as_secs_f64()
+            ),
+            TransportError::Aborted { origin, reason } => {
+                write!(f, "aborted by rank {origin}: {reason}")
+            }
+            TransportError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Which supervisor incarnation this process belongs to: 0 on a fresh
+/// launch, `k` after the supervisor's `k`-th relaunch. Workers read it
+/// to arm fault injection; [`TransportSnapshot::restarts`] surfaces it
+/// in benchmark output.
+pub fn restart_count() -> u64 {
+    static COUNT: OnceLock<u64> = OnceLock::new();
+    *COUNT.get_or_init(|| {
+        std::env::var(ENV_RESTART_COUNT).ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+    })
+}
 
 /// Which transport the process runs on.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -158,6 +296,7 @@ pub fn active() -> Option<&'static MpRuntime> {
             let rt: &'static MpRuntime = Box::leak(Box::new(MpRuntime::connect()));
             rt.spawn_receivers();
             rt.spawn_watchdog();
+            rt.spawn_heartbeat();
             Some(rt)
         } else {
             None
@@ -169,12 +308,14 @@ pub fn active() -> Option<&'static MpRuntime> {
 /// that supports `LS_TRANSPORT=multiprocess`.
 ///
 /// * In-process backend requested: returns immediately (no-op).
-/// * Worker process (spawned by the launcher): connects the mesh and
+/// * Worker process (spawned by the supervisor): connects the mesh and
 ///   returns — the program then runs SPMD.
-/// * Launcher (multiprocess requested, not yet a worker): spawns
+/// * Supervisor (multiprocess requested, not yet a worker): spawns
 ///   `LS_LOCALES` copies of the current binary with identical arguments,
-///   waits for them, propagates the first failure, and **exits** — it
-///   never returns.
+///   reaps them, classifies abnormal exits, relaunches the job (bounded
+///   by `LS_MP_MAX_RESTARTS`, resuming from checkpoints where the
+///   program saves them), and **exits** — it never returns. See
+///   [`crate::supervisor`].
 pub fn launch_if_requested() {
     if requested_backend() != Backend::MultiProcess {
         return;
@@ -184,69 +325,27 @@ pub fn launch_if_requested() {
         let _ = active();
         return;
     }
-    run_launcher();
+    crate::supervisor::run_supervisor();
 }
 
-/// Parent side of the launcher: spawn workers, wait, exit.
-fn run_launcher() -> ! {
-    let n: usize = std::env::var(ENV_LOCALES).ok().and_then(|v| v.parse().ok()).unwrap_or(2);
-    assert!(n >= 1, "{ENV_LOCALES} must be >= 1");
-    let exe = std::env::current_exe().expect("current_exe for the multiprocess launcher");
-    let base = if cfg!(unix) && std::path::Path::new("/dev/shm").is_dir() {
-        PathBuf::from("/dev/shm")
-    } else {
-        std::env::temp_dir()
-    };
-    let job_dir = base.join(format!("ls-mp-{}", std::process::id()));
-    fs::create_dir_all(&job_dir).expect("create multiprocess job directory");
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut children = Vec::with_capacity(n);
-    let mut pipes = Vec::with_capacity(n);
-    for rank in 0..n {
-        let mut child = Command::new(&exe)
-            .args(&args)
-            .env(ENV_RANK, rank.to_string())
-            .env(ENV_JOB, &job_dir)
-            .env(ENV_LOCALES, n.to_string())
-            .env(ENV_WATCHDOG, "1")
-            // The pipe is never written: its EOF (launcher death, even by
-            // SIGKILL) tells workers to exit instead of lingering.
-            .stdin(Stdio::piped())
-            // Rank 0's stdout is the job's canonical output.
-            .stdout(if rank == 0 { Stdio::inherit() } else { Stdio::null() })
-            .spawn()
-            .unwrap_or_else(|e| panic!("spawn worker {rank}: {e}"));
-        // `Child::wait` closes the child's stdin first, which would trip
-        // the watchdog of a still-running worker — hold the write ends
-        // apart from the children until every worker has exited.
-        pipes.push(child.stdin.take());
-        children.push(child);
+/// Fast failure poll for spin loops that wait on peer progress outside a
+/// collective (producer/consumer drains). No-op on the in-process
+/// backend. On the multiprocess backend, aborts the job promptly when a
+/// peer has died — such loops otherwise spin until the full collective
+/// timeout because nothing they wait on ever arrives.
+///
+/// Only call this from code that runs strictly *between* two barriers of
+/// a product (every `PcEngine` drain does): inside that bracket a peer
+/// cannot have exited cleanly, so a dead connection is always a failure.
+pub fn poll_failure() {
+    if let Some(mp) = active() {
+        mp.check_peers_alive("peer lost during producer/consumer product");
     }
-    let mut code = 0i32;
-    for (rank, mut child) in children.into_iter().enumerate() {
-        match child.wait() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                if code == 0 {
-                    code = status.code().unwrap_or(1);
-                    eprintln!("ls-mp: worker {rank} failed with {status}");
-                }
-            }
-            Err(e) => {
-                if code == 0 {
-                    code = 1;
-                    eprintln!("ls-mp: wait for worker {rank}: {e}");
-                }
-            }
-        }
-    }
-    drop(pipes);
-    let _ = fs::remove_dir_all(&job_dir);
-    std::process::exit(code);
 }
 
-/// Unrecoverable transport failure: a hung or desynchronized SPMD job
-/// cannot limp on, so die loudly (the launcher propagates the failure).
+/// Unrecoverable failure *before* the mesh exists (rendezvous, bad
+/// worker environment): there is no one to send an `ABORT` to yet, so
+/// die loudly and let the supervisor classify the exit.
 fn fatal(msg: &str) -> ! {
     let rank = std::env::var(ENV_RANK).unwrap_or_default();
     eprintln!("ls-mp[rank {rank}]: fatal: {msg}");
@@ -306,6 +405,16 @@ pub struct TransportStats {
     pub barriers: AtomicU64,
     /// Total nanoseconds spent inside barriers (latency numerator).
     pub barrier_nanos: AtomicU64,
+    /// Peer failures this rank detected (EOF, send failure, silence).
+    pub peer_failures: AtomicU64,
+    /// `ABORT` frames this rank fanned out to peers.
+    pub aborts_sent: AtomicU64,
+    /// Heartbeat frames sent (not counted in `tx_frames`/`tx_bytes`, so
+    /// wire-traffic numbers stay comparable across heartbeat settings).
+    pub heartbeats: AtomicU64,
+    /// Total failure-to-detection nanoseconds (latency numerator over
+    /// `peer_failures`).
+    pub detection_nanos: AtomicU64,
 }
 
 impl TransportStats {
@@ -324,10 +433,16 @@ impl TransportStats {
             shm_write_bytes: self.shm_write_bytes.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
             barrier_nanos: self.barrier_nanos.load(Ordering::Relaxed),
+            peer_failures: self.peer_failures.load(Ordering::Relaxed),
+            aborts_sent: self.aborts_sent.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
+            detection_nanos: self.detection_nanos.load(Ordering::Relaxed),
+            restarts: restart_count(),
         }
     }
 
-    /// Zeroes every counter.
+    /// Zeroes every counter (`restarts` is incarnation identity, not a
+    /// counter — it survives resets).
     pub fn reset(&self) {
         self.tx_frames.store(0, Ordering::Relaxed);
         self.tx_bytes.store(0, Ordering::Relaxed);
@@ -337,6 +452,10 @@ impl TransportStats {
         self.shm_write_bytes.store(0, Ordering::Relaxed);
         self.barriers.store(0, Ordering::Relaxed);
         self.barrier_nanos.store(0, Ordering::Relaxed);
+        self.peer_failures.store(0, Ordering::Relaxed);
+        self.aborts_sent.store(0, Ordering::Relaxed);
+        self.heartbeats.store(0, Ordering::Relaxed);
+        self.detection_nanos.store(0, Ordering::Relaxed);
     }
 }
 
@@ -359,6 +478,17 @@ pub struct TransportSnapshot {
     pub barriers: u64,
     /// Nanoseconds spent in barriers.
     pub barrier_nanos: u64,
+    /// Peer failures this rank detected.
+    pub peer_failures: u64,
+    /// `ABORT` frames fanned out.
+    pub aborts_sent: u64,
+    /// Heartbeat frames sent.
+    pub heartbeats: u64,
+    /// Failure-to-detection nanoseconds (numerator over `peer_failures`).
+    pub detection_nanos: u64,
+    /// Supervisor incarnation of this process ([`restart_count`]): how
+    /// many times the job was relaunched before this snapshot was taken.
+    pub restarts: u64,
 }
 
 impl TransportSnapshot {
@@ -370,6 +500,28 @@ impl TransportSnapshot {
             self.barrier_nanos as f64 * 1e-9 / self.barriers as f64
         }
     }
+
+    /// Mean failure-to-detection latency in seconds (0 when no peer
+    /// failure was detected).
+    pub fn mean_detection_seconds(&self) -> f64 {
+        if self.peer_failures == 0 {
+            0.0
+        } else {
+            self.detection_nanos as f64 * 1e-9 / self.peer_failures as f64
+        }
+    }
+}
+
+/// Liveness bookkeeping for one mesh peer, written by receiver threads
+/// and the heartbeat sender, read by every wait loop.
+struct PeerHealth {
+    /// The connection died (EOF, reset, failed send).
+    dead: AtomicBool,
+    /// Nanoseconds since runtime start when death was first observed.
+    died_at: AtomicU64,
+    /// Nanoseconds since runtime start of the last received frame
+    /// (heartbeats included) — the silent-peer clock.
+    last_rx: AtomicU64,
 }
 
 /// The per-worker multiprocess runtime: rank identity, the TCP mesh, the
@@ -395,6 +547,24 @@ pub struct MpRuntime {
     next_win: AtomicU64,
     stats: TransportStats,
     timeout: Duration,
+    /// Per-peer liveness (self index unused).
+    health: Vec<PeerHealth>,
+    /// Set once the local abort path is underway (dedupes fan-out).
+    aborting: AtomicBool,
+    /// Monotonic time base for the health clocks.
+    epoch: Instant,
+    /// Heartbeat send interval (zero disables).
+    hb_interval: Duration,
+    /// Silent-peer threshold (zero disables).
+    silence: Duration,
+    /// Parsed `LS_FAULT` plan (empty when unset).
+    faults: FaultPlan,
+    /// Supervisor incarnation, gating which fault actions are armed.
+    attempt: u64,
+    /// 1-based count of barriers entered — the fault-trigger clock.
+    barrier_ordinal: AtomicU64,
+    /// Per-fault-action budget spent (indexed like `faults.actions`).
+    fault_spent: Vec<AtomicU64>,
 }
 
 impl MpRuntime {
@@ -439,6 +609,18 @@ impl MpRuntime {
             .and_then(|v| v.parse().ok())
             .map(Duration::from_secs)
             .unwrap_or(DEFAULT_COLLECTIVE_TIMEOUT);
+        let hb_interval = std::env::var(ENV_HEARTBEAT_MS)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(DEFAULT_HEARTBEAT);
+        let silence = std::env::var(ENV_SILENCE_SECS)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_secs)
+            .unwrap_or(DEFAULT_SILENCE);
+        let faults = FaultPlan::from_env();
+        let attempt = restart_count();
 
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind mesh listener");
         let port = listener.local_addr().expect("listener addr").port();
@@ -492,6 +674,10 @@ impl MpRuntime {
         for (peer, s) in streams.into_iter().enumerate() {
             match s {
                 Some(s) if peer != rank => {
+                    // A blocked send must not outlive the collective
+                    // timeout (backstop: a peer that stops reading but
+                    // keeps its socket open).
+                    s.set_write_timeout(Some(timeout)).ok();
                     readers.push(Some(s.try_clone().expect("clone mesh stream")));
                     writers.push(Some(Mutex::new(s)));
                 }
@@ -501,6 +687,7 @@ impl MpRuntime {
                 }
             }
         }
+        let fault_spent = (0..faults.actions.len()).map(|_| AtomicU64::new(0)).collect();
         MpRuntime {
             rank,
             n,
@@ -519,6 +706,21 @@ impl MpRuntime {
             next_win: AtomicU64::new(0),
             stats: TransportStats::default(),
             timeout,
+            health: (0..n)
+                .map(|_| PeerHealth {
+                    dead: AtomicBool::new(false),
+                    died_at: AtomicU64::new(0),
+                    last_rx: AtomicU64::new(0),
+                })
+                .collect(),
+            aborting: AtomicBool::new(false),
+            epoch: Instant::now(),
+            hb_interval,
+            silence,
+            faults,
+            attempt,
+            barrier_ordinal: AtomicU64::new(0),
+            fault_spent,
         }
     }
 
@@ -535,21 +737,28 @@ impl MpRuntime {
         }
     }
 
-    /// Workers must not outlive a killed launcher: the launcher holds the
-    /// write end of each worker's stdin pipe and never writes, so EOF on
-    /// stdin — including after `kill -9` of the launcher — means orphaned.
+    /// Workers must not outlive a killed supervisor: the supervisor holds
+    /// the write end of each worker's stdin pipe and never writes, so EOF
+    /// on stdin — including after `kill -9` of the supervisor — means
+    /// orphaned. Orphans best-effort-delete the job directory on the way
+    /// out (the supervisor is gone, so nobody else will), which is what
+    /// keeps `/dev/shm` free of `ls-mp-*` debris after any exit path.
     fn spawn_watchdog(&'static self) {
         if std::env::var_os(ENV_WATCHDOG).is_none() {
             return;
         }
+        let job_dir = self.job_dir.clone();
         std::thread::Builder::new()
             .name("ls-mp-watchdog".into())
-            .spawn(|| {
+            .spawn(move || {
                 let mut buf = [0u8; 64];
                 let mut stdin = std::io::stdin();
                 loop {
                     match stdin.read(&mut buf) {
-                        Ok(0) | Err(_) => std::process::exit(EXIT_ORPHANED),
+                        Ok(0) | Err(_) => {
+                            let _ = fs::remove_dir_all(&job_dir);
+                            std::process::exit(EXIT_ORPHANED);
+                        }
                         Ok(_) => {}
                     }
                 }
@@ -557,16 +766,129 @@ impl MpRuntime {
             .expect("spawn watchdog thread");
     }
 
+    /// Heartbeat sender: a bare `PING` tag byte to every live peer each
+    /// interval. Pings advance the receivers' silent-peer clocks; a send
+    /// failure doubles as failure detection between collectives.
+    fn spawn_heartbeat(&'static self) {
+        if self.hb_interval.is_zero() || self.n < 2 {
+            return;
+        }
+        std::thread::Builder::new()
+            .name("ls-mp-hb".into())
+            .spawn(move || loop {
+                std::thread::sleep(self.hb_interval);
+                if self.aborting.load(Ordering::SeqCst) {
+                    return;
+                }
+                for peer in 0..self.n {
+                    if peer == self.rank || self.health[peer].dead.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    let Some(writer) = self.writers[peer].as_ref() else { continue };
+                    if writer.lock().unwrap().write_all(&[TAG_PING]).is_err() {
+                        self.note_peer_lost(peer);
+                    } else {
+                        self.stats.add(&self.stats.heartbeats, 1);
+                    }
+                }
+            })
+            .expect("spawn heartbeat thread");
+    }
+
+    /// Nanoseconds since runtime start (the health clock base).
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Marks a peer's connection dead and wakes every collective waiter
+    /// so detection is immediate, not deferred to the next timeout slice.
+    fn note_peer_lost(&self, peer: usize) {
+        let health = &self.health[peer];
+        if !health.dead.swap(true, Ordering::SeqCst) {
+            health.died_at.store(self.now_nanos().max(1), Ordering::SeqCst);
+        }
+        for queue in &self.coll_in {
+            queue.cv.notify_all();
+        }
+    }
+
+    /// Builds the attributed [`TransportError::PeerFailed`] for a failure
+    /// of `peer` first observable to the caller at `since` (nanos on the
+    /// health clock), recording the detection-latency statistics.
+    fn peer_failed(&self, peer: usize, detail: &str, since: u64) -> TransportError {
+        let died = self.health[peer].died_at.load(Ordering::SeqCst);
+        let detection = Duration::from_nanos(self.now_nanos().saturating_sub(died.max(since)));
+        self.stats.add(&self.stats.peer_failures, 1);
+        self.stats.add(&self.stats.detection_nanos, detection.as_nanos() as u64);
+        TransportError::PeerFailed { peer, detail: detail.to_string(), detection }
+    }
+
+    /// Aborts the job on a dead peer: the check behind [`poll_failure`]
+    /// and the channel spin loops. Only valid between the barriers of a
+    /// product, where a dead connection is always a genuine failure.
+    fn check_peers_alive(&self, detail: &str) {
+        if self.aborting.load(Ordering::SeqCst) {
+            // Another thread of this process is already exiting.
+            std::thread::sleep(Duration::from_millis(50));
+            return;
+        }
+        let now = self.now_nanos();
+        for peer in 0..self.n {
+            if peer != self.rank && self.health[peer].dead.load(Ordering::SeqCst) {
+                self.abort_job(self.peer_failed(peer, detail, now));
+            }
+        }
+    }
+
+    /// The one-way door of every unrecoverable failure: fan an `ABORT`
+    /// frame to every live peer (so the whole job dies promptly instead
+    /// of burning its collective timeout), print the attributed
+    /// diagnostic, and exit with the failure's code. Remote-origin
+    /// aborts are not re-fanned.
+    fn abort_job(&self, err: TransportError) -> ! {
+        if !self.aborting.swap(true, Ordering::SeqCst)
+            && !matches!(err, TransportError::Aborted { .. })
+        {
+            let reason = err.to_string();
+            let mut frame = Vec::with_capacity(13 + reason.len());
+            frame.put_u8(TAG_ABORT);
+            frame.put_u32_le(self.rank as u32);
+            frame.put_u32_le(err.exit_code() as u32);
+            frame.put_u32_le(reason.len() as u32);
+            frame.put_slice(reason.as_bytes());
+            for peer in 0..self.n {
+                if peer == self.rank || self.health[peer].dead.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let Some(writer) = self.writers[peer].as_ref() else { continue };
+                if writer.lock().unwrap().write_all(&frame).is_ok() {
+                    self.stats.add(&self.stats.aborts_sent, 1);
+                }
+            }
+        }
+        eprintln!("ls-mp[rank {}]: abort: {err} (exit {})", self.rank, err.exit_code());
+        std::process::exit(err.exit_code());
+    }
+
+    /// Reads frames off one peer's stream in order and dispatches them.
+    /// Any read failure — EOF on a cleanly-exited peer, ECONNRESET on a
+    /// crashed one — marks the peer dead *immediately* and wakes every
+    /// collective waiter, so detection costs milliseconds, not the
+    /// collective timeout. Whether the death is fatal is decided at the
+    /// wait sites: a peer that already contributed everything this rank
+    /// will ever wait for is allowed to be gone.
     fn receive_loop(&'static self, peer: usize, mut stream: TcpStream) {
         let mut tag = [0u8; 1];
         loop {
             if stream.read_exact(&mut tag).is_err() {
-                return; // peer exited; normal shutdown
+                self.note_peer_lost(peer);
+                return;
             }
             let frame_bytes = match tag[0] {
                 TAG_COLL => {
                     let mut head = [0u8; 12];
                     if stream.read_exact(&mut head).is_err() {
+                        self.note_peer_lost(peer);
                         return;
                     }
                     let mut r: &[u8] = &head;
@@ -574,6 +896,7 @@ impl MpRuntime {
                     let len = r.get_u32_le() as usize;
                     let mut payload = vec![0u8; len];
                     if stream.read_exact(&mut payload).is_err() {
+                        self.note_peer_lost(peer);
                         return;
                     }
                     {
@@ -586,6 +909,7 @@ impl MpRuntime {
                 TAG_CHAN => {
                     let mut head = [0u8; 12];
                     if stream.read_exact(&mut head).is_err() {
+                        self.note_peer_lost(peer);
                         return;
                     }
                     let mut r: &[u8] = &head;
@@ -593,6 +917,7 @@ impl MpRuntime {
                     let len = r.get_u32_le() as usize;
                     let mut payload = vec![0u8; len];
                     if stream.read_exact(&mut payload).is_err() {
+                        self.note_peer_lost(peer);
                         return;
                     }
                     self.inbox(chan).q.lock().unwrap().push_back(payload);
@@ -601,6 +926,7 @@ impl MpRuntime {
                 TAG_CLOSE => {
                     let mut head = [0u8; 8];
                     if stream.read_exact(&mut head).is_err() {
+                        self.note_peer_lost(peer);
                         return;
                     }
                     let mut r: &[u8] = &head;
@@ -611,6 +937,7 @@ impl MpRuntime {
                 TAG_CREDIT => {
                     let mut head = [0u8; 8];
                     if stream.read_exact(&mut head).is_err() {
+                        self.note_peer_lost(peer);
                         return;
                     }
                     let mut r: &[u8] = &head;
@@ -621,6 +948,7 @@ impl MpRuntime {
                 TAG_ACC => {
                     let mut head = [0u8; 20];
                     if stream.read_exact(&mut head).is_err() {
+                        self.note_peer_lost(peer);
                         return;
                     }
                     let mut r: &[u8] = &head;
@@ -629,6 +957,7 @@ impl MpRuntime {
                     let lanes = r.get_u32_le() as usize;
                     let mut payload = vec![0u8; lanes * 8];
                     if stream.read_exact(&mut payload).is_err() {
+                        self.note_peer_lost(peer);
                         return;
                     }
                     let mut r: &[u8] = &payload;
@@ -639,10 +968,42 @@ impl MpRuntime {
                     self.apply_acc(win, index, &vals[..lanes.min(2)]);
                     21 + lanes * 8
                 }
+                TAG_ABORT => {
+                    let mut head = [0u8; 12];
+                    if stream.read_exact(&mut head).is_err() {
+                        self.note_peer_lost(peer);
+                        return;
+                    }
+                    let mut r: &[u8] = &head;
+                    let origin = r.get_u32_le() as usize;
+                    let code = r.get_u32_le() as i32;
+                    let len = r.get_u32_le() as usize;
+                    let mut reason = vec![0u8; len];
+                    if stream.read_exact(&mut reason).is_err() {
+                        self.note_peer_lost(peer);
+                        return;
+                    }
+                    let reason = String::from_utf8_lossy(&reason).into_owned();
+                    // Exit right here: the job is already lost, and the
+                    // sooner every rank is gone the sooner the supervisor
+                    // can relaunch from the last checkpoint.
+                    if !self.aborting.swap(true, Ordering::SeqCst) {
+                        eprintln!(
+                            "ls-mp[rank {}]: abort: aborted by rank {origin} \
+                             (peer exit {code}): {reason} (exit {EXIT_FAILOVER})",
+                            self.rank
+                        );
+                    }
+                    std::process::exit(EXIT_FAILOVER);
+                }
+                TAG_PING => 1,
                 other => {
-                    fatal(&format!("unknown frame tag {other} from rank {peer}"));
+                    self.abort_job(TransportError::Protocol {
+                        detail: format!("unknown frame tag {other} from rank {peer}"),
+                    });
                 }
             };
+            self.health[peer].last_rx.store(self.now_nanos(), Ordering::Relaxed);
             self.stats.add(&self.stats.rx_frames, 1);
             self.stats.add(&self.stats.rx_bytes, frame_bytes as u64);
         }
@@ -667,49 +1028,150 @@ impl MpRuntime {
         )
     }
 
-    fn send_frame(&self, peer: usize, frame: &[u8]) {
-        let writer = self.writers[peer]
-            .as_ref()
-            .unwrap_or_else(|| fatal(&format!("send to self or unconnected rank {peer}")));
-        writer
-            .lock()
-            .unwrap()
-            .write_all(frame)
-            .unwrap_or_else(|e| fatal(&format!("send to rank {peer}: {e}")));
+    /// Executes the delay actions armed for frames of `class` (no-op
+    /// without a matching `LS_FAULT` plan).
+    fn fault_delay_hook(&self, class: FrameClass) {
+        if self.faults.is_empty_for(self.rank, self.attempt) {
+            return;
+        }
+        for (idx, action) in self.faults.delays_for(self.rank, self.attempt, class) {
+            if self.fault_spent[idx].fetch_add(1, Ordering::Relaxed) < action.count {
+                std::thread::sleep(action.delay());
+            }
+        }
+    }
+
+    /// Advances the barrier-ordinal clock and executes any kill /
+    /// drop-conn action armed for this entry.
+    fn fault_barrier_hook(&self) {
+        let ordinal = self.barrier_ordinal.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.faults.is_empty_for(self.rank, self.attempt) {
+            return;
+        }
+        for action in self.faults.at_barrier(self.rank, self.attempt, ordinal) {
+            match action.kind {
+                FaultKind::Kill => {
+                    eprintln!(
+                        "ls-mp[rank {}]: fault injection: kill at barrier {ordinal}",
+                        self.rank
+                    );
+                    std::process::abort();
+                }
+                FaultKind::DropConn => {
+                    eprintln!(
+                        "ls-mp[rank {}]: fault injection: drop-conn at barrier {ordinal}",
+                        self.rank
+                    );
+                    for writer in self.writers.iter().flatten() {
+                        let _ = writer.lock().unwrap().shutdown(std::net::Shutdown::Both);
+                    }
+                }
+                FaultKind::Delay => {}
+            }
+        }
+    }
+
+    /// Fallible frame send: a failed write marks the peer dead and
+    /// returns the attributed failure instead of killing the process.
+    fn try_send_frame(
+        &self,
+        peer: usize,
+        frame: &[u8],
+        class: FrameClass,
+    ) -> Result<(), TransportError> {
+        self.fault_delay_hook(class);
+        let Some(writer) = self.writers[peer].as_ref() else {
+            return Err(TransportError::Protocol {
+                detail: format!("send to self or unconnected rank {peer}"),
+            });
+        };
+        let sent_at = self.now_nanos();
+        let result = writer.lock().unwrap().write_all(frame);
+        if let Err(e) = result {
+            self.note_peer_lost(peer);
+            return Err(self.peer_failed(peer, &format!("send failed: {e}"), sent_at));
+        }
         self.stats.add(&self.stats.tx_frames, 1);
         self.stats.add(&self.stats.tx_bytes, frame.len() as u64);
+        Ok(())
+    }
+
+    fn send_frame(&self, peer: usize, frame: &[u8], class: FrameClass) {
+        self.try_send_frame(peer, frame, class).unwrap_or_else(|e| self.abort_job(e));
     }
 
     /// Pops the collective payload with sequence `seq` from `peer`. The
     /// per-peer stream is FIFO and both ranks count collectives in the
     /// same SPMD program order, so the queue head must carry exactly
     /// `seq` — anything else is a desynchronized job.
-    fn pop_coll(&self, peer: usize, seq: u64) -> Vec<u8> {
+    ///
+    /// Failure handling, in priority order: an already-queued frame is
+    /// consumed even if the peer has since died (its last contribution
+    /// before a clean exit is still valid); a dead connection fails the
+    /// wait immediately (sub-second detection, not the timeout); a peer
+    /// silent past the heartbeat threshold is declared hung; the
+    /// collective timeout is the last-ditch backstop.
+    fn try_pop_coll(&self, peer: usize, seq: u64) -> Result<Vec<u8>, TransportError> {
         let queue = &self.coll_in[peer];
-        let deadline = Instant::now() + self.timeout;
+        let wait_start = Instant::now();
+        let wait_start_nanos = self.now_nanos();
+        let deadline = wait_start + self.timeout;
+        let silence_limit = if self.hb_interval.is_zero() || self.silence.is_zero() {
+            None
+        } else {
+            Some(self.silence.as_nanos() as u64)
+        };
         let mut q = queue.q.lock().unwrap();
         loop {
             if let Some(&(s, _)) = q.front() {
                 if s != seq {
-                    fatal(&format!(
-                        "collective desync with rank {peer}: expected seq {seq}, got {s}"
+                    return Err(TransportError::Desync { peer, expected: seq, got: s });
+                }
+                return Ok(q.pop_front().unwrap().1);
+            }
+            if self.aborting.load(Ordering::SeqCst) {
+                return Err(TransportError::Aborted {
+                    origin: self.rank,
+                    reason: "local abort already in progress".into(),
+                });
+            }
+            if self.health[peer].dead.load(Ordering::SeqCst) {
+                return Err(self.peer_failed(
+                    peer,
+                    "connection lost during collective",
+                    wait_start_nanos,
+                ));
+            }
+            if let Some(limit) = silence_limit {
+                let last_rx = self.health[peer].last_rx.load(Ordering::Relaxed);
+                let now = self.now_nanos();
+                // Only distrust silence we actually waited through: the
+                // clock may be stale from a long compute phase.
+                if now.saturating_sub(last_rx.max(wait_start_nanos)) > limit {
+                    self.note_peer_lost(peer);
+                    return Err(self.peer_failed(
+                        peer,
+                        "peer silent past heartbeat threshold",
+                        wait_start_nanos,
                     ));
                 }
-                return q.pop_front().unwrap().1;
             }
             let now = Instant::now();
             if now >= deadline {
-                fatal(&format!("collective timeout waiting for rank {peer} (seq {seq})"));
+                return Err(TransportError::Timeout { peer, seq, waited: self.timeout });
             }
-            let (guard, _) = queue.cv.wait_timeout(q, deadline - now).unwrap();
+            // Short slices: death/abort flags flip without a cv notify
+            // in some paths, and 100 ms keeps detection prompt anyway.
+            let slice = (deadline - now).min(Duration::from_millis(100));
+            let (guard, _) = queue.cv.wait_timeout(q, slice).unwrap();
             q = guard;
         }
     }
 
-    /// Allgather: every rank contributes `payload`, every rank receives
-    /// all contributions indexed by rank. The fundamental collective —
-    /// barriers and reductions are built on it.
-    pub fn allgather(&self, payload: &[u8]) -> Vec<Vec<u8>> {
+    /// Fallible allgather: every rank contributes `payload`, every rank
+    /// receives all contributions indexed by rank. The fundamental
+    /// collective — barriers and reductions are built on it.
+    pub fn try_allgather(&self, payload: &[u8]) -> Result<Vec<Vec<u8>>, TransportError> {
         // The guard both allocates the sequence number and serializes
         // collectives within the process.
         let mut seq_guard = self.coll_seq.lock().unwrap();
@@ -722,50 +1184,73 @@ impl MpRuntime {
         frame.put_slice(payload);
         for peer in 0..self.n {
             if peer != self.rank {
-                self.send_frame(peer, &frame);
+                self.try_send_frame(peer, &frame, FrameClass::Coll)?;
             }
         }
         let mut out: Vec<Vec<u8>> = (0..self.n).map(|_| Vec::new()).collect();
         out[self.rank] = payload.to_vec();
         for (peer, slot) in out.iter_mut().enumerate() {
             if peer != self.rank {
-                *slot = self.pop_coll(peer, seq);
+                *slot = self.try_pop_coll(peer, seq)?;
             }
         }
         drop(seq_guard);
-        out
+        Ok(out)
     }
 
-    /// Barrier: an empty allgather. Per-peer FIFO makes it a flush: every
-    /// accumulate/channel/credit frame a peer sent before entering the
-    /// barrier has been applied here once its barrier frame is popped.
-    pub fn barrier(&self) {
+    /// Infallible allgather: aborts the whole job on failure.
+    pub fn allgather(&self, payload: &[u8]) -> Vec<Vec<u8>> {
+        self.try_allgather(payload).unwrap_or_else(|e| self.abort_job(e))
+    }
+
+    /// Fallible barrier: an empty allgather. Per-peer FIFO makes it a
+    /// flush: every accumulate/channel/credit frame a peer sent before
+    /// entering the barrier has been applied here once its barrier frame
+    /// is popped. Also the fault-injection trigger point: `LS_FAULT`
+    /// kill/drop-conn actions fire on entry, keyed by the 1-based count
+    /// of barriers this process has entered.
+    pub fn try_barrier(&self) -> Result<(), TransportError> {
+        self.fault_barrier_hook();
         let t0 = Instant::now();
-        let _ = self.allgather(&[]);
+        self.try_allgather(&[])?;
         self.stats.add(&self.stats.barriers, 1);
         self.stats.add(&self.stats.barrier_nanos, t0.elapsed().as_nanos() as u64);
+        Ok(())
     }
 
-    /// Lane-wise allreduce of `f64` partials: gathers every rank's lanes
-    /// and sums them **in rank order**, which is bit-identical to the
-    /// in-process backend's locale-ordered combination.
-    pub fn allreduce_lanes(&self, lanes: &[f64]) -> Vec<f64> {
+    /// Infallible barrier: aborts the whole job on failure.
+    pub fn barrier(&self) {
+        self.try_barrier().unwrap_or_else(|e| self.abort_job(e));
+    }
+
+    /// Fallible lane-wise allreduce of `f64` partials: gathers every
+    /// rank's lanes and sums them **in rank order**, which is
+    /// bit-identical to the in-process backend's locale-ordered
+    /// combination.
+    pub fn try_allreduce_lanes(&self, lanes: &[f64]) -> Result<Vec<f64>, TransportError> {
         let mut payload = Vec::with_capacity(lanes.len() * 8);
         for &v in lanes {
             payload.put_f64_le(v);
         }
-        let all = self.allgather(&payload);
+        let all = self.try_allgather(&payload)?;
         let mut out = vec![0.0f64; lanes.len()];
         for contribution in &all {
             let mut r: &[u8] = contribution;
             if r.remaining() != lanes.len() * 8 {
-                fatal("allreduce lane-count mismatch across ranks");
+                return Err(TransportError::Protocol {
+                    detail: "allreduce lane-count mismatch across ranks".into(),
+                });
             }
             for slot in out.iter_mut() {
                 *slot += r.get_f64_le();
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Infallible lane-wise allreduce: aborts the whole job on failure.
+    pub fn allreduce_lanes(&self, lanes: &[f64]) -> Vec<f64> {
+        self.try_allreduce_lanes(lanes).unwrap_or_else(|e| self.abort_job(e))
     }
 
     // ---- accumulation windows -------------------------------------------
@@ -807,16 +1292,20 @@ impl MpRuntime {
         for &v in lanes {
             frame.put_f64_le(v);
         }
-        self.send_frame(dest, &frame);
+        self.send_frame(dest, &frame, FrameClass::Accum);
     }
 
     fn apply_acc(&self, win: u64, index: usize, lanes: &[f64]) {
         let target = match self.accums.lock().unwrap().get(&win) {
             Some(&t) => t,
-            None => fatal(&format!("accumulate into unregistered window {win}")),
+            None => self.abort_job(TransportError::Protocol {
+                detail: format!("accumulate into unregistered window {win}"),
+            }),
         };
         if index >= target.len || lanes.len() > target.lanes {
-            fatal(&format!("accumulate out of bounds: {index} >= {}", target.len));
+            self.abort_job(TransportError::Protocol {
+                detail: format!("accumulate out of bounds: {index} >= {}", target.len),
+            });
         }
         let base = target.base as *const AtomicU64;
         for (lane, &add) in lanes.iter().enumerate() {
@@ -869,21 +1358,21 @@ impl MpRuntime {
         frame.put_u64_le(chan);
         frame.put_u32_le(payload.len() as u32);
         frame.put_slice(payload);
-        self.send_frame(peer, &frame);
+        self.send_frame(peer, &frame, FrameClass::Chan);
     }
 
     fn send_close(&self, peer: usize, chan: u64) {
         let mut frame = Vec::with_capacity(9);
         frame.put_u8(TAG_CLOSE);
         frame.put_u64_le(chan);
-        self.send_frame(peer, &frame);
+        self.send_frame(peer, &frame, FrameClass::Close);
     }
 
     fn send_credit(&self, peer: usize, chan: u64) {
         let mut frame = Vec::with_capacity(9);
         frame.put_u8(TAG_CREDIT);
         frame.put_u64_le(chan);
-        self.send_frame(peer, &frame);
+        self.send_frame(peer, &frame, FrameClass::Credit);
     }
 
     fn drop_chan(&self, chan: u64) {
@@ -935,9 +1424,14 @@ impl Segment {
             .truncate(true)
             .open(self.path(me))
             .unwrap_or_else(|e| {
-                fatal(&format!("create segment {}: {e}", self.path(me).display()))
+                self.mp.abort_job(TransportError::Protocol {
+                    detail: format!("create segment {}: {e}", self.path(me).display()),
+                })
             });
-        f.write_all(bytes).unwrap_or_else(|e| fatal(&format!("publish segment: {e}")));
+        f.write_all(bytes).unwrap_or_else(|e| {
+            self.mp
+                .abort_job(TransportError::Protocol { detail: format!("publish segment: {e}") })
+        });
         *self.files[me].lock().unwrap() = Some(f);
         self.mp.stats.add(&self.mp.stats.shm_write_bytes, bytes.len() as u64);
     }
@@ -950,14 +1444,18 @@ impl Segment {
                 .write(true)
                 .open(self.path(locale))
                 .unwrap_or_else(|e| {
-                    fatal(&format!(
-                        "open segment {} (missing barrier before access?): {e}",
-                        self.path(locale).display()
-                    ))
+                    self.mp.abort_job(TransportError::Protocol {
+                        detail: format!(
+                            "open segment {} (missing barrier before access?): {e}",
+                            self.path(locale).display()
+                        ),
+                    })
                 });
             *guard = Some(file);
         }
-        f(guard.as_ref().unwrap()).unwrap_or_else(|e| fatal(&format!("segment io: {e}")))
+        f(guard.as_ref().unwrap()).unwrap_or_else(|e| {
+            self.mp.abort_job(TransportError::Protocol { detail: format!("segment io: {e}") })
+        })
     }
 
     /// Reads `dst.len()` bytes from `locale`'s part at element `offset`.
@@ -1123,7 +1621,10 @@ impl<T: Copy + Default> PairChannel<T> {
         out
     }
 
-    /// Producer: blocking claim of the (single) staging buffer.
+    /// Producer: blocking claim of the (single) staging buffer. On the
+    /// multiprocess backend the wait aborts promptly if the consumer
+    /// rank dies (its credit would otherwise never come back and the
+    /// spin would outlast the collective timeout).
     pub fn claim(&self) {
         match self {
             PairChannel::Local(ch) => ch.claim(),
@@ -1143,6 +1644,9 @@ impl<T: Copy + Default> PairChannel<T> {
                             .is_ok()
                     {
                         return;
+                    }
+                    if backoff.is_completed() {
+                        s.mp.check_peers_alive("consumer lost while awaiting channel credit");
                     }
                     backoff.snooze();
                 }
@@ -1202,6 +1706,13 @@ impl<T: Copy + Default> PairChannel<T> {
             PairChannel::Local(ch) => ch.drained_after_failed_recv(stats, out),
             PairChannel::Receiver(r) => {
                 if !r.inbox.closed.load(Ordering::Acquire) {
+                    // A producer that died mid-stream will never close;
+                    // abort instead of spinning into the timeout.
+                    if r.mp.health[r.peer].dead.load(Ordering::SeqCst)
+                        && r.inbox.q.lock().unwrap().is_empty()
+                    {
+                        r.mp.check_peers_alive("producer lost before closing its channel");
+                    }
                     return false;
                 }
                 // CLOSE travels behind every CHAN frame (per-peer FIFO),
@@ -1298,11 +1809,55 @@ mod tests {
         stats.add(&stats.tx_bytes, 100);
         stats.add(&stats.barriers, 2);
         stats.add(&stats.barrier_nanos, 3_000_000_000);
+        stats.add(&stats.peer_failures, 2);
+        stats.add(&stats.detection_nanos, 24_000_000);
         let snap = stats.snapshot();
         assert_eq!(snap.tx_bytes, 100);
         assert!((snap.mean_barrier_seconds() - 1.5).abs() < 1e-12);
+        assert!((snap.mean_detection_seconds() - 0.012).abs() < 1e-12);
         stats.reset();
         assert_eq!(stats.snapshot(), TransportSnapshot::default());
         assert_eq!(TransportSnapshot::default().mean_barrier_seconds(), 0.0);
+        assert_eq!(TransportSnapshot::default().mean_detection_seconds(), 0.0);
+    }
+
+    #[test]
+    fn transport_errors_attribute_and_map_exit_codes() {
+        let failed = TransportError::PeerFailed {
+            peer: 2,
+            detail: "connection lost during collective".into(),
+            detection: Duration::from_millis(12),
+        };
+        assert_eq!(failed.exit_code(), EXIT_FAILOVER);
+        let text = failed.to_string();
+        assert!(text.contains("rank 2"), "{text}");
+        assert!(text.contains("detected in 0.012s"), "{text}");
+
+        let desync = TransportError::Desync { peer: 1, expected: 7, got: 9 };
+        assert_eq!(desync.exit_code(), EXIT_PROTOCOL);
+        assert!(desync.to_string().contains("expected seq 7, got 9"));
+
+        let timeout =
+            TransportError::Timeout { peer: 3, seq: 5, waited: Duration::from_secs(180) };
+        assert_eq!(timeout.exit_code(), EXIT_PROTOCOL);
+
+        let aborted = TransportError::Aborted { origin: 0, reason: "peer died".into() };
+        assert_eq!(aborted.exit_code(), EXIT_FAILOVER);
+        assert!(aborted.to_string().contains("aborted by rank 0"));
+
+        let protocol = TransportError::Protocol { detail: "unknown frame tag 42".into() };
+        assert_eq!(protocol.exit_code(), EXIT_PROTOCOL);
+    }
+
+    #[test]
+    fn restart_count_defaults_to_zero() {
+        // The test environment never sets LS_MP_RESTART_COUNT.
+        assert_eq!(restart_count(), 0);
+        assert_eq!(TransportStats::default().snapshot().restarts, 0);
+    }
+
+    #[test]
+    fn poll_failure_is_a_noop_in_process() {
+        poll_failure(); // no runtime: must return without side effects
     }
 }

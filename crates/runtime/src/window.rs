@@ -32,6 +32,13 @@
 //! point. The write-once ledger only observes this process's puts — a
 //! cross-process overlap is caught by whichever rank issues both halves,
 //! not globally.
+//!
+//! If a peer dies while an epoch's collective (open or close barrier) is
+//! in flight, the barrier detects it within milliseconds and the job
+//! aborts with the failure attributed to that rank — see the failure
+//! model in [`crate::transport`]. Segment I/O errors (a peer's segment
+//! vanishing mid-epoch) abort the same way rather than killing the
+//! process silently.
 
 use crate::cluster::LocaleCtx;
 use crate::distvec::DistVec;

@@ -13,12 +13,17 @@
 //! ```sh
 //! cargo run --release --example checkpoint_restart -- \
 //!     [--sites N] [--weight W] [--k K] [--extra P] [--tol T] \
-//!     [--ckpt PATH] [--fresh] [--verify] [--max-cycles C]
+//!     [--ckpt PATH] [--keep K] [--fresh] [--verify] [--max-cycles C]
 //! ```
 //!
-//! `--fresh` deletes an existing checkpoint first; `--verify` reruns the
-//! whole solve uninterrupted in memory and asserts the eigenvalues are
-//! bit-identical to the chunked/resumed run.
+//! `--fresh` deletes an existing checkpoint first (generation files and
+//! manifest included); `--verify` reruns the whole solve uninterrupted
+//! in memory and asserts the eigenvalues are bit-identical to the
+//! chunked/resumed run. `--keep K` (K > 1) switches to rotated
+//! keep-last-K checkpoints: each cycle writes a new generation file and
+//! a crash-consistent manifest, and the resume path falls back to an
+//! older generation if the newest is torn — determinism makes resumption
+//! from *any* cycle converge to the same bits.
 //!
 //! With `LS_TRANSPORT=multiprocess LS_LOCALES=N` the same contract holds
 //! across OS processes: the solve runs distributed (thick-restart over
@@ -38,6 +43,7 @@ fn main() {
     let mut extra = 10usize;
     let mut tol = 1e-10f64;
     let mut ckpt = String::from("checkpoint_restart.lsck");
+    let mut keep = 1usize;
     let mut fresh = false;
     let mut verify = false;
     let mut max_cycles = 500usize;
@@ -51,12 +57,13 @@ fn main() {
             "--extra" => extra = value().parse().unwrap(),
             "--tol" => tol = value().parse().unwrap(),
             "--ckpt" => ckpt = value(),
+            "--keep" => keep = value().parse().unwrap(),
             "--fresh" => fresh = true,
             "--verify" => verify = true,
             "--max-cycles" => max_cycles = value().parse().unwrap(),
             other => panic!(
                 "unknown flag {other} (try --sites/--weight/--k/--extra/--tol/--ckpt/\
-                 --fresh/--verify/--max-cycles)"
+                 --keep/--fresh/--verify/--max-cycles)"
             ),
         }
     }
@@ -65,8 +72,9 @@ fn main() {
     if fresh {
         // One deleter is enough; the barrier keeps a lagging rank from
         // probing (and resuming from) the file before it disappears.
+        // `remove_checkpoint` also prunes rotated generation files.
         if transport::is_primary() {
-            std::fs::remove_file(&path).ok();
+            exact_diag::core::io::remove_checkpoint(&path).ok();
         }
         if let Some(mp) = transport::active() {
             mp.barrier();
@@ -74,7 +82,9 @@ fn main() {
     }
 
     if let Some(mp) = transport::active() {
-        run_distributed(mp, sites, weight, k, extra, tol, &ckpt, &path, verify, max_cycles);
+        run_distributed(
+            mp, sites, weight, k, extra, tol, &ckpt, &path, keep, verify, max_cycles,
+        );
         return;
     }
 
@@ -93,15 +103,18 @@ fn main() {
     }
 
     let base = RestartOptions { k, extra, tol, ..RestartOptions::new(k) };
-    let policy = CheckpointPolicy::new(path.clone());
+    let policy = CheckpointPolicy { keep, ..CheckpointPolicy::new(path.clone()) };
 
     // One restart cycle per call: `max_restarts` is cumulative (stored in
     // the checkpoint), so raising the cap by 1 each call runs exactly one
     // new cycle and re-enters through the resume path every time. After a
     // resume, start past the checkpoint's restart counter — calls with a
     // lower cap would reload the state and return without doing work.
+    // The latest-checkpoint probe understands both the plain single-file
+    // format and the rotated manifest (falling back past torn newest
+    // generations, exactly like the solver's own resume path).
     let start = if path.exists() {
-        match exact_diag::core::io::load_checkpoint::<Vec<f64>, _>(&path, &op) {
+        match exact_diag::core::io::load_latest_checkpoint::<Vec<f64>, _>(&path, &op) {
             Ok(st) => st.restarts + 1,
             Err(e) => panic!("cannot resume from {ckpt}: {e}"),
         }
@@ -173,6 +186,7 @@ fn run_distributed(
     tol: f64,
     ckpt: &str,
     path: &std::path::Path,
+    keep: usize,
     verify: bool,
     max_cycles: usize,
 ) {
@@ -205,11 +219,11 @@ fn run_distributed(
 
     let pc = PcOptions { deterministic: true, ..PcOptions::default() };
     let base = RestartOptions { k, extra, tol, ..RestartOptions::new(k) };
-    let policy = CheckpointPolicy::new(path.to_path_buf());
+    let policy = CheckpointPolicy { keep, ..CheckpointPolicy::new(path.to_path_buf()) };
 
     let start = if path.exists() {
         let probe = DistOp::new(&cluster, &op, &basis, pc);
-        match exact_diag::core::io::load_checkpoint::<DistVec<f64>, _>(path, &probe) {
+        match exact_diag::core::io::load_latest_checkpoint::<DistVec<f64>, _>(path, &probe) {
             Ok(st) => st.restarts + 1,
             Err(e) => panic!("cannot resume from {ckpt}: {e}"),
         }
