@@ -97,6 +97,13 @@ struct Cell {
     locales: usize,
     mode: &'static str,
     lanczos_iter_seconds: f64,
+    /// Per-iteration time of the same solve with `LS_INTEGRITY=off` —
+    /// the denominator of the silent-error-defense overhead guard
+    /// (in_place mode only; 0 elsewhere). The toggle is runtime-live
+    /// for the checksum-vector (ABFT) verification; the wire/segment
+    /// CRC level is fixed at transport launch, so under a multiprocess
+    /// job both timings include it.
+    integrity_off_iter_seconds: f64,
     gathered_bytes_per_iter: u64,
     scattered_bytes_per_iter: u64,
     /// Bytes that actually crossed the transport wire (TCP frames), per
@@ -170,6 +177,9 @@ fn main() {
 
     println!("fig_dist: {sites} sites, locales {locales_arg:?}, {iters} iterations");
     let mut cells: Vec<Cell> = Vec::new();
+    // Silent-error defense accounting across every timed solve: a clean
+    // benchmark run must see zero of either (CI asserts it).
+    let mut total_rollbacks = 0u64;
     for &locales in &locales_arg {
         let cluster = Cluster::new(ClusterSpec::new(locales, 2));
         let basis = enumerate_dist(&cluster, &sector, 4);
@@ -178,6 +188,7 @@ fn main() {
         // In-place path: median over interleaved rounds; RMA gets are the
         // gather counter (the producer/consumer pipeline issues none).
         let mut t_inplace = Vec::with_capacity(reps);
+        let mut t_inplace_off = Vec::with_capacity(reps);
         let mut t_gs = Vec::with_capacity(reps);
         let mut e_inplace = f64::NAN;
         let mut e_gs = f64::NAN;
@@ -195,27 +206,46 @@ fn main() {
         for round in 0..reps.max(1) {
             for half in 0..2 {
                 if (round + half) % 2 == 0 {
-                    cluster.reset_stats();
-                    if let Some(mp) = mp {
-                        mp.stats().reset();
-                    }
-                    let t = std::time::Instant::now();
-                    let res = dist_lanczos_smallest(
-                        &cluster,
-                        &op,
-                        &basis,
-                        1,
-                        &DistLanczosOptions { lanczos: lanczos_opts.clone(), pc },
-                    );
-                    let its = res.iterations.max(1) as u64;
-                    t_inplace.push(t.elapsed().as_secs_f64() / its as f64);
-                    e_inplace = res.eigenvalues[0];
-                    inplace_get_bytes = cluster.stats_total().get_bytes;
-                    if let Some(mp) = mp {
-                        let w = mp.stats().snapshot();
-                        wire_tx = w.tx_bytes / its;
-                        wire_rx = w.rx_bytes / its;
-                        barrier_secs = w.mean_barrier_seconds();
+                    // Each round times the solve twice — integrity
+                    // checking as configured (default full: matvec
+                    // checksum vectors verified every product) and
+                    // explicitly off — alternating order so neither
+                    // variant systematically runs warmer. Their ratio is
+                    // the overhead the CI bench guard bounds.
+                    let both = if round % 2 == 0 { [false, true] } else { [true, false] };
+                    for off in both {
+                        if off {
+                            std::env::set_var(transport::ENV_INTEGRITY, "off");
+                        }
+                        cluster.reset_stats();
+                        if let Some(mp) = mp {
+                            mp.stats().reset();
+                        }
+                        let t = std::time::Instant::now();
+                        let res = dist_lanczos_smallest(
+                            &cluster,
+                            &op,
+                            &basis,
+                            1,
+                            &DistLanczosOptions { lanczos: lanczos_opts.clone(), pc },
+                        );
+                        let its = res.iterations.max(1) as u64;
+                        let per_iter = t.elapsed().as_secs_f64() / its as f64;
+                        total_rollbacks += res.rollbacks;
+                        if off {
+                            std::env::remove_var(transport::ENV_INTEGRITY);
+                            t_inplace_off.push(per_iter);
+                            continue;
+                        }
+                        t_inplace.push(per_iter);
+                        e_inplace = res.eigenvalues[0];
+                        inplace_get_bytes = cluster.stats_total().get_bytes;
+                        if let Some(mp) = mp {
+                            let w = mp.stats().snapshot();
+                            wire_tx = w.tx_bytes / its;
+                            wire_rx = w.rx_bytes / its;
+                            barrier_secs = w.mean_barrier_seconds();
+                        }
                     }
                 } else if mp.is_none() {
                     let gs_op = GatherScatterOp {
@@ -246,10 +276,12 @@ fn main() {
             s[s.len() / 2]
         };
         let ti = median(t_inplace);
+        let ti_off = median(t_inplace_off);
         cells.push(Cell {
             locales,
             mode: "in_place",
             lanczos_iter_seconds: ti,
+            integrity_off_iter_seconds: ti_off,
             gathered_bytes_per_iter: 0,
             scattered_bytes_per_iter: 0,
             wire_tx_bytes_per_iter: wire_tx,
@@ -260,9 +292,11 @@ fn main() {
         if mp.is_some() {
             if transport::is_primary() {
                 println!(
-                    "  locales {locales}: dim {dim}, in-place {}/iter (0 B gathered), \
-                     wire {} B tx + {} B rx per iter, mean barrier {}",
+                    "  locales {locales}: dim {dim}, in-place {}/iter (0 B gathered, \
+                     {} with LS_INTEGRITY=off), wire {} B tx + {} B rx per iter, \
+                     mean barrier {}",
                     ls_bench::fmt_secs(ti),
+                    ls_bench::fmt_secs(ti_off),
                     wire_tx,
                     wire_rx,
                     ls_bench::fmt_secs(barrier_secs),
@@ -275,9 +309,11 @@ fn main() {
             );
             let tg = median(t_gs);
             println!(
-                "  locales {locales}: dim {dim}, in-place {}/iter (0 B gathered), \
-                 gather-scatter {}/iter ({} B gathered + {} B scattered per iter)",
+                "  locales {locales}: dim {dim}, in-place {}/iter (0 B gathered, \
+                 {} with LS_INTEGRITY=off), gather-scatter {}/iter \
+                 ({} B gathered + {} B scattered per iter)",
                 ls_bench::fmt_secs(ti),
+                ls_bench::fmt_secs(ti_off),
                 ls_bench::fmt_secs(tg),
                 gs_gathered,
                 gs_scattered,
@@ -286,6 +322,7 @@ fn main() {
                 locales,
                 mode: "gather_scatter",
                 lanczos_iter_seconds: tg,
+                integrity_off_iter_seconds: 0.0,
                 gathered_bytes_per_iter: gs_gathered,
                 scattered_bytes_per_iter: gs_scattered,
                 wire_tx_bytes_per_iter: 0,
@@ -320,12 +357,14 @@ fn main() {
         .map(|c| {
             format!(
                 "    {{\"locales\": {}, \"mode\": \"{}\", \"lanczos_iter_seconds\": {:.9}, \
+                 \"integrity_off_iter_seconds\": {:.9}, \
                  \"gathered_bytes_per_iter\": {}, \"scattered_bytes_per_iter\": {}, \
                  \"wire_tx_bytes_per_iter\": {}, \"wire_rx_bytes_per_iter\": {}, \
                  \"mean_barrier_seconds\": {:.9}, \"energy\": {:.12}}}",
                 c.locales,
                 c.mode,
                 c.lanczos_iter_seconds,
+                c.integrity_off_iter_seconds,
                 c.gathered_bytes_per_iter,
                 c.scattered_bytes_per_iter,
                 c.wire_tx_bytes_per_iter,
@@ -348,13 +387,34 @@ fn main() {
         }
         None => (0, 0, 0, 0.0),
     };
+    // Silent-error columns: corruption events this incarnation observed
+    // (a clean run must report zeros) and the integrity-checking cost —
+    // the worst in-place full/off per-iteration ratio across the locale
+    // axis, which the CI bench guard bounds at 1.05.
+    let (frames_corrupted, crc_bytes_checked) = match mp {
+        Some(mp) => {
+            let w = mp.stats().snapshot();
+            (w.frames_corrupted, w.crc_bytes_checked)
+        }
+        None => (0, 0),
+    };
+    let integrity_overhead = cells
+        .iter()
+        .filter(|c| c.mode == "in_place" && c.integrity_off_iter_seconds > 0.0)
+        .map(|c| c.lanczos_iter_seconds / c.integrity_off_iter_seconds)
+        .fold(0.0f64, f64::max);
     let json = format!(
         "{{\n  \"bench\": \"dist\",\n  \"backend\": \"{}\",\n  \"sites\": {sites},\n  \
          \"dim\": {dim},\n  \"iters\": {iters},\n  \"reps\": {reps},\n  \
+         \"integrity\": \"{}\",\n  \"integrity_overhead\": {integrity_overhead:.6},\n  \
+         \"frames_corrupted\": {frames_corrupted},\n  \
+         \"crc_bytes_checked\": {crc_bytes_checked},\n  \
+         \"rollbacks\": {total_rollbacks},\n  \
          \"restarts\": {restarts},\n  \"peer_failures_detected\": {peer_failures},\n  \
          \"aborts_sent\": {aborts_sent},\n  \"mean_detection_seconds\": {mean_detection:.9},\n  \
          \"series\": [\n{}\n  ]\n}}\n",
         transport::backend().name(),
+        transport::IntegrityMode::from_env().name(),
         rows.join(",\n")
     );
     // In a multiprocess job every rank computes the same numbers modulo

@@ -29,7 +29,8 @@ use ls_eigen::{
     RestartOptions,
 };
 use ls_kernels::Scalar;
-use ls_runtime::{Cluster, DistVec};
+use ls_runtime::{transport, Cluster, DistVec};
+use std::sync::RwLock;
 
 /// Options for [`dist_lanczos_smallest`].
 #[derive(Clone, Debug, Default)]
@@ -67,7 +68,13 @@ pub struct DistOp<'a, S: Scalar> {
     cluster: &'a Cluster,
     op: &'a SymmetrizedOperator<S>,
     basis: &'a DistSpinBasis,
-    engine: PcEngine<S>,
+    /// Behind a lock only for [`KrylovOp::recover`]: transport-level
+    /// corruption recovery drops every registered channel, so the engine
+    /// (whose channel grid is registered with the transport) must be
+    /// rebuilt through `&self`. Applies take the read lock — uncontended
+    /// in a healthy solve, since products never overlap.
+    engine: RwLock<PcEngine<S>>,
+    pc: PcOptions,
     lens: Vec<usize>,
 }
 
@@ -82,13 +89,19 @@ impl<'a, S: Scalar> DistOp<'a, S> {
             cluster,
             op,
             basis,
-            engine: PcEngine::new(cluster.n_locales(), pc),
+            engine: RwLock::new(PcEngine::new(cluster.n_locales(), pc)),
+            pc,
             lens: basis.states().lens(),
         }
     }
 
     pub fn basis(&self) -> &DistSpinBasis {
         self.basis
+    }
+
+    /// The engine for direct use (read access; applies go through this).
+    fn engine(&self) -> std::sync::RwLockReadGuard<'_, PcEngine<S>> {
+        self.engine.read().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -104,18 +117,36 @@ impl<S: Scalar> KrylovOp<DistVec<S>> for DistOp<'_, S> {
     }
 
     fn apply(&self, x: &DistVec<S>, y: &mut DistVec<S>) {
-        self.engine.apply(self.cluster, self.op, self.basis, x, y);
+        self.engine().apply(self.cluster, self.op, self.basis, x, y);
     }
 
     /// Fused matvec+dot: the per-locale dot partial is taken by each
     /// locale's last pipeline task while its freshly accumulated part is
     /// still cache-hot (see [`PcEngine::apply_dot`]).
     fn apply_dot(&self, x: &DistVec<S>, y: &mut DistVec<S>) -> S {
-        self.engine.apply_dot(self.cluster, self.op, self.basis, x, y)
+        self.engine().apply_dot(self.cluster, self.op, self.basis, x, y)
     }
 
     fn is_hermitian(&self) -> bool {
         self.op.is_hermitian()
+    }
+
+    /// Post-corruption recovery, called by the rollback driver on every
+    /// rank before it replays from a checkpoint. Order is load-bearing:
+    /// the transport's collective recovery first (it drains the poisoned
+    /// epoch and *drops every registered channel*, including this
+    /// engine's grid), then a fresh engine — rebuilt on all ranks in
+    /// lockstep, so the new grid's channel ids agree job-wide. A no-op
+    /// apart from the rebuild when nothing is poisoned (in-process
+    /// backends reach here after an ABFT unwind: the old engine was
+    /// already re-armed, but a rebuild is cheap and unconditional paths
+    /// are easier to trust).
+    fn recover(&self) {
+        if let Some(mp) = transport::active() {
+            mp.recover_from_corruption();
+        }
+        let mut engine = self.engine.write().unwrap_or_else(|e| e.into_inner());
+        *engine = PcEngine::new(self.cluster.n_locales(), self.pc);
     }
 }
 

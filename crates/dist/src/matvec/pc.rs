@@ -24,7 +24,7 @@
 //! fresh threads each iteration.
 
 use crate::basis::DistSpinBasis;
-use crate::matvec::{accumulate_batch, validate_shapes};
+use crate::matvec::{accumulate_batch, validate_shapes, AbftTally};
 use crossbeam::utils::Backoff;
 use ls_basis::{OffDiagBlock, SymmetrizedOperator};
 use ls_kernels::search::NOT_FOUND;
@@ -153,6 +153,16 @@ impl<S: Scalar> PcEngine<S> {
         let mut partials = vec![S::ZERO; self.n_locales];
         self.apply_inner(cluster, op, basis, x, y, Some(&mut partials));
         if let Some(mp) = transport::active() {
+            // Deterministic fault injection (`LS_FAULT=nan:...`): every
+            // rank advances its matvec-epoch clock here, and the
+            // configured rank replaces its local dot partial with NaN
+            // *before* the reduction — silent arithmetic corruption that
+            // the rank-ordered allreduce then propagates to every rank
+            // identically, so the health monitor trips (and rolls back)
+            // in lockstep.
+            if mp.nan_fault_fires() {
+                partials[mp.rank()] = S::from_re(f64::NAN);
+            }
             // A real allreduce: each rank contributes its own slot (the
             // others are zero); lane-wise rank-ordered sums reproduce the
             // per-locale partials on every rank bit-identically.
@@ -200,6 +210,14 @@ impl<S: Scalar> PcEngine<S> {
         for part in y.parts_mut() {
             part.fill(S::ZERO);
         }
+        // ABFT checksum vectors (`LS_INTEGRITY=full`): producers tally
+        // every contribution they generate, per destination; after the
+        // product the realized part sums must match. Catches endpoint
+        // corruption (contributions lost, duplicated or altered before
+        // they reach `y`) that the wire CRCs cannot see.
+        let abft = ls_runtime::IntegrityMode::from_env()
+            .full()
+            .then(|| AbftTally::new(self.n_locales));
         let win = AtomicAccumWindow::new(y);
         // Race-free indexed stores of the per-locale dot partials (each
         // slot written by exactly one locale's last task).
@@ -220,7 +238,7 @@ impl<S: Scalar> PcEngine<S> {
         cluster.run_tasks(producers + consumers, |ctx, task| {
             let me = ctx.locale();
             if task < producers {
-                self.produce(ctx, op, basis, x, &win, task);
+                self.produce(ctx, op, basis, x, &win, task, abft.as_ref());
                 if live_producers[me].fetch_sub(1, Ordering::AcqRel) == 1 {
                     for dest in 0..self.n_locales {
                         self.channel(me, dest).close();
@@ -248,17 +266,38 @@ impl<S: Scalar> PcEngine<S> {
                 ctx.barrier_wait();
             }
         });
-        // Re-arm the channels for the next product (buffer reuse).
+        drop(win);
+        // A corruption detected during this product (poison may land at
+        // any point — the window drop above already skipped its flush
+        // barrier) leaves the channel grid in an arbitrary mid-product
+        // state: re-arming would trip the reset invariants with a plain
+        // (unrecoverable) panic, and the ABFT sums are garbage anyway.
+        // Surface the corruption for rollback instead — recovery
+        // rebuilds the engine wholesale, fresh grid included.
+        if let Some(mp) = transport::active() {
+            if mp.is_poisoned() {
+                self.in_use.store(false, Ordering::Release);
+                mp.raise_if_poisoned();
+            }
+        }
+        // Re-arm the channels for the next product (buffer reuse) and
+        // release the engine *before* the checksum verification: if it
+        // unwinds, the engine is already back in a reusable state for
+        // the retry after rollback.
         for ch in &self.channels {
             ch.reset();
         }
         self.in_use.store(false, Ordering::Release);
+        if let Some(abft) = &abft {
+            abft.verify(&*y);
+        }
     }
 
     /// Producer task `p`: generates the rows of a contiguous share of the
     /// local basis part in blocks through the batch kernels
     /// ([`SymmetrizedOperator::apply_off_diag_block`]), staging off-locale
     /// contributions per destination and bulk-ranking the local ones.
+    #[allow(clippy::too_many_arguments)] // internal worker of apply_inner
     fn produce(
         &self,
         ctx: &LocaleCtx<'_>,
@@ -267,6 +306,7 @@ impl<S: Scalar> PcEngine<S> {
         x: &DistVec<S>,
         win: &AtomicAccumWindow<'_, S>,
         p: usize,
+        abft: Option<&AbftTally>,
     ) {
         let me = ctx.locale();
         let states = basis.states().part(me);
@@ -276,6 +316,7 @@ impl<S: Scalar> PcEngine<S> {
         let lo = p * states.len() / producers;
         let hi = (p + 1) * states.len() / producers;
 
+        let mut tally = abft.map(AbftTally::local);
         let mut staging: Vec<Vec<(u64, S)>> =
             (0..self.n_locales).map(|_| Vec::with_capacity(self.opts.capacity)).collect();
         let mut gen = OffDiagBlock::new();
@@ -292,6 +333,9 @@ impl<S: Scalar> PcEngine<S> {
             for (k, &d) in diag.iter().enumerate() {
                 if d != S::ZERO {
                     win.fetch_add(me, b0 + k, d * x_local[b0 + k]);
+                    if let Some(t) = &mut tally {
+                        AbftTally::note(t, me, d * x_local[b0 + k]);
+                    }
                 }
             }
             op.apply_off_diag_block(block, &orbits[b0..b1], &mut gen);
@@ -301,6 +345,9 @@ impl<S: Scalar> PcEngine<S> {
                 let rep = gen.reps[t];
                 let val = gen.amps[t] * x_local[b0 + gen.src[t] as usize];
                 let dest = basis.owner(rep);
+                if let Some(tl) = &mut tally {
+                    AbftTally::note(tl, dest, val);
+                }
                 if dest == me {
                     // Local contributions skip the buffers entirely (the
                     // PGAS "here" fast path) but still rank in bulk.
@@ -329,6 +376,9 @@ impl<S: Scalar> PcEngine<S> {
             if !pairs.is_empty() {
                 self.ship(ctx, dest, pairs);
             }
+        }
+        if let (Some(abft), Some(t)) = (abft, &tally) {
+            abft.merge(t);
         }
     }
 
@@ -388,8 +438,18 @@ impl<S: Scalar> PcEngine<S> {
                 if idle_spins < 8 {
                     std::hint::spin_loop();
                 } else {
-                    // A producer that died mid-product would leave us
-                    // spinning forever: surface the failure instead.
+                    // A producer that stopped feeding us would leave
+                    // this loop spinning forever, so surface the cause.
+                    // Two distinct failures hide behind the one call,
+                    // with different exits: a *dead* peer is fail-stop
+                    // (`TransportError::PeerFailed`, job aborts, the
+                    // supervisor relaunches), while a *poisoned* epoch —
+                    // frame CRC, segment checksum or ABFT — unwinds as a
+                    // catchable `TransportError::Corruption` so the
+                    // solver rolls the product back. Integrity outranks
+                    // liveness in the check, so a peer that detects
+                    // corruption and unwinds (going quiet mid-product)
+                    // is attributed as corruption, not as a crash.
                     transport::poll_failure();
                     std::thread::yield_now();
                 }
@@ -443,6 +503,10 @@ impl<S: Scalar> PcEngine<S> {
                 if idle_spins < 8 {
                     std::hint::spin_loop();
                 } else {
+                    // Same attribution split as `consume`: dead peer →
+                    // fail-stop `PeerFailed`; poisoned epoch → catchable
+                    // `Corruption` (the stash dies with the unwind, which
+                    // is correct — rollback discards the whole product).
                     transport::poll_failure();
                     std::thread::yield_now();
                 }
@@ -453,6 +517,10 @@ impl<S: Scalar> PcEngine<S> {
         let backoff = Backoff::new();
         while live_local_producers.load(Ordering::Acquire) != 0 {
             if backoff.is_completed() {
+                // The local producer may be unwinding out of a poisoned
+                // epoch rather than still working: poll so this waiter
+                // joins the unwind instead of snoozing against a
+                // countdown that will never reach zero.
                 transport::poll_failure();
             }
             backoff.snooze();

@@ -89,6 +89,12 @@ pub struct LanczosResultIn<V> {
     /// (basis + workspace + any compression/assembly scratch) — the
     /// solver's memory footprint in units of one state vector.
     pub peak_retained: usize,
+    /// Checkpoint rollbacks performed by the silent-error defense
+    /// ([`crate::health`]): cycles that detected corruption (transport
+    /// CRC/ABFT or a solver health violation) and were replayed from the
+    /// newest valid checkpoint. 0 on a clean run; the unrestarted solver
+    /// has no rollback path and always reports 0.
+    pub rollbacks: u64,
 }
 
 /// Result of a shared-memory (slice-backed) Lanczos run.
@@ -188,6 +194,16 @@ pub(crate) fn lanczos_plain_in<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
         // operator reads the basis vector in place).
         let alpha = op.apply_dot(&basis[j], &mut w).re();
         alphas.push(alpha);
+        if !alpha.is_finite() {
+            // Surface the typed health error *before* cgs2 sweeps the
+            // poisoned workspace through the whole basis: a NaN matvec
+            // output must never be mistaken for (non-)convergence.
+            crate::health::raise(crate::health::SolverHealthError {
+                cycle: 0,
+                check: "alpha",
+                detail: format!("diagonal coefficient {j} is {alpha}"),
+            });
+        }
         // Full reorthogonalization, two *blocked* classical Gram–Schmidt
         // passes (CGS2 — "twice is enough" is precisely the repeated-CGS
         // theorem): each pass sweeps `w` once to take all coefficients at
@@ -200,6 +216,13 @@ pub(crate) fn lanczos_plain_in<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
         // The second pass's update is fused with the β norm (one sweep
         // fewer again).
         let beta = cgs2_beta(&basis, &mut w);
+        if !beta.is_finite() {
+            crate::health::raise(crate::health::SolverHealthError {
+                cycle: 0,
+                check: "beta",
+                detail: format!("off-diagonal coefficient {j} is {beta}"),
+            });
+        }
 
         if beta <= 1e-13 {
             // Exact invariant subspace: every Ritz pair of the projected
@@ -304,6 +327,7 @@ pub(crate) fn lanczos_plain_in<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
         residuals,
         converged,
         peak_retained: peak,
+        rollbacks: 0,
     }
 }
 

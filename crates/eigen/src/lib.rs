@@ -38,6 +38,13 @@
 //!   that resume contract ([`save_checkpoint`] / [`load_checkpoint`],
 //!   typed [`CheckpointError`]s for truncated, corrupt or mismatched
 //!   files);
+//! * [`health`] — the solver layer of the silent-error defense:
+//!   [`HealthMonitor`] checks Lanczos invariants (finite coefficients,
+//!   `β ≥ 0`, retained-basis orthonormality, sane residuals) each cycle,
+//!   and the thick-restart driver catches the typed
+//!   [`SolverHealthError`] (or a transport
+//!   [`ls_runtime::TransportError::Corruption`]) and rolls back to the
+//!   newest valid checkpoint, bounded by `LS_MAX_ROLLBACKS`;
 //! * [`tridiag::tridiag_eigh`] — implicit-shift QL for the projected
 //!   tridiagonal problem (no LAPACK available offline, so this is a
 //!   from-scratch implementation);
@@ -47,6 +54,7 @@
 
 pub mod checkpoint;
 pub mod expm;
+pub mod health;
 pub mod jacobi;
 pub mod lanczos;
 pub mod op;
@@ -63,6 +71,7 @@ pub use checkpoint::{
 pub use expm::{
     evolve_imaginary_time, evolve_imaginary_time_in, evolve_real_time, evolve_real_time_in,
 };
+pub use health::{HealthMonitor, SolverHealthError};
 pub use lanczos::{
     lanczos_smallest, lanczos_smallest_in, LanczosOptions, LanczosResult, LanczosResultIn,
 };

@@ -40,6 +40,7 @@
 use crate::checkpoint::{
     load_latest_checkpoint, save_checkpoint_ref, save_checkpoint_rotated, CheckpointStateRef,
 };
+use crate::health::{max_rollbacks_from_env, raise, HealthMonitor, SolverHealthError};
 use crate::jacobi::eigh_real;
 use crate::lanczos::{
     cgs2_beta, lanczos_plain_in, random_fill, LanczosOptions, LanczosResult, LanczosResultIn,
@@ -310,154 +311,252 @@ pub fn thick_restart_lanczos_in<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
     let mut residuals: Vec<f64> = border.iter().map(|s| s.abs()).take(k).collect();
     let mut eigenvectors: Option<Vec<V>> = None;
 
+    // ---- silent-error defense ------------------------------------------
+    // Each cycle runs inside `catch_unwind`; a typed corruption signal
+    // (transport CRC/ABFT violation or a solver health check) rolls the
+    // solve back to its newest valid checkpoint instead of dying,
+    // bounded by LS_MAX_ROLLBACKS. Anything else re-raises untouched.
+    let monitor = HealthMonitor::from_env();
+    let max_rollbacks = max_rollbacks_from_env() as u64;
+    let mut rollbacks = 0u64;
+
     'outer: while restarts < opts.max_restarts {
-        // ---- expansion: grow the chain to m vectors --------------------
-        let mut beta_last = 0.0f64;
-        // Set when the chain filled up via a breakdown while an
-        // unexplored invariant subspace provably remains: the cycle must
-        // then compress and restart from that fresh direction instead of
-        // declaring the (exact but possibly multiplicity-deficient)
-        // projected values converged.
-        let mut forced_restart = false;
-        loop {
-            let j = basis.len() - 1;
-            debug_assert_eq!(diag.len(), j, "projected matrix out of step with basis");
-            let alpha = op.apply_dot(&basis[j], &mut w).re();
-            matvecs += 1;
-            diag.push(alpha);
-            // Full blocked-CGS2 reorthogonalization against the *whole*
-            // retained set — locked Ritz vectors and chain alike. The
-            // first pass subsumes the explicit `α v_j`, `β v_{j-1}` and
-            // `Σ s_i u_i` subtractions.
-            let beta = cgs2_beta(&basis, &mut w);
-            if beta <= BREAKDOWN {
-                // Exact invariant subspace. Re-seed with a fresh random
-                // direction orthogonalized (CGS2) against every retained
-                // vector — including the locked Ritz vectors — so the
-                // next block explores an unexplored subspace.
-                breakdowns += 1;
-                let mut fresh = op.new_vec();
-                draw_random(&mut fresh, opts.seed, &mut draws);
-                let before = fresh.norm();
-                let nf = cgs2_beta(&basis, &mut fresh);
-                if nf <= 1e-10 * before {
-                    // The basis spans the reachable space: the projected
-                    // problem is exact and complete. Finish on it.
-                    break;
+        let cycle_done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // ---- expansion: grow the chain to m vectors --------------------
+            let mut beta_last = 0.0f64;
+            // Set when the chain filled up via a breakdown while an
+            // unexplored invariant subspace provably remains: the cycle must
+            // then compress and restart from that fresh direction instead of
+            // declaring the (exact but possibly multiplicity-deficient)
+            // projected values converged.
+            let mut forced_restart = false;
+            loop {
+                let j = basis.len() - 1;
+                debug_assert_eq!(diag.len(), j, "projected matrix out of step with basis");
+                let alpha = op.apply_dot(&basis[j], &mut w).re();
+                matvecs += 1;
+                diag.push(alpha);
+                // Full blocked-CGS2 reorthogonalization against the *whole*
+                // retained set — locked Ritz vectors and chain alike. The
+                // first pass subsumes the explicit `α v_j`, `β v_{j-1}` and
+                // `Σ s_i u_i` subtractions.
+                let beta = cgs2_beta(&basis, &mut w);
+                if let Err(e) = monitor.check_step(restarts, alpha, beta) {
+                    raise(e);
                 }
-                fresh.scale(1.0 / nf);
-                if basis.len() == m {
-                    if breakdowns > k {
-                        // More than k independent invariant blocks have
-                        // been explored (cumulative across cycles, like
-                        // the unrestarted solver's rule): every copy of
-                        // the wanted eigenvalues is reachable from some
-                        // block, so the exact projected values stand.
+                if beta <= BREAKDOWN {
+                    // Exact invariant subspace. Re-seed with a fresh random
+                    // direction orthogonalized (CGS2) against every retained
+                    // vector — including the locked Ritz vectors — so the
+                    // next block explores an unexplored subspace.
+                    breakdowns += 1;
+                    let mut fresh = op.new_vec();
+                    draw_random(&mut fresh, opts.seed, &mut draws);
+                    let before = fresh.norm();
+                    let nf = cgs2_beta(&basis, &mut fresh);
+                    if nf <= 1e-10 * before {
+                        // The basis spans the reachable space: the projected
+                        // problem is exact and complete. Finish on it.
                         break;
                     }
-                    // The chain is full but `fresh` just proved an
-                    // unexplored subspace remains — multiplicity may be
-                    // unresolved. Force a restart with `fresh` as the
-                    // next chain seed (β = 0: decoupled from the locked
-                    // set, exactly a random-restart block).
-                    w = fresh;
-                    beta_last = 0.0;
-                    forced_restart = true;
-                    break;
+                    fresh.scale(1.0 / nf);
+                    if basis.len() == m {
+                        if breakdowns > k {
+                            // More than k independent invariant blocks have
+                            // been explored (cumulative across cycles, like
+                            // the unrestarted solver's rule): every copy of
+                            // the wanted eigenvalues is reachable from some
+                            // block, so the exact projected values stand.
+                            break;
+                        }
+                        // The chain is full but `fresh` just proved an
+                        // unexplored subspace remains — multiplicity may be
+                        // unresolved. Force a restart with `fresh` as the
+                        // next chain seed (β = 0: decoupled from the locked
+                        // set, exactly a random-restart block).
+                        w = fresh;
+                        beta_last = 0.0;
+                        forced_restart = true;
+                        break;
+                    }
+                    offdiag.push(0.0);
+                    basis.push(fresh);
+                    peak = peak.max(basis.len() + 1);
+                    continue;
                 }
-                offdiag.push(0.0);
-                basis.push(fresh);
-                peak = peak.max(basis.len() + 1);
-                continue;
-            }
-            if basis.len() == m {
-                beta_last = beta;
+                if basis.len() == m {
+                    beta_last = beta;
+                    w.scale(1.0 / beta);
+                    break; // w is now the normalized residual v_res
+                }
+                offdiag.push(beta);
                 w.scale(1.0 / beta);
-                break; // w is now the normalized residual v_res
+                basis.push(w.clone());
+                peak = peak.max(basis.len() + 1);
             }
-            offdiag.push(beta);
-            w.scale(1.0 / beta);
-            basis.push(w.clone());
-            peak = peak.max(basis.len() + 1);
-        }
 
-        // ---- cycle end: projected solve + convergence test -------------
-        let mcur = basis.len();
-        assert!(mcur >= k, "Krylov space collapsed below k = {k} (dim {n})");
-        let (cvals, yvecs) = projected_eigh(&diag, &border, &offdiag, l);
-        let spectral_scale = cvals.iter().fold(0.0f64, |acc, v| acc.max(v.abs())).max(1e-300);
-        let resid: Vec<f64> = (0..k).map(|i| (beta_last * yvecs[i][mcur - 1]).abs()).collect();
-        let ok = !forced_restart && resid.iter().all(|r| *r <= opts.tol * spectral_scale);
-        vals = cvals[..k].to_vec();
-        residuals = resid;
-
-        if ok {
-            // Converged (β_last ≈ 0 without a forced restart means the
-            // reachable space is exhausted — the projected problem is
-            // then exact). Assemble Ritz vectors from the full cycle
-            // basis before anything is compressed away.
-            converged = true;
-            if opts.want_vectors {
-                let mut out = Vec::with_capacity(k);
-                for yv in yvecs.iter().take(k) {
-                    let mut x = op.new_vec();
-                    let coeffs: Vec<V::Scalar> =
-                        yv.iter().take(mcur).map(|&t| V::Scalar::from_re(t)).collect();
-                    V::multi_axpy(&coeffs, &basis[..mcur], &mut x);
-                    let nx = x.norm();
-                    x.scale(1.0 / nx);
-                    out.push(x);
-                }
-                peak = peak.max(mcur + 1 + k);
-                eigenvectors = Some(out);
+            // ---- cycle end: projected solve + convergence test -------------
+            let mcur = basis.len();
+            assert!(mcur >= k, "Krylov space collapsed below k = {k} (dim {n})");
+            let (cvals, yvecs) = projected_eigh(&diag, &border, &offdiag, l);
+            if let Err(e) = monitor.check_ritz(restarts, &cvals) {
+                raise(e);
             }
-            break 'outer;
-        }
+            let spectral_scale =
+                cvals.iter().fold(0.0f64, |acc, v| acc.max(v.abs())).max(1e-300);
+            let resid: Vec<f64> =
+                (0..k).map(|i| (beta_last * yvecs[i][mcur - 1]).abs()).collect();
+            if let Err(e) = monitor.check_residuals(restarts, &resid) {
+                raise(e);
+            }
+            let ok = !forced_restart && resid.iter().all(|r| *r <= opts.tol * spectral_scale);
+            vals = cvals[..k].to_vec();
+            residuals = resid;
 
-        // ---- thick restart: compress to the best keep Ritz pairs -------
-        let keep = keep_max.min(mcur - 2).max(k);
-        let mut new_basis: Vec<V> = Vec::with_capacity(keep + 1);
-        for yv in yvecs.iter().take(keep) {
-            let mut u = op.new_vec();
-            let coeffs: Vec<V::Scalar> =
-                yv.iter().take(mcur).map(|&t| V::Scalar::from_re(t)).collect();
-            V::multi_axpy(&coeffs, &basis[..mcur], &mut u);
-            new_basis.push(u);
-        }
-        peak = peak.max(mcur + keep + 1);
-        let new_border: Vec<f64> = (0..keep).map(|i| beta_last * yvecs[i][mcur - 1]).collect();
-        basis = new_basis; // old cycle basis freed here
-        basis.push(w); // the residual vector seeds the next chain
-        w = op.new_vec();
-        l = keep;
-        diag = cvals[..keep].to_vec();
-        border = new_border;
-        offdiag.clear();
-        restarts += 1;
-
-        if let Some(cp) = &opts.checkpoint {
-            if restarts.is_multiple_of(cp.every.max(1)) {
-                // Borrowed state: no clone of the retained basis, so the
-                // write stays inside the k + extra vector budget.
-                let st = CheckpointStateRef {
-                    k,
-                    budget: b,
-                    restarts,
-                    draws,
-                    breakdowns: breakdowns as u64,
-                    retained: l,
-                    diag: &diag,
-                    border: &border,
-                    basis: &basis,
-                };
-                let written = if cp.keep > 1 {
-                    save_checkpoint_rotated(&cp.path, &st, cp.keep)
-                } else {
-                    save_checkpoint_ref(&cp.path, &st)
-                };
-                if let Err(e) = written {
-                    panic!("failed to write checkpoint {}: {e}", cp.path.display());
+            if ok {
+                // Converged (β_last ≈ 0 without a forced restart means the
+                // reachable space is exhausted — the projected problem is
+                // then exact). Assemble Ritz vectors from the full cycle
+                // basis before anything is compressed away.
+                converged = true;
+                if opts.want_vectors {
+                    let mut out = Vec::with_capacity(k);
+                    for yv in yvecs.iter().take(k) {
+                        let mut x = op.new_vec();
+                        let coeffs: Vec<V::Scalar> =
+                            yv.iter().take(mcur).map(|&t| V::Scalar::from_re(t)).collect();
+                        V::multi_axpy(&coeffs, &basis[..mcur], &mut x);
+                        let nx = x.norm();
+                        x.scale(1.0 / nx);
+                        out.push(x);
+                    }
+                    peak = peak.max(mcur + 1 + k);
+                    eigenvectors = Some(out);
                 }
+                return true;
+            }
+
+            // ---- thick restart: compress to the best keep Ritz pairs -------
+            let keep = keep_max.min(mcur - 2).max(k);
+            let mut new_basis: Vec<V> = Vec::with_capacity(keep + 1);
+            for yv in yvecs.iter().take(keep) {
+                let mut u = op.new_vec();
+                let coeffs: Vec<V::Scalar> =
+                    yv.iter().take(mcur).map(|&t| V::Scalar::from_re(t)).collect();
+                V::multi_axpy(&coeffs, &basis[..mcur], &mut u);
+                new_basis.push(u);
+            }
+            peak = peak.max(mcur + keep + 1);
+            let new_border: Vec<f64> =
+                (0..keep).map(|i| beta_last * yvecs[i][mcur - 1]).collect();
+            basis = new_basis; // old cycle basis freed here
+            basis.push(std::mem::replace(&mut w, op.new_vec())); // residual seeds the next chain
+            l = keep;
+            diag = cvals[..keep].to_vec();
+            border = new_border;
+            offdiag.clear();
+            restarts += 1;
+
+            // Retained-set orthonormality: the compressed basis is the state
+            // the *whole rest of the solve* builds on, so drift here (a
+            // flipped bit in a locked Ritz vector) would silently poison
+            // every later cycle. Checked at the boundary, before it is
+            // checkpointed as "good".
+            if let Err(e) = monitor.check_basis(restarts, &basis) {
+                raise(e);
+            }
+
+            if let Some(cp) = &opts.checkpoint {
+                if restarts.is_multiple_of(cp.every.max(1)) {
+                    // Borrowed state: no clone of the retained basis, so the
+                    // write stays inside the k + extra vector budget.
+                    let st = CheckpointStateRef {
+                        k,
+                        budget: b,
+                        restarts,
+                        draws,
+                        breakdowns: breakdowns as u64,
+                        retained: l,
+                        diag: &diag,
+                        border: &border,
+                        basis: &basis,
+                    };
+                    let written = if cp.keep > 1 {
+                        save_checkpoint_rotated(&cp.path, &st, cp.keep)
+                    } else {
+                        save_checkpoint_ref(&cp.path, &st)
+                    };
+                    if let Err(e) = written {
+                        panic!("failed to write checkpoint {}: {e}", cp.path.display());
+                    }
+                }
+            }
+            false
+        }));
+
+        match cycle_done {
+            Ok(true) => break 'outer,
+            Ok(false) => {}
+            Err(payload) => {
+                // Only *typed corruption signals* are recoverable: a
+                // solver health violation or a transport integrity error.
+                // Plain panics (bugs, assertion failures) re-raise as-is.
+                let recoverable = payload.downcast_ref::<SolverHealthError>().is_some()
+                    || payload.downcast_ref::<ls_runtime::TransportError>().is_some_and(|e| {
+                        matches!(e, ls_runtime::TransportError::Corruption { .. })
+                    });
+                if !recoverable || rollbacks >= max_rollbacks {
+                    std::panic::resume_unwind(payload);
+                }
+                rollbacks += 1;
+                eprintln!(
+                    "ls-eigen: corruption detected in restart cycle {restarts}; rolling back \
+                     ({rollbacks}/{max_rollbacks})"
+                );
+                // Give the operator a chance to re-synchronize (the
+                // distributed backend drains transport poison and
+                // re-enters a clean communication epoch here) *before*
+                // the replay issues collectives.
+                op.recover();
+                let restored = opts
+                    .checkpoint
+                    .as_ref()
+                    .filter(|cp| cp.path.exists())
+                    .and_then(|cp| load_latest_checkpoint::<V, Op>(&cp.path, op).ok())
+                    .filter(|st| st.k == k && st.budget == b);
+                match restored {
+                    Some(st) => {
+                        l = st.retained;
+                        diag = st.diag;
+                        border = st.border;
+                        basis = st.basis;
+                        restarts = st.restarts;
+                        draws = st.draws;
+                        breakdowns = st.breakdowns as usize;
+                    }
+                    None => {
+                        // No checkpoint written yet (or none valid): roll
+                        // all the way back to the start. Draws are
+                        // counter-derived, so the replayed trajectory is
+                        // the uninterrupted one, bit for bit.
+                        l = 0;
+                        restarts = 0;
+                        draws = 0;
+                        breakdowns = 0;
+                        diag = Vec::new();
+                        border = Vec::new();
+                        basis = Vec::new();
+                        let mut v0 = op.new_vec();
+                        draw_random(&mut v0, opts.seed, &mut draws);
+                        let nrm = v0.norm();
+                        v0.scale(1.0 / nrm);
+                        basis.push(v0);
+                    }
+                }
+                offdiag.clear();
+                w = op.new_vec();
+                vals = diag.iter().copied().take(k).collect();
+                residuals = border.iter().map(|s| s.abs()).take(k).collect();
             }
         }
     }
@@ -478,6 +577,7 @@ pub fn thick_restart_lanczos_in<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
         residuals,
         converged,
         peak_retained: peak,
+        rollbacks,
     }
 }
 
@@ -708,5 +808,116 @@ mod tests {
         let op = DenseOp::new(50, vec![0.0; 2500]);
         let _ =
             thick_restart_lanczos(&op, &RestartOptions { extra: 2, ..RestartOptions::new(2) });
+    }
+
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    /// A dense operator that corrupts exactly one matvec output: the
+    /// `fire_at`-th apply gets a NaN written into `y[0]`, once. Later
+    /// (replayed) applies are clean, so a rolled-back solve retraces the
+    /// uncorrupted trajectory — the hermetic stand-in for a one-shot
+    /// soft error.
+    struct NanOnceOp {
+        inner: DenseOp<f64>,
+        calls: AtomicUsize,
+        fire_at: usize,
+        fired: AtomicBool,
+    }
+
+    impl NanOnceOp {
+        fn new(inner: DenseOp<f64>, fire_at: usize) -> Self {
+            Self { inner, calls: AtomicUsize::new(0), fire_at, fired: AtomicBool::new(false) }
+        }
+    }
+
+    impl LinearOp<f64> for NanOnceOp {
+        fn dim(&self) -> usize {
+            LinearOp::dim(&self.inner)
+        }
+        fn apply(&self, x: &[f64], y: &mut [f64]) {
+            LinearOp::apply(&self.inner, x, y);
+            let call = self.calls.fetch_add(1, Ordering::SeqCst);
+            if call == self.fire_at && !self.fired.swap(true, Ordering::SeqCst) {
+                y[0] = f64::NAN;
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_cycle_rolls_back_to_checkpoint_bit_identically() {
+        let n = 150;
+        let a = random_symmetric(n, 77);
+        let clean = thick_restart_lanczos(
+            &DenseOp::new(n, a.clone()),
+            &RestartOptions { extra: 12, tol: 1e-12, ..RestartOptions::new(2) },
+        );
+        assert!(clean.converged);
+        assert_eq!(clean.rollbacks, 0, "clean run must not roll back");
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("ls_restart_rollback_{}.lsck", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        // Budget 14 → chain length 8: apply #15 (0-based) lands after the
+        // second restart boundary, so a checkpoint exists to roll back to.
+        let op = NanOnceOp::new(DenseOp::new(n, a.clone()), 15);
+        let res = thick_restart_lanczos(
+            &op,
+            &RestartOptions {
+                extra: 12,
+                tol: 1e-12,
+                checkpoint: Some(CheckpointPolicy::new(path.clone())),
+                ..RestartOptions::new(2)
+            },
+        );
+        assert!(res.converged, "residuals {:?}", res.residuals);
+        assert_eq!(res.rollbacks, 1, "the poisoned cycle must be detected exactly once");
+        for (c, r) in clean.eigenvalues.iter().zip(&res.eigenvalues) {
+            assert_eq!(c.to_bits(), r.to_bits(), "rolled-back eigenvalue diverged");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_before_first_checkpoint_replays_from_the_start() {
+        let n = 150;
+        let a = random_symmetric(n, 77);
+        let base = RestartOptions { extra: 12, tol: 1e-12, ..RestartOptions::new(2) };
+        let clean = thick_restart_lanczos(&DenseOp::new(n, a.clone()), &base);
+        // Fire during the very first cycle: no checkpoint exists yet, so
+        // the rollback resets to the initial state; counter-derived draws
+        // make the replay bit-identical to the uninterrupted run.
+        let op = NanOnceOp::new(DenseOp::new(n, a.clone()), 3);
+        let res = thick_restart_lanczos(&op, &base);
+        assert!(res.converged);
+        assert_eq!(res.rollbacks, 1);
+        for (c, r) in clean.eigenvalues.iter().zip(&res.eigenvalues) {
+            assert_eq!(c.to_bits(), r.to_bits(), "restarted eigenvalue diverged");
+        }
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_the_rollback_budget_and_reraises() {
+        // An operator that *always* emits NaN: every replay fails again,
+        // so the default LS_MAX_ROLLBACKS budget runs out and the typed
+        // health error must surface to the caller (where the process
+        // supervisor takes over in a multiprocess job).
+        struct AlwaysNan(usize);
+        impl LinearOp<f64> for AlwaysNan {
+            fn dim(&self) -> usize {
+                self.0
+            }
+            fn apply(&self, _x: &[f64], y: &mut [f64]) {
+                y.fill(f64::NAN);
+            }
+        }
+        let op = AlwaysNan(120);
+        let payload = std::panic::catch_unwind(|| {
+            thick_restart_lanczos(&op, &RestartOptions { extra: 12, ..RestartOptions::new(2) })
+        })
+        .expect_err("a persistently corrupt operator must not converge");
+        let health = payload
+            .downcast_ref::<crate::health::SolverHealthError>()
+            .expect("payload must stay the typed SolverHealthError");
+        assert_eq!(health.check, "alpha");
     }
 }

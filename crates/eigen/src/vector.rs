@@ -392,6 +392,14 @@ pub trait KrylovOp<V: KrylovVec> {
     fn is_hermitian(&self) -> bool {
         true
     }
+
+    /// Restores the operator to a usable state after detected corruption,
+    /// before the solver replays from its newest checkpoint. In-process
+    /// operators are stateless with respect to a cycle, so the default is
+    /// a no-op; distributed operators override it to re-synchronize the
+    /// transport (drain poisoned state, re-enter a clean communication
+    /// epoch) and rebuild any communication-plan caches.
+    fn recover(&self) {}
 }
 
 /// Every slice-based operator is a Krylov operator over `Vec<S>`,

@@ -153,6 +153,18 @@ impl<'a, S: Scalar> AtomicAccumWindow<'a, S> {
 impl<'a, S: Scalar> Drop for AtomicAccumWindow<'a, S> {
     fn drop(&mut self) {
         if let Some((mp, _, id)) = self.mp {
+            // Unwinding out of a poisoned epoch: the flush barrier would
+            // allocate the next collective sequence number against peers
+            // that unwound at different points — a guaranteed desync
+            // abort that would mask the recoverable corruption. Skip the
+            // barrier but still deregister: stale in-flight accumulates
+            // targeting a dropped id are discarded while the epoch is
+            // poisoned/recovering, never applied through a dangling
+            // pointer.
+            if mp.is_poisoned() || std::thread::panicking() {
+                mp.deregister_accum(id);
+                return;
+            }
             // The barrier flushes every in-flight remote add (per-peer
             // FIFO: accumulate frames travel ahead of the barrier's
             // collective frame), so deregistering afterwards is safe.

@@ -11,18 +11,39 @@
 //!
 //! ```text
 //! LS_FAULT = action (";" action)*
-//! action   = "kill"      ":" keys   — SIGABRT the rank at a barrier
-//!          | "delay"     ":" keys   — sleep before sending matching frames
-//!          | "drop-conn" ":" keys   — shut down every mesh socket at a barrier
+//! action   = "kill"           ":" keys — SIGABRT the rank at a barrier
+//!          | "delay"          ":" keys — sleep before sending matching frames
+//!          | "drop-conn"      ":" keys — shut down every mesh socket at a barrier
+//!          | "flip-bit"       ":" keys — flip one payload bit of a wire frame
+//!                                        after its CRC is sealed (silent wire
+//!                                        corruption)
+//!          | "corrupt-window" ":" keys — flip one byte's low bit in a
+//!                                        shared-memory segment after it is
+//!                                        written (silent memory corruption)
+//!          | "nan"            ":" keys — poison the rank's local dot partial
+//!                                        with NaN in one matvec epoch (silent
+//!                                        arithmetic corruption)
 //! keys     = key "=" value ("," key "=" value)*
 //!            rank=R                  (required: which rank misbehaves)
 //!            barrier=N               (kill/drop-conn: fire entering the
 //!                                     N-th barrier of the run; default 1)
 //!            frame=coll|chan|close|credit|accum|any
-//!                                    (delay: which frames; default any)
+//!                                    (delay/flip-bit: which frames;
+//!                                     default any)
 //!            ms=M                    (delay: sleep per frame; default 100)
 //!            count=C                 (delay: first C matching frames;
-//!                                     default 1)
+//!                                     corrupt-window: C consecutive
+//!                                     writes starting at nth; default 1)
+//!            nth=K                   (flip-bit: fire on the K-th matching
+//!                                     frame this rank seals;
+//!                                     corrupt-window: start at the K-th
+//!                                     segment write — enumeration writes
+//!                                     windows too, so pick K past them to
+//!                                     land inside the solve; default 1)
+//!            offset=B                (corrupt-window: byte offset within
+//!                                     the written range; default 0)
+//!            cycle=K                 (nan: fire in the K-th fused
+//!                                     matvec+dot epoch; default 1)
 //!            attempt=A               (fire only in supervisor incarnation
 //!                                     A; default 0, i.e. the first launch
 //!                                     — restarted incarnations run clean
@@ -30,7 +51,16 @@
 //! ```
 //!
 //! Examples: `kill:rank=2,barrier=7`, `delay:rank=1,frame=accum,ms=500`,
-//! `drop-conn:rank=3,barrier=2`, or several at once separated by `;`.
+//! `flip-bit:rank=2,frame=accum,nth=40`, `corrupt-window:rank=1,offset=8`,
+//! `nan:rank=0,cycle=3`, or several at once separated by `;`.
+//!
+//! The three corruption kinds are *silent*: they damage data without
+//! crashing anything, which is exactly what the integrity layer
+//! (`LS_INTEGRITY`, the matvec checksum tally, the Krylov health
+//! monitors) must detect and recover from. A malformed plan is a typed
+//! [`FaultPlanError`] naming the offending clause; the supervisor
+//! validates the plan before spawning any worker, so a chaos-test typo
+//! fails at launch instead of deep inside the transport.
 
 use std::fmt;
 use std::time::Duration;
@@ -51,6 +81,21 @@ pub enum FaultKind {
     /// (simulates losing the NIC: peers observe EOF, the rank itself
     /// fails its next send).
     DropConn,
+    /// Flip one bit of the `nth` matching frame's payload *after* the
+    /// integrity CRC is sealed — the receiver's CRC check must catch it
+    /// (or, with `LS_INTEGRITY=off`, the corruption sails through, which
+    /// is the documented cost of turning integrity off).
+    FlipBit,
+    /// Flip the low bit of one byte in a shared-memory segment right
+    /// after this rank writes it, bypassing the CRC sidecar — readers
+    /// verifying the part must catch the mismatch.
+    CorruptWindow,
+    /// Replace this rank's local dot partial with NaN in the `cycle`-th
+    /// fused matvec+dot epoch. The NaN propagates through the rank-ordered
+    /// reduction to every rank identically, so the solver's health monitor
+    /// fails the same cycle everywhere — no distributed coordination
+    /// needed to recover.
+    Nan,
 }
 
 impl fmt::Display for FaultKind {
@@ -59,6 +104,9 @@ impl fmt::Display for FaultKind {
             FaultKind::Kill => "kill",
             FaultKind::Delay => "delay",
             FaultKind::DropConn => "drop-conn",
+            FaultKind::FlipBit => "flip-bit",
+            FaultKind::CorruptWindow => "corrupt-window",
+            FaultKind::Nan => "nan",
         })
     }
 }
@@ -80,6 +128,20 @@ pub enum FrameClass {
     Any,
 }
 
+impl FrameClass {
+    /// Stable lowercase name, as used in the `frame=` key.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameClass::Coll => "coll",
+            FrameClass::Chan => "chan",
+            FrameClass::Close => "close",
+            FrameClass::Credit => "credit",
+            FrameClass::Accum => "accum",
+            FrameClass::Any => "any",
+        }
+    }
+}
+
 /// One parsed fault action.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FaultAction {
@@ -93,8 +155,17 @@ pub struct FaultAction {
     pub frame: FrameClass,
     /// Delay per matching frame.
     pub ms: u64,
-    /// How many matching frames a delay action slows down.
+    /// How many matching frames a delay action slows down (and how many
+    /// writes a corrupt-window action damages).
     pub count: u64,
+    /// Which matching frame a flip-bit action damages, or the first
+    /// segment write a corrupt-window action damages (1-based).
+    pub nth: u64,
+    /// Byte offset within the written range a corrupt-window action
+    /// flips (clamped to the range).
+    pub offset: u64,
+    /// Which fused matvec+dot epoch a nan action poisons (1-based).
+    pub cycle: u64,
     /// Supervisor incarnation in which the action is armed.
     pub attempt: u64,
 }
@@ -113,22 +184,24 @@ pub struct FaultPlan {
     pub actions: Vec<FaultAction>,
 }
 
-/// A malformed `LS_FAULT` value, with the offending fragment.
+/// A malformed `LS_FAULT` value, with the offending fragment. Returned
+/// (never panicked from a worker's transport guts) so the launcher can
+/// fail fast with the clause that broke.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct FaultParseError(pub String);
+pub struct FaultPlanError(pub String);
 
-impl fmt::Display for FaultParseError {
+impl fmt::Display for FaultPlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "malformed {ENV_FAULT} plan: {}", self.0)
     }
 }
 
-impl std::error::Error for FaultParseError {}
+impl std::error::Error for FaultPlanError {}
 
 impl FaultPlan {
     /// Parses a plan string. Errors are loud: a typo in a chaos test must
     /// not silently inject nothing.
-    pub fn parse(plan: &str) -> Result<FaultPlan, FaultParseError> {
+    pub fn parse(plan: &str) -> Result<FaultPlan, FaultPlanError> {
         let mut actions = Vec::new();
         for raw in plan.split(';') {
             let spec = raw.trim();
@@ -137,14 +210,18 @@ impl FaultPlan {
             }
             let (kind_str, keys) = spec
                 .split_once(':')
-                .ok_or_else(|| FaultParseError(format!("{spec:?}: missing ':' after kind")))?;
+                .ok_or_else(|| FaultPlanError(format!("{spec:?}: missing ':' after kind")))?;
             let kind = match kind_str.trim() {
                 "kill" => FaultKind::Kill,
                 "delay" => FaultKind::Delay,
                 "drop-conn" => FaultKind::DropConn,
+                "flip-bit" => FaultKind::FlipBit,
+                "corrupt-window" => FaultKind::CorruptWindow,
+                "nan" => FaultKind::Nan,
                 other => {
-                    return Err(FaultParseError(format!(
-                        "unknown kind {other:?} (want kill, delay or drop-conn)"
+                    return Err(FaultPlanError(format!(
+                        "unknown kind {other:?} (want kill, delay, drop-conn, flip-bit, \
+                         corrupt-window or nan)"
                     )))
                 }
             };
@@ -153,6 +230,9 @@ impl FaultPlan {
             let mut frame = FrameClass::Any;
             let mut ms = 100u64;
             let mut count = 1u64;
+            let mut nth = 1u64;
+            let mut offset = 0u64;
+            let mut cycle = 1u64;
             let mut attempt = 0u64;
             for kv in keys.split(',') {
                 let kv = kv.trim();
@@ -161,18 +241,21 @@ impl FaultPlan {
                 }
                 let (key, value) = kv
                     .split_once('=')
-                    .ok_or_else(|| FaultParseError(format!("{kv:?}: missing '='")))?;
+                    .ok_or_else(|| FaultPlanError(format!("{kv:?}: missing '='")))?;
                 let (key, value) = (key.trim(), value.trim());
                 let num = || {
                     value
                         .parse::<u64>()
-                        .map_err(|_| FaultParseError(format!("{key}={value:?}: not a number")))
+                        .map_err(|_| FaultPlanError(format!("{key}={value:?}: not a number")))
                 };
                 match key {
                     "rank" => rank = Some(num()? as usize),
                     "barrier" => barrier = num()?,
                     "ms" => ms = num()?,
                     "count" => count = num()?,
+                    "nth" => nth = num()?,
+                    "offset" => offset = num()?,
+                    "cycle" => cycle = num()?,
                     "attempt" => attempt = num()?,
                     "frame" => {
                         frame = match value {
@@ -183,38 +266,66 @@ impl FaultPlan {
                             "acc" | "accum" => FrameClass::Accum,
                             "any" => FrameClass::Any,
                             other => {
-                                return Err(FaultParseError(format!(
+                                return Err(FaultPlanError(format!(
                                     "frame={other:?}: want coll, chan, close, credit, \
                                      accum or any"
                                 )))
                             }
                         }
                     }
-                    other => return Err(FaultParseError(format!("unknown key {other:?}"))),
+                    other => return Err(FaultPlanError(format!("unknown key {other:?}"))),
                 }
             }
             let rank =
-                rank.ok_or_else(|| FaultParseError(format!("{spec:?}: rank= is required")))?;
+                rank.ok_or_else(|| FaultPlanError(format!("{spec:?}: rank= is required")))?;
             if barrier == 0 {
-                return Err(FaultParseError("barrier ordinals are 1-based".into()));
+                return Err(FaultPlanError("barrier ordinals are 1-based".into()));
             }
-            actions.push(FaultAction { kind, rank, barrier, frame, ms, count, attempt });
+            if nth == 0 {
+                return Err(FaultPlanError("nth is 1-based".into()));
+            }
+            if cycle == 0 {
+                return Err(FaultPlanError("cycle ordinals are 1-based".into()));
+            }
+            actions.push(FaultAction {
+                kind,
+                rank,
+                barrier,
+                frame,
+                ms,
+                count,
+                nth,
+                offset,
+                cycle,
+                attempt,
+            });
         }
         Ok(FaultPlan { actions })
+    }
+
+    /// Parses `LS_FAULT` from the environment; absent means no faults.
+    /// The fallible twin of [`FaultPlan::from_env`] — this is what the
+    /// supervisor calls before spawning anything, so a malformed plan
+    /// fails at launch with the offending clause instead of panicking
+    /// deep inside a worker's transport setup.
+    pub fn try_from_env() -> Result<FaultPlan, FaultPlanError> {
+        match std::env::var(ENV_FAULT) {
+            Err(_) => Ok(FaultPlan::default()),
+            Ok(plan) => FaultPlan::parse(&plan),
+        }
     }
 
     /// Parses `LS_FAULT` from the environment; absent means no faults.
     ///
     /// # Panics
     /// Panics on a malformed plan (silently ignoring a chaos plan would
-    /// make a failing fault test look green).
+    /// make a failing fault test look green). Worker-side backstop only:
+    /// the supervisor already validated the plan via
+    /// [`FaultPlan::try_from_env`] before any worker was spawned.
     pub fn from_env() -> FaultPlan {
-        match std::env::var(ENV_FAULT) {
-            Err(_) => FaultPlan::default(),
-            Ok(plan) => match FaultPlan::parse(&plan) {
-                Ok(p) => p,
-                Err(e) => panic!("{e}"),
-            },
+        match FaultPlan::try_from_env() {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -256,6 +367,51 @@ impl FaultPlan {
                 && (a.frame == FrameClass::Any || a.frame == frame)
         })
     }
+
+    /// The flip-bit actions armed for `rank` in `attempt` matching a
+    /// frame of class `frame`. The caller counts matching frames per
+    /// action and fires on the `nth` (1-based).
+    pub fn flips_for(
+        &self,
+        rank: usize,
+        attempt: u64,
+        frame: FrameClass,
+    ) -> impl Iterator<Item = (usize, &FaultAction)> {
+        self.actions.iter().enumerate().filter(move |(_, a)| {
+            a.kind == FaultKind::FlipBit
+                && a.rank == rank
+                && a.attempt == attempt
+                && (a.frame == FrameClass::Any || a.frame == frame)
+        })
+    }
+
+    /// The corrupt-window actions armed for `rank` in `attempt`. The
+    /// caller damages the first `count` segment writes per action.
+    pub fn window_corruptions_for(
+        &self,
+        rank: usize,
+        attempt: u64,
+    ) -> impl Iterator<Item = (usize, &FaultAction)> {
+        self.actions.iter().enumerate().filter(move |(_, a)| {
+            a.kind == FaultKind::CorruptWindow && a.rank == rank && a.attempt == attempt
+        })
+    }
+
+    /// The nan actions armed for `rank` in `attempt` that poison matvec
+    /// epoch ordinal `cycle` (1-based).
+    pub fn nans_at(
+        &self,
+        rank: usize,
+        attempt: u64,
+        cycle: u64,
+    ) -> impl Iterator<Item = (usize, &FaultAction)> {
+        self.actions.iter().enumerate().filter(move |(_, a)| {
+            a.kind == FaultKind::Nan
+                && a.rank == rank
+                && a.attempt == attempt
+                && a.cycle == cycle
+        })
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +434,9 @@ mod tests {
                 frame: FrameClass::Any,
                 ms: 100,
                 count: 1,
+                nth: 1,
+                offset: 0,
+                cycle: 1,
                 attempt: 0,
             }
         );
@@ -333,8 +492,56 @@ mod tests {
             "delay:rank=1,frame=warp", // unknown frame class
             "kill:rank=1,when=now",    // unknown key
             "kill:rank=1,barrier",     // missing '='
+            "flip-bit:rank=1,nth=0",   // 1-based frame ordinals
+            "nan:rank=0,cycle=0",      // 1-based cycle ordinals
+            "corrupt-window:offset=4", // missing rank
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn plan_errors_name_the_offending_clause() {
+        let err = FaultPlan::parse("kill:rank=2; explode:rank=1").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("malformed LS_FAULT plan"), "{text}");
+        assert!(text.contains("explode"), "{text}");
+        let err = FaultPlan::parse("delay:rank=1,frame=warp").unwrap_err();
+        assert!(err.to_string().contains("warp"), "{err}");
+    }
+
+    #[test]
+    fn parses_the_corruption_kinds() {
+        let plan = FaultPlan::parse(
+            "flip-bit:rank=2,frame=accum,nth=40; corrupt-window:rank=1,offset=8,count=2; \
+             nan:rank=0,cycle=3",
+        )
+        .unwrap();
+        assert_eq!(plan.actions.len(), 3);
+        assert_eq!(plan.actions[0].kind, FaultKind::FlipBit);
+        assert_eq!(plan.actions[0].nth, 40);
+        assert_eq!(plan.actions[0].frame, FrameClass::Accum);
+        assert_eq!(plan.actions[1].kind, FaultKind::CorruptWindow);
+        assert_eq!(plan.actions[1].offset, 8);
+        assert_eq!(plan.actions[1].count, 2);
+        assert_eq!(plan.actions[2].kind, FaultKind::Nan);
+        assert_eq!(plan.actions[2].cycle, 3);
+        assert_eq!(format!("{}", FaultKind::FlipBit), "flip-bit");
+        assert_eq!(format!("{}", FaultKind::CorruptWindow), "corrupt-window");
+        assert_eq!(format!("{}", FaultKind::Nan), "nan");
+
+        // The corruption kinds never fire at barriers and never delay.
+        assert_eq!(plan.at_barrier(2, 0, 1).count(), 0);
+        assert_eq!(plan.delays_for(2, 0, FrameClass::Accum).count(), 0);
+        // But each has its own trigger query, rank- and attempt-gated.
+        assert_eq!(plan.flips_for(2, 0, FrameClass::Accum).count(), 1);
+        assert_eq!(plan.flips_for(2, 0, FrameClass::Coll).count(), 0);
+        assert_eq!(plan.flips_for(2, 1, FrameClass::Accum).count(), 0);
+        assert_eq!(plan.window_corruptions_for(1, 0).count(), 1);
+        assert_eq!(plan.window_corruptions_for(0, 0).count(), 0);
+        assert_eq!(plan.nans_at(0, 0, 3).count(), 1);
+        assert_eq!(plan.nans_at(0, 0, 2).count(), 0);
+        assert_eq!(plan.nans_at(1, 0, 3).count(), 0);
+        assert!(!plan.is_empty_for(0, 0));
     }
 }

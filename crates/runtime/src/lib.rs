@@ -48,12 +48,20 @@
 //! typed [`transport::TransportError`], and fanned out with an `ABORT`
 //! frame so every rank exits promptly. Deterministic fault injection
 //! ([`fault`], `LS_FAULT`) drives the whole machinery under test.
+//!
+//! Fail-stop supervision is complemented by a *fail-silent* defense:
+//! CRC32C ([`crc32c()`]) over every wire frame and shared-memory segment
+//! (`LS_INTEGRITY`), detected corruption surfacing as a recoverable
+//! [`transport::TransportError::Corruption`] that solvers catch and
+//! roll back from their newest checkpoint — see the "Silent-error
+//! defense" section of `docs/ARCHITECTURE.md`.
 
 #![warn(missing_docs)]
 
 pub mod accum;
 pub mod barrier;
 pub mod cluster;
+pub mod crc32c;
 pub mod distvec;
 pub mod fault;
 pub mod remote;
@@ -65,11 +73,13 @@ pub mod window;
 pub use accum::AtomicAccumWindow;
 pub use barrier::SenseBarrier;
 pub use cluster::{Cluster, ClusterSpec, LocaleCtx};
+pub use crc32c::{crc32c, crc32c_append};
 pub use distvec::{block_range, BlockLayout, DistVec};
-pub use fault::{FaultAction, FaultKind, FaultPlan, FrameClass};
+pub use fault::{FaultAction, FaultKind, FaultPlan, FaultPlanError, FrameClass};
 pub use stats::CommStats;
 pub use supervisor::{classify_exit, FailureClass};
 pub use transport::{
-    Backend, MpRuntime, PairChannel, TransportError, TransportSnapshot, TransportStats,
+    Backend, IntegrityMode, MpRuntime, PairChannel, TransportError, TransportSnapshot,
+    TransportStats,
 };
 pub use window::{RmaReadWindow, RmaWriteWindow};

@@ -32,9 +32,10 @@
 //! workers see EOF, remove the rendezvous directory themselves, and exit
 //! 124 (see `spawn_watchdog` in [`crate::transport`]).
 
+use crate::fault::FaultPlan;
 use crate::transport::{
     ENV_BACKOFF_MS, ENV_JOB, ENV_LOCALES, ENV_MAX_RESTARTS, ENV_RANK, ENV_RESTART_COUNT,
-    ENV_WATCHDOG, EXIT_FAILOVER, EXIT_ORPHANED, EXIT_PROTOCOL,
+    ENV_WATCHDOG, EXIT_CORRUPTION, EXIT_FAILOVER, EXIT_ORPHANED, EXIT_PROTOCOL,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -68,6 +69,11 @@ pub enum FailureClass {
     /// Exit 113: transport protocol failure (desync, timeout) detected
     /// by this worker.
     Desync,
+    /// Exit 115: this worker detected data corruption (CRC/checksum
+    /// violation) that escaped or exhausted the solver's rollback path.
+    /// More causal than a desync — the corruption is the root event —
+    /// but a signal crash still outranks it.
+    Corruption,
     /// Killed by a signal (SIGABRT, SIGKILL, SIGSEGV...) — the most
     /// causal class: this is the worker that actually died.
     Crash(i32),
@@ -88,6 +94,7 @@ impl FailureClass {
             FailureClass::Orphaned => EXIT_ORPHANED,
             FailureClass::Other(code) => code,
             FailureClass::Desync => EXIT_PROTOCOL,
+            FailureClass::Corruption => EXIT_CORRUPTION,
             FailureClass::Crash(_) => EXIT_PROTOCOL,
         }
     }
@@ -106,6 +113,9 @@ impl FailureClass {
             FailureClass::Desync => {
                 format!("desynchronized or timed out (exit {EXIT_PROTOCOL})")
             }
+            FailureClass::Corruption => {
+                format!("detected unrecovered data corruption (exit {EXIT_CORRUPTION})")
+            }
             FailureClass::Crash(signal) => format!("crashed (signal {signal})"),
         }
     }
@@ -119,6 +129,7 @@ pub fn classify_exit(code: Option<i32>, signal: Option<i32>) -> FailureClass {
         (Some(c), _) if c == EXIT_PROTOCOL => FailureClass::Desync,
         (Some(c), _) if c == EXIT_FAILOVER => FailureClass::Failover,
         (Some(c), _) if c == EXIT_ORPHANED => FailureClass::Orphaned,
+        (Some(c), _) if c == EXIT_CORRUPTION => FailureClass::Corruption,
         (Some(c), _) => FailureClass::Other(c),
         (None, Some(sig)) => FailureClass::Crash(sig),
         (None, None) => FailureClass::Other(1),
@@ -172,6 +183,13 @@ fn env_u64(name: &str, default: u64) -> u64 {
 /// the retry budget is spent, then exits with the verdict. Never
 /// returns.
 pub(crate) fn run_supervisor() -> ! {
+    // Validate the fault plan before spawning anything: a chaos-test
+    // typo fails at launch with the offending clause named, instead of
+    // panicking inside every worker's transport connect.
+    if let Err(e) = FaultPlan::try_from_env() {
+        eprintln!("ls-mp: supervisor: {e}");
+        std::process::exit(2);
+    }
     let n: usize = env_u64(ENV_LOCALES, 2) as usize;
     assert!(n >= 1, "{ENV_LOCALES} must be >= 1");
     let max_restarts = env_u64(ENV_MAX_RESTARTS, 2);
@@ -303,6 +321,7 @@ mod tests {
         assert_eq!(classify_exit(Some(113), None), FailureClass::Desync);
         assert_eq!(classify_exit(Some(114), None), FailureClass::Failover);
         assert_eq!(classify_exit(Some(124), None), FailureClass::Orphaned);
+        assert_eq!(classify_exit(Some(115), None), FailureClass::Corruption);
         assert_eq!(classify_exit(Some(7), None), FailureClass::Other(7));
         assert_eq!(classify_exit(None, Some(6)), FailureClass::Crash(6));
         assert_eq!(classify_exit(None, None), FailureClass::Other(1));
@@ -339,7 +358,12 @@ mod tests {
         assert_eq!(FailureClass::Orphaned.exit_code(), 124);
         assert_eq!(FailureClass::Crash(9).exit_code(), 113);
         assert_eq!(FailureClass::Other(3).exit_code(), 3);
+        assert_eq!(FailureClass::Corruption.exit_code(), 115);
+        assert!(FailureClass::Corruption.describe().contains("corruption"));
         assert!(FailureClass::Crash(6).describe().contains("signal 6"));
         assert!(FailureClass::Crash(6).is_abnormal());
+        // Causal ordering: a crash outranks corruption outranks desync.
+        assert!(FailureClass::Crash(6) > FailureClass::Corruption);
+        assert!(FailureClass::Corruption > FailureClass::Desync);
     }
 }

@@ -49,6 +49,7 @@
 //! * barriers order everything: an operation issued before a barrier on
 //!   one rank happens-before anything issued after that barrier anywhere.
 
+use crate::crc32c::{crc32c, crc32c_append};
 use crate::fault::{FaultKind, FaultPlan, FrameClass};
 use crate::remote::BufferChannel;
 use crate::stats::CommStats;
@@ -92,6 +93,9 @@ pub const ENV_SILENCE_SECS: &str = "LS_MP_SILENCE_SECS";
 /// the first launch). Set by the supervisor, read by fault injection and
 /// [`restart_count`].
 pub const ENV_RESTART_COUNT: &str = "LS_MP_RESTART_COUNT";
+/// Integrity-checking level (`LS_INTEGRITY=off|wire|full`, default
+/// `full`). See [`IntegrityMode`].
+pub const ENV_INTEGRITY: &str = "LS_INTEGRITY";
 
 const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(60);
 const DEFAULT_COLLECTIVE_TIMEOUT: Duration = Duration::from_secs(180);
@@ -105,6 +109,10 @@ pub(crate) const EXIT_PROTOCOL: i32 = 113;
 /// Exit code of a rank that aborted because a *peer* failed (either it
 /// detected the failure itself or an `ABORT` frame told it to die).
 pub(crate) const EXIT_FAILOVER: i32 = 114;
+/// Exit code of a rank that died on *unrecovered* data corruption: a
+/// CRC/checksum violation that escaped (or exhausted) the solver-level
+/// rollback path and unwound out of the program.
+pub(crate) const EXIT_CORRUPTION: i32 = 115;
 
 // Wire frame tags. Every frame travels on the single TCP stream between
 // an ordered pair of ranks, so per-peer FIFO is a transport guarantee.
@@ -121,6 +129,20 @@ const TAG_ABORT: u8 = 6;
 /// advance the receiver's last-traffic clock so silent-peer detection
 /// can distinguish "slow collective" from "hung process".
 const TAG_PING: u8 = 7;
+/// Corruption fan-out: a rank that detected a CRC/checksum violation
+/// tells every peer, so ranks that are *not* currently waiting on the
+/// detector still learn within one frame time instead of stalling into
+/// the collective timeout. Unlike `ABORT` this is recoverable: the
+/// receiver poisons its collectives (they surface
+/// [`TransportError::Corruption`]) and the solver above rolls back.
+const TAG_POISON: u8 = 8;
+
+/// Collective sequence numbers carry the recovery epoch in their top 16
+/// bits (`(epoch << EPOCH_SHIFT) | seq`): after a corruption rollback
+/// every rank bumps its epoch, resets `seq`, and silently discards
+/// queued frames from the poisoned epoch — the one desync that is
+/// expected and benign.
+const EPOCH_SHIFT: u32 = 48;
 
 /// A typed, attributed transport failure. This is what replaced the
 /// pile of anonymous `fatal()` exits: every failure names the peer (or
@@ -176,6 +198,22 @@ pub enum TransportError {
         /// What broke.
         detail: String,
     },
+    /// Data corruption caught by the integrity layer: a wire frame or
+    /// shared-memory segment failed its CRC32C, or a matvec checksum
+    /// invariant broke. Unlike every other variant this one is
+    /// *recoverable*: it unwinds as a catchable panic so the solver can
+    /// roll back to its newest checkpoint instead of the job dying.
+    Corruption {
+        /// The rank whose data was corrupt (the frame's sender, the
+        /// segment part's owner, or the locale whose partial broke the
+        /// checksum invariant).
+        peer: usize,
+        /// What carried the corruption (`"coll"`, `"chan"`, `"accum"`,
+        /// `"window"`, `"abft"`).
+        frame: String,
+        /// Which check failed (CRC mismatch, checksum-vector drift...).
+        kind: String,
+    },
 }
 
 impl TransportError {
@@ -188,6 +226,7 @@ impl TransportError {
             TransportError::Desync { .. }
             | TransportError::Timeout { .. }
             | TransportError::Protocol { .. } => EXIT_PROTOCOL,
+            TransportError::Corruption { .. } => EXIT_CORRUPTION,
         }
     }
 }
@@ -213,6 +252,9 @@ impl fmt::Display for TransportError {
                 write!(f, "aborted by rank {origin}: {reason}")
             }
             TransportError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            TransportError::Corruption { peer, frame, kind } => {
+                write!(f, "corrupt {frame} from rank {peer} ({kind})")
+            }
         }
     }
 }
@@ -228,6 +270,75 @@ pub fn restart_count() -> u64 {
     *COUNT.get_or_init(|| {
         std::env::var(ENV_RESTART_COUNT).ok().and_then(|v| v.parse().ok()).unwrap_or(0)
     })
+}
+
+/// How much end-to-end integrity checking the runtime performs
+/// (`LS_INTEGRITY=off|wire|full`):
+///
+/// * **`off`** — no checksums anywhere. The baseline the bench guard
+///   measures overhead against.
+/// * **`wire`** — every data-bearing TCP frame (collective, channel,
+///   accumulate) carries a CRC32C over its header and payload, verified
+///   on receive.
+/// * **`full`** (default) — `wire`, plus CRC32C sidecars over
+///   shared-memory segment parts verified on first remote read, plus the
+///   matvec checksum-vector invariant in `ls-dist`.
+///
+/// The mode must be uniform across ranks (the supervisor exports one
+/// environment to every worker): it changes the wire format.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum IntegrityMode {
+    /// No integrity checking.
+    Off,
+    /// Frame CRCs only.
+    Wire,
+    /// Frame CRCs + segment CRCs + matvec checksum vectors.
+    Full,
+}
+
+impl IntegrityMode {
+    /// Reads `LS_INTEGRITY` **fresh** (no caching): benchmark drivers
+    /// toggle it between sections to measure overhead in one process.
+    /// The multiprocess runtime caches its own copy at connect time,
+    /// because the wire format cannot change mid-job.
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value — a typo must not silently
+    /// disable the defense.
+    pub fn from_env() -> IntegrityMode {
+        match std::env::var(ENV_INTEGRITY) {
+            Err(_) => IntegrityMode::Full,
+            Ok(v) => match v.as_str() {
+                "" | "full" => IntegrityMode::Full,
+                "wire" => IntegrityMode::Wire,
+                "off" => IntegrityMode::Off,
+                other => {
+                    panic!("{ENV_INTEGRITY}={other:?}: expected \"off\", \"wire\" or \"full\"")
+                }
+            },
+        }
+    }
+
+    /// True when wire frames carry CRCs (`wire` or `full`).
+    #[inline]
+    pub fn wire(self) -> bool {
+        self != IntegrityMode::Off
+    }
+
+    /// True when segment sidecars and matvec checksums are on (`full`).
+    #[inline]
+    pub fn full(self) -> bool {
+        self == IntegrityMode::Full
+    }
+
+    /// Stable lowercase name, as used in `LS_INTEGRITY` and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            IntegrityMode::Off => "off",
+            IntegrityMode::Wire => "wire",
+            IntegrityMode::Full => "full",
+        }
+    }
 }
 
 /// Which transport the process runs on.
@@ -415,6 +526,12 @@ pub struct TransportStats {
     /// Total failure-to-detection nanoseconds (latency numerator over
     /// `peer_failures`).
     pub detection_nanos: AtomicU64,
+    /// Corrupt frames / segment parts / checksum invariants this rank
+    /// detected (each one poisons the epoch and triggers rollback).
+    pub frames_corrupted: AtomicU64,
+    /// Bytes this rank ran through CRC32C verification (received frames
+    /// and segment parts — a measure of integrity coverage, not cost).
+    pub crc_bytes_checked: AtomicU64,
 }
 
 impl TransportStats {
@@ -437,6 +554,8 @@ impl TransportStats {
             aborts_sent: self.aborts_sent.load(Ordering::Relaxed),
             heartbeats: self.heartbeats.load(Ordering::Relaxed),
             detection_nanos: self.detection_nanos.load(Ordering::Relaxed),
+            frames_corrupted: self.frames_corrupted.load(Ordering::Relaxed),
+            crc_bytes_checked: self.crc_bytes_checked.load(Ordering::Relaxed),
             restarts: restart_count(),
         }
     }
@@ -456,6 +575,8 @@ impl TransportStats {
         self.aborts_sent.store(0, Ordering::Relaxed);
         self.heartbeats.store(0, Ordering::Relaxed);
         self.detection_nanos.store(0, Ordering::Relaxed);
+        self.frames_corrupted.store(0, Ordering::Relaxed);
+        self.crc_bytes_checked.store(0, Ordering::Relaxed);
     }
 }
 
@@ -486,6 +607,10 @@ pub struct TransportSnapshot {
     pub heartbeats: u64,
     /// Failure-to-detection nanoseconds (numerator over `peer_failures`).
     pub detection_nanos: u64,
+    /// Corruption events this rank detected.
+    pub frames_corrupted: u64,
+    /// Bytes run through CRC32C verification.
+    pub crc_bytes_checked: u64,
     /// Supervisor incarnation of this process ([`restart_count`]): how
     /// many times the job was relaunched before this snapshot was taken.
     pub restarts: u64,
@@ -565,6 +690,26 @@ pub struct MpRuntime {
     barrier_ordinal: AtomicU64,
     /// Per-fault-action budget spent (indexed like `faults.actions`).
     fault_spent: Vec<AtomicU64>,
+    /// Integrity level, cached at connect (the wire format cannot
+    /// change mid-job).
+    integrity: IntegrityMode,
+    /// Set while a detected corruption awaits solver-level rollback;
+    /// every collective wait surfaces `Corruption` instead of blocking.
+    poisoned: AtomicBool,
+    /// Set for the duration of [`Self::recover_from_corruption`], whose
+    /// own collectives must run despite the poison flag.
+    recovering: AtomicBool,
+    /// First corruption's attribution: (culprit rank, frame, kind).
+    poison: Mutex<Option<(usize, String, String)>>,
+    /// Dedupes the POISON fan-out (re-armed by recovery).
+    poison_fanned: AtomicBool,
+    /// Recovery epoch, carried in the top bits of collective sequence
+    /// numbers so post-rollback ranks can discard poisoned-epoch frames.
+    coll_epoch: AtomicU64,
+    /// 1-based count of fused matvec epochs — the `nan` fault-trigger
+    /// clock. Monotonic across rollbacks, so a consumed injection never
+    /// re-fires against the replayed epoch.
+    matvec_ordinal: AtomicU64,
 }
 
 impl MpRuntime {
@@ -721,6 +866,13 @@ impl MpRuntime {
             attempt,
             barrier_ordinal: AtomicU64::new(0),
             fault_spent,
+            integrity: IntegrityMode::from_env(),
+            poisoned: AtomicBool::new(false),
+            recovering: AtomicBool::new(false),
+            poison: Mutex::new(None),
+            poison_fanned: AtomicBool::new(false),
+            coll_epoch: AtomicU64::new(0),
+            matvec_ordinal: AtomicU64::new(0),
         }
     }
 
@@ -800,6 +952,154 @@ impl MpRuntime {
         self.epoch.elapsed().as_nanos() as u64
     }
 
+    /// Bytes the trailing frame CRC occupies on the wire (0 with
+    /// integrity off).
+    fn crc_len(&self) -> usize {
+        if self.integrity.wire() {
+            4
+        } else {
+            0
+        }
+    }
+
+    /// Receive-side integrity check: reads the trailing CRC32C and
+    /// verifies it over the frame's header + payload. Returns `None` on
+    /// a stream failure (peer marked lost), `Some(true)` for a good
+    /// frame (or integrity off), `Some(false)` for a corrupt one — the
+    /// corruption is counted, attributed and fanned out; the caller
+    /// must drop the frame instead of dispatching it.
+    fn verify_rx(
+        &self,
+        stream: &mut TcpStream,
+        peer: usize,
+        head: &[u8],
+        payload: &[u8],
+        frame: &str,
+    ) -> Option<bool> {
+        if !self.integrity.wire() {
+            return Some(true);
+        }
+        let mut want = [0u8; 4];
+        if stream.read_exact(&mut want).is_err() {
+            self.note_peer_lost(peer);
+            return None;
+        }
+        self.stats.add(&self.stats.crc_bytes_checked, (head.len() + payload.len()) as u64);
+        if crc32c_append(crc32c(head), payload) == u32::from_le_bytes(want) {
+            Some(true)
+        } else {
+            self.report_corruption(peer, frame, "frame CRC mismatch");
+            Some(false)
+        }
+    }
+
+    /// The local half of corruption detection: count it, record the
+    /// attribution, poison every collective wait (they surface
+    /// [`TransportError::Corruption`] instead of blocking), and fan a
+    /// `POISON` frame so peers not currently waiting on this rank learn
+    /// within one frame time. Unlike [`Self::abort_job`] this does
+    /// **not** exit: the solver above catches the error, rolls back to
+    /// its newest checkpoint and calls
+    /// [`Self::recover_from_corruption`].
+    fn report_corruption(&self, peer: usize, frame: &str, kind: &str) {
+        self.stats.add(&self.stats.frames_corrupted, 1);
+        eprintln!(
+            "ls-mp[rank {}]: integrity: corrupt {frame} from rank {peer} ({kind})",
+            self.rank
+        );
+        self.set_poison(peer, frame, kind);
+        if !self.poison_fanned.swap(true, Ordering::SeqCst) {
+            let mut pframe = Vec::with_capacity(15 + frame.len() + kind.len());
+            pframe.put_u8(TAG_POISON);
+            pframe.put_u64_le(self.coll_epoch.load(Ordering::SeqCst));
+            pframe.put_u32_le(peer as u32);
+            pframe.put_u8(frame.len() as u8);
+            pframe.put_u8(kind.len() as u8);
+            pframe.put_slice(frame.as_bytes());
+            pframe.put_slice(kind.as_bytes());
+            for p in 0..self.n {
+                if p == self.rank || self.health[p].dead.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let Some(writer) = self.writers[p].as_ref() else { continue };
+                let _ = writer.lock().unwrap().write_all(&pframe);
+            }
+        }
+    }
+
+    /// Records the poison state (first attribution wins) and wakes every
+    /// collective waiter so detection is prompt.
+    fn set_poison(&self, peer: usize, frame: &str, kind: &str) {
+        {
+            let mut slot = self.poison.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some((peer, frame.to_string(), kind.to_string()));
+            }
+        }
+        self.poisoned.store(true, Ordering::SeqCst);
+        for queue in &self.coll_in {
+            queue.cv.notify_all();
+        }
+    }
+
+    /// The attributed error for the current poison state.
+    fn corruption_error(&self) -> TransportError {
+        match &*self.poison.lock().unwrap() {
+            Some((peer, frame, kind)) => TransportError::Corruption {
+                peer: *peer,
+                frame: frame.clone(),
+                kind: kind.clone(),
+            },
+            None => TransportError::Corruption {
+                peer: self.rank,
+                frame: "unknown".into(),
+                kind: "poisoned without attribution".into(),
+            },
+        }
+    }
+
+    /// True while a detected corruption awaits rollback ([`Self::
+    /// recover_from_corruption`] clears it).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Raises the pending corruption as a *catchable* panic when the
+    /// epoch is poisoned, and returns normally otherwise. Cleanup paths
+    /// that find collective state inconsistent mid-unwind (undrained
+    /// channels, outstanding credits) call this before asserting: under
+    /// poison the inconsistency is a symptom of the corruption unwind,
+    /// and turning it into a plain panic would make a recoverable error
+    /// fatal.
+    pub fn raise_if_poisoned(&self) {
+        if self.is_poisoned() {
+            std::panic::panic_any(self.corruption_error());
+        }
+    }
+
+    /// Entry point for algorithm-based fault tolerance above the
+    /// transport: a checksum-vector invariant over the distributed
+    /// matvec failed for `locale`'s partial sums. Funnels into the same
+    /// detect → poison → unwind pipeline as a frame CRC mismatch, so
+    /// the solver's rollback path handles both identically. Unlike wire
+    /// corruption this is detected *collectively* (every rank evaluates
+    /// the same allreduced checksums), so every rank calls it at the
+    /// same program point and unwinds in lockstep.
+    pub fn report_abft_violation(&self, locale: usize, detail: &str) -> ! {
+        self.report_corruption(locale, "abft", detail);
+        std::panic::panic_any(self.corruption_error())
+    }
+
+    /// Routes a failure: *recoverable* corruption unwinds as a catchable
+    /// panic (the solver rolls back), everything else takes the
+    /// fail-stop abort path.
+    fn bail(&self, err: TransportError) -> ! {
+        if matches!(err, TransportError::Corruption { .. }) {
+            std::panic::panic_any(err);
+        }
+        self.abort_job(err)
+    }
+
     /// Marks a peer's connection dead and wakes every collective waiter
     /// so detection is immediate, not deferred to the next timeout slice.
     fn note_peer_lost(&self, peer: usize) {
@@ -831,6 +1131,11 @@ impl MpRuntime {
             // Another thread of this process is already exiting.
             std::thread::sleep(Duration::from_millis(50));
             return;
+        }
+        // Integrity outranks liveness: a poisoned epoch surfaces as
+        // recoverable corruption, never misattributed as a peer crash.
+        if self.poisoned.load(Ordering::SeqCst) && !self.recovering.load(Ordering::SeqCst) {
+            std::panic::panic_any(self.corruption_error());
         }
         let now = self.now_nanos();
         for peer in 0..self.n {
@@ -899,12 +1204,16 @@ impl MpRuntime {
                         self.note_peer_lost(peer);
                         return;
                     }
-                    {
-                        let queue = &self.coll_in[peer];
-                        queue.q.lock().unwrap().push_back((seq, payload));
-                        queue.cv.notify_all();
+                    match self.verify_rx(&mut stream, peer, &head, &payload, "coll") {
+                        None => return,
+                        Some(false) => {}
+                        Some(true) => {
+                            let queue = &self.coll_in[peer];
+                            queue.q.lock().unwrap().push_back((seq, payload));
+                            queue.cv.notify_all();
+                        }
                     }
-                    13 + len
+                    13 + len + self.crc_len()
                 }
                 TAG_CHAN => {
                     let mut head = [0u8; 12];
@@ -920,8 +1229,12 @@ impl MpRuntime {
                         self.note_peer_lost(peer);
                         return;
                     }
-                    self.inbox(chan).q.lock().unwrap().push_back(payload);
-                    13 + len
+                    match self.verify_rx(&mut stream, peer, &head, &payload, "chan") {
+                        None => return,
+                        Some(false) => {}
+                        Some(true) => self.inbox(chan).q.lock().unwrap().push_back(payload),
+                    }
+                    13 + len + self.crc_len()
                 }
                 TAG_CLOSE => {
                     let mut head = [0u8; 8];
@@ -960,13 +1273,19 @@ impl MpRuntime {
                         self.note_peer_lost(peer);
                         return;
                     }
-                    let mut r: &[u8] = &payload;
-                    let mut vals = [0.0f64; 2];
-                    for v in vals.iter_mut().take(lanes.min(2)) {
-                        *v = r.get_f64_le();
+                    match self.verify_rx(&mut stream, peer, &head, &payload, "accum") {
+                        None => return,
+                        Some(false) => {}
+                        Some(true) => {
+                            let mut r: &[u8] = &payload;
+                            let mut vals = [0.0f64; 2];
+                            for v in vals.iter_mut().take(lanes.min(2)) {
+                                *v = r.get_f64_le();
+                            }
+                            self.apply_acc(win, index, &vals[..lanes.min(2)]);
+                        }
                     }
-                    self.apply_acc(win, index, &vals[..lanes.min(2)]);
-                    21 + lanes * 8
+                    21 + lanes * 8 + self.crc_len()
                 }
                 TAG_ABORT => {
                     let mut head = [0u8; 12];
@@ -997,6 +1316,31 @@ impl MpRuntime {
                     std::process::exit(EXIT_FAILOVER);
                 }
                 TAG_PING => 1,
+                TAG_POISON => {
+                    let mut head = [0u8; 14];
+                    if stream.read_exact(&mut head).is_err() {
+                        self.note_peer_lost(peer);
+                        return;
+                    }
+                    let mut r: &[u8] = &head;
+                    let epoch = r.get_u64_le();
+                    let culprit = r.get_u32_le() as usize;
+                    let flen = r.get_u8() as usize;
+                    let klen = r.get_u8() as usize;
+                    let mut text = vec![0u8; flen + klen];
+                    if stream.read_exact(&mut text).is_err() {
+                        self.note_peer_lost(peer);
+                        return;
+                    }
+                    // A poison stamped with an older epoch belongs to a
+                    // corruption this rank already rolled back past.
+                    if epoch >= self.coll_epoch.load(Ordering::SeqCst) {
+                        let frame = String::from_utf8_lossy(&text[..flen]).into_owned();
+                        let kind = String::from_utf8_lossy(&text[flen..]).into_owned();
+                        self.set_poison(culprit, &frame, &kind);
+                    }
+                    15 + flen + klen
+                }
                 other => {
                     self.abort_job(TransportError::Protocol {
                         detail: format!("unknown frame tag {other} from rank {peer}"),
@@ -1066,8 +1410,43 @@ impl MpRuntime {
                         let _ = writer.lock().unwrap().shutdown(std::net::Shutdown::Both);
                     }
                 }
-                FaultKind::Delay => {}
+                // The corruption kinds fire at their own sites: flip-bit
+                // in seal_frame, corrupt-window in the segment writes,
+                // nan in the matvec epoch clock.
+                FaultKind::Delay
+                | FaultKind::FlipBit
+                | FaultKind::CorruptWindow
+                | FaultKind::Nan => {}
             }
+        }
+    }
+
+    /// Seals an outgoing data frame: appends the CRC32C of everything
+    /// after the tag byte (when wire integrity is on) and executes any
+    /// armed `flip-bit` injection. The flip happens *after* the
+    /// checksum is computed and flips a payload bit — corrupting the
+    /// data the way a failing NIC or DMA engine would, so only the
+    /// receiver's verification can catch it. Injections count (and
+    /// fire on) the `nth` *payload-bearing* frame of their class; with
+    /// `LS_INTEGRITY=off` no checksum travels and the flip goes
+    /// undetected, which is exactly what the knob trades away.
+    fn seal_frame(&self, frame: &mut Vec<u8>, payload_start: usize, class: FrameClass) {
+        let crc = if self.integrity.wire() { Some(crc32c(&frame[1..])) } else { None };
+        if frame.len() > payload_start && !self.faults.is_empty_for(self.rank, self.attempt) {
+            for (idx, action) in self.faults.flips_for(self.rank, self.attempt, class) {
+                if self.fault_spent[idx].fetch_add(1, Ordering::Relaxed) + 1 == action.nth {
+                    eprintln!(
+                        "ls-mp[rank {}]: fault injection: flip-bit in {} frame {}",
+                        self.rank,
+                        class.name(),
+                        action.nth
+                    );
+                    frame[payload_start] ^= 1;
+                }
+            }
+        }
+        if let Some(crc) = crc {
+            frame.put_u32_le(crc);
         }
     }
 
@@ -1097,7 +1476,7 @@ impl MpRuntime {
     }
 
     fn send_frame(&self, peer: usize, frame: &[u8], class: FrameClass) {
-        self.try_send_frame(peer, frame, class).unwrap_or_else(|e| self.abort_job(e));
+        self.try_send_frame(peer, frame, class).unwrap_or_else(|e| self.bail(e));
     }
 
     /// Pops the collective payload with sequence `seq` from `peer`. The
@@ -1124,16 +1503,38 @@ impl MpRuntime {
         let mut q = queue.q.lock().unwrap();
         loop {
             if let Some(&(s, _)) = q.front() {
-                if s != seq {
-                    return Err(TransportError::Desync { peer, expected: seq, got: s });
+                if s >> EPOCH_SHIFT < seq >> EPOCH_SHIFT {
+                    // Leftover frame of a rolled-back epoch: the peer
+                    // sent it before recovery. Benign — discard.
+                    q.pop_front();
+                    continue;
                 }
-                return Ok(q.pop_front().unwrap().1);
+                if s >> EPOCH_SHIFT == seq >> EPOCH_SHIFT {
+                    if s != seq {
+                        return Err(TransportError::Desync { peer, expected: seq, got: s });
+                    }
+                    return Ok(q.pop_front().unwrap().1);
+                }
+                // The peer already recovered into a *newer* epoch: a
+                // corruption was detected somewhere and this rank's
+                // poison notification is still in flight. Leave the
+                // frame queued (it belongs to the post-recovery epoch)
+                // and fall through to the poison check / wait below —
+                // this is the corruption unwind racing the fan-out,
+                // never a desync.
             }
             if self.aborting.load(Ordering::SeqCst) {
                 return Err(TransportError::Aborted {
                     origin: self.rank,
                     reason: "local abort already in progress".into(),
                 });
+            }
+            // A poisoned epoch fails the wait with the attributed
+            // corruption — the frame this rank is waiting for may have
+            // been the corrupt one that was dropped. Recovery's own
+            // collectives run with `recovering` set.
+            if self.poisoned.load(Ordering::SeqCst) && !self.recovering.load(Ordering::SeqCst) {
+                return Err(self.corruption_error());
             }
             if self.health[peer].dead.load(Ordering::SeqCst) {
                 return Err(self.peer_failed(
@@ -1175,13 +1576,14 @@ impl MpRuntime {
         // The guard both allocates the sequence number and serializes
         // collectives within the process.
         let mut seq_guard = self.coll_seq.lock().unwrap();
-        let seq = *seq_guard;
+        let seq = (self.coll_epoch.load(Ordering::SeqCst) << EPOCH_SHIFT) | *seq_guard;
         *seq_guard += 1;
-        let mut frame = Vec::with_capacity(13 + payload.len());
+        let mut frame = Vec::with_capacity(17 + payload.len());
         frame.put_u8(TAG_COLL);
         frame.put_u64_le(seq);
         frame.put_u32_le(payload.len() as u32);
         frame.put_slice(payload);
+        self.seal_frame(&mut frame, 13, FrameClass::Coll);
         for peer in 0..self.n {
             if peer != self.rank {
                 self.try_send_frame(peer, &frame, FrameClass::Coll)?;
@@ -1198,9 +1600,11 @@ impl MpRuntime {
         Ok(out)
     }
 
-    /// Infallible allgather: aborts the whole job on failure.
+    /// Infallible allgather: aborts the whole job on failure —
+    /// except recoverable corruption, which unwinds as a catchable
+    /// panic carrying the [`TransportError::Corruption`].
     pub fn allgather(&self, payload: &[u8]) -> Vec<Vec<u8>> {
-        self.try_allgather(payload).unwrap_or_else(|e| self.abort_job(e))
+        self.try_allgather(payload).unwrap_or_else(|e| self.bail(e))
     }
 
     /// Fallible barrier: an empty allgather. Per-peer FIFO makes it a
@@ -1218,9 +1622,10 @@ impl MpRuntime {
         Ok(())
     }
 
-    /// Infallible barrier: aborts the whole job on failure.
+    /// Infallible barrier: aborts the whole job on failure (corruption
+    /// unwinds as a catchable panic instead, like [`Self::allgather`]).
     pub fn barrier(&self) {
-        self.try_barrier().unwrap_or_else(|e| self.abort_job(e));
+        self.try_barrier().unwrap_or_else(|e| self.bail(e));
     }
 
     /// Fallible lane-wise allreduce of `f64` partials: gathers every
@@ -1248,9 +1653,96 @@ impl MpRuntime {
         Ok(out)
     }
 
-    /// Infallible lane-wise allreduce: aborts the whole job on failure.
+    /// Infallible lane-wise allreduce: aborts the whole job on failure
+    /// (corruption unwinds as a catchable panic, like
+    /// [`Self::allgather`]).
     pub fn allreduce_lanes(&self, lanes: &[f64]) -> Vec<f64> {
-        self.try_allreduce_lanes(lanes).unwrap_or_else(|e| self.abort_job(e))
+        self.try_allreduce_lanes(lanes).unwrap_or_else(|e| self.bail(e))
+    }
+
+    /// Collective recovery from a poisoned epoch: every surviving rank
+    /// calls this (the solver's rollback path does) after unwinding out
+    /// of the corrupt product. Steps, whose order is load-bearing:
+    ///
+    /// 1. bump the recovery epoch and reset the collective sequence —
+    ///    stale frames of the poisoned epoch now carry visibly-old
+    ///    epoch bits and are silently discarded at the pop;
+    /// 2. barrier in the new epoch — per-peer FIFO means that once a
+    ///    peer's new-epoch barrier frame has arrived, *everything* it
+    ///    sent before recovery has been received and dispatched, so the
+    ///    stale channel/credit state is complete;
+    /// 3. drop all channel inboxes and credits (the poisoned product's
+    ///    ranks unwound mid-stream and will rebuild their grids);
+    /// 4. allgather the channel/segment/window id counters and take the
+    ///    job-wide maximum — ranks unwound at different points, so the
+    ///    per-process counters diverged. No peer can send a new-id
+    ///    frame before its own allgather completes, which needs our
+    ///    contribution, which we send *after* clearing the maps — so a
+    ///    fresh inbox can never be dropped by step 3;
+    /// 5. clear the poison.
+    ///
+    /// No-op when the epoch is not poisoned, so callers may invoke it
+    /// unconditionally before a retry.
+    pub fn recover_from_corruption(&self) {
+        if !self.poisoned.load(Ordering::SeqCst) {
+            return;
+        }
+        self.recovering.store(true, Ordering::SeqCst);
+        self.coll_epoch.fetch_add(1, Ordering::SeqCst);
+        *self.coll_seq.lock().unwrap() = 0;
+        self.barrier();
+        self.chans.lock().unwrap().clear();
+        self.credits.lock().unwrap().clear();
+        let mut payload = Vec::with_capacity(24);
+        payload.put_u64_le(self.next_chan.load(Ordering::SeqCst));
+        payload.put_u64_le(self.next_seg.load(Ordering::SeqCst));
+        payload.put_u64_le(self.next_win.load(Ordering::SeqCst));
+        let all = self.allgather(&payload);
+        let (mut chan, mut seg, mut win) = (0u64, 0u64, 0u64);
+        for contribution in &all {
+            let mut r: &[u8] = contribution;
+            chan = chan.max(r.get_u64_le());
+            seg = seg.max(r.get_u64_le());
+            win = win.max(r.get_u64_le());
+        }
+        self.next_chan.store(chan, Ordering::SeqCst);
+        self.next_seg.store(seg, Ordering::SeqCst);
+        self.next_win.store(win, Ordering::SeqCst);
+        *self.poison.lock().unwrap() = None;
+        self.poison_fanned.store(false, Ordering::SeqCst);
+        self.poisoned.store(false, Ordering::SeqCst);
+        self.recovering.store(false, Ordering::SeqCst);
+        eprintln!(
+            "ls-mp[rank {}]: integrity: recovered into epoch {}",
+            self.rank,
+            self.coll_epoch.load(Ordering::SeqCst)
+        );
+    }
+
+    /// Advances the fused-matvec epoch clock and reports whether an
+    /// `LS_FAULT` `nan` action fires for this rank at this epoch. The
+    /// product engine calls it once per distributed matvec and, on
+    /// `true`, replaces its local dot partial with NaN — silent
+    /// arithmetic corruption that the rank-ordered reduction then
+    /// propagates to every rank identically. The ordinal is monotonic
+    /// across rollbacks, so a consumed injection never re-fires against
+    /// the replayed epoch.
+    pub fn nan_fault_fires(&self) -> bool {
+        let ordinal = self.matvec_ordinal.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.faults.is_empty_for(self.rank, self.attempt) {
+            return false;
+        }
+        let mut fires = false;
+        for (idx, action) in self.faults.nans_at(self.rank, self.attempt, ordinal) {
+            if self.fault_spent[idx].fetch_add(1, Ordering::Relaxed) < action.count {
+                eprintln!(
+                    "ls-mp[rank {}]: fault injection: nan into matvec epoch {ordinal}",
+                    self.rank
+                );
+                fires = true;
+            }
+        }
+        fires
     }
 
     // ---- accumulation windows -------------------------------------------
@@ -1284,7 +1776,7 @@ impl MpRuntime {
     /// Ships one remote accumulate (`y[dest][index] += value`, given as
     /// its `f64` lanes) to the owner, which applies it atomically.
     pub fn send_acc(&self, dest: usize, win: u64, index: usize, lanes: &[f64]) {
-        let mut frame = Vec::with_capacity(21 + lanes.len() * 8);
+        let mut frame = Vec::with_capacity(25 + lanes.len() * 8);
         frame.put_u8(TAG_ACC);
         frame.put_u64_le(win);
         frame.put_u64_le(index as u64);
@@ -1292,12 +1784,21 @@ impl MpRuntime {
         for &v in lanes {
             frame.put_f64_le(v);
         }
+        self.seal_frame(&mut frame, 21, FrameClass::Accum);
         self.send_frame(dest, &frame, FrameClass::Accum);
     }
 
     fn apply_acc(&self, win: u64, index: usize, lanes: &[f64]) {
         let target = match self.accums.lock().unwrap().get(&win) {
             Some(&t) => t,
+            None if self.poisoned.load(Ordering::SeqCst)
+                || self.recovering.load(Ordering::SeqCst) =>
+            {
+                // A stale accumulate racing a window the unwinding
+                // solver already dropped: safe to discard — rollback
+                // throws the whole poisoned epoch away.
+                return;
+            }
             None => self.abort_job(TransportError::Protocol {
                 detail: format!("accumulate into unregistered window {win}"),
             }),
@@ -1339,8 +1840,9 @@ impl MpRuntime {
             mp: self,
             id,
             elem,
-            lens: lens.to_vec(),
             files: (0..lens.len()).map(|_| Mutex::new(None)).collect(),
+            verified: (0..lens.len()).map(|_| AtomicBool::new(false)).collect(),
+            lens: lens.to_vec(),
         }
     }
 
@@ -1353,11 +1855,12 @@ impl MpRuntime {
     }
 
     fn send_chan(&self, peer: usize, chan: u64, payload: &[u8]) {
-        let mut frame = Vec::with_capacity(13 + payload.len());
+        let mut frame = Vec::with_capacity(17 + payload.len());
         frame.put_u8(TAG_CHAN);
         frame.put_u64_le(chan);
         frame.put_u32_le(payload.len() as u32);
         frame.put_slice(payload);
+        self.seal_frame(&mut frame, 13, FrameClass::Chan);
         self.send_frame(peer, &frame, FrameClass::Chan);
     }
 
@@ -1394,11 +1897,120 @@ pub struct Segment {
     elem: usize,
     lens: Vec<usize>,
     files: Vec<Mutex<Option<File>>>,
+    /// Per-part latch: in full-integrity mode the first `read` of each
+    /// part verifies its CRC sidecars once, then trusts the page cache.
+    verified: Vec<AtomicBool>,
 }
 
 impl Segment {
     fn path(&self, locale: usize) -> PathBuf {
         self.mp.job_dir.join(format!("seg-{}-{locale}", self.id))
+    }
+
+    /// Whole-part CRC sidecar, written by the part's owner at publish.
+    fn crc_path(&self, locale: usize) -> PathBuf {
+        self.mp.job_dir.join(format!("seg-{}-{locale}.crc", self.id))
+    }
+
+    /// Per-writer put-record sidecar against `locale`'s part: a flat
+    /// list of `(byte offset: u64, len: u64, crc32c: u32)` records, one
+    /// appended per [`Self::write`] by rank `writer`.
+    fn putcrc_path(&self, locale: usize, writer: usize) -> PathBuf {
+        self.mp.job_dir.join(format!("seg-{}-{locale}.putcrc-{writer}", self.id))
+    }
+
+    /// Segment IO failure router: under poison the files may already be
+    /// gone (peers unwound and dropped the epoch), so surface the
+    /// corruption for rollback instead of a fail-stop protocol abort.
+    fn fail(&self, detail: String) -> ! {
+        if self.mp.is_poisoned() {
+            std::panic::panic_any(self.mp.corruption_error());
+        }
+        self.mp.abort_job(TransportError::Protocol { detail })
+    }
+
+    /// Executes any armed `corrupt-window` injection after this rank
+    /// wrote `locale`'s part: flips the low bit of the byte at the
+    /// action's offset (clamped to the part), bypassing the CRC
+    /// sidecars — only a reader's verification can catch it.
+    fn corrupt_window_hook(&self, locale: usize) {
+        let mp = self.mp;
+        if mp.faults.is_empty_for(mp.rank, mp.attempt) {
+            return;
+        }
+        let part_bytes = self.lens[locale] * self.elem;
+        if part_bytes == 0 {
+            return;
+        }
+        for (idx, action) in mp.faults.window_corruptions_for(mp.rank, mp.attempt) {
+            // `nth` selects where the damage starts (1-based over this
+            // rank's segment writes — enumeration epochs write windows
+            // too, so chaos plans use it to land inside the solve) and
+            // `count` how many consecutive writes get hit.
+            let n = mp.fault_spent[idx].fetch_add(1, Ordering::Relaxed) + 1;
+            if n >= action.nth && n < action.nth + action.count {
+                let at = (action.offset as usize).min(part_bytes - 1);
+                eprintln!(
+                    "ls-mp[rank {}]: fault injection: corrupt-window byte {at} of \
+                     segment {} part {locale}",
+                    mp.rank, self.id
+                );
+                self.with_file(locale, |f| {
+                    let mut b = [0u8; 1];
+                    pread(f, at as u64, &mut b)?;
+                    b[0] ^= 1;
+                    pwrite(f, at as u64, &b)
+                });
+            }
+        }
+    }
+
+    /// First-read verification of `locale`'s part against its CRC
+    /// sidecars (full-integrity mode). Put records — ranges written
+    /// one-sidedly by peers — take precedence; a part nobody put into
+    /// is checked whole against the owner's publish sidecar. A mismatch
+    /// poisons the epoch and unwinds with the attributed
+    /// [`TransportError::Corruption`].
+    fn verify_part(&self, locale: usize) {
+        let part_bytes = self.lens[locale] * self.elem;
+        if part_bytes == 0 {
+            return;
+        }
+        let mut buf = vec![0u8; part_bytes];
+        self.with_file(locale, |f| pread(f, 0, &mut buf));
+        let mut checked = 0u64;
+        let mut bad = false;
+        let mut any_put = false;
+        for writer in 0..self.lens.len() {
+            let Ok(records) = fs::read(self.putcrc_path(locale, writer)) else { continue };
+            any_put = true;
+            let mut r: &[u8] = &records;
+            while r.remaining() >= 20 {
+                let off = r.get_u64_le() as usize;
+                let len = r.get_u64_le() as usize;
+                let want = r.get_u32_le();
+                if off + len > part_bytes || crc32c(&buf[off..off + len]) != want {
+                    bad = true;
+                }
+                checked += len as u64;
+            }
+        }
+        if !any_put {
+            if let Ok(side) = fs::read(self.crc_path(locale)) {
+                if side.len() == 4 {
+                    let want = u32::from_le_bytes([side[0], side[1], side[2], side[3]]);
+                    checked += part_bytes as u64;
+                    if crc32c(&buf) != want {
+                        bad = true;
+                    }
+                }
+            }
+        }
+        self.mp.stats.add(&self.mp.stats.crc_bytes_checked, checked);
+        if bad {
+            self.mp.report_corruption(locale, "window", "segment CRC mismatch");
+            std::panic::panic_any(self.mp.corruption_error());
+        }
     }
 
     /// Element count of one locale's part.
@@ -1424,16 +2036,15 @@ impl Segment {
             .truncate(true)
             .open(self.path(me))
             .unwrap_or_else(|e| {
-                self.mp.abort_job(TransportError::Protocol {
-                    detail: format!("create segment {}: {e}", self.path(me).display()),
-                })
+                self.fail(format!("create segment {}: {e}", self.path(me).display()))
             });
-        f.write_all(bytes).unwrap_or_else(|e| {
-            self.mp
-                .abort_job(TransportError::Protocol { detail: format!("publish segment: {e}") })
-        });
+        f.write_all(bytes).unwrap_or_else(|e| self.fail(format!("publish segment: {e}")));
         *self.files[me].lock().unwrap() = Some(f);
         self.mp.stats.add(&self.mp.stats.shm_write_bytes, bytes.len() as u64);
+        if self.mp.integrity.full() {
+            let _ = fs::write(self.crc_path(me), crc32c(bytes).to_le_bytes());
+        }
+        self.corrupt_window_hook(me);
     }
 
     fn with_file<R>(&self, locale: usize, f: impl FnOnce(&File) -> std::io::Result<R>) -> R {
@@ -1444,23 +2055,24 @@ impl Segment {
                 .write(true)
                 .open(self.path(locale))
                 .unwrap_or_else(|e| {
-                    self.mp.abort_job(TransportError::Protocol {
-                        detail: format!(
-                            "open segment {} (missing barrier before access?): {e}",
-                            self.path(locale).display()
-                        ),
-                    })
+                    self.fail(format!(
+                        "open segment {} (missing barrier before access?): {e}",
+                        self.path(locale).display()
+                    ))
                 });
             *guard = Some(file);
         }
-        f(guard.as_ref().unwrap()).unwrap_or_else(|e| {
-            self.mp.abort_job(TransportError::Protocol { detail: format!("segment io: {e}") })
-        })
+        f(guard.as_ref().unwrap()).unwrap_or_else(|e| self.fail(format!("segment io: {e}")))
     }
 
     /// Reads `dst.len()` bytes from `locale`'s part at element `offset`.
+    /// In full-integrity mode the first read of each part verifies the
+    /// whole part against its CRC sidecars before any data is returned.
     pub fn read(&self, locale: usize, offset: usize, dst: &mut [u8]) {
         assert!(offset * self.elem + dst.len() <= self.lens[locale] * self.elem);
+        if self.mp.integrity.full() && !self.verified[locale].swap(true, Ordering::SeqCst) {
+            self.verify_part(locale);
+        }
         self.with_file(locale, |f| pread(f, (offset * self.elem) as u64, dst));
         self.mp.stats.add(&self.mp.stats.shm_read_bytes, dst.len() as u64);
     }
@@ -1470,13 +2082,39 @@ impl Segment {
         assert!(offset * self.elem + src.len() <= self.lens[locale] * self.elem);
         self.with_file(locale, |f| pwrite(f, (offset * self.elem) as u64, src));
         self.mp.stats.add(&self.mp.stats.shm_write_bytes, src.len() as u64);
+        if self.mp.integrity.full() {
+            let mut record = Vec::with_capacity(20);
+            record.put_u64_le((offset * self.elem) as u64);
+            record.put_u64_le(src.len() as u64);
+            record.put_u32_le(crc32c(src));
+            let _ = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.putcrc_path(locale, self.mp.rank()))
+                .and_then(|mut f| f.write_all(&record));
+        }
+        self.corrupt_window_hook(locale);
     }
 
     /// Collective epoch close: barriers (so every peer is done accessing
-    /// the files) and then deletes this rank's file.
+    /// the files) and then deletes this rank's file and the sidecars it
+    /// wrote. Skipped while unwinding a poisoned epoch — a barrier here
+    /// would hang against peers that are also unwinding; recovery
+    /// resynchronizes segment ids, and the job directory is removed at
+    /// exit, so the leaked files are bounded and harmless.
     pub fn close(&self) {
+        if self.mp.is_poisoned() || std::thread::panicking() {
+            return;
+        }
         self.mp.barrier();
-        let _ = fs::remove_file(self.path(self.mp.rank()));
+        let me = self.mp.rank();
+        let _ = fs::remove_file(self.path(me));
+        if self.mp.integrity.full() {
+            let _ = fs::remove_file(self.crc_path(me));
+            for locale in 0..self.lens.len() {
+                let _ = fs::remove_file(self.putcrc_path(locale, me));
+            }
+        }
     }
 }
 
@@ -1733,15 +2371,24 @@ impl<T: Copy + Default> PairChannel<T> {
         match self {
             PairChannel::Local(ch) => ch.reset(),
             PairChannel::Sender(s) => {
-                assert_eq!(
-                    s.credits.avail.load(Ordering::Acquire),
-                    1,
-                    "reset while the consumer still holds the batch credit"
-                );
+                let avail = s.credits.avail.load(Ordering::Acquire);
+                if avail != 1 {
+                    // A consumer that unwound out of a poisoned epoch
+                    // never returned the credit — recoverable, not a
+                    // protocol bug.
+                    s.mp.raise_if_poisoned();
+                    panic!("reset while the consumer still holds the batch credit ({avail})");
+                }
             }
             PairChannel::Receiver(r) => {
-                assert!(r.inbox.closed.load(Ordering::Acquire), "reset of an open channel");
-                assert!(r.inbox.q.lock().unwrap().is_empty(), "reset with unconsumed data");
+                if !r.inbox.closed.load(Ordering::Acquire) {
+                    r.mp.raise_if_poisoned();
+                    panic!("reset of an open channel");
+                }
+                if !r.inbox.q.lock().unwrap().is_empty() {
+                    r.mp.raise_if_poisoned();
+                    panic!("reset with unconsumed data");
+                }
                 r.inbox.closed.store(false, Ordering::Release);
             }
             PairChannel::Absent => {}
@@ -1811,8 +2458,12 @@ mod tests {
         stats.add(&stats.barrier_nanos, 3_000_000_000);
         stats.add(&stats.peer_failures, 2);
         stats.add(&stats.detection_nanos, 24_000_000);
+        stats.add(&stats.frames_corrupted, 1);
+        stats.add(&stats.crc_bytes_checked, 4096);
         let snap = stats.snapshot();
         assert_eq!(snap.tx_bytes, 100);
+        assert_eq!(snap.frames_corrupted, 1);
+        assert_eq!(snap.crc_bytes_checked, 4096);
         assert!((snap.mean_barrier_seconds() - 1.5).abs() < 1e-12);
         assert!((snap.mean_detection_seconds() - 0.012).abs() < 1e-12);
         stats.reset();
@@ -1847,6 +2498,31 @@ mod tests {
 
         let protocol = TransportError::Protocol { detail: "unknown frame tag 42".into() };
         assert_eq!(protocol.exit_code(), EXIT_PROTOCOL);
+
+        let corrupt = TransportError::Corruption {
+            peer: 1,
+            frame: "accum".into(),
+            kind: "frame CRC mismatch".into(),
+        };
+        assert_eq!(corrupt.exit_code(), EXIT_CORRUPTION);
+        let text = corrupt.to_string();
+        assert!(text.contains("corrupt accum from rank 1"), "{text}");
+        assert!(text.contains("frame CRC mismatch"), "{text}");
+    }
+
+    #[test]
+    fn integrity_mode_defaults_to_full() {
+        // The test environment never sets LS_INTEGRITY.
+        let mode = IntegrityMode::from_env();
+        assert_eq!(mode, IntegrityMode::Full);
+        assert!(mode.wire());
+        assert!(mode.full());
+        assert!(IntegrityMode::Wire.wire());
+        assert!(!IntegrityMode::Wire.full());
+        assert!(!IntegrityMode::Off.wire());
+        assert_eq!(IntegrityMode::Off.name(), "off");
+        assert_eq!(IntegrityMode::Wire.name(), "wire");
+        assert_eq!(IntegrityMode::Full.name(), "full");
     }
 
     #[test]

@@ -234,11 +234,21 @@ impl<'a, T: Copy + Send> RmaWriteWindow<'a, T> {
 impl<'a, T: Copy + Send> Drop for RmaWriteWindow<'a, T> {
     fn drop(&mut self) {
         let Some(seg) = &self.segment else { return };
+        let mp = transport::active().expect("segment implies active transport");
+        // Unwinding out of a poisoned epoch: the close barrier would
+        // hang against peers that are unwinding too, and rollback
+        // discards the epoch's data anyway — skip read-back and close.
+        if mp.is_poisoned() || std::thread::panicking() {
+            return;
+        }
         // Multiprocess epoch close: barrier (every rank's puts are in the
         // segments), then replicate every locale's part back into local
         // memory — the algorithms built on write epochs (distributed
         // enumeration) expect the full vector to be readable afterwards.
-        transport::active().expect("segment implies active transport").barrier();
+        // The read-back also runs the first-read CRC verification, so a
+        // corrupt put surfaces here, on every rank, before the data is
+        // consumed.
+        mp.barrier();
         for (locale, &(ptr, len)) in self.parts.iter().enumerate() {
             if len == 0 {
                 continue;

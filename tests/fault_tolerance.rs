@@ -13,7 +13,11 @@
 //!   180 s collective timeout),
 //! * the supervisor relaunches the job and the recovered solve converges
 //!   **bit-identically** to an uninterrupted run, for kills at
-//!   enumeration, mid-solve and mid-restart-cycle boundaries, and
+//!   enumeration, mid-solve and mid-restart-cycle boundaries,
+//! * *silent* errors — a flipped wire bit, a corrupted shared-memory
+//!   window, a NaN'd dot partial — are detected by the integrity layer
+//!   and recovered **in-process** (checkpoint rollback, no supervisor
+//!   relaunch), again bit-identically, and
 //! * a SIGKILLed job (supervisor included) leaves no rendezvous or
 //!   `/dev/shm` artifacts behind.
 
@@ -23,6 +27,7 @@ use exact_diag::eigen::{
 };
 use exact_diag::runtime::transport::{self, TransportError};
 use exact_diag::runtime::{classify_exit, FailureClass, FaultKind, FaultPlan, FrameClass};
+use proptest::prelude::*;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -130,6 +135,42 @@ fn rotated_checkpoints_recover_past_a_torn_generation() {
     }
     remove_checkpoint(&path).unwrap();
     assert!(!g3.exists(), "remove_checkpoint must prune generation files");
+}
+
+proptest! {
+    /// The integrity layer's whole premise: no single-bit flip anywhere
+    /// in a CRC32C-protected payload goes undetected. (CRC32C detects
+    /// all single-bit errors by construction — this pins the *vendored
+    /// implementation* to that property, byte tables and all.)
+    #[test]
+    fn any_single_bit_flip_changes_the_crc(
+        mut payload in collection::vec(any::<u8>(), 1..512),
+        raw_bit in any::<usize>(),
+    ) {
+        let clean = exact_diag::runtime::crc32c(&payload);
+        let bit = raw_bit % (payload.len() * 8);
+        payload[bit / 8] ^= 1 << (bit % 8);
+        let flipped = exact_diag::runtime::crc32c(&payload);
+        prop_assert!(
+            clean != flipped,
+            "flipped bit {} of {} bytes went undetected", bit, payload.len()
+        );
+    }
+
+    /// Frames are checksummed incrementally (header, then payload);
+    /// the streamed digest must equal the one-shot digest at any split.
+    #[test]
+    fn streamed_crc_matches_one_shot(
+        payload in collection::vec(any::<u8>(), 0..512),
+        raw_cut in any::<usize>(),
+    ) {
+        let cut = raw_cut % (payload.len() + 1);
+        let streamed = exact_diag::runtime::crc32c_append(
+            exact_diag::runtime::crc32c(&payload[..cut]),
+            &payload[cut..],
+        );
+        prop_assert_eq!(streamed, exact_diag::runtime::crc32c(&payload));
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -276,6 +317,81 @@ fn supervisor_recovers_faulted_solves_bit_identically() {
     }
 }
 
+/// Silent-error acceptance: a wire bit-flip, a NaN'd dot partial and a
+/// corrupted shared-memory window must each be *detected* by the
+/// integrity layer and recovered **in-process** — checkpoint rollback
+/// inside the surviving processes, with a zero supervisor restart
+/// budget — and still converge bit-identically to a clean run.
+///
+/// Fault placement is deterministic but phase-sensitive:
+/// * `flip-bit` counts sealed `chan` frames on rank 2 — only the
+///   producer/consumer engine ships those, so `nth=40` lands inside a
+///   mid-solve product (`solve` mode).
+/// * `corrupt-window` counts rank 1's segment writes. Enumeration
+///   writes its two windows first (≈26 puts/publishes at 4 locales),
+///   so `nth=60` lands on a window published *by a gather product*
+///   mid-solve (`gather-solve` mode — the pc engine never opens
+///   windows).
+/// * `nan` counts fused matvec+dot epochs; ordinal 12 lands past the
+///   first restart boundary, so recovery replays from a checkpoint
+///   rather than from scratch.
+#[test]
+fn silent_errors_roll_back_bit_identically() {
+    if !e2e_enabled() {
+        return;
+    }
+    let tag = std::process::id();
+    let mut reference = std::collections::HashMap::new();
+    for mode in ["solve", "gather-solve"] {
+        let ckpt = std::env::temp_dir().join(format!("ft-silent-ref-{tag}-{mode}.lsck"));
+        remove_checkpoint(&ckpt).unwrap();
+        let (status, stdout, stderr, _) = launch_job(mode, "", 0, &ckpt);
+        assert!(status.success(), "clean {mode} run failed:\n{stdout}\n{stderr}");
+        // Integrity checking is on by default and must stay silent on a
+        // clean run: zero corrupt frames, zero rollbacks.
+        assert!(
+            stdout.contains("rollbacks=0") && stdout.contains("frames_corrupted=0"),
+            "clean {mode} run reported spurious integrity events:\n{stdout}"
+        );
+        reference.insert(mode, eigenvalue_bits(&stdout));
+        remove_checkpoint(&ckpt).unwrap();
+    }
+
+    let cases = [
+        ("solve", "nan:rank=0,cycle=12", "NaN dot partial"),
+        ("solve", "flip-bit:rank=2,frame=chan,nth=40", "wire bit-flip"),
+        ("gather-solve", "corrupt-window:rank=1,offset=16,nth=60", "window corruption"),
+    ];
+    for (mode, fault, what) in cases {
+        let ckpt = std::env::temp_dir()
+            .join(format!("ft-silent-{tag}-{}.lsck", what.replace(' ', "-")));
+        remove_checkpoint(&ckpt).unwrap();
+        // max_restarts = 0: if detection escalated to a process exit the
+        // supervisor would have no budget and the job would fail — success
+        // here *proves* the recovery stayed in-process.
+        let (status, stdout, stderr, _) = launch_job(mode, fault, 0, &ckpt);
+        assert!(
+            status.success(),
+            "{what} ({fault}, {mode}) did not recover in-process:\n{stdout}\n{stderr}"
+        );
+        assert!(stderr.contains("fault injection:"), "{what} ({fault}) never fired:\n{stderr}");
+        assert!(
+            stderr.contains("rolling back"),
+            "{what} ({fault}) was not recovered by rollback:\n{stderr}"
+        );
+        assert!(
+            !stderr.contains("relaunching"),
+            "{what} ({fault}) escalated to a supervisor relaunch:\n{stderr}"
+        );
+        assert_eq!(
+            eigenvalue_bits(&stdout),
+            reference[mode],
+            "recovery after {what} ({fault}) is not bit-identical"
+        );
+        remove_checkpoint(&ckpt).unwrap();
+    }
+}
+
 /// Satellite (b): SIGKILLing the whole job — supervisor included — must
 /// leave no rendezvous directories or `/dev/shm` segment files behind
 /// (the workers' stdin watchdog cleans up on supervisor death).
@@ -338,7 +454,10 @@ fn sigkilled_job_leaves_no_artifacts() {
 /// Not a test on its own: the chaos tests re-run this across real
 /// processes. `LS_FT_MODE` picks the body: `spin` crosses barriers at a
 /// steady pace (fodder for kill/detection tests); `solve` runs the
-/// checkpointed distributed eigensolve and prints `EIGENVALUES`.
+/// checkpointed distributed eigensolve through the producer/consumer
+/// engine; `gather-solve` runs the same solve through the pull-style
+/// gather product (the window read path, for `corrupt-window` faults).
+/// Both solve modes print `EIGENVALUES` and an `FT_STATS` line.
 #[test]
 #[ignore]
 fn mp_worker_entry() {
@@ -354,12 +473,13 @@ fn mp_worker_entry() {
                 std::thread::sleep(Duration::from_millis(50));
             }
         }
-        Ok("solve") => run_solve(mp),
+        Ok("solve") => run_solve(mp, false),
+        Ok("gather-solve") => run_solve(mp, true),
         other => panic!("unknown LS_FT_MODE {other:?}"),
     }
 }
 
-fn run_solve(mp: &'static transport::MpRuntime) {
+fn run_solve(mp: &'static transport::MpRuntime, gather: bool) {
     use exact_diag::basis::{SectorSpec, SymmetrizedOperator};
     use exact_diag::dist::eigensolve::{dist_thick_restart_lanczos, DistRestartOptions};
     use exact_diag::dist::enumerate_dist;
@@ -377,22 +497,23 @@ fn run_solve(mp: &'static transport::MpRuntime) {
     let pc = PcOptions { deterministic: true, ..PcOptions::default() };
 
     let ckpt = PathBuf::from(std::env::var("LS_FT_CKPT").expect("LS_FT_CKPT not set"));
-    let res = dist_thick_restart_lanczos(
-        &cluster,
-        &op,
-        &basis,
-        &DistRestartOptions {
-            restart: RestartOptions {
-                k: 2,
-                extra: 8,
-                tol: 1e-10,
-                max_restarts: 500,
-                checkpoint: Some(CheckpointPolicy { keep: 2, ..CheckpointPolicy::new(ckpt) }),
-                ..RestartOptions::new(2)
-            },
-            pc,
-        },
-    );
+    let restart = RestartOptions {
+        k: 2,
+        extra: 8,
+        tol: 1e-10,
+        max_restarts: 500,
+        checkpoint: Some(CheckpointPolicy { keep: 2, ..CheckpointPolicy::new(ckpt) }),
+        ..RestartOptions::new(2)
+    };
+    let res = if gather {
+        // The pull-style product: every iteration publishes and reads
+        // shared-memory windows, so `corrupt-window` faults fire inside
+        // the solver's rollback scope.
+        let gop = exact_diag::dist::matvec::GatherOp::new(&cluster, &op, &basis);
+        exact_diag::eigen::thick_restart_lanczos_in(&gop, &restart)
+    } else {
+        dist_thick_restart_lanczos(&cluster, &op, &basis, &DistRestartOptions { restart, pc })
+    };
     assert!(res.converged, "solve did not converge");
     if mp.rank() == 0 {
         print!("EIGENVALUES");
@@ -402,10 +523,14 @@ fn run_solve(mp: &'static transport::MpRuntime) {
         println!();
         let w = mp.stats().snapshot();
         println!(
-            "FT_STATS restarts={} peer_failures={} aborts_sent={} mean_detection={:.6}",
+            "FT_STATS restarts={} peer_failures={} aborts_sent={} rollbacks={} \
+             frames_corrupted={} crc_bytes_checked={} mean_detection={:.6}",
             w.restarts,
             w.peer_failures,
             w.aborts_sent,
+            res.rollbacks,
+            w.frames_corrupted,
+            w.crc_bytes_checked,
             w.mean_detection_seconds()
         );
     }
