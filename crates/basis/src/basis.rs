@@ -1,17 +1,50 @@
 //! The shared-memory symmetry-adapted basis.
 
 use crate::enumerate;
-use crate::sector::SectorSpec;
+use crate::sector::{BasisError, SectorSpec};
 use ls_kernels::combinadics::BinomialTable;
 use ls_kernels::search::{PrefixIndex, TrieIndex, NOT_FOUND};
+use ls_kernels::SiteEncoding;
 
-/// The cold tail of [`SpinBasis::index_of_present`]: keeping the panic
-/// (and its formatting machinery) out of the inlined hot path lets the
-/// ranking call compile down to the lookup plus one predictable branch.
+/// A generated state that has no rank in the basis — raised when an
+/// operator produces a representative outside the sector. This is always
+/// a logic error (a Hermitian symmetry-commuting operator stays inside
+/// the sector), so the hot ranking paths report it by panicking via
+/// [`missing_state`]; the typed form exists so every layer (shared-memory
+/// basis, batched matvec, distributed locales) formats the same
+/// diagnostic, including the per-site configuration under the sector's
+/// encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingState {
+    pub rep: u64,
+    pub encoding: SiteEncoding,
+    pub n_sites: u32,
+}
+
+impl std::fmt::Display for MissingState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "generated state {:#018x} is not in the basis (sites [", self.rep)?;
+        for (i, c) in self.encoding.decode(self.rep, self.n_sites).iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+impl std::error::Error for MissingState {}
+
+/// The shared cold tail of every `index_of_present`-style lookup (basis
+/// ranking, batched matvec gather, distributed locale resolution):
+/// keeping the panic (and its formatting machinery) out of the inlined
+/// hot path lets the ranking call compile down to the lookup plus one
+/// predictable branch.
 #[cold]
 #[inline(never)]
-fn missing_state(rep: u64) -> ! {
-    panic!("generated state {rep:#018x} is not in the basis");
+pub fn missing_state(rep: u64, encoding: SiteEncoding, n_sites: u32) -> ! {
+    panic!("{}", MissingState { rep, encoding, n_sites });
 }
 
 /// How `state -> index` ranking is performed.
@@ -60,10 +93,16 @@ impl SpinBasis {
     pub fn from_parts(sector: SectorSpec, states: Vec<u64>, orbit_sizes: Vec<u32>) -> Self {
         debug_assert_eq!(states.len(), orbit_sizes.len());
         debug_assert!(states.windows(2).all(|w| w[0] < w[1]), "states must be sorted");
-        let prefix = PrefixIndex::auto(&states, sector.n_sites());
+        let prefix = PrefixIndex::auto(&states, sector.code_bits());
         // Combinadic ranking is exact only when every state is its own
-        // orbit (trivial group) and the weight is fixed.
-        let combinadic = if sector.group().order() == 1 && sector.hamming_weight().is_some() {
+        // orbit (trivial group), the weight is fixed, and the full
+        // fixed-weight range is present — one-bit site codes with no
+        // extra per-species charges.
+        let combinadic = if sector.group().order() == 1
+            && sector.hamming_weight().is_some()
+            && sector.encoding().bits() == 1
+            && sector.charges().is_empty()
+        {
             Some(BinomialTable::new())
         } else {
             None
@@ -134,7 +173,7 @@ impl SpinBasis {
         debug_assert!(self.index_of(rep).is_some(), "state {rep:#018x} missing from the basis");
         match self.index_of(rep) {
             Some(i) => i,
-            None => missing_state(rep),
+            None => missing_state(rep, self.sector.encoding(), self.sector.n_sites()),
         }
     }
 
@@ -173,14 +212,28 @@ impl SpinBasis {
     }
 
     /// Forces a particular ranking implementation (ablation benches).
+    ///
+    /// A request the sector cannot honour (combinadic ranking off the
+    /// U(1)-only spin-1/2 case) falls back to [`RankingKind::PrefixBuckets`]
+    /// instead of failing; use [`Self::try_set_ranking`] to observe the
+    /// rejection.
     pub fn set_ranking(&mut self, kind: RankingKind) {
+        let _ = self.try_set_ranking(kind);
+    }
+
+    /// Like [`Self::set_ranking`], but reports whether the request could
+    /// be honoured. On `Err` the basis is left on the always-valid
+    /// [`RankingKind::PrefixBuckets`] ranking.
+    pub fn try_set_ranking(&mut self, kind: RankingKind) -> Result<RankingKind, BasisError> {
         if kind == RankingKind::Combinadic && self.combinadic.is_none() {
-            panic!("combinadic ranking requires a U(1)-only sector");
+            self.ranking = RankingKind::PrefixBuckets;
+            return Err(BasisError::RankingUnavailable { requested: "combinadic" });
         }
         if kind == RankingKind::Trie && self.trie.is_none() {
-            self.trie = Some(TrieIndex::build(&self.states, self.sector.n_sites(), 8));
+            self.trie = Some(TrieIndex::build(&self.states, self.sector.code_bits(), 8));
         }
         self.ranking = kind;
+        Ok(kind)
     }
 
     pub fn ranking(&self) -> RankingKind {
@@ -290,9 +343,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "combinadic ranking requires")]
-    fn combinadic_rejected_with_symmetries() {
+    fn combinadic_falls_back_outside_u1_only() {
+        // Symmetry-adapted sector: combinadic is impossible; the request
+        // reports the typed error and the basis stays usable on
+        // PrefixBuckets.
         let mut basis = chain_basis(8);
+        assert_eq!(
+            basis.try_set_ranking(RankingKind::Combinadic),
+            Err(BasisError::RankingUnavailable { requested: "combinadic" })
+        );
+        assert_eq!(basis.ranking(), RankingKind::PrefixBuckets);
+        for (i, &s) in basis.states().iter().enumerate() {
+            assert_eq!(basis.index_of(s), Some(i));
+        }
+        // The infallible setter silently takes the same fallback.
         basis.set_ranking(RankingKind::Combinadic);
+        assert_eq!(basis.ranking(), RankingKind::PrefixBuckets);
+        // Charge-constrained fermionic sector: states are not the full
+        // fixed-weight range, so combinadic must also be refused.
+        let mut fermi = SpinBasis::build(SectorSpec::spinful_fermions(3, 1, 1).unwrap());
+        assert_eq!(fermi.ranking(), RankingKind::PrefixBuckets);
+        assert!(fermi.try_set_ranking(RankingKind::Combinadic).is_err());
+    }
+
+    #[test]
+    fn fermion_and_spin_one_bases_rank() {
+        let basis = SpinBasis::build(SectorSpec::spinful_fermions(4, 2, 2).unwrap());
+        assert_eq!(basis.dim() as u64, basis.sector().dimension());
+        for (i, &s) in basis.states().iter().enumerate() {
+            assert_eq!(basis.index_of(s), Some(i));
+            assert_eq!(basis.index_of_present(s), i);
+        }
+        // Wrong species count is absent even though total weight matches.
+        assert_eq!(basis.index_of(0b0000_1111), None);
+
+        let mut spin1 = SpinBasis::build(SectorSpec::spin_s(5, 3, Some(5)).unwrap());
+        assert_eq!(spin1.dim() as u64, spin1.sector().dimension());
+        let probes: Vec<u64> = (0..1 << 10).collect();
+        let expect: Vec<Option<usize>> = probes.iter().map(|&p| spin1.index_of(p)).collect();
+        for kind in [RankingKind::BinarySearch, RankingKind::Trie] {
+            spin1.set_ranking(kind);
+            let got: Vec<Option<usize>> = probes.iter().map(|&p| spin1.index_of(p)).collect();
+            assert_eq!(got, expect, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn missing_state_reports_site_configuration() {
+        let e = MissingState { rep: 0b10_01_00, encoding: SiteEncoding::spin(3), n_sites: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains("is not in the basis"), "{msg}");
+        assert!(msg.contains("[0 1 2]"), "{msg}");
     }
 }

@@ -10,8 +10,9 @@
 //! is identical for any chunk count and any thread count.
 
 use crate::rep::is_representative;
-use crate::sector::SectorSpec;
+use crate::sector::{ChargeMask, SectorSpec};
 use ls_kernels::bits::FixedWeightRange;
+use ls_kernels::CodedRange;
 use rayon::prelude::*;
 
 /// A filtered chunk: representatives and their orbit sizes.
@@ -24,24 +25,58 @@ pub struct Chunk {
 /// Filters one sub-range `[lo, hi)` of the raw iteration space.
 pub fn filter_range(sector: &SectorSpec, lo: u64, hi: u64) -> Chunk {
     let n = sector.n_sites();
+    let code_bits = sector.code_bits();
     let group = sector.group();
     let mut out = Chunk::default();
     let trivial = group.order() == 1;
-    let space_end = if n == 64 { u64::MAX } else { 1u64 << n };
+    let space_end = if code_bits == 64 { u64::MAX } else { 1u64 << code_bits };
     let hi = hi.min(space_end);
+    if sector.encoding().bits() > 1 {
+        // Multi-bit site codes: the odometer iterator skips invalid
+        // codes; lattice symmetry groups are trivial here by
+        // construction, so every valid word is its own representative.
+        for s in CodedRange::new(sector.encoding(), n, sector.hamming_weight(), lo, hi) {
+            out.states.push(s);
+            out.orbit_sizes.push(1);
+        }
+        return out;
+    }
+    let charges = sector.charges();
     match sector.hamming_weight() {
         Some(w) => {
-            for s in FixedWeightRange::new(n, w, lo, hi) {
-                push_if_rep(group, trivial, s, &mut out);
+            if charges.is_empty() {
+                // Hot spin-1/2 path, untouched.
+                for s in FixedWeightRange::new(n, w, lo, hi) {
+                    push_if_rep(group, trivial, s, &mut out);
+                }
+            } else {
+                for s in FixedWeightRange::new(n, w, lo, hi) {
+                    if satisfies_charges(charges, s) {
+                        push_if_rep(group, trivial, s, &mut out);
+                    }
+                }
             }
         }
         None => {
-            for s in lo..hi {
-                push_if_rep(group, trivial, s, &mut out);
+            if charges.is_empty() {
+                for s in lo..hi {
+                    push_if_rep(group, trivial, s, &mut out);
+                }
+            } else {
+                for s in lo..hi {
+                    if satisfies_charges(charges, s) {
+                        push_if_rep(group, trivial, s, &mut out);
+                    }
+                }
             }
         }
     }
     out
+}
+
+#[inline]
+fn satisfies_charges(charges: &[ChargeMask], s: u64) -> bool {
+    charges.iter().all(|c| (s & c.mask).count_ones() == c.weight)
 }
 
 #[inline]
@@ -76,7 +111,7 @@ pub fn enumerate(sector: &SectorSpec) -> Chunk {
 /// Parallel enumeration with rayon. `chunks` controls the work split; the
 /// result is identical to [`enumerate`].
 pub fn enumerate_par(sector: &SectorSpec, chunks: usize) -> Chunk {
-    let ranges = split_ranges(sector.n_sites(), chunks.max(1));
+    let ranges = split_ranges(sector.code_bits(), chunks.max(1));
     let parts: Vec<Chunk> =
         ranges.into_par_iter().map(|(lo, hi)| filter_range(sector, lo, hi)).collect();
     let total: usize = parts.iter().map(|c| c.states.len()).sum();
@@ -136,6 +171,47 @@ mod tests {
         let sector = SectorSpec::new(10, Some(5), g).unwrap();
         let chunk = enumerate(&sector);
         assert_eq!(chunk.states.len() as u64, sector.dimension());
+    }
+
+    #[test]
+    fn spinful_fermion_enumeration() {
+        // 3 physical sites, 1 up + 2 down: C(3,1)·C(3,2) = 9 states.
+        let sector = SectorSpec::spinful_fermions(3, 1, 2).unwrap();
+        let chunk = enumerate(&sector);
+        assert_eq!(chunk.states.len() as u64, sector.dimension());
+        assert_eq!(chunk.states.len(), 9);
+        for &s in &chunk.states {
+            assert_eq!((s & 0b000111).count_ones(), 1);
+            assert_eq!((s & 0b111000).count_ones(), 2);
+        }
+        for w in chunk.states.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for chunks in [1usize, 3, 16] {
+            let par = enumerate_par(&sector, chunks);
+            assert_eq!(par.states, chunk.states, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn spin_one_enumeration() {
+        // 5 spin-1 sites, code sum 5 (Σ Sz = 0).
+        let sector = SectorSpec::spin_s(5, 3, Some(5)).unwrap();
+        let chunk = enumerate(&sector);
+        assert_eq!(chunk.states.len() as u64, sector.dimension());
+        let enc = sector.encoding();
+        for &s in &chunk.states {
+            assert!(enc.is_valid(s, 5));
+            assert_eq!(enc.code_sum(s, 5), 5);
+        }
+        for w in chunk.states.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Parallel split happens over the 10-bit packed-code space.
+        for chunks in [1usize, 2, 7, 100] {
+            let par = enumerate_par(&sector, chunks);
+            assert_eq!(par.states, chunk.states, "chunks={chunks}");
+        }
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! complication the paper's Fig. 1 illustrates. This crate owns that
 //! machinery:
 //!
-//! * [`SectorSpec`] — a symmetry sector: number of sites, optional U(1)
-//!   Hamming weight, and a symmetry group with characters;
+//! * [`SectorSpec`] — a symmetry sector: number of sites, site encoding
+//!   (spin-1/2, spin-S, fermionic orbitals), optional U(1) charge (total
+//!   code sum), per-species [`ChargeMask`]s, and a symmetry group with
+//!   characters;
 //! * [`rep::state_info`] — maps an arbitrary bitstring to its orbit
 //!   representative, with the character phase and orbit size needed for
 //!   matrix elements;
@@ -25,7 +27,7 @@ pub mod rep;
 pub mod sector;
 pub mod symop;
 
-pub use basis::{RankingKind, SpinBasis};
+pub use basis::{missing_state, MissingState, RankingKind, SpinBasis};
 pub use rep::{state_info, state_info_batch, StateInfo, StateInfoBatch};
-pub use sector::{BasisError, SectorSpec};
+pub use sector::{BasisError, ChargeMask, SectorSpec};
 pub use symop::{OffDiagBlock, SymmetrizedOperator};

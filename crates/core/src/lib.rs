@@ -65,8 +65,10 @@ pub mod prelude {
         evolve_imaginary_time, evolve_real_time, lanczos_smallest, spectral_coefficients,
         thick_restart_lanczos, CheckpointPolicy, LanczosOptions, LinearOp, RestartOptions,
     };
-    pub use ls_expr::builders::{heisenberg, heisenberg_bond, transverse_field, xxz};
-    pub use ls_expr::{parse_expr, Expr, OperatorKernel};
+    pub use ls_expr::builders::{
+        fermion_hop, heisenberg, heisenberg_bond, hubbard_1d, transverse_field, xxz,
+    };
+    pub use ls_expr::{parse_expr, Expr, LocalHilbert, OperatorKernel};
     pub use ls_kernels::{Complex64, Scalar};
     pub use ls_symmetry::lattice::{
         chain_bonds, chain_group, chain_reflection, chain_translation, square_bonds,

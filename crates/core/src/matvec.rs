@@ -40,7 +40,7 @@
 //! lifetime, so the hundreds of products of a Lanczos run reuse the same
 //! staging memory.
 
-use ls_basis::{OffDiagBlock, RankingKind, SpinBasis, SymmetrizedOperator};
+use ls_basis::{missing_state, OffDiagBlock, RankingKind, SpinBasis, SymmetrizedOperator};
 use ls_eigen::op::pairwise_sum;
 use ls_kernels::chunk;
 use ls_kernels::combinadics::BinomialTable;
@@ -93,15 +93,6 @@ fn prefetch_read<T>(data: &[T], index: usize) {
     }
     #[cfg(not(target_arch = "x86_64"))]
     let _ = (data, index);
-}
-
-/// Cold tail for a ranked emission that is not in the basis (cannot
-/// happen for a symmetry-commuting operator; kept out of line so the hot
-/// loop carries only a predictable branch).
-#[cold]
-#[inline(never)]
-fn missing_state(rep: u64) -> ! {
-    panic!("generated state {rep:#018x} is not in the basis");
 }
 
 // ---------------------------------------------------------------------------
@@ -287,17 +278,19 @@ fn par_chunk(dim: usize) -> usize {
 }
 
 /// The differential-ranking fast path is available when the sector is
-/// U(1)-only (trivial group, combinadic basis) and the combinadic ranking
-/// is the one selected — there, a row's basis index *is* its combinadic
-/// rank and destination ranks follow from `rank_xor` deltas, skipping
-/// every lookup structure. Gated on the active [`RankingKind`] so the
-/// ablation benches still measure the generic bulk kernels under the
-/// other rankings.
+/// U(1)-only (trivial group, combinadic basis), the combinadic ranking
+/// is the one selected, and no channel carries a fermionic sign mask
+/// (the segment-encoded gather hoists one constant amplitude per
+/// channel, which a state-dependent Jordan-Wigner sign breaks) — there,
+/// a row's basis index *is* its combinadic rank and destination ranks
+/// follow from `rank_xor` deltas, skipping every lookup structure. Gated
+/// on the active [`RankingKind`] so the ablation benches still measure
+/// the generic bulk kernels under the other rankings.
 fn fused_u1_table<'b, S: Scalar>(
     op: &SymmetrizedOperator<S>,
     basis: &'b SpinBasis,
 ) -> Option<&'b BinomialTable> {
-    if op.has_trivial_group() && basis.ranking() == RankingKind::Combinadic {
+    if op.has_trivial_group() && !op.has_signs() && basis.ranking() == RankingKind::Combinadic {
         basis.combinadic_table()
     } else {
         None
@@ -568,7 +561,7 @@ fn batched_pull_sweep<S: Scalar>(
                     // Generate + bulk-rank the whole block, then gather.
                     op.apply_off_diag_block(states, orbits, &mut sc.gen);
                     basis.index_of_batch(&sc.gen.reps, &mut sc.idx);
-                    accumulate_pull(yb, x, &sc.gen, &sc.idx);
+                    accumulate_pull(yb, x, &sc.gen, &sc.idx, basis);
                 }
             }
             b0 = b1;
@@ -612,7 +605,13 @@ fn accumulate_pull_segments<S: Scalar>(yb: &mut [S], x: &[S], emit: &[u64], segs
 /// ranked index block enables prefetching the `x` reads ahead of use —
 /// the single biggest win over the one-lookup-at-a-time scalar loop.
 #[inline]
-fn accumulate_pull<S: Scalar>(yb: &mut [S], x: &[S], gen: &OffDiagBlock<S>, idx: &[u32]) {
+fn accumulate_pull<S: Scalar>(
+    yb: &mut [S],
+    x: &[S],
+    gen: &OffDiagBlock<S>,
+    idx: &[u32],
+    basis: &SpinBasis,
+) {
     debug_assert_eq!(gen.len(), idx.len());
     for t in 0..idx.len() {
         if t + PREFETCH_AHEAD < idx.len() {
@@ -623,7 +622,8 @@ fn accumulate_pull<S: Scalar>(yb: &mut [S], x: &[S], gen: &OffDiagBlock<S>, idx:
         }
         let i = idx[t];
         if i == NOT_FOUND {
-            missing_state(gen.reps[t]);
+            let sector = basis.sector();
+            missing_state(gen.reps[t], sector.encoding(), sector.n_sites());
         }
         yb[gen.src[t] as usize] += gen.amps[t].conj() * x[i as usize];
     }
@@ -776,7 +776,8 @@ fn produce_chunk<S: Scalar>(
             while t < sc.idx.len() && sc.gen.src[t] as usize == k {
                 let i = sc.idx[t];
                 if !trusted && i == NOT_FOUND {
-                    missing_state(sc.gen.reps[t]);
+                    let sector = basis.sector();
+                    missing_state(sc.gen.reps[t], sector.encoding(), sector.n_sites());
                 }
                 sc.dest.push(i);
                 sc.amp.push(sc.gen.amps[t]);

@@ -13,16 +13,18 @@
 //! measure translation-averaged quantities, e.g. `⟨Sz_0 Sz_r⟩` rather
 //! than `⟨Sz_3 Sz_{3+r}⟩` individually — they are equal anyway.)
 //!
-//! Channels that change the Hamming weight contribute nothing inside a
-//! fixed-weight sector and are projected out, so observables like `Sx_i`
-//! simply evaluate to their exact value, zero.
+//! Channels that change the Hamming weight (total code sum) or any
+//! per-species charge contribute nothing inside a sector fixing them and
+//! are projected out, so observables like `Sx_i` (or a spin-mixing
+//! fermion hop inside a fixed-`N↑`/`N↓` sector) simply evaluate to their
+//! exact value, zero.
 //!
 //! This module is the "custom observables" capability the paper's Sec. 3
 //! highlights as painful to add to SPINPACK.
 
 use crate::operator::Operator;
 use ls_basis::{BasisError, SectorSpec, SpinBasis, SymmetrizedOperator};
-use ls_expr::{Expr, OperatorKernel};
+use ls_expr::{Expr, LocalHilbert, OperatorKernel};
 use ls_kernels::Scalar;
 
 /// Group-averages a kernel: `(1/|G|) Σ_g U_g O U_g†`.
@@ -34,6 +36,28 @@ fn group_average(kernel: &OperatorKernel, sector: &SectorSpec) -> OperatorKernel
         .map(|el| kernel.conjugated_by(|s| el.apply_permutation(s), el.has_flip()))
         .collect();
     OperatorKernel::merged(conjugated.iter()).scaled(1.0 / group.order() as f64)
+}
+
+/// Compiles `observable` for the sector's local Hilbert space, then
+/// group-averages and projects onto every conservation law the sector
+/// fixes (total code sum, per-species charge masks).
+fn sector_kernel(observable: &Expr, sector: &SectorSpec) -> Result<OperatorKernel, BasisError> {
+    let hilbert = LocalHilbert::from_encoding(sector.encoding());
+    let kernel = observable.to_kernel_in(&hilbert, sector.n_sites()).map_err(|_| {
+        BasisError::OperatorSizeMismatch {
+            kernel_sites: observable.min_sites() as u32,
+            n_sites: sector.n_sites(),
+        }
+    })?;
+    let mut averaged = group_average(&kernel, sector);
+    if sector.hamming_weight().is_some() {
+        averaged = averaged.u1_projected();
+    }
+    if !sector.charges().is_empty() {
+        let masks: Vec<u64> = sector.charges().iter().map(|c| c.mask).collect();
+        averaged = averaged.projected_conserving(&masks);
+    }
+    Ok(averaged)
 }
 
 /// `⟨ψ|O|ψ⟩` for an arbitrary observable expression. `psi` must live in
@@ -48,16 +72,7 @@ pub fn expectation<S: Scalar>(
     psi: &[S],
 ) -> Result<S, BasisError> {
     let sector = basis.sector();
-    let kernel = observable.to_kernel(sector.n_sites()).map_err(|_| {
-        BasisError::OperatorSizeMismatch {
-            kernel_sites: observable.min_sites() as u32,
-            n_sites: sector.n_sites(),
-        }
-    })?;
-    let mut averaged = group_average(&kernel, sector);
-    if sector.hamming_weight().is_some() {
-        averaged = averaged.u1_projected();
-    }
+    let averaged = sector_kernel(observable, sector)?;
     let symop = SymmetrizedOperator::<S>::new(&averaged, sector)?;
     // ⟨ψ| O |ψ⟩ via one application.
     let mut o_psi = vec![S::ZERO; basis.dim()];
@@ -70,7 +85,9 @@ pub fn expectation<S: Scalar>(
 }
 
 /// Spin-spin correlation function `C(r) = ⟨Sz_0 Sz_r⟩` for `r = 0..n`
-/// (translation-averaged; `C(0) = 1/4`).
+/// (translation-averaged). Works for any spin-S sector; the on-site value
+/// `C(0) = ⟨Sz²⟩` is 1/4 for spin-1/2 and state-dependent for higher
+/// spin.
 pub fn sz_correlations<S: Scalar>(op: &Operator<S>, psi: &[S]) -> Result<Vec<f64>, BasisError> {
     let basis = op.basis();
     let n = basis.sector().n_sites() as usize;
@@ -97,16 +114,7 @@ pub fn expectation_dist<S: Scalar>(
     psi: &ls_runtime::DistVec<S>,
 ) -> Result<S, BasisError> {
     let sector = basis.sector();
-    let kernel = observable.to_kernel(sector.n_sites()).map_err(|_| {
-        BasisError::OperatorSizeMismatch {
-            kernel_sites: observable.min_sites() as u32,
-            n_sites: sector.n_sites(),
-        }
-    })?;
-    let mut averaged = group_average(&kernel, sector);
-    if sector.hamming_weight().is_some() {
-        averaged = averaged.u1_projected();
-    }
+    let averaged = sector_kernel(observable, sector)?;
     let symop = SymmetrizedOperator::<S>::new(&averaged, sector)?;
     let mut o_psi = ls_runtime::DistVec::<S>::zeros(&psi.lens());
     ls_dist::matvec_pc(cluster, &symop, basis, psi, &mut o_psi, ls_dist::PcOptions::default());
@@ -160,7 +168,8 @@ mod tests {
         let n = 12usize;
         let (_, op, psi, _) = ground(n);
         let c = sz_correlations(&op, &psi).unwrap();
-        // C(0) = ⟨Sz²⟩ = 1/4 exactly for spin-1/2.
+        // For a spin-1/2 sector ⟨Sz²⟩ is the constant 1/4 (Sz² = I/4 on
+        // every site); higher-spin sectors have state-dependent C(0).
         assert!((c[0] - 0.25).abs() < 1e-10, "C(0) = {}", c[0]);
         // Antiferromagnet: signs alternate.
         for (r, &cr) in c.iter().enumerate().skip(1) {

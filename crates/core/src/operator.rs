@@ -22,17 +22,20 @@ pub struct Operator<S: Scalar> {
 }
 
 impl<S: Scalar> Operator<S> {
-    /// Compiles `expr`, builds the sector basis (in parallel) and binds
-    /// the two. Returns the basis alongside the operator.
+    /// Compiles `expr` against the sector's local Hilbert space, builds
+    /// the sector basis (in parallel) and binds the two. Returns the
+    /// basis alongside the operator.
     pub fn from_expr(
         expr: &Expr,
         sector: SectorSpec,
     ) -> Result<(Arc<SpinBasis>, Self), BasisError> {
-        let kernel =
-            expr.to_kernel(sector.n_sites()).map_err(|_| BasisError::OperatorSizeMismatch {
+        let hilbert = ls_expr::LocalHilbert::from_encoding(sector.encoding());
+        let kernel = expr.to_kernel_in(&hilbert, sector.n_sites()).map_err(|_| {
+            BasisError::OperatorSizeMismatch {
                 kernel_sites: expr.min_sites() as u32,
                 n_sites: sector.n_sites(),
-            })?;
+            }
+        })?;
         let symop = SymmetrizedOperator::<S>::new(&kernel, &sector)?;
         let basis = Arc::new(SpinBasis::build(sector));
         let op = Self::from_parts(symop, Arc::clone(&basis));

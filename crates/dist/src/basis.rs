@@ -13,12 +13,16 @@ use ls_kernels::search::PrefixIndex;
 use ls_kernels::{locale_idx_of, Scalar};
 use ls_runtime::{Cluster, DistVec, RmaWriteWindow};
 
-/// Cold tail of [`DistSpinBasis::index_on_present`]; see the shared-memory
-/// twin in `ls-basis` for the rationale.
+/// Cold tail of [`DistSpinBasis::index_on_present`]: formats through the
+/// shared [`ls_basis::MissingState`] diagnostic (decoded per-site
+/// configuration under the sector's encoding), adding the locale.
 #[cold]
 #[inline(never)]
-fn missing_state(locale: usize, rep: u64) -> ! {
-    panic!("state {rep:#018x} is not in the basis part of locale {locale}");
+fn missing_state(locale: usize, rep: u64, sector: &SectorSpec) -> ! {
+    panic!(
+        "locale {locale}: {}",
+        ls_basis::MissingState { rep, encoding: sector.encoding(), n_sites: sector.n_sites() }
+    );
 }
 
 /// A symmetry-sector basis in the hashed distribution: locale `l` holds
@@ -42,7 +46,7 @@ impl DistSpinBasis {
         orbit_sizes: DistVec<u32>,
     ) -> Self {
         assert_eq!(states.n_locales(), orbit_sizes.n_locales());
-        let n_sites = sector.n_sites();
+        let code_bits = sector.code_bits();
         let mut dim = 0u64;
         let mut index = Vec::with_capacity(states.n_locales());
         for l in 0..states.n_locales() {
@@ -50,7 +54,7 @@ impl DistSpinBasis {
             assert_eq!(part.len(), orbit_sizes.part(l).len());
             debug_assert!(part.windows(2).all(|w| w[0] < w[1]), "locale {l} not sorted");
             dim += part.len() as u64;
-            index.push(PrefixIndex::auto(part, n_sites));
+            index.push(PrefixIndex::auto(part, code_bits));
         }
         Self { sector, states, orbit_sizes, index, dim }
     }
@@ -103,7 +107,7 @@ impl DistSpinBasis {
     pub fn index_on_present(&self, locale: usize, rep: u64) -> usize {
         match self.index_on(locale, rep) {
             Some(i) => i,
-            None => missing_state(locale, rep),
+            None => missing_state(locale, rep, &self.sector),
         }
     }
 
@@ -178,7 +182,7 @@ pub fn enumerate_dist(
 ) -> DistSpinBasis {
     let locales = cluster.n_locales();
     let total_chunks = locales * chunks_per_locale.max(1);
-    let ranges = split_ranges(sector.n_sites(), total_chunks);
+    let ranges = split_ranges(sector.code_bits(), total_chunks);
 
     // Phase 1 (parallel filter + partition): locale `l` processes the
     // cyclic chunks `l, l + L, l + 2L, ...` in ascending range order and

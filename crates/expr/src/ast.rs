@@ -9,14 +9,18 @@ use crate::matrix2::Matrix2;
 use ls_kernels::Complex64;
 use std::ops::{Add, Mul, Neg, Sub};
 
-/// Kinds of single-site spin-1/2 operators.
+/// Kinds of single-site operators. Which kinds an expression may use
+/// depends on the local Hilbert space it is compiled against (see
+/// [`crate::LocalHilbert::primitive_matrix`]): the spin kinds exist on
+/// any spin-S site, the Pauli kinds only on spin-1/2, and the fermionic
+/// kinds (`c†`, `c`, `n`) only on fermionic orbitals.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum PrimitiveKind {
     /// Raising operator `S+`.
     SPlus,
     /// Lowering operator `S-`.
     SMinus,
-    /// `Sz` with eigenvalues ±1/2.
+    /// `Sz` with eigenvalues `−s..=+s`.
     Sz,
     /// `Sx = (S+ + S-)/2`.
     Sx,
@@ -28,19 +32,29 @@ pub enum PrimitiveKind {
     SigmaY,
     /// Pauli `σz` (= 2Sz).
     SigmaZ,
+    /// Fermionic creation `c†` (Jordan-Wigner string over lower sites).
+    Create,
+    /// Fermionic annihilation `c`.
+    Annihilate,
+    /// Occupation number `n = c† c` (string-free).
+    Number,
 }
 
 impl PrimitiveKind {
+    /// The single-site 2×2 matrix, ignoring statistics (the Jordan-Wigner
+    /// string of `c†`/`c` is handled during normal ordering, where the
+    /// on-site parts are simply the spin ladder matrices).
     pub fn matrix(self) -> Matrix2 {
         match self {
-            Self::SPlus => Matrix2::SPLUS,
-            Self::SMinus => Matrix2::SMINUS,
+            Self::SPlus | Self::Create => Matrix2::SPLUS,
+            Self::SMinus | Self::Annihilate => Matrix2::SMINUS,
             Self::Sz => Matrix2::SZ,
             Self::Sx => Matrix2::SX,
             Self::Sy => Matrix2::SY,
             Self::SigmaX => Matrix2::SIGMA_X,
             Self::SigmaY => Matrix2::SIGMA_Y,
             Self::SigmaZ => Matrix2::SIGMA_Z,
+            Self::Number => Matrix2::P_UP,
         }
     }
 
@@ -54,6 +68,9 @@ impl PrimitiveKind {
             Self::SigmaX => "σx",
             Self::SigmaY => "σy",
             Self::SigmaZ => "σz",
+            Self::Create => "c†",
+            Self::Annihilate => "c",
+            Self::Number => "n",
         }
     }
 }
@@ -115,7 +132,9 @@ impl Expr {
                 let kind = match p.kind {
                     PrimitiveKind::SPlus => PrimitiveKind::SMinus,
                     PrimitiveKind::SMinus => PrimitiveKind::SPlus,
-                    k => k, // Sx, Sy, Sz, Paulis are Hermitian
+                    PrimitiveKind::Create => PrimitiveKind::Annihilate,
+                    PrimitiveKind::Annihilate => PrimitiveKind::Create,
+                    k => k, // Sx, Sy, Sz, Paulis, n are Hermitian
                 };
                 Expr::Primitive(Primitive { kind, site: p.site })
             }
@@ -163,6 +182,21 @@ pub fn sigma_y(site: u16) -> Expr {
 /// Pauli `σz` on `site`.
 pub fn sigma_z(site: u16) -> Expr {
     Expr::Primitive(Primitive { kind: PrimitiveKind::SigmaZ, site })
+}
+
+/// Fermionic creation operator `c†` on orbital `site`.
+pub fn create(site: u16) -> Expr {
+    Expr::Primitive(Primitive { kind: PrimitiveKind::Create, site })
+}
+
+/// Fermionic annihilation operator `c` on orbital `site`.
+pub fn annihilate(site: u16) -> Expr {
+    Expr::Primitive(Primitive { kind: PrimitiveKind::Annihilate, site })
+}
+
+/// Occupation number `n = c† c` on orbital `site`.
+pub fn number(site: u16) -> Expr {
+    Expr::Primitive(Primitive { kind: PrimitiveKind::Number, site })
 }
 
 impl Add for Expr {

@@ -1,6 +1,10 @@
 //! Convenience constructors for common Hamiltonians.
+//!
+//! The spin builders compile against any spin-S local Hilbert space
+//! (`heisenberg` works unchanged for spin-1 chains); the fermionic
+//! builders require [`crate::LocalHilbert::fermion`] sites.
 
-use crate::ast::{sminus, splus, sx, sz, Expr};
+use crate::ast::{annihilate, create, number, sminus, splus, sx, sz, Expr};
 
 /// The Heisenberg exchange on one bond:
 /// `S_i · S_j = (S+_i S-_j + S-_i S+_j)/2 + Sz_i Sz_j`.
@@ -54,7 +58,37 @@ pub fn transverse_field(n_sites: usize, h: f64) -> Expr {
     Expr::Sum(terms)
 }
 
-/// The total-spin operator `S² = (Σ_i S_i)·(Σ_j S_j)`.
+/// One hopping bond `−t (c†_i c_j + c†_j c_i)` between fermionic
+/// orbitals `i` and `j` (Jordan-Wigner signs handled by compilation).
+pub fn fermion_hop(i: u16, j: u16, t: f64) -> Expr {
+    Expr::scalar(-t) * (create(i) * annihilate(j) + create(j) * annihilate(i))
+}
+
+/// The 1D Hubbard chain on `n` physical sites:
+/// `H = −t Σ_{⟨ij⟩,σ} (c†_{iσ} c_{jσ} + h.c.) + U Σ_i n_{i↑} n_{i↓}`.
+///
+/// Orbital layout: spin-up orbital of site `i` is code position `i`, the
+/// spin-down orbital is `n + i` — so the basis word needs `2n` fermionic
+/// sites, nearest-neighbour hops are string-free within each species, and
+/// the periodic closure bond (when `periodic`) exercises non-trivial
+/// Jordan-Wigner sign masks.
+pub fn hubbard_1d(n: usize, t: f64, u: f64, periodic: bool) -> Expr {
+    let n16 = n as u16;
+    let mut terms = Vec::new();
+    let last_bond = if periodic && n > 2 { n } else { n.saturating_sub(1) };
+    for b in 0..last_bond {
+        let (i, j) = (b as u16 % n16, (b as u16 + 1) % n16);
+        terms.push(fermion_hop(i, j, t)); // spin up
+        terms.push(fermion_hop(n16 + i, n16 + j, t)); // spin down
+    }
+    for i in 0..n16 {
+        terms.push(u * (number(i) * number(n16 + i)));
+    }
+    Expr::Sum(terms)
+}
+
+/// The total-spin operator `S² = (Σ_i S_i)·(Σ_j S_j)` for spin-1/2
+/// systems (the on-site Casimir `S_i · S_i = 3/4` is hardcoded).
 ///
 /// Commutes with any SU(2)-symmetric Hamiltonian; its eigenvalues are
 /// `s(s+1)`. Useful as a diagnostic observable: the ground state of the
@@ -110,6 +144,25 @@ mod tests {
         let k = ising_zz(&[(0, 1), (1, 2)], 2.0).to_kernel(3).unwrap();
         assert!(k.channels().is_empty());
         assert_eq!(k.diagonal_monomials().len(), 2);
+    }
+
+    #[test]
+    fn hubbard_structure() {
+        use crate::hilbert::LocalHilbert;
+        let h = LocalHilbert::fermion();
+        // 3-site open chain, 6 orbitals.
+        let k = hubbard_1d(3, 1.0, 4.0, false).to_kernel_in(&h, 6).unwrap();
+        assert!(k.is_hermitian(1e-12));
+        assert!(k.conserves_hamming_weight());
+        // Species conservation: up orbitals 0..3, down orbitals 3..6.
+        assert!(k.conserves_masked_weight(0b000111));
+        assert!(k.conserves_masked_weight(0b111000));
+        // Open-chain nearest-neighbour hops are all string-free.
+        assert!(!k.has_signs());
+        // Periodic closure introduces a Jordan-Wigner string.
+        let p = hubbard_1d(3, 1.0, 4.0, true).to_kernel_in(&h, 6).unwrap();
+        assert!(p.has_signs());
+        assert!(p.is_hermitian(1e-12));
     }
 
     #[test]

@@ -4,16 +4,22 @@
 //! `|α⟩`, what are the non-zero entries `⟨β|H|α⟩`?* That is the paper's
 //! `getRow` (by Hermiticity, rows and columns coincide up to conjugation).
 //!
-//! The kernel has two parts:
+//! The kernel has three parts:
 //!
-//! * **diagonal** — a Walsh polynomial `Σ_m c_m Π_{i ∈ zmask_m} z_i` where
-//!   `z_i = ±1` is the `σz` eigenvalue of site `i`. Evaluating it is a few
-//!   popcounts per monomial, branch-free.
+//! * **diagonal (Walsh)** — a Walsh polynomial `Σ_m c_m Π_{i ∈ zmask_m} z_i`
+//!   where `z_i = ±1` is the `σz` eigenvalue of site `i`. Evaluating it is
+//!   a few popcounts per monomial, branch-free. Used for one-bit
+//!   encodings (spin-1/2 and fermionic orbitals).
+//! * **diagonal (patterns)** — for multi-bit site codes, masked-compare
+//!   [`DiagPattern`]s: `(c, sites, pat)` contributes `c` iff the code
+//!   fields of `α` on `sites` equal `pat`.
 //! * **off-diagonal** — scattering [`Channel`]s: `(c, sites, in, out)`
 //!   fires on `|α⟩` iff the bits of `α` on `sites` equal `in`, producing
-//!   `|β⟩ = α ^ (in ^ out)` with amplitude `c`.
+//!   `|β⟩ = α ^ (in ^ out)` with amplitude `±c`; the sign is the fermionic
+//!   Jordan-Wigner parity `(−1)^{popcount(α & sign)}` (always `+` for
+//!   spin kernels, whose `sign` masks are zero).
 
-use ls_kernels::Complex64;
+use ls_kernels::{Complex64, SiteEncoding};
 
 /// One Walsh monomial of the diagonal part: `coeff · Π_{i∈zmask} z_i`.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -22,10 +28,22 @@ pub struct ZMonomial {
     pub zmask: u64,
 }
 
+/// One masked-compare diagonal term for multi-bit encodings:
+/// contributes `coeff` to `⟨α|H|α⟩` iff `α & sites == pat`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct DiagPattern {
+    pub coeff: Complex64,
+    /// Mask of the code fields the pattern inspects.
+    pub sites: u64,
+    /// Required code pattern on `sites`.
+    pub pat: u64,
+}
+
 /// One off-diagonal scattering channel.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Channel {
-    /// Amplitude `⟨β|H|α⟩` contributed when the channel fires.
+    /// Amplitude `⟨β|H|α⟩` contributed when the channel fires (up to the
+    /// Jordan-Wigner sign below).
     pub coeff: Complex64,
     /// Mask of the sites the channel inspects/modifies.
     pub sites: u64,
@@ -33,6 +51,9 @@ pub struct Channel {
     pub in_pat: u64,
     /// Output bit pattern on `sites` (`!= in_pat`).
     pub out_pat: u64,
+    /// Jordan-Wigner sign mask (disjoint from `sites`): the amplitude is
+    /// negated iff `popcount(α & sign)` is odd. Zero for spin operators.
+    pub sign: u64,
 }
 
 impl Channel {
@@ -41,44 +62,89 @@ impl Channel {
     pub fn flip_mask(&self) -> u64 {
         self.in_pat ^ self.out_pat
     }
+
+    /// The signed amplitude `⟨β|H|α⟩` for a matching `α`.
+    #[inline]
+    pub fn amplitude(&self, alpha: u64) -> Complex64 {
+        if (alpha & self.sign).count_ones() & 1 == 1 {
+            -self.coeff
+        } else {
+            self.coeff
+        }
+    }
 }
 
 /// Compiled matrix-free operator. Build one with
-/// [`crate::Expr::to_kernel`].
+/// [`crate::Expr::to_kernel`] (spin-1/2) or
+/// [`crate::Expr::to_kernel_in`] (any local Hilbert space).
 #[derive(Clone, Debug)]
 pub struct OperatorKernel {
+    encoding: SiteEncoding,
     n_sites: u32,
     diag: Vec<ZMonomial>,
+    patterns: Vec<DiagPattern>,
     offdiag: Vec<Channel>,
 }
 
 impl OperatorKernel {
     pub(crate) fn from_parts(
         n_sites: u32,
+        diag: Vec<ZMonomial>,
+        offdiag: Vec<Channel>,
+    ) -> Self {
+        Self::from_parts_encoded(SiteEncoding::spin_half(), n_sites, diag, Vec::new(), offdiag)
+    }
+
+    pub(crate) fn from_parts_encoded(
+        encoding: SiteEncoding,
+        n_sites: u32,
         mut diag: Vec<ZMonomial>,
+        mut patterns: Vec<DiagPattern>,
         mut offdiag: Vec<Channel>,
     ) -> Self {
         // Canonical order: cheap determinism for tests and reproducibility.
         diag.sort_by_key(|m| m.zmask);
-        offdiag.sort_by_key(|c| (c.sites, c.in_pat, c.out_pat));
-        Self { n_sites, diag, offdiag }
+        patterns.sort_by_key(|p| (p.sites, p.pat));
+        offdiag.sort_by_key(|c| (c.sites, c.in_pat, c.out_pat, c.sign));
+        Self { encoding, n_sites, diag, patterns, offdiag }
     }
 
-    /// The identity-free zero operator on `n_sites` sites.
+    /// The identity-free zero operator on `n_sites` spin-1/2 sites.
     pub fn zero(n_sites: u32) -> Self {
-        Self { n_sites, diag: Vec::new(), offdiag: Vec::new() }
+        Self::from_parts(n_sites, Vec::new(), Vec::new())
     }
 
     pub fn n_sites(&self) -> u32 {
         self.n_sites
     }
 
+    /// The site encoding the kernel's masks and patterns are expressed in.
+    pub fn encoding(&self) -> SiteEncoding {
+        self.encoding
+    }
+
+    /// Total code bits of a basis word.
+    pub fn code_bits(&self) -> u32 {
+        self.encoding.code_bits(self.n_sites)
+    }
+
     pub fn diagonal_monomials(&self) -> &[ZMonomial] {
         &self.diag
     }
 
+    pub fn diagonal_patterns(&self) -> &[DiagPattern] {
+        &self.patterns
+    }
+
     pub fn channels(&self) -> &[Channel] {
         &self.offdiag
+    }
+
+    /// Does any channel carry a non-trivial Jordan-Wigner sign mask?
+    /// (Spin kernels never do; fermionic kernels do unless every hop is
+    /// between adjacent orbitals.)
+    pub fn has_signs(&self) -> bool {
+        self.offdiag.iter().any(|c| c.sign != 0)
     }
 
     /// Maximum number of off-diagonal entries a single row can have.
@@ -99,6 +165,11 @@ impl OperatorKernel {
                 acc -= m.coeff;
             }
         }
+        for p in &self.patterns {
+            if alpha & p.sites == p.pat {
+                acc += p.coeff;
+            }
+        }
         acc
     }
 
@@ -108,7 +179,7 @@ impl OperatorKernel {
     pub fn off_diagonal(&self, alpha: u64, out: &mut Vec<(u64, Complex64)>) {
         for ch in &self.offdiag {
             if alpha & ch.sites == ch.in_pat {
-                out.push((alpha ^ ch.flip_mask(), ch.coeff));
+                out.push((alpha ^ ch.flip_mask(), ch.amplitude(alpha)));
             }
         }
     }
@@ -125,24 +196,45 @@ impl OperatorKernel {
         out
     }
 
-    /// Does every off-diagonal channel preserve the Hamming weight? (i.e.
-    /// does the operator commute with total `Sz` — the U(1) symmetry).
+    /// Does every off-diagonal channel preserve the total code sum — the
+    /// Hamming weight for one-bit encodings (total `Sz` U(1) symmetry),
+    /// the particle number for fermions, `Σ(Sz_i + S)` for spin-S?
     pub fn conserves_hamming_weight(&self) -> bool {
-        self.offdiag.iter().all(|c| c.in_pat.count_ones() == c.out_pat.count_ones())
+        let n = self.n_sites;
+        self.offdiag.iter().all(|c| {
+            self.encoding.code_sum(c.in_pat, n) == self.encoding.code_sum(c.out_pat, n)
+        })
+    }
+
+    /// Does every off-diagonal channel preserve the bit count within
+    /// `mask`? (Per-species particle-number conservation: e.g. spin-up
+    /// and spin-down fermion counts separately.)
+    pub fn conserves_masked_weight(&self, mask: u64) -> bool {
+        self.offdiag
+            .iter()
+            .all(|c| (c.in_pat & mask).count_ones() == (c.out_pat & mask).count_ones())
     }
 
     /// Is the kernel Hermitian (as a matrix)?
     pub fn is_hermitian(&self, tol: f64) -> bool {
-        // Diagonal must be real: Walsh coefficients real.
+        // Diagonal must be real: Walsh/pattern coefficients real.
         if self.diag.iter().any(|m| m.coeff.im.abs() > tol) {
             return false;
         }
-        // Every channel must have a conjugate partner.
+        if self.patterns.iter().any(|p| p.coeff.im.abs() > tol) {
+            return false;
+        }
+        // Every channel must have a conjugate partner. Sign masks are
+        // disjoint from `sites`, so the Jordan-Wigner parity of a matching
+        // α equals that of the produced β and the partner must carry the
+        // *same* mask.
         for c in &self.offdiag {
-            let partner = self
-                .offdiag
-                .iter()
-                .find(|p| p.sites == c.sites && p.in_pat == c.out_pat && p.out_pat == c.in_pat);
+            let partner = self.offdiag.iter().find(|p| {
+                p.sites == c.sites
+                    && p.in_pat == c.out_pat
+                    && p.out_pat == c.in_pat
+                    && p.sign == c.sign
+            });
             match partner {
                 Some(p) => {
                     if !p.coeff.approx_eq(c.coeff.conj(), tol) {
@@ -162,6 +254,8 @@ impl OperatorKernel {
             .iter()
             .map(|m| ZMonomial { coeff: m.coeff.conj(), zmask: m.zmask })
             .collect();
+        let patterns =
+            self.patterns.iter().map(|p| DiagPattern { coeff: p.coeff.conj(), ..*p }).collect();
         let offdiag = self
             .offdiag
             .iter()
@@ -170,16 +264,19 @@ impl OperatorKernel {
                 sites: c.sites,
                 in_pat: c.out_pat,
                 out_pat: c.in_pat,
+                sign: c.sign,
             })
             .collect();
-        Self::from_parts(self.n_sites, diag, offdiag)
+        Self::from_parts_encoded(self.encoding, self.n_sites, diag, patterns, offdiag)
     }
 
     /// Structural comparison up to tolerance (kernels are canonically
     /// sorted, so same-structure kernels align element-wise).
     pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
-        if self.n_sites != other.n_sites
+        if self.encoding != other.encoding
+            || self.n_sites != other.n_sites
             || self.diag.len() != other.diag.len()
+            || self.patterns.len() != other.patterns.len()
             || self.offdiag.len() != other.offdiag.len()
         {
             return false;
@@ -188,21 +285,32 @@ impl OperatorKernel {
             .iter()
             .zip(&other.diag)
             .all(|(a, b)| a.zmask == b.zmask && a.coeff.approx_eq(b.coeff, tol))
+            && self.patterns.iter().zip(&other.patterns).all(|(a, b)| {
+                a.sites == b.sites && a.pat == b.pat && a.coeff.approx_eq(b.coeff, tol)
+            })
             && self.offdiag.iter().zip(&other.offdiag).all(|(a, b)| {
                 a.sites == b.sites
                     && a.in_pat == b.in_pat
                     && a.out_pat == b.out_pat
+                    && a.sign == b.sign
                     && a.coeff.approx_eq(b.coeff, tol)
             })
     }
 
-    /// Dense matrix representation (for testing; `n_sites <= 12`).
+    /// Dense matrix representation over the full `2^code_bits` word space
+    /// (for testing; `code_bits <= 12`). Rows/columns of invalid code
+    /// words (possible only for non-power-of-two local dimensions) are
+    /// zero — channels map valid words to valid words.
     pub fn to_dense(&self) -> Vec<Vec<Complex64>> {
-        assert!(self.n_sites <= 12, "dense form limited to small systems");
-        let dim = 1usize << self.n_sites;
+        let code_bits = self.code_bits();
+        assert!(code_bits <= 12, "dense form limited to small systems");
+        let dim = 1usize << code_bits;
         let mut h = vec![vec![Complex64::ZERO; dim]; dim];
         let mut row = Vec::new();
         for alpha in 0..dim as u64 {
+            if !self.encoding.is_valid(alpha, self.n_sites) {
+                continue;
+            }
             row.clear();
             row.extend(self.row(alpha));
             for &(beta, v) in &row {
@@ -213,10 +321,30 @@ impl OperatorKernel {
         h
     }
 
+    /// Dense matrix over an explicit sorted basis-state list: entry
+    /// `[i][j] = ⟨states[i]|H|states[j]⟩`. Scattering out of the list is
+    /// dropped (the list is assumed closed under the kernel's channels,
+    /// as any full sector of a conserved operator is).
+    pub fn to_dense_states(&self, states: &[u64]) -> Vec<Vec<Complex64>> {
+        let dim = states.len();
+        let mut h = vec![vec![Complex64::ZERO; dim]; dim];
+        let mut row = Vec::new();
+        for (col, &alpha) in states.iter().enumerate() {
+            row.clear();
+            row.extend(self.row(alpha));
+            for &(beta, v) in &row {
+                if let Ok(r) = states.binary_search(&beta) {
+                    h[r][col] += v;
+                }
+            }
+        }
+        h
+    }
+
     /// Total number of stored terms (for the perf model and Table 1-style
     /// bookkeeping).
     pub fn n_terms(&self) -> usize {
-        self.diag.len() + self.offdiag.len()
+        self.diag.len() + self.patterns.len() + self.offdiag.len()
     }
 
     /// Scales every term by a real factor.
@@ -226,29 +354,48 @@ impl OperatorKernel {
             .iter()
             .map(|m| ZMonomial { coeff: m.coeff.scale(factor), zmask: m.zmask })
             .collect();
+        let patterns = self
+            .patterns
+            .iter()
+            .map(|p| DiagPattern { coeff: p.coeff.scale(factor), ..*p })
+            .collect();
         let offdiag = self
             .offdiag
             .iter()
             .map(|c| Channel { coeff: c.coeff.scale(factor), ..*c })
             .collect();
-        Self::from_parts(self.n_sites, diag, offdiag)
+        Self::from_parts_encoded(self.encoding, self.n_sites, diag, patterns, offdiag)
     }
 
-    /// Sums kernels (all must share `n_sites`), merging duplicate terms
-    /// and dropping cancellations.
+    /// Sums kernels (all must share the encoding), merging duplicate
+    /// terms and dropping cancellations.
     pub fn merged<'a>(kernels: impl IntoIterator<Item = &'a Self>) -> Self {
         use std::collections::HashMap;
+        let mut encoding = SiteEncoding::spin_half();
         let mut n_sites = 0;
         let mut walsh: HashMap<u64, Complex64> = HashMap::new();
-        let mut channels: HashMap<(u64, u64, u64), Complex64> = HashMap::new();
+        let mut pats: HashMap<(u64, u64), Complex64> = HashMap::new();
+        let mut channels: HashMap<(u64, u64, u64, u64), Complex64> = HashMap::new();
         for k in kernels {
+            if n_sites == 0 {
+                encoding = k.encoding;
+            } else {
+                debug_assert_eq!(
+                    encoding, k.encoding,
+                    "merging kernels of different encodings"
+                );
+            }
             n_sites = n_sites.max(k.n_sites);
             for m in &k.diag {
                 *walsh.entry(m.zmask).or_insert(Complex64::ZERO) += m.coeff;
             }
+            for p in &k.patterns {
+                *pats.entry((p.sites, p.pat)).or_insert(Complex64::ZERO) += p.coeff;
+            }
             for c in &k.offdiag {
-                *channels.entry((c.sites, c.in_pat, c.out_pat)).or_insert(Complex64::ZERO) +=
-                    c.coeff;
+                *channels
+                    .entry((c.sites, c.in_pat, c.out_pat, c.sign))
+                    .or_insert(Complex64::ZERO) += c.coeff;
             }
         }
         const TOL: f64 = 1e-14;
@@ -257,28 +404,71 @@ impl OperatorKernel {
             .filter(|(_, c)| c.abs() > TOL)
             .map(|(zmask, coeff)| ZMonomial { coeff, zmask })
             .collect();
+        let patterns = pats
+            .into_iter()
+            .filter(|(_, c)| c.abs() > TOL)
+            .map(|((sites, pat), coeff)| DiagPattern { coeff, sites, pat })
+            .collect();
         let offdiag = channels
             .into_iter()
             .filter(|(_, c)| c.abs() > TOL)
-            .map(|((sites, in_pat, out_pat), coeff)| Channel { coeff, sites, in_pat, out_pat })
+            .map(|((sites, in_pat, out_pat, sign), coeff)| Channel {
+                coeff,
+                sites,
+                in_pat,
+                out_pat,
+                sign,
+            })
             .collect();
-        Self::from_parts(n_sites, diag, offdiag)
+        Self::from_parts_encoded(encoding, n_sites, diag, patterns, offdiag)
     }
 
-    /// Drops every channel that does not conserve the Hamming weight.
+    /// Drops every channel that does not conserve the total code sum.
     ///
     /// Within a fixed-weight sector, non-conserving channels connect to
     /// orthogonal sectors and contribute nothing to expectation values;
     /// projecting them out lets arbitrary observables be evaluated in
     /// U(1) sectors.
     pub fn u1_projected(&self) -> Self {
+        let n = self.n_sites;
         let offdiag = self
             .offdiag
             .iter()
-            .filter(|c| c.in_pat.count_ones() == c.out_pat.count_ones())
+            .filter(|c| {
+                self.encoding.code_sum(c.in_pat, n) == self.encoding.code_sum(c.out_pat, n)
+            })
             .copied()
             .collect();
-        Self::from_parts(self.n_sites, self.diag.clone(), offdiag)
+        Self::from_parts_encoded(
+            self.encoding,
+            self.n_sites,
+            self.diag.clone(),
+            self.patterns.clone(),
+            offdiag,
+        )
+    }
+
+    /// Drops every channel that does not conserve the bit count within
+    /// each of `masks` (per-species number projection, e.g. separate
+    /// spin-up/spin-down fermion counts).
+    pub fn projected_conserving(&self, masks: &[u64]) -> Self {
+        let offdiag = self
+            .offdiag
+            .iter()
+            .filter(|c| {
+                masks
+                    .iter()
+                    .all(|&m| (c.in_pat & m).count_ones() == (c.out_pat & m).count_ones())
+            })
+            .copied()
+            .collect();
+        Self::from_parts_encoded(
+            self.encoding,
+            self.n_sites,
+            self.diag.clone(),
+            self.patterns.clone(),
+            offdiag,
+        )
     }
 
     /// The kernel of `U H U†` where `U|s⟩ = |u(s)⟩`, `u` being the bit
@@ -286,7 +476,9 @@ impl OperatorKernel {
     ///
     /// Channels transform by relabelling the masks; under spin inversion
     /// the in/out patterns invert within their site mask and each Walsh
-    /// monomial picks up `(-1)^|zmask|`.
+    /// monomial picks up `(-1)^|zmask|`. Only spin kernels participate in
+    /// non-trivial symmetry groups, so sign masks (always zero there) map
+    /// through the permutation unchanged in meaning.
     pub fn conjugated_by(&self, apply: impl Fn(u64) -> u64, flip: bool) -> Self {
         let diag = self
             .diag
@@ -296,6 +488,11 @@ impl OperatorKernel {
                 let sign = if flip && zmask.count_ones() & 1 == 1 { -1.0 } else { 1.0 };
                 ZMonomial { coeff: m.coeff.scale(sign), zmask }
             })
+            .collect();
+        let patterns = self
+            .patterns
+            .iter()
+            .map(|p| DiagPattern { coeff: p.coeff, sites: apply(p.sites), pat: apply(p.pat) })
             .collect();
         let offdiag = self
             .offdiag
@@ -308,17 +505,18 @@ impl OperatorKernel {
                     in_pat = !in_pat & sites;
                     out_pat = !out_pat & sites;
                 }
-                Channel { coeff: c.coeff, sites, in_pat, out_pat }
+                Channel { coeff: c.coeff, sites, in_pat, out_pat, sign: apply(c.sign) }
             })
             .collect();
-        Self::from_parts(self.n_sites, diag, offdiag)
+        Self::from_parts_encoded(self.encoding, self.n_sites, diag, patterns, offdiag)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{sminus, splus, sz};
+    use crate::ast::{annihilate, create, sminus, splus, sz};
+    use crate::hilbert::LocalHilbert;
 
     #[test]
     fn heisenberg_bond_row() {
@@ -350,6 +548,20 @@ mod tests {
     }
 
     #[test]
+    fn fermionic_hop_is_hermitian_with_signs() {
+        let h = LocalHilbert::fermion();
+        let hop = crate::builders::fermion_hop(0, 3, 1.0);
+        let k = hop.to_kernel_in(&h, 4).unwrap();
+        assert!(k.has_signs());
+        assert!(k.is_hermitian(1e-12));
+        assert!(k.conserves_hamming_weight());
+        // The adjoint of c†_0 c_3 is c†_3 c_0 with the same sign mask.
+        let half = (create(0) * annihilate(3)).to_kernel_in(&h, 4).unwrap();
+        let back = (create(3) * annihilate(0)).to_kernel_in(&h, 4).unwrap();
+        assert!(half.adjoint().approx_eq(&back, 1e-12));
+    }
+
+    #[test]
     fn u1_conservation() {
         assert!(crate::builders::heisenberg_bond(0, 1)
             .to_kernel(2)
@@ -357,6 +569,23 @@ mod tests {
             .conserves_hamming_weight());
         assert!(!(splus(0) * splus(1)).to_kernel(2).unwrap().conserves_hamming_weight());
         assert!((sz(0) * sz(1)).to_kernel(2).unwrap().conserves_hamming_weight());
+    }
+
+    #[test]
+    fn masked_weight_conservation() {
+        let h = LocalHilbert::fermion();
+        // Spin-up hop on orbitals {0,1} of a 4-orbital (2-site spinful)
+        // system conserves both species counts.
+        let hop = crate::builders::fermion_hop(0, 1, 1.0).to_kernel_in(&h, 4).unwrap();
+        assert!(hop.conserves_masked_weight(0b0011));
+        assert!(hop.conserves_masked_weight(0b1100));
+        // A spin-mixing hop 1 → 2 conserves the total but not the species.
+        let mix = crate::builders::fermion_hop(1, 2, 1.0).to_kernel_in(&h, 4).unwrap();
+        assert!(mix.conserves_hamming_weight());
+        assert!(!mix.conserves_masked_weight(0b0011));
+        // Projection strips the mixing channels.
+        let projected = mix.projected_conserving(&[0b0011, 0b1100]);
+        assert_eq!(projected.channels().len(), 0);
     }
 
     #[test]
@@ -424,6 +653,19 @@ mod tests {
                     "entry ({r},{c}) = {:?}",
                     d[r][c]
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_states_matches_full_dense() {
+        let h = crate::builders::heisenberg_bond(0, 1).to_kernel(2).unwrap();
+        let full = h.to_dense();
+        let states: Vec<u64> = (0..4).collect();
+        let sub = h.to_dense_states(&states);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!(sub[r][c].approx_eq(full[r][c], 1e-15));
             }
         }
     }

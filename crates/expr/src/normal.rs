@@ -1,18 +1,28 @@
 //! Normal-form expansion: AST → monomials → kernel.
 //!
 //! Every expression is first distributed into a sum of *monomials* (a
-//! complex coefficient times at most one 2×2 matrix per site — same-site
-//! products are multiplied out immediately using the spin-1/2 algebra).
+//! complex coefficient times at most one d×d matrix per site — same-site
+//! products are multiplied out immediately using the local Hilbert
+//! space's algebra). Fermionic primitives additionally carry a
+//! Jordan-Wigner parity string `Π_{j<site} Z_j`; multiplication folds
+//! string factors into overlapping site matrices (`Z·M` from the left,
+//! `M·Z` from the right) and cancels doubled strings, so a monomial's
+//! residual `zstring` is always disjoint from its matrix factors.
+//!
 //! Each monomial is then decomposed over the matrix units
-//! `E_ab = |a⟩⟨b|`, yielding scattering channels, and diagonal channels
-//! are converted to Walsh monomials so that e.g. `Sz_i Sz_j` costs a
-//! single popcount instead of four masked compares.
+//! `E_ab = |a⟩⟨b|`, yielding scattering channels. For one-bit encodings
+//! diagonal channels are converted to Walsh monomials so that e.g.
+//! `Sz_i Sz_j` costs a single popcount instead of four masked compares
+//! (residual strings fold into the Walsh masks: `Z_j = −z_j`); wider
+//! encodings keep diagonal channels as masked-compare patterns.
 
 use std::collections::{BTreeMap, HashMap};
 
 use crate::ast::Expr;
-use crate::kernel::{Channel, OperatorKernel, ZMonomial};
-use crate::matrix2::Matrix2;
+use crate::hilbert::LocalHilbert;
+use crate::kernel::{Channel, DiagPattern, OperatorKernel, ZMonomial};
+use crate::sitematrix::SiteMatrix;
+use ls_kernels::bits::low_mask;
 use ls_kernels::Complex64;
 
 /// Error compiling an expression to a kernel.
@@ -20,11 +30,14 @@ use ls_kernels::Complex64;
 pub enum CompileError {
     /// A primitive references a site ≥ `n_sites`.
     SiteOutOfRange { site: u16, n_sites: u32 },
-    /// More than 64 sites requested.
+    /// The system's packed codes exceed the 64-bit basis word.
     TooManySites(u32),
     /// A monomial touches more sites than the expansion limit (16); such
     /// operators are outside the scope of two- and few-body physics.
     MonomialTooWide(usize),
+    /// The primitive is not defined on this local Hilbert space (e.g.
+    /// `c†` on a spin site, `σx` on spin-1).
+    UnsupportedPrimitive { symbol: &'static str, hilbert: &'static str },
 }
 
 impl std::fmt::Display for CompileError {
@@ -37,37 +50,63 @@ impl std::fmt::Display for CompileError {
             Self::MonomialTooWide(k) => {
                 write!(f, "monomial touches {k} sites (limit 16)")
             }
+            Self::UnsupportedPrimitive { symbol, hilbert } => {
+                write!(f, "primitive {symbol} is not defined on {hilbert} sites")
+            }
         }
     }
 }
 
 impl std::error::Error for CompileError {}
 
-/// A coefficient times one matrix per (sorted) site.
+/// A coefficient times one matrix per (sorted) site, times a residual
+/// Jordan-Wigner string `Π_{j∈zstring} Z_j` on sites *not* in `factors`.
 #[derive(Clone, Debug)]
 struct Monomial {
     coeff: Complex64,
-    factors: BTreeMap<u16, Matrix2>,
+    factors: BTreeMap<u16, SiteMatrix>,
+    zstring: u64,
 }
 
 impl Monomial {
     fn scalar(c: Complex64) -> Self {
-        Self { coeff: c, factors: BTreeMap::new() }
+        Self { coeff: c, factors: BTreeMap::new(), zstring: 0 }
     }
 
     /// Operator product `self · other` (self acts *after* other ... the
     /// convention only matters within a site, where we multiply
     /// `self_matrix · other_matrix` — matching `(AB)|ψ⟩ = A(B|ψ⟩)` with
     /// `A = self`).
+    ///
+    /// String bookkeeping: at each site the combined factor is `A_s · B_s`
+    /// with `A_s, B_s ∈ {I, M, Z}`. A left string over a right factor
+    /// multiplies `Z·M`; a right string over a (merged) left factor
+    /// multiplies `M·Z`; two strings on a bare site cancel (`Z² = I`),
+    /// which the final XOR handles.
     fn mul(&self, other: &Self) -> Self {
         let mut factors = self.factors.clone();
+        let mut s_left = self.zstring;
         for (&site, m) in &other.factors {
-            factors
-                .entry(site)
-                .and_modify(|existing| *existing = existing.mul(m))
-                .or_insert(*m);
+            let bit = 1u64 << site;
+            let mb = if s_left & bit != 0 {
+                s_left &= !bit;
+                SiteMatrix::fermion_parity().mul(m)
+            } else {
+                *m
+            };
+            factors.entry(site).and_modify(|ma| *ma = ma.mul(&mb)).or_insert(mb);
         }
-        Self { coeff: self.coeff * other.coeff, factors }
+        let mut s_right = other.zstring;
+        let mut crossing = s_right;
+        while crossing != 0 {
+            let site = crossing.trailing_zeros() as u16;
+            crossing &= crossing - 1;
+            if let Some(ma) = factors.get_mut(&site) {
+                *ma = ma.mul(&SiteMatrix::fermion_parity());
+                s_right &= !(1u64 << site);
+            }
+        }
+        Self { coeff: self.coeff * other.coeff, factors, zstring: s_left ^ s_right }
     }
 
     fn is_zero(&self, tol: f64) -> bool {
@@ -75,16 +114,24 @@ impl Monomial {
     }
 }
 
-/// Distributes the expression into monomials.
-fn expand(expr: &Expr) -> Vec<Monomial> {
-    match expr {
+/// Distributes the expression into monomials over `h`'s site algebra.
+fn expand(expr: &Expr, h: &LocalHilbert) -> Result<Vec<Monomial>, CompileError> {
+    Ok(match expr {
         Expr::Scalar(z) => vec![Monomial::scalar(*z)],
         Expr::Primitive(p) => {
             let mut factors = BTreeMap::new();
-            factors.insert(p.site, p.kind.matrix());
-            vec![Monomial { coeff: Complex64::ONE, factors }]
+            factors.insert(p.site, h.primitive_matrix(p.kind)?);
+            let zstring =
+                if h.primitive_has_string(p.kind) { low_mask(p.site as u32) } else { 0 };
+            vec![Monomial { coeff: Complex64::ONE, factors, zstring }]
         }
-        Expr::Sum(es) => es.iter().flat_map(expand).collect(),
+        Expr::Sum(es) => {
+            let mut out = Vec::new();
+            for e in es {
+                out.extend(expand(e, h)?);
+            }
+            out
+        }
         Expr::Product(es) => {
             let mut acc = vec![Monomial::scalar(Complex64::ONE)];
             for e in es {
@@ -96,7 +143,7 @@ fn expand(expr: &Expr) -> Vec<Monomial> {
                 // computes acc.mul(next) with acc on the left. Since acc
                 // holds the *earlier* factors of the product (A), this is
                 // A_site · B_site as required.
-                let rhs = expand(e);
+                let rhs = expand(e, h)?;
                 let mut next = Vec::with_capacity(acc.len() * rhs.len());
                 for a in &acc {
                     for b in &rhs {
@@ -107,25 +154,42 @@ fn expand(expr: &Expr) -> Vec<Monomial> {
             }
             acc
         }
-    }
+    })
 }
 
 const TOL: f64 = 1e-14;
 
 impl Expr {
     /// Compiles the expression into an [`OperatorKernel`] for an
-    /// `n_sites`-site system.
+    /// `n_sites`-site spin-1/2 system.
     ///
     /// The scalar (identity) part of the expression becomes the Walsh
     /// monomial with empty `zmask`, i.e. a constant energy shift.
     pub fn to_kernel(&self, n_sites: u32) -> Result<OperatorKernel, CompileError> {
-        if n_sites > 64 {
+        self.to_kernel_in(&LocalHilbert::spin_half(), n_sites)
+    }
+
+    /// Compiles the expression into an [`OperatorKernel`] for `n_sites`
+    /// sites of the given local Hilbert space.
+    ///
+    /// The same normal-ordering and channel-merging path serves every
+    /// site type; spin-1/2 input produces kernels bit-identical to the
+    /// historical single-algebra compiler.
+    pub fn to_kernel_in(
+        &self,
+        h: &LocalHilbert,
+        n_sites: u32,
+    ) -> Result<OperatorKernel, CompileError> {
+        let encoding = h.encoding();
+        if n_sites > encoding.max_sites() {
             return Err(CompileError::TooManySites(n_sites));
         }
-        let monomials = expand(self);
+        let bits = encoding.bits();
+        let monomials = expand(self, h)?;
         // Merge channels across monomials.
-        let mut channels: HashMap<(u64, u64, u64), Complex64> = HashMap::new();
+        let mut channels: HashMap<(u64, u64, u64, u64), Complex64> = HashMap::new();
         let mut walsh: HashMap<u64, Complex64> = HashMap::new();
+        let mut patterns: HashMap<(u64, u64), Complex64> = HashMap::new();
         for mono in &monomials {
             if mono.is_zero(TOL) {
                 continue;
@@ -139,38 +203,56 @@ impl Expr {
                     return Err(CompileError::SiteOutOfRange { site: s, n_sites });
                 }
             }
-            let mats: Vec<&Matrix2> = mono.factors.values().collect();
+            if mono.zstring != 0 && 64 - mono.zstring.leading_zeros() > n_sites {
+                let site = (63 - mono.zstring.leading_zeros()) as u16;
+                return Err(CompileError::SiteOutOfRange { site, n_sites });
+            }
+            let mats: Vec<&SiteMatrix> = mono.factors.values().collect();
+            let string = mono.zstring;
             // DFS over matrix-unit assignments (a_i, b_i) per site.
             expand_channels(
                 mono.coeff,
                 &sites,
                 &mats,
+                bits,
                 0,
                 0,
                 0,
                 &mut |sites_mask, in_pat, out_pat, c| {
                     if in_pat == out_pat {
-                        // Diagonal channel: convert to Walsh monomials.
-                        // Π_i P_{b_i} = Σ_{T ⊆ sites} (1/2^k) Π_{i∈T} s_i z_i
-                        // with s_i = +1 if b_i = 1 else -1.
-                        let k = sites_mask.count_ones();
-                        let norm = 1.0 / (1u64 << k) as f64;
-                        // Iterate subsets of sites_mask.
-                        let mut t = sites_mask;
-                        loop {
-                            // sign = Π_{i∈T} s_i = (-1)^{# of zero-bits of
-                            // in_pat within T}.
-                            let negs = (t & !in_pat).count_ones();
-                            let sign = if negs & 1 == 0 { 1.0 } else { -1.0 };
-                            *walsh.entry(t).or_insert(Complex64::ZERO) += c.scale(norm * sign);
-                            if t == 0 {
-                                break;
+                        if bits == 1 {
+                            // Diagonal channel: convert to Walsh monomials.
+                            // Π_i P_{b_i} = Σ_{T ⊆ sites} (1/2^k) Π_{i∈T} s_i z_i
+                            // with s_i = +1 if b_i = 1 else -1. A residual
+                            // string contributes Π_{j∈string} Z_j with
+                            // Z_j = −z_j, i.e. extends every Walsh mask by
+                            // `string` and scales by (−1)^|string|.
+                            let k = sites_mask.count_ones();
+                            let norm = 1.0 / (1u64 << k) as f64;
+                            let string_sign =
+                                if string.count_ones() & 1 == 0 { 1.0 } else { -1.0 };
+                            // Iterate subsets of sites_mask.
+                            let mut t = sites_mask;
+                            loop {
+                                // sign = Π_{i∈T} s_i = (-1)^{# of zero-bits of
+                                // in_pat within T}.
+                                let negs = (t & !in_pat).count_ones();
+                                let sign = if negs & 1 == 0 { 1.0 } else { -1.0 };
+                                *walsh.entry(t | string).or_insert(Complex64::ZERO) +=
+                                    c.scale(norm * sign * string_sign);
+                                if t == 0 {
+                                    break;
+                                }
+                                t = (t - 1) & sites_mask;
                             }
-                            t = (t - 1) & sites_mask;
+                        } else {
+                            // Multi-bit sites: keep the masked-compare form.
+                            *patterns.entry((sites_mask, in_pat)).or_insert(Complex64::ZERO) +=
+                                c;
                         }
                     } else {
                         *channels
-                            .entry((sites_mask, in_pat, out_pat))
+                            .entry((sites_mask, in_pat, out_pat, string))
                             .or_insert(Complex64::ZERO) += c;
                     }
                 },
@@ -181,22 +263,36 @@ impl Expr {
             .filter(|(_, c)| c.abs() > TOL)
             .map(|(zmask, coeff)| ZMonomial { coeff, zmask })
             .collect();
+        let diag_patterns: Vec<DiagPattern> = patterns
+            .into_iter()
+            .filter(|(_, c)| c.abs() > TOL)
+            .map(|((sites, pat), coeff)| DiagPattern { coeff, sites, pat })
+            .collect();
         let offdiag: Vec<Channel> = channels
             .into_iter()
             .filter(|(_, c)| c.abs() > TOL)
-            .map(|((sites, in_pat, out_pat), coeff)| Channel { coeff, sites, in_pat, out_pat })
+            .map(|((sites, in_pat, out_pat, sign), coeff)| Channel {
+                coeff,
+                sites,
+                in_pat,
+                out_pat,
+                sign,
+            })
             .collect();
-        Ok(OperatorKernel::from_parts(n_sites, diag, offdiag))
+        Ok(OperatorKernel::from_parts_encoded(encoding, n_sites, diag, diag_patterns, offdiag))
     }
 }
 
 /// Recursively expands `coeff · Π_i M_i` over matrix units, calling `emit`
 /// with `(sites_mask, in_pattern, out_pattern, coefficient)` for every
-/// non-zero assignment.
+/// non-zero assignment. Patterns live in code space: site `i`'s field
+/// occupies bits `[i·bits, (i+1)·bits)`.
+#[allow(clippy::too_many_arguments)]
 fn expand_channels(
     coeff: Complex64,
     sites: &[u16],
-    mats: &[&Matrix2],
+    mats: &[&SiteMatrix],
+    bits: u32,
     sites_mask: u64,
     in_pat: u64,
     out_pat: u64,
@@ -209,9 +305,10 @@ fn expand_channels(
         None => emit(sites_mask, in_pat, out_pat, coeff),
         Some((&site, rest_sites)) => {
             let (m, rest_mats) = mats.split_first().unwrap();
-            let bit = 1u64 << site;
-            for a in 0..2u64 {
-                for b in 0..2u64 {
+            let shift = site as u32 * bits;
+            let field = low_mask(bits) << shift;
+            for a in 0..m.d as u64 {
+                for b in 0..m.d as u64 {
                     let entry = m.m[a as usize][b as usize];
                     if entry.abs() <= TOL {
                         continue;
@@ -220,9 +317,10 @@ fn expand_channels(
                         coeff * entry,
                         rest_sites,
                         rest_mats,
-                        sites_mask | bit,
-                        in_pat | (b * bit),
-                        out_pat | (a * bit),
+                        bits,
+                        sites_mask | field,
+                        in_pat | (b << shift),
+                        out_pat | (a << shift),
                         emit,
                     );
                 }
@@ -234,7 +332,7 @@ fn expand_channels(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{sigma_x, sminus, splus, sx, sy, sz};
+    use crate::ast::{annihilate, create, number, sigma_x, sminus, splus, sx, sy, sz};
 
     fn dense(e: &Expr, n: u32) -> Vec<Vec<Complex64>> {
         e.to_kernel(n).unwrap().to_dense()
@@ -336,5 +434,80 @@ mod tests {
         let a = dense(&ladder, 2);
         let b = dense(&cartesian, 2);
         assert!(dense_approx_eq(&a, &b, 1e-14));
+    }
+
+    #[test]
+    fn fermions_rejected_on_spin_sites() {
+        let err = create(0).to_kernel(2).unwrap_err();
+        assert!(matches!(err, CompileError::UnsupportedPrimitive { symbol: "c†", .. }));
+    }
+
+    #[test]
+    fn jw_strings_cancel_in_number_operator() {
+        // c†_i c_i compiles to the diagonal n_i regardless of how far up
+        // the chain the orbital sits.
+        let h = LocalHilbert::fermion();
+        let k = (create(3) * annihilate(3)).to_kernel_in(&h, 5).unwrap();
+        assert!(k.channels().is_empty());
+        let kn = number(3).to_kernel_in(&h, 5).unwrap();
+        assert!(k.approx_eq(&kn, 1e-14));
+        assert!(k.diagonal(0b01000).approx_eq(Complex64::ONE, 1e-14));
+        assert!(k.diagonal(0b10111).approx_eq(Complex64::ZERO, 1e-14));
+    }
+
+    #[test]
+    fn adjacent_hop_has_no_sign_mask() {
+        let h = LocalHilbert::fermion();
+        let k = (create(1) * annihilate(2)).to_kernel_in(&h, 3).unwrap();
+        assert_eq!(k.channels().len(), 1);
+        let c = k.channels()[0];
+        assert_eq!(c.sign, 0);
+        assert_eq!(c.sites, 0b110);
+        assert_eq!(c.in_pat, 0b100);
+        assert_eq!(c.out_pat, 0b010);
+    }
+
+    #[test]
+    fn long_range_hop_carries_jw_string() {
+        // c†_0 c_3: sign counts the occupation of orbitals 1 and 2.
+        let h = LocalHilbert::fermion();
+        let k = (create(0) * annihilate(3)).to_kernel_in(&h, 4).unwrap();
+        assert_eq!(k.channels().len(), 1);
+        let c = k.channels()[0];
+        assert_eq!(c.sign, 0b0110);
+        // |1000⟩ → |0001⟩ with +1 (empty string)...
+        let mut out = Vec::new();
+        k.off_diagonal(0b1000, &mut out);
+        assert_eq!(out, vec![(0b0001, Complex64::ONE)]);
+        // ...but |1010⟩ → |0011⟩ with −1 (orbital 1 occupied).
+        out.clear();
+        k.off_diagonal(0b1010, &mut out);
+        assert_eq!(out, vec![(0b0011, -Complex64::ONE)]);
+    }
+
+    #[test]
+    fn spin_one_heisenberg_bond_diagonal_patterns() {
+        // On spin-1 sites Sz_0 Sz_1 keeps masked-compare diagonal form.
+        let h = LocalHilbert::spin_one();
+        let k = (sz(0) * sz(1)).to_kernel_in(&h, 2).unwrap();
+        assert!(k.diagonal_monomials().is_empty());
+        assert!(k.channels().is_empty());
+        // ⟨Sz Sz⟩ on |+1,−1⟩ (codes 2,0) is −1; on |+1,+1⟩ (codes 2,2) +1.
+        assert!(k.diagonal(0b0010).approx_eq(-Complex64::ONE, 1e-14));
+        assert!(k.diagonal(0b1010).approx_eq(Complex64::ONE, 1e-14));
+        // |0,m⟩ rows vanish.
+        assert!(k.diagonal(0b1001).approx_eq(Complex64::ZERO, 1e-14));
+    }
+
+    #[test]
+    fn spin_one_ladder_normalization() {
+        // S+|m=0⟩ = √2 |m=+1⟩ on a spin-1 site.
+        let h = LocalHilbert::spin_one();
+        let k = splus(0).to_kernel_in(&h, 1).unwrap();
+        let mut out = Vec::new();
+        k.off_diagonal(0b01, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 0b10);
+        assert!(out[0].1.approx_eq(Complex64::from(std::f64::consts::SQRT_2), 1e-14));
     }
 }

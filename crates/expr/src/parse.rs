@@ -8,12 +8,13 @@
 //! term      := unary ('*' unary)*
 //! unary     := '-' unary | atom
 //! atom      := number | 'i' | primitive | '(' expr ')'
-//! primitive := ('S+' | 'S-' | 'Sz' | 'Sx' | 'Sy' | 'σx' | 'σy' | 'σz') '_' digits
+//! primitive := ('S+' | 'S-' | 'Sz' | 'Sx' | 'Sy' | 'σx' | 'σy' | 'σz'
+//!               | 'c†' | 'c' | 'n') '_' digits
 //! number    := usual float syntax, optionally suffixed with 'i'
 //! ```
 //!
 //! Examples: `"0.5 * (S+_0 * S-_1 + S-_0 * S+_1) + Sz_0 * Sz_1"`,
-//! `"2i * Sy_3 - σz_0"`.
+//! `"2i * Sy_3 - σz_0"`, `"c†_0 * c_1 + c†_1 * c_0 + 4 * n_0 * n_2"`.
 
 use crate::ast::{Expr, Primitive, PrimitiveKind};
 use ls_kernels::Complex64;
@@ -101,6 +102,12 @@ impl<'a> Lexer<'a> {
             '0'..='9' | '.' => self.lex_number()?,
             'S' => self.lex_spin_primitive()?,
             'σ' => self.lex_sigma_primitive()?,
+            'c' => self.lex_fermion_primitive()?,
+            'n' => {
+                self.pos += 1;
+                let site = self.lex_site_index()?;
+                Token::Prim(PrimitiveKind::Number, site)
+            }
             'i' => {
                 self.pos += 1;
                 Token::ImagUnit
@@ -171,6 +178,19 @@ impl<'a> Lexer<'a> {
             }
         };
         self.pos += 1;
+        let site = self.lex_site_index()?;
+        Ok(Token::Prim(kind, site))
+    }
+
+    fn lex_fermion_primitive(&mut self) -> Result<Token, ParseError> {
+        // "c" already peeked; an optional '†' makes it a creation operator.
+        self.pos += 1;
+        let kind = if self.peek_char() == Some('†') {
+            self.pos += '†'.len_utf8();
+            PrimitiveKind::Create
+        } else {
+            PrimitiveKind::Annihilate
+        };
         let site = self.lex_site_index()?;
         Ok(Token::Prim(kind, site))
     }
@@ -356,5 +376,22 @@ mod tests {
     #[test]
     fn nested_parentheses() {
         assert!(kernels_equal("((Sz_0) * ((Sz_1)))", sz(0) * sz(1), 2));
+    }
+
+    #[test]
+    fn fermion_primitives() {
+        use crate::ast::{annihilate, create, number};
+        use crate::hilbert::LocalHilbert;
+        let h = LocalHilbert::fermion();
+        let parsed = parse_expr("c†_0 * c_2 + c†_2 * c_0 + 4 * n_0 * n_1").unwrap();
+        let built = create(0) * annihilate(2)
+            + create(2) * annihilate(0)
+            + 4.0 * (number(0) * number(1));
+        let ka = parsed.to_kernel_in(&h, 3).unwrap();
+        let kb = built.to_kernel_in(&h, 3).unwrap();
+        assert!(ka.approx_eq(&kb, 1e-12));
+        // Display of fermionic expressions round-trips through the parser.
+        let again = parse_expr(&format!("{built}")).unwrap().to_kernel_in(&h, 3).unwrap();
+        assert!(again.approx_eq(&kb, 1e-12));
     }
 }

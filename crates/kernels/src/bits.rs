@@ -205,6 +205,50 @@ pub fn parity_sign(x: u64) -> f64 {
     }
 }
 
+/// Extracts the `width`-bit field starting at bit `shift`: the masked
+/// multi-bit read of packed k-bit site codes. `shift + width` must be
+/// ≤ 64.
+#[inline]
+pub fn extract_field(x: u64, shift: u32, width: u32) -> u64 {
+    debug_assert!(shift + width <= 64);
+    (x >> shift) & low_mask(width)
+}
+
+/// Replaces the `width`-bit field starting at bit `shift` with `v` (which
+/// must fit in `width` bits): the masked multi-bit write.
+#[inline]
+pub fn deposit_field(x: u64, shift: u32, width: u32, v: u64) -> u64 {
+    debug_assert!(shift + width <= 64);
+    debug_assert!(v <= low_mask(width));
+    (x & !(low_mask(width) << shift)) | (v << shift)
+}
+
+/// Sum of the first `n_fields` consecutive `width`-bit fields of `x` —
+/// the generalized Hamming weight of a packed site-code word (for
+/// `width == 1` this is a popcount over the low `n_fields` bits).
+#[inline]
+pub fn field_sum(x: u64, width: u32, n_fields: u32) -> u32 {
+    debug_assert!(width >= 1 && width as u64 * n_fields as u64 <= 64);
+    if width == 1 {
+        return (x & low_mask(n_fields)).count_ones();
+    }
+    let mut acc = 0u32;
+    let mut w = x & low_mask(width * n_fields);
+    while w != 0 {
+        acc += (w & low_mask(width)) as u32;
+        w >>= width;
+    }
+    acc
+}
+
+/// Number of set bits of `x` strictly below bit position `site` — the
+/// fermionic Jordan-Wigner sign count: `c_site` acting on occupation
+/// word `x` carries the sign `(-1)^popcount_below(x, site)`.
+#[inline]
+pub fn popcount_below(x: u64, site: u32) -> u32 {
+    (x & low_mask(site)).count_ones()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,5 +338,41 @@ mod tests {
         assert_eq!(parity_sign(0b1), -1.0);
         assert_eq!(parity_sign(0b11), 1.0);
         assert_eq!(parity_sign(u64::MAX), 1.0);
+    }
+
+    #[test]
+    fn field_extract_deposit_roundtrip() {
+        let mut x = 0u64;
+        let codes = [2u64, 0, 3, 1, 2, 2, 0, 1];
+        for (i, &c) in codes.iter().enumerate() {
+            x = deposit_field(x, 2 * i as u32, 2, c);
+        }
+        for (i, &c) in codes.iter().enumerate() {
+            assert_eq!(extract_field(x, 2 * i as u32, 2), c);
+        }
+        // Depositing over an existing field replaces it.
+        let y = deposit_field(x, 4, 2, 1);
+        assert_eq!(extract_field(y, 4, 2), 1);
+        assert_eq!(extract_field(y, 2, 2), 0);
+        assert_eq!(extract_field(y, 6, 2), 1);
+    }
+
+    #[test]
+    fn field_sum_matches_manual() {
+        assert_eq!(field_sum(0b10_01_11_00, 2, 4), 2 + 1 + 3);
+        assert_eq!(field_sum(0b1011, 1, 4), 3);
+        assert_eq!(field_sum(0b1011, 1, 2), 2);
+        assert_eq!(field_sum(u64::MAX, 2, 32), 32 * 3);
+        assert_eq!(field_sum(0, 2, 32), 0);
+    }
+
+    #[test]
+    fn popcount_below_is_the_jw_count() {
+        assert_eq!(popcount_below(0b1011, 0), 0);
+        assert_eq!(popcount_below(0b1011, 1), 1);
+        assert_eq!(popcount_below(0b1011, 2), 2);
+        assert_eq!(popcount_below(0b1011, 3), 2);
+        assert_eq!(popcount_below(0b1011, 4), 3);
+        assert_eq!(popcount_below(u64::MAX, 64), 64);
     }
 }

@@ -15,11 +15,13 @@ pub mod bits;
 pub mod chunk;
 pub mod combinadics;
 pub mod complexnum;
+pub mod encoding;
 pub mod hash;
 pub mod net;
 pub mod search;
 pub mod sort;
 
 pub use complexnum::{Complex64, Scalar};
+pub use encoding::{CodedRange, SiteEncoding};
 pub use hash::{hash64_01, locale_idx_of};
 pub use net::BenesNetwork;
