@@ -32,10 +32,32 @@ pub fn filter_range(sector: &SectorSpec, lo: u64, hi: u64) -> Chunk {
     let space_end = if code_bits == 64 { u64::MAX } else { 1u64 << code_bits };
     let hi = hi.min(space_end);
     if sector.encoding().bits() > 1 {
-        // Multi-bit site codes: the odometer iterator skips invalid
-        // codes; lattice symmetry groups are trivial here by
+        let enc = sector.encoding();
+        // Dense multi-bit codes (power-of-two local dimension): the
+        // odometer has nothing to skip, so a straight scan wins — and
+        // with a U(1) constraint the SIMD field-sum filter processes
+        // four words per round. (`hi == u64::MAX` is the unbounded
+        // sentinel of a 64-bit code space; the filter treats `hi` as
+        // exclusive, so that case stays on the odometer.)
+        if enc.dense() && enc.bits() <= 2 && hi != u64::MAX {
+            match sector.hamming_weight() {
+                Some(sum) => ls_kernels::simd::filter_field_sum(
+                    lo,
+                    hi,
+                    enc.bits(),
+                    n,
+                    sum,
+                    &mut out.states,
+                ),
+                None => out.states.extend(lo..hi),
+            }
+            out.orbit_sizes.resize(out.states.len(), 1);
+            return out;
+        }
+        // Sparse multi-bit site codes: the odometer iterator skips
+        // invalid codes; lattice symmetry groups are trivial here by
         // construction, so every valid word is its own representative.
-        for s in CodedRange::new(sector.encoding(), n, sector.hamming_weight(), lo, hi) {
+        for s in CodedRange::new(enc, n, sector.hamming_weight(), lo, hi) {
             out.states.push(s);
             out.orbit_sizes.push(1);
         }
@@ -63,10 +85,15 @@ pub fn filter_range(sector: &SectorSpec, lo: u64, hi: u64) -> Chunk {
                     push_if_rep(group, trivial, s, &mut out);
                 }
             } else {
-                for s in lo..hi {
-                    if satisfies_charges(charges, s) {
-                        push_if_rep(group, trivial, s, &mut out);
-                    }
+                // Charge-sector scan (spinful fermions / Hubbard): the
+                // SIMD filter tests four words per round against every
+                // per-channel popcount constraint.
+                let masks: Vec<(u64, u32)> =
+                    charges.iter().map(|c| (c.mask, c.weight)).collect();
+                let mut cand = Vec::new();
+                ls_kernels::simd::filter_charge_masks(lo, hi, &masks, &mut cand);
+                for s in cand {
+                    push_if_rep(group, trivial, s, &mut out);
                 }
             }
         }
@@ -91,13 +118,21 @@ fn push_if_rep(group: &ls_symmetry::SymmetryGroup, trivial: bool, s: u64, out: &
 }
 
 /// Splits `[0, 2^n)` into `chunks` half-open ranges of equal width.
+///
+/// At `n == 64` the final exclusive bound, 2^64, is not representable in
+/// a `u64`; it is emitted as the `u64::MAX` sentinel that
+/// [`filter_range`] and `CodedRange` interpret as "unbounded" (a plain
+/// `as u64` truncation would yield an empty last chunk). Interior bounds
+/// never collide with the sentinel: for any realistic chunk count the
+/// next-to-last boundary is at most `2^64 - 2`.
 pub fn split_ranges(n: u32, chunks: usize) -> Vec<(u64, u64)> {
     assert!(chunks >= 1);
     let total: u128 = 1u128 << n;
+    let clamp = |x: u128| if x >= 1u128 << 64 { u64::MAX } else { x as u64 };
     (0..chunks as u128)
         .map(|c| {
-            let lo = (c * total / chunks as u128) as u64;
-            let hi = ((c + 1) * total / chunks as u128) as u64;
+            let lo = clamp(c * total / chunks as u128);
+            let hi = clamp((c + 1) * total / chunks as u128);
             (lo, hi)
         })
         .collect()

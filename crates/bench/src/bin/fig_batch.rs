@@ -42,6 +42,11 @@ struct SectorReport {
     dim: usize,
     group_order: usize,
     default_ranking: RankingKind,
+    /// Off-diagonal row entries of the sector (for the traffic model).
+    nnz_offdiag: usize,
+    /// Modelled bytes moved by one matvec (see
+    /// [`ls_bench::matvec_traffic_bytes`]).
+    bytes_moved: u64,
     results: Vec<Measurement>,
 }
 
@@ -55,27 +60,39 @@ impl SectorReport {
             .expect("strategy measured at the default ranking")
     }
 
-    fn to_json(&self) -> String {
+    /// Achieved bandwidth of a measurement under the traffic model.
+    fn gbps(&self, seconds: f64) -> f64 {
+        self.bytes_moved as f64 / seconds / 1e9
+    }
+
+    fn to_json(&self, stream_gbps: f64) -> String {
         let rows: Vec<String> = self
             .results
             .iter()
             .map(|m| {
                 format!(
                     "      {{\"strategy\": \"{:?}\", \"ranking\": \"{:?}\", \
-                     \"seconds\": {:.9}}}",
-                    m.strategy, m.ranking, m.seconds
+                     \"seconds\": {:.9}, \"gbps\": {:.4}, \"roofline_frac\": {:.4}}}",
+                    m.strategy,
+                    m.ranking,
+                    m.seconds,
+                    self.gbps(m.seconds),
+                    self.gbps(m.seconds) / stream_gbps
                 )
             })
             .collect();
         format!(
             "  \"{}\": {{\n    \"n_sites\": {},\n    \"dim\": {},\n    \
              \"group_order\": {},\n    \"default_ranking\": \"{:?}\",\n    \
+             \"nnz_offdiag\": {},\n    \"bytes_moved\": {},\n    \
              \"results\": [\n{}\n    ]\n  }}",
             self.label,
             self.n_sites,
             self.dim,
             self.group_order,
             self.default_ranking,
+            self.nnz_offdiag,
+            self.bytes_moved,
             rows.join(",\n")
         )
     }
@@ -157,10 +174,21 @@ fn run_sector(
         }
     }
     basis.set_ranking(default_ranking);
-    SectorReport { label, n_sites, dim, group_order, default_ranking, results }
+    let nnz_offdiag = ls_bench::count_offdiag_entries(&op, &basis);
+    let bytes_moved = ls_bench::matvec_traffic_bytes(dim, nnz_offdiag);
+    SectorReport {
+        label,
+        n_sites,
+        dim,
+        group_order,
+        default_ranking,
+        nnz_offdiag,
+        bytes_moved,
+        results,
+    }
 }
 
-fn print_report(r: &SectorReport, reps: usize) {
+fn print_report(r: &SectorReport, reps: usize, stream_gbps: f64) {
     let rows: Vec<Vec<String>> = r
         .results
         .iter()
@@ -170,15 +198,22 @@ fn print_report(r: &SectorReport, reps: usize) {
                 format!("{:?}", m.ranking),
                 ls_bench::fmt_secs(m.seconds),
                 format!("{:.2}×", r.default_time(MatvecStrategy::Serial) / m.seconds),
+                format!("{:.1}", r.gbps(m.seconds)),
+                format!("{:.0}%", 100.0 * r.gbps(m.seconds) / stream_gbps),
             ]
         })
         .collect();
     ls_bench::print_table(
         &format!(
-            "{}: {} sites, dim {}, |G| = {} (median of {reps})",
-            r.label, r.n_sites, r.dim, r.group_order
+            "{}: {} sites, dim {}, |G| = {}, {:.1} MB moved/matvec (median of {reps}, \
+             ceiling {stream_gbps:.1} GB/s)",
+            r.label,
+            r.n_sites,
+            r.dim,
+            r.group_order,
+            r.bytes_moved as f64 / 1e6
         ),
-        &["strategy", "ranking", "time", "vs serial"],
+        &["strategy", "ranking", "time", "vs serial", "GB/s", "roofline"],
         &rows,
     );
 }
@@ -202,6 +237,14 @@ fn main() {
     let weight = weight.unwrap_or(sites / 2);
     let threads = rayon::current_num_threads();
 
+    // The measured memory-bandwidth ceiling every achieved-GB/s column
+    // is attributed against, and the active SIMD dispatch level.
+    let stream_gbps = ls_bench::stream_triad_gbps(3);
+    let simd_level = format!("{:?}", ls_kernels::simd::level());
+    println!(
+        "STREAM triad ceiling: {stream_gbps:.1} GB/s at {threads} threads (SIMD {simd_level})"
+    );
+
     // U(1)-only sector: the trivial-group fast path, all four rankings.
     let u1 = run_sector(
         "u1",
@@ -209,7 +252,7 @@ fn main() {
         sites,
         reps,
     );
-    print_report(&u1, reps);
+    print_report(&u1, reps, stream_gbps);
 
     // Fully symmetrized sector (translation + reflection + spin flip):
     // exercises `state_info_batch`. The dimension shrinks by ~|G|, so the
@@ -221,7 +264,7 @@ fn main() {
         sites,
         reps,
     );
-    print_report(&symmetrized, reps);
+    print_report(&symmetrized, reps, stream_gbps);
 
     let speedup_pull = u1.default_time(MatvecStrategy::PullParallel)
         / u1.default_time(MatvecStrategy::BatchedPull);
@@ -231,12 +274,55 @@ fn main() {
     println!("  BatchedPull vs PullParallel: {speedup_pull:.2}×");
     println!("  BatchedPush vs PushAtomic:   {speedup_push:.2}×");
 
+    // SIMD vs forced-scalar A/B on the U(1) BatchedPull product (the
+    // dispatch is bit-exact, so the outputs agree; only speed differs).
+    // Interleaved samples, median of each arm.
+    let simd_speedup_pull = {
+        let sector = SectorSpec::with_weight(sites as u32, weight as u32).unwrap();
+        let kernel = ls_expr::builders::heisenberg(&chain_bonds(sites), 1.0)
+            .to_kernel(sites as u32)
+            .unwrap();
+        let op = SymmetrizedOperator::<f64>::new(&kernel, &sector).unwrap();
+        let basis = SpinBasis::build(sector);
+        let dim = basis.dim();
+        let x: Vec<f64> = (0..dim)
+            .map(|i| (ls_kernels::hash64_01(i as u64) >> 11) as f64 * 1e-16 - 0.4)
+            .collect();
+        let mut y = vec![0.0f64; dim];
+        let pool = MatvecScratchPool::new();
+        let mut times = [Vec::new(), Vec::new()];
+        apply_batched_pull_pooled(&op, &basis, &x, &mut y, &pool); // warm-up
+        for _ in 0..reps.max(3) {
+            for (arm, samples) in times.iter_mut().enumerate() {
+                ls_kernels::simd::set_force_scalar(arm == 0);
+                let t = std::time::Instant::now();
+                apply_batched_pull_pooled(&op, &basis, &x, &mut y, &pool);
+                samples.push(t.elapsed().as_secs_f64());
+            }
+        }
+        ls_kernels::simd::set_force_scalar(false);
+        let median = |s: &mut Vec<f64>| {
+            s.sort_by(f64::total_cmp);
+            s[s.len() / 2]
+        };
+        let (scalar_t, simd_t) = (median(&mut times[0]), median(&mut times[1]));
+        println!(
+            "  BatchedPull SIMD vs scalar dispatch: {:.2}× ({} vs {})",
+            scalar_t / simd_t,
+            ls_bench::fmt_secs(simd_t),
+            ls_bench::fmt_secs(scalar_t)
+        );
+        scalar_t / simd_t
+    };
+
     let json = format!(
-        "{{\n  \"bench\": \"matvec\",\n  \"threads\": {threads},\n  \"reps\": {reps},\n\
+        "{{\n  \"bench\": \"matvec\",\n  \"threads\": {threads},\n  \"reps\": {reps},\n  \
+         \"stream_gbps\": {stream_gbps:.4},\n  \"simd_level\": \"{simd_level}\",\n\
          {},\n{},\n  \"speedup_batched_pull_vs_pull\": {speedup_pull:.4},\n  \
-         \"speedup_batched_push_vs_push\": {speedup_push:.4}\n}}\n",
-        u1.to_json(),
-        symmetrized.to_json()
+         \"speedup_batched_push_vs_push\": {speedup_push:.4},\n  \
+         \"simd_speedup_batched_pull\": {simd_speedup_pull:.4}\n}}\n",
+        u1.to_json(stream_gbps),
+        symmetrized.to_json(stream_gbps)
     );
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("\nwrote {out_path}");

@@ -144,6 +144,19 @@ fn main() {
     println!("fig_scaling: {sites} sites, weight {weight}, dim {dim}, iters {iters}");
     println!("thread counts {thread_counts:?} (configured width {max_threads})");
 
+    // Roofline attribution: the measured triad ceiling (at the full pool
+    // width) and the matvec's modelled traffic, so every cell's achieved
+    // GB/s reads directly against the machine's bandwidth.
+    let stream_gbps = ls_bench::stream_triad_gbps(3);
+    let nnz_offdiag = ls_bench::count_offdiag_entries(&symop, &basis);
+    let matvec_bytes = ls_bench::matvec_traffic_bytes(dim, nnz_offdiag);
+    println!(
+        "STREAM triad ceiling {stream_gbps:.1} GB/s; matvec moves {:.1} MB \
+         ({nnz_offdiag} off-diagonal entries; SIMD {:?})",
+        matvec_bytes as f64 / 1e6,
+        ls_kernels::simd::level()
+    );
+
     let x: Vec<f64> = (0..dim)
         .map(|i| (ls_kernels::hash64_01(i as u64) >> 11) as f64 * 1e-16 - 0.4)
         .collect();
@@ -238,9 +251,12 @@ fn main() {
         let matvec_seconds = median(&mut matvec_samples[ci]);
         let lanczos_iter_seconds = median(&mut lanczos_samples[ci]);
         cells.push(Cell { threads, mode: label, matvec_seconds, lanczos_iter_seconds });
+        let gbps = matvec_bytes as f64 / matvec_seconds / 1e9;
         println!(
-            "  threads {threads:>3} {label:>5}: matvec {}, lanczos iteration {}",
+            "  threads {threads:>3} {label:>5}: matvec {} ({gbps:.1} GB/s, {:.0}% of ceiling), \
+             lanczos iteration {}",
             ls_bench::fmt_secs(matvec_seconds),
+            100.0 * gbps / stream_gbps,
             ls_bench::fmt_secs(lanczos_iter_seconds)
         );
     }
@@ -261,8 +277,12 @@ fn main() {
         .map(|c| {
             format!(
                 "    {{\"threads\": {}, \"mode\": \"{}\", \"matvec_seconds\": {:.9}, \
-                 \"lanczos_iter_seconds\": {:.9}}}",
-                c.threads, c.mode, c.matvec_seconds, c.lanczos_iter_seconds
+                 \"lanczos_iter_seconds\": {:.9}, \"matvec_gbps\": {:.4}}}",
+                c.threads,
+                c.mode,
+                c.matvec_seconds,
+                c.lanczos_iter_seconds,
+                matvec_bytes as f64 / c.matvec_seconds / 1e9
             )
         })
         .collect();
@@ -274,7 +294,9 @@ fn main() {
         "{{\n  \"bench\": \"scaling\",\n  \"sites\": {sites},\n  \"weight\": {weight},\n  \
          \"dim\": {dim},\n  \"iters\": {iters},\n  \"reps\": {reps},\n  \
          \"available_cores\": {cores},\n  \
-         \"max_threads\": {t_max},\n  \"series\": [\n{}\n  ],\n  \
+         \"max_threads\": {t_max},\n  \"stream_gbps\": {stream_gbps:.4},\n  \
+         \"matvec_bytes\": {matvec_bytes},\n  \"nnz_offdiag\": {nnz_offdiag},\n  \
+         \"series\": [\n{}\n  ],\n  \
          \"pool_vs_spawn_matvec_at_max\": {matvec_ratio:.4},\n  \
          \"pool_vs_spawn_lanczos_at_max\": {lanczos_ratio:.4}\n}}\n",
         rows.join(",\n")

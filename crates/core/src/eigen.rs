@@ -58,6 +58,17 @@ pub fn eigensolve_restarted<S: Scalar>(
     thick_restart_lanczos(op, opts)
 }
 
+/// Precision-routed memory-bounded solve for real sectors: honors
+/// `LS_PRECISION` (`f64` default, `f32` = half-memory Krylov storage at
+/// f32 accuracy, `mixed` = f32 storage plus one f64 Rayleigh–Ritz
+/// refinement; see [`ls_eigen::precision`]). Eigenvectors come back
+/// widened to f64 in every mode. Complex sectors have no reduced-width
+/// path (Jordan–Wigner phases and momentum characters keep full width);
+/// they use [`eigensolve_restarted`] directly.
+pub fn eigensolve_env(op: &Operator<f64>, opts: &RestartOptions) -> LanczosResult<f64> {
+    ls_eigen::eigensolve_precision(op, opts, ls_eigen::Precision::from_env())
+}
+
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;

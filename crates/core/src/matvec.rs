@@ -585,6 +585,23 @@ fn batched_pull_sweep<S: Scalar>(
 /// adds still arrive in ascending channel order — the scalar pull order.
 #[inline]
 fn accumulate_pull_segments<S: Scalar>(yb: &mut [S], x: &[S], emit: &[u64], segs: &[(S, u32)]) {
+    // Real-scalar specialization: the f64 gather-multiply kernel
+    // vectorizes the lane products while keeping the per-element add
+    // order, so results stay bit-identical to the scalar loop below.
+    if let (Some(yb64), Some(x64)) = (S::as_f64_slice_mut(yb), S::as_f64_slice(x)) {
+        let mut t0 = 0usize;
+        for &(coeff, t1) in segs {
+            let t1 = t1 as usize;
+            ls_kernels::simd::accumulate_segment_f64(
+                yb64,
+                x64,
+                &emit[t0..t1],
+                coeff.conj().re(),
+            );
+            t0 = t1;
+        }
+        return;
+    }
     let mut t0 = 0usize;
     for &(coeff, t1) in segs {
         let a = coeff.conj();

@@ -9,21 +9,31 @@
 //! canonical global element order, so the resumed in-memory state equals
 //! the uninterrupted one to the last bit.
 //!
-//! Format (little-endian), magic `LSCK`, version 1:
+//! Format (little-endian), magic `LSCK`, version 2:
 //!
 //! ```text
-//! magic[4] version:u32 kind:u32 lanes:u32
+//! magic[4] version:u32 kind:u32 lanes:u32 width:u32
 //! k:u64 budget:u64 restarts:u64 draws:u64 breakdowns:u64 retained:u64 nvecs:u64
 //! nparts:u64 part_len:u64 × nparts
 //! diag:f64 × retained  border:f64 × retained
-//! vector data: nvecs × Σpart_len × lanes × f64   (global element order)
+//! vector data: nvecs × Σpart_len × lanes × width bytes  (global element order)
 //! checksum:u64 (FNV-1a over every preceding byte)
 //! ```
 //!
-//! `kind` is [`KrylovVec::STORAGE_KIND`] (dense = 1, distributed = 2):
-//! loading a checkpoint into a different storage is a typed error, as is
-//! a layout (part-length) mismatch — resuming on a different locale
-//! partition would change reduction order and break bit-identity.
+//! `kind` is [`KrylovVec::STORAGE_KIND`] (dense = 1, distributed = 2,
+//! f32 dense = 3, f32 distributed = 4): loading a checkpoint into a
+//! different storage is a typed error, as is a layout (part-length)
+//! mismatch — resuming on a different locale partition would change
+//! reduction order and break bit-identity. `width` is
+//! [`KrylovVec::SCALAR_WIDTH`] — bytes per stored lane (8, or 4 for the
+//! f32 storages of the mixed-precision mode); version-1 files have no
+//! width field and are read as width 8. A precision-mismatched resume is
+//! allowed only in the exact widening direction (f32 file into the
+//! matching f64 storage — lossless, though such a resume follows the
+//! f64 trajectory from the widened state rather than replaying the f32
+//! one bit-identically); the narrowing direction would silently truncate
+//! lanes and is rejected with
+//! [`CheckpointError::PrecisionMismatch`].
 //! Writes go to `<path>.tmp` first and are renamed into place, so a kill
 //! mid-write never corrupts the previous checkpoint.
 
@@ -36,7 +46,7 @@ use std::io;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"LSCK";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Solver state at a restart boundary (see [`crate::restart`] for the
 /// invariants: `basis` holds `retained` locked Ritz vectors followed by
@@ -84,6 +94,14 @@ pub enum CheckpointError {
         found: u32,
         expected: u32,
     },
+    /// The file's storage width (bytes per lane) disagrees with the
+    /// active precision mode in the lossy direction: an f64 checkpoint
+    /// cannot resume an f32-storage solve (lanes would be truncated).
+    /// The widening direction (f32 file, f64 solve) loads fine.
+    PrecisionMismatch {
+        found: u32,
+        expected: u32,
+    },
     /// Part lengths in the file differ from the operator's layout.
     LayoutMismatch {
         found: Vec<usize>,
@@ -116,6 +134,12 @@ impl fmt::Display for CheckpointError {
             Self::ScalarWidthMismatch { found, expected } => write!(
                 f,
                 "checkpoint scalar has {found} lanes, requested scalar has {expected}"
+            ),
+            Self::PrecisionMismatch { found, expected } => write!(
+                f,
+                "checkpoint stores {found}-byte lanes but the solve stores {expected}-byte \
+                 lanes: resuming would truncate precision (widen by resuming in f64, or \
+                 delete the checkpoint to restart)"
             ),
             Self::LayoutMismatch { found, expected } => write!(
                 f,
@@ -200,19 +224,21 @@ fn encode_checkpoint<V: KrylovVec>(state: &CheckpointStateRef<'_, V>) -> Vec<u8>
     let layout = state.basis[0].layout();
     let dim: usize = layout.iter().sum();
     let lanes = V::Scalar::N_REALS;
+    let width = V::SCALAR_WIDTH as usize;
 
     let mut buf = Vec::with_capacity(
-        4 + 3 * 4
+        4 + 4 * 4
             + 8 * 8
             + layout.len() * 8
             + 2 * state.retained * 8
-            + state.basis.len() * dim * lanes * 8
+            + state.basis.len() * dim * lanes * width
             + 8,
     );
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u32_le(V::STORAGE_KIND);
     buf.put_u32_le(lanes as u32);
+    buf.put_u32_le(V::SCALAR_WIDTH);
     buf.put_u64_le(state.k as u64);
     buf.put_u64_le(state.budget as u64);
     buf.put_u64_le(state.restarts as u64);
@@ -235,7 +261,13 @@ fn encode_checkpoint<V: KrylovVec>(state: &CheckpointStateRef<'_, V>) -> Vec<u8>
         v.visit(&mut |x| {
             let reals = x.to_reals();
             for lane in reals.iter().take(lanes) {
-                buf.put_f64_le(*lane);
+                if width == 4 {
+                    // f32 storage: `visit` yields the widened value, so
+                    // narrowing back is exact and round-trips bitwise.
+                    buf.put_u32_le((*lane as f32).to_bits());
+                } else {
+                    buf.put_f64_le(*lane);
+                }
             }
         });
     }
@@ -519,17 +551,35 @@ pub fn load_checkpoint<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
         return Err(CheckpointError::BadMagic(magic));
     }
     let version = r.u32()?;
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(CheckpointError::UnsupportedVersion(version));
     }
     let kind = r.u32()?;
-    if kind != V::STORAGE_KIND {
+    let lanes = r.u32()? as usize;
+    // Version-1 files predate the width field: always 8-byte lanes.
+    let width = if version == 1 { 8 } else { r.u32()? };
+    // Precision routing: equal (kind, width) loads directly; an f32 file
+    // may be *widened* into the matching f64 storage (lossless); the
+    // narrowing direction is a typed error, never a silent truncation.
+    let exact = kind == V::STORAGE_KIND && width == V::SCALAR_WIDTH;
+    let widening = width == 4
+        && V::SCALAR_WIDTH == 8
+        && ((kind == 3 && V::STORAGE_KIND == 1) || (kind == 4 && V::STORAGE_KIND == 2));
+    if !(exact || widening) {
+        let narrowing = width == 8
+            && V::SCALAR_WIDTH == 4
+            && ((kind == 1 && V::STORAGE_KIND == 3) || (kind == 2 && V::STORAGE_KIND == 4));
+        if narrowing || (kind == V::STORAGE_KIND && width != V::SCALAR_WIDTH) {
+            return Err(CheckpointError::PrecisionMismatch {
+                found: width,
+                expected: V::SCALAR_WIDTH,
+            });
+        }
         return Err(CheckpointError::WrongStorageKind {
             found: kind,
             expected: V::STORAGE_KIND,
         });
     }
-    let lanes = r.u32()? as usize;
     if lanes != V::Scalar::N_REALS {
         return Err(CheckpointError::ScalarWidthMismatch {
             found: lanes as u32,
@@ -590,7 +640,7 @@ pub fn load_checkpoint<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
 
     let vec_bytes = dim
         .checked_mul(lanes)
-        .and_then(|x| x.checked_mul(8))
+        .and_then(|x| x.checked_mul(width as usize))
         .ok_or(CheckpointError::TooShort)?;
     let total = vec_bytes.checked_mul(nvecs).ok_or(CheckpointError::TooShort)?;
     r.need(total)?;
@@ -600,7 +650,12 @@ pub fn load_checkpoint<V: KrylovVec, Op: KrylovOp<V> + ?Sized>(
         v.fill_with(&mut |_i| {
             let mut reals = [0.0f64; 2];
             for lane in reals.iter_mut().take(lanes) {
-                *lane = r.buf.get_f64_le();
+                *lane = if width == 4 {
+                    // f32 lanes widen exactly (also the widening resume).
+                    f32::from_bits(r.buf.get_u32_le()) as f64
+                } else {
+                    r.buf.get_f64_le()
+                };
             }
             V::Scalar::from_reals(reals)
         });
@@ -688,6 +743,80 @@ mod tests {
             Err(CheckpointError::WrongStorageKind { found: 1, expected: 2 }) => {}
             other => panic!("expected WrongStorageKind, got {other:?}"),
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn sample_state_f32(dim: usize) -> CheckpointState<crate::precision::F32Vec> {
+        let st = sample_state(dim);
+        CheckpointState {
+            k: st.k,
+            budget: st.budget,
+            restarts: st.restarts,
+            draws: st.draws,
+            breakdowns: st.breakdowns,
+            retained: st.retained,
+            diag: st.diag,
+            border: st.border,
+            basis: st.basis.iter().map(|v| crate::precision::F32Vec::narrow_from(v)).collect(),
+        }
+    }
+
+    #[test]
+    fn f32_checkpoint_roundtrips_bitwise_and_widens_to_f64() {
+        use crate::precision::{F32Vec, MixedOp};
+        let path = tmp("f32_roundtrip");
+        let dim = 61;
+        let st = sample_state_f32(dim);
+        save_checkpoint(&path, &st).unwrap();
+        let dense = DenseOp::new(dim, vec![0.0; dim * dim]);
+
+        // Same-precision resume: bit-exact.
+        let op32 = MixedOp::new(&dense);
+        let back = load_checkpoint::<F32Vec, _>(&path, &op32).unwrap();
+        assert_eq!(back.basis, st.basis);
+        assert_eq!(back.diag, st.diag);
+
+        // Widening resume (f32 file, f64 solve): explicit and lossless.
+        let wide = load_checkpoint::<Vec<f64>, _>(&path, &dense).unwrap();
+        for (w, n) in wide.basis.iter().zip(&st.basis) {
+            assert_eq!(w, &n.widen(), "widened lanes must be the exact f32 values");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn narrowing_resume_is_a_typed_precision_error() {
+        use crate::precision::{F32Vec, MixedOp};
+        let path = tmp("narrowing");
+        let dim = 32;
+        save_checkpoint(&path, &sample_state(dim)).unwrap(); // f64 file
+        let dense = DenseOp::new(dim, vec![0.0; dim * dim]);
+        let op32 = MixedOp::new(&dense);
+        match load_checkpoint::<F32Vec, _>(&path, &op32) {
+            Err(CheckpointError::PrecisionMismatch { found: 8, expected: 4 }) => {}
+            other => panic!("expected PrecisionMismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version1_files_load_as_f64() {
+        // A v1 file is a v2 file with the width field cut out and the
+        // version stamp rewritten — loaders must read it as 8-byte lanes.
+        let path = tmp("v1_compat");
+        let dim = 19;
+        let st = sample_state(dim);
+        save_checkpoint(&path, &st).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes()); // version = 1
+        bytes.drain(16..20); // remove width field
+        let body_end = bytes.len() - 8;
+        let sum = fnv1a64(&bytes[..body_end]);
+        bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let op = DenseOp::new(dim, vec![0.0; dim * dim]);
+        let back = load_checkpoint::<Vec<f64>, _>(&path, &op).unwrap();
+        assert_eq!(back.basis, st.basis);
         std::fs::remove_file(&path).ok();
     }
 

@@ -58,6 +58,7 @@ pub mod health;
 pub mod jacobi;
 pub mod lanczos;
 pub mod op;
+pub mod precision;
 pub mod restart;
 pub mod spectral;
 pub mod tridiag;
@@ -76,6 +77,10 @@ pub use lanczos::{
     lanczos_smallest, lanczos_smallest_in, LanczosOptions, LanczosResult, LanczosResultIn,
 };
 pub use op::{DenseOp, LinearOp};
+pub use precision::{
+    eigensolve_precision, refine_in_f64, thick_restart_lanczos_f32, DistF32Vec, F32Vec,
+    MixedOp, Precision,
+};
 pub use restart::{
     thick_restart_lanczos, thick_restart_lanczos_in, CheckpointPolicy, RestartOptions,
 };

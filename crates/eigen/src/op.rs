@@ -152,8 +152,9 @@ pub const REDUCE_BLOCK: usize = 8192;
 /// of dispatching to the pool — a wake-up costs more than a few blocks
 /// of streaming arithmetic. The partial layout and combination tree are
 /// the same either way, so the result is bit-identical to the parallel
-/// path (the dispatch decision is invisible in the output).
-const MIN_PAR_BLOCKS: usize = 8;
+/// path (the dispatch decision is invisible in the output). Public so
+/// the f32-storage kernels of [`crate::precision`] share the threshold.
+pub const MIN_PAR_BLOCKS: usize = 8;
 
 /// Sums `parts` in a fixed pairwise (balanced binary) tree. The tree
 /// shape depends only on `parts.len()`, making the reduction

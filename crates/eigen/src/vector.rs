@@ -72,8 +72,16 @@ pub trait KrylovVec: Clone {
     /// Storage-kind tag written into checkpoint files so a resume cannot
     /// silently reinterpret one storage's bytes as another's
     /// (see [`crate::checkpoint`]). Dense `Vec<S>` is 1, distributed
-    /// `DistVec<S>` is 2.
+    /// `DistVec<S>` is 2; the f32 storages of [`crate::precision`] are
+    /// 3 (dense) and 4 (distributed).
     const STORAGE_KIND: u32;
+
+    /// Bytes per stored scalar lane: 8 for f64-backed storage (the
+    /// default), 4 for the f32 storages of the mixed-precision mode.
+    /// Checkpoints (format v2) record it so a resume can widen an f32
+    /// checkpoint into an f64 solve explicitly — and reject the lossy
+    /// direction with a typed error instead of truncating lanes.
+    const SCALAR_WIDTH: u32 = 8;
 
     /// Global number of elements (summed over parts for distributed
     /// storage).

@@ -232,6 +232,13 @@ pub fn field_sum(x: u64, width: u32, n_fields: u32) -> u32 {
     if width == 1 {
         return (x & low_mask(n_fields)).count_ones();
     }
+    if width == 2 {
+        // Sum of 2-bit fields = popcount of the low bits + 2·popcount of
+        // the high bits; two popcounts instead of a shift loop.
+        let w = x & low_mask(2 * n_fields);
+        return (w & 0x5555_5555_5555_5555).count_ones()
+            + 2 * (w & 0xaaaa_aaaa_aaaa_aaaa).count_ones();
+    }
     let mut acc = 0u32;
     let mut w = x & low_mask(width * n_fields);
     while w != 0 {

@@ -35,7 +35,9 @@ pub struct CodedRange {
     n_sites: u32,
     code_sum: Option<u32>,
     next: Option<u64>,
-    hi: u64,
+    /// Largest word the range may yield (inclusive — the exclusive end of
+    /// a dense 64-bit code space, 2^64, is not representable in a `u64`).
+    last: u64,
 }
 
 impl SiteEncoding {
@@ -143,9 +145,10 @@ impl SiteEncoding {
     }
 
     /// Every `bits`-wide field pattern is a valid code (power-of-two
-    /// local dimension): the raw word range needs no skipping.
+    /// local dimension): the raw word range needs no skipping, so dense
+    /// scans (e.g. the SIMD field-sum filter) beat the odometer.
     #[inline]
-    fn dense(self) -> bool {
+    pub fn dense(self) -> bool {
         self.local_dim as u32 == 1 << self.bits
     }
 
@@ -173,10 +176,17 @@ impl SiteEncoding {
             let Some(site) = bad else { return Some(w) };
             // Bump the field above the invalid one and clear everything
             // below — the smallest word strictly greater than every word
-            // sharing this invalid prefix.
-            let carry = 1u64 << self.site_shift(site + 1);
-            let cleared = w & !low_mask(self.site_shift(site + 1));
-            let (next, overflow) = cleared.overflowing_add(carry);
+            // sharing this invalid prefix. When the invalid field is the
+            // top site of a word-filling encoding (`sites * bits == 64`)
+            // the carry position is bit 64: the carry leaves the word, so
+            // no valid word `>= w` exists. `1u64 << 64` would be a shift
+            // overflow, hence the explicit check.
+            let carry_shift = self.site_shift(site + 1);
+            if carry_shift >= 64 {
+                return None;
+            }
+            let cleared = w & !low_mask(carry_shift);
+            let (next, overflow) = cleared.overflowing_add(1u64 << carry_shift);
             if overflow || next > limit {
                 return None;
             }
@@ -210,7 +220,12 @@ fn last_word(code_bits: u32) -> u64 {
 
 impl CodedRange {
     /// Valid code words `w` with `lo <= w < hi` (and
-    /// `code_sum(w) == sum` if fixed), increasing.
+    /// `code_sum(w) == sum` if fixed), increasing. `hi == u64::MAX`
+    /// doubles as "unbounded" (the same sentinel convention as
+    /// [`bits::FixedWeightRange`]): the exclusive end of a dense 64-bit
+    /// code space is 2^64, which a `u64` cannot hold, and clamping it to
+    /// `u64::MAX` used to silently drop the all-ones word from
+    /// word-filling encodings (`sites * bits == 64`).
     pub fn new(
         encoding: SiteEncoding,
         n_sites: u32,
@@ -218,9 +233,11 @@ impl CodedRange {
         lo: u64,
         hi: u64,
     ) -> Self {
-        let hi = hi.min(last_word(encoding.code_bits(n_sites)).saturating_add(1));
-        let mut r = Self { encoding, n_sites, code_sum, next: None, hi };
-        r.next = r.seek(lo);
+        let space_last = last_word(encoding.code_bits(n_sites));
+        let last =
+            if hi == u64::MAX { space_last } else { space_last.min(hi.saturating_sub(1)) };
+        let mut r = Self { encoding, n_sites, code_sum, next: None, last };
+        r.next = if hi == 0 { None } else { r.seek(lo) };
         r
     }
 
@@ -229,12 +246,12 @@ impl CodedRange {
         Self::new(encoding, n_sites, code_sum, 0, u64::MAX)
     }
 
-    /// Smallest matching word `>= from`, below `hi`.
+    /// Smallest matching word `>= from`, at most `last`.
     fn seek(&self, from: u64) -> Option<u64> {
         let mut w = from;
         loop {
             let v = self.encoding.next_valid(w, self.n_sites)?;
-            if v >= self.hi {
+            if v > self.last {
                 return None;
             }
             match self.code_sum {
@@ -339,6 +356,87 @@ mod tests {
             }
             assert_eq!(full, chunked, "sum = {sum:?}");
         }
+    }
+
+    #[test]
+    fn word_filling_spin_one_boundary() {
+        // 32 spin-1 sites × 2 bits == 64 code bits: the carry out of the
+        // top field used to be `1u64 << 64`.
+        let e = SiteEncoding::spin(3);
+        let n = 32u32;
+        assert_eq!(e.code_bits(n), 64);
+        // All-ones word: every field holds the invalid code 3. The carry
+        // out of the top site leaves the word — no valid word above.
+        assert_eq!(e.next_valid(u64::MAX, n), None);
+        // Invalid code in the top field only: still nothing above.
+        let top_bad = e.deposit(0, n - 1, 3);
+        assert_eq!(e.next_valid(top_bad, n), None);
+        // The largest *valid* word (code 2 everywhere) is its own
+        // successor and is reachable through a bounded range.
+        let top = (0..n).fold(0u64, |w, s| e.deposit(w, s, 2));
+        assert_eq!(e.next_valid(top, n), Some(top));
+        assert!(e.is_valid(top, n));
+        let tail: Vec<u64> = CodedRange::new(e, n, None, top - 4, u64::MAX).collect();
+        assert_eq!(tail.last(), Some(&top));
+        assert!(tail.windows(2).all(|w| w[0] < w[1]));
+        assert!(tail.iter().all(|&w| e.is_valid(w, n)));
+        // Fixed-charge seek across the top of the space must terminate.
+        let full_charge = 2 * n;
+        let sector: Vec<u64> =
+            CodedRange::new(e, n, Some(full_charge), top - 100, u64::MAX).collect();
+        assert_eq!(sector, vec![top]);
+    }
+
+    #[test]
+    fn word_filling_fermion_boundary() {
+        // 64 spin-orbitals × 1 bit == 64 code bits (dense encoding): the
+        // all-ones word is a valid state and must not be dropped by the
+        // unrepresentable exclusive bound 2^64.
+        let e = SiteEncoding::fermion();
+        let n = 64u32;
+        assert_eq!(e.code_bits(n), 64);
+        assert!(e.is_valid(u64::MAX, n));
+        assert_eq!(e.next_valid(u64::MAX, n), Some(u64::MAX));
+        let tail: Vec<u64> = CodedRange::new(e, n, None, u64::MAX - 3, u64::MAX).collect();
+        assert_eq!(tail, vec![u64::MAX - 3, u64::MAX - 2, u64::MAX - 1, u64::MAX]);
+        // Fully-occupied charge sector: exactly the all-ones word. (Seek
+        // from near the top — the generic weight seek is a linear scan,
+        // so starting at 0 would walk the whole 2^64 space.)
+        let sector: Vec<u64> =
+            CodedRange::new(e, n, Some(64), u64::MAX - 50, u64::MAX).collect();
+        assert_eq!(sector, vec![u64::MAX]);
+        // An explicit exclusive bound below the sentinel still excludes.
+        let bounded: Vec<u64> =
+            CodedRange::new(e, n, None, u64::MAX - 3, u64::MAX - 1).collect();
+        assert_eq!(bounded, vec![u64::MAX - 3, u64::MAX - 2]);
+        // Empty ranges stay empty.
+        assert_eq!(CodedRange::new(e, n, None, 5, 0).count(), 0);
+        assert_eq!(CodedRange::new(e, n, None, 5, 5).count(), 0);
+    }
+
+    #[test]
+    fn one_below_word_filling_boundary() {
+        // 63 total bits: one bit short of the word — the last pre-overflow
+        // width for 1-bit encodings, and 31 spin-1 sites (62 bits) for the
+        // 2-bit field. Both must agree with the generic machinery.
+        let f = SiteEncoding::fermion();
+        assert_eq!(f.code_bits(63), 63);
+        let last = low_mask(63);
+        assert!(f.is_valid(last, 63));
+        assert!(!f.is_valid(last + 1, 63));
+        assert_eq!(f.next_valid(last, 63), Some(last));
+        assert_eq!(f.next_valid(last + 1, 63), None);
+        let tail: Vec<u64> = CodedRange::new(f, 63, None, last - 2, u64::MAX).collect();
+        assert_eq!(tail, vec![last - 2, last - 1, last]);
+
+        let e = SiteEncoding::spin(3);
+        let n = 31u32;
+        let top = (0..n).fold(0u64, |w, s| e.deposit(w, s, 2));
+        assert_eq!(e.next_valid(top, n), Some(top));
+        assert_eq!(e.next_valid(top + 1, n), None);
+        let sector: Vec<u64> =
+            CodedRange::new(e, n, Some(2 * n), top.saturating_sub(50), u64::MAX).collect();
+        assert_eq!(sector, vec![top]);
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod encoding;
 pub mod hash;
 pub mod net;
 pub mod search;
+pub mod simd;
 pub mod sort;
 
 pub use complexnum::{Complex64, Scalar};

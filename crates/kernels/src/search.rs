@@ -72,12 +72,19 @@ impl PrefixIndex {
 
     /// Picks a bucket count of roughly `len / 4` (clamped to `[1, 2^20]`
     /// buckets) — large enough to shrink searches to a handful of elements,
-    /// small enough to keep the index itself cache-resident. Degenerate
-    /// inputs are handled: empty and length-1 slices get a single bucket,
-    /// and the width is clamped so it can never exceed `n_bits` (or the
-    /// structural limit of 31 bits) however `len / 4` rounds.
+    /// small enough to keep the index itself cache-resident. The width is
+    /// `ceil(log2(len / 4))` as documented on [`PrefixIndex::new`]: the
+    /// earlier floor rounded small charge-constrained sectors (multi-bit
+    /// codes pack few states into a wide space, e.g. small half-filled
+    /// Hubbard sectors) down to a 0-width prefix, degenerating every
+    /// lookup to the full-range binary search the index exists to avoid.
+    /// Degenerate inputs are handled: empty and length-1 slices get a
+    /// single bucket, and the width is clamped so it can never exceed
+    /// `n_bits` (or the structural limit of 31 bits) however `len / 4`
+    /// rounds.
     pub fn auto(sorted: &[u64], n_bits: u32) -> Self {
-        let target_bits = (sorted.len() / 4).max(1).ilog2().min(20).min(n_bits).min(31);
+        let buckets = sorted.len().div_ceil(4).max(1);
+        let target_bits = buckets.next_power_of_two().ilog2().min(20).min(n_bits).min(31);
         Self::new(sorted, n_bits, target_bits)
     }
 
@@ -125,6 +132,18 @@ impl PrefixIndex {
                     hi[l] = self.starts[b + 1] as usize;
                 }
                 // else: lo == hi == 0 — the lane is born finished.
+            }
+            // AVX2 path: two 4-lane gather searches in lockstep, same
+            // bisection as the scalar loop below, bit-identical ranks.
+            if crate::simd::prefix_search_block(
+                sorted,
+                &needles[k..],
+                &mut lo,
+                &mut hi,
+                &mut out[k..],
+            ) {
+                k += W;
+                continue;
             }
             // Lockstep binary search: every live lane issues one probe per
             // round, so up to W independent loads are in flight.
@@ -387,6 +406,47 @@ mod tests {
             assert_eq!(idx.lookup(&states, s), Some(i));
         }
         assert_eq!(idx.lookup(&states, 16), None);
+    }
+
+    #[test]
+    fn auto_picks_a_real_prefix_for_hubbard_sectors() {
+        // The 8-site half-filled Hubbard sector: 16 occupation bits (two
+        // spin-orbitals per site), 4 up + 4 down electrons — C(8,4)² =
+        // 4900 states in a 2^16 space. The floor-rounded width picked 10
+        // bits here where the documented ceil(log2(len / 4)) is 11.
+        let mut states: Vec<u64> = Vec::new();
+        for up in FixedWeightRange::all(8, 4) {
+            for dn in FixedWeightRange::all(8, 4) {
+                states.push(dn << 8 | up);
+            }
+        }
+        states.sort_unstable();
+        assert_eq!(states.len(), 4900);
+        let idx = PrefixIndex::auto(&states, 16);
+        // ceil(log2(4900 / 4)) = ceil(log2(1225)) = 11 prefix bits.
+        assert_eq!(idx.memory_bytes(), ((1 << 11) + 1) * std::mem::size_of::<u32>());
+        for (i, &s) in states.iter().enumerate() {
+            assert_eq!(idx.lookup(&states, s), Some(i));
+        }
+        assert_eq!(idx.lookup(&states, 0), None);
+
+        // A *small* charge-constrained sector (2-site quarter-filled:
+        // C(2,1)² = 4 states in 4 code bits) used to get a 0-width prefix
+        // (len / 4 == 1 floors to 0 bits) and fall back to the full-range
+        // search; ceil keeps at least one prefix bit as soon as len > 4.
+        let mut small: Vec<u64> = Vec::new();
+        for up in FixedWeightRange::all(3, 1) {
+            for dn in FixedWeightRange::all(3, 2) {
+                small.push(dn << 3 | up);
+            }
+        }
+        small.sort_unstable();
+        assert_eq!(small.len(), 9);
+        let idx = PrefixIndex::auto(&small, 6);
+        assert!(idx.memory_bytes() > 2 * std::mem::size_of::<u32>(), "0-width prefix");
+        for (i, &s) in small.iter().enumerate() {
+            assert_eq!(idx.lookup(&small, s), Some(i));
+        }
     }
 
     #[test]
